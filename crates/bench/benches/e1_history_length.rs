@@ -1,0 +1,30 @@
+//! E1: checking time vs history length `t` (expected: linear).
+//!
+//! Theorem 4.2's bound is `O(t·(|φ|·|R_D|)^max(k,l)) + 2^O(…)`; with the
+//! constraint and `R_D` fixed, only the first addend grows — linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ticc_bench::{cyclic_order_history, fifo, order_schema};
+use ticc_core::{check_potential_satisfaction, CheckOptions};
+
+fn bench(c: &mut Criterion) {
+    let sc = order_schema();
+    let phi = fifo(&sc);
+    let mut g = c.benchmark_group("e1_history_length");
+    g.sample_size(10);
+    for t in [32usize, 128, 512, 2048] {
+        let h = cyclic_order_history(&sc, t);
+        g.throughput(Throughput::Elements(t as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(t), &h, |b, h| {
+            b.iter(|| {
+                let out =
+                    check_potential_satisfaction(h, &phi, &CheckOptions::default()).unwrap();
+                assert!(out.potentially_satisfied);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

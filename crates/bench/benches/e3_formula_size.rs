@@ -1,0 +1,26 @@
+//! E3: PTL satisfiability vs formula size (expected: exponential,
+//! Lemma 4.2 phase 2) on the `⋀ □◇p_i` family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ticc_bench::gf_family;
+use ticc_ptl::arena::Arena;
+use ticc_ptl::sat::is_satisfiable;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_formula_size");
+    g.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ar = Arena::new();
+                let f = gf_family(&mut ar, n);
+                let r = is_satisfiable(&mut ar, f).unwrap();
+                assert!(r.satisfiable);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

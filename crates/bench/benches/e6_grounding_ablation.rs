@@ -1,0 +1,40 @@
+//! E6: ablation — the paper's literal `Axiom_D` grounding vs rigid-atom
+//! folding (equivalent verdicts; folding removes the axiom bulk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ticc_bench::{once_only, order_schema, spread_history};
+use ticc_core::{check_potential_satisfaction, CheckOptions, GroundMode};
+use ticc_ptl::sat::SatSolver;
+
+fn bench(c: &mut Criterion) {
+    let sc = order_schema();
+    let phi = once_only(&sc);
+    for (name, mode) in [
+        ("e6_full_axiom_d", GroundMode::Full),
+        ("e6_folded", GroundMode::Folded),
+    ] {
+        let mut g = c.benchmark_group(name);
+        g.sample_size(10);
+        for m in [2usize, 3, 4] {
+            let h = spread_history(&sc, m);
+            g.bench_with_input(BenchmarkId::from_parameter(m), &h, |b, h| {
+                b.iter(|| {
+                    let out = check_potential_satisfaction(
+                        h,
+                        &phi,
+                        &CheckOptions {
+                            mode,
+                            solver: SatSolver::Buchi,
+                        },
+                    )
+                    .unwrap();
+                    assert!(out.potentially_satisfied);
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

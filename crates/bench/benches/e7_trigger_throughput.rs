@@ -1,0 +1,81 @@
+//! E7: online monitor + trigger throughput on the paper's customer-order
+//! workload (Section 2 duality, end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ticc_bench::{fifo, once_only, order_schema};
+use ticc_core::{CheckOptions, Monitor, TriggerEngine};
+use ticc_tdb::workload::OrderWorkload;
+use ticc_tdb::Transaction;
+
+fn bench(c: &mut Criterion) {
+    let sc = order_schema();
+
+    let mut g = c.benchmark_group("e7_monitor_appends");
+    g.sample_size(10);
+    for instants in [8usize, 16, 24] {
+        let h = OrderWorkload {
+            instants,
+            submit_prob: 0.5,
+            fill_prob: 0.5,
+            violation: None,
+            seed: 7,
+        }
+        .generate();
+        g.throughput(Throughput::Elements(instants as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(instants), &h, |b, h| {
+            b.iter(|| {
+                let mut m = Monitor::new(sc.clone(), CheckOptions::default());
+                m.add_constraint("once", once_only(&sc)).unwrap();
+                m.add_constraint("fifo", fifo(&sc)).unwrap();
+                for st in h.states() {
+                    let mut tx = Transaction::new();
+                    if let Some(prev) = m.history().last() {
+                        for p in sc.preds() {
+                            for tuple in prev.relation(p).iter() {
+                                tx = tx.delete(p, tuple.to_vec());
+                            }
+                        }
+                    }
+                    for p in sc.preds() {
+                        for tuple in st.relation(p).iter() {
+                            tx = tx.insert(p, tuple.to_vec());
+                        }
+                    }
+                    let _ = m.append(&tx).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+
+    // Trigger evaluation cost on a fixed dirty history.
+    let mut g = c.benchmark_group("e7_trigger_eval");
+    g.sample_size(10);
+    let h = OrderWorkload {
+        instants: 10,
+        submit_prob: 0.8,
+        fill_prob: 0.2,
+        violation: Some((ticc_tdb::workload::OrderViolation::DoubleSubmit, 6)),
+        seed: 3,
+    }
+    .generate();
+    let mut engine = TriggerEngine::new(CheckOptions::default());
+    let cond = ticc_fotl::parser::parse(&sc, "F (Sub(x) & X F Sub(x))").unwrap();
+    engine
+        .add(ticc_core::Trigger {
+            name: "dup".into(),
+            condition: cond,
+            action: ticc_core::Action::Log,
+        })
+        .unwrap();
+    g.bench_function("evaluate", |b| {
+        b.iter(|| {
+            let fired = engine.evaluate(&h).unwrap();
+            assert!(!fired.is_empty());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9: Section 3 constructions — building `φ`/`φ̃`, encoding runs, and
+//! the Σ⁰₂ semi-decision budget sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ticc_tm::bounded::{semi_decide_repeating, SemiDecision};
+use ticc_tm::{encode_run, machine_schema, zoo};
+
+fn bench(c: &mut Criterion) {
+    let machine = zoo::shuttle();
+    let schema = machine_schema(&machine);
+
+    let mut g = c.benchmark_group("e9_build_formulas");
+    g.sample_size(20);
+    g.bench_function("phi", |b| {
+        b.iter(|| ticc_tm::phi::phi(&machine, &schema))
+    });
+    let schema_w = ticc_tm::phi_tilde::machine_schema_with_w(&machine);
+    g.bench_function("phi_tilde", |b| {
+        b.iter(|| ticc_tm::phi_tilde::phi_tilde(&machine, &schema_w))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e9_encode_run");
+    g.sample_size(20);
+    for steps in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| encode_run(&machine, &[true, false, true], steps))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e9_semi_decision");
+    g.sample_size(20);
+    for target in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &t| {
+            b.iter(|| {
+                let v = semi_decide_repeating(&machine, &[true], t, usize::MAX);
+                assert!(matches!(v, SemiDecision::ReachedTarget { .. }));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Constraint and workload families used across the experiments.
+
+use std::sync::Arc;
+use ticc_fotl::parser::parse;
+use ticc_fotl::Formula;
+use ticc_ptl::arena::{Arena, FormulaId};
+use ticc_tdb::workload::OrderWorkload;
+use ticc_tdb::{History, Schema, State, Value};
+
+/// The paper's once-only constraint source.
+pub const ONCE_ONLY: &str = "forall x. G (Sub(x) -> X G !Sub(x))";
+
+/// The paper's FIFO constraint source.
+pub const FIFO: &str = "forall x y. G !(x != y & Sub(x) & \
+                        ((!Fill(x)) U (Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))";
+
+/// The order schema (`Sub/1`, `Fill/1`).
+pub fn order_schema() -> Arc<Schema> {
+    OrderWorkload::schema()
+}
+
+/// Parses the once-only constraint against the order schema.
+pub fn once_only(schema: &Schema) -> Formula {
+    parse(schema, ONCE_ONLY).expect("constant source")
+}
+
+/// Parses the FIFO constraint against the order schema.
+pub fn fifo(schema: &Schema) -> Formula {
+    parse(schema, FIFO).expect("constant source")
+}
+
+/// A FIFO-clean cyclic workload over exactly two orders, of length `t`:
+/// `Sub(1) | Sub(2) | Fill(1) | Fill(2) | Sub(1) | …`. Keeps `R_D`
+/// fixed at `{1, 2}` while the history grows — the E1 shape.
+pub fn cyclic_order_history(schema: &Arc<Schema>, t: usize) -> History {
+    let mut h = History::new(schema.clone());
+    for i in 0..t {
+        let mut s = State::empty(schema.clone());
+        match i % 4 {
+            0 => s.insert_named("Sub", vec![1]).unwrap(),
+            1 => s.insert_named("Sub", vec![2]).unwrap(),
+            2 => s.insert_named("Fill", vec![1]).unwrap(),
+            _ => s.insert_named("Fill", vec![2]).unwrap(),
+        };
+        h.push_state(s);
+    }
+    h
+}
+
+/// A single-state history with `Sub(0) … Sub(m-1)`: `|R_D| = m`, the E2
+/// shape (each order submitted exactly once, so once-only is potentially
+/// satisfied but the residue automaton must track all `m` obligations).
+pub fn spread_history(schema: &Arc<Schema>, m: usize) -> History {
+    let mut h = History::new(schema.clone());
+    let mut s = State::empty(schema.clone());
+    for v in 0..m as Value {
+        s.insert_named("Sub", vec![v]).unwrap();
+    }
+    h.push_state(s);
+    h
+}
+
+/// A single-state history with `Fill(0) … Fill(m-1)`: `m` relevant
+/// elements, none of them submitted yet. The once-only residue then has
+/// a genuine choice per element (submit later or never), so the
+/// exhaustive automaton must track all `2^m` submission subsets — the
+/// E2b shape.
+pub fn unsubmitted_history(schema: &Arc<Schema>, m: usize) -> History {
+    let mut h = History::new(schema.clone());
+    let mut s = State::empty(schema.clone());
+    for v in 0..m as Value {
+        s.insert_named("Fill", vec![v]).unwrap();
+    }
+    h.push_state(s);
+    h
+}
+
+/// The `⋀_{i<n} □◇p_i` family: a classic exponential-automaton family
+/// for the `2^O(|ψ|)` bound (E3) and the tableau-vs-GPVW ablation (E8).
+pub fn gf_family(arena: &mut Arena, n: usize) -> FormulaId {
+    let mut f = arena.tru();
+    for i in 0..n {
+        let p = arena.atom(&format!("p{i}"));
+        let fp = arena.eventually(p);
+        let gfp = arena.always(fp);
+        f = arena.and(f, gfp);
+    }
+    f
+}
+
+/// The binary-relation schema for the quantifier-count family (E4).
+pub fn edge_schema() -> Arc<Schema> {
+    Schema::builder().pred("E", 2).build()
+}
+
+/// `∀x1 … xk □¬(E(x1,x2) ∧ E(x2,x3) ∧ …)`: `k` external quantifiers,
+/// arity 2, so grounding has `(|R_D|+k)^k` instances (E4).
+pub fn chain_constraint(schema: &Schema, k: usize) -> Formula {
+    assert!(k >= 1);
+    let e = schema.pred("E").unwrap();
+    let var = |i: usize| ticc_fotl::Term::var(format!("x{i}"));
+    let body = if k == 1 {
+        Formula::pred(e, vec![var(1), var(1)])
+    } else {
+        Formula::and_all(
+            (1..k).map(|i| Formula::pred(e, vec![var(i), var(i + 1)])),
+        )
+    };
+    let matrix = body.not().always();
+    Formula::forall_many((1..=k).map(|i| format!("x{i}")), matrix)
+}
+
+/// A single-state history with a path `E(0,1), E(1,2), …` over `m`
+/// elements.
+pub fn path_history(schema: &Arc<Schema>, m: usize) -> History {
+    let e = schema.pred("E").unwrap();
+    let mut h = History::new(schema.clone());
+    let mut s = State::empty(schema.clone());
+    for v in 0..m.saturating_sub(1) as Value {
+        s.insert(e, vec![v, v + 1]).unwrap();
+    }
+    h.push_state(s);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ticc_core::{check_potential_satisfaction, CheckOptions};
+
+    #[test]
+    fn cyclic_history_is_fifo_clean() {
+        let sc = order_schema();
+        let phi = fifo(&sc);
+        for t in [4, 9, 16] {
+            let h = cyclic_order_history(&sc, t);
+            let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+            assert!(out.potentially_satisfied, "t = {t}");
+            assert_eq!(h.relevant().len(), 2.min(t.max(1)).max(if t >= 2 { 2 } else { 1 }));
+        }
+    }
+
+    #[test]
+    fn spread_history_is_once_only_clean() {
+        let sc = order_schema();
+        let phi = once_only(&sc);
+        let h = spread_history(&sc, 4);
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert!(out.potentially_satisfied);
+        assert_eq!(out.stats.ground.m_size, 5); // 4 relevant + z1
+    }
+
+    #[test]
+    fn gf_family_is_satisfiable_with_exponentialish_automata() {
+        let mut ar = Arena::new();
+        let f2 = gf_family(&mut ar, 2);
+        let f4 = gf_family(&mut ar, 4);
+        let r2 = ticc_ptl::sat::is_satisfiable(&mut ar, f2).unwrap();
+        let r4 = ticc_ptl::sat::is_satisfiable(&mut ar, f4).unwrap();
+        assert!(r2.satisfiable && r4.satisfiable);
+        assert!(r4.stats.states > r2.stats.states);
+    }
+
+    #[test]
+    fn chain_constraint_classifies_universal() {
+        let sc = edge_schema();
+        for k in 1..=3 {
+            let f = chain_constraint(&sc, k);
+            assert_eq!(
+                ticc_fotl::classify::classify(&f),
+                ticc_fotl::classify::FormulaClass::Universal { external: k }
+            );
+        }
+    }
+
+    #[test]
+    fn path_history_violates_chain_constraint_for_long_chains() {
+        let sc = edge_schema();
+        let h = path_history(&sc, 4); // E(0,1), E(1,2), E(2,3)
+        let f = chain_constraint(&sc, 2); // □¬E(x,y) pattern: violated
+        let out = check_potential_satisfaction(&h, &f, &CheckOptions::default()).unwrap();
+        assert!(!out.potentially_satisfied);
+        // k = 3 needs E(a,b) ∧ E(b,c): also violated by the path.
+        let f3 = chain_constraint(&sc, 3);
+        let out3 = check_potential_satisfaction(&h, &f3, &CheckOptions::default()).unwrap();
+        assert!(!out3.potentially_satisfied);
+        // An edgeless history satisfies everything.
+        let h0 = path_history(&sc, 1);
+        let ok = check_potential_satisfaction(&h0, &f3, &CheckOptions::default()).unwrap();
+        assert!(ok.potentially_satisfied);
+    }
+}

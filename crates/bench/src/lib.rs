@@ -1,0 +1,13 @@
+//! Shared workload/constraint families and table utilities for the
+//! benchmark harness.
+//!
+//! The paper has no empirical evaluation; the experiments regenerate its
+//! *complexity claims* (see `DESIGN.md` §6 and `EXPERIMENTS.md`). Each
+//! experiment lives both as a Criterion bench (`benches/`) and as a row
+//! generator for the table-printing `experiments` binary.
+
+pub mod families;
+pub mod table;
+
+pub use families::*;
+pub use table::{time_best_of, Table};

@@ -1,0 +1,120 @@
+//! Minimal table rendering and timing helpers for the `experiments`
+//! binary.
+
+use std::time::{Duration, Instant};
+
+/// A printable experiment table.
+pub struct Table {
+    title: String,
+    claim: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and the paper claim it validates.
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            claim: claim.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        println!("claim: {}", self.claim);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for r in &self.rows {
+            line(r);
+        }
+    }
+}
+
+/// Runs `f` `n` times and returns the minimum wall-clock duration
+/// (robust against scheduler noise for short operations).
+pub fn time_best_of<F: FnMut()>(n: usize, mut f: F) -> Duration {
+    assert!(n >= 1);
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Formats a duration compactly for tables.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}us", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new("E0", "smoke", &["a", "b"]);
+        t.row(["1".into(), "x".into()]);
+        t.row(["22".into(), "yy".into()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("E0", "smoke", &["a", "b"]);
+        t.row(["1".into()]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert!(fmt_duration(Duration::from_micros(7)).ends_with("us"));
+    }
+
+    #[test]
+    fn time_best_of_returns_minimum() {
+        let d = time_best_of(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_millis(1));
+        assert!(d < Duration::from_millis(100));
+    }
+}

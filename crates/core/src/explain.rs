@@ -1,0 +1,205 @@
+//! Human-readable compilation/checking reports.
+//!
+//! `explain` walks a constraint through every stage of the paper's
+//! pipeline and narrates what happened: classification (Section 2),
+//! safety screening, the Theorem 4.1 grounding sizes, the Lemma 4.2
+//! phase split, and the verdict. Useful for understanding why a
+//! constraint is slow, rejected, or violated — exposed in the shell as
+//! the `explain` command.
+
+use crate::extension::{check_potential_satisfaction, CheckOptions};
+use crate::ground::GroundError;
+use std::fmt::Write as _;
+use ticc_fotl::classify::{classify, is_syntactically_safe, FormulaClass};
+use ticc_fotl::Formula;
+use ticc_tdb::History;
+
+/// Produces the report. Never fails: pipeline errors become part of the
+/// narrative.
+pub fn explain(history: &History, phi: &Formula, opts: &CheckOptions) -> String {
+    let mut out = String::new();
+    let schema = history.schema();
+    let _ = writeln!(out, "constraint: {}", ticc_fotl::pretty::formula(schema, phi));
+    let _ = writeln!(out, "tree size |phi| = {}", phi.size());
+
+    // Classification (Section 2).
+    let class = classify(phi);
+    match &class {
+        FormulaClass::Universal { external } => {
+            let _ = writeln!(
+                out,
+                "class: UNIVERSAL (∀^{external} tense(Π0)) — inside the decidable \
+                 fragment of Theorem 4.2"
+            );
+        }
+        FormulaClass::Biquantified {
+            external,
+            internal_level,
+            internal_quantifiers,
+        } => {
+            let _ = writeln!(
+                out,
+                "class: BIQUANTIFIED (∀^{external} tense(Σ{internal_level}), \
+                 {internal_quantifiers} internal quantifier(s)) — Theorem 3.2: \
+                 checking is Π⁰₂-complete already at Σ1; the exact pipeline \
+                 does not apply"
+            );
+        }
+        FormulaClass::NotBiquantified(r) => {
+            let _ = writeln!(out, "class: NOT BIQUANTIFIED ({r:?})");
+        }
+    }
+
+    // Safety screening.
+    if is_syntactically_safe(phi) {
+        let _ = writeln!(out, "safety: syntactically safe (sufficient condition holds)");
+    } else {
+        let _ = writeln!(
+            out,
+            "safety: NOT syntactically safe — Theorem 4.2 assumes a safety \
+             sentence; liveness content is approximated away by the grounding \
+             (see the paper after Lemma 4.1)"
+        );
+    }
+
+    // History facts.
+    let relevant = history.relevant();
+    let _ = writeln!(
+        out,
+        "history: {} state(s), |R_D| = {} relevant element(s), max arity l = {}",
+        history.len(),
+        relevant.len(),
+        schema.max_arity()
+    );
+
+    // The pipeline itself.
+    match check_potential_satisfaction(history, phi, opts) {
+        Err(crate::extension::CheckError::Ground(GroundError::NotUniversal(_))) => {
+            let _ = writeln!(
+                out,
+                "grounding: refused (not a universal sentence) — nothing further to run"
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "pipeline error: {e}");
+        }
+        Ok(res) => {
+            let g = &res.stats.ground;
+            let _ = writeln!(
+                out,
+                "grounding (Thm 4.1): |M| = {} ({} relevant + {} fresh), {} ground \
+                 instance(s), phi_D tree size {} / DAG {} over {} letters{}",
+                g.m_size,
+                g.m_size - g.external_vars,
+                g.external_vars,
+                g.mappings,
+                g.formula_tree_size,
+                g.formula_dag_size,
+                g.letters,
+                if g.axiom_conjuncts > 0 {
+                    format!(", Axiom_D: {} conjuncts", g.axiom_conjuncts)
+                } else {
+                    String::new()
+                }
+            );
+            let _ = writeln!(
+                out,
+                "phase 1 (ground + progress through w_D): {:?}",
+                res.stats.timings.ground
+            );
+            if res.stats.sat.states == 0 && res.potentially_satisfied {
+                let _ = writeln!(
+                    out,
+                    "phase 2: answered by the constant-word safety probe (no \
+                     automaton built), {:?}",
+                    res.stats.timings.decide
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "phase 2 (residue satisfiability): {} automaton state(s), {:?}",
+                    res.stats.sat.states, res.stats.timings.decide
+                );
+            }
+            if res.potentially_satisfied {
+                let _ = writeln!(
+                    out,
+                    "verdict: POTENTIALLY SATISFIED — an infinite extension exists"
+                );
+                if let Some(w) = &res.witness {
+                    let _ = writeln!(
+                        out,
+                        "witness: {} transient state(s) then a {}-state cycle",
+                        w.prefix.len(),
+                        w.cycle.len()
+                    );
+                }
+            } else {
+                let _ = writeln!(
+                    out,
+                    "verdict: VIOLATED — no extension of the current history can \
+                     satisfy the constraint"
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ticc_fotl::parser::parse;
+    use ticc_tdb::{Schema, State};
+
+    fn history(subs: &[&[u64]]) -> History {
+        let sc: Arc<Schema> = Schema::builder().pred("Sub", 1).build();
+        let mut h = History::new(sc.clone());
+        for vs in subs {
+            let mut s = State::empty(sc.clone());
+            for &v in *vs {
+                s.insert_named("Sub", vec![v]).unwrap();
+            }
+            h.push_state(s);
+        }
+        h
+    }
+
+    #[test]
+    fn explains_a_satisfied_universal_constraint() {
+        let h = history(&[&[1], &[2]]);
+        let phi = parse(h.schema(), "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let r = explain(&h, &phi, &CheckOptions::default());
+        assert!(r.contains("class: UNIVERSAL"));
+        assert!(r.contains("syntactically safe"));
+        assert!(r.contains("POTENTIALLY SATISFIED"));
+        assert!(r.contains("|M| = 3"));
+    }
+
+    #[test]
+    fn explains_a_violation() {
+        let h = history(&[&[1], &[1]]);
+        let phi = parse(h.schema(), "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let r = explain(&h, &phi, &CheckOptions::default());
+        assert!(r.contains("VIOLATED"));
+    }
+
+    #[test]
+    fn explains_rejection_of_internal_quantifiers() {
+        let h = history(&[&[1]]);
+        let phi = parse(h.schema(), "G (exists y. Sub(y))").unwrap();
+        let r = explain(&h, &phi, &CheckOptions::default());
+        assert!(r.contains("BIQUANTIFIED"));
+        assert!(r.contains("Π⁰₂"));
+        assert!(r.contains("refused"));
+    }
+
+    #[test]
+    fn explains_liveness_caveat() {
+        let h = history(&[&[1]]);
+        let phi = parse(h.schema(), "forall x. G (Sub(x) -> F !Sub(x))").unwrap();
+        let r = explain(&h, &phi, &CheckOptions::default());
+        assert!(r.contains("NOT syntactically safe"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The extension checker — Theorem 4.2.
+//!
+//! Decides *potential constraint satisfaction*: a constraint `φ` is
+//! potentially satisfied at instant `t` if the current history
+//! `(D0, …, Dt)` has an infinite extension to a model of `φ`. The
+//! pipeline is ground (Theorem 4.1) → progress `w_D` (Lemma 4.2 phase 1)
+//! → PTL satisfiability (phase 2). When an extension exists, the
+//! ultimately-periodic propositional witness is decoded back to database
+//! states (the decoding direction in the proof of Theorem 4.1).
+
+use crate::ground::{ground, GroundError, GroundMode, GroundStats, Grounding};
+use std::time::{Duration, Instant};
+use ticc_fotl::Formula;
+use ticc_ptl::sat::{extends_with, SatError, SatSolver, SatStats};
+use ticc_tdb::{History, State};
+
+/// Options for [`check_potential_satisfaction`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckOptions {
+    /// Grounding construction.
+    pub mode: GroundMode,
+    /// Phase-2 satisfiability engine.
+    pub solver: SatSolver,
+}
+
+/// Per-phase wall-clock timings (the E5 decomposition).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Grounding (Theorem 4.1).
+    pub ground: Duration,
+    /// Progression + satisfiability (Lemma 4.2). The `ticc-ptl` facade
+    /// runs them together; progression alone is `O(t·|φ_D|)`.
+    pub decide: Duration,
+}
+
+/// Statistics of one check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckStats {
+    /// Grounding sizes.
+    pub ground: GroundStats,
+    /// Satisfiability statistics (automaton states etc.).
+    pub sat: SatStats,
+    /// Wall-clock per phase.
+    pub timings: PhaseTimings,
+    /// Whether the constraint passed the syntactic safety check
+    /// (advisory: Theorem 4.2 assumes a safety sentence; the check is a
+    /// sufficient condition only).
+    pub syntactically_safe: bool,
+}
+
+/// A decoded witness extension: database states whose infinite
+/// repetition `prefix · cycleω`, appended after the history, yields a
+/// model of the constraint.
+#[derive(Debug, Clone)]
+pub struct WitnessExtension {
+    /// Transient states to append first.
+    pub prefix: Vec<State>,
+    /// States to repeat forever (non-empty).
+    pub cycle: Vec<State>,
+}
+
+/// Outcome of a potential-satisfaction check.
+pub struct CheckOutcome {
+    /// Whether an infinite extension satisfying the constraint exists.
+    pub potentially_satisfied: bool,
+    /// A concrete witness extension when one exists.
+    pub witness: Option<WitnessExtension>,
+    /// Run statistics.
+    pub stats: CheckStats,
+    /// The grounding, for reuse (e.g. incremental monitoring).
+    pub grounding: Grounding,
+}
+
+/// Errors from checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Grounding failed (constraint outside the decidable fragment).
+    Ground(GroundError),
+    /// The propositional engines failed.
+    Sat(SatError),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Ground(e) => write!(f, "grounding: {e}"),
+            CheckError::Sat(e) => write!(f, "satisfiability: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<GroundError> for CheckError {
+    fn from(e: GroundError) -> Self {
+        CheckError::Ground(e)
+    }
+}
+
+impl From<SatError> for CheckError {
+    fn from(e: SatError) -> Self {
+        CheckError::Sat(e)
+    }
+}
+
+/// Decides whether `history` can be extended to an infinite temporal
+/// database satisfying the universal safety sentence `phi`
+/// (Theorem 4.2).
+pub fn check_potential_satisfaction(
+    history: &History,
+    phi: &Formula,
+    opts: &CheckOptions,
+) -> Result<CheckOutcome, CheckError> {
+    let t0 = Instant::now();
+    let mut grounding = ground(history, phi, opts.mode)?;
+    let ground_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let trace = std::mem::take(&mut grounding.trace);
+    let result = extends_with(&mut grounding.arena, &trace, grounding.formula, opts.solver)?;
+    grounding.trace = trace;
+    let decide_time = t1.elapsed();
+
+    let witness = result.witness.as_ref().map(|lasso| WitnessExtension {
+        prefix: lasso.prefix.iter().map(|w| grounding.prop_to_state(w)).collect(),
+        cycle: lasso.cycle.iter().map(|w| grounding.prop_to_state(w)).collect(),
+    });
+
+    let stats = CheckStats {
+        ground: grounding.stats,
+        sat: result.stats,
+        timings: PhaseTimings {
+            ground: ground_time,
+            decide: decide_time,
+        },
+        syntactically_safe: ticc_fotl::classify::is_syntactically_safe(phi),
+    };
+    Ok(CheckOutcome {
+        potentially_satisfied: result.satisfiable,
+        witness,
+        stats,
+        grounding,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ticc_fotl::parser::parse;
+    use ticc_tdb::{Schema, Value};
+
+    fn order_schema() -> Arc<Schema> {
+        Schema::builder().pred("Sub", 1).pred("Fill", 1).build()
+    }
+
+    fn history(spec: &[(&[Value], &[Value])]) -> History {
+        let sc = order_schema();
+        let mut h = History::new(sc.clone());
+        for (subs, fills) in spec {
+            let mut s = State::empty(sc.clone());
+            for &v in *subs {
+                s.insert_named("Sub", vec![v]).unwrap();
+            }
+            for &v in *fills {
+                s.insert_named("Fill", vec![v]).unwrap();
+            }
+            h.push_state(s);
+        }
+        h
+    }
+
+    fn once_only(sc: &Schema) -> Formula {
+        parse(sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap()
+    }
+
+    #[test]
+    fn clean_history_is_potentially_satisfied() {
+        let h = history(&[(&[1], &[]), (&[2], &[1])]);
+        let phi = once_only(h.schema());
+        let out =
+            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert!(out.potentially_satisfied);
+        assert!(out.stats.syntactically_safe);
+        let w = out.witness.unwrap();
+        assert!(!w.cycle.is_empty());
+    }
+
+    #[test]
+    fn double_submission_is_violated() {
+        let h = history(&[(&[1], &[]), (&[1], &[])]);
+        let phi = once_only(h.schema());
+        let out =
+            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert!(!out.potentially_satisfied);
+        assert!(out.witness.is_none());
+    }
+
+    #[test]
+    fn violation_detected_at_earliest_time_not_later() {
+        // Prefix (Sub 1) alone is fine; after the duplicate it is not.
+        let sc = order_schema();
+        let phi = once_only(&sc);
+        let good = history(&[(&[1], &[])]);
+        assert!(
+            check_potential_satisfaction(&good, &phi, &CheckOptions::default())
+                .unwrap()
+                .potentially_satisfied
+        );
+    }
+
+    #[test]
+    fn full_and_folded_modes_agree() {
+        let sc = order_schema();
+        let phi = once_only(&sc);
+        for h in [
+            history(&[(&[1], &[])]),
+            history(&[(&[1], &[]), (&[1], &[])]),
+            history(&[(&[1], &[]), (&[2], &[1]), (&[], &[2])]),
+        ] {
+            let folded = check_potential_satisfaction(
+                &h,
+                &phi,
+                &CheckOptions {
+                    mode: GroundMode::Folded,
+                    solver: SatSolver::Buchi,
+                },
+            )
+            .unwrap();
+            let full = check_potential_satisfaction(
+                &h,
+                &phi,
+                &CheckOptions {
+                    mode: GroundMode::Full,
+                    solver: SatSolver::Buchi,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                folded.potentially_satisfied, full.potentially_satisfied,
+                "modes disagree on history of length {}",
+                h.len()
+            );
+        }
+    }
+
+    #[test]
+    fn witness_extension_respects_constraint() {
+        // Extend the history by the witness and re-check: still
+        // potentially satisfied (safety ⇒ prefix-closed).
+        let h = history(&[(&[1], &[]), (&[2], &[1])]);
+        let phi = once_only(h.schema());
+        let out =
+            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let w = out.witness.unwrap();
+        let mut extended = h.clone();
+        for s in &w.prefix {
+            extended.push_state(s.clone());
+        }
+        for _ in 0..3 {
+            for s in &w.cycle {
+                extended.push_state(s.clone());
+            }
+        }
+        let again =
+            check_potential_satisfaction(&extended, &phi, &CheckOptions::default()).unwrap();
+        assert!(
+            again.potentially_satisfied,
+            "witness must itself be extensible"
+        );
+    }
+
+    #[test]
+    fn eventually_fill_is_always_potentially_satisfied_but_flagged_unsafe() {
+        // ∀x □(Sub(x) ⇒ ◇Fill(x)) — not a safety formula: any history
+        // extends (fill everything later). The checker still decides it;
+        // stats flag the safety caveat.
+        let h = history(&[(&[1], &[]), (&[2], &[])]);
+        let phi = parse(h.schema(), "forall x. G (Sub(x) -> F Fill(x))").unwrap();
+        let out =
+            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert!(out.potentially_satisfied);
+        assert!(!out.stats.syntactically_safe);
+    }
+
+    #[test]
+    fn fifo_constraint_end_to_end() {
+        let sc = order_schema();
+        let src = "forall x y. G !(x != y & Sub(x) & \
+                   ((!Fill(x)) U (Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))";
+        let phi = parse(&sc, src).unwrap();
+        // In-order fills: fine.
+        let good = history(&[(&[1], &[]), (&[2], &[]), (&[], &[1]), (&[], &[2])]);
+        assert!(
+            check_potential_satisfaction(&good, &phi, &CheckOptions::default())
+                .unwrap()
+                .potentially_satisfied
+        );
+        // Out-of-order: 2 filled while 1 still pending.
+        let bad = history(&[(&[1], &[]), (&[2], &[]), (&[], &[2])]);
+        assert!(
+            !check_potential_satisfaction(&bad, &phi, &CheckOptions::default())
+                .unwrap()
+                .potentially_satisfied
+        );
+    }
+
+    #[test]
+    fn empty_history_reduces_to_validity_of_extension() {
+        let sc = order_schema();
+        let phi = once_only(&sc);
+        let h = History::new(sc.clone());
+        let out =
+            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert!(out.potentially_satisfied);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let h = history(&[(&[1], &[]), (&[2], &[1])]);
+        let phi = once_only(h.schema());
+        let out =
+            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert_eq!(out.stats.ground.external_vars, 1);
+        assert!(out.stats.ground.mappings >= 3);
+        // The constant-word safety probe may answer without building the
+        // automaton (states == 0); the exhaustive engine must not.
+        assert_eq!(out.stats.sat.prefix_len, 2);
+        let exhaustive = check_potential_satisfaction(
+            &h,
+            &phi,
+            &CheckOptions {
+                mode: crate::ground::GroundMode::Folded,
+                solver: ticc_ptl::sat::SatSolver::BuchiExhaustive,
+            },
+        )
+        .unwrap();
+        assert!(exhaustive.stats.sat.states > 0);
+        assert_eq!(
+            exhaustive.potentially_satisfied,
+            out.potentially_satisfied
+        );
+    }
+}

@@ -1,0 +1,850 @@
+//! The grounding reduction of Theorem 4.1.
+//!
+//! Given a finite history `D` and a universal sentence
+//! `φ ≡ ∀x1 … xk ψ` (quantifier-free matrix `ψ`), build:
+//!
+//! * the set `M = R_D ∪ {z1, …, zk}` — the relevant elements plus `k`
+//!   symbolic fresh elements standing for arbitrary irrelevant ones;
+//! * the propositional vocabulary `L_D` with letters `(a = b)` and
+//!   `p(a1, …, a_ar(p))` for `a_i ∈ M ∪ CL`;
+//! * the formula `Ψ_D = ⋀_f ψ[f]`, `f` ranging over all `|M|^k` maps
+//!   from the external variables to `M`;
+//! * the axiom block `Axiom_D` (equality is an equivalence and a
+//!   congruence; the rigid equalities among `R_D ∪ CL` are decided; the
+//!   `z_i` are pairwise distinct, distinct from everything relevant, and
+//!   satisfy no database predicate);
+//! * the propositional prefix `w_D = (w0, …, wt)` describing the
+//!   history's states.
+//!
+//! Two modes are provided:
+//! * [`GroundMode::Full`] — the paper's construction verbatim:
+//!   `φ_D = Ψ_D ∧ □Axiom_D`, with every rigid letter materialised;
+//! * [`GroundMode::Folded`] — every *rigid* letter (all equalities, and
+//!   `p(…z…)` letters, whose truth values `Axiom_D` fixes for all time)
+//!   is constant-folded at construction. The two modes are equivalent
+//!   for the extension problem (property-tested); `Folded` is the
+//!   production path and ablation E6 measures the gap.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use ticc_fotl::classify::{classify, FormulaClass};
+use ticc_fotl::{Atom, Formula, Term};
+use ticc_ptl::arena::{Arena, AtomId, FormulaId};
+use ticc_ptl::trace::PropState;
+use ticc_tdb::{ConstId, History, PredId, Schema, State, Value};
+
+/// Which construction to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroundMode {
+    /// Rigid letters constant-folded away (production).
+    #[default]
+    Folded,
+    /// The literal paper construction with `□Axiom_D`.
+    Full,
+}
+
+/// A ground argument: a relevant element, a symbolic fresh element
+/// `z_i`, or (in full mode) a constant symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GArg {
+    /// An element of `R_D` (or an explicit value from the formula).
+    Rel(Value),
+    /// The symbolic fresh element `z_{i+1}` (0-based index).
+    Fresh(usize),
+    /// A constant symbol (full mode only; folded mode resolves constants
+    /// to their rigid interpretation).
+    Const(ConstId),
+}
+
+/// Errors from grounding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundError {
+    /// The sentence is not universal (`∀*tense(Π0)`); Theorem 4.1 does
+    /// not apply. Carries the classification found.
+    NotUniversal(FormulaClass),
+    /// The sentence uses the extended vocabulary (`≤`, `succ`, `Zero`),
+    /// which is outside Theorem 4.1 (Section 3 shows why: it makes the
+    /// problem undecidable).
+    ExtendedVocabulary,
+    /// The sentence has free variables.
+    OpenFormula(String),
+}
+
+impl std::fmt::Display for GroundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroundError::NotUniversal(c) => {
+                write!(f, "not a universal sentence (classified as {c:?})")
+            }
+            GroundError::ExtendedVocabulary => write!(
+                f,
+                "extended vocabulary (<=, succ, zero) is outside the decidable fragment"
+            ),
+            GroundError::OpenFormula(v) => write!(f, "free variable {v} in constraint"),
+        }
+    }
+}
+
+impl std::error::Error for GroundError {}
+
+/// Size statistics of a grounding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroundStats {
+    /// `|M|` (relevant elements + fresh symbols).
+    pub m_size: usize,
+    /// Number of external quantifiers `k`.
+    pub external_vars: usize,
+    /// Number of ground instances `|M|^k`.
+    pub mappings: usize,
+    /// Propositional letters interned.
+    pub letters: usize,
+    /// Conjuncts emitted for `Axiom_D` (0 in folded mode).
+    pub axiom_conjuncts: usize,
+    /// Tree size of `φ_D` (saturating).
+    pub formula_tree_size: usize,
+    /// DAG size of `φ_D`.
+    pub formula_dag_size: usize,
+}
+
+type PredLetters = HashMap<(PredId, Vec<GArg>), AtomId>;
+type EqLetters = HashMap<(GArg, GArg), AtomId>;
+
+/// The output of the reduction: `φ_D`, `w_D`, and the letter table
+/// needed to translate further database states (used by the incremental
+/// monitor).
+pub struct Grounding {
+    /// The PTL arena owning `φ_D`.
+    pub arena: Arena,
+    /// The formula `φ_D` (in full mode `Ψ_D ∧ □Axiom_D`).
+    pub formula: FormulaId,
+    /// The propositional prefix `w_D`.
+    pub trace: Vec<PropState>,
+    /// The set `M` (relevant + fresh), in the order used for mappings.
+    pub m: Vec<GArg>,
+    /// Statistics.
+    pub stats: GroundStats,
+    mode: GroundMode,
+    schema: Arc<Schema>,
+    consts: Vec<Value>,
+    pred_letters: PredLetters,
+    eq_letters: EqLetters,
+}
+
+fn garg_value(a: GArg, consts: &[Value]) -> Option<Value> {
+    match a {
+        GArg::Rel(v) => Some(v),
+        GArg::Const(c) => Some(consts[c.index()]),
+        GArg::Fresh(_) => None,
+    }
+}
+
+fn gargs_equal(a: GArg, b: GArg, consts: &[Value]) -> bool {
+    match (garg_value(a, consts), garg_value(b, consts)) {
+        (Some(x), Some(y)) => x == y,
+        // A fresh element equals only itself.
+        _ => a == b,
+    }
+}
+
+fn write_garg(out: &mut String, a: GArg, schema: &Schema) {
+    match a {
+        GArg::Rel(v) => {
+            let _ = write!(out, "{v}");
+        }
+        GArg::Fresh(i) => {
+            let _ = write!(out, "z{}", i + 1);
+        }
+        GArg::Const(c) => out.push_str(schema.const_name(c)),
+    }
+}
+
+fn intern_eq_letter(
+    arena: &mut Arena,
+    letters: &mut EqLetters,
+    schema: &Schema,
+    a: GArg,
+    b: GArg,
+) -> AtomId {
+    *letters.entry((a, b)).or_insert_with(|| {
+        let mut name = String::from("(");
+        write_garg(&mut name, a, schema);
+        name.push('=');
+        write_garg(&mut name, b, schema);
+        name.push(')');
+        arena.intern_atom(&name)
+    })
+}
+
+fn intern_pred_letter(
+    arena: &mut Arena,
+    letters: &mut PredLetters,
+    schema: &Schema,
+    p: PredId,
+    args: Vec<GArg>,
+) -> AtomId {
+    if let Some(&a) = letters.get(&(p, args.clone())) {
+        return a;
+    }
+    let mut name = String::new();
+    name.push_str(schema.pred_name(p));
+    name.push('(');
+    for (i, &a) in args.iter().enumerate() {
+        if i > 0 {
+            name.push(',');
+        }
+        write_garg(&mut name, a, schema);
+    }
+    name.push(')');
+    let id = arena.intern_atom(&name);
+    letters.insert((p, args), id);
+    id
+}
+
+/// All vectors of length `r` over `items` (lexicographic by index).
+fn vectors(items: &[GArg], r: usize) -> Vec<Vec<GArg>> {
+    let mut out = vec![vec![]];
+    for _ in 0..r {
+        let mut next = Vec::with_capacity(out.len() * items.len());
+        for v in &out {
+            for &a in items {
+                let mut w = v.clone();
+                w.push(a);
+                next.push(w);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn collect_values(f: &Formula, out: &mut std::collections::BTreeSet<Value>) {
+    if let Formula::Atom(a) = f {
+        for t in a.terms() {
+            if let Term::Value(v) = t {
+                out.insert(*v);
+            }
+        }
+    }
+    for c in f.children() {
+        collect_values(c, out);
+    }
+}
+
+/// Grounds `(history, phi)` per Theorem 4.1.
+pub fn ground(
+    history: &History,
+    phi: &Formula,
+    mode: GroundMode,
+) -> Result<Grounding, GroundError> {
+    if let Some(v) = ticc_fotl::subst::free_vars(phi).into_iter().next() {
+        return Err(GroundError::OpenFormula(v));
+    }
+    if phi.uses_extended_vocabulary() {
+        return Err(GroundError::ExtendedVocabulary);
+    }
+    match classify(phi) {
+        FormulaClass::Universal { .. } => {}
+        other => return Err(GroundError::NotUniversal(other)),
+    }
+    let (external, matrix) = ticc_fotl::classify::external_prefix(phi);
+    let external: Vec<String> = external.into_iter().map(str::to_owned).collect();
+    let schema = history.schema().clone();
+    let consts: Vec<Value> = schema.consts().map(|c| history.const_value(c)).collect();
+
+    // M = R_D ∪ explicit formula values ∪ {z1..zk}.
+    let mut rel = history.relevant();
+    collect_values(phi, &mut rel);
+    let mut m: Vec<GArg> = rel.into_iter().map(GArg::Rel).collect();
+    for i in 0..external.len() {
+        m.push(GArg::Fresh(i));
+    }
+
+    let mut arena = Arena::new();
+    let mut pred_letters: PredLetters = HashMap::new();
+    let mut eq_letters: EqLetters = HashMap::new();
+
+    let k = external.len();
+    let msize = m.len();
+    let mappings = msize.pow(k as u32).max(1);
+
+    // Ψ_D: conjunction over all mappings f : vars → M.
+    let mut ctx = GroundCtx {
+        mode,
+        schema: &schema,
+        consts: &consts,
+        arena: &mut arena,
+        pred_letters: &mut pred_letters,
+        eq_letters: &mut eq_letters,
+    };
+    let mut psi_d = ctx.arena.tru();
+    let mut idx = vec![0usize; k];
+    loop {
+        let mut map: HashMap<&str, GArg> = HashMap::with_capacity(k);
+        for (v, &i) in external.iter().zip(&idx) {
+            map.insert(v.as_str(), m[i]);
+        }
+        let inst = ctx.ground_matrix(matrix, &map)?;
+        psi_d = ctx.arena.and(psi_d, inst);
+        // Odometer over |M|^k; k == 0 yields exactly one mapping.
+        let mut pos = 0;
+        while pos < k {
+            idx[pos] += 1;
+            if idx[pos] < msize {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+        if pos == k {
+            break;
+        }
+    }
+
+    let mut axiom_conjuncts = 0usize;
+    let formula = match mode {
+        GroundMode::Folded => psi_d,
+        GroundMode::Full => {
+            let ax = ctx.axiom_d(&m, &mut axiom_conjuncts);
+            let boxed = ctx.arena.always(ax);
+            ctx.arena.and(psi_d, boxed)
+        }
+    };
+
+    // w_D.
+    let mut trace = Vec::with_capacity(history.len());
+    for t in 0..history.len() {
+        let w = build_prop_state(
+            mode,
+            &schema,
+            &consts,
+            &m,
+            &mut arena,
+            &mut pred_letters,
+            &mut eq_letters,
+            history.state(t),
+        );
+        trace.push(w);
+    }
+
+    let stats = GroundStats {
+        m_size: msize,
+        external_vars: k,
+        mappings,
+        letters: arena.atom_count(),
+        axiom_conjuncts,
+        formula_tree_size: arena.tree_size(formula),
+        formula_dag_size: arena.dag_size(formula),
+    };
+    Ok(Grounding {
+        arena,
+        formula,
+        trace,
+        m,
+        stats,
+        mode,
+        schema,
+        consts,
+        pred_letters,
+        eq_letters,
+    })
+}
+
+/// Borrowed working set for formula construction.
+struct GroundCtx<'a> {
+    mode: GroundMode,
+    schema: &'a Schema,
+    consts: &'a [Value],
+    arena: &'a mut Arena,
+    pred_letters: &'a mut PredLetters,
+    eq_letters: &'a mut EqLetters,
+}
+
+impl GroundCtx<'_> {
+    fn resolve(&self, t: &Term, map: &HashMap<&str, GArg>) -> GArg {
+        match t {
+            Term::Var(v) => *map
+                .get(v.as_str())
+                .expect("universal sentence: all variables externally bound"),
+            Term::Value(v) => GArg::Rel(*v),
+            Term::Const(c) => match self.mode {
+                GroundMode::Folded => GArg::Rel(self.consts[c.index()]),
+                GroundMode::Full => GArg::Const(*c),
+            },
+        }
+    }
+
+    fn eq_letter(&mut self, a: GArg, b: GArg) -> FormulaId {
+        let id = intern_eq_letter(self.arena, self.eq_letters, self.schema, a, b);
+        self.arena.atom_id(id)
+    }
+
+    fn pred_letter(&mut self, p: PredId, args: Vec<GArg>) -> FormulaId {
+        let id = intern_pred_letter(self.arena, self.pred_letters, self.schema, p, args);
+        self.arena.atom_id(id)
+    }
+
+    fn ground_matrix(
+        &mut self,
+        f: &Formula,
+        map: &HashMap<&str, GArg>,
+    ) -> Result<FormulaId, GroundError> {
+        Ok(match f {
+            Formula::True => self.arena.tru(),
+            Formula::False => self.arena.fls(),
+            Formula::Atom(a) => self.ground_atom(a, map)?,
+            Formula::Not(g) => {
+                let x = self.ground_matrix(g, map)?;
+                self.arena.not(x)
+            }
+            Formula::And(a, b) => {
+                let x = self.ground_matrix(a, map)?;
+                let y = self.ground_matrix(b, map)?;
+                self.arena.and(x, y)
+            }
+            Formula::Or(a, b) => {
+                let x = self.ground_matrix(a, map)?;
+                let y = self.ground_matrix(b, map)?;
+                self.arena.or(x, y)
+            }
+            Formula::Implies(a, b) => {
+                let x = self.ground_matrix(a, map)?;
+                let y = self.ground_matrix(b, map)?;
+                self.arena.implies(x, y)
+            }
+            Formula::Next(g) => {
+                let x = self.ground_matrix(g, map)?;
+                self.arena.next(x)
+            }
+            Formula::Until(a, b) => {
+                let x = self.ground_matrix(a, map)?;
+                let y = self.ground_matrix(b, map)?;
+                self.arena.until(x, y)
+            }
+            Formula::Forall(_, _) | Formula::Exists(_, _) => {
+                unreachable!("universal matrix is quantifier-free (checked by classify)")
+            }
+            Formula::Prev(_) | Formula::Since(_, _) => {
+                unreachable!("universal sentences are future-only (checked by classify)")
+            }
+        })
+    }
+
+    fn ground_atom(
+        &mut self,
+        a: &Atom,
+        map: &HashMap<&str, GArg>,
+    ) -> Result<FormulaId, GroundError> {
+        match a {
+            Atom::Eq(t1, t2) => {
+                let (x, y) = (self.resolve(t1, map), self.resolve(t2, map));
+                match self.mode {
+                    GroundMode::Folded => {
+                        if gargs_equal(x, y, self.consts) {
+                            Ok(self.arena.tru())
+                        } else {
+                            Ok(self.arena.fls())
+                        }
+                    }
+                    GroundMode::Full => Ok(self.eq_letter(x, y)),
+                }
+            }
+            Atom::Pred(p, ts) => {
+                let args: Vec<GArg> = ts.iter().map(|t| self.resolve(t, map)).collect();
+                if self.mode == GroundMode::Folded
+                    && args.iter().any(|a| matches!(a, GArg::Fresh(_)))
+                {
+                    // Axiom_D forces p(…z…) false for all time; fold it.
+                    return Ok(self.arena.fls());
+                }
+                Ok(self.pred_letter(*p, args))
+            }
+            Atom::Leq(_, _) | Atom::Succ(_, _) | Atom::Zero(_) => {
+                Err(GroundError::ExtendedVocabulary)
+            }
+        }
+    }
+
+    /// `Axiom_D`, as one conjunction (wrapped in `□` by the caller).
+    /// Full mode only.
+    fn axiom_d(&mut self, m: &[GArg], count: &mut usize) -> FormulaId {
+        let mut all: Vec<GArg> = m.to_vec();
+        all.extend(self.schema.consts().map(GArg::Const));
+
+        let mut conjuncts: Vec<FormulaId> = Vec::new();
+
+        // Equality is reflexive / symmetric / transitive.
+        for &a in &all {
+            let e = self.eq_letter(a, a);
+            conjuncts.push(e);
+        }
+        for &a in &all {
+            for &b in &all {
+                if a == b {
+                    continue;
+                }
+                let ab = self.eq_letter(a, b);
+                let ba = self.eq_letter(b, a);
+                conjuncts.push(self.arena.iff(ab, ba));
+            }
+        }
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    let ab = self.eq_letter(a, b);
+                    let bc = self.eq_letter(b, c);
+                    let ac = self.eq_letter(a, c);
+                    let pre = self.arena.and(ab, bc);
+                    conjuncts.push(self.arena.implies(pre, ac));
+                }
+            }
+        }
+        // Congruence for each predicate.
+        for p in self.schema.preds() {
+            let r = self.schema.arity(p);
+            let vecs = vectors(&all, r);
+            for av in &vecs {
+                for bv in &vecs {
+                    let mut eqs = self.arena.tru();
+                    for (&a, &b) in av.iter().zip(bv) {
+                        let e = self.eq_letter(a, b);
+                        eqs = self.arena.and(eqs, e);
+                    }
+                    let pa = self.pred_letter(p, av.clone());
+                    let pb = self.pred_letter(p, bv.clone());
+                    let same = self.arena.iff(pa, pb);
+                    conjuncts.push(self.arena.implies(eqs, same));
+                }
+            }
+        }
+        // Decided rigid (in)equalities, and z_i distinct from everything.
+        for &a in &all {
+            for &b in &all {
+                if a == b {
+                    continue; // (a=a) covered by reflexivity
+                }
+                let e = self.eq_letter(a, b);
+                let lit = if gargs_equal(a, b, self.consts) {
+                    e
+                } else {
+                    self.arena.not(e)
+                };
+                conjuncts.push(lit);
+            }
+        }
+        // p(…z…) is false.
+        for p in self.schema.preds() {
+            let r = self.schema.arity(p);
+            for av in vectors(&all, r) {
+                if av.iter().any(|a| matches!(a, GArg::Fresh(_))) {
+                    let pa = self.pred_letter(p, av);
+                    let nf = self.arena.not(pa);
+                    conjuncts.push(nf);
+                }
+            }
+        }
+        *count = conjuncts.len();
+        self.arena.and_all(conjuncts)
+    }
+}
+
+/// Builds the propositional description `w_ℓ` of one database state.
+#[allow(clippy::too_many_arguments)]
+fn build_prop_state(
+    mode: GroundMode,
+    schema: &Schema,
+    consts: &[Value],
+    m: &[GArg],
+    arena: &mut Arena,
+    pred_letters: &mut PredLetters,
+    eq_letters: &mut EqLetters,
+    state: &State,
+) -> PropState {
+    let mut w = PropState::new();
+    match mode {
+        GroundMode::Folded => {
+            // Only p(v⃗) letters over relevant elements are needed.
+            for p in schema.preds() {
+                for tuple in state.relation(p).iter() {
+                    let args: Vec<GArg> = tuple.iter().map(|&v| GArg::Rel(v)).collect();
+                    let a = intern_pred_letter(arena, pred_letters, schema, p, args);
+                    w.set(a, true);
+                }
+            }
+        }
+        GroundMode::Full => {
+            let mut all: Vec<GArg> = m.to_vec();
+            all.extend(schema.consts().map(GArg::Const));
+            // Rigid equality letters.
+            for &a in &all {
+                for &b in &all {
+                    if gargs_equal(a, b, consts) {
+                        let at = intern_eq_letter(arena, eq_letters, schema, a, b);
+                        w.set(at, true);
+                    }
+                }
+            }
+            // All predicate letters whose interpreted tuple holds.
+            for p in schema.preds() {
+                let r = schema.arity(p);
+                for av in vectors(&all, r) {
+                    let vals: Option<Vec<Value>> =
+                        av.iter().map(|&a| garg_value(a, consts)).collect();
+                    let holds = vals.map(|t| state.holds(p, &t)).unwrap_or(false);
+                    if holds {
+                        let at = intern_pred_letter(arena, pred_letters, schema, p, av);
+                        w.set(at, true);
+                    }
+                }
+            }
+        }
+    }
+    w
+}
+
+impl Grounding {
+    /// Translates a further database state to a propositional state
+    /// (used by the monitor for states appended after grounding).
+    ///
+    /// Returns `None` if the state mentions an element outside `M`'s
+    /// relevant part — the caller must re-ground.
+    pub fn state_to_prop(&mut self, state: &State) -> Option<PropState> {
+        let known: std::collections::BTreeSet<Value> = self
+            .m
+            .iter()
+            .filter_map(|&a| match a {
+                GArg::Rel(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        if !state.active_domain().is_subset(&known) {
+            return None;
+        }
+        Some(build_prop_state(
+            self.mode,
+            &self.schema,
+            &self.consts,
+            &self.m,
+            &mut self.arena,
+            &mut self.pred_letters,
+            &mut self.eq_letters,
+            state,
+        ))
+    }
+
+    /// The grounding mode used.
+    pub fn mode(&self) -> GroundMode {
+        self.mode
+    }
+
+    /// The schema the grounding was built against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Looks up the letter for a ground predicate fact, if it exists.
+    pub fn pred_letter_id(&self, p: PredId, args: &[GArg]) -> Option<AtomId> {
+        self.pred_letters.get(&(p, args.to_vec())).copied()
+    }
+
+    /// Decodes a propositional state back into a database state over the
+    /// relevant elements — the "decoding" direction in the proof of
+    /// Theorem 4.1. Letters with fresh or mismatching-rigid arguments
+    /// are ignored (they are false in the canonical extension).
+    pub fn prop_to_state(&self, w: &PropState) -> State {
+        let mut s = State::empty(self.schema.clone());
+        for (&(p, ref args), &atom) in &self.pred_letters {
+            if !w.get(atom) {
+                continue;
+            }
+            let vals: Option<Vec<Value>> =
+                args.iter().map(|&a| garg_value(a, &self.consts)).collect();
+            if let Some(tuple) = vals {
+                let _ = s.insert(p, tuple);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ticc_fotl::parser::parse;
+
+    fn order_schema() -> Arc<Schema> {
+        Schema::builder().pred("Sub", 1).pred("Fill", 1).build()
+    }
+
+    fn history(spec: &[&[Value]]) -> History {
+        let sc = order_schema();
+        let mut h = History::new(sc.clone());
+        for subs in spec {
+            let mut s = State::empty(sc.clone());
+            for &v in *subs {
+                s.insert_named("Sub", vec![v]).unwrap();
+            }
+            h.push_state(s);
+        }
+        h
+    }
+
+    #[test]
+    fn m_contains_relevant_plus_fresh() {
+        let h = history(&[&[1, 3]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x y. G (Sub(x) -> !Fill(y))").unwrap();
+        let g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        assert_eq!(
+            g.m,
+            vec![GArg::Rel(1), GArg::Rel(3), GArg::Fresh(0), GArg::Fresh(1)]
+        );
+        assert_eq!(g.stats.external_vars, 2);
+        assert_eq!(g.stats.mappings, 16);
+        assert_eq!(g.trace.len(), 1);
+    }
+
+    #[test]
+    fn folded_tautology_collapses_to_true() {
+        let h = history(&[&[1, 2]]);
+        let sc = h.schema().clone();
+        // (Sub(x) -> Sub(x)) folds to ⊤ in the arena, so every ground
+        // instance and hence Ψ_D collapses.
+        let phi = parse(&sc, "forall x y. G (x = y | (Sub(x) -> Sub(x)))").unwrap();
+        let mut g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        let t = g.arena.tru();
+        assert_eq!(g.formula, t);
+        assert_eq!(g.stats.axiom_conjuncts, 0);
+    }
+
+    #[test]
+    fn fresh_pred_letters_fold_to_false() {
+        let h = history(&[&[1]]);
+        let sc = h.schema().clone();
+        // ∀x □¬Sub(x) — the z1 instance folds; the instance for 1 stays.
+        let phi = parse(&sc, "forall x. G !Sub(x)").unwrap();
+        let mut g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        assert_eq!(g.stats.letters, 1);
+        let sub = sc.pred("Sub").unwrap();
+        let a = g.pred_letter_id(sub, &[GArg::Rel(1)]).unwrap();
+        assert!(g.trace[0].get(a));
+        let w = g.state_to_prop(&State::empty(sc.clone())).unwrap();
+        assert!(!w.get(a));
+    }
+
+    #[test]
+    fn rejects_non_universal_and_open() {
+        let h = history(&[&[]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> exists y. Fill(y))").unwrap();
+        assert!(matches!(
+            ground(&h, &phi, GroundMode::Folded),
+            Err(GroundError::NotUniversal(_))
+        ));
+        let open = parse(&sc, "G Sub(x)").unwrap();
+        assert!(matches!(
+            ground(&h, &open, GroundMode::Folded),
+            Err(GroundError::OpenFormula(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_extended_vocabulary() {
+        let h = history(&[&[]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x y. G (succ(x, y) -> !Sub(x))").unwrap();
+        assert!(matches!(
+            ground(&h, &phi, GroundMode::Folded),
+            Err(GroundError::ExtendedVocabulary)
+        ));
+    }
+
+    #[test]
+    fn full_mode_emits_axioms() {
+        let h = history(&[&[1]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> F Fill(x))").unwrap();
+        let g = ground(&h, &phi, GroundMode::Full).unwrap();
+        assert!(g.stats.axiom_conjuncts > 0);
+        assert!(g.stats.letters > 2, "full mode materialises rigid letters");
+        let gf = ground(&h, &phi, GroundMode::Folded).unwrap();
+        assert!(gf.stats.formula_tree_size < g.stats.formula_tree_size);
+    }
+
+    #[test]
+    fn full_mode_trace_sets_rigid_equalities() {
+        let h = history(&[&[1]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X !Sub(x))").unwrap();
+        let g = ground(&h, &phi, GroundMode::Full).unwrap();
+        // (1=1) true, (1=z1) false in w0.
+        let eq11 = g.eq_letters.get(&(GArg::Rel(1), GArg::Rel(1)));
+        if let Some(&a) = eq11 {
+            assert!(g.trace[0].get(a));
+        }
+        let eq1z = g.eq_letters.get(&(GArg::Rel(1), GArg::Fresh(0)));
+        if let Some(&a) = eq1z {
+            assert!(!g.trace[0].get(a));
+        }
+    }
+
+    #[test]
+    fn explicit_values_join_m() {
+        let h = history(&[&[]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> x = 7)").unwrap();
+        let g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        assert!(g.m.contains(&GArg::Rel(7)));
+    }
+
+    #[test]
+    fn state_to_prop_detects_new_elements() {
+        let h = history(&[&[1]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X !Sub(x))").unwrap();
+        let mut g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        let mut s = State::empty(sc.clone());
+        s.insert_named("Sub", vec![99]).unwrap();
+        assert!(g.state_to_prop(&s).is_none(), "element 99 is outside M");
+        let mut s2 = State::empty(sc.clone());
+        s2.insert_named("Sub", vec![1]).unwrap();
+        assert!(g.state_to_prop(&s2).is_some());
+    }
+
+    #[test]
+    fn constants_resolve_in_folded_mode() {
+        let sc = Schema::builder().pred("P", 1).constant("c").build();
+        let mut h = History::new(sc.clone());
+        h.set_constant(sc.constant("c").unwrap(), 5);
+        let mut s = State::empty(sc.clone());
+        s.insert_named("P", vec![5]).unwrap();
+        h.push_state(s);
+        let phi = parse(&sc, "forall x. G (P(x) -> x = c)").unwrap();
+        let mut g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        // The only relevant element is 5 == c, so the 5-instance folds to
+        // ⊤ and the z1-instance folds via P(z1) = ⊥.
+        let t = g.arena.tru();
+        assert_eq!(g.formula, t);
+    }
+
+    #[test]
+    fn prop_to_state_roundtrips_folded_trace() {
+        let h = history(&[&[1, 3]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X !Sub(x))").unwrap();
+        let g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        let decoded = g.prop_to_state(&g.trace[0]);
+        assert_eq!(&decoded, h.state(0));
+        let _ = sc;
+    }
+
+    #[test]
+    fn no_external_quantifiers_single_mapping() {
+        let h = history(&[&[1]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "G (Sub(1) -> X !Sub(1))").unwrap();
+        let g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        assert_eq!(g.stats.external_vars, 0);
+        assert_eq!(g.stats.mappings, 1);
+    }
+}

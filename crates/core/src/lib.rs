@@ -1,0 +1,45 @@
+//! Temporal integrity checking — the core of Chomicki & Niwiński (PODS
+//! 1993).
+//!
+//! Given a finite history `D = (D0, …, Dt)` and a *universal safety
+//! sentence* `φ ≡ ∀x1 … xk ψ` (external universal quantifiers only,
+//! quantifier-free matrix under the future temporal connectives), this
+//! crate decides **potential constraint satisfaction**: does `D` extend
+//! to an infinite temporal database satisfying `φ`?
+//!
+//! The pipeline is the paper's Section 4:
+//!
+//! 1. [`mod@ground`] — Theorem 4.1: reduce `(D, φ)` to a propositional
+//!    temporal formula `φ_D` over the vocabulary `L_D` (letters `(a=b)`
+//!    and `p(a1,…,ar)` for `a_i ∈ M ∪ CL`, `M = R_D ∪ {z1…zk}`) plus a
+//!    propositional state sequence `w_D`;
+//! 2. [`extension`] — Theorem 4.2: decide whether `w_D` extends to a
+//!    model of `φ_D` via prefix rewriting + PTL satisfiability
+//!    (Lemma 4.2, implemented in `ticc-ptl`), in time
+//!    `O(t·(|φ|·|R_D|)^max(k,l)) + 2^O((|φ|·|R_D|)^max(k,l))`.
+//!
+//! On top of the decision procedure:
+//! * [`monitor`] — an online incremental integrity monitor (progress one
+//!   propositional state per update on the fast path; re-ground when new
+//!   relevant elements appear);
+//! * [`trigger`] — condition–action triggers via the paper's duality:
+//!   *"if C then A" fires for θ iff `¬Cθ` is **not** potentially
+//!   satisfied*;
+//! * [`diagnostics`] — earliest-violation search;
+//! * [`counter`] — the binary-counter constraint family realising the
+//!   exponential lower-bound shape argued in Section 6.
+
+pub mod counter;
+pub mod diagnostics;
+pub mod explain;
+pub mod extension;
+pub mod ground;
+pub mod monitor;
+pub mod past;
+pub mod trigger;
+
+pub use explain::explain;
+pub use extension::{check_potential_satisfaction, CheckOptions, CheckOutcome, CheckStats};
+pub use ground::{ground, GroundError, GroundMode, GroundStats, Grounding};
+pub use monitor::{ConstraintId, Monitor, MonitorEvent, Status};
+pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

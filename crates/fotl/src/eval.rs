@@ -1,0 +1,440 @@
+//! Evaluation of FOTL formulas over finite histories.
+//!
+//! The paper's satisfaction relation `D, v, t ⊨ φ` (Section 2) is
+//! defined over infinite databases; over a finite history we use the
+//! standard strong finite-trace semantics for the future connectives
+//! (`○A` is false at the last state; `A until B` needs a witness inside
+//! the trace) and the paper's semantics verbatim for the past
+//! connectives, which only ever look backward. Past formulas — the ones
+//! the paper evaluates on finite databases — are therefore evaluated
+//! exactly.
+//!
+//! **Quantifiers** range over the infinite universe `N`. Because every
+//! database relation is finite, a quantified formula over the pure
+//! database vocabulary is invariant under permutations of the elements
+//! outside `R_D ∪ values(v)`, so each quantifier only needs to consider
+//! `R_D ∪ values(v)` plus `quantifier_depth` pairwise-distinct *fresh*
+//! elements — the same `z1 … zk` device that Theorem 4.1 uses for the
+//! grounding ([`UniverseSpec::ActivePlusFresh`]). This argument breaks
+//! for the interpreted extended vocabulary (`≤`, `succ`, `Zero`
+//! distinguish irrelevant elements), so formulas using it must be
+//! evaluated over an explicitly bounded universe
+//! ([`UniverseSpec::Bounded`]) — which is how the Turing-machine
+//! encodings of Section 3 are model-checked.
+
+use crate::formula::Formula;
+use crate::term::{Atom, Term};
+use std::collections::{BTreeSet, HashMap};
+use ticc_tdb::{History, Value};
+
+/// How quantifiers are ranged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniverseSpec {
+    /// Active domain + constants + valuation values + `quantifier_depth`
+    /// fresh elements. Exact for the pure database vocabulary; rejected
+    /// for the extended vocabulary.
+    ActivePlusFresh,
+    /// Quantifiers range over `0..n`. Used for bounded model checking of
+    /// extended-vocabulary formulas (Section 3 encodings).
+    Bounded(Value),
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Quantifier range.
+    pub universe: UniverseSpec,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            universe: UniverseSpec::ActivePlusFresh,
+        }
+    }
+}
+
+/// Errors from evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A free variable had no binding in the valuation.
+    UnboundVariable(String),
+    /// The history has no states.
+    EmptyHistory,
+    /// `t` exceeds the history length.
+    PositionOutOfRange {
+        /// Requested position.
+        t: usize,
+        /// Number of states.
+        len: usize,
+    },
+    /// Active-domain semantics is unsound for `≤`/`succ`/`Zero`; use
+    /// [`UniverseSpec::Bounded`].
+    ExtendedVocabularyNeedsBoundedUniverse,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::EmptyHistory => write!(f, "cannot evaluate over an empty history"),
+            EvalError::PositionOutOfRange { t, len } => {
+                write!(f, "position {t} out of range (history has {len} states)")
+            }
+            EvalError::ExtendedVocabularyNeedsBoundedUniverse => write!(
+                f,
+                "formulas over the extended vocabulary (<=, succ, zero) require \
+                 UniverseSpec::Bounded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A valuation: variable name → universe element.
+pub type Valuation = HashMap<String, Value>;
+
+/// Evaluates `f` at instant `t` of `history` under `valuation`.
+pub fn eval(
+    history: &History,
+    f: &Formula,
+    t: usize,
+    valuation: &Valuation,
+    opts: &EvalOptions,
+) -> Result<bool, EvalError> {
+    if history.is_empty() {
+        return Err(EvalError::EmptyHistory);
+    }
+    if t >= history.len() {
+        return Err(EvalError::PositionOutOfRange {
+            t,
+            len: history.len(),
+        });
+    }
+    let domain = quantifier_domain(history, f, valuation, opts)?;
+    let mut v = valuation.clone();
+    let mut ev = Evaluator { history, domain };
+    ev.go(f, t, &mut v)
+}
+
+/// Evaluates a closed formula at instant 0.
+pub fn eval_closed(history: &History, f: &Formula, opts: &EvalOptions) -> Result<bool, EvalError> {
+    eval(history, f, 0, &Valuation::new(), opts)
+}
+
+/// The (finite) set each quantifier ranges over, per the options.
+fn quantifier_domain(
+    history: &History,
+    f: &Formula,
+    valuation: &Valuation,
+    opts: &EvalOptions,
+) -> Result<Vec<Value>, EvalError> {
+    match opts.universe {
+        UniverseSpec::Bounded(n) => Ok((0..n).collect()),
+        UniverseSpec::ActivePlusFresh => {
+            if f.uses_extended_vocabulary() {
+                return Err(EvalError::ExtendedVocabularyNeedsBoundedUniverse);
+            }
+            let mut base: BTreeSet<Value> = history.relevant();
+            base.extend(valuation.values().copied());
+            collect_formula_values(f, &mut base);
+            let mut out: Vec<Value> = base.iter().copied().collect();
+            let mut fresh_needed = f.quantifier_depth();
+            let mut candidate: Value = 0;
+            while fresh_needed > 0 {
+                if !base.contains(&candidate) {
+                    out.push(candidate);
+                    fresh_needed -= 1;
+                }
+                candidate += 1;
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn collect_formula_values(f: &Formula, out: &mut BTreeSet<Value>) {
+    if let Formula::Atom(a) = f {
+        for t in a.terms() {
+            if let Term::Value(v) = t {
+                out.insert(*v);
+            }
+        }
+    }
+    for c in f.children() {
+        collect_formula_values(c, out);
+    }
+}
+
+struct Evaluator<'a> {
+    history: &'a History,
+    domain: Vec<Value>,
+}
+
+impl Evaluator<'_> {
+    fn term(&self, t: &Term, v: &Valuation) -> Result<Value, EvalError> {
+        match t {
+            Term::Var(name) => v
+                .get(name)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Term::Const(c) => Ok(self.history.const_value(*c)),
+            Term::Value(x) => Ok(*x),
+        }
+    }
+
+    fn atom(&self, a: &Atom, t: usize, v: &Valuation) -> Result<bool, EvalError> {
+        Ok(match a {
+            Atom::Eq(x, y) => self.term(x, v)? == self.term(y, v)?,
+            Atom::Leq(x, y) => self.term(x, v)? <= self.term(y, v)?,
+            Atom::Succ(x, y) => {
+                let (xv, yv) = (self.term(x, v)?, self.term(y, v)?);
+                yv == xv + 1
+            }
+            Atom::Zero(x) => self.term(x, v)? == 0,
+            Atom::Pred(p, ts) => {
+                let tuple: Vec<Value> = ts
+                    .iter()
+                    .map(|t| self.term(t, v))
+                    .collect::<Result<_, _>>()?;
+                self.history.state(t).holds(*p, &tuple)
+            }
+        })
+    }
+
+    fn go(&mut self, f: &Formula, t: usize, v: &mut Valuation) -> Result<bool, EvalError> {
+        Ok(match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(a) => self.atom(a, t, v)?,
+            Formula::Not(g) => !self.go(g, t, v)?,
+            Formula::And(a, b) => self.go(a, t, v)? && self.go(b, t, v)?,
+            Formula::Or(a, b) => self.go(a, t, v)? || self.go(b, t, v)?,
+            Formula::Implies(a, b) => !self.go(a, t, v)? || self.go(b, t, v)?,
+            Formula::Exists(x, body) => {
+                let saved = v.get(x).copied();
+                let mut found = false;
+                for i in 0..self.domain.len() {
+                    let d = self.domain[i];
+                    v.insert(x.clone(), d);
+                    if self.go(body, t, v)? {
+                        found = true;
+                        break;
+                    }
+                }
+                restore(v, x, saved);
+                found
+            }
+            Formula::Forall(x, body) => {
+                let saved = v.get(x).copied();
+                let mut all = true;
+                for i in 0..self.domain.len() {
+                    let d = self.domain[i];
+                    v.insert(x.clone(), d);
+                    if !self.go(body, t, v)? {
+                        all = false;
+                        break;
+                    }
+                }
+                restore(v, x, saved);
+                all
+            }
+            Formula::Next(g) => t + 1 < self.history.len() && self.go(g, t + 1, v)?,
+            Formula::Until(a, b) => {
+                let mut ok = false;
+                for s in t..self.history.len() {
+                    if self.go(b, s, v)? {
+                        ok = true;
+                        break;
+                    }
+                    if !self.go(a, s, v)? {
+                        break;
+                    }
+                }
+                ok
+            }
+            Formula::Prev(g) => t > 0 && self.go(g, t - 1, v)?,
+            Formula::Since(a, b) => {
+                let mut ok = false;
+                for s in (0..=t).rev() {
+                    if self.go(b, s, v)? {
+                        ok = true;
+                        break;
+                    }
+                    if !self.go(a, s, v)? {
+                        break;
+                    }
+                }
+                ok
+            }
+        })
+    }
+}
+
+fn restore(v: &mut Valuation, x: &str, saved: Option<Value>) {
+    match saved {
+        Some(old) => {
+            v.insert(x.to_owned(), old);
+        }
+        None => {
+            v.remove(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::sync::Arc;
+    use ticc_tdb::{Schema, State};
+
+    fn order_schema() -> Arc<Schema> {
+        Schema::builder().pred("Sub", 1).pred("Fill", 1).build()
+    }
+
+    /// Builds a history from per-instant (subs, fills) lists.
+    fn order_history(spec: &[(&[Value], &[Value])]) -> History {
+        let sc = order_schema();
+        let mut h = History::new(sc.clone());
+        for (subs, fills) in spec {
+            let mut s = State::empty(sc.clone());
+            for &v in *subs {
+                s.insert_named("Sub", vec![v]).unwrap();
+            }
+            for &v in *fills {
+                s.insert_named("Fill", vec![v]).unwrap();
+            }
+            h.push_state(s);
+        }
+        h
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let h = order_history(&[(&[1], &[])]);
+        let sc = h.schema().clone();
+        let f = parse(&sc, "Sub(1) & !Sub(2) & 1 = 1 & 1 != 2").unwrap();
+        assert!(eval_closed(&h, &f, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn submitted_once_constraint_detects_violation() {
+        let sc = order_schema();
+        let c = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let clean = order_history(&[(&[1], &[]), (&[2], &[1]), (&[], &[2])]);
+        assert!(eval_closed(&clean, &c, &EvalOptions::default()).unwrap());
+        let dirty = order_history(&[(&[1], &[]), (&[2], &[]), (&[1], &[])]);
+        assert!(!eval_closed(&dirty, &c, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn fifo_constraint_on_histories() {
+        let sc = order_schema();
+        let src = "forall x y. G !(x != y & Sub(x) & \
+                   ((!Fill(x)) U (Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))";
+        let c = parse(&sc, src).unwrap();
+        // FIFO-respecting: submit 1, submit 2, fill 1, fill 2.
+        let good = order_history(&[(&[1], &[]), (&[2], &[]), (&[], &[1]), (&[], &[2])]);
+        assert!(eval_closed(&good, &c, &EvalOptions::default()).unwrap());
+        // Violation: 2 filled before 1.
+        let bad = order_history(&[(&[1], &[]), (&[2], &[]), (&[], &[2]), (&[], &[1])]);
+        assert!(!eval_closed(&bad, &c, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn fresh_witness_for_existential() {
+        // ∃x ¬Sub(x) is true even when every active element is in Sub:
+        // an irrelevant (fresh) element witnesses it.
+        let h = order_history(&[(&[0, 1, 2], &[])]);
+        let sc = h.schema().clone();
+        let f = parse(&sc, "exists x. !Sub(x)").unwrap();
+        assert!(eval_closed(&h, &f, &EvalOptions::default()).unwrap());
+        // And ∀x Sub(x) is false for the same reason.
+        let g = parse(&sc, "forall x. Sub(x)").unwrap();
+        assert!(!eval_closed(&h, &g, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn nested_quantifiers_need_distinct_fresh_elements() {
+        // ∃x ∃y (x ≠ y ∧ ¬Sub(x) ∧ ¬Sub(y)): needs two distinct fresh
+        // witnesses when the whole active domain is submitted.
+        let h = order_history(&[(&[0, 1], &[])]);
+        let sc = h.schema().clone();
+        let f = parse(&sc, "exists x y. x != y & !Sub(x) & !Sub(y)").unwrap();
+        assert!(eval_closed(&h, &f, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn past_operators_exact() {
+        let h = order_history(&[(&[1], &[]), (&[], &[]), (&[], &[1])]);
+        let sc = h.schema().clone();
+        // At the fill instant, the order was submitted in the past.
+        let f = parse(&sc, "G (Fill(x) -> O Sub(x))").unwrap();
+        let v: Valuation = [("x".to_owned(), 1)].into_iter().collect();
+        assert!(eval(&h, &f, 0, &v, &EvalOptions::default()).unwrap());
+        // ●: strong at instant 0.
+        let y = parse(&sc, "Y true").unwrap();
+        assert!(!eval(&h, &y, 0, &Valuation::new(), &EvalOptions::default()).unwrap());
+        assert!(eval(&h, &y, 1, &Valuation::new(), &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn bounded_universe_for_extended_vocabulary() {
+        let h = order_history(&[(&[], &[])]);
+        let sc = h.schema().clone();
+        let f = parse(&sc, "forall x y. succ(x, y) -> x <= y").unwrap();
+        // Rejected under active-domain semantics…
+        assert_eq!(
+            eval_closed(&h, &f, &EvalOptions::default()),
+            Err(EvalError::ExtendedVocabularyNeedsBoundedUniverse)
+        );
+        // …fine over a bounded universe.
+        let opts = EvalOptions {
+            universe: UniverseSpec::Bounded(8),
+        };
+        assert!(eval_closed(&h, &f, &opts).unwrap());
+        let g = parse(&sc, "exists x. zero(x) & forall y. x <= y").unwrap();
+        assert!(eval_closed(&h, &g, &opts).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let h = order_history(&[(&[], &[])]);
+        let sc = h.schema().clone();
+        let f = parse(&sc, "Sub(x)").unwrap();
+        assert_eq!(
+            eval_closed(&h, &f, &EvalOptions::default()),
+            Err(EvalError::UnboundVariable("x".to_owned()))
+        );
+    }
+
+    #[test]
+    fn errors_on_empty_or_out_of_range() {
+        let sc = order_schema();
+        let h = History::new(sc.clone());
+        let f = parse(&sc, "true").unwrap();
+        assert_eq!(
+            eval_closed(&h, &f, &EvalOptions::default()),
+            Err(EvalError::EmptyHistory)
+        );
+        let h2 = order_history(&[(&[], &[])]);
+        assert!(matches!(
+            eval(&h2, &f, 5, &Valuation::new(), &EvalOptions::default()),
+            Err(EvalError::PositionOutOfRange { t: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn quantifier_scoping_restores_valuation() {
+        let h = order_history(&[(&[1], &[])]);
+        let sc = h.schema().clone();
+        // (∃x Sub(x)) ∧ Sub(x) with outer x bound to 1.
+        let f = parse(&sc, "(exists x. Sub(x)) & Sub(x)").unwrap();
+        let v: Valuation = [("x".to_owned(), 1)].into_iter().collect();
+        assert!(eval(&h, &f, 0, &v, &EvalOptions::default()).unwrap());
+        let v2: Valuation = [("x".to_owned(), 9)].into_iter().collect();
+        assert!(!eval(&h, &f, 0, &v2, &EvalOptions::default()).unwrap());
+    }
+}

@@ -1,0 +1,427 @@
+//! FOTL formulas.
+//!
+//! The core connectives follow Section 2 of the paper exactly: boolean
+//! `∨ ∧ ¬ ⇒`, quantifiers `∃ ∀`, future `○`/`until`, past `●`/`since`.
+//! The derived operators `◇ □ ◈ ▣` are provided as constructors that
+//! desugar to the core (mirroring the paper's definitions), so every
+//! algorithm only handles the core.
+
+use crate::term::{Atom, Term};
+use ticc_tdb::{PredId, Schema};
+
+/// A first-order temporal formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// An atomic formula.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Universal quantification over the (infinite) universe.
+    Forall(String, Box<Formula>),
+    /// Existential quantification over the (infinite) universe.
+    Exists(String, Box<Formula>),
+    /// Next time.
+    Next(Box<Formula>),
+    /// `A until B`.
+    Until(Box<Formula>, Box<Formula>),
+    /// Previous time (strong).
+    Prev(Box<Formula>),
+    /// `A since B`.
+    Since(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// An atomic database-predicate formula.
+    pub fn pred(p: PredId, terms: Vec<Term>) -> Self {
+        Formula::Atom(Atom::Pred(p, terms))
+    }
+
+    /// Equality `t1 = t2`.
+    pub fn eq(a: Term, b: Term) -> Self {
+        Formula::Atom(Atom::Eq(a, b))
+    }
+
+    /// Inequality `t1 ≠ t2`.
+    pub fn neq(a: Term, b: Term) -> Self {
+        Formula::eq(a, b).not()
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Self {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Self {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: Formula) -> Self {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of many conjuncts (`⊤` when empty).
+    pub fn and_all(items: impl IntoIterator<Item = Formula>) -> Self {
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
+            return Formula::True;
+        };
+        iter.fold(first, |acc, f| acc.and(f))
+    }
+
+    /// Disjunction of many disjuncts (`⊥` when empty).
+    pub fn or_all(items: impl IntoIterator<Item = Formula>) -> Self {
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
+            return Formula::False;
+        };
+        iter.fold(first, |acc, f| acc.or(f))
+    }
+
+    /// Universal quantification.
+    pub fn forall(var: impl Into<String>, body: Formula) -> Self {
+        Formula::Forall(var.into(), Box::new(body))
+    }
+
+    /// Existential quantification.
+    pub fn exists(var: impl Into<String>, body: Formula) -> Self {
+        Formula::Exists(var.into(), Box::new(body))
+    }
+
+    /// `∀ x1 … xk . body`.
+    pub fn forall_many<S: Into<String>>(
+        vars: impl IntoIterator<Item = S>,
+        body: Formula,
+    ) -> Self {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Formula::forall(v, acc))
+    }
+
+    /// Next time `○A`.
+    pub fn next(self) -> Self {
+        Formula::Next(Box::new(self))
+    }
+
+    /// `A until B`.
+    pub fn until(self, other: Formula) -> Self {
+        Formula::Until(Box::new(self), Box::new(other))
+    }
+
+    /// Sometime in the future `◇A ≡ ⊤ until A` (paper's definition).
+    pub fn eventually(self) -> Self {
+        Formula::True.until(self)
+    }
+
+    /// Always in the future `□A ≡ ¬◇¬A`.
+    pub fn always(self) -> Self {
+        self.not().eventually().not()
+    }
+
+    /// Previous time `●A`.
+    pub fn prev(self) -> Self {
+        Formula::Prev(Box::new(self))
+    }
+
+    /// `A since B`.
+    pub fn since(self, other: Formula) -> Self {
+        Formula::Since(Box::new(self), Box::new(other))
+    }
+
+    /// Sometime in the past `◈A ≡ ⊤ since A`.
+    pub fn once(self) -> Self {
+        Formula::True.since(self)
+    }
+
+    /// Always in the past `▣A ≡ ¬◈¬A`.
+    pub fn historically(self) -> Self {
+        self.not().once().not()
+    }
+
+    /// Bounded eventually `◇≤k A ≡ A ∨ ○A ∨ … ∨ ○^k A` — the metric
+    /// operator of the real-time extensions the paper's Section 5 points
+    /// to (Past Metric FOTL), desugared to a `○`-chain so it stays in
+    /// the core syntax. Note the bounded form is syntactically safe,
+    /// unlike unbounded `◇`.
+    pub fn eventually_within(self, k: usize) -> Self {
+        let mut acc = self.clone();
+        let mut step = self;
+        for _ in 0..k {
+            step = step.next();
+            acc = acc.or(step.clone());
+        }
+        acc
+    }
+
+    /// Bounded always `□≤k A ≡ A ∧ ○A ∧ … ∧ ○^k A`.
+    pub fn always_within(self, k: usize) -> Self {
+        let mut acc = self.clone();
+        let mut step = self;
+        for _ in 0..k {
+            step = step.next();
+            acc = acc.and(step.clone());
+        }
+        acc
+    }
+
+    /// Bounded once `◈≤k A ≡ A ∨ ●A ∨ … ∨ ●^k A` (past metric).
+    pub fn once_within(self, k: usize) -> Self {
+        let mut acc = self.clone();
+        let mut step = self;
+        for _ in 0..k {
+            step = step.prev();
+            acc = acc.or(step.clone());
+        }
+        acc
+    }
+
+    /// Immediate subformulas.
+    pub fn children(&self) -> Vec<&Formula> {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => vec![],
+            Formula::Not(a)
+            | Formula::Forall(_, a)
+            | Formula::Exists(_, a)
+            | Formula::Next(a)
+            | Formula::Prev(a) => vec![a],
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Until(a, b)
+            | Formula::Since(a, b) => vec![a, b],
+        }
+    }
+
+    /// Tree size (`|φ|` in the paper's bounds).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// True if no temporal connective occurs (a *pure first-order*
+    /// formula).
+    pub fn is_pure_first_order(&self) -> bool {
+        match self {
+            Formula::Next(_) | Formula::Until(_, _) | Formula::Prev(_) | Formula::Since(_, _) => {
+                false
+            }
+            _ => self.children().iter().all(|c| c.is_pure_first_order()),
+        }
+    }
+
+    /// True if only future temporal connectives occur (a *future
+    /// temporal formula*).
+    pub fn is_future(&self) -> bool {
+        match self {
+            Formula::Prev(_) | Formula::Since(_, _) => false,
+            _ => self.children().iter().all(|c| c.is_future()),
+        }
+    }
+
+    /// True if only past temporal connectives occur (a *past temporal
+    /// formula*).
+    pub fn is_past(&self) -> bool {
+        match self {
+            Formula::Next(_) | Formula::Until(_, _) => false,
+            _ => self.children().iter().all(|c| c.is_past()),
+        }
+    }
+
+    /// True if no quantifier occurs.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::Forall(_, _) | Formula::Exists(_, _) => false,
+            _ => self.children().iter().all(|c| c.is_quantifier_free()),
+        }
+    }
+
+    /// True if the formula uses the extended vocabulary (`≤`, `succ`,
+    /// `Zero`).
+    pub fn uses_extended_vocabulary(&self) -> bool {
+        match self {
+            Formula::Atom(a) => a.is_extended(),
+            _ => self
+                .children()
+                .iter()
+                .any(|c| c.uses_extended_vocabulary()),
+        }
+    }
+
+    /// Checks every predicate atom's arity against the schema; returns
+    /// the first offending atom if any.
+    pub fn check_arities(&self, schema: &Schema) -> Result<(), Atom> {
+        if let Formula::Atom(a) = self {
+            if !a.arity_ok(schema) {
+                return Err(a.clone());
+            }
+        }
+        for c in self.children() {
+            c.check_arities(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Maximum quantifier nesting depth.
+    pub fn quantifier_depth(&self) -> usize {
+        let inner = self
+            .children()
+            .iter()
+            .map(|c| c.quantifier_depth())
+            .max()
+            .unwrap_or(0);
+        match self {
+            Formula::Forall(_, _) | Formula::Exists(_, _) => inner + 1,
+            _ => inner,
+        }
+    }
+
+    /// Total number of quantifier occurrences.
+    pub fn quantifier_count(&self) -> usize {
+        let inner: usize = self.children().iter().map(|c| c.quantifier_count()).sum();
+        match self {
+            Formula::Forall(_, _) | Formula::Exists(_, _) => inner + 1,
+            _ => inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ticc_tdb::Schema;
+
+    fn sub_x(schema: &Schema) -> Formula {
+        Formula::pred(schema.pred("Sub").unwrap(), vec![Term::var("x")])
+    }
+
+    #[test]
+    fn paper_example_submitted_once() {
+        // ∀x □(Sub(x) ⇒ ○□¬Sub(x))
+        let sc = Schema::builder().pred("Sub", 1).build();
+        let sub = sub_x(&sc);
+        let f = Formula::forall(
+            "x",
+            sub.clone().implies(sub.not().always().next()).always(),
+        );
+        assert!(f.is_future());
+        assert!(!f.is_past());
+        assert!(!f.is_pure_first_order());
+        assert!(!f.is_quantifier_free());
+        assert_eq!(f.quantifier_count(), 1);
+        assert_eq!(f.quantifier_depth(), 1);
+        assert!(f.check_arities(&sc).is_ok());
+        assert!(!f.uses_extended_vocabulary());
+    }
+
+    #[test]
+    fn sugar_desugars_to_core() {
+        let p = Formula::pred(PredId(0), vec![Term::var("x")]);
+        let ev = p.clone().eventually();
+        assert_eq!(ev, Formula::True.until(p.clone()));
+        let al = p.clone().always();
+        assert_eq!(al, Formula::True.until(p.clone().not()).not());
+        let on = p.clone().once();
+        assert_eq!(on, Formula::True.since(p));
+    }
+
+    #[test]
+    fn and_or_all() {
+        assert_eq!(Formula::and_all([]), Formula::True);
+        assert_eq!(Formula::or_all([]), Formula::False);
+        let p = Formula::pred(PredId(0), vec![Term::Value(0)]);
+        assert_eq!(Formula::and_all([p.clone()]), p);
+    }
+
+    #[test]
+    fn forall_many_order() {
+        let body = Formula::eq(Term::var("x"), Term::var("y"));
+        let f = Formula::forall_many(["x", "y"], body.clone());
+        assert_eq!(
+            f,
+            Formula::forall("x", Formula::forall("y", body))
+        );
+        assert_eq!(f.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let p = Formula::pred(PredId(0), vec![Term::var("x")]);
+        let f = p.clone().and(p.not());
+        assert_eq!(f.size(), 4); // And, Pred, Not, Pred
+    }
+
+    #[test]
+    fn arity_violation_detected() {
+        let sc = Schema::builder().pred("E", 2).build();
+        let bad = Formula::pred(sc.pred("E").unwrap(), vec![Term::var("x")]);
+        let f = Formula::forall("x", bad.eventually());
+        assert!(f.check_arities(&sc).is_err());
+    }
+
+    #[test]
+    fn mixed_tense_classification() {
+        let p = Formula::pred(PredId(0), vec![Term::var("x")]);
+        let mixed = p.clone().once().and(p.eventually());
+        assert!(!mixed.is_future());
+        assert!(!mixed.is_past());
+        assert!(!mixed.is_pure_first_order());
+        let fo = Formula::eq(Term::var("x"), Term::Value(3));
+        assert!(fo.is_pure_first_order() && fo.is_future() && fo.is_past());
+    }
+}
+
+#[cfg(test)]
+mod bounded_ops_tests {
+    use super::*;
+    use ticc_tdb::Schema;
+
+    #[test]
+    fn bounded_operators_desugar_to_next_chains() {
+        let sc = Schema::builder().pred("P", 1).build();
+        let p = || Formula::pred(sc.pred("P").unwrap(), vec![Term::var("x")]);
+        let f1 = p().eventually_within(2);
+        assert_eq!(f1, p().or(p().next()).or(p().next().next()));
+        let g1 = p().always_within(1);
+        assert_eq!(g1, p().and(p().next()));
+        let o1 = p().once_within(1);
+        assert_eq!(o1, p().or(p().prev()));
+        // k = 0 is the formula itself.
+        assert_eq!(p().eventually_within(0), p());
+        // Bounded eventually is future-only and syntactically safe.
+        let c = Formula::forall("x", f1.always());
+        assert!(crate::classify::is_syntactically_safe(&c));
+        assert_eq!(
+            crate::classify::classify(&c),
+            crate::classify::FormulaClass::Universal { external: 1 }
+        );
+    }
+
+    #[test]
+    fn bounded_response_constraint_checks_end_to_end() {
+        // ∀x □(P(x) → ◇≤2 Q(x)): a real-time "respond within 2
+        // instants" constraint — safety, so fully in the decidable
+        // pipeline (unlike its unbounded cousin).
+        let sc = Schema::builder().pred("P", 1).pred("Q", 1).build();
+        let p = Formula::pred(sc.pred("P").unwrap(), vec![Term::var("x")]);
+        let q = Formula::pred(sc.pred("Q").unwrap(), vec![Term::var("x")]);
+        let c = Formula::forall("x", p.implies(q.eventually_within(2)).always());
+        assert!(crate::classify::is_syntactically_safe(&c));
+    }
+}

@@ -1,0 +1,42 @@
+//! First-order temporal logic (FOTL).
+//!
+//! The constraint language of Chomicki & Niwiński (PODS 1993), Section 2:
+//! first-order logic with equality over a database vocabulary, extended
+//! with the future temporal connectives `○` (next) and `until` and the
+//! past connectives `●` (previous) and `since`; derived operators `◇ □ ◈
+//! ▣` are provided as sugar. Variables are *rigid* (their value does not
+//! change over time); quantifiers range over the whole countably infinite
+//! universe.
+//!
+//! Modules:
+//! * [`term`], [`formula`] — AST with smart constructors;
+//! * [`mod@classify`] — the paper's classification: pure first-order /
+//!   future / past formulas, prenex classes `Σn`/`Πn`, `tense(C)`,
+//!   external/internal quantifiers, and recognisers for **biquantified**
+//!   (`∀*tense(Σ∞)`), **universal** (`∀*tense(Π0)`) and single-internal-
+//!   quantifier (`∀*tense(Σ1)`) formulas;
+//! * [`nnf`] — negation normal form;
+//! * [`subst`] — free variables, capture-avoiding substitution;
+//! * [`parser`] — a text syntax resolving symbols against a
+//!   [`ticc_tdb::Schema`];
+//! * [`mod@eval`] — evaluation over finite histories, with active-domain +
+//!   fresh-witness quantifier semantics (the `z1…zk` device of Theorem
+//!   4.1) or an explicitly bounded universe (used by the Turing-machine
+//!   encodings, whose extended vocabulary `≤`, `succ`, `Zero` is
+//!   interpreted);
+//! * [`pretty`] — display against a schema.
+
+pub mod classify;
+pub mod eval;
+pub mod formula;
+pub mod nnf;
+pub mod parser;
+pub mod pretty;
+pub mod subst;
+pub mod term;
+
+pub use classify::{classify, FormulaClass};
+pub use eval::{eval, eval_closed, EvalError, EvalOptions, UniverseSpec};
+pub use formula::Formula;
+pub use parser::parse;
+pub use term::{Atom, Term};

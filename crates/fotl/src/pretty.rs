@@ -1,0 +1,274 @@
+//! Pretty-printing FOTL formulas against a schema.
+//!
+//! The output uses the same text syntax accepted by [`crate::parser`],
+//! re-sugaring `⊤ until A` to `F A`, `¬(⊤ until ¬A)` to `G A`, and the
+//! past analogues to `O`/`H`, so `parse(display(f))` round-trips
+//! (modulo the desugaring the constructors perform).
+
+use crate::formula::Formula;
+use crate::term::{Atom, Term};
+use std::fmt;
+use ticc_tdb::Schema;
+
+/// Display adapter for a term.
+pub struct TermDisplay<'a> {
+    schema: &'a Schema,
+    term: &'a Term,
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.term {
+            Term::Var(v) => write!(out, "{v}"),
+            Term::Const(c) => write!(out, "{}", self.schema.const_name(*c)),
+            Term::Value(v) => write!(out, "{v}"),
+        }
+    }
+}
+
+/// Display adapter for a formula.
+pub struct FormulaDisplay<'a> {
+    schema: &'a Schema,
+    formula: &'a Formula,
+}
+
+/// Renders a term against a schema.
+pub fn term<'a>(schema: &'a Schema, t: &'a Term) -> TermDisplay<'a> {
+    TermDisplay { schema, term: t }
+}
+
+/// Renders a formula against a schema.
+pub fn formula<'a>(schema: &'a Schema, f: &'a Formula) -> FormulaDisplay<'a> {
+    FormulaDisplay { schema, formula: f }
+}
+
+// Precedence: 0 quantifiers (their body extends maximally right, so
+// they must be parenthesised under any operator), 1 implies, 2 or,
+// 3 and, 4 until/since, 5 unary, 6 atoms.
+fn prec(f: &Formula) -> u8 {
+    match sugar(f) {
+        Sugar::Plain(g) => match g {
+            Formula::Forall(_, _) | Formula::Exists(_, _) => 0,
+            Formula::Implies(_, _) => 1,
+            Formula::Or(_, _) => 2,
+            Formula::And(_, _) => 3,
+            Formula::Until(_, _) | Formula::Since(_, _) => 4,
+            Formula::Not(_) | Formula::Next(_) | Formula::Prev(_) => 5,
+            _ => 6,
+        },
+        _ => 5, // F/G/O/H are unary
+    }
+}
+
+enum Sugar<'a> {
+    Eventually(&'a Formula),
+    Always(&'a Formula),
+    Once(&'a Formula),
+    Historically(&'a Formula),
+    Plain(&'a Formula),
+}
+
+fn sugar(f: &Formula) -> Sugar<'_> {
+    match f {
+        Formula::Until(a, b) if **a == Formula::True => Sugar::Eventually(b),
+        Formula::Since(a, b) if **a == Formula::True => Sugar::Once(b),
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Until(a, b) if **a == Formula::True => {
+                if let Formula::Not(g) = b.as_ref() {
+                    return Sugar::Always(g);
+                }
+                Sugar::Plain(f)
+            }
+            Formula::Since(a, b) if **a == Formula::True => {
+                if let Formula::Not(g) = b.as_ref() {
+                    return Sugar::Historically(g);
+                }
+                Sugar::Plain(f)
+            }
+            _ => Sugar::Plain(f),
+        },
+        _ => Sugar::Plain(f),
+    }
+}
+
+impl FormulaDisplay<'_> {
+    fn fmt_prec(&self, f: &Formula, min: u8, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let my = prec(f);
+        let parens = my < min;
+        if parens {
+            write!(out, "(")?;
+        }
+        self.fmt_node(f, out)?;
+        if parens {
+            write!(out, ")")?;
+        }
+        Ok(())
+    }
+
+    fn fmt_node(&self, f: &Formula, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.schema;
+        match sugar(f) {
+            Sugar::Eventually(g) => {
+                write!(out, "F ")?;
+                return self.fmt_prec(g, 5, out);
+            }
+            Sugar::Always(g) => {
+                write!(out, "G ")?;
+                return self.fmt_prec(g, 5, out);
+            }
+            Sugar::Once(g) => {
+                write!(out, "O ")?;
+                return self.fmt_prec(g, 5, out);
+            }
+            Sugar::Historically(g) => {
+                write!(out, "H ")?;
+                return self.fmt_prec(g, 5, out);
+            }
+            Sugar::Plain(_) => {}
+        }
+        match f {
+            Formula::True => write!(out, "true"),
+            Formula::False => write!(out, "false"),
+            Formula::Atom(a) => self.fmt_atom(a, out),
+            Formula::Not(g) => {
+                write!(out, "!")?;
+                self.fmt_prec(g, 5, out)
+            }
+            Formula::And(a, b) => {
+                self.fmt_prec(a, 4, out)?;
+                write!(out, " & ")?;
+                self.fmt_prec(b, 4, out)
+            }
+            Formula::Or(a, b) => {
+                self.fmt_prec(a, 3, out)?;
+                write!(out, " | ")?;
+                self.fmt_prec(b, 3, out)
+            }
+            Formula::Implies(a, b) => {
+                // Right-associative: the right side may be another
+                // implication at equal precedence.
+                self.fmt_prec(a, 2, out)?;
+                write!(out, " -> ")?;
+                self.fmt_prec(b, 1, out)
+            }
+            Formula::Forall(v, body) => {
+                write!(out, "forall {v}. ")?;
+                self.fmt_prec(body, 0, out)
+            }
+            Formula::Exists(v, body) => {
+                write!(out, "exists {v}. ")?;
+                self.fmt_prec(body, 0, out)
+            }
+            Formula::Next(g) => {
+                write!(out, "X ")?;
+                self.fmt_prec(g, 5, out)
+            }
+            Formula::Prev(g) => {
+                write!(out, "Y ")?;
+                self.fmt_prec(g, 5, out)
+            }
+            Formula::Until(a, b) => {
+                self.fmt_prec(a, 5, out)?;
+                write!(out, " U ")?;
+                self.fmt_prec(b, 5, out)
+            }
+            Formula::Since(a, b) => {
+                self.fmt_prec(a, 5, out)?;
+                write!(out, " S ")?;
+                self.fmt_prec(b, 5, out)
+            }
+        }
+        .map(|_| ())?;
+        let _ = s;
+        Ok(())
+    }
+
+    fn fmt_atom(&self, a: &Atom, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.schema;
+        match a {
+            Atom::Eq(x, y) => write!(out, "{} = {}", term(s, x), term(s, y)),
+            Atom::Leq(x, y) => write!(out, "{} <= {}", term(s, x), term(s, y)),
+            Atom::Succ(x, y) => write!(out, "succ({}, {})", term(s, x), term(s, y)),
+            Atom::Zero(x) => write!(out, "zero({})", term(s, x)),
+            Atom::Pred(p, ts) => {
+                write!(out, "{}(", s.pred_name(*p))?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ", ")?;
+                    }
+                    write!(out, "{}", term(s, t))?;
+                }
+                write!(out, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(self.formula, 0, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::builder()
+            .pred("Sub", 1)
+            .pred("E", 2)
+            .constant("vip")
+            .build()
+    }
+
+    #[test]
+    fn atoms_render() {
+        let sc = schema();
+        let e = Formula::pred(
+            sc.pred("E").unwrap(),
+            vec![Term::var("x"), Term::Const(sc.constant("vip").unwrap())],
+        );
+        assert_eq!(format!("{}", formula(&sc, &e)), "E(x, vip)");
+        let eq = Formula::eq(Term::var("x"), Term::Value(3));
+        assert_eq!(format!("{}", formula(&sc, &eq)), "x = 3");
+    }
+
+    #[test]
+    fn sugar_rendering() {
+        let sc = schema();
+        let p = Formula::pred(sc.pred("Sub").unwrap(), vec![Term::var("x")]);
+        let g = p.clone().always();
+        assert_eq!(format!("{}", formula(&sc, &g)), "G Sub(x)");
+        let ev = p.clone().eventually();
+        assert_eq!(format!("{}", formula(&sc, &ev)), "F Sub(x)");
+        let h = p.clone().historically();
+        assert_eq!(format!("{}", formula(&sc, &h)), "H Sub(x)");
+        let o = p.once();
+        assert_eq!(format!("{}", formula(&sc, &o)), "O Sub(x)");
+    }
+
+    #[test]
+    fn paper_constraint_renders_readably() {
+        let sc = schema();
+        let p = |v: &str| Formula::pred(sc.pred("Sub").unwrap(), vec![Term::var(v)]);
+        let f = Formula::forall(
+            "x",
+            p("x").implies(p("x").not().always().next()).always(),
+        );
+        assert_eq!(
+            format!("{}", formula(&sc, &f)),
+            "forall x. G (Sub(x) -> X G !Sub(x))"
+        );
+    }
+
+    #[test]
+    fn precedence_parens() {
+        let sc = schema();
+        let p = |v: &str| Formula::pred(sc.pred("Sub").unwrap(), vec![Term::var(v)]);
+        let f = p("x").or(p("y")).and(p("z"));
+        assert_eq!(format!("{}", formula(&sc, &f)), "(Sub(x) | Sub(y)) & Sub(z)");
+        let u = p("x").until(p("y")).not();
+        assert_eq!(format!("{}", formula(&sc, &u)), "!(Sub(x) U Sub(y))");
+    }
+}

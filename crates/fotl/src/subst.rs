@@ -1,0 +1,201 @@
+//! Free variables and capture-avoiding substitution.
+//!
+//! Used by the trigger engine (applying ground substitutions to a
+//! trigger condition's free variables, Section 2) and by the grounder of
+//! Theorem 4.1 (instantiating the external universal prefix).
+
+use crate::formula::Formula;
+use crate::term::Term;
+use std::collections::{BTreeSet, HashMap};
+
+/// The free variables of a formula, in name order.
+pub fn free_vars(f: &Formula) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_free(f, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+fn collect_free(f: &Formula, bound: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+    match f {
+        Formula::Atom(a) => {
+            for t in a.terms() {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+        Formula::Forall(v, body) | Formula::Exists(v, body) => {
+            let fresh = bound.insert(v.clone());
+            collect_free(body, bound, out);
+            if fresh {
+                bound.remove(v);
+            }
+        }
+        _ => {
+            for c in f.children() {
+                collect_free(c, bound, out);
+            }
+        }
+    }
+}
+
+/// A substitution mapping variable names to terms.
+pub type Subst = HashMap<String, Term>;
+
+/// Applies `theta` to the free occurrences of variables in `f`,
+/// renaming bound variables where needed to avoid capture.
+pub fn substitute(f: &Formula, theta: &Subst) -> Formula {
+    if theta.is_empty() {
+        return f.clone();
+    }
+    apply(f, theta)
+}
+
+fn term_subst(t: &Term, theta: &Subst) -> Term {
+    match t {
+        Term::Var(v) => theta.get(v).cloned().unwrap_or_else(|| t.clone()),
+        _ => t.clone(),
+    }
+}
+
+fn range_vars(theta: &Subst) -> BTreeSet<String> {
+    theta
+        .values()
+        .filter_map(|t| t.as_var().map(str::to_owned))
+        .collect()
+}
+
+fn fresh_name(base: &str, avoid: &BTreeSet<String>) -> String {
+    let mut i = 0usize;
+    loop {
+        let candidate = format!("{base}_{i}");
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+fn apply(f: &Formula, theta: &Subst) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(a) => {
+            let mut a = a.clone();
+            for t in a.terms_mut() {
+                *t = term_subst(t, theta);
+            }
+            Formula::Atom(a)
+        }
+        Formula::Not(g) => apply(g, theta).not(),
+        Formula::And(a, b) => apply(a, theta).and(apply(b, theta)),
+        Formula::Or(a, b) => apply(a, theta).or(apply(b, theta)),
+        Formula::Implies(a, b) => apply(a, theta).implies(apply(b, theta)),
+        Formula::Next(g) => apply(g, theta).next(),
+        Formula::Prev(g) => apply(g, theta).prev(),
+        Formula::Until(a, b) => apply(a, theta).until(apply(b, theta)),
+        Formula::Since(a, b) => apply(a, theta).since(apply(b, theta)),
+        Formula::Forall(v, body) => quantifier(v, body, theta, true),
+        Formula::Exists(v, body) => quantifier(v, body, theta, false),
+    }
+}
+
+fn quantifier(v: &str, body: &Formula, theta: &Subst, universal: bool) -> Formula {
+    // The bound variable shadows any mapping for the same name.
+    let mut inner: Subst = theta
+        .iter()
+        .filter(|(k, _)| k.as_str() != v)
+        .map(|(k, t)| (k.clone(), t.clone()))
+        .collect();
+    // Capture: a substituted term mentions `v` as a free variable.
+    let captured = range_vars(&inner).contains(v);
+    let (bound_name, new_body);
+    if captured {
+        let mut avoid: BTreeSet<String> = free_vars(body);
+        avoid.extend(range_vars(&inner));
+        avoid.extend(inner.keys().cloned());
+        let fresh = fresh_name(v, &avoid);
+        inner.insert(v.to_owned(), Term::Var(fresh.clone()));
+        bound_name = fresh;
+        new_body = apply(body, &inner);
+    } else {
+        bound_name = v.to_owned();
+        new_body = apply(body, &inner);
+    }
+    if universal {
+        Formula::forall(bound_name, new_body)
+    } else {
+        Formula::exists(bound_name, new_body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ticc_tdb::PredId;
+
+    fn p(t: Term) -> Formula {
+        Formula::pred(PredId(0), vec![t])
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let f = Formula::forall("x", p(Term::var("x")).and(p(Term::var("y"))));
+        let fv = free_vars(&f);
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["y"]);
+    }
+
+    #[test]
+    fn shadowing_inner_binder() {
+        // ∀x (P(x) ∧ ∃x Q(x)): no free vars.
+        let inner = Formula::exists("x", p(Term::var("x")));
+        let f = Formula::forall("x", p(Term::var("x")).and(inner));
+        assert!(free_vars(&f).is_empty());
+    }
+
+    #[test]
+    fn ground_substitution() {
+        let f = p(Term::var("x")).until(p(Term::var("y")));
+        let theta: Subst = [("x".to_owned(), Term::Value(3))].into_iter().collect();
+        let g = substitute(&f, &theta);
+        assert_eq!(g, p(Term::Value(3)).until(p(Term::var("y"))));
+    }
+
+    #[test]
+    fn bound_variables_shadow_substitution() {
+        let f = Formula::forall("x", p(Term::var("x")));
+        let theta: Subst = [("x".to_owned(), Term::Value(3))].into_iter().collect();
+        assert_eq!(substitute(&f, &theta), f);
+    }
+
+    #[test]
+    fn capture_avoided_by_renaming() {
+        // (∀x P(y))[y := x] must not capture: becomes ∀x_0 P(x).
+        let f = Formula::forall("x", p(Term::var("y")));
+        let theta: Subst = [("y".to_owned(), Term::var("x"))].into_iter().collect();
+        let g = substitute(&f, &theta);
+        match g {
+            Formula::Forall(v, body) => {
+                assert_ne!(v, "x", "bound variable must be renamed");
+                assert_eq!(*body, p(Term::var("x")));
+            }
+            other => panic!("expected forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_substitution_is_identity() {
+        let f = Formula::forall("x", p(Term::var("x")).eventually());
+        assert_eq!(substitute(&f, &Subst::new()), f);
+    }
+
+    #[test]
+    fn substitution_through_temporal_ops() {
+        let f = p(Term::var("x")).prev().since(p(Term::var("x")).next());
+        let theta: Subst = [("x".to_owned(), Term::Value(7))].into_iter().collect();
+        let g = substitute(&f, &theta);
+        assert_eq!(g, p(Term::Value(7)).prev().since(p(Term::Value(7)).next()));
+    }
+}

@@ -1,0 +1,140 @@
+//! Terms and atomic formulas.
+//!
+//! A term is a constant or a variable (Section 2). We additionally allow
+//! explicit universe elements (`Term::Value`) — they do not occur in user
+//! constraints, but arise from ground substitutions (trigger firing) and
+//! from the Turing-machine encodings of Section 3.
+//!
+//! Atomic formulas are `t1 = t2` or `p(t1, …, tr)`. The *extended
+//! vocabulary* of Section 2 adds the interpreted, rigid symbols `≤`,
+//! `succ` and `Zero`; they are not database predicates (their relations
+//! are infinite) and are modelled as distinct atom kinds.
+
+use ticc_tdb::{ConstId, PredId, Schema, Value};
+
+/// A term: a variable, a constant symbol, or an explicit universe
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A (rigid, global) variable.
+    Var(String),
+    /// A constant symbol of the schema.
+    Const(ConstId),
+    /// An explicit element of the universe `N`.
+    Value(Value),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the term contains no variable.
+    pub fn is_ground(&self) -> bool {
+        !matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Value(v)
+    }
+}
+
+/// An atomic formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// Equality `t1 = t2` (interpreted, rigid, infinite relation).
+    Eq(Term, Term),
+    /// A database predicate applied to terms.
+    Pred(PredId, Vec<Term>),
+    /// Extended vocabulary: `t1 ≤ t2` on `N` (interpreted, rigid).
+    Leq(Term, Term),
+    /// Extended vocabulary: `succ(t1, t2)` i.e. `t2 = t1 + 1`.
+    Succ(Term, Term),
+    /// Extended vocabulary: `Zero(t)` i.e. `t = 0`.
+    Zero(Term),
+}
+
+impl Atom {
+    /// Iterates over the atom's terms.
+    pub fn terms(&self) -> impl Iterator<Item = &Term> {
+        let slice: Vec<&Term> = match self {
+            Atom::Eq(a, b) | Atom::Leq(a, b) | Atom::Succ(a, b) => vec![a, b],
+            Atom::Pred(_, ts) => ts.iter().collect(),
+            Atom::Zero(t) => vec![t],
+        };
+        slice.into_iter()
+    }
+
+    /// Mutable access to the atom's terms.
+    pub(crate) fn terms_mut(&mut self) -> Vec<&mut Term> {
+        match self {
+            Atom::Eq(a, b) | Atom::Leq(a, b) | Atom::Succ(a, b) => vec![a, b],
+            Atom::Pred(_, ts) => ts.iter_mut().collect(),
+            Atom::Zero(t) => vec![t],
+        }
+    }
+
+    /// True if the atom uses the extended (interpreted) vocabulary
+    /// `≤`/`succ`/`Zero`. Equality is counted separately since the paper
+    /// always allows it.
+    pub fn is_extended(&self) -> bool {
+        matches!(self, Atom::Leq(_, _) | Atom::Succ(_, _) | Atom::Zero(_))
+    }
+
+    /// Checks predicate arities against a schema.
+    pub fn arity_ok(&self, schema: &Schema) -> bool {
+        match self {
+            Atom::Pred(p, ts) => schema.arity(*p) == ts.len(),
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_helpers() {
+        let x = Term::var("x");
+        assert_eq!(x.as_var(), Some("x"));
+        assert!(!x.is_ground());
+        let v: Term = 5u64.into();
+        assert!(v.is_ground());
+        assert!(v.as_var().is_none());
+        assert!(Term::Const(ConstId(0)).is_ground());
+    }
+
+    #[test]
+    fn atom_terms_iteration() {
+        let a = Atom::Pred(PredId(0), vec![Term::var("x"), Term::Value(1)]);
+        assert_eq!(a.terms().count(), 2);
+        let e = Atom::Eq(Term::var("x"), Term::var("y"));
+        assert_eq!(e.terms().count(), 2);
+        let z = Atom::Zero(Term::var("x"));
+        assert_eq!(z.terms().count(), 1);
+        assert!(z.is_extended());
+        assert!(!e.is_extended());
+    }
+
+    #[test]
+    fn arity_check() {
+        let sc = Schema::builder().pred("E", 2).build();
+        let e = sc.pred("E").unwrap();
+        let good = Atom::Pred(e, vec![Term::Value(0), Term::Value(1)]);
+        let bad = Atom::Pred(e, vec![Term::Value(0)]);
+        assert!(good.arity_ok(&sc));
+        assert!(!bad.arity_ok(&sc));
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the FOTL syntax layer.
+//!
+//! * `parse ∘ display` is the identity on the AST;
+//! * substitution respects free variables (substituting a variable that
+//!   is not free is a no-op; after substituting `x ↦ value`, `x` is no
+//!   longer free);
+//! * prenexing pure first-order formulas preserves quantifier count and
+//!   produces a quantifier-free matrix;
+//! * classification invariants: adding an external `∀` never breaks
+//!   universality; `tense(Π0)` bodies classify as universal.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use ticc_fotl::classify::{classify, prenex, FormulaClass};
+use ticc_fotl::parser::parse;
+use ticc_fotl::subst::{free_vars, substitute, Subst};
+use ticc_fotl::{pretty, Formula, Term};
+use ticc_tdb::Schema;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .pred("P", 1)
+        .pred("Q", 1)
+        .pred("E", 2)
+        .constant("c")
+        .build()
+}
+
+/// Random FOTL formula recipe (future + past + quantifiers).
+#[derive(Debug, Clone)]
+enum FShape {
+    P(u8),
+    Q(u8),
+    E(u8, u8),
+    Eq(u8, u8),
+    Not(Box<FShape>),
+    And(Box<FShape>, Box<FShape>),
+    Or(Box<FShape>, Box<FShape>),
+    Implies(Box<FShape>, Box<FShape>),
+    Next(Box<FShape>),
+    Until(Box<FShape>, Box<FShape>),
+    Prev(Box<FShape>),
+    Since(Box<FShape>, Box<FShape>),
+    Forall(u8, Box<FShape>),
+    Exists(u8, Box<FShape>),
+}
+
+const VARS: &[&str] = &["x", "y", "z"];
+
+fn term(code: u8, sc: &Schema) -> Term {
+    match code % 5 {
+        0..=2 => Term::var(VARS[(code % 3) as usize]),
+        3 => Term::Const(sc.constant("c").unwrap()),
+        _ => Term::Value((code % 7) as u64),
+    }
+}
+
+impl FShape {
+    fn build(&self, sc: &Schema) -> Formula {
+        match self {
+            FShape::P(a) => Formula::pred(sc.pred("P").unwrap(), vec![term(*a, sc)]),
+            FShape::Q(a) => Formula::pred(sc.pred("Q").unwrap(), vec![term(*a, sc)]),
+            FShape::E(a, b) => {
+                Formula::pred(sc.pred("E").unwrap(), vec![term(*a, sc), term(*b, sc)])
+            }
+            FShape::Eq(a, b) => Formula::eq(term(*a, sc), term(*b, sc)),
+            FShape::Not(a) => a.build(sc).not(),
+            FShape::And(a, b) => a.build(sc).and(b.build(sc)),
+            FShape::Or(a, b) => a.build(sc).or(b.build(sc)),
+            FShape::Implies(a, b) => a.build(sc).implies(b.build(sc)),
+            FShape::Next(a) => a.build(sc).next(),
+            FShape::Until(a, b) => a.build(sc).until(b.build(sc)),
+            FShape::Prev(a) => a.build(sc).prev(),
+            FShape::Since(a, b) => a.build(sc).since(b.build(sc)),
+            FShape::Forall(v, a) => Formula::forall(VARS[(*v % 3) as usize], a.build(sc)),
+            FShape::Exists(v, a) => Formula::exists(VARS[(*v % 3) as usize], a.build(sc)),
+        }
+    }
+
+}
+
+fn fshape(depth: u32, quantifiers: bool, temporal: bool) -> impl Strategy<Value = FShape> {
+    let leaf = prop_oneof![
+        (0u8..16).prop_map(FShape::P),
+        (0u8..16).prop_map(FShape::Q),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| FShape::E(a, b)),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| FShape::Eq(a, b)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, move |inner| {
+        let mut opts: Vec<BoxedStrategy<FShape>> = vec![
+            inner.clone().prop_map(|a| FShape::Not(Box::new(a))).boxed(),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FShape::And(Box::new(a), Box::new(b)))
+                .boxed(),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FShape::Or(Box::new(a), Box::new(b)))
+                .boxed(),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FShape::Implies(Box::new(a), Box::new(b)))
+                .boxed(),
+        ];
+        if temporal {
+            opts.push(inner.clone().prop_map(|a| FShape::Next(Box::new(a))).boxed());
+            opts.push(
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| FShape::Until(Box::new(a), Box::new(b)))
+                    .boxed(),
+            );
+            opts.push(inner.clone().prop_map(|a| FShape::Prev(Box::new(a))).boxed());
+            opts.push(
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| FShape::Since(Box::new(a), Box::new(b)))
+                    .boxed(),
+            );
+        }
+        if quantifiers {
+            opts.push(
+                (0u8..3, inner.clone())
+                    .prop_map(|(v, a)| FShape::Forall(v, Box::new(a)))
+                    .boxed(),
+            );
+            opts.push(
+                (0u8..3, inner)
+                    .prop_map(|(v, a)| FShape::Exists(v, Box::new(a)))
+                    .boxed(),
+            );
+        }
+        proptest::strategy::Union::new(opts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_display_roundtrip(s in fshape(4, true, true)) {
+        let sc = schema();
+        let f = s.build(&sc);
+        let printed = format!("{}", pretty::formula(&sc, &f));
+        let back = parse(&sc, &printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}: {printed}")))?;
+        prop_assert_eq!(f, back, "roundtrip failed for {}", printed);
+    }
+
+    #[test]
+    fn substituting_non_free_variable_is_noop(s in fshape(3, true, true)) {
+        let sc = schema();
+        let f = s.build(&sc);
+        let fv = free_vars(&f);
+        // "w" never occurs in generated formulas.
+        let theta: Subst = [("w".to_owned(), Term::Value(99))].into_iter().collect();
+        prop_assert_eq!(substitute(&f, &theta), f.clone());
+        prop_assert!(!fv.contains("w"));
+    }
+
+    #[test]
+    fn ground_substitution_removes_free_variable(s in fshape(3, true, true)) {
+        let sc = schema();
+        let f = s.build(&sc);
+        for v in free_vars(&f) {
+            let theta: Subst = [(v.clone(), Term::Value(42))].into_iter().collect();
+            let g = substitute(&f, &theta);
+            prop_assert!(
+                !free_vars(&g).contains(&v),
+                "{v} still free after substitution in {}",
+                pretty::formula(&sc, &g)
+            );
+        }
+    }
+
+    #[test]
+    fn prenex_preserves_quantifier_count(s in fshape(3, true, false)) {
+        let sc = schema();
+        let f = s.build(&sc);
+        assert!(f.is_pure_first_order(), "temporal=false shapes are pure FO");
+        let (prefix, matrix) = prenex(&f);
+        prop_assert!(matrix.is_quantifier_free());
+        // Prenexing of ¬/∧/∨/→ never duplicates or drops quantifiers
+        // (implication rewrites ¬a∨b without copying subterms).
+        prop_assert_eq!(prefix.len(), f.quantifier_count());
+    }
+
+    #[test]
+    fn universal_closure_of_tense_pi0_is_universal(s in fshape(3, false, true)) {
+        let sc = schema();
+        let body = s.build(&sc);
+        prop_assume!(body.is_future()); // past shapes excluded
+        let f = Formula::forall_many(["x", "y", "z"], body);
+        prop_assert_eq!(classify(&f), FormulaClass::Universal { external: 3 });
+    }
+
+    #[test]
+    fn size_is_positive_and_children_smaller(s in fshape(4, true, true)) {
+        let sc = schema();
+        let f = s.build(&sc);
+        let n = f.size();
+        prop_assert!(n >= 1);
+        for c in f.children() {
+            prop_assert!(c.size() < n);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Subformula closure of a future NNF formula.
+//!
+//! The closure-set tableau of Sistla & Clarke works over the set of
+//! subformulas of the (NNF) input; this module computes that set with a
+//! deterministic order and an index map, and classifies each member for
+//! the tableau's local-consistency rules.
+
+use crate::arena::{Arena, FormulaId, Node};
+use std::collections::HashMap;
+
+/// The subformula closure of an NNF future formula.
+pub struct Closure {
+    /// Subformulas in deterministic (post-order) order; children precede
+    /// parents.
+    pub members: Vec<FormulaId>,
+    /// Maps a formula id to its index within `members`.
+    pub index: HashMap<FormulaId, usize>,
+    /// Indices of the `Until` members (the eventualities that drive the
+    /// acceptance condition).
+    pub untils: Vec<usize>,
+}
+
+impl Closure {
+    /// Computes the closure of `f`, which must be in NNF (checked by
+    /// debug assertion).
+    pub fn of(arena: &Arena, f: FormulaId) -> Self {
+        debug_assert!(crate::nnf::is_nnf(arena, f), "closure requires NNF input");
+        let mut members = Vec::new();
+        let mut index = HashMap::new();
+        collect(arena, f, &mut members, &mut index);
+        let untils = members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| matches!(arena.node(m), Node::Until(_, _)))
+            .map(|(i, _)| i)
+            .collect();
+        Self {
+            members,
+            index,
+            untils,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the closure is empty (never happens for a real formula).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Index of a member formula.
+    pub fn idx(&self, f: FormulaId) -> usize {
+        self.index[&f]
+    }
+}
+
+fn collect(
+    arena: &Arena,
+    f: FormulaId,
+    members: &mut Vec<FormulaId>,
+    index: &mut HashMap<FormulaId, usize>,
+) {
+    if index.contains_key(&f) {
+        return;
+    }
+    match arena.node(f) {
+        Node::True | Node::False | Node::Atom(_) => {}
+        Node::Not(g) | Node::Next(g) => collect(arena, g, members, index),
+        Node::And(a, b) | Node::Or(a, b) | Node::Until(a, b) | Node::Release(a, b) => {
+            collect(arena, a, members, index);
+            collect(arena, b, members, index);
+        }
+        Node::Prev(_) | Node::Since(_, _) => {
+            unreachable!("closure is only computed for future formulas")
+        }
+    }
+    index.insert(f, members.len());
+    members.push(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_postorder_and_deduplicated() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let u = ar.until(p, q);
+        let f = ar.and(u, p); // shares p
+        let c = Closure::of(&ar, f);
+        assert_eq!(c.members.len(), 4); // p, q, pUq, (pUq)∧p
+        assert!(c.idx(p) < c.idx(u));
+        assert!(c.idx(u) < c.idx(f));
+        assert_eq!(c.untils, vec![c.idx(u)]);
+    }
+
+    #[test]
+    fn closure_of_atom() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let c = Closure::of(&ar, p);
+        assert_eq!(c.len(), 1);
+        assert!(c.untils.is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! Emptiness of generalized Büchi graphs.
+//!
+//! Both satisfiability engines reduce to the same question: does a node
+//! graph with generalized Büchi acceptance (a family of node sets, each
+//! to be visited infinitely often) admit an infinite fair path from an
+//! initial node? The classic answer — used here — is to find a reachable
+//! non-trivial strongly connected component intersecting every acceptance
+//! set, and to extract a lasso (stem + fair cycle) from it.
+
+/// A directed graph with initial nodes and generalized Büchi acceptance.
+///
+/// `accept[i]` is a bitset (one bit per acceptance set) of the sets node
+/// `i` belongs to. A fair cycle must collectively cover all `num_sets`
+/// bits.
+pub struct FairGraph {
+    /// Successor lists, indexed by node.
+    pub succ: Vec<Vec<u32>>,
+    /// Initial nodes.
+    pub initial: Vec<u32>,
+    /// Number of acceptance sets.
+    pub num_sets: usize,
+    /// Per-node membership bitsets, `accept[i].len() == words(num_sets)`.
+    pub accept: Vec<Vec<u64>>,
+}
+
+/// A fair lasso: a stem from an initial node to `cycle[0]`, and a
+/// non-empty cycle returning to `cycle[0]` that intersects every
+/// acceptance set. The stem includes the initial node and ends just
+/// before `cycle[0]`; the full run is `stem · cycleω`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairLasso {
+    /// Nodes from an initial node up to (excluding) the cycle entry.
+    pub stem: Vec<u32>,
+    /// The repeated cycle; `cycle[0]` is the entry node.
+    pub cycle: Vec<u32>,
+}
+
+fn words(bits: usize) -> usize {
+    bits.div_ceil(64).max(1)
+}
+
+/// Searches for a fair lasso. Returns `None` iff the fair language is
+/// empty (no infinite fair run exists).
+pub fn find_fair_lasso(g: &FairGraph) -> Option<FairLasso> {
+    let n = g.succ.len();
+    if n == 0 || g.initial.is_empty() {
+        return None;
+    }
+    let full_mask = full_mask(g.num_sets);
+
+    // Reachability from the initial nodes.
+    let mut reach = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for &i in &g.initial {
+        if !reach[i as usize] {
+            reach[i as usize] = true;
+            stack.push(i);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &w in &g.succ[v as usize] {
+            if !reach[w as usize] {
+                reach[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+
+    // Iterative Tarjan over the reachable subgraph.
+    let sccs = tarjan_sccs(&g.succ, &reach);
+
+    for scc in &sccs {
+        if !scc_nontrivial(g, scc) {
+            continue;
+        }
+        let mut mask = vec![0u64; words(g.num_sets)];
+        for &v in scc {
+            for (m, a) in mask.iter_mut().zip(&g.accept[v as usize]) {
+                *m |= a;
+            }
+        }
+        if mask == full_mask {
+            return Some(build_lasso(g, scc));
+        }
+    }
+    None
+}
+
+fn full_mask(num_sets: usize) -> Vec<u64> {
+    let mut m = vec![0u64; words(num_sets)];
+    for i in 0..num_sets {
+        m[i / 64] |= 1u64 << (i % 64);
+    }
+    m
+}
+
+fn scc_nontrivial(g: &FairGraph, scc: &[u32]) -> bool {
+    if scc.len() > 1 {
+        return true;
+    }
+    let v = scc[0];
+    g.succ[v as usize].contains(&v)
+}
+
+/// Iterative Tarjan restricted to `alive` nodes. Returns SCCs in reverse
+/// topological order (which we don't rely on).
+fn tarjan_sccs(succ: &[Vec<u32>], alive: &[bool]) -> Vec<Vec<u32>> {
+    let n = succ.len();
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out = Vec::new();
+
+    // Explicit DFS stack of (node, next-child-position).
+    let mut dfs: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if !alive[start as usize] || index[start as usize] != UNSEEN {
+            continue;
+        }
+        dfs.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = dfs.last_mut() {
+            let vs = v as usize;
+            if *child < succ[vs].len() {
+                let w = succ[vs][*child];
+                *child += 1;
+                let ws = w as usize;
+                if !alive[ws] {
+                    continue;
+                }
+                if index[ws] == UNSEEN {
+                    index[ws] = next_index;
+                    low[ws] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[ws] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[ws] {
+                    low[vs] = low[vs].min(index[ws]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    let ps = parent as usize;
+                    low[ps] = low[ps].min(low[vs]);
+                }
+                if low[vs] == index[vs] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// BFS path from `from` to any node satisfying `goal`, restricted to
+/// nodes where `within` is true. The returned path starts at `from` and
+/// ends at the goal node. `require_step` forces at least one edge.
+fn bfs_path(
+    g: &FairGraph,
+    from: u32,
+    within: impl Fn(u32) -> bool,
+    goal: impl Fn(u32) -> bool,
+    require_step: bool,
+) -> Option<Vec<u32>> {
+    if !require_step && goal(from) {
+        return Some(vec![from]);
+    }
+    let n = g.succ.len();
+    let mut pred = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[from as usize] = true;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        for &w in &g.succ[v as usize] {
+            if !within(w) {
+                continue;
+            }
+            if goal(w) {
+                // Reconstruct from..=w.
+                let mut path = vec![w, v];
+                let mut cur = v;
+                while cur != from {
+                    cur = pred[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                pred[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+fn build_lasso(g: &FairGraph, scc: &[u32]) -> FairLasso {
+    let in_scc = {
+        let mut v = vec![false; g.succ.len()];
+        for &x in scc {
+            v[x as usize] = true;
+        }
+        v
+    };
+
+    // Stem: shortest path from any initial node into the SCC.
+    let entry_path = g
+        .initial
+        .iter()
+        .filter_map(|&i| bfs_path(g, i, |_| true, |w| in_scc[w as usize], false))
+        .min_by_key(|p| p.len())
+        .expect("SCC reported reachable but no path found");
+    let entry = *entry_path.last().unwrap();
+    let stem = entry_path[..entry_path.len() - 1].to_vec();
+
+    // Cycle: starting at `entry`, greedily visit one representative of
+    // every not-yet-covered acceptance set, then return to `entry`.
+    let nw = words(g.num_sets);
+    let mut covered = vec![0u64; nw];
+    let want = full_mask(g.num_sets);
+    let mut cycle = vec![entry];
+    for (m, a) in covered.iter_mut().zip(&g.accept[entry as usize]) {
+        *m |= a;
+    }
+    let mut cur = entry;
+    for set in 0..g.num_sets {
+        if covered[set / 64] >> (set % 64) & 1 == 1 {
+            continue;
+        }
+        let path = bfs_path(
+            g,
+            cur,
+            |w| in_scc[w as usize],
+            |w| g.accept[w as usize][set / 64] >> (set % 64) & 1 == 1,
+            false,
+        )
+        .expect("fair SCC must contain every acceptance set");
+        for &v in &path[1..] {
+            cycle.push(v);
+            for (m, a) in covered.iter_mut().zip(&g.accept[v as usize]) {
+                *m |= a;
+            }
+        }
+        cur = *path.last().unwrap();
+    }
+    debug_assert_eq!(covered, want);
+    // Close the cycle back to `entry`, with at least one edge overall.
+    let need_step = cycle.len() == 1;
+    let back = bfs_path(g, cur, |w| in_scc[w as usize], |w| w == entry, need_step)
+        .expect("SCC is strongly connected");
+    cycle.extend_from_slice(&back[1..back.len()]);
+    // `back` ends at entry; drop that final repeat of the entry node.
+    if *cycle.last().unwrap() == entry && cycle.len() > 1 {
+        cycle.pop();
+    }
+    FairLasso { stem, cycle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(sets: &[usize], num_sets: usize) -> Vec<u64> {
+        let mut m = vec![0u64; words(num_sets)];
+        for &s in sets {
+            m[s / 64] |= 1 << (s % 64);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_graph_has_no_lasso() {
+        let g = FairGraph {
+            succ: vec![],
+            initial: vec![],
+            num_sets: 0,
+            accept: vec![],
+        };
+        assert!(find_fair_lasso(&g).is_none());
+    }
+
+    #[test]
+    fn self_loop_no_acceptance() {
+        let g = FairGraph {
+            succ: vec![vec![0]],
+            initial: vec![0],
+            num_sets: 0,
+            accept: vec![mask(&[], 0)],
+        };
+        let l = find_fair_lasso(&g).unwrap();
+        assert_eq!(l.cycle, vec![0]);
+        assert!(l.stem.is_empty());
+    }
+
+    #[test]
+    fn dead_end_is_empty() {
+        // 0 -> 1, no cycle anywhere.
+        let g = FairGraph {
+            succ: vec![vec![1], vec![]],
+            initial: vec![0],
+            num_sets: 0,
+            accept: vec![mask(&[], 0), mask(&[], 0)],
+        };
+        assert!(find_fair_lasso(&g).is_none());
+    }
+
+    #[test]
+    fn acceptance_filters_cycles() {
+        // Two disjoint cycles; only node 2's cycle is accepting.
+        // 0 -> 0 (not accepting), 0 -> 1 -> 2 -> 1 (2 in set 0).
+        let g = FairGraph {
+            succ: vec![vec![0, 1], vec![2], vec![1]],
+            initial: vec![0],
+            num_sets: 1,
+            accept: vec![mask(&[], 1), mask(&[], 1), mask(&[0], 1)],
+        };
+        let l = find_fair_lasso(&g).unwrap();
+        assert!(l.cycle.contains(&2));
+        // Run must start at node 0.
+        let first = l.stem.first().copied().unwrap_or(l.cycle[0]);
+        assert_eq!(first, 0);
+    }
+
+    #[test]
+    fn generalized_acceptance_needs_all_sets() {
+        // Cycle 1<->2 where 1 ∈ F0, 2 ∈ F1: fair only jointly.
+        let g = FairGraph {
+            succ: vec![vec![1], vec![2], vec![1]],
+            initial: vec![0],
+            num_sets: 2,
+            accept: vec![mask(&[], 2), mask(&[0], 2), mask(&[1], 2)],
+        };
+        let l = find_fair_lasso(&g).unwrap();
+        assert!(l.cycle.contains(&1) && l.cycle.contains(&2));
+
+        // Remove node 2 from F1: now empty.
+        let g2 = FairGraph {
+            accept: vec![mask(&[], 2), mask(&[0], 2), mask(&[], 2)],
+            ..g
+        };
+        assert!(find_fair_lasso(&g2).is_none());
+    }
+
+    #[test]
+    fn unreachable_fair_scc_does_not_count() {
+        // Fair cycle at 1, but initial 0 cannot reach it.
+        let g = FairGraph {
+            succ: vec![vec![], vec![1]],
+            initial: vec![0],
+            num_sets: 0,
+            accept: vec![mask(&[], 0), mask(&[], 0)],
+        };
+        assert!(find_fair_lasso(&g).is_none());
+    }
+
+    #[test]
+    fn lasso_is_a_real_run() {
+        // Random-ish graph; validate the returned lasso edge-by-edge.
+        let g = FairGraph {
+            succ: vec![vec![1, 2], vec![3], vec![3], vec![1, 4], vec![3]],
+            initial: vec![0],
+            num_sets: 1,
+            accept: vec![
+                mask(&[], 1),
+                mask(&[], 1),
+                mask(&[], 1),
+                mask(&[], 1),
+                mask(&[0], 1),
+            ],
+        };
+        let l = find_fair_lasso(&g).unwrap();
+        let mut run: Vec<u32> = l.stem.clone();
+        run.extend(&l.cycle);
+        run.push(l.cycle[0]);
+        for pair in run.windows(2) {
+            assert!(
+                g.succ[pair[0] as usize].contains(&pair[1]),
+                "bad edge {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(l.cycle.contains(&4), "cycle must visit the accepting node");
+    }
+
+    #[test]
+    fn many_acceptance_sets_over_word_boundary() {
+        // 70 acceptance sets on a single big cycle: exercises multi-word
+        // masks.
+        let n = 70usize;
+        let succ: Vec<Vec<u32>> = (0..n).map(|i| vec![((i + 1) % n) as u32]).collect();
+        let accept: Vec<Vec<u64>> = (0..n).map(|i| mask(&[i], n)).collect();
+        let g = FairGraph {
+            succ,
+            initial: vec![0],
+            num_sets: n,
+            accept,
+        };
+        let l = find_fair_lasso(&g).unwrap();
+        assert_eq!(l.cycle.len(), n);
+    }
+}

@@ -1,0 +1,266 @@
+//! Ultimately-periodic words ("lassos") and model checking over them.
+//!
+//! A satisfiable future formula always has an ultimately-periodic model
+//! `prefix · cycleω`; the Büchi engine produces one as a witness. This
+//! module represents such words and evaluates future formulas over them
+//! *exactly* (fixpoint iteration for `until`/`release` over the loop),
+//! which gives the crate an independent soundness oracle: every witness
+//! reported satisfiable is re-checked by evaluation.
+
+use crate::arena::{Arena, FormulaId, Node};
+use crate::nnf::NnfError;
+use crate::trace::PropState;
+use std::collections::HashMap;
+
+/// An ultimately periodic propositional word `prefix · cycleω`.
+///
+/// The cycle must be non-empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso {
+    /// The finite transient.
+    pub prefix: Vec<PropState>,
+    /// The repeated suffix (non-empty).
+    pub cycle: Vec<PropState>,
+}
+
+impl Lasso {
+    /// Creates a lasso, panicking on an empty cycle.
+    pub fn new(prefix: Vec<PropState>, cycle: Vec<PropState>) -> Self {
+        assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+        Self { prefix, cycle }
+    }
+
+    /// The state at absolute position `i` of the infinite word.
+    pub fn state(&self, i: usize) -> &PropState {
+        if i < self.prefix.len() {
+            &self.prefix[i]
+        } else {
+            &self.cycle[(i - self.prefix.len()) % self.cycle.len()]
+        }
+    }
+
+    /// Number of representative positions (`prefix.len() + cycle.len()`).
+    pub fn period_end(&self) -> usize {
+        self.prefix.len() + self.cycle.len()
+    }
+
+    /// The first `n` states, unrolled into a finite trace.
+    pub fn unroll(&self, n: usize) -> Vec<PropState> {
+        (0..n).map(|i| self.state(i).clone()).collect()
+    }
+
+    /// Evaluates the future formula `f` at position 0 of the infinite
+    /// word. Errors on past connectives.
+    pub fn eval(&self, arena: &Arena, f: FormulaId) -> Result<bool, NnfError> {
+        Ok(self.eval_all(arena, f)?[0])
+    }
+
+    /// Evaluates `f` at every representative position
+    /// (`0 .. period_end()`); positions `≥ prefix.len()` repeat with the
+    /// cycle period.
+    pub fn eval_all(&self, arena: &Arena, f: FormulaId) -> Result<Vec<bool>, NnfError> {
+        let n = self.period_end();
+        assert!(n > 0);
+        let mut memo: HashMap<FormulaId, Vec<bool>> = HashMap::new();
+        self.values(arena, f, &mut memo)?;
+        Ok(memo[&f].clone())
+    }
+
+    /// Successor of representative position `i`.
+    fn succ(&self, i: usize) -> usize {
+        if i + 1 < self.period_end() {
+            i + 1
+        } else {
+            self.prefix.len()
+        }
+    }
+
+    fn values(
+        &self,
+        arena: &Arena,
+        f: FormulaId,
+        memo: &mut HashMap<FormulaId, Vec<bool>>,
+    ) -> Result<(), NnfError> {
+        if memo.contains_key(&f) {
+            return Ok(());
+        }
+        let n = self.period_end();
+        let vals = match arena.node(f) {
+            Node::True => vec![true; n],
+            Node::False => vec![false; n],
+            Node::Atom(a) => (0..n).map(|i| self.state(i).get(a)).collect(),
+            Node::Not(g) => {
+                self.values(arena, g, memo)?;
+                memo[&g].iter().map(|v| !v).collect()
+            }
+            Node::And(a, b) => {
+                self.values(arena, a, memo)?;
+                self.values(arena, b, memo)?;
+                memo[&a]
+                    .iter()
+                    .zip(&memo[&b])
+                    .map(|(x, y)| *x && *y)
+                    .collect()
+            }
+            Node::Or(a, b) => {
+                self.values(arena, a, memo)?;
+                self.values(arena, b, memo)?;
+                memo[&a]
+                    .iter()
+                    .zip(&memo[&b])
+                    .map(|(x, y)| *x || *y)
+                    .collect()
+            }
+            Node::Next(g) => {
+                self.values(arena, g, memo)?;
+                let gv = &memo[&g];
+                (0..n).map(|i| gv[self.succ(i)]).collect()
+            }
+            Node::Until(a, b) => {
+                self.values(arena, a, memo)?;
+                self.values(arena, b, memo)?;
+                let (av, bv) = (memo[&a].clone(), memo[&b].clone());
+                // Least fixpoint of v[i] = b[i] ∨ (a[i] ∧ v[succ(i)]).
+                let mut v = vec![false; n];
+                loop {
+                    let mut changed = false;
+                    for i in (0..n).rev() {
+                        let nv = bv[i] || (av[i] && v[self.succ(i)]);
+                        if nv != v[i] {
+                            v[i] = nv;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                v
+            }
+            Node::Release(a, b) => {
+                self.values(arena, a, memo)?;
+                self.values(arena, b, memo)?;
+                let (av, bv) = (memo[&a].clone(), memo[&b].clone());
+                // Greatest fixpoint of v[i] = b[i] ∧ (a[i] ∨ v[succ(i)]).
+                let mut v = vec![true; n];
+                loop {
+                    let mut changed = false;
+                    for i in (0..n).rev() {
+                        let nv = bv[i] && (av[i] || v[self.succ(i)]);
+                        if nv != v[i] {
+                            v[i] = nv;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                v
+            }
+            Node::Prev(_) | Node::Since(_, _) => return Err(NnfError::PastOperator),
+        };
+        memo.insert(f, vals);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::AtomId;
+
+    fn st(atoms: &[AtomId]) -> PropState {
+        PropState::from_true_atoms(atoms.iter().copied())
+    }
+
+    #[test]
+    fn indexing_wraps_into_cycle() {
+        let mut ar = Arena::new();
+        let pa = ar.intern_atom("p");
+        let l = Lasso::new(vec![st(&[])], vec![st(&[pa]), st(&[])]);
+        assert!(!l.state(0).get(pa));
+        assert!(l.state(1).get(pa));
+        assert!(!l.state(2).get(pa));
+        assert!(l.state(3).get(pa)); // wraps
+        assert_eq!(l.unroll(4).len(), 4);
+    }
+
+    #[test]
+    fn always_on_all_true_cycle() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let pa = ar.find_atom("p").unwrap();
+        let g = ar.always(p);
+        let l = Lasso::new(vec![], vec![st(&[pa])]);
+        assert!(l.eval(&ar, g).unwrap());
+        let l2 = Lasso::new(vec![st(&[pa])], vec![st(&[])]);
+        assert!(!l2.eval(&ar, g).unwrap());
+    }
+
+    #[test]
+    fn eventually_in_cycle_only() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let pa = ar.find_atom("p").unwrap();
+        let ev = ar.eventually(p);
+        let l = Lasso::new(vec![st(&[]), st(&[])], vec![st(&[]), st(&[pa])]);
+        assert!(l.eval(&ar, ev).unwrap());
+        let never = Lasso::new(vec![st(&[pa])], vec![st(&[])]);
+        // p only in the prefix: ◇p true at 0 but □◇p false.
+        assert!(never.eval(&ar, ev).unwrap());
+        let gf = ar.always(ev);
+        assert!(!never.eval(&ar, gf).unwrap());
+    }
+
+    #[test]
+    fn infinitely_often_alternation() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let np = ar.not(p);
+        let pa = ar.find_atom("p").unwrap();
+        let fp = ar.eventually(p);
+        let fnp = ar.eventually(np);
+        let gfp = ar.always(fp);
+        let gfnp = ar.always(fnp);
+        let both = ar.and(gfp, gfnp);
+        let l = Lasso::new(vec![], vec![st(&[pa]), st(&[])]);
+        assert!(l.eval(&ar, both).unwrap());
+        let lp = Lasso::new(vec![], vec![st(&[pa])]);
+        assert!(!lp.eval(&ar, both).unwrap());
+    }
+
+    #[test]
+    fn until_needs_contiguity() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let (pa, qa) = (ar.find_atom("p").unwrap(), ar.find_atom("q").unwrap());
+        let u = ar.until(p, q);
+        // p p q ... satisfies; p _ q ... does not.
+        let good = Lasso::new(vec![st(&[pa]), st(&[pa])], vec![st(&[qa])]);
+        assert!(good.eval(&ar, u).unwrap());
+        let bad = Lasso::new(vec![st(&[pa]), st(&[])], vec![st(&[qa])]);
+        assert!(!bad.eval(&ar, u).unwrap());
+    }
+
+    #[test]
+    fn release_holds_forever_without_release_point() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let qa = ar.find_atom("q").unwrap();
+        let r = ar.release(p, q);
+        let l = Lasso::new(vec![], vec![st(&[qa])]);
+        assert!(l.eval(&ar, r).unwrap());
+    }
+
+    #[test]
+    fn rejects_past() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let o = ar.once(p);
+        let l = Lasso::new(vec![], vec![PropState::new()]);
+        assert!(l.eval(&ar, o).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Negation normal form.
+//!
+//! The satisfiability engines ([`crate::tableau`], [`crate::buchi`])
+//! operate on future formulas in *negation normal form* (NNF): negation
+//! applied only to atoms, with `Release` as the dual of `Until`. NNF
+//! conversion is linear in the DAG thanks to a two-polarity memo table.
+
+use crate::arena::{Arena, FormulaId, Node};
+
+/// Error returned when a formula outside the supported fragment is given
+/// to an engine that requires future-only NNF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnfError {
+    /// The formula contains a past connective (`●` or `since`).
+    PastOperator,
+}
+
+impl std::fmt::Display for NnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnfError::PastOperator => {
+                write!(f, "past temporal connectives are not supported here")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnfError {}
+
+/// Converts a future formula to negation normal form.
+///
+/// Returns an error if the formula contains past connectives; the
+/// decision procedures of Lemma 4.2 are stated (and implemented) for
+/// future formulas, matching the biquantified fragment of the paper.
+pub fn nnf(arena: &mut Arena, f: FormulaId) -> Result<FormulaId, NnfError> {
+    let mut memo: std::collections::HashMap<(FormulaId, bool), FormulaId> =
+        std::collections::HashMap::new();
+    go(arena, f, false, &mut memo)
+}
+
+fn go(
+    arena: &mut Arena,
+    f: FormulaId,
+    negated: bool,
+    memo: &mut std::collections::HashMap<(FormulaId, bool), FormulaId>,
+) -> Result<FormulaId, NnfError> {
+    if let Some(&r) = memo.get(&(f, negated)) {
+        return Ok(r);
+    }
+    let r = match (arena.node(f), negated) {
+        (Node::True, false) | (Node::False, true) => arena.tru(),
+        (Node::True, true) | (Node::False, false) => arena.fls(),
+        (Node::Atom(_), false) => f,
+        (Node::Atom(_), true) => arena.not(f),
+        (Node::Not(g), n) => go(arena, g, !n, memo)?,
+        (Node::And(a, b), false) | (Node::Or(a, b), true) => {
+            let x = go(arena, a, negated, memo)?;
+            let y = go(arena, b, negated, memo)?;
+            arena.and(x, y)
+        }
+        (Node::And(a, b), true) | (Node::Or(a, b), false) => {
+            let x = go(arena, a, negated, memo)?;
+            let y = go(arena, b, negated, memo)?;
+            arena.or(x, y)
+        }
+        (Node::Next(g), n) => {
+            let x = go(arena, g, n, memo)?;
+            arena.next(x)
+        }
+        (Node::Until(a, b), false) => {
+            let x = go(arena, a, false, memo)?;
+            let y = go(arena, b, false, memo)?;
+            arena.until(x, y)
+        }
+        (Node::Until(a, b), true) => {
+            let x = go(arena, a, true, memo)?;
+            let y = go(arena, b, true, memo)?;
+            arena.release(x, y)
+        }
+        (Node::Release(a, b), false) => {
+            let x = go(arena, a, false, memo)?;
+            let y = go(arena, b, false, memo)?;
+            arena.release(x, y)
+        }
+        (Node::Release(a, b), true) => {
+            let x = go(arena, a, true, memo)?;
+            let y = go(arena, b, true, memo)?;
+            arena.until(x, y)
+        }
+        (Node::Prev(_), _) | (Node::Since(_, _), _) => return Err(NnfError::PastOperator),
+    };
+    memo.insert((f, negated), r);
+    Ok(r)
+}
+
+/// True if the DAG rooted at `f` is already in negation normal form
+/// (negation only on atoms, no derived connectives outside the core).
+pub fn is_nnf(arena: &Arena, f: FormulaId) -> bool {
+    let mut stack = vec![f];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match arena.node(id) {
+            Node::True | Node::False | Node::Atom(_) => {}
+            Node::Not(g) => {
+                if !matches!(arena.node(g), Node::Atom(_)) {
+                    return false;
+                }
+            }
+            Node::Next(g) | Node::Prev(g) => stack.push(g),
+            Node::And(a, b)
+            | Node::Or(a, b)
+            | Node::Until(a, b)
+            | Node::Release(a, b)
+            | Node::Since(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pushes_negation_through_until() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let u = ar.until(p, q);
+        let nu = ar.not(u);
+        let r = nnf(&mut ar, nu).unwrap();
+        let np = ar.not(p);
+        let nq = ar.not(q);
+        let expect = ar.release(np, nq);
+        assert_eq!(r, expect);
+        assert!(is_nnf(&ar, r));
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let g = ar.always(p);
+        let n1 = ar.not(g);
+        let n2 = ar.not(n1);
+        let r = nnf(&mut ar, n2).unwrap();
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    fn negated_always_becomes_eventually_not() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let g = ar.always(p);
+        let ng = ar.not(g);
+        let r = nnf(&mut ar, ng).unwrap();
+        let np = ar.not(p);
+        let expect = ar.eventually(np);
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn implication_desugars() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let imp = ar.implies(p, q);
+        let r = nnf(&mut ar, imp).unwrap();
+        assert!(is_nnf(&ar, r));
+        let np = ar.not(p);
+        assert_eq!(r, ar.or(np, q));
+    }
+
+    #[test]
+    fn rejects_past() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let o = ar.once(p);
+        assert_eq!(nnf(&mut ar, o), Err(NnfError::PastOperator));
+    }
+
+    #[test]
+    fn next_is_self_dual() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let x = ar.next(p);
+        let nx = ar.not(x);
+        let r = nnf(&mut ar, nx).unwrap();
+        let np = ar.not(p);
+        assert_eq!(r, ar.next(np));
+    }
+}

@@ -1,0 +1,447 @@
+//! Text syntax for PTL formulas.
+//!
+//! Grammar (loosest binding first):
+//!
+//! ```text
+//! formula := iff
+//! iff     := impl ( "<->" impl )*
+//! impl    := or ( "->" impl )?            // right associative
+//! or      := and ( "|" and )*
+//! and     := temp ( "&" temp )*
+//! temp    := unary ( ("U" | "R" | "S") temp )?   // right associative
+//! unary   := ("!" | "X" | "F" | "G" | "Y" | "O" | "H") unary | primary
+//! primary := "true" | "false" | ident | string | "(" formula ")"
+//! ```
+//!
+//! `X ○`, `F ◇`, `G □`, `Y ●`, `O ◈` (once), `H ▣` (historically);
+//! `U`/`R`/`S` are until/release/since. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_']*` except the reserved single letters; atoms
+//! with arbitrary names (e.g. the grounder's `p(1,z2)`) can be written as
+//! double-quoted strings.
+
+use crate::arena::{Arena, FormulaId};
+use std::fmt;
+
+/// A parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    LParen,
+    RParen,
+    Next,
+    Finally,
+    Globally,
+    Until,
+    Release,
+    Prev,
+    Since,
+    Once,
+    Hist,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(usize, Tok), ParseError> {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'!' => {
+                self.pos += 1;
+                Tok::Not
+            }
+            b'&' => {
+                self.pos += 1;
+                if self.src.get(self.pos) == Some(&b'&') {
+                    self.pos += 1;
+                }
+                Tok::And
+            }
+            b'|' => {
+                self.pos += 1;
+                if self.src.get(self.pos) == Some(&b'|') {
+                    self.pos += 1;
+                }
+                Tok::Or
+            }
+            b'-' => {
+                if self.src.get(self.pos + 1) == Some(&b'>') {
+                    self.pos += 2;
+                    Tok::Implies
+                } else {
+                    return Err(self.error("expected '->'"));
+                }
+            }
+            b'<' => {
+                if self.src.get(self.pos + 1) == Some(&b'-')
+                    && self.src.get(self.pos + 2) == Some(&b'>')
+                {
+                    self.pos += 3;
+                    Tok::Iff
+                } else {
+                    return Err(self.error("expected '<->'"));
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let s = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.error("unterminated string atom"));
+                }
+                let name = std::str::from_utf8(&self.src[s..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in atom"))?
+                    .to_owned();
+                self.pos += 1;
+                Tok::Str(name)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let s = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric()
+                        || self.src[self.pos] == b'_'
+                        || self.src[self.pos] == b'\'')
+                {
+                    self.pos += 1;
+                }
+                let word = std::str::from_utf8(&self.src[s..self.pos]).unwrap();
+                match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "X" => Tok::Next,
+                    "F" => Tok::Finally,
+                    "G" => Tok::Globally,
+                    "U" => Tok::Until,
+                    "R" => Tok::Release,
+                    "Y" => Tok::Prev,
+                    "S" => Tok::Since,
+                    "O" => Tok::Once,
+                    "H" => Tok::Hist,
+                    _ => Tok::Ident(word.to_owned()),
+                }
+            }
+            _ => return Err(self.error(format!("unexpected character '{}'", c as char))),
+        };
+        Ok((start, tok))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    look: (usize, Tok),
+    arena: &'a mut Arena,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, arena: &'a mut Arena) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let look = lexer.next_token()?;
+        Ok(Self { lexer, look, arena })
+    }
+
+    fn bump(&mut self) -> Result<Tok, ParseError> {
+        let next = self.lexer.next_token()?;
+        Ok(std::mem::replace(&mut self.look, next).1)
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.look.0,
+            message: message.into(),
+        }
+    }
+
+    fn formula(&mut self) -> Result<FormulaId, ParseError> {
+        let mut left = self.implication()?;
+        while self.look.1 == Tok::Iff {
+            self.bump()?;
+            let right = self.implication()?;
+            left = self.arena.iff(left, right);
+        }
+        Ok(left)
+    }
+
+    fn implication(&mut self) -> Result<FormulaId, ParseError> {
+        let left = self.or()?;
+        if self.look.1 == Tok::Implies {
+            self.bump()?;
+            let right = self.implication()?;
+            return Ok(self.arena.implies(left, right));
+        }
+        Ok(left)
+    }
+
+    fn or(&mut self) -> Result<FormulaId, ParseError> {
+        let mut left = self.and()?;
+        while self.look.1 == Tok::Or {
+            self.bump()?;
+            let right = self.and()?;
+            left = self.arena.or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<FormulaId, ParseError> {
+        let mut left = self.temporal()?;
+        while self.look.1 == Tok::And {
+            self.bump()?;
+            let right = self.temporal()?;
+            left = self.arena.and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn temporal(&mut self) -> Result<FormulaId, ParseError> {
+        let left = self.unary()?;
+        match self.look.1 {
+            Tok::Until => {
+                self.bump()?;
+                let right = self.temporal()?;
+                Ok(self.arena.until(left, right))
+            }
+            Tok::Release => {
+                self.bump()?;
+                let right = self.temporal()?;
+                Ok(self.arena.release(left, right))
+            }
+            Tok::Since => {
+                self.bump()?;
+                let right = self.temporal()?;
+                Ok(self.arena.since(left, right))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn unary(&mut self) -> Result<FormulaId, ParseError> {
+        match self.look.1 {
+            Tok::Not => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.not(f))
+            }
+            Tok::Next => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.next(f))
+            }
+            Tok::Finally => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.eventually(f))
+            }
+            Tok::Globally => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.always(f))
+            }
+            Tok::Prev => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.prev(f))
+            }
+            Tok::Once => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.once(f))
+            }
+            Tok::Hist => {
+                self.bump()?;
+                let f = self.unary()?;
+                Ok(self.arena.historically(f))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<FormulaId, ParseError> {
+        match self.bump()? {
+            Tok::True => Ok(self.arena.tru()),
+            Tok::False => Ok(self.arena.fls()),
+            Tok::Ident(name) | Tok::Str(name) => Ok(self.arena.atom(&name)),
+            Tok::LParen => {
+                let f = self.formula()?;
+                match self.bump()? {
+                    Tok::RParen => Ok(f),
+                    _ => Err(self.error_here("expected ')'")),
+                }
+            }
+            other => Err(self.error_here(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parses a PTL formula from the crate's text syntax.
+pub fn parse(arena: &mut Arena, src: &str) -> Result<FormulaId, ParseError> {
+    let mut p = Parser::new(src, arena)?;
+    let f = p.formula()?;
+    if p.look.1 != Tok::Eof {
+        return Err(p.error_here("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        let mut ar = Arena::new();
+        let f = parse(&mut ar, src).unwrap();
+        format!("{}", ar.display(f))
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(roundtrip("p"), "p");
+        assert_eq!(roundtrip("true"), "true");
+        assert_eq!(roundtrip("false"), "false");
+        assert_eq!(roundtrip("\"p(1,z2)\""), "p(1,z2)");
+    }
+
+    #[test]
+    fn precedence() {
+        // & binds tighter than |, temporal tighter than &.
+        let mut ar = Arena::new();
+        let f = parse(&mut ar, "a | b & c U d").unwrap();
+        let a = ar.atom("a");
+        let b = ar.atom("b");
+        let c = ar.atom("c");
+        let d = ar.atom("d");
+        let u = ar.until(c, d);
+        let band = ar.and(b, u);
+        let expect = ar.or(a, band);
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn implication_right_assoc() {
+        let mut ar = Arena::new();
+        let f = parse(&mut ar, "a -> b -> c").unwrap();
+        let a = ar.atom("a");
+        let b = ar.atom("b");
+        let c = ar.atom("c");
+        let bc = ar.implies(b, c);
+        let expect = ar.implies(a, bc);
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn temporal_sugar() {
+        let mut ar = Arena::new();
+        let f = parse(&mut ar, "G (p -> F q)").unwrap();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let fq = ar.eventually(q);
+        let imp = ar.implies(p, fq);
+        let expect = ar.always(imp);
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn past_ops_parse() {
+        let mut ar = Arena::new();
+        let f = parse(&mut ar, "G (fill -> O sub)").unwrap();
+        assert!(ar.has_past(f));
+        assert!(ar.has_future(f));
+        let g = parse(&mut ar, "a S b").unwrap();
+        let a = ar.atom("a");
+        let b = ar.atom("b");
+        assert_eq!(g, ar.since(a, b));
+    }
+
+    #[test]
+    fn parse_display_roundtrip_is_stable() {
+        for src in [
+            "G (p U q)",
+            "F p & G q | !r",
+            "X X p",
+            "p R q",
+            "a & b & c",
+            "!(p & q)",
+        ] {
+            let mut ar = Arena::new();
+            let f1 = parse(&mut ar, src).unwrap();
+            let printed = format!("{}", ar.display(f1));
+            let f2 = parse(&mut ar, &printed).unwrap();
+            assert_eq!(f1, f2, "roundtrip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let mut ar = Arena::new();
+        let e = parse(&mut ar, "p & ").unwrap_err();
+        assert!(e.at >= 4);
+        let e2 = parse(&mut ar, "(p").unwrap_err();
+        assert!(e2.message.contains("')'"));
+        let e3 = parse(&mut ar, "p q").unwrap_err();
+        assert!(e3.message.contains("trailing"));
+        let e4 = parse(&mut ar, "\"unterminated").unwrap_err();
+        assert!(e4.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn double_symbol_operators() {
+        assert_eq!(roundtrip("a && b"), "a & b");
+        assert_eq!(roundtrip("a || b"), "a | b");
+    }
+}

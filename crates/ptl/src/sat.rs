@@ -1,0 +1,361 @@
+//! Satisfiability and prefix extension — the full Lemma 4.2 procedure.
+//!
+//! [`is_satisfiable`] decides satisfiability of a future PTL formula and
+//! returns an ultimately-periodic witness when one exists. [`extends`]
+//! answers the question at the heart of the paper's Theorem 4.2: *can a
+//! finite sequence of propositional states be extended to an infinite
+//! model of the formula?* — by first rewriting the formula through the
+//! prefix (phase 1, [`crate::progression`]) and then testing the residue
+//! for satisfiability (phase 2).
+
+use crate::arena::{Arena, FormulaId};
+use crate::buchi::Buchi;
+use crate::emptiness::find_fair_lasso;
+use crate::lasso::Lasso;
+use crate::nnf::NnfError;
+use crate::progression::progress_trace;
+use crate::tableau::{Tableau, TableauError};
+use crate::trace::PropState;
+
+/// Which engine to use for phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SatSolver {
+    /// On-the-fly GPVW generalized-Büchi construction, preceded by the
+    /// constant-word safety probe (production).
+    #[default]
+    Buchi,
+    /// GPVW without the safety probe: always builds the automaton.
+    /// Used by the scaling experiments to expose the worst-case
+    /// exponential behaviour that the probe usually hides.
+    BuchiExhaustive,
+    /// Classic closure-subset tableau (baseline/oracle; exponential
+    /// always, capped closure size).
+    Tableau,
+}
+
+/// Statistics from a satisfiability run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Automaton/tableau states materialised.
+    pub states: usize,
+    /// Tree size of the formula actually solved (after progression, for
+    /// [`extends`]).
+    pub formula_size: usize,
+    /// States consumed by progression before phase 2.
+    pub prefix_len: usize,
+}
+
+/// Result of a satisfiability or extension query.
+#[derive(Debug, Clone)]
+pub struct SatResult {
+    /// Whether a model (an extension, for [`extends`]) exists.
+    pub satisfiable: bool,
+    /// An ultimately-periodic witness when satisfiable. For [`extends`]
+    /// this is a witness for the *suffix after the prefix*.
+    pub witness: Option<Lasso>,
+    /// Run statistics.
+    pub stats: SatStats,
+}
+
+/// Errors from the satisfiability facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatError {
+    /// Past connectives are outside the decidable pipeline.
+    Past,
+    /// The tableau baseline refused the formula.
+    Tableau(TableauError),
+}
+
+impl std::fmt::Display for SatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SatError::Past => write!(f, "past connectives are not supported"),
+            SatError::Tableau(e) => write!(f, "tableau: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SatError {}
+
+impl From<NnfError> for SatError {
+    fn from(_: NnfError) -> Self {
+        SatError::Past
+    }
+}
+
+impl From<TableauError> for SatError {
+    fn from(e: TableauError) -> Self {
+        SatError::Tableau(e)
+    }
+}
+
+/// Decides satisfiability with the default (Büchi) engine.
+pub fn is_satisfiable(arena: &mut Arena, f: FormulaId) -> Result<SatResult, SatError> {
+    is_satisfiable_with(arena, f, SatSolver::Buchi)
+}
+
+/// For an **until-free** NNF formula (the syntactically safe fragment —
+/// which every grounded universal safety constraint falls into), a word
+/// is a model iff no finite prefix progresses the formula to `⊥`
+/// (safety properties fail only via bad prefixes). So a constant word
+/// `labelω` whose progression cycles through non-`⊥` residues is a
+/// model. This probe tries the all-false and all-true constant words —
+/// which satisfy typical integrity-constraint residues — before paying
+/// for the automaton construction.
+fn probe_safety_constant_words(arena: &mut Arena, f: FormulaId) -> Option<Lasso> {
+    let nnf = crate::nnf::nnf(arena, f).ok()?;
+    if has_until(arena, nnf) {
+        return None;
+    }
+    let atoms = arena.atoms_of(nnf);
+    let all_false = PropState::new();
+    let all_true = PropState::from_true_atoms(atoms.iter().copied());
+    let (tru, fls) = (arena.tru(), arena.fls());
+    let size_cap = 8 * arena.dag_size(nnf) + 64;
+    'words: for label in [all_false, all_true] {
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = nnf;
+        for _ in 0..64 {
+            if cur == fls {
+                continue 'words;
+            }
+            if cur == tru || !seen.insert(cur) {
+                // Residues cycle without reaching ⊥: labelω is a model.
+                return Some(Lasso::new(vec![], vec![label]));
+            }
+            if arena.dag_size(cur) > size_cap {
+                // Residues are growing instead of cycling: give up and
+                // let the automaton decide.
+                continue 'words;
+            }
+            cur = match crate::progression::progress(arena, cur, &label) {
+                Ok(next) => next,
+                Err(_) => return None,
+            };
+        }
+    }
+    None
+}
+
+fn has_until(arena: &Arena, f: FormulaId) -> bool {
+    use crate::arena::Node;
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![f];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match arena.node(id) {
+            Node::Until(_, _) => return true,
+            Node::True | Node::False | Node::Atom(_) => {}
+            Node::Not(g) | Node::Next(g) | Node::Prev(g) => stack.push(g),
+            Node::And(a, b) | Node::Or(a, b) | Node::Release(a, b) | Node::Since(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// Decides satisfiability with a chosen engine.
+pub fn is_satisfiable_with(
+    arena: &mut Arena,
+    f: FormulaId,
+    solver: SatSolver,
+) -> Result<SatResult, SatError> {
+    let formula_size = arena.tree_size(f);
+    if solver == SatSolver::Buchi {
+        if let Some(witness) = probe_safety_constant_words(arena, f) {
+            return Ok(SatResult {
+                satisfiable: true,
+                witness: Some(witness),
+                stats: SatStats {
+                    states: 0,
+                    formula_size,
+                    prefix_len: 0,
+                },
+            });
+        }
+    }
+    match solver {
+        SatSolver::Buchi | SatSolver::BuchiExhaustive => {
+            let b = Buchi::build(arena, f)?;
+            let (graph, labels) = b.to_fair_graph(arena);
+            let stats = SatStats {
+                states: b.len(),
+                formula_size,
+                prefix_len: 0,
+            };
+            match find_fair_lasso(&graph) {
+                Some(l) => Ok(SatResult {
+                    satisfiable: true,
+                    witness: Some(buchi_witness(&l, &labels)),
+                    stats,
+                }),
+                None => Ok(SatResult {
+                    satisfiable: false,
+                    witness: None,
+                    stats,
+                }),
+            }
+        }
+        SatSolver::Tableau => {
+            let t = Tableau::build(arena, f)?;
+            let (graph, labels) = t.to_fair_graph(arena);
+            let stats = SatStats {
+                states: t.len(),
+                formula_size,
+                prefix_len: 0,
+            };
+            match find_fair_lasso(&graph) {
+                Some(l) => {
+                    let prefix = l.stem.iter().map(|&n| labels[n as usize].clone()).collect();
+                    let cycle = l
+                        .cycle
+                        .iter()
+                        .map(|&n| labels[n as usize].clone())
+                        .collect();
+                    Ok(SatResult {
+                        satisfiable: true,
+                        witness: Some(Lasso::new(prefix, cycle)),
+                        stats,
+                    })
+                }
+                None => Ok(SatResult {
+                    satisfiable: false,
+                    witness: None,
+                    stats,
+                }),
+            }
+        }
+    }
+}
+
+/// Builds the ultimately-periodic witness from a fair lasso and the
+/// Büchi automaton's per-edge labels.
+///
+/// Labels live on edges (see [`crate::buchi`]), so the first traversal
+/// of the cycle (entered from the stem or from `INIT`) may be labelled
+/// differently from subsequent traversals (entered via the wrap-around
+/// edge). The witness therefore unrolls the first cycle pass into the
+/// prefix and uses the wrap-edge labels for the repeated part.
+fn buchi_witness(l: &crate::emptiness::FairLasso, labels: &crate::buchi::EdgeLabels) -> Lasso {
+    let mut path: Vec<u32> = l.stem.clone();
+    path.extend(&l.cycle);
+    let prefix: Vec<PropState> = (0..path.len()).map(|i| labels.at(&path, i)).collect();
+    let m = l.cycle.len();
+    let last = *l.cycle.last().expect("cycle is non-empty");
+    let mut cycle = Vec::with_capacity(m);
+    cycle.push(labels.edge[&(last, l.cycle[0])].clone());
+    for i in 1..m {
+        cycle.push(labels.edge[&(l.cycle[i - 1], l.cycle[i])].clone());
+    }
+    Lasso::new(prefix, cycle)
+}
+
+/// Decides whether the finite state sequence `prefix` can be extended to
+/// an infinite model of `f` (Lemma 4.2: phase 1 rewriting + phase 2
+/// satisfiability). The witness, when present, describes the suffix.
+pub fn extends(
+    arena: &mut Arena,
+    prefix: &[PropState],
+    f: FormulaId,
+) -> Result<SatResult, SatError> {
+    extends_with(arena, prefix, f, SatSolver::Buchi)
+}
+
+/// [`extends`] with a chosen phase-2 engine.
+pub fn extends_with(
+    arena: &mut Arena,
+    prefix: &[PropState],
+    f: FormulaId,
+    solver: SatSolver,
+) -> Result<SatResult, SatError> {
+    let residue = progress_trace(arena, f, prefix)?;
+    let mut r = is_satisfiable_with(arena, residue, solver)?;
+    r.stats.prefix_len = prefix.len();
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::AtomId;
+
+    fn st(atoms: &[AtomId]) -> PropState {
+        PropState::from_true_atoms(atoms.iter().copied())
+    }
+
+    #[test]
+    fn witness_is_verified_by_lasso_eval() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let u = ar.until(p, q);
+        let x = ar.next(p);
+        let f = ar.and(u, x);
+        let r = is_satisfiable(&mut ar, f).unwrap();
+        assert!(r.satisfiable);
+        let w = r.witness.unwrap();
+        assert!(w.eval(&ar, f).unwrap(), "witness must satisfy the formula");
+    }
+
+    #[test]
+    fn extends_respects_prefix() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let pa = ar.find_atom("p").unwrap();
+        let g = ar.always(p);
+        // Good prefix: extension exists.
+        let good = vec![st(&[pa]), st(&[pa])];
+        assert!(extends(&mut ar, &good, g).unwrap().satisfiable);
+        // Violated prefix: no extension can repair □p.
+        let bad = vec![st(&[pa]), st(&[])];
+        assert!(!extends(&mut ar, &bad, g).unwrap().satisfiable);
+    }
+
+    #[test]
+    fn extends_with_pending_obligation() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let pa = ar.find_atom("p").unwrap();
+        let u = ar.until(p, q);
+        // p p — until not yet discharged but extensible.
+        let pfx = vec![st(&[pa]), st(&[pa])];
+        let r = extends(&mut ar, &pfx, u).unwrap();
+        assert!(r.satisfiable);
+        // p ∅ — chain broken, not extensible.
+        let bad = vec![st(&[pa]), st(&[])];
+        assert!(!extends(&mut ar, &bad, u).unwrap().satisfiable);
+    }
+
+    #[test]
+    fn engines_agree_via_extends() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let (pa, qa) = (ar.find_atom("p").unwrap(), ar.find_atom("q").unwrap());
+        let u = ar.until(p, q);
+        let nq = ar.not(q);
+        let gnq = ar.always(nq);
+        let f = ar.and(u, gnq);
+        for pfx in [vec![], vec![st(&[pa])], vec![st(&[pa, qa])]] {
+            let a = extends_with(&mut ar, &pfx, f, SatSolver::Buchi).unwrap();
+            let b = extends_with(&mut ar, &pfx, f, SatSolver::Tableau).unwrap();
+            assert_eq!(a.satisfiable, b.satisfiable, "prefix len {}", pfx.len());
+        }
+        let r = extends(&mut ar, &[st(&[pa])], u).unwrap();
+        assert_eq!(r.stats.prefix_len, 1);
+    }
+
+    #[test]
+    fn empty_prefix_is_plain_sat() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let np = ar.not(p);
+        let f = ar.and(p, np);
+        assert!(!extends(&mut ar, &[], f).unwrap().satisfiable);
+    }
+}

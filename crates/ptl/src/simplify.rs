@@ -1,0 +1,294 @@
+//! Rewriting-based simplification.
+//!
+//! The arena constructors already fold constants; this module applies
+//! the standard LTL equivalences bottom-up on top of that, which keeps
+//! progression residues compact (they otherwise accumulate `□□`, `◇◇`
+//! and duplicated boxes):
+//!
+//! * idempotence: `□□f = □f`, `◇◇f = ◇f`, `f U (f U g) = f U g`;
+//! * `○` distribution: `○f ∧ ○g = ○(f ∧ g)`, `○f ∨ ○g = ○(f ∨ g)`;
+//! * `□`/`◇` aggregation: `□f ∧ □g = □(f ∧ g)`, `◇f ∨ ◇g = ◇(f ∨ g)`;
+//! * temporal absorption: `f ∧ □f = □f`, `f ∨ ◇f = ◇f`,
+//!   `◇□◇f = □◇f`, `□◇□f = ◇□f`;
+//! * boolean absorption: `a ∧ (a ∨ b) = a`, `a ∨ (a ∧ b) = a`.
+//!
+//! All rules are language-preserving over infinite words
+//! (property-tested against the lasso evaluator). Past connectives are
+//! traversed but only the boolean rules apply under them.
+
+use crate::arena::{Arena, FormulaId, Node};
+use std::collections::HashMap;
+
+/// Simplifies `f` bottom-up; the result is equivalent over infinite
+/// words and never larger than the input (DAG-wise, up to sharing).
+pub fn simplify(arena: &mut Arena, f: FormulaId) -> FormulaId {
+    let mut memo = HashMap::new();
+    go(arena, f, &mut memo)
+}
+
+fn is_always(arena: &Arena, f: FormulaId) -> Option<FormulaId> {
+    match arena.node(f) {
+        Node::Release(a, b) if arena.node(a) == Node::False => Some(b),
+        _ => None,
+    }
+}
+
+fn is_eventually(arena: &Arena, f: FormulaId) -> Option<FormulaId> {
+    match arena.node(f) {
+        Node::Until(a, b) if arena.node(a) == Node::True => Some(b),
+        _ => None,
+    }
+}
+
+fn go(arena: &mut Arena, f: FormulaId, memo: &mut HashMap<FormulaId, FormulaId>) -> FormulaId {
+    if let Some(&r) = memo.get(&f) {
+        return r;
+    }
+    let r = match arena.node(f) {
+        Node::True | Node::False | Node::Atom(_) => f,
+        Node::Not(g) => {
+            let x = go(arena, g, memo);
+            arena.not(x)
+        }
+        Node::And(a, b) => {
+            let (x, y) = (go(arena, a, memo), go(arena, b, memo));
+            rebuild_and(arena, x, y)
+        }
+        Node::Or(a, b) => {
+            let (x, y) = (go(arena, a, memo), go(arena, b, memo));
+            rebuild_or(arena, x, y)
+        }
+        Node::Next(g) => {
+            let x = go(arena, g, memo);
+            arena.next(x)
+        }
+        Node::Until(a, b) => {
+            let (x, y) = (go(arena, a, memo), go(arena, b, memo));
+            rebuild_until(arena, x, y)
+        }
+        Node::Release(a, b) => {
+            let (x, y) = (go(arena, a, memo), go(arena, b, memo));
+            rebuild_release(arena, x, y)
+        }
+        Node::Prev(g) => {
+            let x = go(arena, g, memo);
+            arena.prev(x)
+        }
+        Node::Since(a, b) => {
+            let (x, y) = (go(arena, a, memo), go(arena, b, memo));
+            arena.since(x, y)
+        }
+    };
+    memo.insert(f, r);
+    r
+}
+
+fn rebuild_and(arena: &mut Arena, x: FormulaId, y: FormulaId) -> FormulaId {
+    // □f ∧ □g = □(f ∧ g)
+    if let (Some(fx), Some(fy)) = (is_always(arena, x), is_always(arena, y)) {
+        let inner = rebuild_and(arena, fx, fy);
+        return arena.always(inner);
+    }
+    // ○f ∧ ○g = ○(f ∧ g)
+    if let (Node::Next(fx), Node::Next(fy)) = (arena.node(x), arena.node(y)) {
+        let inner = rebuild_and(arena, fx, fy);
+        return arena.next(inner);
+    }
+    // f ∧ □f = □f (either order)
+    if is_always(arena, y) == Some(x) {
+        return y;
+    }
+    if is_always(arena, x) == Some(y) {
+        return x;
+    }
+    // a ∧ (a ∨ b) = a (boolean absorption, both orders)
+    if absorbed_by_or(arena, x, y) {
+        return x;
+    }
+    if absorbed_by_or(arena, y, x) {
+        return y;
+    }
+    arena.and(x, y)
+}
+
+fn rebuild_or(arena: &mut Arena, x: FormulaId, y: FormulaId) -> FormulaId {
+    // ◇f ∨ ◇g = ◇(f ∨ g)
+    if let (Some(fx), Some(fy)) = (is_eventually(arena, x), is_eventually(arena, y)) {
+        let inner = rebuild_or(arena, fx, fy);
+        return arena.eventually(inner);
+    }
+    // ○f ∨ ○g = ○(f ∨ g)
+    if let (Node::Next(fx), Node::Next(fy)) = (arena.node(x), arena.node(y)) {
+        let inner = rebuild_or(arena, fx, fy);
+        return arena.next(inner);
+    }
+    // f ∨ ◇f = ◇f
+    if is_eventually(arena, y) == Some(x) {
+        return y;
+    }
+    if is_eventually(arena, x) == Some(y) {
+        return x;
+    }
+    // a ∨ (a ∧ b) = a
+    if absorbed_by_and(arena, x, y) {
+        return x;
+    }
+    if absorbed_by_and(arena, y, x) {
+        return y;
+    }
+    arena.or(x, y)
+}
+
+/// True if `big` is `a ∨ …` containing `small` as a disjunct (one level).
+fn absorbed_by_or(arena: &Arena, small: FormulaId, big: FormulaId) -> bool {
+    matches!(arena.node(big), Node::Or(a, b) if a == small || b == small)
+}
+
+/// True if `big` is `a ∧ …` containing `small` as a conjunct (one level).
+fn absorbed_by_and(arena: &Arena, small: FormulaId, big: FormulaId) -> bool {
+    matches!(arena.node(big), Node::And(a, b) if a == small || b == small)
+}
+
+fn rebuild_until(arena: &mut Arena, x: FormulaId, y: FormulaId) -> FormulaId {
+    // ◇◇f = ◇f and generally f U (f U g) = f U g.
+    if let Node::Until(a2, _) = arena.node(y) {
+        if a2 == x {
+            return y;
+        }
+    }
+    // ◇□◇f = □◇f (via ⊤ U (⊥ R (⊤ U f))).
+    if arena.node(x) == Node::True {
+        if let Some(inner) = is_always(arena, y) {
+            if is_eventually(arena, inner).is_some() {
+                return y;
+            }
+        }
+    }
+    arena.until(x, y)
+}
+
+fn rebuild_release(arena: &mut Arena, x: FormulaId, y: FormulaId) -> FormulaId {
+    // □□f = □f and generally f R (f R g) = f R g.
+    if let Node::Release(a2, _) = arena.node(y) {
+        if a2 == x {
+            return y;
+        }
+    }
+    // □◇□f = ◇□f.
+    if arena.node(x) == Node::False {
+        if let Some(inner) = is_eventually(arena, y) {
+            if is_always(arena, inner).is_some() {
+                return y;
+            }
+        }
+    }
+    arena.release(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotent_boxes_collapse() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let g1 = ar.always(p);
+        let g2 = ar.always(g1);
+        let g3 = ar.always(g2);
+        assert_eq!(simplify(&mut ar, g3), g1);
+        let f1 = ar.eventually(p);
+        let f2 = ar.eventually(f1);
+        assert_eq!(simplify(&mut ar, f2), f1);
+    }
+
+    #[test]
+    fn boxes_aggregate_over_and() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let gp = ar.always(p);
+        let gq = ar.always(q);
+        let conj = ar.and(gp, gq);
+        let pq = ar.and(p, q);
+        let expect = ar.always(pq);
+        assert_eq!(simplify(&mut ar, conj), expect);
+    }
+
+    #[test]
+    fn diamonds_aggregate_over_or() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let fp = ar.eventually(p);
+        let fq = ar.eventually(q);
+        let disj = ar.or(fp, fq);
+        let pq = ar.or(p, q);
+        let expect = ar.eventually(pq);
+        assert_eq!(simplify(&mut ar, disj), expect);
+    }
+
+    #[test]
+    fn next_distributes() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let xp = ar.next(p);
+        let xq = ar.next(q);
+        let conj = ar.and(xp, xq);
+        let pq = ar.and(p, q);
+        let expect = ar.next(pq);
+        assert_eq!(simplify(&mut ar, conj), expect);
+    }
+
+    #[test]
+    fn temporal_absorption() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let gp = ar.always(p);
+        let both = ar.and(p, gp);
+        assert_eq!(simplify(&mut ar, both), gp);
+        let fp = ar.eventually(p);
+        let either = ar.or(p, fp);
+        assert_eq!(simplify(&mut ar, either), fp);
+    }
+
+    #[test]
+    fn gfg_and_fgf_collapse() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let fp = ar.eventually(p);
+        let gfp = ar.always(fp);
+        let fgfp = ar.eventually(gfp);
+        assert_eq!(simplify(&mut ar, fgfp), gfp, "◇□◇p = □◇p");
+        let gp = ar.always(p);
+        let fgp = ar.eventually(gp);
+        let gfgp = ar.always(fgp);
+        assert_eq!(simplify(&mut ar, gfgp), fgp, "□◇□p = ◇□p");
+    }
+
+    #[test]
+    fn boolean_absorption() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let pq = ar.or(p, q);
+        let f = ar.and(p, pq);
+        assert_eq!(simplify(&mut ar, f), p);
+        let pq2 = ar.and(p, q);
+        let g = ar.or(p, pq2);
+        assert_eq!(simplify(&mut ar, g), p);
+    }
+
+    #[test]
+    fn past_traversed_untouched() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let gp = ar.always(p);
+        let ggp = ar.always(gp);
+        let s = ar.since(ggp, p);
+        let gp2 = ar.always(p);
+        let expect = ar.since(gp2, p);
+        assert_eq!(simplify(&mut ar, s), expect, "□□ collapses under since");
+    }
+}

@@ -1,0 +1,350 @@
+//! The classic closure-set tableau for PTL satisfiability.
+//!
+//! This is the textbook object behind the Sistla–Clarke upper bound that
+//! Lemma 4.2 of the paper cites: tableau states are *subsets of the
+//! subformula closure* that are locally consistent, transitions discharge
+//! the `○`/`until`/`release` obligations, and satisfiability is
+//! nonemptiness under the usual fulfilment (generalized Büchi)
+//! condition. It enumerates the full `2^|closure|` powerset up front, so
+//! it is kept as a baseline/oracle (ablation E8) and refuses closures
+//! larger than a configurable cap; the production engine is
+//! [`crate::buchi`].
+
+use crate::arena::{Arena, FormulaId, Node};
+use crate::closure::Closure;
+use crate::emptiness::FairGraph;
+use crate::nnf::{nnf, NnfError};
+use crate::trace::PropState;
+
+/// Errors from tableau construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableauError {
+    /// The formula contains past connectives.
+    Past,
+    /// The closure exceeds the enumeration cap.
+    ClosureTooLarge {
+        /// Closure size of the NNF input.
+        size: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for TableauError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableauError::Past => write!(f, "past connectives are not supported"),
+            TableauError::ClosureTooLarge { size, cap } => write!(
+                f,
+                "closure has {size} members, beyond the tableau cap of {cap}; \
+                 use the Büchi engine"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableauError {}
+
+impl From<NnfError> for TableauError {
+    fn from(_: NnfError) -> Self {
+        TableauError::Past
+    }
+}
+
+/// The explicitly-enumerated tableau.
+pub struct Tableau {
+    /// The closure of the NNF formula.
+    pub closure_size: usize,
+    /// Locally consistent subsets, as closure bitmasks.
+    states: Vec<u64>,
+    /// `required_next[i]`: obligations state `i` imposes on any
+    /// successor.
+    required_next: Vec<u64>,
+    /// Indices of states containing the root formula.
+    initial: Vec<u32>,
+    /// For each `until` member: `(until bit, b bit)`.
+    until_bits: Vec<(u64, u64)>,
+    /// Closure member ids, for label extraction.
+    members: Vec<FormulaId>,
+}
+
+impl Tableau {
+    /// Builds the tableau for `f` with the default closure cap (18).
+    pub fn build(arena: &mut Arena, f: FormulaId) -> Result<Self, TableauError> {
+        Self::build_capped(arena, f, 18)
+    }
+
+    /// Builds the tableau enumerating up to `2^cap` candidate states.
+    pub fn build_capped(arena: &mut Arena, f: FormulaId, cap: usize) -> Result<Self, TableauError> {
+        let root = nnf(arena, f)?;
+        let cl = Closure::of(arena, root);
+        let n = cl.len();
+        if n > cap || n > 63 {
+            return Err(TableauError::ClosureTooLarge { size: n, cap });
+        }
+        let bit = |i: usize| 1u64 << i;
+
+        // Precompute per-member consistency data.
+        enum Rule {
+            Free,
+            FalseForbidden,
+            NotPair(u64),              // ¬g: may not co-occur with g
+            AndNeeds(u64),             // both children
+            OrNeeds(u64, u64),         // one of the children
+            UntilNeeds(u64, u64),      // b or a now
+            ReleaseNeeds(u64),         // b now
+        }
+        let mut rules = Vec::with_capacity(n);
+        let mut next_of: Vec<Option<u64>> = vec![None; n]; // ○g: bit of g
+        for (i, &m) in cl.members.iter().enumerate() {
+            let r = match arena.node(m) {
+                Node::True | Node::Atom(_) => Rule::Free,
+                Node::False => Rule::FalseForbidden,
+                Node::Not(g) => Rule::NotPair(bit(cl.idx(g))),
+                Node::And(a, b) => Rule::AndNeeds(bit(cl.idx(a)) | bit(cl.idx(b))),
+                Node::Or(a, b) => Rule::OrNeeds(bit(cl.idx(a)), bit(cl.idx(b))),
+                Node::Until(a, b) => Rule::UntilNeeds(bit(cl.idx(a)), bit(cl.idx(b))),
+                Node::Release(_, b) => Rule::ReleaseNeeds(bit(cl.idx(b))),
+                Node::Next(g) => {
+                    next_of[i] = Some(bit(cl.idx(g)));
+                    Rule::Free
+                }
+                Node::Prev(_) | Node::Since(_, _) => return Err(TableauError::Past),
+            };
+            rules.push(r);
+        }
+
+        // Enumerate locally consistent subsets and their successor
+        // obligations.
+        let mut states = Vec::new();
+        let mut required_next = Vec::new();
+        'subsets: for mask in 0u64..(1u64 << n) {
+            let mut req = 0u64;
+            for i in 0..n {
+                if mask & bit(i) == 0 {
+                    continue;
+                }
+                match rules[i] {
+                    Rule::Free => {}
+                    Rule::FalseForbidden => continue 'subsets,
+                    Rule::NotPair(g) => {
+                        if mask & g != 0 {
+                            continue 'subsets;
+                        }
+                    }
+                    Rule::AndNeeds(both) => {
+                        if mask & both != both {
+                            continue 'subsets;
+                        }
+                    }
+                    Rule::OrNeeds(a, b) => {
+                        if mask & (a | b) == 0 {
+                            continue 'subsets;
+                        }
+                    }
+                    Rule::UntilNeeds(a, b) => {
+                        if mask & b != 0 {
+                            // discharged now
+                        } else if mask & a != 0 {
+                            req |= bit(i); // must persist
+                        } else {
+                            continue 'subsets;
+                        }
+                    }
+                    Rule::ReleaseNeeds(b) => {
+                        if mask & b == 0 {
+                            continue 'subsets;
+                        }
+                        // aRb with a false now must persist. a's bit:
+                        // recover from the node.
+                        if let Node::Release(a, _) = arena.node(cl.members[i]) {
+                            if mask & bit(cl.idx(a)) == 0 {
+                                req |= bit(i);
+                            }
+                        }
+                    }
+                }
+                if let Some(g) = next_of[i] {
+                    req |= g;
+                }
+            }
+            states.push(mask);
+            required_next.push(req);
+        }
+
+        let root_bit = bit(cl.idx(root));
+        let initial = states
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m & root_bit != 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        let until_bits = cl
+            .untils
+            .iter()
+            .map(|&u| {
+                let b = match arena.node(cl.members[u]) {
+                    Node::Until(_, b) => b,
+                    _ => unreachable!(),
+                };
+                (bit(u), bit(cl.idx(b)))
+            })
+            .collect();
+
+        Ok(Self {
+            closure_size: n,
+            states,
+            required_next,
+            initial,
+            until_bits,
+            members: cl.members,
+        })
+    }
+
+    /// Number of locally consistent tableau states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if no consistent state exists.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Converts to the shared fair-graph representation plus labels.
+    pub fn to_fair_graph(&self, arena: &Arena) -> (FairGraph, Vec<PropState>) {
+        let s = self.states.len();
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); s];
+        for (out, &req) in succ.iter_mut().zip(&self.required_next) {
+            for (j, &m) in self.states.iter().enumerate() {
+                if m & req == req {
+                    out.push(j as u32);
+                }
+            }
+        }
+        let num_sets = self.until_bits.len();
+        let wordn = num_sets.div_ceil(64).max(1);
+        let mut accept = vec![vec![0u64; wordn]; s];
+        for (set, &(ubit, bbit)) in self.until_bits.iter().enumerate() {
+            for (i, &m) in self.states.iter().enumerate() {
+                if m & ubit == 0 || m & bbit != 0 {
+                    accept[i][set / 64] |= 1 << (set % 64);
+                }
+            }
+        }
+        let labels = self
+            .states
+            .iter()
+            .map(|&m| {
+                let trues = self.members.iter().enumerate().filter_map(|(i, &f)| {
+                    if m & (1u64 << i) != 0 {
+                        if let Node::Atom(a) = arena.node(f) {
+                            return Some(a);
+                        }
+                    }
+                    None
+                });
+                PropState::from_true_atoms(trues)
+            })
+            .collect();
+        (
+            FairGraph {
+                succ,
+                initial: self.initial.clone(),
+                num_sets,
+                accept,
+            },
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emptiness::find_fair_lasso;
+
+    fn sat(arena: &mut Arena, f: FormulaId) -> bool {
+        let t = Tableau::build(arena, f).unwrap();
+        let (g, _) = t.to_fair_graph(arena);
+        find_fair_lasso(&g).is_some()
+    }
+
+    #[test]
+    fn basic_verdicts() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let np = ar.not(p);
+        assert!(sat(&mut ar, p));
+        let gp = ar.always(p);
+        assert!(sat(&mut ar, gp));
+        let fnp = ar.eventually(np);
+        let conj = ar.and(gp, fnp);
+        assert!(!sat(&mut ar, conj));
+    }
+
+    #[test]
+    fn until_fulfilment_enforced() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let nq = ar.not(q);
+        let u = ar.until(p, q);
+        let gnq = ar.always(nq);
+        let conj = ar.and(u, gnq);
+        assert!(!sat(&mut ar, conj));
+        assert!(sat(&mut ar, u));
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut ar = Arena::new();
+        // Build a formula with a closure larger than a tiny cap.
+        let mut f = ar.atom("a0");
+        for i in 1..10 {
+            let a = ar.atom(&format!("a{i}"));
+            let x = ar.next(a);
+            f = ar.and(f, x);
+        }
+        match Tableau::build_capped(&mut ar, f, 4) {
+            Err(TableauError::ClosureTooLarge { size, cap: 4 }) => assert!(size > 4),
+            Err(other) => panic!("expected cap error, got {other:?}"),
+            Ok(_) => panic!("expected cap error, got a tableau"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_buchi_on_small_formulas() {
+        use crate::buchi::Buchi;
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q");
+        let np = ar.not(p);
+        let nq = ar.not(q);
+        let candidates = {
+            let u = ar.until(p, q);
+            let r = ar.release(np, q);
+            let g1 = ar.always(u);
+            let f1 = ar.eventually(r);
+            let x1 = ar.next(np);
+            let c1 = ar.and(g1, x1);
+            let c2 = ar.and(f1, nq);
+            let gnq = ar.always(nq);
+            let c3 = ar.and(u, gnq);
+            vec![u, r, g1, f1, c1, c2, c3]
+        };
+        for f in candidates {
+            let t_sat = sat(&mut ar, f);
+            let b = Buchi::build(&mut ar, f).unwrap();
+            let (g, _) = b.to_fair_graph(&ar);
+            let b_sat = find_fair_lasso(&g).is_some();
+            assert_eq!(
+                t_sat,
+                b_sat,
+                "engines disagree on {}",
+                ar.display(f)
+            );
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Property-based tests for the PTL engines.
+//!
+//! These are the crate's semantic oracles:
+//!
+//! * satisfiability witnesses actually satisfy the formula (lasso
+//!   evaluation is an independent implementation of the semantics),
+//! * the two satisfiability engines agree,
+//! * progression is sound w.r.t. the semantics (`w·σ ⊨ f` iff
+//!   `σ ⊨ progress(f, w)`),
+//! * the Lemma 4.2 `extends` pipeline agrees with a naive encoding of
+//!   the prefix as a `○`-chain formula,
+//! * NNF preserves semantics and parse∘display is the identity.
+
+use proptest::prelude::*;
+use ticc_ptl::arena::{Arena, AtomId, FormulaId};
+use ticc_ptl::lasso::Lasso;
+use ticc_ptl::nnf::nnf;
+use ticc_ptl::parser::parse;
+use ticc_ptl::progression::progress;
+use ticc_ptl::sat::{extends, is_satisfiable, is_satisfiable_with, SatSolver};
+use ticc_ptl::trace::PropState;
+
+const ATOMS: &[&str] = &["p", "q", "r"];
+
+/// A compact recipe for building a random future formula in an arena.
+#[derive(Debug, Clone)]
+enum Shape {
+    Atom(usize),
+    Not(Box<Shape>),
+    And(Box<Shape>, Box<Shape>),
+    Or(Box<Shape>, Box<Shape>),
+    Next(Box<Shape>),
+    Until(Box<Shape>, Box<Shape>),
+    Release(Box<Shape>, Box<Shape>),
+    Eventually(Box<Shape>),
+    Always(Box<Shape>),
+}
+
+impl Shape {
+    fn build(&self, ar: &mut Arena) -> FormulaId {
+        match self {
+            Shape::Atom(i) => ar.atom(ATOMS[i % ATOMS.len()]),
+            Shape::Not(a) => {
+                let x = a.build(ar);
+                ar.not(x)
+            }
+            Shape::And(a, b) => {
+                let (x, y) = (a.build(ar), b.build(ar));
+                ar.and(x, y)
+            }
+            Shape::Or(a, b) => {
+                let (x, y) = (a.build(ar), b.build(ar));
+                ar.or(x, y)
+            }
+            Shape::Next(a) => {
+                let x = a.build(ar);
+                ar.next(x)
+            }
+            Shape::Until(a, b) => {
+                let (x, y) = (a.build(ar), b.build(ar));
+                ar.until(x, y)
+            }
+            Shape::Release(a, b) => {
+                let (x, y) = (a.build(ar), b.build(ar));
+                ar.release(x, y)
+            }
+            Shape::Eventually(a) => {
+                let x = a.build(ar);
+                ar.eventually(x)
+            }
+            Shape::Always(a) => {
+                let x = a.build(ar);
+                ar.always(x)
+            }
+        }
+    }
+}
+
+fn shape(depth: u32) -> impl Strategy<Value = Shape> {
+    let leaf = (0usize..ATOMS.len()).prop_map(Shape::Atom);
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Shape::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Shape::Next(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::Until(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::Release(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Shape::Eventually(Box::new(a))),
+            inner.prop_map(|a| Shape::Always(Box::new(a))),
+        ]
+    })
+}
+
+fn state_from_bits(bits: u8, atoms: &[AtomId]) -> PropState {
+    PropState::from_true_atoms(
+        atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits >> i & 1 == 1)
+            .map(|(_, &a)| a),
+    )
+}
+
+fn register_atoms(ar: &mut Arena) -> Vec<AtomId> {
+    ATOMS.iter().map(|n| ar.intern_atom(n)).collect()
+}
+
+fn lasso_from(prefix_bits: &[u8], cycle_bits: &[u8], atoms: &[AtomId]) -> Lasso {
+    Lasso::new(
+        prefix_bits
+            .iter()
+            .map(|&b| state_from_bits(b, atoms))
+            .collect(),
+        cycle_bits
+            .iter()
+            .map(|&b| state_from_bits(b, atoms))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sat_witness_satisfies_formula(s in shape(4)) {
+        let mut ar = Arena::new();
+        let f = s.build(&mut ar);
+        let r = is_satisfiable(&mut ar, f).unwrap();
+        if let Some(w) = r.witness {
+            prop_assert!(r.satisfiable);
+            prop_assert!(w.eval(&ar, f).unwrap(),
+                "witness fails formula {}", ar.display(f));
+        } else {
+            prop_assert!(!r.satisfiable);
+        }
+    }
+
+    #[test]
+    fn unsat_means_no_lasso_model(
+        s in shape(3),
+        pfx in proptest::collection::vec(0u8..8, 0..3),
+        cyc in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        let mut ar = Arena::new();
+        let atoms = register_atoms(&mut ar);
+        let f = s.build(&mut ar);
+        let r = is_satisfiable(&mut ar, f).unwrap();
+        if !r.satisfiable {
+            let l = lasso_from(&pfx, &cyc, &atoms);
+            prop_assert!(!l.eval(&ar, f).unwrap(),
+                "unsat formula {} has a model", ar.display(f));
+        }
+    }
+
+    #[test]
+    fn engines_agree(s in shape(3)) {
+        let mut ar = Arena::new();
+        let f = s.build(&mut ar);
+        let b = is_satisfiable_with(&mut ar, f, SatSolver::Buchi).unwrap();
+        if let Ok(t) = is_satisfiable_with(&mut ar, f, SatSolver::Tableau) {
+            // (an Err means the closure exceeded the tableau cap: skip)
+            prop_assert_eq!(b.satisfiable, t.satisfiable,
+                "engines disagree on {}", ar.display(f));
+        }
+    }
+
+    #[test]
+    fn progression_is_sound(
+        s in shape(3),
+        head in 0u8..8,
+        pfx in proptest::collection::vec(0u8..8, 0..3),
+        cyc in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        let mut ar = Arena::new();
+        let atoms = register_atoms(&mut ar);
+        let f = s.build(&mut ar);
+        let w0 = state_from_bits(head, &atoms);
+        let g = progress(&mut ar, f, &w0).unwrap();
+        // word = w0 · rest; f on word iff g on rest.
+        let rest = lasso_from(&pfx, &cyc, &atoms);
+        let mut full_prefix = vec![w0];
+        full_prefix.extend(rest.prefix.iter().cloned());
+        let word = Lasso::new(full_prefix, rest.cycle.clone());
+        prop_assert_eq!(
+            word.eval(&ar, f).unwrap(),
+            rest.eval(&ar, g).unwrap(),
+            "progression unsound for {}", ar.display(f)
+        );
+    }
+
+    #[test]
+    fn nnf_preserves_semantics(
+        s in shape(3),
+        pfx in proptest::collection::vec(0u8..8, 0..3),
+        cyc in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        let mut ar = Arena::new();
+        let atoms = register_atoms(&mut ar);
+        let f = s.build(&mut ar);
+        let g = nnf(&mut ar, f).unwrap();
+        let l = lasso_from(&pfx, &cyc, &atoms);
+        prop_assert_eq!(l.eval(&ar, f).unwrap(), l.eval(&ar, g).unwrap());
+    }
+
+    #[test]
+    fn extends_agrees_with_naive_prefix_encoding(
+        s in shape(3),
+        pfx in proptest::collection::vec(0u8..8, 0..4),
+    ) {
+        let mut ar = Arena::new();
+        let atoms = register_atoms(&mut ar);
+        let f = s.build(&mut ar);
+        let prefix: Vec<PropState> =
+            pfx.iter().map(|&b| state_from_bits(b, &atoms)).collect();
+        let fast = extends(&mut ar, &prefix, f).unwrap().satisfiable;
+        // Naive: f ∧ ⋀_i ○^i (literal description of state i).
+        let mut conj = f;
+        for (i, st) in prefix.iter().enumerate() {
+            let mut desc = ar.tru();
+            for &a in &atoms {
+                let at = ar.atom_id(a);
+                let lit = if st.get(a) { at } else { ar.not(at) };
+                desc = ar.and(desc, lit);
+            }
+            let mut wrapped = desc;
+            for _ in 0..i {
+                wrapped = ar.next(wrapped);
+            }
+            conj = ar.and(conj, wrapped);
+        }
+        let naive = is_satisfiable(&mut ar, conj).unwrap().satisfiable;
+        prop_assert_eq!(fast, naive,
+            "Lemma 4.2 pipeline disagrees with naive encoding on {}",
+            ar.display(f));
+    }
+
+    #[test]
+    fn parse_display_roundtrip(s in shape(4)) {
+        let mut ar = Arena::new();
+        let f = s.build(&mut ar);
+        let printed = format!("{}", ar.display(f));
+        let g = parse(&mut ar, &printed).unwrap();
+        prop_assert_eq!(f, g, "roundtrip failed: {}", printed);
+    }
+
+    #[test]
+    fn finite_eval_agrees_with_lasso_on_safety_violations(
+        s in shape(3),
+        pfx in proptest::collection::vec(0u8..8, 1..5),
+    ) {
+        // If progression reaches ⊥ on a finite trace, no lasso extending
+        // that trace may satisfy the formula.
+        let mut ar = Arena::new();
+        let atoms = register_atoms(&mut ar);
+        let f = s.build(&mut ar);
+        let trace: Vec<PropState> =
+            pfx.iter().map(|&b| state_from_bits(b, &atoms)).collect();
+        if let Some(k) =
+            ticc_ptl::safety::find_bad_prefix(&mut ar, f, &trace).unwrap()
+        {
+            let l = Lasso::new(trace[..=k].to_vec(), vec![PropState::new()]);
+            prop_assert!(!l.eval(&ar, f).unwrap());
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_and_size(
+        s in shape(4),
+        pfx in proptest::collection::vec(0u8..8, 0..3),
+        cyc in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        let mut ar = Arena::new();
+        let atoms = register_atoms(&mut ar);
+        let f = s.build(&mut ar);
+        let g = ticc_ptl::simplify::simplify(&mut ar, f);
+        prop_assert!(ar.tree_size(g) <= ar.tree_size(f),
+            "simplify must not grow the formula");
+        let l = lasso_from(&pfx, &cyc, &atoms);
+        prop_assert_eq!(
+            l.eval(&ar, f).unwrap(),
+            l.eval(&ar, g).unwrap(),
+            "simplify changed semantics of {}",
+            ar.display(f)
+        );
+    }
+}

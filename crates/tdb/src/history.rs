@@ -1,0 +1,240 @@
+//! Finite-time temporal databases (histories).
+//!
+//! A history is the sequence `(D0, …, Dt)` of database states up to the
+//! current instant, together with the rigid interpretation of the
+//! constant symbols. Temporal integrity constraints are imposed on
+//! histories; their semantics quantifies over infinite extensions
+//! (potential satisfaction), which is what `ticc-core` decides.
+
+use crate::schema::{ConstId, Schema};
+use crate::state::State;
+use crate::update::Transaction;
+use crate::{TdbError, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A finite-time temporal database `(D0, …, Dt)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct History {
+    schema: Arc<Schema>,
+    consts: Vec<Value>,
+    states: Vec<State>,
+}
+
+impl History {
+    /// A history with zero states. Constant interpretations default to
+    /// `0, 1, 2, …` in declaration order; override with
+    /// [`History::set_constant`] before appending states.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let consts = (0..schema.const_count() as Value).collect();
+        Self {
+            schema,
+            consts,
+            states: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of states (the `t+1` of the paper when non-empty).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if no state has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at instant `t`.
+    pub fn state(&self, t: usize) -> &State {
+        &self.states[t]
+    }
+
+    /// All states in temporal order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The most recent state, if any.
+    pub fn last(&self) -> Option<&State> {
+        self.states.last()
+    }
+
+    /// The rigid interpretation of a constant symbol.
+    pub fn const_value(&self, c: ConstId) -> Value {
+        self.consts[c.index()]
+    }
+
+    /// Overrides a constant's interpretation. Only allowed before the
+    /// first state is appended (constants are rigid).
+    ///
+    /// # Panics
+    /// Panics if states already exist.
+    pub fn set_constant(&mut self, c: ConstId, v: Value) {
+        assert!(
+            self.states.is_empty(),
+            "constants are rigid: set them before appending states"
+        );
+        self.consts[c.index()] = v;
+    }
+
+    /// Appends an explicit state.
+    ///
+    /// # Panics
+    /// Panics if the state's schema differs from the history's.
+    pub fn push_state(&mut self, s: State) {
+        assert!(
+            Arc::ptr_eq(s.schema(), &self.schema),
+            "state schema must match history schema"
+        );
+        self.states.push(s);
+    }
+
+    /// Appends an empty state.
+    pub fn push_empty(&mut self) -> &mut State {
+        self.states.push(State::empty(self.schema.clone()));
+        self.states.last_mut().expect("just pushed")
+    }
+
+    /// Appends a state obtained by applying a transaction to the last
+    /// state (or to the empty state if the history is empty). Returns
+    /// the index of the new state.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<usize, TdbError> {
+        let mut next = match self.states.last() {
+            Some(s) => s.clone(),
+            None => State::empty(self.schema.clone()),
+        };
+        tx.apply_to(&mut next)?;
+        self.states.push(next);
+        Ok(self.states.len() - 1)
+    }
+
+    /// The set `R_D` of relevant elements (Lemma 4.1): interpretations of
+    /// constants plus every element in the domain of some relation in
+    /// some state.
+    pub fn relevant(&self) -> BTreeSet<Value> {
+        let mut out: BTreeSet<Value> = self.consts.iter().copied().collect();
+        for s in &self.states {
+            out.extend(s.active_domain());
+        }
+        out
+    }
+
+    /// Restriction `D|A` to a subuniverse containing all constants
+    /// (Section 4). Tuples mentioning elements outside `A` are dropped
+    /// in every state.
+    ///
+    /// # Panics
+    /// Panics if `A` does not contain every constant's interpretation.
+    pub fn restrict(&self, a: &BTreeSet<Value>) -> History {
+        assert!(
+            self.consts.iter().all(|c| a.contains(c)),
+            "restriction set must contain all constants"
+        );
+        History {
+            schema: self.schema.clone(),
+            consts: self.consts.clone(),
+            states: self.states.iter().map(|s| s.restrict(a)).collect(),
+        }
+    }
+
+    /// The prefix `(D0, …, Dn)` as a new history (`n + 1` states).
+    pub fn prefix(&self, n_states: usize) -> History {
+        History {
+            schema: self.schema.clone(),
+            consts: self.consts.clone(),
+            states: self.states[..n_states].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{Transaction, Update};
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .pred("Sub", 1)
+            .pred("Fill", 1)
+            .constant("vip")
+            .build()
+    }
+
+    #[test]
+    fn constants_default_and_override() {
+        let sc = schema();
+        let mut h = History::new(sc.clone());
+        let vip = sc.constant("vip").unwrap();
+        assert_eq!(h.const_value(vip), 0);
+        h.set_constant(vip, 42);
+        assert_eq!(h.const_value(vip), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "constants are rigid")]
+    fn constants_frozen_after_first_state() {
+        let sc = schema();
+        let mut h = History::new(sc.clone());
+        h.push_empty();
+        h.set_constant(sc.constant("vip").unwrap(), 7);
+    }
+
+    #[test]
+    fn apply_builds_successive_snapshots() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut h = History::new(sc.clone());
+        let t0 = Transaction::new().insert(sub, vec![1]);
+        let t1 = Transaction::new().insert(sub, vec![2]).delete(sub, vec![1]);
+        h.apply(&t0).unwrap();
+        h.apply(&t1).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.state(0).holds(sub, &[1]));
+        assert!(!h.state(1).holds(sub, &[1]));
+        assert!(h.state(1).holds(sub, &[2]));
+    }
+
+    #[test]
+    fn relevant_includes_constants_and_all_states() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut h = History::new(sc.clone());
+        h.set_constant(sc.constant("vip").unwrap(), 99);
+        h.apply(&Transaction::new().insert(sub, vec![1])).unwrap();
+        h.apply(&Transaction::new().delete(sub, vec![1])).unwrap();
+        let r: Vec<Value> = h.relevant().into_iter().collect();
+        // 1 stays relevant even after deletion (it appeared in D0).
+        assert_eq!(r, vec![1, 99]);
+    }
+
+    #[test]
+    fn restrict_and_prefix() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut h = History::new(sc.clone());
+        h.apply(&Transaction::new().insert(sub, vec![1]).insert(sub, vec![5]))
+            .unwrap();
+        h.apply(&Transaction::new().insert(sub, vec![2])).unwrap();
+        let a: BTreeSet<Value> = [0, 1, 2].into_iter().collect();
+        let r = h.restrict(&a);
+        assert!(r.state(0).holds(sub, &[1]));
+        assert!(!r.state(0).holds(sub, &[5]));
+        let p = h.prefix(1);
+        assert_eq!(p.len(), 1);
+        assert!(p.state(0).holds(sub, &[5]));
+    }
+
+    #[test]
+    fn transaction_updates_list() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let tx = Transaction::new().insert(sub, vec![1]).delete(sub, vec![2]);
+        assert_eq!(tx.updates().len(), 2);
+        assert!(matches!(tx.updates()[0], Update::Insert(_, _)));
+    }
+}

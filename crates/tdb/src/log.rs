@@ -1,0 +1,267 @@
+//! Log-structured history storage.
+//!
+//! [`crate::History`] stores one full snapshot per instant — simple and
+//! fast to read, but memory grows with `t × |state|`. For long-running
+//! monitored databases, [`LogHistory`] stores the **transaction log**
+//! plus periodic **checkpoints**: memory is `O(log + |state| · t /
+//! checkpoint_every)`, reads of arbitrary instants reconstruct from the
+//! nearest checkpoint, and the current state stays materialised for
+//! O(1) access (which is all the incremental monitor needs — the
+//! grounding only consumes `R_D`, maintained here incrementally, and the
+//! newest state).
+
+use crate::history::History;
+use crate::schema::{ConstId, Schema};
+use crate::state::State;
+use crate::update::Transaction;
+use crate::{TdbError, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A finite-time temporal database stored as a transaction log with
+/// periodic checkpoints.
+#[derive(Debug, Clone)]
+pub struct LogHistory {
+    schema: Arc<Schema>,
+    consts: Vec<Value>,
+    /// `log[t]` produced the state at instant `t` (from the state at
+    /// `t-1`, or from the empty state for `t = 0`).
+    log: Vec<Transaction>,
+    /// Materialised states at selected instants (always contains the
+    /// latest instant once non-empty).
+    checkpoints: BTreeMap<usize, State>,
+    checkpoint_every: usize,
+    /// Every element ever present in some state, plus constants.
+    relevant: BTreeSet<Value>,
+}
+
+impl LogHistory {
+    /// An empty log-structured history; a checkpoint is kept every
+    /// `checkpoint_every` instants (≥ 1; `1` checkpoints every state,
+    /// making reads O(1) and memory equal to [`History`]).
+    pub fn new(schema: Arc<Schema>, checkpoint_every: usize) -> Self {
+        assert!(checkpoint_every >= 1, "checkpoint interval must be ≥ 1");
+        let consts: Vec<Value> = (0..schema.const_count() as Value).collect();
+        let relevant = consts.iter().copied().collect();
+        Self {
+            schema,
+            consts,
+            log: Vec::new(),
+            checkpoints: BTreeMap::new(),
+            checkpoint_every,
+            relevant,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Overrides a constant's interpretation (before the first apply).
+    pub fn set_constant(&mut self, c: ConstId, v: Value) {
+        assert!(self.log.is_empty(), "constants are rigid");
+        self.relevant.remove(&self.consts[c.index()]);
+        self.consts[c.index()] = v;
+        self.relevant.insert(v);
+    }
+
+    /// Number of instants.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if no transaction has been applied yet.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Applies a transaction, producing the next instant. Returns its
+    /// index.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<usize, TdbError> {
+        let mut next = match self.latest_checkpoint() {
+            Some((_, s)) => s.clone(),
+            None => State::empty(self.schema.clone()),
+        };
+        tx.apply_to(&mut next)?;
+        let t = self.log.len();
+        self.relevant.extend(next.active_domain());
+        // The newest state is always checkpointed (O(1) reads of the
+        // current state); the previous checkpoint is dropped again
+        // unless it falls on the checkpoint grid.
+        if t > 0 {
+            let prev = t - 1;
+            if prev % self.checkpoint_every != 0 {
+                self.checkpoints.remove(&prev);
+            }
+        }
+        self.checkpoints.insert(t, next);
+        self.log.push(tx.clone());
+        Ok(t)
+    }
+
+    fn latest_checkpoint(&self) -> Option<(usize, &State)> {
+        self.checkpoints.iter().next_back().map(|(&t, s)| (t, s))
+    }
+
+    /// The current (latest) state, if any. O(1).
+    pub fn last(&self) -> Option<&State> {
+        self.latest_checkpoint().map(|(_, s)| s)
+    }
+
+    /// Reconstructs the state at instant `t` (from the nearest
+    /// checkpoint at or before `t`, replaying at most
+    /// `checkpoint_every - 1` log entries).
+    ///
+    /// # Panics
+    /// Panics if `t >= len()`.
+    pub fn state_at(&self, t: usize) -> State {
+        assert!(t < self.log.len(), "instant out of range");
+        let (start, mut state) = self
+            .checkpoints
+            .range(..=t)
+            .next_back()
+            .map(|(&c, s)| (c + 1, s.clone()))
+            .unwrap_or_else(|| (0, State::empty(self.schema.clone())));
+        for tx in &self.log[start..=t] {
+            tx.apply_to(&mut state).expect("log entries were validated on apply");
+        }
+        state
+    }
+
+    /// The set `R_D` of relevant elements, maintained incrementally.
+    pub fn relevant(&self) -> &BTreeSet<Value> {
+        &self.relevant
+    }
+
+    /// Number of materialised states currently held (the memory gauge:
+    /// `≈ len / checkpoint_every + 1` instead of `len`).
+    pub fn materialised_states(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Materialises the full snapshot-per-instant [`History`] (bridge to
+    /// the batch checking APIs).
+    pub fn to_history(&self) -> History {
+        let mut h = History::new(self.schema.clone());
+        for (c, &v) in self.consts.iter().enumerate() {
+            h.set_constant(crate::schema::ConstId(c as u32), v);
+        }
+        for t in 0..self.len() {
+            h.push_state(self.state_at(t));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder().pred("P", 1).pred("E", 2).build()
+    }
+
+    fn tx_p(ins: &[Value], del: &[Value], sc: &Schema) -> Transaction {
+        let p = sc.pred("P").unwrap();
+        let mut tx = Transaction::new();
+        for &v in del {
+            tx = tx.delete(p, vec![v]);
+        }
+        for &v in ins {
+            tx = tx.insert(p, vec![v]);
+        }
+        tx
+    }
+
+    #[test]
+    fn reconstruction_matches_snapshots() {
+        let sc = schema();
+        let mut log = LogHistory::new(sc.clone(), 4);
+        let mut full = History::new(sc.clone());
+        let steps = [
+            tx_p(&[1], &[], &sc),
+            tx_p(&[2], &[], &sc),
+            tx_p(&[3], &[1], &sc),
+            tx_p(&[], &[2], &sc),
+            tx_p(&[4, 5], &[], &sc),
+            tx_p(&[1], &[3], &sc),
+            tx_p(&[], &[4], &sc),
+        ];
+        for tx in &steps {
+            log.apply(tx).unwrap();
+            full.apply(tx).unwrap();
+        }
+        assert_eq!(log.len(), full.len());
+        for t in 0..full.len() {
+            assert_eq!(&log.state_at(t), full.state(t), "instant {t}");
+        }
+        assert_eq!(log.last(), full.last());
+        assert_eq!(log.relevant(), &full.relevant());
+        assert_eq!(log.to_history(), full);
+    }
+
+    #[test]
+    fn memory_stays_sublinear() {
+        let sc = schema();
+        let mut log = LogHistory::new(sc.clone(), 16);
+        for i in 0..100u64 {
+            log.apply(&tx_p(&[i % 7], &[(i + 3) % 7], &sc)).unwrap();
+        }
+        assert_eq!(log.len(), 100);
+        // ~100/16 grid checkpoints + the newest state.
+        assert!(
+            log.materialised_states() <= 100 / 16 + 2,
+            "got {}",
+            log.materialised_states()
+        );
+    }
+
+    #[test]
+    fn checkpoint_every_one_keeps_all_states() {
+        let sc = schema();
+        let mut log = LogHistory::new(sc.clone(), 1);
+        for i in 0..10u64 {
+            log.apply(&tx_p(&[i], &[], &sc)).unwrap();
+        }
+        assert_eq!(log.materialised_states(), 10);
+        assert!(log.state_at(5).holds(sc.pred("P").unwrap(), &[5]));
+    }
+
+    #[test]
+    fn constants_participate_in_relevant() {
+        let sc = Schema::builder().pred("P", 1).constant("c").build();
+        let mut log = LogHistory::new(sc.clone(), 4);
+        log.set_constant(sc.constant("c").unwrap(), 42);
+        log.apply(&Transaction::new()).unwrap();
+        assert!(log.relevant().contains(&42));
+        let h = log.to_history();
+        assert_eq!(h.const_value(sc.constant("c").unwrap()), 42);
+    }
+
+    #[test]
+    fn relevant_includes_deleted_elements() {
+        let sc = schema();
+        let mut log = LogHistory::new(sc.clone(), 4);
+        log.apply(&tx_p(&[9], &[], &sc)).unwrap();
+        log.apply(&tx_p(&[], &[9], &sc)).unwrap();
+        assert!(log.relevant().contains(&9), "9 appeared in a state");
+        // But an insert-then-delete within ONE transaction never
+        // materialises in any state, so it stays irrelevant (matching
+        // `History::relevant`).
+        let p = sc.pred("P").unwrap();
+        let mut log2 = LogHistory::new(sc.clone(), 4);
+        log2.apply(&Transaction::new().insert(p, vec![7]).delete(p, vec![7]))
+            .unwrap();
+        assert!(!log2.relevant().contains(&7));
+    }
+
+    #[test]
+    #[should_panic(expected = "instant out of range")]
+    fn out_of_range_read_panics() {
+        let sc = schema();
+        let log = LogHistory::new(sc, 4);
+        let _ = log.state_at(0);
+    }
+}

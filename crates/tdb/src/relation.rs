@@ -1,0 +1,133 @@
+//! Finite relations.
+//!
+//! The interpretation of a predicate symbol in one database state: a
+//! finite set of tuples over the universe. Backed by a `BTreeSet` so
+//! iteration order is deterministic — determinism matters because the
+//! grounding of Theorem 4.1 and the workload generators must be
+//! reproducible run to run.
+
+use crate::Value;
+use std::collections::BTreeSet;
+
+/// A finite relation of fixed arity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples are present.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns whether it was newly added.
+    ///
+    /// # Panics
+    /// Panics if the tuple length does not match the arity.
+    pub fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(tuple)
+    }
+
+    /// Removes a tuple; returns whether it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        self.tuples.remove(tuple)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        tuple.len() == self.arity && self.tuples.contains(tuple)
+    }
+
+    /// Iterates over tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        self.tuples.iter().map(|t| t.as_slice())
+    }
+
+    /// All universe elements mentioned by some tuple, in order.
+    pub fn active_values(&self) -> BTreeSet<Value> {
+        self.tuples.iter().flatten().copied().collect()
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [Value];
+    type IntoIter = std::iter::Map<
+        std::collections::btree_set::Iter<'a, Vec<Value>>,
+        fn(&'a Vec<Value>) -> &'a [Value],
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter().map(|t| t.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![1, 2]));
+        assert!(!r.insert(vec![1, 2]), "duplicate insert is a no-op");
+        assert!(r.contains(&[1, 2]));
+        assert!(!r.contains(&[2, 1]));
+        assert!(!r.contains(&[1]), "wrong-arity lookup is false");
+        assert_eq!(r.len(), 1);
+        assert!(r.remove(&[1, 2]));
+        assert!(!r.remove(&[1, 2]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_on_insert() {
+        let mut r = Relation::new(2);
+        r.insert(vec![1]);
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let mut r = Relation::new(1);
+        for v in [5, 1, 3] {
+            r.insert(vec![v]);
+        }
+        let order: Vec<Value> = r.iter().map(|t| t[0]).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn active_values_flattens() {
+        let mut r = Relation::new(2);
+        r.insert(vec![7, 2]);
+        r.insert(vec![2, 9]);
+        let v: Vec<Value> = r.active_values().into_iter().collect();
+        assert_eq!(v, vec![2, 7, 9]);
+    }
+}

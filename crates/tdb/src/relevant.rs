@@ -1,0 +1,65 @@
+//! Relevant and irrelevant elements (Lemma 4.1).
+//!
+//! An element `m ∈ N` is *relevant* to a database `D` if it interprets a
+//! constant symbol or occurs in some tuple of some state; otherwise it is
+//! irrelevant. For a finite-time database, `R_D` is finite and its
+//! complement `I_D` infinite — the fact Lemma 4.1 exploits to replace
+//! arbitrary extensions by extensions that touch only `R_D`.
+
+use crate::history::History;
+use crate::Value;
+use std::collections::BTreeSet;
+
+/// Computes `R_D` for a history (alias of [`History::relevant`], exposed
+/// as a free function for symmetry with the paper's notation).
+pub fn relevant_elements(d: &History) -> BTreeSet<Value> {
+    d.relevant()
+}
+
+/// Returns the first `k` elements of `I_D = N ∖ R_D` (fresh witnesses,
+/// the `z1 … zk` of Theorem 4.1 when concrete values are needed, e.g. to
+/// decode a propositional witness back into database states).
+pub fn fresh_elements(d: &History, k: usize) -> Vec<Value> {
+    let relevant = d.relevant();
+    let mut out = Vec::with_capacity(k);
+    let mut candidate: Value = 0;
+    while out.len() < k {
+        if !relevant.contains(&candidate) {
+            out.push(candidate);
+        }
+        candidate = candidate
+            .checked_add(1)
+            .expect("universe exhausted (impossible for u64)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::update::Transaction;
+
+    #[test]
+    fn fresh_elements_avoid_relevant() {
+        let sc = Schema::builder().pred("P", 1).constant("c").build();
+        let p = sc.pred("P").unwrap();
+        let mut h = History::new(sc.clone());
+        h.set_constant(sc.constant("c").unwrap(), 1);
+        h.apply(&Transaction::new().insert(p, vec![0]).insert(p, vec![3]))
+            .unwrap();
+        let r: Vec<Value> = relevant_elements(&h).into_iter().collect();
+        assert_eq!(r, vec![0, 1, 3]);
+        let fresh = fresh_elements(&h, 3);
+        assert_eq!(fresh, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn empty_history_relevant_is_constants_only() {
+        let sc = Schema::builder().pred("P", 1).constant("c").build();
+        let h = History::new(sc);
+        let r: Vec<Value> = relevant_elements(&h).into_iter().collect();
+        assert_eq!(r, vec![0]);
+        assert_eq!(fresh_elements(&h, 2), vec![1, 2]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Vocabularies: predicate and constant symbols.
+//!
+//! The paper's vocabulary is a finite set of predicate symbols (each with
+//! an arity ≥ 1) and a finite set of constant symbols. Equality and the
+//! extended-vocabulary symbols (`≤`, `succ`, `Zero`) are *not* database
+//! predicates (they denote infinite, rigid relations) and therefore do
+//! not appear in a [`Schema`]; they are handled at the logic layer.
+
+use std::sync::Arc;
+
+/// Identifier of a predicate symbol within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a constant symbol within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(pub u32);
+
+impl ConstId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PredDecl {
+    name: String,
+    arity: usize,
+}
+
+/// A finite vocabulary of predicate and constant symbols.
+///
+/// Schemas are immutable once built (via [`SchemaBuilder`]) and cheaply
+/// shared behind [`Arc`] by every state of a history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    preds: Vec<PredDecl>,
+    consts: Vec<String>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Number of predicate symbols.
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Number of constant symbols.
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Name of a predicate.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        &self.preds[p.index()].name
+    }
+
+    /// Declared arity of a predicate.
+    pub fn arity(&self, p: PredId) -> usize {
+        self.preds[p.index()].arity
+    }
+
+    /// Maximum arity over all predicates (the `l` of Theorem 4.2); 0 for
+    /// an empty schema.
+    pub fn max_arity(&self) -> usize {
+        self.preds.iter().map(|p| p.arity).max().unwrap_or(0)
+    }
+
+    /// Name of a constant symbol.
+    pub fn const_name(&self, c: ConstId) -> &str {
+        &self.consts[c.index()]
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred(&self, name: &str) -> Option<PredId> {
+        self.preds
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PredId(i as u32))
+    }
+
+    /// Looks up a constant by name.
+    pub fn constant(&self, name: &str) -> Option<ConstId> {
+        self.consts
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ConstId(i as u32))
+    }
+
+    /// Iterates over all predicate ids.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Iterates over all constant ids.
+    pub fn consts(&self) -> impl Iterator<Item = ConstId> {
+        (0..self.consts.len() as u32).map(ConstId)
+    }
+}
+
+/// Builder for [`Schema`]. Symbol names must be unique across predicates
+/// and constants.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Declares a predicate symbol with the given arity (≥ 1, per the
+    /// paper's convention).
+    ///
+    /// # Panics
+    /// Panics on duplicate names or zero arity.
+    pub fn pred(mut self, name: &str, arity: usize) -> Self {
+        assert!(arity >= 1, "predicate arity must be at least 1");
+        assert!(
+            self.schema.pred(name).is_none() && self.schema.constant(name).is_none(),
+            "duplicate symbol {name}"
+        );
+        self.schema.preds.push(PredDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        self
+    }
+
+    /// Declares a constant symbol.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn constant(mut self, name: &str) -> Self {
+        assert!(
+            self.schema.pred(name).is_none() && self.schema.constant(name).is_none(),
+            "duplicate symbol {name}"
+        );
+        self.schema.consts.push(name.to_owned());
+        self
+    }
+
+    /// Finishes the schema.
+    pub fn build(self) -> Arc<Schema> {
+        Arc::new(self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::builder()
+            .pred("Sub", 1)
+            .pred("Fill", 1)
+            .pred("Edge", 2)
+            .constant("root")
+            .build();
+        assert_eq!(s.pred_count(), 3);
+        assert_eq!(s.const_count(), 1);
+        let sub = s.pred("Sub").unwrap();
+        assert_eq!(s.pred_name(sub), "Sub");
+        assert_eq!(s.arity(sub), 1);
+        assert_eq!(s.max_arity(), 2);
+        assert!(s.pred("Nope").is_none());
+        assert_eq!(s.constant("root"), Some(ConstId(0)));
+        assert_eq!(s.preds().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::builder().pred("P", 1).constant("P");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be at least 1")]
+    fn zero_arity_rejected() {
+        let _ = Schema::builder().pred("P", 0);
+    }
+
+    #[test]
+    fn empty_schema_max_arity() {
+        let s = Schema::builder().build();
+        assert_eq!(s.max_arity(), 0);
+    }
+}

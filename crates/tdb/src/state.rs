@@ -1,0 +1,180 @@
+//! Database states.
+//!
+//! A database state is a first-order structure: one finite relation per
+//! predicate symbol of the schema. The universe is implicit (all of `N`);
+//! constants live on the [`crate::History`], since their interpretation
+//! is rigid across states.
+
+use crate::relation::Relation;
+use crate::schema::{PredId, Schema};
+use crate::{TdbError, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One database state: an interpretation of every predicate symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    schema: Arc<Schema>,
+    relations: Vec<Relation>,
+}
+
+impl State {
+    /// An empty state (all relations empty) over a schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let relations = schema
+            .preds()
+            .map(|p| Relation::new(schema.arity(p)))
+            .collect();
+        Self { schema, relations }
+    }
+
+    /// The schema this state conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The relation interpreting a predicate.
+    pub fn relation(&self, p: PredId) -> &Relation {
+        &self.relations[p.index()]
+    }
+
+    /// Whether `p` is true about `tuple` in this state.
+    pub fn holds(&self, p: PredId, tuple: &[Value]) -> bool {
+        self.relations[p.index()].contains(tuple)
+    }
+
+    /// Inserts a tuple; checks arity against the schema.
+    pub fn insert(&mut self, p: PredId, tuple: Vec<Value>) -> Result<bool, TdbError> {
+        let expected = self.schema.arity(p);
+        if tuple.len() != expected {
+            return Err(TdbError::ArityMismatch {
+                pred: self.schema.pred_name(p).to_owned(),
+                expected,
+                got: tuple.len(),
+            });
+        }
+        Ok(self.relations[p.index()].insert(tuple))
+    }
+
+    /// Deletes a tuple; returns whether it was present.
+    pub fn delete(&mut self, p: PredId, tuple: &[Value]) -> bool {
+        self.relations[p.index()].remove(tuple)
+    }
+
+    /// Convenience: inserts into a predicate looked up by name.
+    pub fn insert_named(&mut self, pred: &str, tuple: Vec<Value>) -> Result<bool, TdbError> {
+        let p = self
+            .schema
+            .pred(pred)
+            .ok_or_else(|| TdbError::UnknownSymbol(pred.to_owned()))?;
+        self.insert(p, tuple)
+    }
+
+    /// The active domain of this single state: every element mentioned in
+    /// some tuple.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for r in &self.relations {
+            out.extend(r.active_values());
+        }
+        out
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Restricts the state to a subuniverse `A`: keeps only tuples whose
+    /// values all lie in `A` (the `D|A` of Section 4).
+    pub fn restrict(&self, a: &BTreeSet<Value>) -> State {
+        let mut out = self.clone();
+        for (p, rel) in out.relations.iter_mut().enumerate() {
+            let keep: Vec<Vec<Value>> = self.relations[p]
+                .iter()
+                .filter(|t| t.iter().all(|v| a.contains(v)))
+                .map(|t| t.to_vec())
+                .collect();
+            rel.clear();
+            for t in keep {
+                rel.insert(t);
+            }
+        }
+        out
+    }
+
+    /// Renders the state as `{P(1), Q(2,3), …}` in deterministic order.
+    pub fn display(&self) -> String {
+        let mut parts = Vec::new();
+        for p in self.schema.preds() {
+            for t in self.relation(p).iter() {
+                let args: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+                parts.push(format!("{}({})", self.schema.pred_name(p), args.join(",")));
+            }
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder().pred("P", 1).pred("E", 2).build()
+    }
+
+    #[test]
+    fn empty_state_has_empty_relations() {
+        let s = State::empty(schema());
+        assert_eq!(s.tuple_count(), 0);
+        assert!(s.active_domain().is_empty());
+    }
+
+    #[test]
+    fn insert_and_holds() {
+        let sc = schema();
+        let mut s = State::empty(sc.clone());
+        let p = sc.pred("P").unwrap();
+        let e = sc.pred("E").unwrap();
+        s.insert(p, vec![3]).unwrap();
+        s.insert(e, vec![3, 4]).unwrap();
+        assert!(s.holds(p, &[3]));
+        assert!(!s.holds(p, &[4]));
+        assert!(s.holds(e, &[3, 4]));
+        let dom: Vec<Value> = s.active_domain().into_iter().collect();
+        assert_eq!(dom, vec![3, 4]);
+    }
+
+    #[test]
+    fn arity_error_reported() {
+        let sc = schema();
+        let mut s = State::empty(sc.clone());
+        let p = sc.pred("P").unwrap();
+        let err = s.insert(p, vec![1, 2]).unwrap_err();
+        assert!(matches!(err, TdbError::ArityMismatch { expected: 1, got: 2, .. }));
+    }
+
+    #[test]
+    fn restrict_drops_outside_tuples() {
+        let sc = schema();
+        let mut s = State::empty(sc.clone());
+        let e = sc.pred("E").unwrap();
+        s.insert(e, vec![1, 2]).unwrap();
+        s.insert(e, vec![1, 9]).unwrap();
+        let a: BTreeSet<Value> = [1, 2].into_iter().collect();
+        let r = s.restrict(&a);
+        assert!(r.holds(e, &[1, 2]));
+        assert!(!r.holds(e, &[1, 9]));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let sc = schema();
+        let mut s = State::empty(sc.clone());
+        s.insert_named("P", vec![2]).unwrap();
+        s.insert_named("P", vec![1]).unwrap();
+        assert_eq!(s.display(), "{P(1), P(2)}");
+        assert!(s.insert_named("Q", vec![1]).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Updates and transactions.
+//!
+//! The paper's framework checks constraints "after an update": a
+//! transaction transforms the current state into the next one, and the
+//! history grows by one state. A [`Transaction`] is an ordered list of
+//! tuple insertions and deletions applied atomically by
+//! [`crate::History::apply`].
+
+use crate::schema::PredId;
+use crate::state::State;
+use crate::{TdbError, Value};
+
+/// A single tuple-level update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert a tuple into a predicate.
+    Insert(PredId, Vec<Value>),
+    /// Delete a tuple from a predicate.
+    Delete(PredId, Vec<Value>),
+}
+
+/// An ordered, atomically-applied list of updates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transaction {
+    updates: Vec<Update>,
+}
+
+impl Transaction {
+    /// An empty transaction (appends an unchanged snapshot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an insertion.
+    pub fn insert(mut self, p: PredId, tuple: Vec<Value>) -> Self {
+        self.updates.push(Update::Insert(p, tuple));
+        self
+    }
+
+    /// Adds a deletion.
+    pub fn delete(mut self, p: PredId, tuple: Vec<Value>) -> Self {
+        self.updates.push(Update::Delete(p, tuple));
+        self
+    }
+
+    /// The update list, in application order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// True if the transaction contains no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Applies the updates in order to a state.
+    pub fn apply_to(&self, state: &mut State) -> Result<(), TdbError> {
+        for u in &self.updates {
+            match u {
+                Update::Insert(p, t) => {
+                    state.insert(*p, t.clone())?;
+                }
+                Update::Delete(p, t) => {
+                    state.delete(*p, t);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Update> for Transaction {
+    fn from_iter<I: IntoIterator<Item = Update>>(iter: I) -> Self {
+        Self {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn apply_in_order() {
+        let sc = Schema::builder().pred("P", 1).build();
+        let p = sc.pred("P").unwrap();
+        let mut s = State::empty(sc);
+        // Insert then delete the same tuple: net effect nothing.
+        let tx = Transaction::new().insert(p, vec![1]).delete(p, vec![1]);
+        tx.apply_to(&mut s).unwrap();
+        assert!(!s.holds(p, &[1]));
+        // Delete then insert: present.
+        let tx2 = Transaction::new().delete(p, vec![2]).insert(p, vec![2]);
+        tx2.apply_to(&mut s).unwrap();
+        assert!(s.holds(p, &[2]));
+    }
+
+    #[test]
+    fn arity_error_propagates() {
+        let sc = Schema::builder().pred("P", 2).build();
+        let p = sc.pred("P").unwrap();
+        let mut s = State::empty(sc);
+        let tx = Transaction::new().insert(p, vec![1]);
+        assert!(tx.apply_to(&mut s).is_err());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let sc = Schema::builder().pred("P", 1).build();
+        let p = sc.pred("P").unwrap();
+        let tx: Transaction = vec![Update::Insert(p, vec![1])].into_iter().collect();
+        assert_eq!(tx.updates().len(), 1);
+        assert!(!tx.is_empty());
+        assert!(Transaction::new().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The Σ⁰₂ semi-decision procedure (proof of Theorem 3.1).
+//!
+//! The extension problem for `φ` is Π⁰₂-complete, so no algorithm
+//! decides it. The proof of Theorem 3.1 gives its exact arithmetical
+//! shape: a word `w` induces a repeating behaviour iff *for each `n`*
+//! there is a finite prolongation of the (unique, deterministic)
+//! computation with at least `n` leftmost-cell visits. Fixing `n` makes
+//! the inner question semi-decidable by plain simulation — which is what
+//! this module implements, with explicit step budgets. This is the best
+//! possible procedure, and experiment E9 measures it.
+
+use crate::machine::{run, Machine, RunEnd};
+
+/// Outcome of a budgeted semi-decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiDecision {
+    /// The computation reached the target number of leftmost visits
+    /// within the budget (after `steps` moves): *positive* evidence.
+    ReachedTarget {
+        /// Moves consumed when the target was reached.
+        steps: usize,
+    },
+    /// The machine halted (or fell off the left edge): *negative*
+    /// certificate — the computation is finite, hence not repeating.
+    Halted {
+        /// Moves executed before halting.
+        steps: usize,
+        /// Leftmost visits accumulated.
+        visits: usize,
+    },
+    /// Budget exhausted with the machine still running short of the
+    /// target: **undetermined** (the Π⁰₂ face of the problem — no budget
+    /// settles it in general).
+    Undetermined {
+        /// Leftmost visits accumulated within the budget.
+        visits: usize,
+    },
+}
+
+/// Semi-decides "does `input` induce ≥ `target_visits` leftmost visits"
+/// within `step_budget` moves.
+pub fn semi_decide_repeating(
+    machine: &Machine,
+    input: &[bool],
+    target_visits: usize,
+    step_budget: usize,
+) -> SemiDecision {
+    let mut config = crate::machine::Config::initial(machine, input);
+    let mut visits = usize::from(config.head == 0);
+    if visits >= target_visits {
+        return SemiDecision::ReachedTarget { steps: 0 };
+    }
+    for step in 1..=step_budget {
+        match config.step_mut(machine) {
+            crate::machine::StepKind::Moved => {
+                if config.head == 0 {
+                    visits += 1;
+                    if visits >= target_visits {
+                        return SemiDecision::ReachedTarget { steps: step };
+                    }
+                }
+            }
+            crate::machine::StepKind::Halted | crate::machine::StepKind::FellOff => {
+                return SemiDecision::Halted {
+                    steps: step - 1,
+                    visits,
+                }
+            }
+        }
+    }
+    SemiDecision::Undetermined { visits }
+}
+
+/// The step index of each leftmost visit within `step_budget` moves —
+/// the "visit profile" whose unboundedness characterises repeating
+/// behaviour.
+pub fn visit_profile(machine: &Machine, input: &[bool], step_budget: usize) -> Vec<usize> {
+    let r = run(machine, input, step_budget);
+    r.configs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.head == 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Convenience: true iff the bounded run is *consistent with* repeating
+/// behaviour (still running and visits keep arriving). `None` when the
+/// run halted (definitely not repeating), `Some(visits)` otherwise.
+pub fn bounded_visits(machine: &Machine, input: &[bool], step_budget: usize) -> Option<usize> {
+    let r = run(machine, input, step_budget);
+    match r.end {
+        RunEnd::Halted | RunEnd::FellOff => None,
+        RunEnd::Running => Some(r.leftmost_visits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn shuttle_reaches_any_target() {
+        let m = zoo::shuttle();
+        for target in [1, 5, 50] {
+            match semi_decide_repeating(&m, &[true], target, 10_000) {
+                SemiDecision::ReachedTarget { steps } => {
+                    assert!(steps <= 2 * target, "shuttle visits every 2 steps")
+                }
+                other => panic!("expected target reached, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn runner_is_undetermined_forever() {
+        let m = zoo::runner();
+        match semi_decide_repeating(&m, &[true], 2, 10_000) {
+            SemiDecision::Undetermined { visits } => assert_eq!(visits, 1),
+            other => panic!("expected undetermined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halter_gives_negative_certificate() {
+        let m = zoo::halter();
+        match semi_decide_repeating(&m, &[true], 2, 10_000) {
+            SemiDecision::Halted { steps, visits } => {
+                assert_eq!(steps, 0);
+                assert_eq!(visits, 1);
+            }
+            other => panic!("expected halted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn picky_depends_on_input() {
+        let m = zoo::picky();
+        assert!(matches!(
+            semi_decide_repeating(&m, &[true], 10, 1_000),
+            SemiDecision::ReachedTarget { .. }
+        ));
+        assert!(matches!(
+            semi_decide_repeating(&m, &[false], 10, 1_000),
+            SemiDecision::Undetermined { .. }
+        ));
+        assert!(matches!(
+            semi_decide_repeating(&m, &[], 10, 1_000),
+            SemiDecision::Halted { .. }
+        ));
+    }
+
+    #[test]
+    fn visit_profile_is_periodic_for_shuttle() {
+        let m = zoo::shuttle();
+        let p = visit_profile(&m, &[true], 20);
+        assert_eq!(p[0], 0);
+        // Visits at steps 0, 2, 4, … (go right, come back).
+        for w in p.windows(2) {
+            assert_eq!(w[1] - w[0], 2);
+        }
+    }
+
+    #[test]
+    fn bounded_visits_distinguishes_the_zoo() {
+        assert!(bounded_visits(&zoo::halter(), &[true], 100).is_none());
+        assert_eq!(bounded_visits(&zoo::runner(), &[true], 100), Some(1));
+        assert!(bounded_visits(&zoo::shuttle(), &[true], 100).unwrap() > 10);
+    }
+
+    #[test]
+    fn target_zero_or_initial_visit_trivially_reached() {
+        let m = zoo::halter();
+        assert!(matches!(
+            semi_decide_repeating(&m, &[], 1, 10),
+            SemiDecision::ReachedTarget { steps: 0 }
+        ));
+    }
+}

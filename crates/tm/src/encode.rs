@@ -1,0 +1,203 @@
+//! Encoding configurations as database states (Appendix).
+//!
+//! The vocabulary is monadic: a predicate `S_σ` for each non-blank tape
+//! symbol `σ`, and a predicate `H_q_σ` for each (state, scanned-symbol)
+//! pair. A database state encodes a configuration by making, for each
+//! cell `i`, exactly the predicate of that cell true about the universe
+//! element `i`: `S_σ(i)` for a plain cell holding `σ` (blank cells
+//! satisfy nothing), `H_q_σ(i)` for the head cell. This is the
+//! *composite-cell* variant of the paper's `α q β` string encoding: the
+//! state symbol is fused with the scanned cell instead of inserted
+//! before it, which restores the Appendix's "three consecutive positions
+//! determine the middle of the next configuration" property for
+//! deterministic machines (see DESIGN.md).
+
+use crate::machine::{Config, Machine, StateId, Sym, BLANK};
+use std::sync::Arc;
+use ticc_tdb::{History, PredId, Schema, State, Value};
+
+/// The cell content alphabet of the encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// A plain tape cell holding a symbol (possibly the blank).
+    Plain(Sym),
+    /// The head cell: control state + scanned symbol.
+    Head(StateId, Sym),
+}
+
+/// Name of the predicate for a (non-blank-plain) cell content.
+pub fn cell_pred_name(machine: &Machine, cell: Cell) -> Option<String> {
+    match cell {
+        Cell::Plain(s) if s == BLANK => None,
+        Cell::Plain(s) => Some(format!("S_{}", machine.symbol_name(s))),
+        Cell::Head(q, s) => Some(format!(
+            "H_{}_{}",
+            machine.state_name(q),
+            machine.symbol_name(s)
+        )),
+    }
+}
+
+/// Every cell content that has a predicate, in deterministic order.
+pub fn cell_contents(machine: &Machine) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for s in 1..machine.num_symbols() as Sym {
+        out.push(Cell::Plain(s));
+    }
+    for q in 0..machine.num_states() as StateId {
+        for s in 0..machine.num_symbols() as Sym {
+            out.push(Cell::Head(q, s));
+        }
+    }
+    out
+}
+
+/// Builds the monadic schema for a machine's encoding.
+pub fn machine_schema(machine: &Machine) -> Arc<Schema> {
+    let mut b = Schema::builder();
+    for cell in cell_contents(machine) {
+        let name = cell_pred_name(machine, cell).expect("cell_contents has no plain blank");
+        b = b.pred(&name, 1);
+    }
+    b.build()
+}
+
+/// The predicate id for a cell content (None for the plain blank, which
+/// is encoded by the absence of facts).
+pub fn cell_pred(machine: &Machine, schema: &Schema, cell: Cell) -> Option<PredId> {
+    let name = cell_pred_name(machine, cell)?;
+    Some(schema.pred(&name).expect("schema built for this machine"))
+}
+
+/// Encodes one configuration as a database state.
+pub fn encode_config(machine: &Machine, schema: &Arc<Schema>, config: &Config) -> State {
+    let mut st = State::empty(schema.clone());
+    let len = config.significant_len();
+    for i in 0..len {
+        let cell = if i == config.head {
+            Cell::Head(config.state, config.symbol_at(i))
+        } else {
+            Cell::Plain(config.symbol_at(i))
+        };
+        if let Some(p) = cell_pred(machine, schema, cell) {
+            st.insert(p, vec![i as Value]).expect("monadic");
+        }
+    }
+    st
+}
+
+/// Decodes a database state back into a configuration. Returns `None`
+/// if the state is not a valid encoding (no head, several heads, or a
+/// cell with several contents).
+pub fn decode_config(machine: &Machine, schema: &Schema, state: &State) -> Option<Config> {
+    let mut cells: std::collections::BTreeMap<Value, Cell> = std::collections::BTreeMap::new();
+    for cell in cell_contents(machine) {
+        let p = cell_pred(machine, schema, cell)?;
+        for tuple in state.relation(p).iter() {
+            if cells.insert(tuple[0], cell).is_some() {
+                return None; // two contents on one cell
+            }
+        }
+    }
+    let mut head: Option<(usize, StateId, Sym)> = None;
+    let max_cell = cells.keys().next_back().copied().unwrap_or(0);
+    let mut tape = vec![BLANK; max_cell as usize + 1];
+    for (&i, &cell) in &cells {
+        match cell {
+            Cell::Plain(s) => tape[i as usize] = s,
+            Cell::Head(q, s) => {
+                if head.is_some() {
+                    return None; // two heads
+                }
+                head = Some((i as usize, q, s));
+                tape[i as usize] = s;
+            }
+        }
+    }
+    let (head, state_id, _) = head?;
+    Some(Config {
+        state: state_id,
+        head,
+        tape,
+    })
+}
+
+/// Simulates `machine` on `input` for up to `steps` moves and encodes
+/// every configuration, yielding the temporal database of the run.
+pub fn encode_run(
+    machine: &Machine,
+    input: &[bool],
+    steps: usize,
+) -> (Arc<Schema>, History, crate::machine::RunResult) {
+    let schema = machine_schema(machine);
+    let result = crate::machine::run(machine, input, steps);
+    let mut h = History::new(schema.clone());
+    for c in &result.configs {
+        h.push_state(encode_config(machine, &schema, c));
+    }
+    (schema, h, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::run;
+    use crate::zoo;
+
+    #[test]
+    fn schema_has_one_pred_per_content() {
+        let m = zoo::shuttle(); // 2 states × 3 symbols + 2 plain
+        let sc = machine_schema(&m);
+        assert_eq!(sc.pred_count(), 2 + 2 * 3);
+        assert!(sc.pred("S_0").is_some());
+        assert!(sc.pred("H_go_B").is_some());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = zoo::shuttle();
+        let sc = machine_schema(&m);
+        let r = run(&m, &[true, false, true], 20);
+        for c in &r.configs {
+            let st = encode_config(&m, &sc, c);
+            let back = decode_config(&m, &sc, &st).expect("valid encoding");
+            assert_eq!(back.state, c.state);
+            assert_eq!(back.head, c.head);
+            let n = c.significant_len().max(back.significant_len());
+            for i in 0..n {
+                assert_eq!(back.symbol_at(i), c.symbol_at(i), "cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_state_rejected() {
+        let m = zoo::shuttle();
+        let sc = machine_schema(&m);
+        let c = Config::initial(&m, &[true]);
+        let mut st = encode_config(&m, &sc, &c);
+        // Add a second head.
+        let h = sc.pred("H_back_0").unwrap();
+        st.insert(h, vec![3]).unwrap();
+        assert!(decode_config(&m, &sc, &st).is_none());
+    }
+
+    #[test]
+    fn empty_input_still_has_head() {
+        let m = zoo::halter();
+        let sc = machine_schema(&m);
+        let c = Config::initial(&m, &[]);
+        let st = encode_config(&m, &sc, &c);
+        assert_eq!(st.tuple_count(), 1, "head-on-blank composite at cell 0");
+        let back = decode_config(&m, &sc, &st).unwrap();
+        assert_eq!(back.head, 0);
+    }
+
+    #[test]
+    fn encode_run_builds_history() {
+        let m = zoo::shuttle();
+        let (_sc, h, r) = encode_run(&m, &[true], 9);
+        assert_eq!(h.len(), r.configs.len());
+        assert_eq!(h.len(), 10);
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic Turing machines and the Section 3 constructions.
+//!
+//! Section 3 of Chomicki & Niwiński (PODS 1993) proves that temporal
+//! integrity checking for biquantified formulas with a single internal
+//! quantifier is Π⁰₂-complete, by encoding *repeating computations* of a
+//! deterministic Turing machine (computations that are infinite and
+//! visit the leftmost tape cell infinitely often) into temporal
+//! databases. This crate implements every ingredient:
+//!
+//! * [`machine`] — single-tape deterministic machines (tape infinite to
+//!   the right, input alphabet `{0, 1}`, blank `B`), configurations and
+//!   stepping, with leftmost-visit tracking;
+//! * [`encode`] — the Appendix encoding of configurations as database
+//!   states over monadic predicates. We use the classic *composite-cell*
+//!   variant (the head cell carries a combined `(state, symbol)`
+//!   predicate) so that three consecutive cells always determine the
+//!   middle cell of the successor configuration — the property the
+//!   Appendix sketch appeals to; see `DESIGN.md` for the exact relation
+//!   to the paper's `αqβ` string encoding;
+//! * [`phi`] — the formula `φ` of Proposition 3.1 over the extended
+//!   vocabulary (`≤`, `succ`, `Zero`): a `∀≤3` universal formula whose
+//!   models are exactly the encodings of repeating computations;
+//! * [`phi_tilde`] — the monadic formula `φ̃` of Theorem 3.2: the `W`
+//!   predicate, the temporally defined ordering `≤_W`/`S_W`/`Z_W`, the
+//!   formulas `W1 W2 W3`, and the relativised `φ_W`; a `∀³tense(Σ1)`
+//!   biquantified formula;
+//! * [`bounded`] — the Σ⁰₂ semi-decision procedure from the proof of
+//!   Theorem 3.1: a deterministic machine's prefix has at most one
+//!   prolongation, so "extendible to a repeating computation" is
+//!   semi-decided by simulating with a visit/step budget;
+//! * [`zoo`] — small machines with known behaviour (repeating,
+//!   diverging right, halting, input-dependent).
+
+pub mod bounded;
+pub mod encode;
+pub mod machine;
+pub mod phi;
+pub mod phi_tilde;
+pub mod zoo;
+
+pub use bounded::{semi_decide_repeating, SemiDecision};
+pub use encode::{decode_config, encode_config, encode_run, machine_schema};
+pub use machine::{Config, Dir, Machine, StepOutcome};

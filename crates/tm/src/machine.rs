@@ -1,0 +1,373 @@
+//! Deterministic single-tape Turing machines.
+//!
+//! Machines match Section 3's conventions: one tape infinite to the
+//! right over an alphabet `Σ` containing the blank `B` and the input
+//! alphabet `{0, 1}`; deterministic transition function; the *repeating
+//! behaviour* of interest is an infinite computation whose head visits
+//! the leftmost cell infinitely often. Moving left from cell 0 halts the
+//! machine (there is no cell there).
+
+use std::collections::HashMap;
+
+/// A tape symbol, as an index into the machine's alphabet.
+pub type Sym = u8;
+
+/// A control state, as an index.
+pub type StateId = u16;
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Left.
+    L,
+    /// Right.
+    R,
+}
+
+/// A transition: new state, symbol written, head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trans {
+    /// Next control state.
+    pub state: StateId,
+    /// Symbol written over the scanned cell.
+    pub write: Sym,
+    /// Head movement.
+    pub dir: Dir,
+}
+
+/// A deterministic Turing machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    name: String,
+    state_names: Vec<String>,
+    alphabet: Vec<String>,
+    initial: StateId,
+    trans: HashMap<(StateId, Sym), Trans>,
+}
+
+/// The blank symbol `B` is always index 0.
+pub const BLANK: Sym = 0;
+/// Input symbol `0` is always index 1.
+pub const SYM0: Sym = 1;
+/// Input symbol `1` is always index 2.
+pub const SYM1: Sym = 2;
+
+impl Machine {
+    /// Creates a machine. The alphabet always starts `B, 0, 1`;
+    /// `extra_symbols` extends it. `state_names` defines the control
+    /// states; index 0 is the initial state `q0`.
+    pub fn new(
+        name: impl Into<String>,
+        state_names: &[&str],
+        extra_symbols: &[&str],
+    ) -> Self {
+        assert!(!state_names.is_empty(), "need at least one state");
+        let mut alphabet = vec!["B".to_owned(), "0".to_owned(), "1".to_owned()];
+        alphabet.extend(extra_symbols.iter().map(|s| (*s).to_owned()));
+        Self {
+            name: name.into(),
+            state_names: state_names.iter().map(|s| (*s).to_owned()).collect(),
+            alphabet,
+            initial: 0,
+            trans: HashMap::new(),
+        }
+    }
+
+    /// Adds the transition `(q, σ) → (p, τ, dir)`.
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-range entries.
+    pub fn rule(mut self, q: StateId, sym: Sym, p: StateId, write: Sym, dir: Dir) -> Self {
+        assert!((q as usize) < self.state_names.len(), "state out of range");
+        assert!((p as usize) < self.state_names.len(), "state out of range");
+        assert!((sym as usize) < self.alphabet.len(), "symbol out of range");
+        assert!((write as usize) < self.alphabet.len(), "symbol out of range");
+        let prev = self.trans.insert((q, sym), Trans {
+            state: p,
+            write,
+            dir,
+        });
+        assert!(prev.is_none(), "duplicate transition for ({q}, {sym})");
+        self
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of control states.
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Name of a control state.
+    pub fn state_name(&self, q: StateId) -> &str {
+        &self.state_names[q as usize]
+    }
+
+    /// Alphabet size (including the blank).
+    pub fn num_symbols(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// Name of a symbol.
+    pub fn symbol_name(&self, s: Sym) -> &str {
+        &self.alphabet[s as usize]
+    }
+
+    /// The initial state `q0`.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The transition for `(q, σ)`, if defined.
+    pub fn transition(&self, q: StateId, sym: Sym) -> Option<Trans> {
+        self.trans.get(&(q, sym)).copied()
+    }
+}
+
+/// A configuration: control state, head position, and the explicit tape
+/// prefix (cells beyond it are blank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Control state.
+    pub state: StateId,
+    /// Head cell index.
+    pub head: usize,
+    /// Explicit tape cells; implicit blanks beyond.
+    pub tape: Vec<Sym>,
+}
+
+/// Result of an in-place step ([`Config::step_mut`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// The machine moved.
+    Moved,
+    /// No transition defined: halted.
+    Halted,
+    /// Attempted to move left from cell 0.
+    FellOff,
+}
+
+/// Result of one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The machine continues in the given configuration.
+    Next(Config),
+    /// No transition defined for the scanned pair: the machine halts.
+    Halted,
+    /// The machine attempted to move left from cell 0.
+    FellOff,
+}
+
+impl Config {
+    /// The initial configuration `q0 w B^ω` for an input over `{0, 1}`.
+    pub fn initial(machine: &Machine, input: &[bool]) -> Self {
+        Self {
+            state: machine.initial(),
+            head: 0,
+            tape: input.iter().map(|&b| if b { SYM1 } else { SYM0 }).collect(),
+        }
+    }
+
+    /// The symbol at a cell (blank beyond the explicit tape).
+    pub fn symbol_at(&self, cell: usize) -> Sym {
+        self.tape.get(cell).copied().unwrap_or(BLANK)
+    }
+
+    /// Number of cells needed to show the configuration (head and all
+    /// non-blank cells).
+    pub fn significant_len(&self) -> usize {
+        let mut n = self.tape.len();
+        while n > 0 && self.tape[n - 1] == BLANK {
+            n -= 1;
+        }
+        n.max(self.head + 1)
+    }
+
+    /// Performs one move of `machine`.
+    pub fn step(&self, machine: &Machine) -> StepOutcome {
+        let scanned = self.symbol_at(self.head);
+        let Some(t) = machine.transition(self.state, scanned) else {
+            return StepOutcome::Halted;
+        };
+        let mut tape = self.tape.clone();
+        if self.head >= tape.len() {
+            tape.resize(self.head + 1, BLANK);
+        }
+        tape[self.head] = t.write;
+        let head = match t.dir {
+            Dir::R => self.head + 1,
+            Dir::L => {
+                if self.head == 0 {
+                    return StepOutcome::FellOff;
+                }
+                self.head - 1
+            }
+        };
+        StepOutcome::Next(Config {
+            state: t.state,
+            head,
+            tape,
+        })
+    }
+
+    /// Performs one move **in place** (no tape clone). Returns what
+    /// happened; on `Halted`/`FellOff` the configuration is unchanged.
+    pub fn step_mut(&mut self, machine: &Machine) -> StepKind {
+        let scanned = self.symbol_at(self.head);
+        let Some(t) = machine.transition(self.state, scanned) else {
+            return StepKind::Halted;
+        };
+        if t.dir == Dir::L && self.head == 0 {
+            return StepKind::FellOff;
+        }
+        if self.head >= self.tape.len() {
+            self.tape.resize(self.head + 1, BLANK);
+        }
+        self.tape[self.head] = t.write;
+        self.state = t.state;
+        match t.dir {
+            Dir::R => self.head += 1,
+            Dir::L => self.head -= 1,
+        }
+        StepKind::Moved
+    }
+
+    /// Renders the configuration in the paper's `α q β` form.
+    pub fn display(&self, machine: &Machine) -> String {
+        let n = self.significant_len();
+        let mut out = String::new();
+        for i in 0..=n {
+            if i == self.head {
+                out.push('[');
+                out.push_str(machine.state_name(self.state));
+                out.push(']');
+            }
+            if i < n {
+                out.push_str(machine.symbol_name(self.symbol_at(i)));
+            }
+        }
+        out
+    }
+}
+
+/// Simulates up to `max_steps` moves from the initial configuration on
+/// `input`, recording every configuration (including the initial one)
+/// and the number of leftmost-cell visits.
+pub struct RunResult {
+    /// Configurations visited, in order.
+    pub configs: Vec<Config>,
+    /// How the run ended within the budget.
+    pub end: RunEnd,
+    /// Number of configurations with the head at cell 0 (the *repeating
+    /// behaviour* counter; the initial configuration counts).
+    pub leftmost_visits: usize,
+}
+
+/// How a bounded run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// Budget exhausted while still running.
+    Running,
+    /// Machine halted (no transition).
+    Halted,
+    /// Machine moved left from cell 0.
+    FellOff,
+}
+
+/// Runs `machine` on `input` for at most `max_steps` moves.
+pub fn run(machine: &Machine, input: &[bool], max_steps: usize) -> RunResult {
+    let mut configs = vec![Config::initial(machine, input)];
+    let mut leftmost = usize::from(configs[0].head == 0);
+    let mut end = RunEnd::Running;
+    for _ in 0..max_steps {
+        match configs.last().expect("non-empty").step(machine) {
+            StepOutcome::Next(c) => {
+                if c.head == 0 {
+                    leftmost += 1;
+                }
+                configs.push(c);
+            }
+            StepOutcome::Halted => {
+                end = RunEnd::Halted;
+                break;
+            }
+            StepOutcome::FellOff => {
+                end = RunEnd::FellOff;
+                break;
+            }
+        }
+    }
+    RunResult {
+        configs,
+        end,
+        leftmost_visits: leftmost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn initial_configuration() {
+        let m = zoo::shuttle();
+        let c = Config::initial(&m, &[true, false]);
+        assert_eq!(c.state, 0);
+        assert_eq!(c.head, 0);
+        assert_eq!(c.symbol_at(0), SYM1);
+        assert_eq!(c.symbol_at(1), SYM0);
+        assert_eq!(c.symbol_at(2), BLANK);
+        assert_eq!(c.significant_len(), 2);
+    }
+
+    #[test]
+    fn shuttle_repeats_forever() {
+        let m = zoo::shuttle();
+        let r = run(&m, &[true], 100);
+        assert_eq!(r.end, RunEnd::Running);
+        assert!(r.leftmost_visits >= 50, "visits: {}", r.leftmost_visits);
+    }
+
+    #[test]
+    fn runner_never_returns() {
+        let m = zoo::runner();
+        let r = run(&m, &[true, true], 100);
+        assert_eq!(r.end, RunEnd::Running);
+        assert_eq!(r.leftmost_visits, 1, "only the initial configuration");
+    }
+
+    #[test]
+    fn halter_halts() {
+        let m = zoo::halter();
+        let r = run(&m, &[true], 100);
+        assert_eq!(r.end, RunEnd::Halted);
+        assert_eq!(r.configs.len(), 1);
+    }
+
+    #[test]
+    fn falling_off_detected() {
+        // A machine that immediately moves left from cell 0.
+        let m = Machine::new("lefty", &["q0"], &[]).rule(0, SYM1, 0, SYM1, Dir::L);
+        let r = run(&m, &[true], 10);
+        assert_eq!(r.end, RunEnd::FellOff);
+    }
+
+    #[test]
+    fn display_shows_head() {
+        let m = zoo::shuttle();
+        let c = Config::initial(&m, &[true, false]);
+        assert_eq!(c.display(&m), "[go]10");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_rule_rejected() {
+        let _ = Machine::new("m", &["q0"], &[])
+            .rule(0, SYM0, 0, SYM0, Dir::R)
+            .rule(0, SYM0, 0, SYM1, Dir::R);
+    }
+}

@@ -1,0 +1,420 @@
+//! The formula `φ` of Proposition 3.1.
+//!
+//! A universal formula `∀x ∀y ∀z ψ` (quantifier-free matrix `ψ`) over
+//! the machine's monadic encoding vocabulary *extended* by `≤`, `succ`
+//! and `Zero`, whose temporal models are exactly the encodings of
+//! repeating computations of the machine. The matrix is the conjunction
+//! of four groups, mirroring the Appendix:
+//!
+//! 1. **uniqueness** — at every instant, at most one cell predicate per
+//!    element, and at most one head overall;
+//! 2. **initial** — instant 0 encodes an initial configuration
+//!    `q0 w B^ω`, `w ∈ {0,1}*`;
+//! 3. **steps** — consecutive states encode consecutive configurations:
+//!    per-transition rules for the head cell and its two neighbours,
+//!    frame rules for cells away from the head, boundary rules for cell
+//!    0 (including "no move left from cell 0" and "no halting pair ever
+//!    appears" — in infinite time a halting configuration has no
+//!    successor);
+//! 4. **repeating** — the head returns to cell 0 infinitely often:
+//!    `Zero(x) → □◇ head(x)`.
+//!
+//! Rigid atoms (`succ`, `Zero`, `≤`) are kept **outside** the temporal
+//! operators (`guard → □(…)`), which is equivalent (they are rigid) and
+//! is what makes the `≤_W` substitution of [`crate::phi_tilde`]
+//! semantically faithful at instant 0.
+
+use crate::encode::{cell_contents, cell_pred, Cell};
+use crate::machine::{Dir, Machine, Sym, BLANK};
+use std::sync::Arc;
+use ticc_fotl::{Atom, Formula, Term};
+use ticc_tdb::Schema;
+
+/// The four groups of `φ`, each already in `∀x∀y∀z(matrix)` form.
+pub struct PhiParts {
+    /// Group 1: at-most-one content per cell, at most one head.
+    pub uniqueness: Formula,
+    /// Group 2: instant 0 encodes an initial configuration.
+    pub initial: Formula,
+    /// Group 3: successive states encode successive configurations.
+    pub steps: Formula,
+    /// Group 4: the leftmost cell is scanned infinitely often.
+    pub repeating: Formula,
+}
+
+impl PhiParts {
+    /// `φ` itself: the conjunction, re-prenexed to a single `∀x∀y∀z`.
+    pub fn conjunction(&self) -> Formula {
+        // Each part is ∀x∀y∀z M_i; conjunction commutes with the shared
+        // universal prefix.
+        let matrices: Vec<Formula> = [
+            &self.uniqueness,
+            &self.initial,
+            &self.steps,
+            &self.repeating,
+        ]
+        .iter()
+        .map(|f| strip3(f))
+        .collect();
+        close3(Formula::and_all(matrices))
+    }
+}
+
+/// Wraps a matrix in the canonical `∀x∀y∀z` prefix.
+fn close3(matrix: Formula) -> Formula {
+    Formula::forall_many(["x", "y", "z"], matrix)
+}
+
+fn strip3(f: &Formula) -> Formula {
+    let (vars, body) = ticc_fotl::classify::external_prefix(f);
+    assert_eq!(vars, vec!["x", "y", "z"], "phi parts share the ∀xyz prefix");
+    body.clone()
+}
+
+/// Builds the groups of `φ` for a machine over its encoding schema
+/// (from [`crate::encode::machine_schema`]).
+pub fn phi_parts(machine: &Machine, schema: &Arc<Schema>) -> PhiParts {
+    let b = Builder { machine, schema };
+    PhiParts {
+        uniqueness: close3(b.uniqueness()),
+        initial: close3(b.initial()),
+        steps: close3(b.steps()),
+        repeating: close3(b.repeating()),
+    }
+}
+
+/// `φ` in one piece (Proposition 3.1).
+pub fn phi(machine: &Machine, schema: &Arc<Schema>) -> Formula {
+    phi_parts(machine, schema).conjunction()
+}
+
+/// The safety part of `φ` (groups 1–3): used for bounded model checking
+/// on finite encodings, where the liveness group 4 cannot yet be
+/// witnessed.
+pub fn phi_safety(machine: &Machine, schema: &Arc<Schema>) -> Formula {
+    let p = phi_parts(machine, schema);
+    let m = Formula::and_all([strip3(&p.uniqueness), strip3(&p.initial), strip3(&p.steps)]);
+    close3(m)
+}
+
+/// Weak next: `○⊤ → ○f`. On infinite time this is equivalent to `○f`
+/// (there is always a next instant), but on the finite traces used for
+/// bounded model checking it is vacuously true at the last state, which
+/// is the right reading for the step rules ("IF there is a next
+/// configuration, it looks like this").
+pub(crate) fn wnext(f: Formula) -> Formula {
+    Formula::True.next().implies(f.next())
+}
+
+struct Builder<'a> {
+    machine: &'a Machine,
+    schema: &'a Arc<Schema>,
+}
+
+impl Builder<'_> {
+    fn var(&self, v: &str) -> Term {
+        Term::var(v)
+    }
+
+    /// `content(cell)(v)`: the cell holds exactly this content. The
+    /// plain blank is "no predicate true".
+    fn has(&self, cell: Cell, v: &str) -> Formula {
+        match cell_pred(self.machine, self.schema, cell) {
+            Some(p) => Formula::pred(p, vec![self.var(v)]),
+            None => {
+                // blank: none of the cell predicates hold
+                Formula::and_all(cell_contents(self.machine).into_iter().map(|c| {
+                    let p = cell_pred(self.machine, self.schema, c).expect("non-blank");
+                    Formula::pred(p, vec![self.var(v)]).not()
+                }))
+            }
+        }
+    }
+
+    /// `head(v)`: some composite predicate holds.
+    fn head(&self, v: &str) -> Formula {
+        Formula::or_all(
+            cell_contents(self.machine)
+                .into_iter()
+                .filter(|c| matches!(c, Cell::Head(_, _)))
+                .map(|c| {
+                    let p = cell_pred(self.machine, self.schema, c).expect("composite");
+                    Formula::pred(p, vec![self.var(v)])
+                }),
+        )
+    }
+
+    /// `plain(v)`: no composite predicate holds.
+    fn plain(&self, v: &str) -> Formula {
+        self.head(v).not()
+    }
+
+    fn zero(&self, v: &str) -> Formula {
+        Formula::Atom(Atom::Zero(self.var(v)))
+    }
+
+    fn succ(&self, a: &str, b: &str) -> Formula {
+        Formula::Atom(Atom::Succ(self.var(a), self.var(b)))
+    }
+
+    fn leq(&self, a: &str, b: &str) -> Formula {
+        Formula::Atom(Atom::Leq(self.var(a), self.var(b)))
+    }
+
+    /// All plain symbol contents (including the blank).
+    fn plain_contents(&self) -> Vec<Cell> {
+        (0..self.machine.num_symbols() as Sym)
+            .map(Cell::Plain)
+            .collect()
+    }
+
+    fn uniqueness(&self) -> Formula {
+        let contents = cell_contents(self.machine);
+        let mut conj = Vec::new();
+        for (i, &a) in contents.iter().enumerate() {
+            for &b in &contents[i + 1..] {
+                conj.push(self.has(a, "x").and(self.has(b, "x")).not());
+            }
+        }
+        let per_cell = Formula::and_all(conj).always();
+        // At most one head: head(x) ∧ head(y) → x = y (equality is
+        // rigid, so it may stay under □).
+        let one_head = self
+            .head("x")
+            .and(self.head("y"))
+            .implies(Formula::eq(self.var("x"), self.var("y")))
+            .always();
+        per_cell.and(one_head)
+    }
+
+    fn initial(&self) -> Formula {
+        // Zero(x) → ⋁_{σ ∈ {B,0,1}} H_{q0,σ}(x)  (at instant 0).
+        let q0 = self.machine.initial();
+        let head0 = Formula::or_all(
+            [BLANK, crate::machine::SYM0, crate::machine::SYM1]
+                .into_iter()
+                .map(|s| self.has(Cell::Head(q0, s), "x")),
+        );
+        let start = self.zero("x").implies(head0);
+        // Input shape: ¬Zero(x) ∧ x ≤ y ∧ ¬blank(y) → 0/1 at both x, y.
+        let in01 = |v: &str| {
+            self.has(Cell::Plain(crate::machine::SYM0), v)
+                .or(self.has(Cell::Plain(crate::machine::SYM1), v))
+        };
+        let blank_y = self.has(Cell::Plain(BLANK), "y");
+        let shape = self
+            .zero("x")
+            .not()
+            .and(self.leq("x", "y"))
+            .and(blank_y.not())
+            .implies(in01("y").and(in01("x")));
+        start.and(shape)
+    }
+
+    fn steps(&self) -> Formula {
+        let m = self.machine;
+        let mut rules: Vec<Formula> = Vec::new();
+        for q in 0..m.num_states() as u16 {
+            for s in 0..m.num_symbols() as Sym {
+                let here = Cell::Head(q, s);
+                match m.transition(q, s) {
+                    None => {
+                        // Halting pair: in infinite time it can never
+                        // appear.
+                        rules.push(self.has(here, "x").not().always());
+                    }
+                    Some(t) => {
+                        // Head cell: becomes the written symbol.
+                        rules.push(
+                            self.has(here, "x")
+                                .implies(wnext(self.has(Cell::Plain(t.write), "x")))
+                                .always(),
+                        );
+                        // Neighbour rules, one per plain content b.
+                        for b_cell in self.plain_contents() {
+                            let Cell::Plain(b) = b_cell else { unreachable!() };
+                            // Before-head window (x, y) = (b, head):
+                            // left cell becomes H_{p,b} on L, stays on R.
+                            let before_next = match t.dir {
+                                Dir::L => self.has(Cell::Head(t.state, b), "x"),
+                                Dir::R => self.has(b_cell, "x"),
+                            };
+                            rules.push(self.succ("x", "y").implies(
+                                self.has(b_cell, "x")
+                                    .and(self.has(here, "y"))
+                                    .implies(wnext(before_next))
+                                    .always(),
+                            ));
+                            // After-head window (y, z) = (head, b):
+                            // right cell becomes H_{p,b} on R, stays on L.
+                            let after_next = match t.dir {
+                                Dir::R => self.has(Cell::Head(t.state, b), "z"),
+                                Dir::L => self.has(b_cell, "z"),
+                            };
+                            rules.push(self.succ("y", "z").implies(
+                                self.has(here, "y")
+                                    .and(self.has(b_cell, "z"))
+                                    .implies(wnext(after_next))
+                                    .always(),
+                            ));
+                        }
+                        // Moving left from cell 0 is impossible.
+                        if t.dir == Dir::L {
+                            rules.push(
+                                self.zero("x")
+                                    .implies(self.has(here, "x").not().always()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Frame rules: a cell with plain neighbours keeps its content.
+        for b_cell in self.plain_contents() {
+            rules.push(
+                self.succ("x", "y").and(self.succ("y", "z")).implies(
+                    self.plain("x")
+                        .and(self.has(b_cell, "y"))
+                        .and(self.plain("z"))
+                        .implies(wnext(self.has(b_cell, "y")))
+                        .always(),
+                ),
+            );
+            // Boundary frame for cell 0: plain (0, 1) window.
+            rules.push(self.zero("x").and(self.succ("x", "y")).implies(
+                self.has(b_cell, "x")
+                    .and(self.plain("x"))
+                    .and(self.plain("y"))
+                    .implies(wnext(self.has(b_cell, "x")))
+                    .always(),
+            ));
+        }
+        Formula::and_all(rules)
+    }
+
+    fn repeating(&self) -> Formula {
+        self.zero("x")
+            .implies(self.head("x").eventually().always())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_run, machine_schema};
+    use crate::zoo;
+    use ticc_fotl::classify::{classify, FormulaClass};
+    use ticc_fotl::eval::{eval_closed, EvalOptions, UniverseSpec};
+
+    fn opts(n: u64) -> EvalOptions {
+        EvalOptions {
+            universe: UniverseSpec::Bounded(n),
+        }
+    }
+
+    #[test]
+    fn phi_is_universal_forall3_over_extended_vocab() {
+        let m = zoo::shuttle();
+        let sc = machine_schema(&m);
+        let f = phi(&m, &sc);
+        assert_eq!(classify(&f), FormulaClass::Universal { external: 3 });
+        assert!(f.uses_extended_vocabulary());
+        assert!(f.check_arities(&sc).is_ok());
+    }
+
+    #[test]
+    fn valid_run_satisfies_safety_part() {
+        let m = zoo::shuttle();
+        let sc = machine_schema(&m);
+        let (_, h, _) = encode_run(&m, &[true], 6);
+        let safety = phi_safety(&m, &sc);
+        assert!(eval_closed(&h, &safety, &opts(5)).unwrap());
+    }
+
+    #[test]
+    fn corrupted_run_violates_safety_part() {
+        let m = zoo::shuttle();
+        let (sc, mut h, _) = encode_run(&m, &[true], 6);
+        // Corrupt state 3: drop the head fact entirely (the frame rules
+        // then contradict the next state's head reappearance) — or
+        // simpler: add a stray symbol fact that breaks uniqueness with
+        // whatever is at cell 0.
+        let p = sc.pred("S_0").unwrap();
+        let mut s3 = h.state(3).clone();
+        s3.insert(p, vec![0]).unwrap();
+        let mut states: Vec<_> = h.states().to_vec();
+        states[3] = s3;
+        let mut h2 = ticc_tdb::History::new(sc.clone());
+        for st in states {
+            h2.push_state(st);
+        }
+        h = h2;
+        let safety = phi_safety(&m, &sc);
+        assert!(!eval_closed(&h, &safety, &opts(5)).unwrap());
+    }
+
+    #[test]
+    fn runner_run_satisfies_safety_but_not_bounded_repeating() {
+        // The runner is a legal machine; its encodings satisfy groups
+        // 1–3. Group 4 (□◇head-at-0) is already falsified on the finite
+        // prefix read strongly: after leaving cell 0 the head never
+        // returns within the trace.
+        let m = zoo::runner();
+        let sc = machine_schema(&m);
+        let (_, h, _) = encode_run(&m, &[true, false], 5);
+        let parts = phi_parts(&m, &sc);
+        assert!(eval_closed(&h, &parts.uniqueness, &opts(7)).unwrap());
+        assert!(eval_closed(&h, &parts.initial, &opts(7)).unwrap());
+        assert!(eval_closed(&h, &parts.steps, &opts(7)).unwrap());
+        assert!(!eval_closed(&h, &parts.repeating, &opts(7)).unwrap());
+    }
+
+    #[test]
+    fn shuttle_prefix_achieves_bounded_repeating() {
+        // On a finite trace the strong semantics of □◇ cannot hold at
+        // the last instants; but ◇head-at-0 from instant 0 does, and the
+        // head-at-0 count grows with the prefix (the Σ⁰₂ shape).
+        let m = zoo::shuttle();
+        let sc = machine_schema(&m);
+        let (_, h, r) = encode_run(&m, &[true], 10);
+        assert!(r.leftmost_visits >= 5);
+        let b = Builder {
+            machine: &m,
+            schema: &sc,
+        };
+        let visit0 = Formula::forall(
+            "x",
+            b.zero("x").implies(b.head("x").eventually()),
+        );
+        assert!(eval_closed(&h, &visit0, &opts(4)).unwrap());
+        let _ = h;
+    }
+
+    #[test]
+    fn wrong_initial_state_violates_initial_group() {
+        let m = zoo::shuttle();
+        let sc = machine_schema(&m);
+        // Encode a configuration whose head is at cell 1: not initial.
+        let c = crate::machine::Config {
+            state: 0,
+            head: 1,
+            tape: vec![crate::machine::SYM1, crate::machine::SYM0],
+        };
+        let st = crate::encode::encode_config(&m, &sc, &c);
+        let mut h = ticc_tdb::History::new(sc.clone());
+        h.push_state(st);
+        let parts = phi_parts(&m, &sc);
+        assert!(!eval_closed(&h, &parts.initial, &opts(5)).unwrap());
+    }
+
+    #[test]
+    fn halting_machine_encoding_violates_steps() {
+        // The halter's initial configuration contains a halting pair;
+        // group 3 forbids it outright.
+        let m = zoo::halter();
+        let sc = machine_schema(&m);
+        let (_, h, _) = encode_run(&m, &[true], 5);
+        let parts = phi_parts(&m, &sc);
+        assert!(!eval_closed(&h, &parts.steps, &opts(4)).unwrap());
+    }
+}

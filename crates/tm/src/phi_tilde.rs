@@ -1,0 +1,320 @@
+//! The monadic formula `φ̃` of Theorem 3.2.
+//!
+//! Section 3 transforms `φ` (which needs `≤`, `succ`, `Zero`) into a
+//! formula over **monadic database predicates only**, by introducing a
+//! fresh monadic predicate `W` and *defining* an ordering of type `ω`
+//! temporally:
+//!
+//! * `W1 ≡ ∀x∀y □((W(x) ∧ W(y)) → x = y)` — at most one `W`-element per
+//!   state;
+//! * `W2 ≡ □∃x W(x)` — at least one per state (the single internal
+//!   existential quantifier that pushes the formula into
+//!   `∀³tense(Σ1)`);
+//! * `W3 ≡ ∀x □(W(x) → ○□¬W(x))` — each element is `W` in at most one
+//!   state;
+//! * `x ≤_W y ≡ ◇(W(x) ∧ ◇W(y))`, `S_W(x,y) ≡ ◇(W(x) ∧ ○W(y))`,
+//!   `Z_W(x) ≡ W(x)` — the induced ordering, successor and zero, all
+//!   read at instant 0;
+//! * `φ_W` — `φ` with every extended-vocabulary atom replaced by its
+//!   `W`-definition, relativised to `◇W(x1) ∧ ◇W(x2) ∧ ◇W(x3)`.
+//!
+//! `φ̃ ≡ φ_W ∧ W1 ∧ W2 ∧ W3`, re-prenexed to `∀x∀y∀z (tense(Σ1))`.
+//! The substitution is sound because [`crate::phi`] keeps all rigid
+//! atoms outside the temporal operators, so every replaced atom is
+//! evaluated at instant 0, where `≤_W` means what it should.
+
+use crate::machine::Machine;
+use crate::phi;
+use std::sync::Arc;
+use ticc_fotl::{Atom, Formula, Term};
+use ticc_tdb::{PredId, Schema};
+
+/// The pieces of `φ̃`.
+pub struct PhiTildeParts {
+    /// `W1`: at most one `W` per state.
+    pub w1: Formula,
+    /// `W2`: at least one `W` per state (`□∃x W(x)`).
+    pub w2: Formula,
+    /// `W3`: each element is `W` at most once.
+    pub w3: Formula,
+    /// The relativised safety groups of `φ_W` (groups 1–3).
+    pub phi_w_safety: Formula,
+    /// The relativised repeating group of `φ_W`.
+    pub phi_w_repeating: Formula,
+}
+
+impl PhiTildeParts {
+    /// `φ̃` in one piece.
+    pub fn conjunction(&self) -> Formula {
+        // w2 is closed; the others are ∀-prefixed — conjoin under one
+        // shared ∀x∀y∀z prefix (adding vacuous quantifiers is harmless).
+        let strip = |f: &Formula| {
+            let (_, body) = ticc_fotl::classify::external_prefix(f);
+            body.clone()
+        };
+        Formula::forall_many(
+            ["x", "y", "z"],
+            Formula::and_all([
+                strip(&self.phi_w_safety),
+                strip(&self.phi_w_repeating),
+                strip(&self.w1),
+                self.w2.clone(),
+                strip(&self.w3),
+            ]),
+        )
+    }
+}
+
+/// The machine's encoding schema extended with the `W` predicate.
+pub fn machine_schema_with_w(machine: &Machine) -> Arc<Schema> {
+    let mut b = Schema::builder();
+    for cell in crate::encode::cell_contents(machine) {
+        let name =
+            crate::encode::cell_pred_name(machine, cell).expect("cell_contents skips plain blank");
+        b = b.pred(&name, 1);
+    }
+    b.pred("W", 1).build()
+}
+
+fn w_atom(w: PredId, t: Term) -> Formula {
+    Formula::pred(w, vec![t])
+}
+
+/// `x ≤_W y ≡ ◇(W(x) ∧ ◇W(y))`.
+pub fn leq_w(w: PredId, x: Term, y: Term) -> Formula {
+    w_atom(w, x).and(w_atom(w, y).eventually()).eventually()
+}
+
+/// `S_W(x, y) ≡ ◇(W(x) ∧ ○W(y))`.
+pub fn succ_w(w: PredId, x: Term, y: Term) -> Formula {
+    w_atom(w, x).and(w_atom(w, y).next()).eventually()
+}
+
+/// `Z_W(x) ≡ W(x)` (read at instant 0).
+pub fn zero_w(w: PredId, x: Term) -> Formula {
+    w_atom(w, x)
+}
+
+/// Replaces every extended-vocabulary atom by its `W`-definition.
+fn substitute_extended(f: &Formula, w: PredId) -> Formula {
+    match f {
+        Formula::Atom(Atom::Leq(a, b)) => leq_w(w, a.clone(), b.clone()),
+        Formula::Atom(Atom::Succ(a, b)) => succ_w(w, a.clone(), b.clone()),
+        Formula::Atom(Atom::Zero(a)) => zero_w(w, a.clone()),
+        Formula::True | Formula::False | Formula::Atom(_) => f.clone(),
+        Formula::Not(g) => substitute_extended(g, w).not(),
+        Formula::And(a, b) => substitute_extended(a, w).and(substitute_extended(b, w)),
+        Formula::Or(a, b) => substitute_extended(a, w).or(substitute_extended(b, w)),
+        Formula::Implies(a, b) => {
+            substitute_extended(a, w).implies(substitute_extended(b, w))
+        }
+        Formula::Next(g) => substitute_extended(g, w).next(),
+        Formula::Until(a, b) => substitute_extended(a, w).until(substitute_extended(b, w)),
+        Formula::Prev(g) => substitute_extended(g, w).prev(),
+        Formula::Since(a, b) => substitute_extended(a, w).since(substitute_extended(b, w)),
+        Formula::Forall(v, g) => Formula::forall(v.clone(), substitute_extended(g, w)),
+        Formula::Exists(v, g) => Formula::exists(v.clone(), substitute_extended(g, w)),
+    }
+}
+
+/// Relativises a `∀x∀y∀z M` formula to the `W`-ordered elements:
+/// `∀x∀y∀z ((◇W(x) ∧ ◇W(y) ∧ ◇W(z)) → M_W)`.
+fn relativise(f: &Formula, w: PredId) -> Formula {
+    let (vars, body) = ticc_fotl::classify::external_prefix(f);
+    let vars: Vec<String> = vars.into_iter().map(str::to_owned).collect();
+    let guard = Formula::and_all(
+        vars.iter()
+            .map(|v| w_atom(w, Term::var(v.clone())).eventually()),
+    );
+    let body_w = substitute_extended(body, w);
+    Formula::forall_many(vars, guard.implies(body_w))
+}
+
+/// Builds the pieces of `φ̃` for a machine over the `W`-extended schema
+/// (from [`machine_schema_with_w`]).
+pub fn phi_tilde_parts(machine: &Machine, schema: &Arc<Schema>) -> PhiTildeParts {
+    let w = schema.pred("W").expect("schema must include W");
+    let x = || Term::var("x");
+    let y = || Term::var("y");
+
+    let w1 = Formula::forall_many(
+        ["x", "y"],
+        w_atom(w, x())
+            .and(w_atom(w, y()))
+            .implies(Formula::eq(x(), y()))
+            .always(),
+    );
+    let w2 = Formula::exists("x", w_atom(w, x())).always();
+    // Weak next (equivalent on infinite time; finite-trace friendly,
+    // see `phi::wnext`).
+    let w3 = Formula::forall(
+        "x",
+        w_atom(w, x())
+            .implies(crate::phi::wnext(w_atom(w, x()).not().always()))
+            .always(),
+    );
+
+    let parts = phi::phi_parts(machine, schema);
+    let safety = {
+        // Conjoin groups 1–3 under the shared prefix before
+        // relativising.
+        let strip = |f: &Formula| {
+            let (_, b) = ticc_fotl::classify::external_prefix(f);
+            b.clone()
+        };
+        Formula::forall_many(
+            ["x", "y", "z"],
+            Formula::and_all([
+                strip(&parts.uniqueness),
+                strip(&parts.initial),
+                strip(&parts.steps),
+            ]),
+        )
+    };
+    PhiTildeParts {
+        w1,
+        w2,
+        w3,
+        phi_w_safety: relativise(&safety, w),
+        phi_w_repeating: relativise(&parts.repeating, w),
+    }
+}
+
+/// `φ̃` (Theorem 3.2): a `∀³tense(Σ1)` formula over monadic predicates
+/// only.
+pub fn phi_tilde(machine: &Machine, schema: &Arc<Schema>) -> Formula {
+    phi_tilde_parts(machine, schema).conjunction()
+}
+
+/// Adds the canonical `W` facts to an encoded run: element `t` is `W`
+/// at instant `t` (the identity ordering), turning an encoding of a
+/// computation into a model candidate for `φ̃`.
+pub fn add_canonical_w(history: &mut ticc_tdb::History) {
+    let w = history.schema().pred("W").expect("W in schema");
+    let len = history.len();
+    let states: Vec<ticc_tdb::State> = history.states().to_vec();
+    let mut fresh = ticc_tdb::History::new(history.schema().clone());
+    for (t, mut s) in states.into_iter().enumerate() {
+        s.insert(w, vec![t as u64]).expect("monadic");
+        fresh.push_state(s);
+    }
+    let _ = len;
+    *history = fresh;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_config;
+    use crate::machine::run;
+    use crate::zoo;
+    use ticc_fotl::classify::{classify, FormulaClass};
+    use ticc_fotl::eval::{eval_closed, EvalOptions, UniverseSpec};
+
+    fn opts(n: u64) -> EvalOptions {
+        EvalOptions {
+            universe: UniverseSpec::Bounded(n),
+        }
+    }
+
+    fn encoded_run_with_w(
+        machine: &Machine,
+        input: &[bool],
+        steps: usize,
+    ) -> (Arc<Schema>, ticc_tdb::History) {
+        let schema = machine_schema_with_w(machine);
+        let r = run(machine, input, steps);
+        let mut h = ticc_tdb::History::new(schema.clone());
+        for c in &r.configs {
+            h.push_state(encode_config(machine, &schema, c));
+        }
+        add_canonical_w(&mut h);
+        (schema, h)
+    }
+
+    #[test]
+    fn phi_tilde_is_biquantified_sigma1_and_monadic() {
+        let m = zoo::shuttle();
+        let sc = machine_schema_with_w(&m);
+        let f = phi_tilde(&m, &sc);
+        assert!(
+            !f.uses_extended_vocabulary(),
+            "φ̃ must be over database predicates only"
+        );
+        match classify(&f) {
+            FormulaClass::Biquantified {
+                external,
+                internal_level,
+                internal_quantifiers,
+            } => {
+                assert_eq!(external, 3);
+                assert_eq!(internal_level, 1);
+                assert_eq!(internal_quantifiers, 1, "only W2's ∃");
+            }
+            other => panic!("expected ∀³tense(Σ1), got {other:?}"),
+        }
+        assert_eq!(sc.max_arity(), 1, "monadic vocabulary");
+    }
+
+    #[test]
+    fn w_formulas_hold_on_canonical_runs() {
+        let m = zoo::shuttle();
+        let (sc, h) = encoded_run_with_w(&m, &[true], 5);
+        let parts = phi_tilde_parts(&m, &sc);
+        let o = opts(8);
+        assert!(eval_closed(&h, &parts.w1, &o).unwrap());
+        assert!(eval_closed(&h, &parts.w2, &o).unwrap());
+        assert!(eval_closed(&h, &parts.w3, &o).unwrap());
+    }
+
+    #[test]
+    fn w_ordering_matches_time_order() {
+        let m = zoo::shuttle();
+        let (sc, h) = encoded_run_with_w(&m, &[true], 5);
+        let w = sc.pred("W").unwrap();
+        let o = opts(6);
+        // 1 ≤_W 3 but not 3 ≤_W 1; succ_W(2,3); Z_W(0).
+        assert!(eval_closed(&h, &leq_w(w, Term::Value(1), Term::Value(3)), &o).unwrap());
+        assert!(!eval_closed(&h, &leq_w(w, Term::Value(3), Term::Value(1)), &o).unwrap());
+        assert!(eval_closed(&h, &succ_w(w, Term::Value(2), Term::Value(3)), &o).unwrap());
+        assert!(!eval_closed(&h, &succ_w(w, Term::Value(2), Term::Value(4)), &o).unwrap());
+        assert!(eval_closed(&h, &zero_w(w, Term::Value(0)), &o).unwrap());
+        assert!(!eval_closed(&h, &zero_w(w, Term::Value(1)), &o).unwrap());
+    }
+
+    #[test]
+    fn safety_part_holds_on_valid_runs_and_fails_on_corrupted() {
+        let m = zoo::shuttle();
+        let (sc, h) = encoded_run_with_w(&m, &[true], 4);
+        let parts = phi_tilde_parts(&m, &sc);
+        let o = opts(6);
+        assert!(eval_closed(&h, &parts.phi_w_safety, &o).unwrap());
+
+        // Corrupt: break uniqueness at instant 2, element 0.
+        let mut states: Vec<ticc_tdb::State> = h.states().to_vec();
+        let p0 = sc.pred("S_0").unwrap();
+        let p1 = sc.pred("S_1").unwrap();
+        states[2].insert(p0, vec![0]).unwrap();
+        states[2].insert(p1, vec![0]).unwrap();
+        let mut h2 = ticc_tdb::History::new(sc.clone());
+        for s in states {
+            h2.push_state(s);
+        }
+        assert!(!eval_closed(&h2, &parts.phi_w_safety, &o).unwrap());
+    }
+
+    #[test]
+    fn w1_fails_with_two_w_elements_per_state() {
+        let m = zoo::shuttle();
+        let (sc, h) = encoded_run_with_w(&m, &[true], 3);
+        let w = sc.pred("W").unwrap();
+        let mut states: Vec<ticc_tdb::State> = h.states().to_vec();
+        states[1].insert(w, vec![9]).unwrap(); // second W at instant 1
+        let mut h2 = ticc_tdb::History::new(sc.clone());
+        for s in states {
+            h2.push_state(s);
+        }
+        let parts = phi_tilde_parts(&m, &sc);
+        assert!(!eval_closed(&h2, &parts.w1, &opts(11)).unwrap());
+    }
+}

@@ -1,0 +1,76 @@
+//! History-less checking of past constraints (the Section 5 thread).
+//!
+//! For `∀*□ψ` constraints with `ψ` a past formula, potential
+//! satisfaction can be monitored **without storing the history at
+//! all**: one vector of subformula truth values per ground substitution,
+//! updated by the `since`/`●` recurrences (Chomicki, ICDE 1992 — the
+//! history-less evaluation the paper's Section 5 discusses as the
+//! practical alternative).
+//!
+//! The audit constraint here: *every filled order was submitted at some
+//! point in the past* — `∀x □(Fill(x) → ◈Sub(x))`.
+//!
+//! Run with: `cargo run --example history_less`
+
+use ticc::core::past::{PastMonitor, PastStatus};
+use ticc::fotl::parser::parse;
+use ticc::tdb::{Schema, State};
+
+fn main() {
+    let schema = Schema::builder().pred("Sub", 1).pred("Fill", 1).build();
+    let phi = parse(&schema, "forall x. G (Fill(x) -> O Sub(x))").unwrap();
+    println!("constraint: forall x. G (Fill(x) -> O Sub(x))   [past matrix]");
+
+    let mut monitor = PastMonitor::new(schema.clone(), vec![], &phi).unwrap();
+
+    // A long stream of order traffic; the monitor never stores a state.
+    let mk = |subs: &[u64], fills: &[u64]| {
+        let mut s = State::empty(schema.clone());
+        for &v in subs {
+            s.insert_named("Sub", vec![v]).unwrap();
+        }
+        for &v in fills {
+            s.insert_named("Fill", vec![v]).unwrap();
+        }
+        s
+    };
+
+    let stream: Vec<State> = vec![
+        mk(&[1], &[]),
+        mk(&[2], &[1]),
+        mk(&[3], &[2]),
+        mk(&[], &[3]),
+        mk(&[4], &[]),
+        mk(&[], &[4]),
+    ];
+    for (t, s) in stream.iter().enumerate() {
+        let status = monitor.append(s);
+        println!(
+            "t={t}: {:<24} status = {:?}  (tracked substitutions: {}, history stored: none)",
+            s.display(),
+            status,
+            monitor.tracked_substitutions()
+        );
+    }
+
+    // Long quiet period: memory stays flat.
+    for _ in 0..1_000 {
+        monitor.append(&State::empty(schema.clone()));
+    }
+    println!(
+        "\nafter 1000 more (empty) instants: {} instants consumed, \
+         still only {} tracked substitutions — cost independent of history length",
+        monitor.instants(),
+        monitor.tracked_substitutions()
+    );
+
+    // Now an audit failure: order 99 filled without ever being submitted.
+    let status = monitor.append(&mk(&[], &[99]));
+    match status {
+        PastStatus::Violated { at } => println!(
+            "\nFill(99) without a prior Sub(99): VIOLATED at instant {at} \
+             (detected from O(1)-per-element state, no history replay)"
+        ),
+        PastStatus::Satisfied => unreachable!(),
+    }
+}

@@ -1,0 +1,79 @@
+//! Condition–action triggers via the paper's duality.
+//!
+//! Section 2: a trigger *"if C then A"* fires at instant `t` for a
+//! ground substitution `θ` iff `¬Cθ` is **not** potentially satisfied —
+//! i.e. every possible future already makes `Cθ` true. Trigger firing is
+//! the dual of constraint satisfaction: an integrity-checking trigger
+//! fires exactly when integrity is violated.
+//!
+//! Here a trigger watches for double-submitted orders and inserts an
+//! `Alert` fact naming the culprit.
+//!
+//! Run with: `cargo run --example triggers`
+
+use ticc::core::{Action, CheckOptions, Trigger, TriggerEngine};
+use ticc::fotl::parser::parse;
+use ticc::fotl::Term;
+use ticc::tdb::{History, Schema, State};
+
+fn main() {
+    let schema = Schema::builder()
+        .pred("Sub", 1)
+        .pred("Fill", 1)
+        .pred("Alert", 1)
+        .build();
+    let alert = schema.pred("Alert").unwrap();
+
+    // Condition C(x) = ◇(Sub(x) ∧ ○◇Sub(x)): "x is submitted twice".
+    // ¬C(x) is the once-only integrity constraint, so the trigger fires
+    // exactly when that constraint is violated for x.
+    let condition = parse(&schema, "F (Sub(x) & X F Sub(x))").unwrap();
+    let mut engine = TriggerEngine::new(CheckOptions::default());
+    engine
+        .add(Trigger {
+            name: "double-submission".into(),
+            condition,
+            action: Action::Insert {
+                pred: alert,
+                args: vec![Term::var("x")],
+            },
+        })
+        .unwrap();
+
+    // Build a history where order 2 is submitted at t=1 and again t=3.
+    let mut h = History::new(schema.clone());
+    let instants: Vec<Vec<(&str, u64)>> = vec![
+        vec![("Sub", 1)],
+        vec![("Sub", 2)],
+        vec![("Fill", 1)],
+        vec![("Sub", 2)], // duplicate!
+    ];
+    for (t, facts) in instants.iter().enumerate() {
+        let mut s = State::empty(schema.clone());
+        for (p, v) in facts {
+            s.insert_named(p, vec![*v]).unwrap();
+        }
+        h.push_state(s);
+
+        let fired = engine.evaluate(&h).unwrap();
+        println!("t={t}: state = {}", h.state(t).display());
+        if fired.is_empty() {
+            println!("      no trigger fires (violation not yet certain)");
+        }
+        for f in &fired {
+            println!(
+                "      trigger '{}' FIRES with θ = {:?}",
+                f.name, f.substitution
+            );
+        }
+        if !fired.is_empty() {
+            let tx = engine.actions(&fired);
+            let mut alert_state = h.last().unwrap().clone();
+            tx.apply_to(&mut alert_state).unwrap();
+            println!(
+                "      executing actions: alert relation now {}",
+                alert_state.display()
+            );
+        }
+    }
+}

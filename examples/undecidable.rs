@@ -1,0 +1,106 @@
+//! The undecidable side: Section 3's Turing-machine constructions.
+//!
+//! For biquantified formulas with a single internal quantifier, the
+//! extension problem is Π⁰₂-complete (Theorem 3.2). This example builds
+//! the reduction formulas `φ` (extended vocabulary) and `φ̃` (monadic,
+//! `∀³tense(Σ1)`) for machines from the zoo, shows that the decidable
+//! pipeline rightly *refuses* them, model-checks bounded encodings, and
+//! runs the Σ⁰₂ semi-decision procedure — the best any checker can do.
+//!
+//! Run with: `cargo run --example undecidable`
+
+use ticc::core::{ground, GroundMode};
+use ticc::fotl::classify::classify;
+use ticc::fotl::eval::{eval_closed, EvalOptions, UniverseSpec};
+use ticc::tm::bounded::{semi_decide_repeating, SemiDecision};
+use ticc::tm::phi::{phi, phi_safety};
+use ticc::tm::phi_tilde::{add_canonical_w, machine_schema_with_w, phi_tilde, phi_tilde_parts};
+use ticc::tm::{encode_config, machine_schema, zoo};
+
+fn main() {
+    let machine = zoo::shuttle();
+    println!("machine: {} (repeats for every input)\n", machine.name());
+
+    // --- φ over the extended vocabulary (Proposition 3.1) ---
+    let schema = machine_schema(&machine);
+    let f = phi(&machine, &schema);
+    println!("φ classification: {:?}", classify(&f));
+    println!("φ tree size: {} nodes", f.size());
+
+    // The decidable checker must refuse it: extended vocabulary.
+    let mut h = ticc::tdb::History::new(schema.clone());
+    let c0 = ticc::tm::Config::initial(&machine, &[true]);
+    h.push_state(encode_config(&machine, &schema, &c0));
+    match ground(&h, &f, GroundMode::Folded) {
+        Err(e) => println!("Theorem 4.2 pipeline refuses φ: {e}"),
+        Ok(_) => unreachable!("φ uses ≤/succ/Zero"),
+    }
+
+    // Bounded model checking: a valid 8-step run satisfies the safety
+    // groups of φ.
+    let (_, run_h, run) = ticc::tm::encode_run(&machine, &[true], 8);
+    let safety = phi_safety(&machine, &schema);
+    let opts = EvalOptions {
+        universe: UniverseSpec::Bounded(6),
+    };
+    println!(
+        "\n8-step encoded run: {} states, {} leftmost visits",
+        run_h.len(),
+        run.leftmost_visits
+    );
+    println!(
+        "bounded check of φ's safety groups on the run: {}",
+        eval_closed(&run_h, &safety, &opts).unwrap()
+    );
+
+    // --- φ̃ over monadic predicates only (Theorem 3.2) ---
+    let schema_w = machine_schema_with_w(&machine);
+    let ft = phi_tilde(&machine, &schema_w);
+    println!("\nφ̃ classification: {:?}", classify(&ft));
+    println!("φ̃ tree size: {} nodes (monadic vocabulary only)", ft.size());
+    let (_, mut run_hw, _) = {
+        let r = ticc::tm::machine::run(&machine, &[true], 6);
+        let mut hh = ticc::tdb::History::new(schema_w.clone());
+        for c in &r.configs {
+            hh.push_state(encode_config(&machine, &schema_w, c));
+        }
+        ((), hh, ())
+    };
+    add_canonical_w(&mut run_hw);
+    let parts = phi_tilde_parts(&machine, &schema_w);
+    let opts_w = EvalOptions {
+        universe: UniverseSpec::Bounded(8),
+    };
+    println!(
+        "bounded check of φ̃'s W1/W2/W3 + safety on the W-annotated run: {} {} {} {}",
+        eval_closed(&run_hw, &parts.w1, &opts_w).unwrap(),
+        eval_closed(&run_hw, &parts.w2, &opts_w).unwrap(),
+        eval_closed(&run_hw, &parts.w3, &opts_w).unwrap(),
+        eval_closed(&run_hw, &parts.phi_w_safety, &opts_w).unwrap(),
+    );
+
+    // --- the Σ⁰₂ semi-decision (proof of Theorem 3.1) ---
+    println!("\nΣ⁰₂ semi-decision (visit targets, budget 10_000 steps):");
+    for m in [zoo::shuttle(), zoo::runner(), zoo::halter(), zoo::picky()] {
+        for input in [vec![true], vec![false]] {
+            let verdict = semi_decide_repeating(&m, &input, 25, 10_000);
+            let tag = match verdict {
+                SemiDecision::ReachedTarget { steps } => {
+                    format!("25 visits after {steps} steps (evidence FOR repeating)")
+                }
+                SemiDecision::Halted { steps, visits } => format!(
+                    "halted after {steps} steps with {visits} visits (certainly NOT repeating)"
+                ),
+                SemiDecision::Undetermined { visits } => format!(
+                    "budget exhausted at {visits} visits (UNDETERMINED — the Π⁰₂ face)"
+                ),
+            };
+            println!(
+                "  {:<8} on {:?}: {}",
+                m.name(),
+                input.iter().map(|&b| u8::from(b)).collect::<Vec<_>>(),
+                tag
+            );
+        }
+    }
+}

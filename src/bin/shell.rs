@@ -1,0 +1,61 @@
+//! `ticc-shell` — interactive temporal integrity checking.
+//!
+//! Reads commands from stdin (or from a script file given as the first
+//! argument) and drives [`ticc::shell::Shell`]. See `help` inside the
+//! shell or the module docs for the command language.
+
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = ticc::shell::Shell::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(path) = args.first() {
+        // Script mode: run a file of commands, echoing each.
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        for line in content.lines() {
+            if line.trim() == "quit" {
+                break;
+            }
+            println!("> {line}");
+            report(shell.exec(line));
+        }
+        return;
+    }
+
+    println!("ticc-shell — temporal integrity constraints (type 'help')");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("ticc> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        report(shell.exec(line));
+    }
+}
+
+fn report(reply: ticc::shell::Reply) {
+    match reply {
+        Ok(s) if s.is_empty() => {}
+        Ok(s) => println!("{s}"),
+        Err(e) => println!("error: {e}"),
+    }
+}

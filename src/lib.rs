@@ -1,0 +1,59 @@
+//! # ticc — Temporal Integrity Constraint Checking
+//!
+//! A Rust implementation of Chomicki & Niwiński, *On the Feasibility of
+//! Checking Temporal Integrity Constraints* (PODS 1993; JCSS 1995).
+//!
+//! Temporal integrity constraints restrict how a database may evolve
+//! over time. This workspace implements the paper's decision procedure
+//! for the decidable fragment — **universal safety sentences**, checked
+//! in exponential time via grounding to propositional temporal logic
+//! (Theorems 4.1–4.2) — along with an online monitor, a trigger engine
+//! built on the paper's duality, and the Section 3 Turing-machine
+//! constructions that delimit the undecidable side.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ticc::tdb::{Schema, Transaction};
+//! use ticc::fotl::parser::parse;
+//! use ticc::core::{Monitor, CheckOptions, Status};
+//!
+//! // A schema with an event predicate Sub (order submitted).
+//! let schema = Schema::builder().pred("Sub", 1).pred("Fill", 1).build();
+//!
+//! // "An order can be submitted only once" (the paper's example).
+//! let phi = parse(&schema, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+//!
+//! let mut monitor = Monitor::new(schema.clone(), CheckOptions::default());
+//! let id = monitor.add_constraint("once-only", phi).unwrap();
+//!
+//! let sub = schema.pred("Sub").unwrap();
+//! // Submit order 1, then clear it, then submit it AGAIN: violation.
+//! monitor.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+//! monitor.append(&Transaction::new().delete(sub, vec![1])).unwrap();
+//! let events = monitor.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+//! assert_eq!(events.len(), 1);
+//! assert!(matches!(monitor.status(id), Status::Violated { at: 3 }));
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`ptl`] — propositional temporal logic: progression, tableau and
+//!   on-the-fly Büchi satisfiability (Lemma 4.2);
+//! * [`fotl`] — first-order temporal logic: syntax, the paper's formula
+//!   classification, parser, finite-history evaluation;
+//! * [`tdb`] — the temporal database substrate;
+//! * [`core`] — grounding (Theorem 4.1), the extension checker
+//!   (Theorem 4.2), the incremental monitor, triggers, diagnostics;
+//! * [`tm`] — the Section 3 Turing-machine encodings (`φ`, `φ̃`) and the
+//!   Σ⁰₂ semi-decision procedure.
+
+pub use ticc_core as core;
+pub use ticc_fotl as fotl;
+pub use ticc_ptl as ptl;
+pub use ticc_tdb as tdb;
+pub use ticc_tm as tm;
+
+/// Interactive shell engine (drives the whole stack from text commands;
+/// wrapped by the `ticc-shell` binary).
+pub mod shell;

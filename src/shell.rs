@@ -1,0 +1,585 @@
+//! An interactive shell for the temporal integrity checker.
+//!
+//! Drives the whole stack from text commands — define a schema, register
+//! constraints and triggers, stage tuple updates, commit them as
+//! database states, and watch violations and trigger firings arrive at
+//! the earliest possible time. The `ticc-shell` binary wraps this in a
+//! stdin REPL; the engine itself is a plain `line in → report out`
+//! state machine, which keeps it fully testable.
+//!
+//! ```text
+//! schema pred Sub 1              # declare predicates (before first commit)
+//! schema const vip = 7           # declare constants with interpretation
+//! constraint once: forall x. G (Sub(x) -> X G !Sub(x))
+//! trigger dup: F (Sub(x) & X F Sub(x))
+//! insert Sub(1)                  # stage updates
+//! commit                         # apply as the next state, check everything
+//! status                         # constraint statuses
+//! check G !Sub(9)                # ad-hoc potential-satisfaction query
+//! witness once                   # a concrete extension satisfying it
+//! history                        # the states so far
+//! help | quit
+//! ```
+
+use std::fmt::Write as _;
+use ticc_core::{
+    check_potential_satisfaction, CheckOptions, ConstraintId, Monitor, Status, Trigger,
+    TriggerEngine,
+};
+use ticc_fotl::parser::parse;
+use ticc_tdb::{Schema, Transaction, Value};
+
+/// Shell outcome for one command.
+pub type Reply = Result<String, String>;
+
+enum Phase {
+    /// Collecting schema declarations.
+    Defining {
+        preds: Vec<(String, usize)>,
+        consts: Vec<(String, Value)>,
+    },
+    /// Schema frozen; monitor live.
+    Running {
+        monitor: Monitor,
+        triggers: TriggerEngine,
+        trigger_names: Vec<String>,
+        constraint_ids: Vec<(String, ConstraintId, ticc_fotl::Formula)>,
+        pending: Transaction,
+        pending_desc: Vec<String>,
+    },
+}
+
+/// The shell engine.
+pub struct Shell {
+    phase: Phase,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shell {
+    /// A fresh shell with an empty schema.
+    pub fn new() -> Self {
+        Self {
+            phase: Phase::Defining {
+                preds: Vec::new(),
+                consts: Vec::new(),
+            },
+        }
+    }
+
+    /// Executes one command line; returns the report to show the user.
+    pub fn exec(&mut self, line: &str) -> Reply {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "help" => Ok(HELP.to_owned()),
+            "schema" => self.cmd_schema(rest),
+            "constraint" => self.cmd_constraint(rest),
+            "trigger" => self.cmd_trigger(rest),
+            "insert" => self.cmd_update(rest, true),
+            "delete" => self.cmd_update(rest, false),
+            "commit" => self.cmd_commit(),
+            "status" => self.cmd_status(),
+            "history" => self.cmd_history(),
+            "check" => self.cmd_check(rest),
+            "explain" => self.cmd_explain(rest),
+            "witness" => self.cmd_witness(rest),
+            other => Err(format!("unknown command '{other}' (try 'help')")),
+        }
+    }
+
+    /// Freezes the schema and switches to the running phase.
+    fn ensure_running(&mut self) -> Result<&mut Phase, String> {
+        if let Phase::Defining { preds, consts } = &self.phase {
+            if preds.is_empty() {
+                return Err("declare at least one predicate first (schema pred <name> <arity>)"
+                    .to_owned());
+            }
+            let mut b = Schema::builder();
+            for (name, arity) in preds {
+                b = b.pred(name, *arity);
+            }
+            for (name, _) in consts {
+                b = b.constant(name);
+            }
+            let schema = b.build();
+            let mut history = ticc_tdb::History::new(schema.clone());
+            for (name, value) in consts {
+                let c = schema.constant(name).expect("just declared");
+                history.set_constant(c, *value);
+            }
+            self.phase = Phase::Running {
+                monitor: Monitor::with_history(history, CheckOptions::default()),
+                triggers: TriggerEngine::new(CheckOptions::default()),
+                trigger_names: Vec::new(),
+                constraint_ids: Vec::new(),
+                pending: Transaction::new(),
+                pending_desc: Vec::new(),
+            };
+        }
+        Ok(&mut self.phase)
+    }
+
+    fn cmd_schema(&mut self, rest: &str) -> Reply {
+        let Phase::Defining { preds, consts } = &mut self.phase else {
+            return Err("the schema is frozen once constraints or updates exist".to_owned());
+        };
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            ["pred", name, arity] => {
+                let arity: usize = arity
+                    .parse()
+                    .map_err(|_| format!("bad arity '{arity}'"))?;
+                if arity == 0 {
+                    return Err("arity must be at least 1".to_owned());
+                }
+                if preds.iter().any(|(n, _)| n == name) || consts.iter().any(|(n, _)| n == name) {
+                    return Err(format!("duplicate symbol '{name}'"));
+                }
+                preds.push(((*name).to_owned(), arity));
+                Ok(format!("predicate {name}/{arity}"))
+            }
+            ["const", name, "=", value] => {
+                let value: Value = value
+                    .parse()
+                    .map_err(|_| format!("bad value '{value}'"))?;
+                if preds.iter().any(|(n, _)| n == name) || consts.iter().any(|(n, _)| n == name) {
+                    return Err(format!("duplicate symbol '{name}'"));
+                }
+                consts.push(((*name).to_owned(), value));
+                Ok(format!("constant {name} = {value}"))
+            }
+            _ => Err("usage: schema pred <name> <arity> | schema const <name> = <value>"
+                .to_owned()),
+        }
+    }
+
+    fn cmd_constraint(&mut self, rest: &str) -> Reply {
+        let Some((name, src)) = rest.split_once(':') else {
+            return Err("usage: constraint <name>: <formula>".to_owned());
+        };
+        let (name, src) = (name.trim().to_owned(), src.trim().to_owned());
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            constraint_ids,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let phi = parse(monitor.history().schema(), &src).map_err(|e| e.to_string())?;
+        let class = ticc_fotl::classify::classify(&phi);
+        let id = monitor
+            .add_constraint(name.clone(), phi.clone())
+            .map_err(|e| e.to_string())?;
+        constraint_ids.push((name.clone(), id, phi.clone()));
+        let mut out = format!("constraint '{name}' registered ({class:?})");
+        if !ticc_fotl::classify::is_syntactically_safe(&phi) {
+            let _ = write!(
+                out,
+                "\nwarning: not syntactically safe — Theorem 4.2's guarantee assumes a \
+                 safety sentence"
+            );
+        }
+        if let Status::Violated { at } = monitor.status(id) {
+            let _ = write!(out, "\nalready VIOLATED at history length {at}");
+        }
+        Ok(out)
+    }
+
+    fn cmd_trigger(&mut self, rest: &str) -> Reply {
+        let Some((name, src)) = rest.split_once(':') else {
+            return Err("usage: trigger <name>: <condition formula>".to_owned());
+        };
+        let (name, src) = (name.trim().to_owned(), src.trim().to_owned());
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            triggers,
+            trigger_names,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let condition = parse(monitor.history().schema(), &src).map_err(|e| e.to_string())?;
+        triggers
+            .add(Trigger {
+                name: name.clone(),
+                condition,
+                action: ticc_core::Action::Log,
+            })
+            .map_err(|e| e.to_string())?;
+        trigger_names.push(name.clone());
+        Ok(format!("trigger '{name}' registered"))
+    }
+
+    fn cmd_update(&mut self, rest: &str, insert: bool) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            pending,
+            pending_desc,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let schema = monitor.history().schema().clone();
+        let (pred, tuple) = parse_fact(&schema, rest)?;
+        let verb = if insert { "insert" } else { "delete" };
+        let staged = std::mem::take(pending);
+        *pending = if insert {
+            staged.insert(pred, tuple.clone())
+        } else {
+            staged.delete(pred, tuple.clone())
+        };
+        pending_desc.push(format!("{verb} {rest}"));
+        Ok(format!("staged: {verb} {rest}"))
+    }
+
+    fn cmd_commit(&mut self) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            triggers,
+            pending,
+            pending_desc,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let tx = std::mem::take(pending);
+        let n_updates = pending_desc.len();
+        pending_desc.clear();
+        let events = monitor.append(&tx).map_err(|e| e.to_string())?;
+        let t = monitor.history().len() - 1;
+        let mut out = format!(
+            "t={t}: committed {n_updates} update(s); state = {}",
+            monitor.history().state(t).display()
+        );
+        for e in &events {
+            let _ = write!(
+                out,
+                "\n  VIOLATION: '{}' — unavoidable after {} state(s)",
+                e.name, e.at
+            );
+        }
+        let fired = triggers
+            .evaluate(monitor.history())
+            .map_err(|e| e.to_string())?;
+        for f in &fired {
+            let subst: Vec<String> = f
+                .substitution
+                .iter()
+                .map(|(v, val)| format!("{v}={val}"))
+                .collect();
+            let _ = write!(out, "\n  TRIGGER: '{}' fires [{}]", f.name, subst.join(", "));
+        }
+        Ok(out)
+    }
+
+    fn cmd_status(&mut self) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            constraint_ids,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        if constraint_ids.is_empty() {
+            return Ok("no constraints registered".to_owned());
+        }
+        let mut out = String::new();
+        for (name, id, _) in constraint_ids.iter() {
+            let line = match monitor.status(*id) {
+                Status::Satisfied => format!("{name}: potentially satisfied"),
+                Status::Violated { at } => {
+                    format!("{name}: VIOLATED (after {at} state(s))")
+                }
+            };
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&line);
+        }
+        Ok(out)
+    }
+
+    fn cmd_history(&mut self) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running { monitor, .. } = phase else {
+            unreachable!()
+        };
+        let h = monitor.history();
+        if h.is_empty() {
+            return Ok("history is empty (use insert/delete + commit)".to_owned());
+        }
+        let mut out = String::new();
+        for (t, s) in h.states().iter().enumerate() {
+            if t > 0 {
+                out.push('\n');
+            }
+            let _ = write!(out, "t={t}: {}", s.display());
+        }
+        Ok(out)
+    }
+
+    fn cmd_check(&mut self, rest: &str) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running { monitor, .. } = phase else {
+            unreachable!()
+        };
+        let phi = parse(monitor.history().schema(), rest).map_err(|e| e.to_string())?;
+        let out = check_potential_satisfaction(monitor.history(), &phi, &CheckOptions::default())
+            .map_err(|e| e.to_string())?;
+        Ok(if out.potentially_satisfied {
+            "potentially satisfied (an extension exists)".to_owned()
+        } else {
+            "NOT potentially satisfied (no extension can satisfy it)".to_owned()
+        })
+    }
+
+    fn cmd_explain(&mut self, rest: &str) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running { monitor, .. } = phase else {
+            unreachable!()
+        };
+        let phi = parse(monitor.history().schema(), rest).map_err(|e| e.to_string())?;
+        Ok(ticc_core::explain(
+            monitor.history(),
+            &phi,
+            &CheckOptions::default(),
+        ))
+    }
+
+    fn cmd_witness(&mut self, rest: &str) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            constraint_ids,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let name = rest.trim();
+        let Some((_, _, phi)) = constraint_ids.iter().find(|(n, _, _)| n == name) else {
+            return Err(format!("no constraint named '{name}'"));
+        };
+        let out = check_potential_satisfaction(monitor.history(), phi, &CheckOptions::default())
+            .map_err(|e| e.to_string())?;
+        let Some(w) = out.witness else {
+            return Ok(format!(
+                "'{name}' is violated: no extension exists, hence no witness"
+            ));
+        };
+        let mut text = format!(
+            "one extension satisfying '{name}' (append after the current history):"
+        );
+        for (i, s) in w.prefix.iter().enumerate() {
+            let _ = write!(text, "\n  +{}: {}", i + 1, s.display());
+        }
+        for (i, s) in w.cycle.iter().enumerate() {
+            let _ = write!(
+                text,
+                "\n  +{}: {}  (repeat forever)",
+                w.prefix.len() + i + 1,
+                s.display()
+            );
+        }
+        Ok(text)
+    }
+}
+
+fn parse_fact(schema: &Schema, src: &str) -> Result<(ticc_tdb::PredId, Vec<Value>), String> {
+    let src = src.trim();
+    let Some(open) = src.find('(') else {
+        return Err("usage: insert <Pred>(<v1>, <v2>, …)".to_owned());
+    };
+    if !src.ends_with(')') {
+        return Err("missing ')'".to_owned());
+    }
+    let name = src[..open].trim();
+    let pred = schema
+        .pred(name)
+        .ok_or_else(|| format!("unknown predicate '{name}'"))?;
+    let args: Result<Vec<Value>, String> = src[open + 1..src.len() - 1]
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse::<Value>()
+                .map_err(|_| format!("bad value '{}' (facts take numeric elements)", a.trim()))
+        })
+        .collect();
+    let args = args?;
+    if args.len() != schema.arity(pred) {
+        return Err(format!(
+            "{name} expects {} argument(s), got {}",
+            schema.arity(pred),
+            args.len()
+        ));
+    }
+    Ok((pred, args))
+}
+
+const HELP: &str = "commands:
+  schema pred <name> <arity>      declare a predicate (before first commit)
+  schema const <name> = <value>   declare a rigid constant
+  constraint <name>: <formula>    register a universal safety constraint
+  trigger <name>: <formula>       register a condition-action trigger (Log)
+  insert <Pred>(<v>, …)           stage a tuple insertion
+  delete <Pred>(<v>, …)           stage a tuple deletion
+  commit                          apply staged updates as the next state
+  status                          constraint statuses
+  history                         print all states
+  check <formula>                 ad-hoc potential-satisfaction query
+  explain <formula>               narrate the whole pipeline for a formula
+  witness <name>                  a concrete extension satisfying a constraint
+  help                            this text
+  quit                            leave";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shell: &mut Shell, lines: &[&str]) -> Vec<Reply> {
+        lines.iter().map(|l| shell.exec(l)).collect()
+    }
+
+    #[test]
+    fn full_session_detects_violation() {
+        let mut sh = Shell::new();
+        let replies = run(
+            &mut sh,
+            &[
+                "schema pred Sub 1",
+                "schema pred Fill 1",
+                "constraint once: forall x. G (Sub(x) -> X G !Sub(x))",
+                "insert Sub(1)",
+                "commit",
+                "delete Sub(1)",
+                "commit",
+                "insert Sub(1)",
+                "commit",
+                "status",
+            ],
+        );
+        for r in &replies {
+            assert!(r.is_ok(), "unexpected error: {r:?}");
+        }
+        let last_commit = replies[8].as_ref().unwrap();
+        assert!(
+            last_commit.contains("VIOLATION"),
+            "resubmission must violate: {last_commit}"
+        );
+        assert!(replies[9].as_ref().unwrap().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn triggers_fire_in_session() {
+        let mut sh = Shell::new();
+        run(
+            &mut sh,
+            &[
+                "schema pred Sub 1",
+                "trigger dup: F (Sub(x) & X F Sub(x))",
+                "insert Sub(2)",
+                "commit",
+                "insert Sub(2)",
+            ],
+        );
+        let r = sh.exec("commit").unwrap();
+        assert!(r.contains("TRIGGER: 'dup' fires [x=2]"), "{r}");
+    }
+
+    #[test]
+    fn schema_frozen_after_first_use() {
+        let mut sh = Shell::new();
+        sh.exec("schema pred P 1").unwrap();
+        sh.exec("constraint c: G !P(3)").unwrap();
+        let err = sh.exec("schema pred Q 1").unwrap_err();
+        assert!(err.contains("frozen"));
+    }
+
+    #[test]
+    fn constants_resolve_in_formulas() {
+        let mut sh = Shell::new();
+        run(
+            &mut sh,
+            &[
+                "schema pred P 1",
+                "schema const vip = 7",
+                "constraint novip: G !P(vip)",
+                "insert P(7)",
+            ],
+        );
+        let r = sh.exec("commit").unwrap();
+        assert!(r.contains("VIOLATION"), "{r}");
+    }
+
+    #[test]
+    fn check_command_answers_adhoc_queries() {
+        let mut sh = Shell::new();
+        run(&mut sh, &["schema pred P 1", "insert P(1)", "commit"]);
+        let yes = sh.exec("check G !P(2)").unwrap();
+        assert!(yes.contains("potentially satisfied"));
+        let no = sh.exec("check G !P(1)").unwrap();
+        assert!(no.contains("NOT"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut sh = Shell::new();
+        assert!(sh.exec("bogus").is_err());
+        assert!(sh.exec("schema pred P 0").is_err());
+        sh.exec("schema pred P 2").unwrap();
+        assert!(sh.exec("insert P(1)").is_err(), "arity mismatch");
+        assert!(sh.exec("insert Q(1)").is_err(), "unknown predicate");
+        assert!(sh.exec("constraint broken: G !P(").is_err());
+        // Shell still usable afterwards.
+        sh.exec("insert P(1, 2)").unwrap();
+        sh.exec("commit").unwrap();
+    }
+
+    #[test]
+    fn unsafe_constraint_warns() {
+        let mut sh = Shell::new();
+        sh.exec("schema pred P 1").unwrap();
+        let r = sh.exec("constraint live: forall x. G (P(x) -> F !P(x))").unwrap();
+        assert!(r.contains("warning"), "{r}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.exec("").unwrap(), "");
+        assert_eq!(sh.exec("# a comment").unwrap(), "");
+    }
+
+    #[test]
+    fn history_lists_states() {
+        let mut sh = Shell::new();
+        run(
+            &mut sh,
+            &["schema pred P 1", "insert P(1)", "commit", "commit"],
+        );
+        let h = sh.exec("history").unwrap();
+        assert!(h.contains("t=0: {P(1)}"));
+        assert!(h.contains("t=1: {P(1)}"), "snapshots persist: {h}");
+    }
+}

@@ -1,0 +1,175 @@
+//! The Section 4 example: a universal formula with arbitrarily large
+//! finite-universe models but no model with an infinite universe — the
+//! reason Lemma 4.1 insists on infinite universes, and the safety
+//! requirement's raison d'être.
+//!
+//! The formula (paper, Section 4): `W1 ∧ W4 ∧ Q1 ∧ Q4 ∧ (x ≤_Q y ⇒
+//! y ≤_W x)` forces a `W`-increasing enumeration of the whole universe
+//! and a `Q`-enumeration in exactly the reverse order. Every finite
+//! universe admits such a pair; an infinite (ω) universe does not (the
+//! reverse of an ω-order is not an ω-order).
+
+use ticc::fotl::classify::{classify, is_syntactically_safe, FormulaClass};
+use ticc::fotl::eval::{eval_closed, EvalOptions, UniverseSpec};
+use ticc::fotl::{Formula, Term};
+use ticc::tdb::{History, Schema, State};
+
+fn w1_like(schema: &Schema, pred: &str) -> Formula {
+    // ∀x∀y □((P(x) ∧ P(y)) → x = y)
+    let p = schema.pred(pred).unwrap();
+    let at = |v: &str| Formula::pred(p, vec![Term::var(v)]);
+    Formula::forall_many(
+        ["x", "y"],
+        at("x")
+            .and(at("y"))
+            .implies(Formula::eq(Term::var("x"), Term::var("y")))
+            .always(),
+    )
+}
+
+fn w4_like(schema: &Schema, pred: &str) -> Formula {
+    // ∀x ((¬P(x)) U (P(x) ∧ ○□¬P(x))): every element is P exactly once.
+    let p = schema.pred(pred).unwrap();
+    let at = |v: &str| Formula::pred(p, vec![Term::var(v)]);
+    Formula::forall(
+        "x",
+        at("x")
+            .not()
+            .until(at("x").and(at("x").not().always().next())),
+    )
+}
+
+fn leq_via(schema: &Schema, pred: &str, x: &str, y: &str) -> Formula {
+    // x ≤_P y ≡ ◇(P(x) ∧ ◇P(y))
+    let p = schema.pred(pred).unwrap();
+    let at = |v: &str| Formula::pred(p, vec![Term::var(v)]);
+    at(x).and(at(y).eventually()).eventually()
+}
+
+fn the_example(schema: &Schema) -> Formula {
+    // Re-prenex the conjunction under one shared ∀x∀y prefix so the
+    // formula is literally universal (conjunction commutes with ∀).
+    let strip = |f: &Formula| {
+        let (_, body) = ticc::fotl::classify::external_prefix(f);
+        body.clone()
+    };
+    let inverse =
+        leq_via(schema, "Q", "x", "y").implies(leq_via(schema, "W", "y", "x"));
+    Formula::forall_many(
+        ["x", "y"],
+        Formula::and_all([
+            strip(&w1_like(schema, "W")),
+            strip(&w4_like(schema, "W")),
+            strip(&w1_like(schema, "Q")),
+            strip(&w4_like(schema, "Q")),
+            inverse,
+        ]),
+    )
+}
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::builder().pred("W", 1).pred("Q", 1).build()
+}
+
+/// The model with universe `{0, …, n-1}`: `W` enumerates upward, `Q`
+/// downward, then all states are empty.
+fn finite_model(schema: &std::sync::Arc<Schema>, n: u64, trailing: usize) -> History {
+    let mut h = History::new(schema.clone());
+    for t in 0..n {
+        let mut s = State::empty(schema.clone());
+        s.insert_named("W", vec![t]).unwrap();
+        s.insert_named("Q", vec![n - 1 - t]).unwrap();
+        h.push_state(s);
+    }
+    for _ in 0..trailing {
+        h.push_empty();
+    }
+    h
+}
+
+#[test]
+fn the_example_is_universal_but_not_syntactically_safe() {
+    let sc = schema();
+    let f = the_example(&sc);
+    assert!(matches!(classify(&f), FormulaClass::Universal { .. }));
+    // W4 contains a positive until: a liveness obligation. This is what
+    // locks such formulas out of the Theorem 4.2 pipeline's guarantees.
+    assert!(!is_syntactically_safe(&f));
+}
+
+#[test]
+fn finite_universes_of_every_size_admit_models() {
+    let sc = schema();
+    let f = the_example(&sc);
+    for n in 1..=5u64 {
+        let h = finite_model(&sc, n, 2);
+        let opts = EvalOptions {
+            universe: UniverseSpec::Bounded(n),
+        };
+        assert!(
+            eval_closed(&h, &f, &opts).unwrap(),
+            "universe of size {n} must model the formula"
+        );
+    }
+}
+
+#[test]
+fn larger_universe_than_enumerated_breaks_w4() {
+    // With one extra element beyond the enumeration, W4 fails: that
+    // element is never W.
+    let sc = schema();
+    let f = the_example(&sc);
+    let h = finite_model(&sc, 3, 2);
+    let opts = EvalOptions {
+        universe: UniverseSpec::Bounded(4),
+    };
+    assert!(!eval_closed(&h, &f, &opts).unwrap());
+}
+
+#[test]
+fn non_safety_universal_sentences_are_outside_the_guarantee() {
+    // ∀x ◇P(x) is a liveness formula: over the infinite universe it IS
+    // satisfiable (enumerate the universe over infinite time), but the
+    // grounding of Theorem 4.1 — sound only for safety sentences, as the
+    // paper stresses after Lemma 4.1 — folds the fresh-element instance
+    // to ⊥. The implementation documents this: the check still runs, the
+    // verdict is the safety-approximation, and `syntactically_safe`
+    // flags the caveat.
+    let sc = Schema::builder().pred("P", 1).build();
+    let p = sc.pred("P").unwrap();
+    let f = Formula::forall("x", Formula::pred(p, vec![Term::var("x")]).eventually());
+    assert!(matches!(classify(&f), FormulaClass::Universal { .. }));
+    assert!(!is_syntactically_safe(&f));
+
+    let h = History::new(sc.clone());
+    let out = ticc::core::check_potential_satisfaction(
+        &h,
+        &f,
+        &ticc::core::CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(!out.stats.syntactically_safe, "the caveat must be surfaced");
+    // The safety-approximate verdict: no extension touching only
+    // relevant elements satisfies ∀x◇P(x) (fresh elements can never be
+    // covered), hence "not potentially satisfied" — exactly the
+    // behaviour the paper's restriction to safety formulas forestalls.
+    assert!(!out.potentially_satisfied);
+}
+
+#[test]
+fn safety_counterpart_is_handled_correctly() {
+    // The safety shape ∀x □¬P(x) over an empty history: satisfiable
+    // (keep everything empty), and the checker says so.
+    let sc = Schema::builder().pred("P", 1).build();
+    let p = sc.pred("P").unwrap();
+    let f = Formula::forall("x", Formula::pred(p, vec![Term::var("x")]).not().always());
+    assert!(is_syntactically_safe(&f));
+    let h = History::new(sc.clone());
+    let out = ticc::core::check_potential_satisfaction(
+        &h,
+        &f,
+        &ticc::core::CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(out.potentially_satisfied);
+}

@@ -1,0 +1,167 @@
+//! End-to-end oracle tests: the full Theorem 4.2 pipeline (ground →
+//! progress → Büchi satisfiability) must agree with hand-coded,
+//! first-principles violation detectors on randomized workloads.
+//!
+//! For the paper's two example constraints the semantics is simple
+//! enough to decide directly from the event log:
+//! * once-only is violated iff some order has `Sub` events at two
+//!   distinct instants;
+//! * FIFO is violated iff there are orders `x ≠ y` with
+//!   `sub(x) < sub(y)` (and `x` unfilled throughout `[sub(x), sub(y)]`)
+//!   and `y` filled at a time where `x` is still unfilled.
+
+use ticc::core::{check_potential_satisfaction, CheckOptions};
+use ticc::fotl::parser::parse;
+use ticc::tdb::workload::OrderWorkload;
+use ticc::tdb::History;
+
+const ONCE_ONLY: &str = "forall x. G (Sub(x) -> X G !Sub(x))";
+const FIFO: &str = "forall x y. G !(x != y & Sub(x) & \
+                   ((!Fill(x)) U (Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))";
+
+/// Event view of an order history: (instant, order) pairs.
+fn events(h: &History, pred: &str) -> Vec<(usize, u64)> {
+    let p = h.schema().pred(pred).unwrap();
+    let mut out = Vec::new();
+    for (t, s) in h.states().iter().enumerate() {
+        for tuple in s.relation(p).iter() {
+            out.push((t, tuple[0]));
+        }
+    }
+    out
+}
+
+/// Direct decision of once-only.
+fn once_only_violated(h: &History) -> bool {
+    let subs = events(h, "Sub");
+    subs.iter().any(|&(t1, x)| {
+        subs.iter()
+            .any(|&(t2, y)| x == y && t2 > t1)
+    })
+}
+
+/// Direct decision of the FIFO formula, following its quantifier
+/// structure literally: exists x ≠ y and an instant t with Sub(x)@t,
+/// an instant s ≥ t with Sub(y)@s and ¬Fill(x) on [t, s], and an
+/// instant u ≥ s with Fill(y)@u ∧ ¬Fill(x) and ¬Fill(x) on [s, u].
+fn fifo_violated(h: &History) -> bool {
+    let sub = h.schema().pred("Sub").unwrap();
+    let fill = h.schema().pred("Fill").unwrap();
+    let n = h.len();
+    let holds = |p, t: usize, v: u64| h.state(t).holds(p, &[v]);
+    let orders: Vec<u64> = h.relevant().into_iter().collect();
+    for &x in &orders {
+        for &y in &orders {
+            if x == y {
+                continue;
+            }
+            for t in 0..n {
+                if !holds(sub, t, x) {
+                    continue;
+                }
+                for s in t..n {
+                    if (t..=s).any(|u| holds(fill, u, x)) {
+                        break;
+                    }
+                    if !holds(sub, s, y) {
+                        continue;
+                    }
+                    for u in s..n {
+                        if (s..=u).any(|w| holds(fill, w, x)) {
+                            break;
+                        }
+                        if holds(fill, u, y) && !holds(fill, u, x) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn pipeline_agrees_with_direct_once_only_oracle() {
+    let sc = OrderWorkload::schema();
+    let phi = parse(&sc, ONCE_ONLY).unwrap();
+    let mut checked_violations = 0;
+    for seed in 0..30u64 {
+        let h = OrderWorkload {
+            instants: 8,
+            submit_prob: 0.7,
+            fill_prob: 0.4,
+            violation: if seed % 3 == 0 {
+                Some((ticc::tdb::workload::OrderViolation::DoubleSubmit, 5))
+            } else {
+                None
+            },
+            seed,
+        }
+        .generate();
+        let expected = once_only_violated(&h);
+        let got = !check_potential_satisfaction(&h, &phi, &CheckOptions::default())
+            .unwrap()
+            .potentially_satisfied;
+        assert_eq!(got, expected, "seed {seed}");
+        checked_violations += usize::from(expected);
+    }
+    assert!(checked_violations > 0, "test must exercise both verdicts");
+}
+
+#[test]
+fn pipeline_agrees_with_direct_fifo_oracle() {
+    let sc = OrderWorkload::schema();
+    let phi = parse(&sc, FIFO).unwrap();
+    let mut violated_count = 0;
+    for seed in 0..20u64 {
+        let h = OrderWorkload {
+            instants: 7,
+            submit_prob: 0.8,
+            fill_prob: 0.3,
+            violation: if seed % 2 == 0 {
+                Some((ticc::tdb::workload::OrderViolation::OutOfOrderFill, 4))
+            } else {
+                None
+            },
+            seed,
+        }
+        .generate();
+        let expected = fifo_violated(&h);
+        let got = !check_potential_satisfaction(&h, &phi, &CheckOptions::default())
+            .unwrap()
+            .potentially_satisfied;
+        assert_eq!(got, expected, "seed {seed}: {:?}", h.states().iter().map(|s| s.display()).collect::<Vec<_>>());
+        violated_count += usize::from(expected);
+    }
+    assert!(violated_count > 0, "test must exercise both verdicts");
+}
+
+#[test]
+fn prefix_monotonicity_of_violations() {
+    // Safety: once a prefix is violated, every longer prefix is too.
+    let sc = OrderWorkload::schema();
+    let phi = parse(&sc, ONCE_ONLY).unwrap();
+    let h = OrderWorkload {
+        instants: 10,
+        submit_prob: 0.9,
+        fill_prob: 0.2,
+        violation: Some((ticc::tdb::workload::OrderViolation::DoubleSubmit, 4)),
+        seed: 11,
+    }
+    .generate();
+    let mut seen_violation = false;
+    for n in 1..=h.len() {
+        let p = h.prefix(n);
+        let sat = check_potential_satisfaction(&p, &phi, &CheckOptions::default())
+            .unwrap()
+            .potentially_satisfied;
+        if seen_violation {
+            assert!(!sat, "violations are permanent (prefix length {n})");
+        }
+        if !sat {
+            seen_violation = true;
+        }
+    }
+    assert!(seen_violation);
+}

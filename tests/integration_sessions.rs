@@ -1,0 +1,106 @@
+//! Session-audit scenario: the history-less past monitor (§5) on the
+//! login/activity workload.
+//!
+//! The audit constraint is the textbook past formula
+//! `∀x □(Act(x) → (¬Logout(x)) S Login(x))` — "every action happens
+//! inside an open session". Being `∀□(past)`, it defines a safety
+//! property (Proposition 2.1) and is monitored history-lessly.
+
+use ticc::core::past::{PastMonitor, PastStatus};
+use ticc::fotl::parser::parse;
+use ticc::tdb::workload::{SessionViolation, SessionWorkload};
+
+const AUDIT: &str = "forall x. G (Act(x) -> ((!Logout(x)) S Login(x)))";
+
+fn run_monitor(h: &ticc::tdb::History) -> PastStatus {
+    let sc = h.schema().clone();
+    let phi = parse(&sc, AUDIT).unwrap();
+    let mut m = PastMonitor::new(sc, vec![], &phi).unwrap();
+    let mut st = PastStatus::Satisfied;
+    for s in h.states() {
+        st = m.append(s);
+    }
+    st
+}
+
+#[test]
+fn clean_workloads_pass_the_audit() {
+    for seed in 0..10 {
+        let h = SessionWorkload {
+            instants: 25,
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        assert_eq!(run_monitor(&h), PastStatus::Satisfied, "seed {seed}");
+    }
+}
+
+#[test]
+fn act_without_login_is_caught_at_the_instant() {
+    let h = SessionWorkload {
+        instants: 12,
+        violation: Some((SessionViolation::ActWithoutLogin, 7)),
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    assert_eq!(run_monitor(&h), PastStatus::Violated { at: 7 });
+}
+
+#[test]
+fn act_after_logout_is_caught() {
+    // Find a seed where someone has logged out before instant 15 so the
+    // injection actually lands (the generator skips it otherwise).
+    let mut caught = 0;
+    for seed in 0..10 {
+        let h = SessionWorkload {
+            instants: 20,
+            act_prob: 0.3,
+            logout_prob: 0.7,
+            violation: Some((SessionViolation::ActAfterLogout, 15)),
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        if let PastStatus::Violated { at } = run_monitor(&h) {
+            assert_eq!(at, 15, "seed {seed}");
+            caught += 1;
+        }
+    }
+    assert!(caught >= 5, "injection should land for most seeds: {caught}");
+}
+
+#[test]
+fn session_audit_also_works_through_eval_reference() {
+    // Cross-check the monitor against the reference evaluator on a
+    // violating history.
+    let h = SessionWorkload {
+        instants: 12,
+        violation: Some((SessionViolation::ActWithoutLogin, 6)),
+        seed: 4,
+        ..Default::default()
+    }
+    .generate();
+    let sc = h.schema().clone();
+    let body = parse(&sc, "forall x. Act(x) -> ((!Logout(x)) S Login(x))").unwrap();
+    // ψ holds at 0..5, fails at 6.
+    for t in 0..6 {
+        assert!(ticc::fotl::eval::eval(
+            &h,
+            &body,
+            t,
+            &Default::default(),
+            &ticc::fotl::eval::EvalOptions::default()
+        )
+        .unwrap());
+    }
+    assert!(!ticc::fotl::eval::eval(
+        &h,
+        &body,
+        6,
+        &Default::default(),
+        &ticc::fotl::eval::EvalOptions::default()
+    )
+    .unwrap());
+}
