@@ -1,29 +1,29 @@
 //! E10: the binary-counter lower-bound family (Section 6) — deciding a
 //! single-state instance forces ~2^n automaton exploration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{time_best_of, Table};
 use ticc_core::counter::counter_instance;
 use ticc_core::{check_potential_satisfaction, CheckOptions};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e10_counter_family");
-    g.sample_size(10);
+fn main() {
+    let mut table = Table::new(
+        "E10 — binary-counter lower-bound family",
+        "Section 6: deciding a single-state instance forces ~2^n exploration",
+        &["bits", "time"],
+    );
     for bits in [2usize, 4, 6] {
         let inst = counter_instance(bits, true);
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &inst, |b, inst| {
-            b.iter(|| {
-                let out = check_potential_satisfaction(
-                    &inst.history,
-                    &inst.constraint,
-                    &CheckOptions::default(),
-                )
-                .unwrap();
-                assert!(!out.potentially_satisfied);
-            })
+        let d = time_best_of(3, || {
+            let out = check_potential_satisfaction(
+                &inst.history,
+                &inst.constraint,
+                &CheckOptions::default(),
+            )
+            .unwrap();
+            assert!(!out.potentially_satisfied);
         });
+        table.row([bits.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,43 +2,36 @@
 //! potential satisfaction (phase-2 satisfiability per update) vs the
 //! weaker bad-prefix notion (progression only).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ticc_bench::{once_only, order_schema};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{once_only, order_schema, time_best_of, Table};
 use ticc_core::monitor::Notion;
 use ticc_core::{CheckOptions, Monitor};
 use ticc_tdb::Transaction;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sc = order_schema();
     let sub = sc.pred("Sub").unwrap();
-    for (name, notion) in [
-        ("e11_potential", Notion::Potential),
-        ("e11_bad_prefix", Notion::BadPrefix),
-    ] {
-        let mut g = c.benchmark_group(name);
-        g.sample_size(10);
-        for appends in [8usize, 16] {
-            g.bench_with_input(
-                BenchmarkId::from_parameter(appends),
-                &appends,
-                |b, &appends| {
-                    b.iter(|| {
-                        let mut m = Monitor::new(sc.clone(), CheckOptions::default())
-                            .with_notion(notion);
-                        m.add_constraint("once", once_only(&sc)).unwrap();
-                        for i in 0..appends as u64 {
-                            let tx = Transaction::new()
-                                .delete(sub, vec![i.saturating_sub(1) % 4])
-                                .insert(sub, vec![i % 4]);
-                            let _ = m.append(&tx).unwrap();
-                        }
-                    })
-                },
-            );
+    let mut table = Table::new(
+        "E11 — per-append cost of the two violation notions",
+        "potential satisfaction runs phase-2 sat per update; bad-prefix is progression only",
+        &["appends", "potential", "bad prefix"],
+    );
+    for appends in [8usize, 16] {
+        let mut times = Vec::new();
+        for notion in [Notion::Potential, Notion::BadPrefix] {
+            let d = time_best_of(5, || {
+                let mut m = Monitor::new(sc.clone(), CheckOptions::default()).with_notion(notion);
+                m.add_constraint("once", once_only(&sc)).unwrap();
+                for i in 0..appends as u64 {
+                    let tx = Transaction::new()
+                        .delete(sub, vec![i.saturating_sub(1) % 4])
+                        .insert(sub, vec![i % 4]);
+                    let _ = m.append(&tx).unwrap();
+                }
+            });
+            times.push(fmt_duration(d));
         }
-        g.finish();
+        table.row([appends.to_string(), times[0].clone(), times[1].clone()]);
     }
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,28 +3,29 @@
 //! Theorem 4.2's bound is `O(t·(|φ|·|R_D|)^max(k,l)) + 2^O(…)`; with the
 //! constraint and `R_D` fixed, only the first addend grows — linearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ticc_bench::{cyclic_order_history, fifo, order_schema};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{cyclic_order_history, fifo, order_schema, time_best_of, Table};
 use ticc_core::{check_potential_satisfaction, CheckOptions};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sc = order_schema();
     let phi = fifo(&sc);
-    let mut g = c.benchmark_group("e1_history_length");
-    g.sample_size(10);
+    let mut table = Table::new(
+        "E1 — checking time vs history length t",
+        "Theorem 4.2: linear in t with the constraint and R_D fixed",
+        &["t", "time", "ns/instant"],
+    );
     for t in [32usize, 128, 512, 2048] {
         let h = cyclic_order_history(&sc, t);
-        g.throughput(Throughput::Elements(t as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(t), &h, |b, h| {
-            b.iter(|| {
-                let out =
-                    check_potential_satisfaction(h, &phi, &CheckOptions::default()).unwrap();
-                assert!(out.potentially_satisfied);
-            })
+        let d = time_best_of(5, || {
+            let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+            assert!(out.potentially_satisfied);
         });
+        table.row([
+            t.to_string(),
+            fmt_duration(d),
+            format!("{}", d.as_nanos() / t as u128),
+        ]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

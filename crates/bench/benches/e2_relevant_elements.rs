@@ -1,77 +1,75 @@
 //! E2: cost vs `|R_D|` — grounding polynomial (degree `max(k,l)`), full
 //! decision exponential (the Section 6 argument).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ticc_bench::table::fmt_duration;
 use ticc_bench::{
     chain_constraint, edge_schema, once_only, order_schema, path_history, spread_history,
-    unsubmitted_history,
+    time_best_of, unsubmitted_history, Table,
 };
 use ticc_core::{check_potential_satisfaction, ground, CheckOptions, GroundMode};
 use ticc_ptl::sat::SatSolver;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sc = order_schema();
     let phi = once_only(&sc);
 
-    let mut g = c.benchmark_group("e2a_ground_k1_l1");
-    g.sample_size(20);
+    let mut table = Table::new(
+        "E2a — grounding cost vs |R_D| (k=1, l=1)",
+        "Lemma 4.1 / Theorem 4.2: polynomial of degree max(k,l)",
+        &["|R_D|", "time"],
+    );
     for m in [4usize, 16, 64] {
         let h = spread_history(&sc, m);
-        g.bench_with_input(BenchmarkId::from_parameter(m), &h, |b, h| {
-            b.iter(|| ground(h, &phi, GroundMode::Folded).unwrap())
+        let d = time_best_of(10, || {
+            ground(&h, &phi, GroundMode::Folded).unwrap();
         });
+        table.row([m.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 
     let esc = edge_schema();
     let phi2 = chain_constraint(&esc, 2);
-    let mut g = c.benchmark_group("e2a_ground_k2_l2");
-    g.sample_size(20);
+    let mut table = Table::new(
+        "E2a — grounding cost vs |R_D| (k=2, l=2)",
+        "same bound at higher degree",
+        &["|R_D|", "time"],
+    );
     for m in [4usize, 8, 16] {
         let h = path_history(&esc, m);
-        g.bench_with_input(BenchmarkId::from_parameter(m), &h, |b, h| {
-            b.iter(|| ground(h, &phi2, GroundMode::Folded).unwrap())
+        let d = time_best_of(10, || {
+            ground(&h, &phi2, GroundMode::Folded).unwrap();
         });
+        table.row([m.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 
     // The exhaustive automaton exposes the exponential; the probe
     // (production default) answers the same satisfied instances flat.
-    let mut g = c.benchmark_group("e2b_exhaustive");
-    g.sample_size(10);
+    let mut table = Table::new(
+        "E2b — full decision vs |R_D|: exhaustive vs probe",
+        "Section 6: exhaustive exploration is exponential in |R_D|; the probe is flat",
+        &["|R_D|", "exhaustive", "probe"],
+    );
     for m in [2usize, 4, 6, 8] {
         let h = unsubmitted_history(&sc, m);
-        g.bench_with_input(BenchmarkId::from_parameter(m), &h, |b, h| {
-            b.iter(|| {
-                let out = check_potential_satisfaction(
-                    h,
-                    &phi,
-                    &CheckOptions {
-                        mode: GroundMode::Folded,
-                        solver: SatSolver::BuchiExhaustive,
-                    },
-                )
-                .unwrap();
-                assert!(out.potentially_satisfied);
-            })
+        let d_ex = time_best_of(3, || {
+            let out = check_potential_satisfaction(
+                &h,
+                &phi,
+                &CheckOptions {
+                    mode: GroundMode::Folded,
+                    solver: SatSolver::BuchiExhaustive,
+                    ..CheckOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(out.potentially_satisfied);
         });
-    }
-    g.finish();
-
-    let mut g = c.benchmark_group("e2b_probe");
-    g.sample_size(10);
-    for m in [2usize, 4, 6, 8] {
-        let h = unsubmitted_history(&sc, m);
-        g.bench_with_input(BenchmarkId::from_parameter(m), &h, |b, h| {
-            b.iter(|| {
-                let out =
-                    check_potential_satisfaction(h, &phi, &CheckOptions::default()).unwrap();
-                assert!(out.potentially_satisfied);
-            })
+        let d_probe = time_best_of(3, || {
+            let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+            assert!(out.potentially_satisfied);
         });
+        table.row([m.to_string(), fmt_duration(d_ex), fmt_duration(d_probe)]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

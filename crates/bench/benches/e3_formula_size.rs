@@ -1,26 +1,25 @@
 //! E3: PTL satisfiability vs formula size (expected: exponential,
 //! Lemma 4.2 phase 2) on the `⋀ □◇p_i` family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ticc_bench::gf_family;
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{gf_family, time_best_of, Table};
 use ticc_ptl::arena::Arena;
 use ticc_ptl::sat::is_satisfiable;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_formula_size");
-    g.sample_size(10);
+fn main() {
+    let mut table = Table::new(
+        "E3 — PTL satisfiability vs formula size",
+        "Lemma 4.2 phase 2: exponential in |φ| on the ⋀ □◇p_i family",
+        &["n", "time"],
+    );
     for n in [2usize, 4, 6, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut ar = Arena::new();
-                let f = gf_family(&mut ar, n);
-                let r = is_satisfiable(&mut ar, f).unwrap();
-                assert!(r.satisfiable);
-            })
+        let d = time_best_of(3, || {
+            let mut ar = Arena::new();
+            let f = gf_family(&mut ar, n);
+            let r = is_satisfiable(&mut ar, f).unwrap();
+            assert!(r.satisfiable);
         });
+        table.row([n.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,24 @@
 //! E4: grounding cost vs the number of external quantifiers `k`
 //! (expected: `(|R_D|+k)^k` instances).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ticc_bench::{chain_constraint, edge_schema, path_history};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{chain_constraint, edge_schema, path_history, time_best_of, Table};
 use ticc_core::{ground, GroundMode};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let esc = edge_schema();
-    let mut g = c.benchmark_group("e4_quantifiers");
-    g.sample_size(10);
+    let mut table = Table::new(
+        "E4 — grounding cost vs external quantifier count k",
+        "Theorem 4.1: (|R_D|+k)^k ground instances",
+        &["k", "time"],
+    );
     for k in [1usize, 2, 3, 4] {
         let phi = chain_constraint(&esc, k);
         let h = path_history(&esc, 4);
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| ground(&h, &phi, GroundMode::Folded).unwrap())
+        let d = time_best_of(3, || {
+            ground(&h, &phi, GroundMode::Folded).unwrap();
         });
+        table.row([k.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

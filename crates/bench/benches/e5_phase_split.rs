@@ -1,47 +1,37 @@
 //! E5: the Lemma 4.2 phase decomposition — grounding+progression scale
 //! with `t`, the residue satisfiability does not. Measured here by
-//! benchmarking the phases in isolation.
+//! timing the phases in isolation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ticc_bench::{cyclic_order_history, fifo, order_schema};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{cyclic_order_history, fifo, order_schema, time_best_of, Table};
 use ticc_core::{ground, GroundMode};
 use ticc_ptl::progression::progress_trace;
 use ticc_ptl::sat::is_satisfiable;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sc = order_schema();
     let phi = fifo(&sc);
 
-    let mut g = c.benchmark_group("e5_phase1_ground_progress");
-    g.sample_size(10);
+    let mut table = Table::new(
+        "E5 — Lemma 4.2 phase split",
+        "phase 1 (ground + progress) grows with t; phase 2 (residue sat) stays flat",
+        &["t", "phase1 ground+progress", "phase2 residue sat"],
+    );
     for t in [64usize, 512, 4096] {
         let h = cyclic_order_history(&sc, t);
-        g.bench_with_input(BenchmarkId::from_parameter(t), &h, |b, h| {
-            b.iter(|| {
-                let mut gr = ground(h, &phi, GroundMode::Folded).unwrap();
-                let trace = std::mem::take(&mut gr.trace);
-                progress_trace(&mut gr.arena, gr.formula, &trace).unwrap()
-            })
+        let d1 = time_best_of(5, || {
+            let mut gr = ground(&h, &phi, GroundMode::Folded).unwrap();
+            let trace = std::mem::take(&mut gr.trace);
+            progress_trace(&mut gr.arena, gr.formula, &trace).unwrap();
         });
-    }
-    g.finish();
-
-    let mut g = c.benchmark_group("e5_phase2_residue_sat");
-    g.sample_size(10);
-    for t in [64usize, 512, 4096] {
-        let h = cyclic_order_history(&sc, t);
         let mut gr = ground(&h, &phi, GroundMode::Folded).unwrap();
         let trace = std::mem::take(&mut gr.trace);
         let residue = progress_trace(&mut gr.arena, gr.formula, &trace).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
-            b.iter(|| {
-                let r = is_satisfiable(&mut gr.arena, residue).unwrap();
-                assert!(r.satisfiable);
-            })
+        let d2 = time_best_of(5, || {
+            let r = is_satisfiable(&mut gr.arena, residue).unwrap();
+            assert!(r.satisfiable);
         });
+        table.row([t.to_string(), fmt_duration(d1), fmt_duration(d2)]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,40 +1,96 @@
-//! E6: ablation — the paper's literal `Axiom_D` grounding vs rigid-atom
-//! folding (equivalent verdicts; folding removes the axiom bulk).
+//! E6: two grounding ablations.
+//!
+//! (a) The paper's literal `Axiom_D` grounding vs rigid-atom folding
+//!     (equivalent verdicts; folding removes the axiom bulk).
+//! (b) Delta re-grounding vs full re-grounding in the online engine:
+//!     when the active domain grows one element at a time, the delta
+//!     path re-grounds only the mappings that mention the new element
+//!     and replays only those conjuncts through the stored trace.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ticc_bench::{once_only, order_schema, spread_history};
-use ticc_core::{check_potential_satisfaction, CheckOptions, GroundMode};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{once_only, order_schema, spread_history, time_best_of, Table};
+use ticc_core::{check_potential_satisfaction, CheckOptions, GroundMode, Monitor, Regrounding};
 use ticc_ptl::sat::SatSolver;
+use ticc_tdb::Transaction;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sc = order_schema();
     let phi = once_only(&sc);
-    for (name, mode) in [
-        ("e6_full_axiom_d", GroundMode::Full),
-        ("e6_folded", GroundMode::Folded),
-    ] {
-        let mut g = c.benchmark_group(name);
-        g.sample_size(10);
-        for m in [2usize, 3, 4] {
-            let h = spread_history(&sc, m);
-            g.bench_with_input(BenchmarkId::from_parameter(m), &h, |b, h| {
-                b.iter(|| {
-                    let out = check_potential_satisfaction(
-                        h,
-                        &phi,
-                        &CheckOptions {
-                            mode,
-                            solver: SatSolver::Buchi,
-                        },
-                    )
-                    .unwrap();
-                    assert!(out.potentially_satisfied);
-                })
-            });
-        }
-        g.finish();
-    }
-}
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    let mut table = Table::new(
+        "E6a — Axiom_D grounding vs rigid-atom folding",
+        "equivalent verdicts; folding removes the axiom bulk",
+        &["|R_D|", "full Axiom_D", "folded"],
+    );
+    for m in [2usize, 3, 4] {
+        let h = spread_history(&sc, m);
+        let mut times = Vec::new();
+        for mode in [GroundMode::Full, GroundMode::Folded] {
+            let d = time_best_of(3, || {
+                let out = check_potential_satisfaction(
+                    &h,
+                    &phi,
+                    &CheckOptions {
+                        mode,
+                        solver: SatSolver::Buchi,
+                        ..CheckOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(out.potentially_satisfied);
+            });
+            times.push(fmt_duration(d));
+        }
+        table.row([m.to_string(), times[0].clone(), times[1].clone()]);
+    }
+    table.print();
+
+    // (b) Online appends where every instant introduces a fresh element,
+    // so each append triggers a re-grounding. Delta mode replays only
+    // the new conjuncts; full mode rebuilds the grounding from scratch.
+    let sub = sc.pred("Sub").unwrap();
+    let mut table = Table::new(
+        "E6b — delta vs full re-grounding on a growing domain",
+        "delta replays O(|Δ-part|) conjuncts per append instead of O(|φ_D|)",
+        &[
+            "appends",
+            "full reground",
+            "delta",
+            "replayed conjuncts (delta)",
+        ],
+    );
+    for appends in [8usize, 16, 24] {
+        let mut times = Vec::new();
+        let mut replayed = 0u64;
+        for regrounding in [Regrounding::Full, Regrounding::Delta] {
+            let opts = CheckOptions {
+                regrounding,
+                ..CheckOptions::default()
+            };
+            let d = time_best_of(3, || {
+                let mut m = Monitor::new(sc.clone(), opts);
+                m.add_constraint("once", once_only(&sc)).unwrap();
+                for i in 0..appends as u64 {
+                    // Clear the previous submission so the constraint
+                    // stays live: every append is a fresh arrival.
+                    let mut tx = Transaction::new().insert(sub, vec![100 + i]);
+                    if i > 0 {
+                        tx = tx.delete(sub, vec![100 + i - 1]);
+                    }
+                    let _ = m.append(&tx).unwrap();
+                }
+                if regrounding == Regrounding::Delta {
+                    replayed = m.engine_stats().replayed_conjuncts;
+                }
+            });
+            times.push(fmt_duration(d));
+        }
+        table.row([
+            appends.to_string(),
+            times[0].clone(),
+            times[1].clone(),
+            replayed.to_string(),
+        ]);
+    }
+    table.print();
+}

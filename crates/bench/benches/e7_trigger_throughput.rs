@@ -1,17 +1,20 @@
 //! E7: online monitor + trigger throughput on the paper's customer-order
 //! workload (Section 2 duality, end to end).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ticc_bench::{fifo, once_only, order_schema};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{fifo, once_only, order_schema, time_best_of, Table};
 use ticc_core::{CheckOptions, Monitor, TriggerEngine};
 use ticc_tdb::workload::OrderWorkload;
 use ticc_tdb::Transaction;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sc = order_schema();
 
-    let mut g = c.benchmark_group("e7_monitor_appends");
-    g.sample_size(10);
+    let mut table = Table::new(
+        "E7 — monitor append throughput (customer-order workload)",
+        "per-append cost stays flat once the relevant domain stabilises",
+        &["instants", "time", "us/append"],
+    );
     for instants in [8usize, 16, 24] {
         let h = OrderWorkload {
             instants,
@@ -21,36 +24,36 @@ fn bench(c: &mut Criterion) {
             seed: 7,
         }
         .generate();
-        g.throughput(Throughput::Elements(instants as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(instants), &h, |b, h| {
-            b.iter(|| {
-                let mut m = Monitor::new(sc.clone(), CheckOptions::default());
-                m.add_constraint("once", once_only(&sc)).unwrap();
-                m.add_constraint("fifo", fifo(&sc)).unwrap();
-                for st in h.states() {
-                    let mut tx = Transaction::new();
-                    if let Some(prev) = m.history().last() {
-                        for p in sc.preds() {
-                            for tuple in prev.relation(p).iter() {
-                                tx = tx.delete(p, tuple.to_vec());
-                            }
-                        }
-                    }
+        let d = time_best_of(5, || {
+            let mut m = Monitor::new(sc.clone(), CheckOptions::default());
+            m.add_constraint("once", once_only(&sc)).unwrap();
+            m.add_constraint("fifo", fifo(&sc)).unwrap();
+            for st in h.states() {
+                let mut tx = Transaction::new();
+                if let Some(prev) = m.history().last() {
                     for p in sc.preds() {
-                        for tuple in st.relation(p).iter() {
-                            tx = tx.insert(p, tuple.to_vec());
+                        for tuple in prev.relation(p).iter() {
+                            tx = tx.delete(p, tuple.to_vec());
                         }
                     }
-                    let _ = m.append(&tx).unwrap();
                 }
-            })
+                for p in sc.preds() {
+                    for tuple in st.relation(p).iter() {
+                        tx = tx.insert(p, tuple.to_vec());
+                    }
+                }
+                let _ = m.append(&tx).unwrap();
+            }
         });
+        table.row([
+            instants.to_string(),
+            fmt_duration(d),
+            format!("{:.1}", d.as_secs_f64() * 1e6 / instants as f64),
+        ]);
     }
-    g.finish();
+    table.print();
 
     // Trigger evaluation cost on a fixed dirty history.
-    let mut g = c.benchmark_group("e7_trigger_eval");
-    g.sample_size(10);
     let h = OrderWorkload {
         instants: 10,
         submit_prob: 0.8,
@@ -68,14 +71,15 @@ fn bench(c: &mut Criterion) {
             action: ticc_core::Action::Log,
         })
         .unwrap();
-    g.bench_function("evaluate", |b| {
-        b.iter(|| {
-            let fired = engine.evaluate(&h).unwrap();
-            assert!(!fired.is_empty());
-        })
+    let mut table = Table::new(
+        "E7 — trigger evaluation on a dirty history",
+        "the Section 2 duality: triggers fire via potential-satisfaction checks",
+        &["triggers", "time"],
+    );
+    let d = time_best_of(5, || {
+        let fired = engine.evaluate(&h).unwrap();
+        assert!(!fired.is_empty());
     });
-    g.finish();
+    table.row(["1".into(), fmt_duration(d)]);
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,31 +1,29 @@
 //! E8: ablation — the classic closure-subset tableau (Sistla–Clarke
 //! object) vs the on-the-fly GPVW construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ticc_bench::gf_family;
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{gf_family, time_best_of, Table};
 use ticc_ptl::arena::Arena;
 use ticc_ptl::sat::{is_satisfiable_with, SatSolver};
 
-fn bench(c: &mut Criterion) {
-    for (name, solver) in [
-        ("e8_tableau", SatSolver::Tableau),
-        ("e8_gpvw", SatSolver::Buchi),
-    ] {
-        let mut g = c.benchmark_group(name);
-        g.sample_size(10);
-        for n in [1usize, 2, 3, 4] {
-            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-                b.iter(|| {
-                    let mut ar = Arena::new();
-                    let f = gf_family(&mut ar, n);
-                    let r = is_satisfiable_with(&mut ar, f, solver).unwrap();
-                    assert!(r.satisfiable);
-                })
+fn main() {
+    let mut table = Table::new(
+        "E8 — tableau vs GPVW satisfiability",
+        "closure-subset tableau pays the full 2^|clo(φ)| up front; GPVW explores on the fly",
+        &["n", "tableau", "gpvw"],
+    );
+    for n in [1usize, 2, 3, 4] {
+        let mut times = Vec::new();
+        for solver in [SatSolver::Tableau, SatSolver::Buchi] {
+            let d = time_best_of(3, || {
+                let mut ar = Arena::new();
+                let f = gf_family(&mut ar, n);
+                let r = is_satisfiable_with(&mut ar, f, solver).unwrap();
+                assert!(r.satisfiable);
             });
+            times.push(fmt_duration(d));
         }
-        g.finish();
+        table.row([n.to_string(), times[0].clone(), times[1].clone()]);
     }
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

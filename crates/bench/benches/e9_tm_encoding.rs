@@ -1,46 +1,55 @@
 //! E9: Section 3 constructions — building `φ`/`φ̃`, encoding runs, and
 //! the Σ⁰₂ semi-decision budget sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ticc_bench::table::fmt_duration;
+use ticc_bench::{time_best_of, Table};
 use ticc_tm::bounded::{semi_decide_repeating, SemiDecision};
 use ticc_tm::{encode_run, machine_schema, zoo};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let machine = zoo::shuttle();
     let schema = machine_schema(&machine);
 
-    let mut g = c.benchmark_group("e9_build_formulas");
-    g.sample_size(20);
-    g.bench_function("phi", |b| {
-        b.iter(|| ticc_tm::phi::phi(&machine, &schema))
+    let mut table = Table::new(
+        "E9 — building the Section 3 formulas",
+        "φ and φ̃ are polynomial-size in the machine description",
+        &["formula", "time"],
+    );
+    let d = time_best_of(10, || {
+        ticc_tm::phi::phi(&machine, &schema);
     });
+    table.row(["phi".into(), fmt_duration(d)]);
     let schema_w = ticc_tm::phi_tilde::machine_schema_with_w(&machine);
-    g.bench_function("phi_tilde", |b| {
-        b.iter(|| ticc_tm::phi_tilde::phi_tilde(&machine, &schema_w))
+    let d = time_best_of(10, || {
+        ticc_tm::phi_tilde::phi_tilde(&machine, &schema_w);
     });
-    g.finish();
+    table.row(["phi_tilde".into(), fmt_duration(d)]);
+    table.print();
 
-    let mut g = c.benchmark_group("e9_encode_run");
-    g.sample_size(20);
+    let mut table = Table::new(
+        "E9 — encoding runs as histories",
+        "encode_run is linear in the step budget",
+        &["steps", "time"],
+    );
     for steps in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
-            b.iter(|| encode_run(&machine, &[true, false, true], steps))
+        let d = time_best_of(10, || {
+            encode_run(&machine, &[true, false, true], steps);
         });
+        table.row([steps.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 
-    let mut g = c.benchmark_group("e9_semi_decision");
-    g.sample_size(20);
+    let mut table = Table::new(
+        "E9 — Σ⁰₂ semi-decision budget sweep",
+        "cost grows with the repeating-visit target",
+        &["target", "time"],
+    );
     for target in [16usize, 256, 4096] {
-        g.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &t| {
-            b.iter(|| {
-                let v = semi_decide_repeating(&machine, &[true], t, usize::MAX);
-                assert!(matches!(v, SemiDecision::ReachedTarget { .. }));
-            })
+        let d = time_best_of(5, || {
+            let v = semi_decide_repeating(&machine, &[true], target, usize::MAX);
+            assert!(matches!(v, SemiDecision::ReachedTarget { .. }));
         });
+        table.row([target.to_string(), fmt_duration(d)]);
     }
-    g.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

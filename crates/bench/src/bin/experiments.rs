@@ -73,9 +73,7 @@ fn e1_history_length() {
         let h = cyclic_order_history(&sc, states);
         let mut out = None;
         let d = ticc_bench::time_best_of(3, || {
-            out = Some(
-                check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap(),
-            );
+            out = Some(check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap());
         });
         let out = out.unwrap();
         t.row([
@@ -162,6 +160,7 @@ fn e2_relevant_elements() {
                     &CheckOptions {
                         mode: GroundMode::Folded,
                         solver: ticc_ptl::sat::SatSolver::BuchiExhaustive,
+                        ..CheckOptions::default()
                     },
                 )
                 .unwrap(),
@@ -296,6 +295,7 @@ fn e6_grounding_ablation() {
                     &CheckOptions {
                         mode: GroundMode::Full,
                         solver: SatSolver::Buchi,
+                        ..CheckOptions::default()
                     },
                 )
                 .unwrap(),
@@ -303,9 +303,8 @@ fn e6_grounding_ablation() {
         });
         let mut folded_out = None;
         let d_folded = ticc_bench::time_best_of(2, || {
-            folded_out = Some(
-                check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap(),
-            );
+            folded_out =
+                Some(check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap());
         });
         let full = full_out.unwrap();
         let folded = folded_out.unwrap();
@@ -468,12 +467,12 @@ fn e9_tm_encoding() {
         &["n", "shuttle", "runner", "picky(0…)", "halter"],
     );
     for n in [1usize, 4, 16, 64, 256] {
-        let cell = |m: &ticc_tm::Machine, input: &[bool]| {
-            match semi_decide_repeating(m, input, n, 100_000) {
-                SemiDecision::ReachedTarget { steps } => format!("ok@{steps}"),
-                SemiDecision::Halted { .. } => "halted".to_owned(),
-                SemiDecision::Undetermined { visits } => format!("?({visits})"),
-            }
+        let cell = |m: &ticc_tm::Machine, input: &[bool]| match semi_decide_repeating(
+            m, input, n, 100_000,
+        ) {
+            SemiDecision::ReachedTarget { steps } => format!("ok@{steps}"),
+            SemiDecision::Halted { .. } => "halted".to_owned(),
+            SemiDecision::Undetermined { visits } => format!("?({visits})"),
         };
         t2.row([
             n.to_string(),
@@ -543,7 +542,10 @@ fn e11_notion_latency() {
         };
         let (strong_at, strong_d) = run(Notion::Potential);
         let (weak_at, weak_d) = run(Notion::BadPrefix);
-        let (sa, wa) = (strong_at.unwrap_or(usize::MAX), weak_at.unwrap_or(usize::MAX));
+        let (sa, wa) = (
+            strong_at.unwrap_or(usize::MAX),
+            weak_at.unwrap_or(usize::MAX),
+        );
         t.row([
             w.to_string(),
             sa.to_string(),

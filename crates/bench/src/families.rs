@@ -102,9 +102,7 @@ pub fn chain_constraint(schema: &Schema, k: usize) -> Formula {
     let body = if k == 1 {
         Formula::pred(e, vec![var(1), var(1)])
     } else {
-        Formula::and_all(
-            (1..k).map(|i| Formula::pred(e, vec![var(i), var(i + 1)])),
-        )
+        Formula::and_all((1..k).map(|i| Formula::pred(e, vec![var(i), var(i + 1)])))
     };
     let matrix = body.not().always();
     Formula::forall_many((1..=k).map(|i| format!("x{i}")), matrix)
@@ -136,7 +134,10 @@ mod tests {
             let h = cyclic_order_history(&sc, t);
             let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
             assert!(out.potentially_satisfied, "t = {t}");
-            assert_eq!(h.relevant().len(), 2.min(t.max(1)).max(if t >= 2 { 2 } else { 1 }));
+            assert_eq!(
+                h.relevant().len(),
+                2.min(t.max(1)).max(if t >= 2 { 2 } else { 1 })
+            );
         }
     }
 

@@ -100,21 +100,19 @@ mod tests {
     #[test]
     fn constraint_is_universal_with_zero_external_vars() {
         let inst = counter_instance(3, true);
-        assert_eq!(classify(&inst.constraint), FormulaClass::Universal {
-            external: 0
-        });
+        assert_eq!(
+            classify(&inst.constraint),
+            FormulaClass::Universal { external: 0 }
+        );
         assert!(!inst.constraint.uses_extended_vocabulary());
     }
 
     #[test]
     fn without_forbid_the_counter_runs_forever() {
         let inst = counter_instance(3, false);
-        let out = check_potential_satisfaction(
-            &inst.history,
-            &inst.constraint,
-            &CheckOptions::default(),
-        )
-        .unwrap();
+        let out =
+            check_potential_satisfaction(&inst.history, &inst.constraint, &CheckOptions::default())
+                .unwrap();
         assert!(out.potentially_satisfied);
         // The witness must follow the increment rule: decode and check
         // the first steps 000 → 100 → 010 (lsb-first displays).
@@ -154,12 +152,9 @@ mod tests {
             &CheckOptions::default(),
         )
         .unwrap();
-        let b = check_potential_satisfaction(
-            &big.history,
-            &big.constraint,
-            &CheckOptions::default(),
-        )
-        .unwrap();
+        let b =
+            check_potential_satisfaction(&big.history, &big.constraint, &CheckOptions::default())
+                .unwrap();
         assert!(
             b.stats.sat.states > 2 * s.stats.sat.states,
             "state count must blow up: {} vs {}",

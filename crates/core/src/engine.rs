@@ -1,0 +1,632 @@
+//! The persistent incremental engine.
+//!
+//! One layer owns what the online monitor, the trigger engine, and the
+//! one-shot extension checker previously each re-derived for
+//! themselves: groundings (Theorem 4.1), progressed residues
+//! (Lemma 4.2 phase 1), satisfiability memoisation (phase 2), and the
+//! observability counters ([`EngineStats`]).
+//!
+//! The engine's distinctive capability is **delta re-grounding**. The
+//! grounding depends on the history only through `R_D` and `w_D`; when
+//! an update enlarges `R_D` by `Δ`, the old ground conjuncts — whose
+//! letters mention only old elements — are untouched, and their
+//! progressed residue remains valid as-is (old trace states assign
+//! `false` to every letter mentioning a `Δ` element, which is exactly
+//! what re-encoding them would produce, since a new relevant element
+//! by definition appears in no earlier state). So instead of
+//! re-grounding all `|M ∪ Δ|^k` instantiations and replaying the whole
+//! history (`O(t·|φ_D|)`), the engine grounds only the instantiations
+//! mentioning `Δ`, replays just that block through the stored
+//! propositional trace, and conjoins it with the memoised residue —
+//! `O(t·|Δ-part|)`. Progression distributes over conjunction, which
+//! makes the two routes equivalent; a property test checks delta
+//! against full re-grounding on randomized workloads.
+//!
+//! The full (paper-literal) construction re-encodes rigid equality
+//! letters over all of `M` into every trace state, so an enlarged `M`
+//! invalidates the stored trace: under [`GroundMode::Full`] the engine
+//! always rebuilds, as it does when [`Regrounding::Full`] is selected
+//! (the E6 ablation).
+
+use crate::extension::CheckOptions;
+use crate::ground::{ground, GroundError, GroundMode, Grounding};
+use crate::obs::{EngineStats, Timer};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use ticc_fotl::Formula;
+use ticc_ptl::arena::FormulaId;
+use ticc_ptl::progression::{progress, progress_trace};
+use ticc_ptl::sat::{extends_with, is_satisfiable_with, SatError, SatResult};
+use ticc_ptl::simplify::simplify;
+use ticc_tdb::{History, Schema, State, TdbError, Transaction, Value};
+
+/// Handle to a registered constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub usize);
+
+/// How the engine reacts when an update introduces new relevant
+/// elements (the ablation axis of experiment E6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Regrounding {
+    /// Incremental: ground only the `Δ`-instantiations and replay them
+    /// through the stored trace (the default; folded mode only — the
+    /// full construction falls back to a rebuild).
+    #[default]
+    Delta,
+    /// Rebuild the grounding from scratch over the whole history.
+    Full,
+}
+
+/// Which notion of violation the engine implements.
+///
+/// Section 5 of the paper contrasts *potential constraint satisfaction*
+/// (violations detected at the earliest possible time — requires the
+/// phase-2 satisfiability test after every update) with the **weaker
+/// notion** that Lipeck & Saake's and Sistla & Wolfson's methods
+/// implement by necessity: violations are always detected eventually,
+/// but possibly later. The weaker notion corresponds to running
+/// progression only and reporting when the residue collapses to `⊥` —
+/// much cheaper per update, but a constraint that has already become
+/// unsatisfiable can linger undetected until enough further states
+/// arrive to fold the residue away. Experiment E11 measures both the
+/// cost gap and the detection latency gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Notion {
+    /// Potential satisfaction: progression **and** satisfiability of the
+    /// residue after every update (earliest detection; the paper's
+    /// notion).
+    #[default]
+    Potential,
+    /// Sistla–Wolfson-style: progression only; report when the residue
+    /// reaches `⊥` (detection possibly delayed).
+    BadPrefix,
+}
+
+/// Status of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Every prefix so far has an extension satisfying the constraint.
+    Satisfied,
+    /// No extension exists; `at` is the history length at which the
+    /// violation became unavoidable (the violating state has index
+    /// `at - 1`; `at == 0` means the constraint is unsatisfiable
+    /// outright).
+    Violated {
+        /// History length at detection.
+        at: usize,
+    },
+}
+
+/// A violation notice produced by [`Engine::append`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorEvent {
+    /// Which constraint.
+    pub constraint: ConstraintId,
+    /// Its registered name.
+    pub name: String,
+    /// History length at which the violation became unavoidable.
+    pub at: usize,
+}
+
+/// Errors from the engine (and the monitor facade over it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// A constraint is outside the decidable fragment.
+    Ground(GroundError),
+    /// Propositional engine failure.
+    Sat(SatError),
+    /// Update application failure.
+    Tdb(TdbError),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Ground(e) => write!(f, "{e}"),
+            MonitorError::Sat(e) => write!(f, "{e}"),
+            MonitorError::Tdb(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<GroundError> for MonitorError {
+    fn from(e: GroundError) -> Self {
+        MonitorError::Ground(e)
+    }
+}
+impl From<SatError> for MonitorError {
+    fn from(e: SatError) -> Self {
+        MonitorError::Sat(e)
+    }
+}
+impl From<TdbError> for MonitorError {
+    fn from(e: TdbError) -> Self {
+        MonitorError::Tdb(e)
+    }
+}
+
+/// A grounding plus the derived per-constraint runtime state: the
+/// progressed residue and the satisfiability memo. The engine keeps
+/// one per registered constraint; the grounding's stored trace is kept
+/// in sync on every append so delta re-grounding can replay new
+/// conjunct blocks through it.
+pub struct GroundingContext {
+    g: Grounding,
+    residue: FormulaId,
+    sat_cache: HashMap<FormulaId, bool>,
+}
+
+impl GroundingContext {
+    /// Grounds `phi` over `history` and progresses `φ_D` through the
+    /// whole stored prefix. Counts toward `ground_time`/`progress_time`
+    /// but not `grounds`/`regrounds` — the caller decides which kind of
+    /// (re)build this is.
+    fn build(
+        history: &History,
+        phi: &Formula,
+        opts: &CheckOptions,
+        stats: &mut EngineStats,
+    ) -> Result<Self, MonitorError> {
+        let t = Timer::start();
+        let mut g = ground(history, phi, opts.mode)?;
+        t.finish(&mut stats.ground_time);
+        let t = Timer::start();
+        let trace = std::mem::take(&mut g.trace);
+        let progressed = progress_trace(&mut g.arena, g.formula, &trace)
+            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+        let residue = simplify(&mut g.arena, progressed);
+        g.trace = trace;
+        t.finish(&mut stats.progress_time);
+        stats.progress_steps += history.len() as u64;
+        Ok(Self {
+            g,
+            residue,
+            sat_cache: HashMap::new(),
+        })
+    }
+
+    /// The underlying grounding.
+    pub fn grounding(&self) -> &Grounding {
+        &self.g
+    }
+
+    /// The current progressed residue.
+    pub fn residue(&self) -> FormulaId {
+        self.residue
+    }
+
+    /// Fast path: the state mentions no element outside `M`. Encodes
+    /// it, progresses the residue one step, and appends the encoded
+    /// state to the stored trace. Returns `false` (doing nothing) if a
+    /// new relevant element blocks the fast path.
+    fn fast_append(
+        &mut self,
+        state: &State,
+        stats: &mut EngineStats,
+    ) -> Result<bool, MonitorError> {
+        let Some(w) = self.g.state_to_prop(state) else {
+            return Ok(false);
+        };
+        let t = Timer::start();
+        let progressed = progress(&mut self.g.arena, self.residue, &w)
+            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+        // Keep residues compact (□□/◇◇ and duplicate boxes otherwise
+        // accumulate across appends).
+        self.residue = simplify(&mut self.g.arena, progressed);
+        self.g.trace.push(w);
+        t.finish(&mut stats.progress_time);
+        stats.progress_steps += 1;
+        Ok(true)
+    }
+
+    /// Delta path: ground only the instantiations mentioning the new
+    /// elements, replay that block through the stored trace (plus the
+    /// new state), progress the memoised residue one step, and conjoin.
+    fn delta_append(&mut self, state: &State, stats: &mut EngineStats) -> Result<(), MonitorError> {
+        let t = Timer::start();
+        let known = self.g.known_values();
+        let delta: Vec<Value> = state
+            .active_domain()
+            .iter()
+            .copied()
+            .filter(|v| !known.contains(v))
+            .collect();
+        let dg = self.g.ground_delta(&delta)?;
+        t.finish(&mut stats.ground_time);
+        stats.delta_grounds += 1;
+        stats.new_conjuncts += dg.new_mappings;
+
+        let t = Timer::start();
+        let w = self.g.encode_state(state);
+        self.g.trace.push(w.clone());
+        // Old trace states need no re-encoding: letters mentioning a
+        // delta element are false there, which PropState's default
+        // already yields.
+        let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
+            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+        let old = progress(&mut self.g.arena, self.residue, &w)
+            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+        let combined = self.g.arena.and(old, replayed);
+        self.residue = simplify(&mut self.g.arena, combined);
+        t.finish(&mut stats.progress_time);
+        stats.progress_steps += 1 + self.g.trace.len() as u64;
+        stats.replayed_conjuncts += dg.new_mappings;
+        Ok(())
+    }
+
+    /// Phase 2 on the residue, with memoisation. Under
+    /// [`Notion::BadPrefix`] phase 2 is skipped entirely: only a
+    /// residue of `⊥` counts as a violation.
+    fn decide(
+        &mut self,
+        notion: Notion,
+        opts: &CheckOptions,
+        history_len: usize,
+        stats: &mut EngineStats,
+    ) -> Result<Status, MonitorError> {
+        if notion == Notion::BadPrefix {
+            let fls = self.g.arena.fls();
+            return Ok(if self.residue == fls {
+                Status::Violated { at: history_len }
+            } else {
+                Status::Satisfied
+            });
+        }
+        let sat = if let Some(&cached) = self.sat_cache.get(&self.residue) {
+            stats.sat_cache_hits += 1;
+            cached
+        } else {
+            stats.sat_checks += 1;
+            let t = Timer::start();
+            let r = is_satisfiable_with(&mut self.g.arena, self.residue, opts.solver)?;
+            t.finish(&mut stats.sat_time);
+            self.sat_cache.insert(self.residue, r.satisfiable);
+            r.satisfiable
+        };
+        Ok(if sat {
+            Status::Satisfied
+        } else {
+            Status::Violated { at: history_len }
+        })
+    }
+}
+
+struct Entry {
+    name: String,
+    phi: Formula,
+    status: Status,
+    ctx: GroundingContext,
+}
+
+/// The shared incremental engine: owns the history, the per-constraint
+/// [`GroundingContext`]s, and the observability spine. The online
+/// [`Monitor`](crate::monitor::Monitor) is a thin facade over it; the
+/// trigger engine and the extension checker use its one-shot path.
+pub struct Engine {
+    history: History,
+    entries: Vec<Entry>,
+    opts: CheckOptions,
+    notion: Notion,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine over an empty history.
+    pub fn new(schema: Arc<Schema>, opts: CheckOptions) -> Self {
+        Self::with_history(History::new(schema), opts)
+    }
+
+    /// An engine taking over an existing history.
+    pub fn with_history(history: History, opts: CheckOptions) -> Self {
+        Self {
+            history,
+            entries: Vec::new(),
+            opts,
+            notion: Notion::default(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Selects the violation notion (see [`Notion`]). Applies to
+    /// constraints registered and updates applied afterwards.
+    pub fn set_notion(&mut self, notion: Notion) {
+        self.notion = notion;
+    }
+
+    /// The active violation notion.
+    pub fn notion(&self) -> Notion {
+        self.notion
+    }
+
+    /// The engine's options.
+    pub fn opts(&self) -> CheckOptions {
+        self.opts
+    }
+
+    /// The current history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// A snapshot of the observability spine, with the size gauges
+    /// (letters, arena nodes, mappings) refreshed over the live
+    /// grounding contexts.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.letters = 0;
+        s.arena_nodes = 0;
+        s.mappings = 0;
+        for e in &self.entries {
+            let g = e.ctx.grounding();
+            s.letters += g.letter_count() as u64;
+            s.arena_nodes += g.arena.dag_len() as u64;
+            s.mappings += g.stats.mappings as u64;
+        }
+        s
+    }
+
+    /// Registers a universal safety constraint and checks it against
+    /// the current history immediately.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        phi: Formula,
+    ) -> Result<ConstraintId, MonitorError> {
+        let name = name.into();
+        let id = ConstraintId(self.entries.len());
+        self.stats.grounds += 1;
+        let mut ctx = GroundingContext::build(&self.history, &phi, &self.opts, &mut self.stats)?;
+        let len = self.history.len();
+        let status = ctx.decide(self.notion, &self.opts, len, &mut self.stats)?;
+        self.entries.push(Entry {
+            name,
+            phi,
+            status,
+            ctx,
+        });
+        Ok(id)
+    }
+
+    /// Status of a constraint.
+    pub fn status(&self, id: ConstraintId) -> Status {
+        self.entries[id.0].status
+    }
+
+    /// Name of a constraint.
+    pub fn name(&self, id: ConstraintId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Ids of all registered constraints.
+    pub fn constraints(&self) -> impl Iterator<Item = ConstraintId> {
+        (0..self.entries.len()).map(ConstraintId)
+    }
+
+    /// Applies a transaction, producing the next state, and re-checks
+    /// every live constraint. Returns the violations that became
+    /// unavoidable with this update.
+    pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, MonitorError> {
+        self.history.apply(tx)?;
+        self.stats.appends += 1;
+        let new_state_idx = self.history.len() - 1;
+        let mut events = Vec::new();
+        for i in 0..self.entries.len() {
+            if matches!(self.entries[i].status, Status::Violated { .. }) {
+                continue; // safety: violations are permanent
+            }
+            let state = self.history.state(new_state_idx);
+            let entry = &mut self.entries[i];
+            if entry.ctx.fast_append(state, &mut self.stats)? {
+                self.stats.fast_appends += 1;
+            } else if self.opts.regrounding == Regrounding::Delta
+                && self.opts.mode == GroundMode::Folded
+            {
+                entry.ctx.delta_append(state, &mut self.stats)?;
+            } else {
+                // Full rebuild over the enlarged history.
+                self.stats.regrounds += 1;
+                let phi = entry.phi.clone();
+                let ctx =
+                    GroundingContext::build(&self.history, &phi, &self.opts, &mut self.stats)?;
+                self.entries[i].ctx = ctx;
+            }
+            let len = self.history.len();
+            let status =
+                self.entries[i]
+                    .ctx
+                    .decide(self.notion, &self.opts, len, &mut self.stats)?;
+            if let Status::Violated { at } = status {
+                self.entries[i].status = status;
+                events.push(MonitorEvent {
+                    constraint: ConstraintId(i),
+                    name: self.entries[i].name.clone(),
+                    at,
+                });
+            }
+        }
+        Ok(events)
+    }
+}
+
+/// The result of a one-shot extension check routed through the engine
+/// layer: the grounding, the raw satisfiability result (with witness
+/// lasso), and the phase timings.
+pub(crate) struct OneShot {
+    pub grounding: Grounding,
+    pub result: SatResult,
+    pub ground_time: Duration,
+    pub decide_time: Duration,
+}
+
+/// One-shot potential-satisfaction decision: ground, then decide
+/// extendability of `w_D` (progression + phase-2 satisfiability inside
+/// the PTL facade). Used by the extension checker and the trigger
+/// engine; callers fold the timings into their own stats.
+pub(crate) fn check_once(
+    history: &History,
+    phi: &Formula,
+    opts: &CheckOptions,
+) -> Result<OneShot, CheckOnceError> {
+    let t0 = Timer::start();
+    let mut ground_time = Duration::ZERO;
+    let mut grounding = ground(history, phi, opts.mode)?;
+    t0.finish(&mut ground_time);
+
+    let t1 = Timer::start();
+    let mut decide_time = Duration::ZERO;
+    let trace = std::mem::take(&mut grounding.trace);
+    let result = extends_with(&mut grounding.arena, &trace, grounding.formula, opts.solver)?;
+    grounding.trace = trace;
+    t1.finish(&mut decide_time);
+
+    Ok(OneShot {
+        grounding,
+        result,
+        ground_time,
+        decide_time,
+    })
+}
+
+/// Error type of [`check_once`] — the union the extension checker and
+/// the trigger engine both map into their own error enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CheckOnceError {
+    Ground(GroundError),
+    Sat(SatError),
+}
+
+impl From<GroundError> for CheckOnceError {
+    fn from(e: GroundError) -> Self {
+        CheckOnceError::Ground(e)
+    }
+}
+impl From<SatError> for CheckOnceError {
+    fn from(e: SatError) -> Self {
+        CheckOnceError::Sat(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ticc_fotl::parser::parse;
+
+    fn order_schema() -> Arc<Schema> {
+        Schema::builder().pred("Sub", 1).pred("Fill", 1).build()
+    }
+
+    fn opts(regrounding: Regrounding) -> CheckOptions {
+        CheckOptions {
+            regrounding,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn delta_and_full_agree_on_growing_domain() {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut delta = Engine::new(sc.clone(), opts(Regrounding::Delta));
+        let mut full = Engine::new(sc.clone(), opts(Regrounding::Full));
+        let d_id = delta.add_constraint("once", phi.clone()).unwrap();
+        let f_id = full.add_constraint("once", phi).unwrap();
+        // Each append clears the previous submission and introduces a
+        // fresh element; the final one re-submits element 100 →
+        // violation.
+        for i in 0..3u64 {
+            let mut tx = Transaction::new().insert(sub, vec![100 + i]);
+            if i > 0 {
+                tx = tx.delete(sub, vec![100 + i - 1]);
+            }
+            let de = delta.append(&tx).unwrap();
+            let fe = full.append(&tx).unwrap();
+            assert_eq!(de, fe, "append {i}");
+        }
+        let tx = Transaction::new()
+            .delete(sub, vec![102])
+            .insert(sub, vec![100]);
+        let de = delta.append(&tx).unwrap();
+        let fe = full.append(&tx).unwrap();
+        assert_eq!(de.len(), 1);
+        assert_eq!(de, fe);
+        assert_eq!(delta.status(d_id), full.status(f_id));
+        // The delta engine actually took the delta path.
+        assert!(delta.stats().delta_grounds >= 3);
+        assert_eq!(delta.stats().regrounds, 0);
+        assert_eq!(full.stats().delta_grounds, 0);
+        assert!(full.stats().regrounds >= 3);
+    }
+
+    #[test]
+    fn replayed_conjuncts_stay_linear_in_delta() {
+        // k = 1 and one new element per append: every delta re-ground
+        // adds exactly one new instantiation, so the replayed-conjunct
+        // counter grows by 1 per append — O(|Δ-part|) — while the total
+        // instantiation count |M|^k keeps growing.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(sc.clone(), opts(Regrounding::Delta));
+        e.add_constraint("once", phi).unwrap();
+        let n = 6u64;
+        for i in 0..n {
+            let tx = Transaction::new()
+                .delete(sub, vec![100 + i.saturating_sub(1)])
+                .insert(sub, vec![100 + i]);
+            e.append(&tx).unwrap();
+        }
+        let s = e.stats();
+        assert_eq!(s.delta_grounds, n);
+        assert_eq!(
+            s.replayed_conjuncts, n,
+            "one new instantiation per new element at k = 1"
+        );
+        // A full re-ground at step i would have re-derived i+2
+        // instantiations; the delta path replays far fewer in total.
+        assert!(s.replayed_conjuncts < s.mappings, "{s:?}");
+    }
+
+    #[test]
+    fn full_mode_forces_rebuild_even_under_delta_policy() {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(
+            sc.clone(),
+            CheckOptions {
+                mode: GroundMode::Full,
+                regrounding: Regrounding::Delta,
+                ..CheckOptions::default()
+            },
+        );
+        e.add_constraint("once", phi).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        let s = e.stats();
+        assert_eq!(s.delta_grounds, 0, "full construction cannot delta-ground");
+        assert_eq!(s.regrounds, 1);
+    }
+
+    #[test]
+    fn stats_track_timers_and_gauges() {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(sc.clone(), CheckOptions::default());
+        e.add_constraint("once", phi).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        e.append(&Transaction::new().delete(sub, vec![1])).unwrap();
+        let s = e.stats();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.grounds, 1);
+        assert!(s.letters > 0);
+        assert!(s.arena_nodes > 0);
+        assert!(s.mappings > 0);
+        assert!(s.progress_steps > 0);
+        assert!(s.ground_time > Duration::ZERO);
+        assert!(s.render().contains("delta regrounds"));
+    }
+}

@@ -19,7 +19,11 @@ use ticc_tdb::History;
 pub fn explain(history: &History, phi: &Formula, opts: &CheckOptions) -> String {
     let mut out = String::new();
     let schema = history.schema();
-    let _ = writeln!(out, "constraint: {}", ticc_fotl::pretty::formula(schema, phi));
+    let _ = writeln!(
+        out,
+        "constraint: {}",
+        ticc_fotl::pretty::formula(schema, phi)
+    );
     let _ = writeln!(out, "tree size |phi| = {}", phi.size());
 
     // Classification (Section 2).
@@ -52,7 +56,10 @@ pub fn explain(history: &History, phi: &Formula, opts: &CheckOptions) -> String 
 
     // Safety screening.
     if is_syntactically_safe(phi) {
-        let _ = writeln!(out, "safety: syntactically safe (sufficient condition holds)");
+        let _ = writeln!(
+            out,
+            "safety: syntactically safe (sufficient condition holds)"
+        );
     } else {
         let _ = writeln!(
             out,

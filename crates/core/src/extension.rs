@@ -8,19 +8,24 @@
 //! ultimately-periodic propositional witness is decoded back to database
 //! states (the decoding direction in the proof of Theorem 4.1).
 
-use crate::ground::{ground, GroundError, GroundMode, GroundStats, Grounding};
-use std::time::{Duration, Instant};
+use crate::engine::{check_once, CheckOnceError, Regrounding};
+use crate::ground::{GroundError, GroundMode, GroundStats, Grounding};
+use std::time::Duration;
 use ticc_fotl::Formula;
-use ticc_ptl::sat::{extends_with, SatError, SatSolver, SatStats};
+use ticc_ptl::sat::{SatError, SatSolver, SatStats};
 use ticc_tdb::{History, State};
 
-/// Options for [`check_potential_satisfaction`].
+/// Options for [`check_potential_satisfaction`] and the
+/// [`Engine`](crate::engine::Engine) layer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CheckOptions {
     /// Grounding construction.
     pub mode: GroundMode,
     /// Phase-2 satisfiability engine.
     pub solver: SatSolver,
+    /// Re-grounding policy when the relevant domain grows (engine /
+    /// monitor path; one-shot checks always ground from scratch).
+    pub regrounding: Regrounding,
 }
 
 /// Per-phase wall-clock timings (the E5 decomposition).
@@ -111,27 +116,31 @@ pub fn check_potential_satisfaction(
     phi: &Formula,
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, CheckError> {
-    let t0 = Instant::now();
-    let mut grounding = ground(history, phi, opts.mode)?;
-    let ground_time = t0.elapsed();
-
-    let t1 = Instant::now();
-    let trace = std::mem::take(&mut grounding.trace);
-    let result = extends_with(&mut grounding.arena, &trace, grounding.formula, opts.solver)?;
-    grounding.trace = trace;
-    let decide_time = t1.elapsed();
+    let shot = check_once(history, phi, opts).map_err(|e| match e {
+        CheckOnceError::Ground(g) => CheckError::Ground(g),
+        CheckOnceError::Sat(s) => CheckError::Sat(s),
+    })?;
+    let (grounding, result) = (shot.grounding, shot.result);
 
     let witness = result.witness.as_ref().map(|lasso| WitnessExtension {
-        prefix: lasso.prefix.iter().map(|w| grounding.prop_to_state(w)).collect(),
-        cycle: lasso.cycle.iter().map(|w| grounding.prop_to_state(w)).collect(),
+        prefix: lasso
+            .prefix
+            .iter()
+            .map(|w| grounding.prop_to_state(w))
+            .collect(),
+        cycle: lasso
+            .cycle
+            .iter()
+            .map(|w| grounding.prop_to_state(w))
+            .collect(),
     });
 
     let stats = CheckStats {
         ground: grounding.stats,
         sat: result.stats,
         timings: PhaseTimings {
-            ground: ground_time,
-            decide: decide_time,
+            ground: shot.ground_time,
+            decide: shot.decide_time,
         },
         syntactically_safe: ticc_fotl::classify::is_syntactically_safe(phi),
     };
@@ -178,8 +187,7 @@ mod tests {
     fn clean_history_is_potentially_satisfied() {
         let h = history(&[(&[1], &[]), (&[2], &[1])]);
         let phi = once_only(h.schema());
-        let out =
-            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         assert!(out.potentially_satisfied);
         assert!(out.stats.syntactically_safe);
         let w = out.witness.unwrap();
@@ -190,8 +198,7 @@ mod tests {
     fn double_submission_is_violated() {
         let h = history(&[(&[1], &[]), (&[1], &[])]);
         let phi = once_only(h.schema());
-        let out =
-            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         assert!(!out.potentially_satisfied);
         assert!(out.witness.is_none());
     }
@@ -224,6 +231,7 @@ mod tests {
                 &CheckOptions {
                     mode: GroundMode::Folded,
                     solver: SatSolver::Buchi,
+                    ..CheckOptions::default()
                 },
             )
             .unwrap();
@@ -233,11 +241,13 @@ mod tests {
                 &CheckOptions {
                     mode: GroundMode::Full,
                     solver: SatSolver::Buchi,
+                    ..CheckOptions::default()
                 },
             )
             .unwrap();
             assert_eq!(
-                folded.potentially_satisfied, full.potentially_satisfied,
+                folded.potentially_satisfied,
+                full.potentially_satisfied,
                 "modes disagree on history of length {}",
                 h.len()
             );
@@ -250,8 +260,7 @@ mod tests {
         // potentially satisfied (safety ⇒ prefix-closed).
         let h = history(&[(&[1], &[]), (&[2], &[1])]);
         let phi = once_only(h.schema());
-        let out =
-            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         let w = out.witness.unwrap();
         let mut extended = h.clone();
         for s in &w.prefix {
@@ -277,8 +286,7 @@ mod tests {
         // stats flag the safety caveat.
         let h = history(&[(&[1], &[]), (&[2], &[])]);
         let phi = parse(h.schema(), "forall x. G (Sub(x) -> F Fill(x))").unwrap();
-        let out =
-            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         assert!(out.potentially_satisfied);
         assert!(!out.stats.syntactically_safe);
     }
@@ -310,8 +318,7 @@ mod tests {
         let sc = order_schema();
         let phi = once_only(&sc);
         let h = History::new(sc.clone());
-        let out =
-            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         assert!(out.potentially_satisfied);
     }
 
@@ -319,8 +326,7 @@ mod tests {
     fn stats_are_populated() {
         let h = history(&[(&[1], &[]), (&[2], &[1])]);
         let phi = once_only(h.schema());
-        let out =
-            check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         assert_eq!(out.stats.ground.external_vars, 1);
         assert!(out.stats.ground.mappings >= 3);
         // The constant-word safety probe may answer without building the
@@ -332,13 +338,11 @@ mod tests {
             &CheckOptions {
                 mode: crate::ground::GroundMode::Folded,
                 solver: ticc_ptl::sat::SatSolver::BuchiExhaustive,
+                ..CheckOptions::default()
             },
         )
         .unwrap();
         assert!(exhaustive.stats.sat.states > 0);
-        assert_eq!(
-            exhaustive.potentially_satisfied,
-            out.potentially_satisfied
-        );
+        assert_eq!(exhaustive.potentially_satisfied, out.potentially_satisfied);
     }
 }

@@ -31,6 +31,7 @@ use std::sync::Arc;
 use ticc_fotl::classify::{classify, FormulaClass};
 use ticc_fotl::{Atom, Formula, Term};
 use ticc_ptl::arena::{Arena, AtomId, FormulaId};
+use ticc_ptl::interner::AtomInterner;
 use ticc_ptl::trace::PropState;
 use ticc_tdb::{ConstId, History, PredId, Schema, State, Value};
 
@@ -107,8 +108,18 @@ pub struct GroundStats {
     pub formula_dag_size: usize,
 }
 
-type PredLetters = HashMap<(PredId, Vec<GArg>), AtomId>;
-type EqLetters = HashMap<(GArg, GArg), AtomId>;
+/// The structured key of a propositional letter in `L_D`: a ground
+/// predicate fact `p(a⃗)` or an equality `(a = b)`. Replaces the former
+/// ad-hoc string/`Vec` key pairs — one [`AtomInterner`] over these keys
+/// is the single letter table shared by formula construction and state
+/// encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LetterKey {
+    /// `p(a1, …, a_ar(p))`.
+    Pred(PredId, Vec<GArg>),
+    /// `(a = b)`.
+    Eq(GArg, GArg),
+}
 
 /// The output of the reduction: `φ_D`, `w_D`, and the letter table
 /// needed to translate further database states (used by the incremental
@@ -121,14 +132,19 @@ pub struct Grounding {
     /// The propositional prefix `w_D`.
     pub trace: Vec<PropState>,
     /// The set `M` (relevant + fresh), in the order used for mappings.
+    /// Delta re-grounding appends further relevant elements at the end.
     pub m: Vec<GArg>,
     /// Statistics.
     pub stats: GroundStats,
     mode: GroundMode,
     schema: Arc<Schema>,
     consts: Vec<Value>,
-    pred_letters: PredLetters,
-    eq_letters: EqLetters,
+    letters: AtomInterner<LetterKey>,
+    /// The external quantifier prefix and quantifier-free matrix of the
+    /// source sentence, kept so the grounding can re-ground itself
+    /// incrementally when `R_D` grows (see [`Grounding::ground_delta`]).
+    external: Vec<String>,
+    matrix: Formula,
 }
 
 fn garg_value(a: GArg, consts: &[Value]) -> Option<Value> {
@@ -159,46 +175,40 @@ fn write_garg(out: &mut String, a: GArg, schema: &Schema) {
     }
 }
 
-fn intern_eq_letter(
-    arena: &mut Arena,
-    letters: &mut EqLetters,
-    schema: &Schema,
-    a: GArg,
-    b: GArg,
-) -> AtomId {
-    *letters.entry((a, b)).or_insert_with(|| {
-        let mut name = String::from("(");
-        write_garg(&mut name, a, schema);
-        name.push('=');
-        write_garg(&mut name, b, schema);
-        name.push(')');
-        arena.intern_atom(&name)
-    })
+/// Renders the display name of a letter (run only on first interning).
+fn render_letter(key: &LetterKey, schema: &Schema) -> String {
+    match key {
+        LetterKey::Eq(a, b) => {
+            let mut name = String::from("(");
+            write_garg(&mut name, *a, schema);
+            name.push('=');
+            write_garg(&mut name, *b, schema);
+            name.push(')');
+            name
+        }
+        LetterKey::Pred(p, args) => {
+            let mut name = String::new();
+            name.push_str(schema.pred_name(*p));
+            name.push('(');
+            for (i, &a) in args.iter().enumerate() {
+                if i > 0 {
+                    name.push(',');
+                }
+                write_garg(&mut name, a, schema);
+            }
+            name.push(')');
+            name
+        }
+    }
 }
 
-fn intern_pred_letter(
+fn intern_letter(
     arena: &mut Arena,
-    letters: &mut PredLetters,
+    letters: &mut AtomInterner<LetterKey>,
     schema: &Schema,
-    p: PredId,
-    args: Vec<GArg>,
+    key: LetterKey,
 ) -> AtomId {
-    if let Some(&a) = letters.get(&(p, args.clone())) {
-        return a;
-    }
-    let mut name = String::new();
-    name.push_str(schema.pred_name(p));
-    name.push('(');
-    for (i, &a) in args.iter().enumerate() {
-        if i > 0 {
-            name.push(',');
-        }
-        write_garg(&mut name, a, schema);
-    }
-    name.push(')');
-    let id = arena.intern_atom(&name);
-    letters.insert((p, args), id);
-    id
+    letters.intern(arena, key, |k| render_letter(k, schema))
 }
 
 /// All vectors of length `r` over `items` (lexicographic by index).
@@ -261,8 +271,7 @@ pub fn ground(
     }
 
     let mut arena = Arena::new();
-    let mut pred_letters: PredLetters = HashMap::new();
-    let mut eq_letters: EqLetters = HashMap::new();
+    let mut letters: AtomInterner<LetterKey> = AtomInterner::new();
 
     let k = external.len();
     let msize = m.len();
@@ -274,8 +283,7 @@ pub fn ground(
         schema: &schema,
         consts: &consts,
         arena: &mut arena,
-        pred_letters: &mut pred_letters,
-        eq_letters: &mut eq_letters,
+        letters: &mut letters,
     };
     let mut psi_d = ctx.arena.tru();
     let mut idx = vec![0usize; k];
@@ -320,8 +328,7 @@ pub fn ground(
             &consts,
             &m,
             &mut arena,
-            &mut pred_letters,
-            &mut eq_letters,
+            &mut letters,
             history.state(t),
         );
         trace.push(w);
@@ -345,8 +352,9 @@ pub fn ground(
         mode,
         schema,
         consts,
-        pred_letters,
-        eq_letters,
+        letters,
+        external,
+        matrix: matrix.clone(),
     })
 }
 
@@ -356,8 +364,7 @@ struct GroundCtx<'a> {
     schema: &'a Schema,
     consts: &'a [Value],
     arena: &'a mut Arena,
-    pred_letters: &'a mut PredLetters,
-    eq_letters: &'a mut EqLetters,
+    letters: &'a mut AtomInterner<LetterKey>,
 }
 
 impl GroundCtx<'_> {
@@ -375,12 +382,17 @@ impl GroundCtx<'_> {
     }
 
     fn eq_letter(&mut self, a: GArg, b: GArg) -> FormulaId {
-        let id = intern_eq_letter(self.arena, self.eq_letters, self.schema, a, b);
+        let id = intern_letter(self.arena, self.letters, self.schema, LetterKey::Eq(a, b));
         self.arena.atom_id(id)
     }
 
     fn pred_letter(&mut self, p: PredId, args: Vec<GArg>) -> FormulaId {
-        let id = intern_pred_letter(self.arena, self.pred_letters, self.schema, p, args);
+        let id = intern_letter(
+            self.arena,
+            self.letters,
+            self.schema,
+            LetterKey::Pred(p, args),
+        );
         self.arena.atom_id(id)
     }
 
@@ -549,15 +561,13 @@ impl GroundCtx<'_> {
 }
 
 /// Builds the propositional description `w_ℓ` of one database state.
-#[allow(clippy::too_many_arguments)]
 fn build_prop_state(
     mode: GroundMode,
     schema: &Schema,
     consts: &[Value],
     m: &[GArg],
     arena: &mut Arena,
-    pred_letters: &mut PredLetters,
-    eq_letters: &mut EqLetters,
+    letters: &mut AtomInterner<LetterKey>,
     state: &State,
 ) -> PropState {
     let mut w = PropState::new();
@@ -567,7 +577,7 @@ fn build_prop_state(
             for p in schema.preds() {
                 for tuple in state.relation(p).iter() {
                     let args: Vec<GArg> = tuple.iter().map(|&v| GArg::Rel(v)).collect();
-                    let a = intern_pred_letter(arena, pred_letters, schema, p, args);
+                    let a = intern_letter(arena, letters, schema, LetterKey::Pred(p, args));
                     w.set(a, true);
                 }
             }
@@ -579,7 +589,7 @@ fn build_prop_state(
             for &a in &all {
                 for &b in &all {
                     if gargs_equal(a, b, consts) {
-                        let at = intern_eq_letter(arena, eq_letters, schema, a, b);
+                        let at = intern_letter(arena, letters, schema, LetterKey::Eq(a, b));
                         w.set(at, true);
                     }
                 }
@@ -592,7 +602,7 @@ fn build_prop_state(
                         av.iter().map(|&a| garg_value(a, consts)).collect();
                     let holds = vals.map(|t| state.holds(p, &t)).unwrap_or(false);
                     if holds {
-                        let at = intern_pred_letter(arena, pred_letters, schema, p, av);
+                        let at = intern_letter(arena, letters, schema, LetterKey::Pred(p, av));
                         w.set(at, true);
                     }
                 }
@@ -602,6 +612,15 @@ fn build_prop_state(
     w
 }
 
+/// Result of an incremental re-grounding step.
+pub(crate) struct DeltaGround {
+    /// The conjunction of the newly grounded instantiations (those
+    /// mentioning at least one delta element).
+    pub psi_new: FormulaId,
+    /// How many new instantiations were grounded.
+    pub new_mappings: u64,
+}
+
 impl Grounding {
     /// Translates a further database state to a propositional state
     /// (used by the monitor for states appended after grounding).
@@ -609,27 +628,117 @@ impl Grounding {
     /// Returns `None` if the state mentions an element outside `M`'s
     /// relevant part — the caller must re-ground.
     pub fn state_to_prop(&mut self, state: &State) -> Option<PropState> {
-        let known: std::collections::BTreeSet<Value> = self
-            .m
+        if !state.active_domain().is_subset(&self.known_values()) {
+            return None;
+        }
+        Some(self.encode_state(state))
+    }
+
+    /// The concrete values in `M` (the grounding's known universe).
+    pub fn known_values(&self) -> std::collections::BTreeSet<Value> {
+        self.m
             .iter()
             .filter_map(|&a| match a {
                 GArg::Rel(v) => Some(v),
                 _ => None,
             })
-            .collect();
-        if !state.active_domain().is_subset(&known) {
-            return None;
-        }
-        Some(build_prop_state(
+            .collect()
+    }
+
+    /// Encodes a state over `M` without the known-universe check (the
+    /// caller has already extended `M` to cover it).
+    pub(crate) fn encode_state(&mut self, state: &State) -> PropState {
+        build_prop_state(
             self.mode,
             &self.schema,
             &self.consts,
             &self.m,
             &mut self.arena,
-            &mut self.pred_letters,
-            &mut self.eq_letters,
+            &mut self.letters,
             state,
-        ))
+        )
+    }
+
+    /// Incremental re-grounding: `R_D` grew by `delta`. Appends the new
+    /// elements to `M` and grounds **only** the instantiations that
+    /// mention at least one of them — `|M'|^k − |M|^k` new conjuncts
+    /// instead of re-deriving all `|M'|^k`. The new conjunct block is
+    /// conjoined into `self.formula` and returned separately so an
+    /// engine holding a progressed residue can replay just the new
+    /// block through its stored trace.
+    ///
+    /// Only valid in [`GroundMode::Folded`]: the full construction's
+    /// `□Axiom_D` and rigid-equality letters are global over `M`, so an
+    /// enlarged universe invalidates the encoded trace and forces a
+    /// rebuild.
+    pub(crate) fn ground_delta(&mut self, delta: &[Value]) -> Result<DeltaGround, GroundError> {
+        assert_eq!(
+            self.mode,
+            GroundMode::Folded,
+            "delta re-grounding requires the folded construction"
+        );
+        let old_len = self.m.len();
+        self.m.extend(delta.iter().map(|&v| GArg::Rel(v)));
+        let msize = self.m.len();
+        let k = self.external.len();
+
+        let mut ctx = GroundCtx {
+            mode: self.mode,
+            schema: &self.schema,
+            consts: &self.consts,
+            arena: &mut self.arena,
+            letters: &mut self.letters,
+        };
+        let mut psi_new = ctx.arena.tru();
+        let mut new_mappings = 0u64;
+        // Mappings touching ≥1 new element, each enumerated exactly
+        // once: `p` is the position of the *first* new element, so
+        // positions before `p` range over the old part, `p` over the
+        // delta, and positions after `p` over all of `M`.
+        for p in 0..k {
+            let ranges: Vec<std::ops::Range<usize>> = (0..k)
+                .map(|i| match i.cmp(&p) {
+                    std::cmp::Ordering::Less => 0..old_len,
+                    std::cmp::Ordering::Equal => old_len..msize,
+                    std::cmp::Ordering::Greater => 0..msize,
+                })
+                .collect();
+            if ranges.iter().any(|r| r.is_empty()) {
+                continue;
+            }
+            let mut idx: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+            loop {
+                let mut map: HashMap<&str, GArg> = HashMap::with_capacity(k);
+                for (v, &i) in self.external.iter().zip(&idx) {
+                    map.insert(v.as_str(), self.m[i]);
+                }
+                let inst = ctx.ground_matrix(&self.matrix, &map)?;
+                psi_new = ctx.arena.and(psi_new, inst);
+                new_mappings += 1;
+                let mut pos = 0;
+                while pos < k {
+                    idx[pos] += 1;
+                    if idx[pos] < ranges[pos].end {
+                        break;
+                    }
+                    idx[pos] = ranges[pos].start;
+                    pos += 1;
+                }
+                if pos == k {
+                    break;
+                }
+            }
+        }
+        self.formula = self.arena.and(self.formula, psi_new);
+        self.stats.m_size = msize;
+        self.stats.mappings = msize.pow(k as u32).max(1);
+        self.stats.letters = self.arena.atom_count();
+        self.stats.formula_tree_size = self.arena.tree_size(self.formula);
+        self.stats.formula_dag_size = self.arena.dag_size(self.formula);
+        Ok(DeltaGround {
+            psi_new,
+            new_mappings,
+        })
     }
 
     /// The grounding mode used.
@@ -644,7 +753,18 @@ impl Grounding {
 
     /// Looks up the letter for a ground predicate fact, if it exists.
     pub fn pred_letter_id(&self, p: PredId, args: &[GArg]) -> Option<AtomId> {
-        self.pred_letters.get(&(p, args.to_vec())).copied()
+        self.letters.get(&LetterKey::Pred(p, args.to_vec()))
+    }
+
+    /// Looks up the letter for a ground equality, if it exists (full
+    /// mode; folded groundings constant-fold equalities away).
+    pub fn eq_letter_id(&self, a: GArg, b: GArg) -> Option<AtomId> {
+        self.letters.get(&LetterKey::Eq(a, b))
+    }
+
+    /// Number of interned propositional letters.
+    pub fn letter_count(&self) -> usize {
+        self.letters.len()
     }
 
     /// Decodes a propositional state back into a database state over the
@@ -653,14 +773,17 @@ impl Grounding {
     /// are ignored (they are false in the canonical extension).
     pub fn prop_to_state(&self, w: &PropState) -> State {
         let mut s = State::empty(self.schema.clone());
-        for (&(p, ref args), &atom) in &self.pred_letters {
+        for (key, atom) in self.letters.iter() {
+            let LetterKey::Pred(p, args) = key else {
+                continue;
+            };
             if !w.get(atom) {
                 continue;
             }
             let vals: Option<Vec<Value>> =
                 args.iter().map(|&a| garg_value(a, &self.consts)).collect();
             if let Some(tuple) = vals {
-                let _ = s.insert(p, tuple);
+                let _ = s.insert(*p, tuple);
             }
         }
         s
@@ -778,12 +901,10 @@ mod tests {
         let phi = parse(&sc, "forall x. G (Sub(x) -> X !Sub(x))").unwrap();
         let g = ground(&h, &phi, GroundMode::Full).unwrap();
         // (1=1) true, (1=z1) false in w0.
-        let eq11 = g.eq_letters.get(&(GArg::Rel(1), GArg::Rel(1)));
-        if let Some(&a) = eq11 {
+        if let Some(a) = g.eq_letter_id(GArg::Rel(1), GArg::Rel(1)) {
             assert!(g.trace[0].get(a));
         }
-        let eq1z = g.eq_letters.get(&(GArg::Rel(1), GArg::Fresh(0)));
-        if let Some(&a) = eq1z {
+        if let Some(a) = g.eq_letter_id(GArg::Rel(1), GArg::Fresh(0)) {
             assert!(!g.trace[0].get(a));
         }
     }

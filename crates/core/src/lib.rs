@@ -18,28 +18,42 @@
 //!    (Lemma 4.2, implemented in `ticc-ptl`), in time
 //!    `O(t·(|φ|·|R_D|)^max(k,l)) + 2^O((|φ|·|R_D|)^max(k,l))`.
 //!
-//! On top of the decision procedure:
-//! * [`monitor`] — an online incremental integrity monitor (progress one
-//!   propositional state per update on the fast path; re-ground when new
-//!   relevant elements appear);
+//! On top of the decision procedure sits one shared persistent layer:
+//! * [`engine`] — the incremental [`Engine`]: per-constraint grounding
+//!   contexts with residue progression, memoised satisfiability, and
+//!   **delta re-grounding** (when `R_D` grows by Δ, only instantiations
+//!   mentioning Δ are ground and replayed through the stored trace —
+//!   `O(t·|Δ-part|)` instead of `O(t·|φ_D|)`);
+//! * [`obs`] — the observability spine: [`EngineStats`] counters,
+//!   gauges, and timers, rendered by the shell's `:stats` command.
+//!
+//! Its consumers:
+//! * [`monitor`] — the online integrity monitor, a thin [`Engine`]
+//!   facade;
 //! * [`trigger`] — condition–action triggers via the paper's duality:
 //!   *"if C then A" fires for θ iff `¬Cθ` is **not** potentially
 //!   satisfied*;
+//! * [`extension`] — one-shot potential-satisfaction checks
+//!   (Theorem 4.2) through the engine's `check_once` path;
 //! * [`diagnostics`] — earliest-violation search;
 //! * [`counter`] — the binary-counter constraint family realising the
 //!   exponential lower-bound shape argued in Section 6.
 
 pub mod counter;
 pub mod diagnostics;
+pub mod engine;
 pub mod explain;
 pub mod extension;
 pub mod ground;
 pub mod monitor;
+pub mod obs;
 pub mod past;
 pub mod trigger;
 
+pub use engine::{Engine, GroundingContext, Notion, Regrounding};
 pub use explain::explain;
 pub use extension::{check_potential_satisfaction, CheckOptions, CheckOutcome, CheckStats};
-pub use ground::{ground, GroundError, GroundMode, GroundStats, Grounding};
-pub use monitor::{ConstraintId, Monitor, MonitorEvent, Status};
+pub use ground::{ground, GroundError, GroundMode, GroundStats, Grounding, LetterKey};
+pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
+pub use obs::EngineStats;
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

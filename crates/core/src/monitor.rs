@@ -1,4 +1,5 @@
-//! Online incremental integrity monitor.
+//! Online incremental integrity monitor — a thin facade over the
+//! shared [`Engine`](crate::engine::Engine).
 //!
 //! The intended deployment of the paper's method: constraints are
 //! registered once, and after every update (transaction) the monitor
@@ -7,126 +8,32 @@
 //! weaker notions implemented by Lipeck & Saake and Sistla & Wolfson
 //! (Section 5).
 //!
-//! Incrementality: the grounding of Theorem 4.1 depends on the history
-//! only through `R_D` and `w_D`. As long as an update introduces no new
-//! relevant element, the existing grounding is reusable — the new state
-//! maps to one propositional state, the constraint's *residue* formula
-//! is progressed through it (`O(|φ_D|)`), and satisfiability of the
-//! residue is decided (with memoisation: residues stabilise quickly in
-//! practice, so most appends hit the cache). When a new element appears,
-//! the constraint is re-grounded over the enlarged `M` and the stored
-//! history is replayed.
+//! Incrementality lives in the engine layer: appends that introduce no
+//! new relevant element reuse the existing grounding (encode one
+//! state, progress the residue, memoised satisfiability); appends that
+//! do grow `R_D` are handled by delta re-grounding — or a full rebuild
+//! under [`Regrounding::Full`](crate::engine::Regrounding) or the full
+//! (paper-literal) grounding construction. The monitor only translates
+//! the engine's counters into its historical [`MonitorStats`] shape.
 
+use crate::engine::Engine;
 use crate::extension::CheckOptions;
-use crate::ground::{ground, GroundError, Grounding};
-use std::collections::HashMap;
+use crate::obs::EngineStats;
 use std::sync::Arc;
 use ticc_fotl::Formula;
-use ticc_ptl::arena::FormulaId;
-use ticc_ptl::progression::progress;
-use ticc_ptl::sat::{is_satisfiable_with, SatError};
-use ticc_tdb::{History, Schema, TdbError, Transaction};
+use ticc_tdb::{History, Schema, Transaction};
 
-/// Handle to a registered constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ConstraintId(pub usize);
+pub use crate::engine::{ConstraintId, MonitorError, MonitorEvent, Notion, Status};
 
-/// Which notion of violation the monitor implements.
-///
-/// Section 5 of the paper contrasts *potential constraint satisfaction*
-/// (violations detected at the earliest possible time — requires the
-/// phase-2 satisfiability test after every update) with the **weaker
-/// notion** that Lipeck & Saake's and Sistla & Wolfson's methods
-/// implement by necessity: violations are always detected eventually,
-/// but possibly later. The weaker notion corresponds to running
-/// progression only and reporting when the residue collapses to `⊥` —
-/// much cheaper per update, but a constraint that has already become
-/// unsatisfiable can linger undetected until enough further states
-/// arrive to fold the residue away. Experiment E11 measures both the
-/// cost gap and the detection latency gap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Notion {
-    /// Potential satisfaction: progression **and** satisfiability of the
-    /// residue after every update (earliest detection; the paper's
-    /// notion).
-    #[default]
-    Potential,
-    /// Sistla–Wolfson-style: progression only; report when the residue
-    /// reaches `⊥` (detection possibly delayed).
-    BadPrefix,
-}
-
-/// Status of a constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Status {
-    /// Every prefix so far has an extension satisfying the constraint.
-    Satisfied,
-    /// No extension exists; `at` is the history length at which the
-    /// violation became unavoidable (the violating state has index
-    /// `at - 1`; `at == 0` means the constraint is unsatisfiable
-    /// outright).
-    Violated {
-        /// History length at detection.
-        at: usize,
-    },
-}
-
-/// A violation notice produced by [`Monitor::append`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MonitorEvent {
-    /// Which constraint.
-    pub constraint: ConstraintId,
-    /// Its registered name.
-    pub name: String,
-    /// History length at which the violation became unavoidable.
-    pub at: usize,
-}
-
-/// Errors from the monitor.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MonitorError {
-    /// A constraint is outside the decidable fragment.
-    Ground(GroundError),
-    /// Propositional engine failure.
-    Sat(SatError),
-    /// Update application failure.
-    Tdb(TdbError),
-}
-
-impl std::fmt::Display for MonitorError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MonitorError::Ground(e) => write!(f, "{e}"),
-            MonitorError::Sat(e) => write!(f, "{e}"),
-            MonitorError::Tdb(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for MonitorError {}
-
-impl From<GroundError> for MonitorError {
-    fn from(e: GroundError) -> Self {
-        MonitorError::Ground(e)
-    }
-}
-impl From<SatError> for MonitorError {
-    fn from(e: SatError) -> Self {
-        MonitorError::Sat(e)
-    }
-}
-impl From<TdbError> for MonitorError {
-    fn from(e: TdbError) -> Self {
-        MonitorError::Tdb(e)
-    }
-}
-
-/// Cumulative monitor statistics.
+/// Cumulative monitor statistics (the engine's counters folded into
+/// the monitor's historical shape; see [`Monitor::engine_stats`] for
+/// the full spine).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorStats {
     /// Appends served by the incremental fast path.
     pub fast_appends: usize,
-    /// Re-groundings caused by new relevant elements.
+    /// Re-groundings caused by new relevant elements (full rebuilds
+    /// and delta re-grounds combined).
     pub regrounds: usize,
     /// Phase-2 satisfiability runs.
     pub sat_checks: usize,
@@ -134,60 +41,53 @@ pub struct MonitorStats {
     pub sat_cache_hits: usize,
 }
 
-struct Runtime {
-    grounding: Grounding,
-    residue: FormulaId,
-    sat_cache: HashMap<FormulaId, bool>,
-}
-
-struct Entry {
-    name: String,
-    phi: Formula,
-    status: Status,
-    runtime: Runtime,
-}
-
-/// The online monitor. Owns the history and the registered constraints.
+/// The online monitor. Owns the history and the registered constraints
+/// (through the engine).
 pub struct Monitor {
-    history: History,
-    constraints: Vec<Entry>,
-    opts: CheckOptions,
-    notion: Notion,
-    stats: MonitorStats,
+    engine: Engine,
 }
 
 impl Monitor {
     /// A monitor over an empty history.
     pub fn new(schema: Arc<Schema>, opts: CheckOptions) -> Self {
-        Self::with_history(History::new(schema), opts)
+        Self {
+            engine: Engine::new(schema, opts),
+        }
     }
 
     /// A monitor taking over an existing history.
     pub fn with_history(history: History, opts: CheckOptions) -> Self {
         Self {
-            history,
-            constraints: Vec::new(),
-            opts,
-            notion: Notion::default(),
-            stats: MonitorStats::default(),
+            engine: Engine::with_history(history, opts),
         }
     }
 
     /// Selects the violation notion (see [`Notion`]). Applies to
     /// constraints registered and updates applied afterwards.
     pub fn with_notion(mut self, notion: Notion) -> Self {
-        self.notion = notion;
+        self.engine.set_notion(notion);
         self
     }
 
     /// The current history.
     pub fn history(&self) -> &History {
-        &self.history
+        self.engine.history()
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics in the monitor's historical shape.
     pub fn stats(&self) -> MonitorStats {
-        self.stats
+        let s = self.engine.stats();
+        MonitorStats {
+            fast_appends: s.fast_appends as usize,
+            regrounds: (s.regrounds + s.delta_grounds) as usize,
+            sat_checks: s.sat_checks as usize,
+            sat_cache_hits: s.sat_cache_hits as usize,
+        }
+    }
+
+    /// The full observability spine (counters, timers, gauges).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// Registers a universal safety constraint and checks it against the
@@ -197,143 +97,30 @@ impl Monitor {
         name: impl Into<String>,
         phi: Formula,
     ) -> Result<ConstraintId, MonitorError> {
-        let name = name.into();
-        let id = ConstraintId(self.constraints.len());
-        let mut runtime = self.build_runtime(&phi)?;
-        let len = self.history.len();
-        let status = decide(self.notion, &mut self.stats, &self.opts, &mut runtime, len)?;
-        self.constraints.push(Entry {
-            name,
-            phi,
-            status,
-            runtime,
-        });
-        Ok(id)
+        self.engine.add_constraint(name, phi)
     }
 
     /// Status of a constraint.
     pub fn status(&self, id: ConstraintId) -> Status {
-        self.constraints[id.0].status
+        self.engine.status(id)
     }
 
     /// Name of a constraint.
     pub fn name(&self, id: ConstraintId) -> &str {
-        &self.constraints[id.0].name
+        self.engine.name(id)
     }
 
     /// Ids of all registered constraints.
     pub fn constraints(&self) -> impl Iterator<Item = ConstraintId> {
-        (0..self.constraints.len()).map(ConstraintId)
+        self.engine.constraints()
     }
 
     /// Applies a transaction, producing the next state, and re-checks
     /// every live constraint. Returns the violations that became
     /// unavoidable with this update.
     pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, MonitorError> {
-        self.history.apply(tx)?;
-        let new_state_idx = self.history.len() - 1;
-        let mut events = Vec::new();
-        for i in 0..self.constraints.len() {
-            if matches!(self.constraints[i].status, Status::Violated { .. }) {
-                continue; // safety: violations are permanent
-            }
-            let fast = {
-                let entry = &mut self.constraints[i];
-                let state = self.history.state(new_state_idx);
-                match entry.runtime.grounding.state_to_prop(state) {
-                    Some(w) => {
-                        let rt = &mut entry.runtime;
-                        let progressed = progress(&mut rt.grounding.arena, rt.residue, &w)
-                            .map_err(|_| MonitorError::Sat(SatError::Past))?;
-                        // Keep residues compact (□□/◇◇ and duplicate
-                        // boxes otherwise accumulate across appends).
-                        rt.residue =
-                            ticc_ptl::simplify::simplify(&mut rt.grounding.arena, progressed);
-                        true
-                    }
-                    None => false,
-                }
-            };
-            if fast {
-                self.stats.fast_appends += 1;
-            } else {
-                // New relevant element: re-ground over the full history.
-                self.stats.regrounds += 1;
-                let phi = self.constraints[i].phi.clone();
-                let runtime = self.build_runtime(&phi)?;
-                self.constraints[i].runtime = runtime;
-            }
-            let len = self.history.len();
-            let status = decide(
-                self.notion,
-                &mut self.stats,
-                &self.opts,
-                &mut self.constraints[i].runtime,
-                len,
-            )?;
-            if let Status::Violated { at } = status {
-                self.constraints[i].status = status;
-                events.push(MonitorEvent {
-                    constraint: ConstraintId(i),
-                    name: self.constraints[i].name.clone(),
-                    at,
-                });
-            }
-        }
-        Ok(events)
+        self.engine.append(tx)
     }
-
-    /// Grounds `phi` over the current history and progresses through the
-    /// whole stored prefix.
-    fn build_runtime(&mut self, phi: &Formula) -> Result<Runtime, MonitorError> {
-        let mut grounding = ground(&self.history, phi, self.opts.mode)?;
-        let trace = std::mem::take(&mut grounding.trace);
-        let progressed =
-            ticc_ptl::progression::progress_trace(&mut grounding.arena, grounding.formula, &trace)
-                .map_err(|_| MonitorError::Sat(SatError::Past))?;
-        let residue = ticc_ptl::simplify::simplify(&mut grounding.arena, progressed);
-        grounding.trace = trace;
-        Ok(Runtime {
-            grounding,
-            residue,
-            sat_cache: HashMap::new(),
-        })
-    }
-
-}
-
-/// Phase 2 on the residue, with memoisation. Under [`Notion::BadPrefix`]
-/// phase 2 is skipped entirely: only a residue of `⊥` counts as a
-/// violation.
-fn decide(
-    notion: Notion,
-    stats: &mut MonitorStats,
-    opts: &CheckOptions,
-    rt: &mut Runtime,
-    history_len: usize,
-) -> Result<Status, MonitorError> {
-    if notion == Notion::BadPrefix {
-        let fls = rt.grounding.arena.fls();
-        return Ok(if rt.residue == fls {
-            Status::Violated { at: history_len }
-        } else {
-            Status::Satisfied
-        });
-    }
-    let sat = if let Some(&cached) = rt.sat_cache.get(&rt.residue) {
-        stats.sat_cache_hits += 1;
-        cached
-    } else {
-        stats.sat_checks += 1;
-        let r = is_satisfiable_with(&mut rt.grounding.arena, rt.residue, opts.solver)?;
-        rt.sat_cache.insert(rt.residue, r.satisfiable);
-        r.satisfiable
-    };
-    Ok(if sat {
-        Status::Satisfied
-    } else {
-        Status::Violated { at: history_len }
-    })
 }
 
 #[cfg(test)]
@@ -470,6 +257,22 @@ mod tests {
             Err(MonitorError::Ground(_))
         ));
     }
+
+    #[test]
+    fn engine_stats_exposed_through_facade() {
+        let sc = order_schema();
+        let mut m = Monitor::new(sc.clone(), CheckOptions::default());
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        m.add_constraint("once-only", phi).unwrap();
+        m.append(&sub_tx(&sc, &[1])).unwrap();
+        let es = m.engine_stats();
+        assert_eq!(es.appends, 1);
+        assert_eq!(es.grounds, 1);
+        assert_eq!(es.regrounds + es.delta_grounds, 1);
+        // The facade's stats are a projection of the spine.
+        let ms = m.stats();
+        assert_eq!(ms.regrounds as u64, es.regrounds + es.delta_grounds);
+    }
 }
 
 #[cfg(test)]
@@ -514,7 +317,9 @@ mod notion_tests {
 
         // One more (empty) state folds the residue to ⊥: the weak
         // notion catches up, one instant late.
-        let weak_ev2 = weak.append(&Transaction::new().delete(sub, vec![1])).unwrap();
+        let weak_ev2 = weak
+            .append(&Transaction::new().delete(sub, vec![1]))
+            .unwrap();
         assert_eq!(weak_ev2.len(), 1);
         assert_eq!(weak.status(w_id), Status::Violated { at: 2 });
     }
@@ -525,8 +330,7 @@ mod notion_tests {
         let phi = parse(&sc, "G !Sub(3)").unwrap();
         let sub = sc.pred("Sub").unwrap();
         for notion in [Notion::Potential, Notion::BadPrefix] {
-            let mut m =
-                Monitor::new(sc.clone(), CheckOptions::default()).with_notion(notion);
+            let mut m = Monitor::new(sc.clone(), CheckOptions::default()).with_notion(notion);
             let id = m.add_constraint("never3", phi.clone()).unwrap();
             let ev = m.append(&Transaction::new().insert(sub, vec![3])).unwrap();
             assert_eq!(ev.len(), 1, "{notion:?}");

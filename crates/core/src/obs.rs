@@ -1,0 +1,146 @@
+//! Observability spine: counters and timers for the incremental engine.
+//!
+//! Every grounding, progression, and satisfiability decision in the
+//! [`engine`](crate::engine) layer increments monotonic counters and
+//! accumulates wall-clock time here, so the shell's `:stats` command
+//! and the bench harness can read one machine-readable snapshot
+//! ([`EngineStats`]) instead of scraping logs. No external
+//! dependencies — plain `u64` counters and [`std::time`] durations.
+
+use std::time::{Duration, Instant};
+
+/// A machine-readable snapshot of the engine's counters, timers, and
+/// size gauges. Counters are monotonic over the engine's lifetime;
+/// gauges reflect the moment the snapshot was taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Transactions applied (monitor appends / engine steps).
+    pub appends: u64,
+    /// Appends served by the incremental fast path (no new relevant
+    /// element: encode one state, progress residues).
+    pub fast_appends: u64,
+    /// Initial groundings (constraint registration, one-shot checks).
+    pub grounds: u64,
+    /// Full re-groundings (grounding rebuilt from scratch over the
+    /// whole history).
+    pub regrounds: u64,
+    /// Incremental (delta) re-groundings: only the instantiations
+    /// mentioning new relevant elements were ground and replayed.
+    pub delta_grounds: u64,
+    /// Ground instantiations added by delta re-groundings.
+    pub new_conjuncts: u64,
+    /// Conjunct blocks replayed through a stored trace by delta
+    /// re-groundings — stays `O(|Δ-part|)`, while a full rebuild
+    /// re-derives all `|M|^k` instantiations.
+    pub replayed_conjuncts: u64,
+    /// Single-state progression steps.
+    pub progress_steps: u64,
+    /// Phase-2 satisfiability runs.
+    pub sat_checks: u64,
+    /// Satisfiability answers served from the residue cache.
+    pub sat_cache_hits: u64,
+    /// Gauge: interned propositional letters across live groundings.
+    pub letters: u64,
+    /// Gauge: formula-arena DAG nodes across live groundings.
+    pub arena_nodes: u64,
+    /// Gauge: ground instantiations (`|M|^k`) across live groundings.
+    pub mappings: u64,
+    /// Wall-clock spent grounding (initial, full, and delta).
+    pub ground_time: Duration,
+    /// Wall-clock spent in progression (trace replay and per-append).
+    pub progress_time: Duration,
+    /// Wall-clock spent in phase-2 satisfiability.
+    pub sat_time: Duration,
+}
+
+impl EngineStats {
+    /// A human-readable multi-line rendering (the `:stats` shell view).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("engine counters:\n");
+        s.push_str(&format!("  appends             {}\n", self.appends));
+        s.push_str(&format!("  fast appends        {}\n", self.fast_appends));
+        s.push_str(&format!("  grounds             {}\n", self.grounds));
+        s.push_str(&format!("  full regrounds      {}\n", self.regrounds));
+        s.push_str(&format!("  delta regrounds     {}\n", self.delta_grounds));
+        s.push_str(&format!("  new conjuncts       {}\n", self.new_conjuncts));
+        s.push_str(&format!(
+            "  replayed conjuncts  {}\n",
+            self.replayed_conjuncts
+        ));
+        s.push_str(&format!("  progress steps      {}\n", self.progress_steps));
+        s.push_str(&format!("  sat checks          {}\n", self.sat_checks));
+        s.push_str(&format!("  sat cache hits      {}\n", self.sat_cache_hits));
+        s.push_str("engine gauges:\n");
+        s.push_str(&format!("  letters             {}\n", self.letters));
+        s.push_str(&format!("  arena nodes         {}\n", self.arena_nodes));
+        s.push_str(&format!("  mappings            {}\n", self.mappings));
+        s.push_str("engine timers:\n");
+        s.push_str(&format!("  ground time         {:?}\n", self.ground_time));
+        s.push_str(&format!("  progress time       {:?}\n", self.progress_time));
+        s.push_str(&format!("  sat time            {:?}", self.sat_time));
+        s
+    }
+}
+
+/// A running wall-clock timer; [`Timer::finish`] adds the elapsed time
+/// to an accumulator on the stats struct.
+#[derive(Debug)]
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Timer(Instant::now())
+    }
+
+    /// Stops the clock, adding the elapsed time to `acc`.
+    pub fn finish(self, acc: &mut Duration) {
+        *acc += self.0.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = EngineStats::default();
+        assert_eq!(s.appends, 0);
+        assert_eq!(s.ground_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn render_mentions_every_counter() {
+        let s = EngineStats {
+            appends: 3,
+            delta_grounds: 2,
+            replayed_conjuncts: 5,
+            ..Default::default()
+        };
+        let r = s.render();
+        for needle in [
+            "appends",
+            "delta regrounds",
+            "replayed conjuncts",
+            "sat cache hits",
+            "ground time",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in render");
+        }
+        assert!(r.contains("  appends             3"));
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let mut acc = Duration::ZERO;
+        let t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        t.finish(&mut acc);
+        assert!(acc >= Duration::from_millis(2));
+        let t2 = Timer::start();
+        t2.finish(&mut acc);
+        assert!(acc >= Duration::from_millis(2));
+    }
+}

@@ -23,10 +23,10 @@
 //! (`ticc_fotl::eval`) in the tests.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use ticc_fotl::classify::external_prefix;
 use ticc_fotl::{Atom, Formula, Term};
 use ticc_tdb::{Schema, State, Value};
-use std::sync::Arc;
 
 /// A ground element for substitution: seen value or symbolic fresh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -133,15 +133,25 @@ impl PastMonitor {
                     Formula::Not(inner) => inner.as_ref().clone(),
                     other => other.clone().not(),
                 },
-                _ => return Err(PastError::UnsupportedShape("expected □ψ after the ∀ prefix")),
+                _ => {
+                    return Err(PastError::UnsupportedShape(
+                        "expected □ψ after the ∀ prefix",
+                    ))
+                }
             },
-            _ => return Err(PastError::UnsupportedShape("expected □ψ after the ∀ prefix")),
+            _ => {
+                return Err(PastError::UnsupportedShape(
+                    "expected □ψ after the ∀ prefix",
+                ))
+            }
         };
         if !matrix.is_past() {
             return Err(PastError::UnsupportedShape("matrix must be a past formula"));
         }
         if !matrix.is_quantifier_free() {
-            return Err(PastError::UnsupportedShape("matrix must be quantifier-free"));
+            return Err(PastError::UnsupportedShape(
+                "matrix must be quantifier-free",
+            ));
         }
         if matrix.uses_extended_vocabulary() {
             return Err(PastError::UnsupportedShape(
@@ -248,9 +258,9 @@ impl PastMonitor {
                     _ => None,
                 })
                 .collect();
-            let spare = (0..k).find(|i| !used.contains(i)).expect(
-                "a vector of length k containing e uses at most k-1 other fresh markers",
-            );
+            let spare = (0..k)
+                .find(|i| !used.contains(i))
+                .expect("a vector of length k containing e uses at most k-1 other fresh markers");
             let pattern: Vec<GElem> = sub
                 .iter()
                 .map(|&g| {
@@ -287,14 +297,11 @@ impl PastMonitor {
                 Formula::Implies(a, b) => {
                     !cur[self.index.index[a.as_ref()]] || cur[self.index.index[b.as_ref()]]
                 }
-                Formula::Prev(g) => {
-                    prev.is_some_and(|p| p[self.index.index[g.as_ref()]])
-                }
+                Formula::Prev(g) => prev.is_some_and(|p| p[self.index.index[g.as_ref()]]),
                 Formula::Since(a, b) => {
                     // a S b ≡ b ∨ (a ∧ ●(a S b))
                     cur[self.index.index[b.as_ref()]]
-                        || (cur[self.index.index[a.as_ref()]]
-                            && prev.is_some_and(|p| p[i]))
+                        || (cur[self.index.index[a.as_ref()]] && prev.is_some_and(|p| p[i]))
                 }
                 other => unreachable!("non-past subformula {other:?} (checked in new)"),
             };
@@ -425,12 +432,11 @@ mod tests {
 
     #[test]
     fn agrees_with_reference_evaluator_on_random_histories() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use ticc_tdb::rng::Rng;
         let sc = order_schema();
         let phi = parse(&sc, AUDIT).unwrap();
         for seed in 0..20u64 {
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut h = History::new(sc.clone());
             let mut m = PastMonitor::new(sc.clone(), vec![], &phi).unwrap();
             let mut reference_violation: Option<usize> = None;
@@ -496,10 +502,7 @@ mod tests {
         let sc = order_schema();
         let phi = parse(&sc, "forall x. G (Fill(x) -> ((!Sub(x)) S Sub(x)))").unwrap();
         let mut m = PastMonitor::new(sc.clone(), vec![], &phi).unwrap();
-        let seq = states(
-            &[(&[1], &[]), (&[], &[1]), (&[1], &[]), (&[], &[1])],
-            &sc,
-        );
+        let seq = states(&[(&[1], &[]), (&[], &[1]), (&[1], &[]), (&[], &[1])], &sc);
         for s in seq {
             assert_eq!(m.append(&s), PastStatus::Satisfied);
         }
@@ -532,9 +535,9 @@ mod tests {
     fn rejects_unsupported_shapes() {
         let sc = order_schema();
         for src in [
-            "forall x. G F Sub(x)",              // future matrix
-            "forall x. F Sub(x)",                // not □ψ
-            "forall x. G (exists y. O Sub(y))",  // quantified matrix
+            "forall x. G F Sub(x)",             // future matrix
+            "forall x. F Sub(x)",               // not □ψ
+            "forall x. G (exists y. O Sub(y))", // quantified matrix
         ] {
             let phi = parse(&sc, src).unwrap();
             assert!(

@@ -14,8 +14,10 @@
 //! trigger firing for one would fire for infinitely many, which we treat
 //! as a modelling error rather than a feature).
 
-use crate::extension::{check_potential_satisfaction, CheckError, CheckOptions};
+use crate::engine::{check_once, CheckOnceError};
+use crate::extension::{CheckError, CheckOptions};
 use crate::ground::GroundError;
+use crate::obs::EngineStats;
 use std::collections::BTreeMap;
 use ticc_fotl::classify::{classify, FormulaClass};
 use ticc_fotl::subst::{free_vars, substitute, Subst};
@@ -100,6 +102,7 @@ impl From<CheckError> for TriggerError {
 pub struct TriggerEngine {
     triggers: Vec<Trigger>,
     opts: CheckOptions,
+    stats: EngineStats,
 }
 
 impl TriggerEngine {
@@ -108,7 +111,13 @@ impl TriggerEngine {
         Self {
             triggers: Vec::new(),
             opts,
+            stats: EngineStats::default(),
         }
+    }
+
+    /// Cumulative observability counters across all evaluations.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// Registers a trigger. The condition must be future-only and
@@ -145,7 +154,7 @@ impl TriggerEngine {
     /// Evaluates all triggers at the current instant: for each trigger
     /// and each substitution `θ : free(C) → R_D`, fires iff `¬Cθ` is not
     /// potentially satisfied.
-    pub fn evaluate(&self, history: &History) -> Result<Vec<FiredTrigger>, TriggerError> {
+    pub fn evaluate(&mut self, history: &History) -> Result<Vec<FiredTrigger>, TriggerError> {
         let relevant: Vec<Value> = history.relevant().into_iter().collect();
         let mut fired = Vec::new();
         for (ti, trigger) in self.triggers.iter().enumerate() {
@@ -158,14 +167,23 @@ impl TriggerEngine {
                     .collect();
                 let ground_cond = substitute(&trigger.condition, &theta);
                 let neg = ground_cond.not();
-                let outcome = match check_potential_satisfaction(history, &neg, &self.opts) {
-                    Ok(o) => o,
-                    Err(CheckError::Ground(GroundError::NotUniversal(c))) => {
+                let shot = match check_once(history, &neg, &self.opts) {
+                    Ok(s) => s,
+                    Err(CheckOnceError::Ground(GroundError::NotUniversal(c))) => {
                         return Err(TriggerError::UnsupportedCondition(format!("{c:?}")))
                     }
-                    Err(e) => return Err(e.into()),
+                    Err(CheckOnceError::Ground(g)) => {
+                        return Err(TriggerError::Check(CheckError::Ground(g)))
+                    }
+                    Err(CheckOnceError::Sat(s)) => {
+                        return Err(TriggerError::Check(CheckError::Sat(s)))
+                    }
                 };
-                if !outcome.potentially_satisfied {
+                self.stats.grounds += 1;
+                self.stats.sat_checks += 1;
+                self.stats.ground_time += shot.ground_time;
+                self.stats.sat_time += shot.decide_time;
+                if !shot.result.satisfiable {
                     fired.push(FiredTrigger {
                         trigger: ti,
                         name: trigger.name.clone(),

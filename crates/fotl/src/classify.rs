@@ -107,7 +107,9 @@ fn go_prenex(f: &Formula, counter: &mut usize) -> (Vec<(Quant, String)>, Formula
             };
             let fresh = format!("$p{}", *counter);
             *counter += 1;
-            let theta: Subst = [(v.clone(), Term::Var(fresh.clone()))].into_iter().collect();
+            let theta: Subst = [(v.clone(), Term::Var(fresh.clone()))]
+                .into_iter()
+                .collect();
             let renamed = substitute(body, &theta);
             let (mut pfx, m) = go_prenex(&renamed, counter);
             pfx.insert(0, (q, fresh));
@@ -332,11 +334,12 @@ mod tests {
         // ∀x □(Sub(x) ⇒ ○□¬Sub(x))
         let once_only = Formula::forall(
             "x",
-            sub("x")
-                .implies(sub("x").not().always().next())
-                .always(),
+            sub("x").implies(sub("x").not().always().next()).always(),
         );
-        assert_eq!(classify(&once_only), FormulaClass::Universal { external: 1 });
+        assert_eq!(
+            classify(&once_only),
+            FormulaClass::Universal { external: 1 }
+        );
 
         // The FIFO constraint (two external ∀, quantifier-free matrix).
         let fifo_body = Formula::neq(Term::var("x"), Term::var("y"))

@@ -106,10 +106,7 @@ impl Formula {
     }
 
     /// `∀ x1 … xk . body`.
-    pub fn forall_many<S: Into<String>>(
-        vars: impl IntoIterator<Item = S>,
-        body: Formula,
-    ) -> Self {
+    pub fn forall_many<S: Into<String>>(vars: impl IntoIterator<Item = S>, body: Formula) -> Self {
         let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
         vars.into_iter()
             .rev()
@@ -257,10 +254,7 @@ impl Formula {
     pub fn uses_extended_vocabulary(&self) -> bool {
         match self {
             Formula::Atom(a) => a.is_extended(),
-            _ => self
-                .children()
-                .iter()
-                .any(|c| c.uses_extended_vocabulary()),
+            _ => self.children().iter().any(|c| c.uses_extended_vocabulary()),
         }
     }
 
@@ -316,10 +310,7 @@ mod tests {
         // ∀x □(Sub(x) ⇒ ○□¬Sub(x))
         let sc = Schema::builder().pred("Sub", 1).build();
         let sub = sub_x(&sc);
-        let f = Formula::forall(
-            "x",
-            sub.clone().implies(sub.not().always().next()).always(),
-        );
+        let f = Formula::forall("x", sub.clone().implies(sub.not().always().next()).always());
         assert!(f.is_future());
         assert!(!f.is_past());
         assert!(!f.is_pure_first_order());
@@ -353,10 +344,7 @@ mod tests {
     fn forall_many_order() {
         let body = Formula::eq(Term::var("x"), Term::var("y"));
         let f = Formula::forall_many(["x", "y"], body.clone());
-        assert_eq!(
-            f,
-            Formula::forall("x", Formula::forall("y", body))
-        );
+        assert_eq!(f, Formula::forall("x", Formula::forall("y", body)));
         assert_eq!(f.quantifier_depth(), 2);
     }
 

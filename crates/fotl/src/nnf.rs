@@ -62,10 +62,12 @@ fn go(f: &Formula, neg: bool) -> Formula {
 pub fn is_nnf(f: &Formula) -> bool {
     match f {
         Formula::Implies(_, _) => false,
-        Formula::Not(g) => matches!(
-            g.as_ref(),
-            Formula::Atom(_) | Formula::Until(_, _) | Formula::Since(_, _) | Formula::Prev(_)
-        ) && g.children().iter().all(|c| is_nnf(c)),
+        Formula::Not(g) => {
+            matches!(
+                g.as_ref(),
+                Formula::Atom(_) | Formula::Until(_, _) | Formula::Since(_, _) | Formula::Prev(_)
+            ) && g.children().iter().all(|c| is_nnf(c))
+        }
         _ => f.children().iter().all(|c| is_nnf(c)),
     }
 }

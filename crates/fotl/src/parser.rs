@@ -285,9 +285,9 @@ impl<'a> Parser<'a> {
             match self.bump()? {
                 Tok::Ident(v) => {
                     if self.schema.pred(&v).is_some() || self.schema.constant(&v).is_some() {
-                        return Err(self.err_here(format!(
-                            "cannot bind '{v}': it names a schema symbol"
-                        )));
+                        return Err(
+                            self.err_here(format!("cannot bind '{v}': it names a schema symbol"))
+                        );
                     }
                     vars.push(v);
                 }

@@ -252,10 +252,7 @@ mod tests {
     fn paper_constraint_renders_readably() {
         let sc = schema();
         let p = |v: &str| Formula::pred(sc.pred("Sub").unwrap(), vec![Term::var(v)]);
-        let f = Formula::forall(
-            "x",
-            p("x").implies(p("x").not().always().next()).always(),
-        );
+        let f = Formula::forall("x", p("x").implies(p("x").not().always().next()).always());
         assert_eq!(
             format!("{}", formula(&sc, &f)),
             "forall x. G (Sub(x) -> X G !Sub(x))"
@@ -267,7 +264,10 @@ mod tests {
         let sc = schema();
         let p = |v: &str| Formula::pred(sc.pred("Sub").unwrap(), vec![Term::var(v)]);
         let f = p("x").or(p("y")).and(p("z"));
-        assert_eq!(format!("{}", formula(&sc, &f)), "(Sub(x) | Sub(y)) & Sub(z)");
+        assert_eq!(
+            format!("{}", formula(&sc, &f)),
+            "(Sub(x) | Sub(y)) & Sub(z)"
+        );
         let u = p("x").until(p("y")).not();
         assert_eq!(format!("{}", formula(&sc, &u)), "!(Sub(x) U Sub(y))");
     }

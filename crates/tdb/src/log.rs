@@ -91,7 +91,7 @@ impl LogHistory {
         // unless it falls on the checkpoint grid.
         if t > 0 {
             let prev = t - 1;
-            if prev % self.checkpoint_every != 0 {
+            if !prev.is_multiple_of(self.checkpoint_every) {
                 self.checkpoints.remove(&prev);
             }
         }
@@ -124,7 +124,8 @@ impl LogHistory {
             .map(|(&c, s)| (c + 1, s.clone()))
             .unwrap_or_else(|| (0, State::empty(self.schema.clone())));
         for tx in &self.log[start..=t] {
-            tx.apply_to(&mut state).expect("log entries were validated on apply");
+            tx.apply_to(&mut state)
+                .expect("log entries were validated on apply");
         }
         state
     }

@@ -152,7 +152,14 @@ mod tests {
         let mut s = State::empty(sc.clone());
         let p = sc.pred("P").unwrap();
         let err = s.insert(p, vec![1, 2]).unwrap_err();
-        assert!(matches!(err, TdbError::ArityMismatch { expected: 1, got: 2, .. }));
+        assert!(matches!(
+            err,
+            TdbError::ArityMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

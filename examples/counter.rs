@@ -22,12 +22,9 @@ fn main() {
     for bits in 1..=7 {
         let inst = counter_instance(bits, true);
         let t0 = Instant::now();
-        let out = check_potential_satisfaction(
-            &inst.history,
-            &inst.constraint,
-            &CheckOptions::default(),
-        )
-        .unwrap();
+        let out =
+            check_potential_satisfaction(&inst.history, &inst.constraint, &CheckOptions::default())
+                .unwrap();
         let dt = t0.elapsed();
         println!(
             "{:>4} {:>10} {:>12} {:>12} {:>10.2?}",
@@ -46,12 +43,9 @@ fn main() {
     // Without the all-ones prohibition the same rules are satisfiable:
     // the witness is the counter run itself.
     let inst = counter_instance(3, false);
-    let out = check_potential_satisfaction(
-        &inst.history,
-        &inst.constraint,
-        &CheckOptions::default(),
-    )
-    .unwrap();
+    let out =
+        check_potential_satisfaction(&inst.history, &inst.constraint, &CheckOptions::default())
+            .unwrap();
     println!(
         "\n3-bit counter without the all-ones prohibition: potentially satisfied = {}",
         out.potentially_satisfied

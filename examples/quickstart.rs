@@ -29,11 +29,15 @@ fn main() {
         ("submit #1", Transaction::new().insert(sub, vec![1])),
         (
             "fill #1",
-            Transaction::new().delete(sub, vec![1]).insert(fill, vec![1]),
+            Transaction::new()
+                .delete(sub, vec![1])
+                .insert(fill, vec![1]),
         ),
         (
             "submit #2",
-            Transaction::new().delete(fill, vec![1]).insert(sub, vec![2]),
+            Transaction::new()
+                .delete(fill, vec![1])
+                .insert(sub, vec![2]),
         ),
         (
             "re-submit #1 (violation!)",

@@ -91,9 +91,9 @@ fn main() {
                 SemiDecision::Halted { steps, visits } => format!(
                     "halted after {steps} steps with {visits} visits (certainly NOT repeating)"
                 ),
-                SemiDecision::Undetermined { visits } => format!(
-                    "budget exhausted at {visits} visits (UNDETERMINED — the Π⁰₂ face)"
-                ),
+                SemiDecision::Undetermined { visits } => {
+                    format!("budget exhausted at {visits} visits (UNDETERMINED — the Π⁰₂ face)")
+                }
             };
             println!(
                 "  {:<8} on {:?}: {}",

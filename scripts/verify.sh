@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full local verification gate, offline-safe (no registry access needed):
+#   fmt check -> clippy (warnings are errors) -> release build -> tests.
+# Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "verify: OK"

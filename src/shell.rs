@@ -15,6 +15,7 @@
 //! insert Sub(1)                  # stage updates
 //! commit                         # apply as the next state, check everything
 //! status                         # constraint statuses
+//! stats                          # engine counters, gauges, and timers
 //! check G !Sub(9)                # ad-hoc potential-satisfaction query
 //! witness once                   # a concrete extension satisfying it
 //! history                        # the states so far
@@ -40,8 +41,8 @@ enum Phase {
     },
     /// Schema frozen; monitor live.
     Running {
-        monitor: Monitor,
-        triggers: TriggerEngine,
+        monitor: Box<Monitor>,
+        triggers: Box<TriggerEngine>,
         trigger_names: Vec<String>,
         constraint_ids: Vec<(String, ConstraintId, ticc_fotl::Formula)>,
         pending: Transaction,
@@ -90,6 +91,7 @@ impl Shell {
             "delete" => self.cmd_update(rest, false),
             "commit" => self.cmd_commit(),
             "status" => self.cmd_status(),
+            "stats" | ":stats" => self.cmd_stats(),
             "history" => self.cmd_history(),
             "check" => self.cmd_check(rest),
             "explain" => self.cmd_explain(rest),
@@ -102,8 +104,9 @@ impl Shell {
     fn ensure_running(&mut self) -> Result<&mut Phase, String> {
         if let Phase::Defining { preds, consts } = &self.phase {
             if preds.is_empty() {
-                return Err("declare at least one predicate first (schema pred <name> <arity>)"
-                    .to_owned());
+                return Err(
+                    "declare at least one predicate first (schema pred <name> <arity>)".to_owned(),
+                );
             }
             let mut b = Schema::builder();
             for (name, arity) in preds {
@@ -119,8 +122,8 @@ impl Shell {
                 history.set_constant(c, *value);
             }
             self.phase = Phase::Running {
-                monitor: Monitor::with_history(history, CheckOptions::default()),
-                triggers: TriggerEngine::new(CheckOptions::default()),
+                monitor: Box::new(Monitor::with_history(history, CheckOptions::default())),
+                triggers: Box::new(TriggerEngine::new(CheckOptions::default())),
                 trigger_names: Vec::new(),
                 constraint_ids: Vec::new(),
                 pending: Transaction::new(),
@@ -137,9 +140,7 @@ impl Shell {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         match parts.as_slice() {
             ["pred", name, arity] => {
-                let arity: usize = arity
-                    .parse()
-                    .map_err(|_| format!("bad arity '{arity}'"))?;
+                let arity: usize = arity.parse().map_err(|_| format!("bad arity '{arity}'"))?;
                 if arity == 0 {
                     return Err("arity must be at least 1".to_owned());
                 }
@@ -150,17 +151,16 @@ impl Shell {
                 Ok(format!("predicate {name}/{arity}"))
             }
             ["const", name, "=", value] => {
-                let value: Value = value
-                    .parse()
-                    .map_err(|_| format!("bad value '{value}'"))?;
+                let value: Value = value.parse().map_err(|_| format!("bad value '{value}'"))?;
                 if preds.iter().any(|(n, _)| n == name) || consts.iter().any(|(n, _)| n == name) {
                     return Err(format!("duplicate symbol '{name}'"));
                 }
                 consts.push(((*name).to_owned(), value));
                 Ok(format!("constant {name} = {value}"))
             }
-            _ => Err("usage: schema pred <name> <arity> | schema const <name> = <value>"
-                .to_owned()),
+            _ => {
+                Err("usage: schema pred <name> <arity> | schema const <name> = <value>".to_owned())
+            }
         }
     }
 
@@ -286,7 +286,12 @@ impl Shell {
                 .iter()
                 .map(|(v, val)| format!("{v}={val}"))
                 .collect();
-            let _ = write!(out, "\n  TRIGGER: '{}' fires [{}]", f.name, subst.join(", "));
+            let _ = write!(
+                out,
+                "\n  TRIGGER: '{}' fires [{}]",
+                f.name,
+                subst.join(", ")
+            );
         }
         Ok(out)
     }
@@ -316,6 +321,27 @@ impl Shell {
                 out.push('\n');
             }
             out.push_str(&line);
+        }
+        Ok(out)
+    }
+
+    fn cmd_stats(&mut self) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor, triggers, ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let mut out = monitor.engine_stats().render();
+        let ts = triggers.stats();
+        if ts.grounds > 0 {
+            let _ = write!(
+                out,
+                "\ntrigger engine:\n  one-shot checks     {}\n  ground time         {:?}\n  \
+                 sat time            {:?}",
+                ts.grounds, ts.ground_time, ts.sat_time
+            );
         }
         Ok(out)
     }
@@ -388,9 +414,8 @@ impl Shell {
                 "'{name}' is violated: no extension exists, hence no witness"
             ));
         };
-        let mut text = format!(
-            "one extension satisfying '{name}' (append after the current history):"
-        );
+        let mut text =
+            format!("one extension satisfying '{name}' (append after the current history):");
         for (i, s) in w.prefix.iter().enumerate() {
             let _ = write!(text, "\n  +{}: {}", i + 1, s.display());
         }
@@ -446,6 +471,7 @@ const HELP: &str = "commands:
   delete <Pred>(<v>, …)           stage a tuple deletion
   commit                          apply staged updates as the next state
   status                          constraint statuses
+  stats                           engine counters, gauges, and timers
   history                         print all states
   check <formula>                 ad-hoc potential-satisfaction query
   explain <formula>               narrate the whole pipeline for a formula
@@ -560,7 +586,9 @@ mod tests {
     fn unsafe_constraint_warns() {
         let mut sh = Shell::new();
         sh.exec("schema pred P 1").unwrap();
-        let r = sh.exec("constraint live: forall x. G (P(x) -> F !P(x))").unwrap();
+        let r = sh
+            .exec("constraint live: forall x. G (P(x) -> F !P(x))")
+            .unwrap();
         assert!(r.contains("warning"), "{r}");
     }
 
@@ -569,6 +597,29 @@ mod tests {
         let mut sh = Shell::new();
         assert_eq!(sh.exec("").unwrap(), "");
         assert_eq!(sh.exec("# a comment").unwrap(), "");
+    }
+
+    #[test]
+    fn stats_report_engine_activity() {
+        let mut sh = Shell::new();
+        run(
+            &mut sh,
+            &[
+                "schema pred Sub 1",
+                "constraint once: forall x. G (Sub(x) -> X G !Sub(x))",
+                "trigger dup: F (Sub(x) & X F Sub(x))",
+                "insert Sub(1)",
+                "commit",
+                "delete Sub(1)",
+                "commit",
+            ],
+        );
+        let r = sh.exec("stats").unwrap();
+        assert!(r.contains("appends             2"), "{r}");
+        assert!(r.contains("delta regrounds"), "{r}");
+        assert!(r.contains("trigger engine:"), "{r}");
+        // The colon-prefixed spelling works too.
+        assert!(sh.exec(":stats").unwrap().contains("appends"));
     }
 
     #[test]

@@ -93,7 +93,8 @@ fn two_cycle_violates_and_is_detected_online() {
     let id = m
         .add_constraint("no-2cycle", parse(&sc, NO_2CYCLE).unwrap())
         .unwrap();
-    m.append(&Transaction::new().insert(rep, vec![1, 2])).unwrap();
+    m.append(&Transaction::new().insert(rep, vec![1, 2]))
+        .unwrap();
     assert_eq!(m.status(id), Status::Satisfied);
     let ev = m
         .append(&Transaction::new().insert(rep, vec![2, 1]))
@@ -127,12 +128,15 @@ fn all_three_constraints_together_in_one_monitor() {
         m.add_constraint(name, parse(&sc, src).unwrap()).unwrap();
     }
     // Build a legal chain 3→2→1 over a few commits.
-    m.append(&Transaction::new().insert(rep, vec![2, 1])).unwrap();
-    m.append(&Transaction::new().insert(rep, vec![3, 2])).unwrap();
+    m.append(&Transaction::new().insert(rep, vec![2, 1]))
+        .unwrap();
+    m.append(&Transaction::new().insert(rep, vec![3, 2]))
+        .unwrap();
     assert!(m.constraints().all(|id| m.status(id) == Status::Satisfied));
     // 1→3 closes a 3-cycle: allowed by all three registered constraints
     // (no 2-cycle, no self loop, no manager change).
-    m.append(&Transaction::new().insert(rep, vec![1, 3])).unwrap();
+    m.append(&Transaction::new().insert(rep, vec![1, 3]))
+        .unwrap();
     assert!(m.constraints().all(|id| m.status(id) == Status::Satisfied));
     // Now 2→3 would be a manager change for 2 (2→1 exists): stability
     // violation, and also a 2-cycle with 3→2.

@@ -53,8 +53,7 @@ fn the_example(schema: &Schema) -> Formula {
         let (_, body) = ticc::fotl::classify::external_prefix(f);
         body.clone()
     };
-    let inverse =
-        leq_via(schema, "Q", "x", "y").implies(leq_via(schema, "W", "y", "x"));
+    let inverse = leq_via(schema, "Q", "x", "y").implies(leq_via(schema, "W", "y", "x"));
     Formula::forall_many(
         ["x", "y"],
         Formula::and_all([
@@ -142,12 +141,9 @@ fn non_safety_universal_sentences_are_outside_the_guarantee() {
     assert!(!is_syntactically_safe(&f));
 
     let h = History::new(sc.clone());
-    let out = ticc::core::check_potential_satisfaction(
-        &h,
-        &f,
-        &ticc::core::CheckOptions::default(),
-    )
-    .unwrap();
+    let out =
+        ticc::core::check_potential_satisfaction(&h, &f, &ticc::core::CheckOptions::default())
+            .unwrap();
     assert!(!out.stats.syntactically_safe, "the caveat must be surfaced");
     // The safety-approximate verdict: no extension touching only
     // relevant elements satisfies ∀x◇P(x) (fresh elements can never be
@@ -165,11 +161,8 @@ fn safety_counterpart_is_handled_correctly() {
     let f = Formula::forall("x", Formula::pred(p, vec![Term::var("x")]).not().always());
     assert!(is_syntactically_safe(&f));
     let h = History::new(sc.clone());
-    let out = ticc::core::check_potential_satisfaction(
-        &h,
-        &f,
-        &ticc::core::CheckOptions::default(),
-    )
-    .unwrap();
+    let out =
+        ticc::core::check_potential_satisfaction(&h, &f, &ticc::core::CheckOptions::default())
+            .unwrap();
     assert!(out.potentially_satisfied);
 }

@@ -34,10 +34,8 @@ fn events(h: &History, pred: &str) -> Vec<(usize, u64)> {
 /// Direct decision of once-only.
 fn once_only_violated(h: &History) -> bool {
     let subs = events(h, "Sub");
-    subs.iter().any(|&(t1, x)| {
-        subs.iter()
-            .any(|&(t2, y)| x == y && t2 > t1)
-    })
+    subs.iter()
+        .any(|&(t1, x)| subs.iter().any(|&(t2, y)| x == y && t2 > t1))
 }
 
 /// Direct decision of the FIFO formula, following its quantifier
@@ -131,7 +129,12 @@ fn pipeline_agrees_with_direct_fifo_oracle() {
         let got = !check_potential_satisfaction(&h, &phi, &CheckOptions::default())
             .unwrap()
             .potentially_satisfied;
-        assert_eq!(got, expected, "seed {seed}: {:?}", h.states().iter().map(|s| s.display()).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            expected,
+            "seed {seed}: {:?}",
+            h.states().iter().map(|s| s.display()).collect::<Vec<_>>()
+        );
         violated_count += usize::from(expected);
     }
     assert!(violated_count > 0, "test must exercise both verdicts");

@@ -53,7 +53,7 @@ fn act_after_logout_is_caught() {
     // Find a seed where someone has logged out before instant 15 so the
     // injection actually lands (the generator skips it otherwise).
     let mut caught = 0;
-    for seed in 0..10 {
+    for seed in 0..20 {
         let h = SessionWorkload {
             instants: 20,
             act_prob: 0.3,
@@ -68,7 +68,10 @@ fn act_after_logout_is_caught() {
             caught += 1;
         }
     }
-    assert!(caught >= 5, "injection should land for most seeds: {caught}");
+    assert!(
+        caught >= 8,
+        "injection should land for most seeds: {caught}"
+    );
 }
 
 #[test]
