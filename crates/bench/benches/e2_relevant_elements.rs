@@ -1,29 +1,36 @@
 //! E2: cost vs `|R_D|` — grounding polynomial (degree `max(k,l)`), full
 //! decision exponential (the Section 6 argument).
+//!
+//! Accepts `--threads off|auto|<n>` (default `4`) and reports sequential
+//! vs sharded grounding side by side on the larger instances.
 
 use ticc_bench::table::fmt_duration;
 use ticc_bench::{
     chain_constraint, edge_schema, once_only, order_schema, path_history, spread_history,
     time_best_of, unsubmitted_history, Table,
 };
-use ticc_core::{check_potential_satisfaction, ground, CheckOptions, GroundMode};
+use ticc_core::{check_potential_satisfaction, ground, ground_with, CheckOptions, GroundMode};
 use ticc_ptl::sat::SatSolver;
 
 fn main() {
+    let threads = ticc_bench::threads_arg();
     let sc = order_schema();
     let phi = once_only(&sc);
 
     let mut table = Table::new(
         "E2a — grounding cost vs |R_D| (k=1, l=1)",
         "Lemma 4.1 / Theorem 4.2: polynomial of degree max(k,l)",
-        &["|R_D|", "time"],
+        &["|R_D|", "time (off)", &format!("time (threads={threads})")],
     );
     for m in [4usize, 16, 64] {
         let h = spread_history(&sc, m);
         let d = time_best_of(10, || {
             ground(&h, &phi, GroundMode::Folded).unwrap();
         });
-        table.row([m.to_string(), fmt_duration(d)]);
+        let dp = time_best_of(10, || {
+            ground_with(&h, &phi, GroundMode::Folded, threads).unwrap();
+        });
+        table.row([m.to_string(), fmt_duration(d), fmt_duration(dp)]);
     }
     table.print();
 
@@ -32,14 +39,17 @@ fn main() {
     let mut table = Table::new(
         "E2a — grounding cost vs |R_D| (k=2, l=2)",
         "same bound at higher degree",
-        &["|R_D|", "time"],
+        &["|R_D|", "time (off)", &format!("time (threads={threads})")],
     );
     for m in [4usize, 8, 16] {
         let h = path_history(&esc, m);
         let d = time_best_of(10, || {
             ground(&h, &phi2, GroundMode::Folded).unwrap();
         });
-        table.row([m.to_string(), fmt_duration(d)]);
+        let dp = time_best_of(10, || {
+            ground_with(&h, &phi2, GroundMode::Folded, threads).unwrap();
+        });
+        table.row([m.to_string(), fmt_duration(d), fmt_duration(dp)]);
     }
     table.print();
 
@@ -56,11 +66,10 @@ fn main() {
             let out = check_potential_satisfaction(
                 &h,
                 &phi,
-                &CheckOptions {
-                    mode: GroundMode::Folded,
-                    solver: SatSolver::BuchiExhaustive,
-                    ..CheckOptions::default()
-                },
+                &CheckOptions::builder()
+                    .mode(GroundMode::Folded)
+                    .solver(SatSolver::BuchiExhaustive)
+                    .build(),
             )
             .unwrap();
             assert!(out.potentially_satisfied);

@@ -1,16 +1,21 @@
 //! E4: grounding cost vs the number of external quantifiers `k`
 //! (expected: `(|R_D|+k)^k` instances).
+//!
+//! Accepts `--threads off|auto|<n>` (default `4`): at higher `k` the
+//! `|M|^k` instantiation space is large enough for the sharded
+//! grounding to engage.
 
 use ticc_bench::table::fmt_duration;
 use ticc_bench::{chain_constraint, edge_schema, path_history, time_best_of, Table};
-use ticc_core::{ground, GroundMode};
+use ticc_core::{ground, ground_with, GroundMode};
 
 fn main() {
+    let threads = ticc_bench::threads_arg();
     let esc = edge_schema();
     let mut table = Table::new(
         "E4 — grounding cost vs external quantifier count k",
         "Theorem 4.1: (|R_D|+k)^k ground instances",
-        &["k", "time"],
+        &["k", "time (off)", &format!("time (threads={threads})")],
     );
     for k in [1usize, 2, 3, 4] {
         let phi = chain_constraint(&esc, k);
@@ -18,7 +23,10 @@ fn main() {
         let d = time_best_of(3, || {
             ground(&h, &phi, GroundMode::Folded).unwrap();
         });
-        table.row([k.to_string(), fmt_duration(d)]);
+        let dp = time_best_of(3, || {
+            ground_with(&h, &phi, GroundMode::Folded, threads).unwrap();
+        });
+        table.row([k.to_string(), fmt_duration(d), fmt_duration(dp)]);
     }
     table.print();
 }

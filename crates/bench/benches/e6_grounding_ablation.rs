@@ -30,11 +30,10 @@ fn main() {
                 let out = check_potential_satisfaction(
                     &h,
                     &phi,
-                    &CheckOptions {
-                        mode,
-                        solver: SatSolver::Buchi,
-                        ..CheckOptions::default()
-                    },
+                    &CheckOptions::builder()
+                        .mode(mode)
+                        .solver(SatSolver::Buchi)
+                        .build(),
                 )
                 .unwrap();
                 assert!(out.potentially_satisfied);
@@ -63,10 +62,7 @@ fn main() {
         let mut times = Vec::new();
         let mut replayed = 0u64;
         for regrounding in [Regrounding::Full, Regrounding::Delta] {
-            let opts = CheckOptions {
-                regrounding,
-                ..CheckOptions::default()
-            };
+            let opts = CheckOptions::builder().regrounding(regrounding).build();
             let d = time_best_of(3, || {
                 let mut m = Monitor::new(sc.clone(), opts);
                 m.add_constraint("once", once_only(&sc)).unwrap();

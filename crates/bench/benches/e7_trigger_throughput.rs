@@ -1,19 +1,51 @@
 //! E7: online monitor + trigger throughput on the paper's customer-order
 //! workload (Section 2 duality, end to end).
+//!
+//! Accepts `--threads off|auto|<n>` (default `4`): the monitor's
+//! per-constraint checks and the trigger engine's (trigger ×
+//! substitution) jobs both fan out across the worker pool.
 
 use ticc_bench::table::fmt_duration;
 use ticc_bench::{fifo, once_only, order_schema, time_best_of, Table};
-use ticc_core::{CheckOptions, Monitor, TriggerEngine};
+use ticc_core::{CheckOptions, Monitor, Threads, TriggerEngine};
 use ticc_tdb::workload::OrderWorkload;
 use ticc_tdb::Transaction;
 
+fn run_monitor(sc: &std::sync::Arc<ticc_tdb::Schema>, h: &ticc_tdb::History, threads: Threads) {
+    let mut m = Monitor::new(sc.clone(), CheckOptions::builder().threads(threads).build());
+    m.add_constraint("once", once_only(sc)).unwrap();
+    m.add_constraint("fifo", fifo(sc)).unwrap();
+    for st in h.states() {
+        let mut tx = Transaction::new();
+        if let Some(prev) = m.history().last() {
+            for p in sc.preds() {
+                for tuple in prev.relation(p).iter() {
+                    tx = tx.delete(p, tuple.to_vec());
+                }
+            }
+        }
+        for p in sc.preds() {
+            for tuple in st.relation(p).iter() {
+                tx = tx.insert(p, tuple.to_vec());
+            }
+        }
+        let _ = m.append(&tx).unwrap();
+    }
+}
+
 fn main() {
+    let threads = ticc_bench::threads_arg();
     let sc = order_schema();
 
     let mut table = Table::new(
         "E7 — monitor append throughput (customer-order workload)",
         "per-append cost stays flat once the relevant domain stabilises",
-        &["instants", "time", "us/append"],
+        &[
+            "instants",
+            "time (off)",
+            &format!("time (threads={threads})"),
+            "us/append (off)",
+        ],
     );
     for instants in [8usize, 16, 24] {
         let h = OrderWorkload {
@@ -24,30 +56,12 @@ fn main() {
             seed: 7,
         }
         .generate();
-        let d = time_best_of(5, || {
-            let mut m = Monitor::new(sc.clone(), CheckOptions::default());
-            m.add_constraint("once", once_only(&sc)).unwrap();
-            m.add_constraint("fifo", fifo(&sc)).unwrap();
-            for st in h.states() {
-                let mut tx = Transaction::new();
-                if let Some(prev) = m.history().last() {
-                    for p in sc.preds() {
-                        for tuple in prev.relation(p).iter() {
-                            tx = tx.delete(p, tuple.to_vec());
-                        }
-                    }
-                }
-                for p in sc.preds() {
-                    for tuple in st.relation(p).iter() {
-                        tx = tx.insert(p, tuple.to_vec());
-                    }
-                }
-                let _ = m.append(&tx).unwrap();
-            }
-        });
+        let d = time_best_of(5, || run_monitor(&sc, &h, Threads::Off));
+        let dp = time_best_of(5, || run_monitor(&sc, &h, threads));
         table.row([
             instants.to_string(),
             fmt_duration(d),
+            fmt_duration(dp),
             format!("{:.1}", d.as_secs_f64() * 1e6 / instants as f64),
         ]);
     }
@@ -62,24 +76,32 @@ fn main() {
         seed: 3,
     }
     .generate();
-    let mut engine = TriggerEngine::new(CheckOptions::default());
-    let cond = ticc_fotl::parser::parse(&sc, "F (Sub(x) & X F Sub(x))").unwrap();
-    engine
-        .add(ticc_core::Trigger {
-            name: "dup".into(),
-            condition: cond,
-            action: ticc_core::Action::Log,
-        })
-        .unwrap();
     let mut table = Table::new(
         "E7 — trigger evaluation on a dirty history",
         "the Section 2 duality: triggers fire via potential-satisfaction checks",
-        &["triggers", "time"],
+        &[
+            "triggers",
+            "time (off)",
+            &format!("time (threads={threads})"),
+        ],
     );
-    let d = time_best_of(5, || {
-        let fired = engine.evaluate(&h).unwrap();
-        assert!(!fired.is_empty());
-    });
-    table.row(["1".into(), fmt_duration(d)]);
+    let mut times = Vec::new();
+    for t in [Threads::Off, threads] {
+        let mut engine = TriggerEngine::new(CheckOptions::builder().threads(t).build());
+        let cond = ticc_fotl::parser::parse(&sc, "F (Sub(x) & X F Sub(x))").unwrap();
+        engine
+            .add(ticc_core::Trigger {
+                name: "dup".into(),
+                condition: cond,
+                action: ticc_core::Action::Log,
+            })
+            .unwrap();
+        let d = time_best_of(5, || {
+            let fired = engine.evaluate(&h).unwrap();
+            assert!(!fired.is_empty());
+        });
+        times.push(fmt_duration(d));
+    }
+    table.row(["1".into(), times[0].clone(), times[1].clone()]);
     table.print();
 }

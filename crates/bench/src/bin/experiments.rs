@@ -6,35 +6,45 @@
 //! measured. Run with:
 //!
 //! ```text
-//! cargo run --release -p ticc-bench --bin experiments [e1 e2 …]
+//! cargo run --release -p ticc-bench --bin experiments -- [--threads off|auto|N] [e1 e2 …]
 //! ```
 
 use std::time::Duration;
 use ticc_bench::table::{fmt_duration, Table};
 use ticc_bench::*;
 use ticc_core::counter::counter_instance;
-use ticc_core::{check_potential_satisfaction, CheckOptions, GroundMode, Monitor};
+use ticc_core::{check_potential_satisfaction, CheckOptions, GroundMode, Monitor, Threads};
 use ticc_ptl::arena::Arena;
 use ticc_ptl::sat::{is_satisfiable_with, SatSolver};
 use ticc_tdb::workload::OrderWorkload;
 use ticc_tdb::Transaction;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let threads = ticc_bench::threads_arg();
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--threads" {
+            raw.next(); // value consumed by threads_arg
+            continue;
+        }
+        args.push(a.to_lowercase());
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     println!("ticc experiment harness — Chomicki & Niwiński (PODS 1993)");
+    println!("threads = {threads}");
     if want("e1") {
         e1_history_length();
     }
     if want("e2") {
-        e2_relevant_elements();
+        e2_relevant_elements(threads);
     }
     if want("e3") {
         e3_formula_size();
     }
     if want("e4") {
-        e4_quantifiers();
+        e4_quantifiers(threads);
     }
     if want("e5") {
         e5_phase_split();
@@ -43,7 +53,7 @@ fn main() {
         e6_grounding_ablation();
     }
     if want("e7") {
-        e7_trigger_throughput();
+        e7_trigger_throughput(threads);
     }
     if want("e8") {
         e8_tableau_vs_gpvw();
@@ -89,19 +99,29 @@ fn e1_history_length() {
 /// E2: `|R_D|` drives the cost. (a) the grounding alone is polynomial of
 /// degree `max(k, l)`; (b) the full decision is exponential — Section 6
 /// argues the exponent is unavoidable.
-fn e2_relevant_elements() {
+fn e2_relevant_elements(threads: Threads) {
     let sc = order_schema();
     let phi_once = once_only(&sc);
     let mut ta = Table::new(
         "E2a: grounding size vs |R_D| (once-only, k = 1, l = 1)",
         "Theorem 4.1: |phi_D| = O((|phi|·|R_D|)^max(k,l)) — linear here",
-        &["|R_D|", "|M|", "instances", "tree size", "ground time"],
+        &[
+            "|R_D|",
+            "|M|",
+            "instances",
+            "tree size",
+            "ground (off)",
+            "ground (par)",
+        ],
     );
     for m in [2usize, 4, 8, 16, 32, 64] {
         let h = spread_history(&sc, m);
         let mut g = None;
         let d = ticc_bench::time_best_of(3, || {
             g = Some(ticc_core::ground(&h, &phi_once, GroundMode::Folded).unwrap());
+        });
+        let dp = ticc_bench::time_best_of(3, || {
+            ticc_core::ground_with(&h, &phi_once, GroundMode::Folded, threads).unwrap();
         });
         let g = g.unwrap();
         ta.row([
@@ -110,6 +130,7 @@ fn e2_relevant_elements() {
             g.stats.mappings.to_string(),
             g.stats.formula_tree_size.to_string(),
             fmt_duration(d),
+            fmt_duration(dp),
         ]);
     }
     ta.print();
@@ -119,7 +140,13 @@ fn e2_relevant_elements() {
     let mut tb = Table::new(
         "E2a': grounding size vs |R_D| (chain k = 2, l = 2)",
         "degree max(k,l) = 2: instances grow quadratically",
-        &["|R_D|", "instances", "tree size", "ground time"],
+        &[
+            "|R_D|",
+            "instances",
+            "tree size",
+            "ground (off)",
+            "ground (par)",
+        ],
     );
     for m in [2usize, 4, 8, 16, 32] {
         let h = path_history(&esc, m);
@@ -127,12 +154,16 @@ fn e2_relevant_elements() {
         let d = ticc_bench::time_best_of(3, || {
             g = Some(ticc_core::ground(&h, &phi2, GroundMode::Folded).unwrap());
         });
+        let dp = ticc_bench::time_best_of(3, || {
+            ticc_core::ground_with(&h, &phi2, GroundMode::Folded, threads).unwrap();
+        });
         let g = g.unwrap();
         tb.row([
             m.to_string(),
             g.stats.mappings.to_string(),
             g.stats.formula_tree_size.to_string(),
             fmt_duration(d),
+            fmt_duration(dp),
         ]);
     }
     tb.print();
@@ -157,11 +188,10 @@ fn e2_relevant_elements() {
                 check_potential_satisfaction(
                     &h,
                     &phi_once,
-                    &CheckOptions {
-                        mode: GroundMode::Folded,
-                        solver: ticc_ptl::sat::SatSolver::BuchiExhaustive,
-                        ..CheckOptions::default()
-                    },
+                    &CheckOptions::builder()
+                        .mode(GroundMode::Folded)
+                        .solver(ticc_ptl::sat::SatSolver::BuchiExhaustive)
+                        .build(),
                 )
                 .unwrap(),
             );
@@ -212,12 +242,19 @@ fn e3_formula_size() {
 
 /// E4: the number of external quantifiers `k` drives the grounding:
 /// `(|R_D| + k)^k` instances.
-fn e4_quantifiers() {
+fn e4_quantifiers(threads: Threads) {
     let esc = edge_schema();
     let mut t = Table::new(
         "E4: external quantifier count (chain family, |R_D| = 4)",
         "Theorem 4.1: |M|^k ground instances",
-        &["k", "instances", "tree size", "ground time", "check time"],
+        &[
+            "k",
+            "instances",
+            "tree size",
+            "ground (off)",
+            "ground (par)",
+            "check time",
+        ],
     );
     for k in 1..=4usize {
         let phi = chain_constraint(&esc, k);
@@ -225,6 +262,9 @@ fn e4_quantifiers() {
         let mut g = None;
         let dg = ticc_bench::time_best_of(3, || {
             g = Some(ticc_core::ground(&h, &phi, GroundMode::Folded).unwrap());
+        });
+        let dgp = ticc_bench::time_best_of(3, || {
+            ticc_core::ground_with(&h, &phi, GroundMode::Folded, threads).unwrap();
         });
         let g = g.unwrap();
         let dc = ticc_bench::time_best_of(2, || {
@@ -235,6 +275,7 @@ fn e4_quantifiers() {
             g.stats.mappings.to_string(),
             g.stats.formula_tree_size.to_string(),
             fmt_duration(dg),
+            fmt_duration(dgp),
             fmt_duration(dc),
         ]);
     }
@@ -292,11 +333,10 @@ fn e6_grounding_ablation() {
                 check_potential_satisfaction(
                     &h,
                     &phi,
-                    &CheckOptions {
-                        mode: GroundMode::Full,
-                        solver: SatSolver::Buchi,
-                        ..CheckOptions::default()
-                    },
+                    &CheckOptions::builder()
+                        .mode(GroundMode::Full)
+                        .solver(SatSolver::Buchi)
+                        .build(),
                 )
                 .unwrap(),
             );
@@ -323,18 +363,20 @@ fn e6_grounding_ablation() {
 
 /// E7: end-to-end monitor + trigger throughput on the paper's
 /// customer-order workload.
-fn e7_trigger_throughput() {
+fn e7_trigger_throughput(threads: Threads) {
     let sc = order_schema();
     let mut t = Table::new(
         "E7: online monitor throughput (order workload, once-only + FIFO)",
         "Section 2 duality in practice: appends/second with earliest \
-         violation detection",
+         violation detection; the (par) column fans the per-constraint \
+         checks across the worker pool",
         &[
             "orders",
             "appends",
             "violations",
             "fast/reground",
-            "total time",
+            "time (off)",
+            "time (par)",
             "appends/s",
         ],
     );
@@ -349,30 +391,34 @@ fn e7_trigger_throughput() {
         let h = w.generate();
         let mut violations = 0usize;
         let mut stats = None;
-        let d = ticc_bench::time_best_of(1, || {
-            let mut m = Monitor::new(sc.clone(), CheckOptions::default());
-            m.add_constraint("once", once_only(&sc)).unwrap();
-            m.add_constraint("fifo", fifo(&sc)).unwrap();
-            violations = 0;
-            for st in h.states() {
-                // Reconstruct each state as a transaction from empty.
-                let mut tx = Transaction::new();
-                if let Some(prev) = m.history().last() {
-                    for p in sc.preds() {
-                        for tuple in prev.relation(p).iter() {
-                            tx = tx.delete(p, tuple.to_vec());
+        let mut run = |thr: Threads| {
+            ticc_bench::time_best_of(1, || {
+                let mut m = Monitor::new(sc.clone(), CheckOptions::builder().threads(thr).build());
+                m.add_constraint("once", once_only(&sc)).unwrap();
+                m.add_constraint("fifo", fifo(&sc)).unwrap();
+                violations = 0;
+                for st in h.states() {
+                    // Reconstruct each state as a transaction from empty.
+                    let mut tx = Transaction::new();
+                    if let Some(prev) = m.history().last() {
+                        for p in sc.preds() {
+                            for tuple in prev.relation(p).iter() {
+                                tx = tx.delete(p, tuple.to_vec());
+                            }
                         }
                     }
-                }
-                for p in sc.preds() {
-                    for tuple in st.relation(p).iter() {
-                        tx = tx.insert(p, tuple.to_vec());
+                    for p in sc.preds() {
+                        for tuple in st.relation(p).iter() {
+                            tx = tx.insert(p, tuple.to_vec());
+                        }
                     }
+                    violations += m.append(&tx).unwrap().len();
                 }
-                violations += m.append(&tx).unwrap().len();
-            }
-            stats = Some(m.stats());
-        });
+                stats = Some(m.stats());
+            })
+        };
+        let d = run(Threads::Off);
+        let dp = run(threads);
         let s = stats.unwrap();
         let rate = instants as f64 / d.as_secs_f64();
         t.row([
@@ -381,6 +427,7 @@ fn e7_trigger_throughput() {
             violations.to_string(),
             format!("{}/{}", s.fast_appends, s.regrounds),
             fmt_duration(d),
+            fmt_duration(dp),
             format!("{rate:.0}"),
         ]);
     }

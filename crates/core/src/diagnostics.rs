@@ -7,8 +7,9 @@
 //! shorter prefixes) and then progresses state by state, running the
 //! phase-2 satisfiability test on each residue.
 
-use crate::extension::{CheckError, CheckOptions};
-use crate::ground::ground;
+use crate::error::Error;
+use crate::extension::CheckOptions;
+use crate::ground::ground_with;
 use std::collections::HashMap;
 use ticc_fotl::Formula;
 use ticc_ptl::progression::progress;
@@ -23,16 +24,16 @@ pub fn earliest_violation(
     history: &History,
     phi: &Formula,
     opts: &CheckOptions,
-) -> Result<Option<usize>, CheckError> {
-    let mut g = ground(history, phi, opts.mode)?;
+) -> Result<Option<usize>, Error> {
+    let mut g = ground_with(history, phi, opts.mode, opts.threads)?;
     let mut residue = g.formula;
     let mut cache: HashMap<ticc_ptl::arena::FormulaId, bool> = HashMap::new();
     for n in 0..=history.len() {
         let sat = match cache.get(&residue) {
             Some(&s) => s,
             None => {
-                let r = is_satisfiable_with(&mut g.arena, residue, opts.solver)
-                    .map_err(CheckError::Sat)?;
+                let r =
+                    is_satisfiable_with(&mut g.arena, residue, opts.solver).map_err(Error::Sat)?;
                 cache.insert(residue, r.satisfiable);
                 r.satisfiable
             }
@@ -43,7 +44,7 @@ pub fn earliest_violation(
         if n < history.len() {
             let w = g.trace[n].clone();
             residue = progress(&mut g.arena, residue, &w)
-                .map_err(|_| CheckError::Sat(ticc_ptl::sat::SatError::Past))?;
+                .map_err(|_| Error::Sat(ticc_ptl::sat::SatError::Past))?;
         }
     }
     Ok(None)

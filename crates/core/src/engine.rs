@@ -28,9 +28,11 @@
 //! always rebuilds, as it does when [`Regrounding::Full`] is selected
 //! (the E6 ablation).
 
+use crate::error::Error;
 use crate::extension::CheckOptions;
-use crate::ground::{ground, GroundError, GroundMode, Grounding};
+use crate::ground::{ground_metered, GroundMode, Grounding};
 use crate::obs::{EngineStats, Timer};
+use crate::par::{self, ParMeter, Threads};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,7 +41,7 @@ use ticc_ptl::arena::FormulaId;
 use ticc_ptl::progression::{progress, progress_trace};
 use ticc_ptl::sat::{extends_with, is_satisfiable_with, SatError, SatResult};
 use ticc_ptl::simplify::simplify;
-use ticc_tdb::{History, Schema, State, TdbError, Transaction, Value};
+use ticc_tdb::{History, Schema, State, Transaction, Value};
 
 /// Handle to a registered constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,44 +111,9 @@ pub struct MonitorEvent {
     pub at: usize,
 }
 
-/// Errors from the engine (and the monitor facade over it).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MonitorError {
-    /// A constraint is outside the decidable fragment.
-    Ground(GroundError),
-    /// Propositional engine failure.
-    Sat(SatError),
-    /// Update application failure.
-    Tdb(TdbError),
-}
-
-impl std::fmt::Display for MonitorError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MonitorError::Ground(e) => write!(f, "{e}"),
-            MonitorError::Sat(e) => write!(f, "{e}"),
-            MonitorError::Tdb(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for MonitorError {}
-
-impl From<GroundError> for MonitorError {
-    fn from(e: GroundError) -> Self {
-        MonitorError::Ground(e)
-    }
-}
-impl From<SatError> for MonitorError {
-    fn from(e: SatError) -> Self {
-        MonitorError::Sat(e)
-    }
-}
-impl From<TdbError> for MonitorError {
-    fn from(e: TdbError) -> Self {
-        MonitorError::Tdb(e)
-    }
-}
+/// Former error type of the engine (and the monitor facade over it).
+#[deprecated(since = "0.2.0", note = "use the unified `ticc_core::Error`")]
+pub type MonitorError = Error;
 
 /// A grounding plus the derived per-constraint runtime state: the
 /// progressed residue and the satisfiability memo. The engine keeps
@@ -169,14 +136,16 @@ impl GroundingContext {
         phi: &Formula,
         opts: &CheckOptions,
         stats: &mut EngineStats,
-    ) -> Result<Self, MonitorError> {
+    ) -> Result<Self, Error> {
         let t = Timer::start();
-        let mut g = ground(history, phi, opts.mode)?;
+        let mut meter = ParMeter::new();
+        let mut g = ground_metered(history, phi, opts.mode, opts.threads, &mut meter)?;
+        stats.absorb_par(&meter);
         t.finish(&mut stats.ground_time);
         let t = Timer::start();
         let trace = std::mem::take(&mut g.trace);
         let progressed = progress_trace(&mut g.arena, g.formula, &trace)
-            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+            .map_err(|_| Error::Sat(SatError::Past))?;
         let residue = simplify(&mut g.arena, progressed);
         g.trace = trace;
         t.finish(&mut stats.progress_time);
@@ -202,17 +171,13 @@ impl GroundingContext {
     /// it, progresses the residue one step, and appends the encoded
     /// state to the stored trace. Returns `false` (doing nothing) if a
     /// new relevant element blocks the fast path.
-    fn fast_append(
-        &mut self,
-        state: &State,
-        stats: &mut EngineStats,
-    ) -> Result<bool, MonitorError> {
+    fn fast_append(&mut self, state: &State, stats: &mut EngineStats) -> Result<bool, Error> {
         let Some(w) = self.g.state_to_prop(state) else {
             return Ok(false);
         };
         let t = Timer::start();
         let progressed = progress(&mut self.g.arena, self.residue, &w)
-            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+            .map_err(|_| Error::Sat(SatError::Past))?;
         // Keep residues compact (□□/◇◇ and duplicate boxes otherwise
         // accumulate across appends).
         self.residue = simplify(&mut self.g.arena, progressed);
@@ -225,7 +190,7 @@ impl GroundingContext {
     /// Delta path: ground only the instantiations mentioning the new
     /// elements, replay that block through the stored trace (plus the
     /// new state), progress the memoised residue one step, and conjoin.
-    fn delta_append(&mut self, state: &State, stats: &mut EngineStats) -> Result<(), MonitorError> {
+    fn delta_append(&mut self, state: &State, stats: &mut EngineStats) -> Result<(), Error> {
         let t = Timer::start();
         let known = self.g.known_values();
         let delta: Vec<Value> = state
@@ -246,9 +211,9 @@ impl GroundingContext {
         // delta element are false there, which PropState's default
         // already yields.
         let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
-            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+            .map_err(|_| Error::Sat(SatError::Past))?;
         let old = progress(&mut self.g.arena, self.residue, &w)
-            .map_err(|_| MonitorError::Sat(SatError::Past))?;
+            .map_err(|_| Error::Sat(SatError::Past))?;
         let combined = self.g.arena.and(old, replayed);
         self.residue = simplify(&mut self.g.arena, combined);
         t.finish(&mut stats.progress_time);
@@ -266,7 +231,7 @@ impl GroundingContext {
         opts: &CheckOptions,
         history_len: usize,
         stats: &mut EngineStats,
-    ) -> Result<Status, MonitorError> {
+    ) -> Result<Status, Error> {
         if notion == Notion::BadPrefix {
             let fls = self.g.arena.fls();
             return Ok(if self.residue == fls {
@@ -374,7 +339,7 @@ impl Engine {
         &mut self,
         name: impl Into<String>,
         phi: Formula,
-    ) -> Result<ConstraintId, MonitorError> {
+    ) -> Result<ConstraintId, Error> {
         let name = name.into();
         let id = ConstraintId(self.entries.len());
         self.stats.grounds += 1;
@@ -395,6 +360,12 @@ impl Engine {
         self.entries[id.0].status
     }
 
+    /// Read access to the grounding context of a constraint (used by
+    /// diagnostics and the determinism test suite).
+    pub fn context(&self, id: ConstraintId) -> &GroundingContext {
+        &self.entries[id.0].ctx
+    }
+
     /// Name of a constraint.
     pub fn name(&self, id: ConstraintId) -> &str {
         &self.entries[id.0].name
@@ -405,39 +376,66 @@ impl Engine {
         (0..self.entries.len()).map(ConstraintId)
     }
 
+    /// One append step for one constraint: the incremental fast path,
+    /// else delta re-grounding (when enabled and applicable), else a
+    /// full rebuild over the enlarged history; then the violation
+    /// decision. Factored out of [`Engine::append`] so the sequential
+    /// loop and the parallel constraint sweep share one body.
+    fn step_entry(
+        history: &History,
+        entry: &mut Entry,
+        opts: &CheckOptions,
+        notion: Notion,
+        stats: &mut EngineStats,
+    ) -> Result<Status, Error> {
+        let state = history.state(history.len() - 1);
+        if entry.ctx.fast_append(state, stats)? {
+            stats.fast_appends += 1;
+        } else if opts.regrounding == Regrounding::Delta && opts.mode == GroundMode::Folded {
+            entry.ctx.delta_append(state, stats)?;
+        } else {
+            // Full rebuild over the enlarged history.
+            stats.regrounds += 1;
+            entry.ctx = GroundingContext::build(history, &entry.phi, opts, stats)?;
+        }
+        entry.ctx.decide(notion, opts, history.len(), stats)
+    }
+
     /// Applies a transaction, producing the next state, and re-checks
     /// every live constraint. Returns the violations that became
     /// unavoidable with this update.
-    pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, MonitorError> {
+    ///
+    /// With [`Threads`] enabled and more than one live constraint, the
+    /// per-constraint checks fan out across a bounded scoped-thread
+    /// pool. Each [`GroundingContext`] is owned by exactly one worker
+    /// for the duration of the sweep, per-worker [`EngineStats`] are
+    /// absorbed in chunk order, and events are emitted in
+    /// [`ConstraintId`] order — observable behaviour is identical to
+    /// the sequential path.
+    pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, Error> {
         self.history.apply(tx)?;
         self.stats.appends += 1;
-        let new_state_idx = self.history.len() - 1;
+        let live = self
+            .entries
+            .iter()
+            .filter(|e| !matches!(e.status, Status::Violated { .. }))
+            .count();
+        let workers = self.opts.threads.worker_count();
+        if live > 1 && workers > 1 {
+            return self.append_parallel(workers);
+        }
         let mut events = Vec::new();
         for i in 0..self.entries.len() {
             if matches!(self.entries[i].status, Status::Violated { .. }) {
                 continue; // safety: violations are permanent
             }
-            let state = self.history.state(new_state_idx);
-            let entry = &mut self.entries[i];
-            if entry.ctx.fast_append(state, &mut self.stats)? {
-                self.stats.fast_appends += 1;
-            } else if self.opts.regrounding == Regrounding::Delta
-                && self.opts.mode == GroundMode::Folded
-            {
-                entry.ctx.delta_append(state, &mut self.stats)?;
-            } else {
-                // Full rebuild over the enlarged history.
-                self.stats.regrounds += 1;
-                let phi = entry.phi.clone();
-                let ctx =
-                    GroundingContext::build(&self.history, &phi, &self.opts, &mut self.stats)?;
-                self.entries[i].ctx = ctx;
-            }
-            let len = self.history.len();
-            let status =
-                self.entries[i]
-                    .ctx
-                    .decide(self.notion, &self.opts, len, &mut self.stats)?;
+            let status = Self::step_entry(
+                &self.history,
+                &mut self.entries[i],
+                &self.opts,
+                self.notion,
+                &mut self.stats,
+            )?;
             if let Status::Violated { at } = status {
                 self.entries[i].status = status;
                 events.push(MonitorEvent {
@@ -449,6 +447,63 @@ impl Engine {
         }
         Ok(events)
     }
+
+    /// The parallel constraint sweep behind [`Engine::append`]. Shards
+    /// the entry list canonically, runs [`Engine::step_entry`] per
+    /// worker with grounding forced sequential (the fan-out budget is
+    /// spent here), and merges outcomes, stats, and the first error in
+    /// chunk order.
+    fn append_parallel(&mut self, workers: usize) -> Result<Vec<MonitorEvent>, Error> {
+        let mut inner = self.opts;
+        inner.threads = Threads::Off;
+        let history = &self.history;
+        let notion = self.notion;
+        let mut meter = ParMeter::new();
+        let chunk_results =
+            par::for_each_chunk_mut(&mut self.entries, workers, &mut meter, |_, start, chunk| {
+                let mut stats = EngineStats::default();
+                let mut outcomes: Vec<(usize, Status)> = Vec::new();
+                for (off, entry) in chunk.iter_mut().enumerate() {
+                    if matches!(entry.status, Status::Violated { .. }) {
+                        continue; // safety: violations are permanent
+                    }
+                    match Self::step_entry(history, entry, &inner, notion, &mut stats) {
+                        Ok(status) => outcomes.push((start + off, status)),
+                        Err(e) => return (stats, Err(e)),
+                    }
+                }
+                (stats, Ok(outcomes))
+            });
+        self.stats.absorb_par(&meter);
+        let mut events = Vec::new();
+        let mut first_err = None;
+        for (worker_stats, result) in chunk_results {
+            self.stats.absorb(&worker_stats);
+            match result {
+                Ok(outcomes) => {
+                    for (i, status) in outcomes {
+                        if let Status::Violated { at } = status {
+                            self.entries[i].status = status;
+                            events.push(MonitorEvent {
+                                constraint: ConstraintId(i),
+                                name: self.entries[i].name.clone(),
+                                at,
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(events),
+        }
+    }
 }
 
 /// The result of a one-shot extension check routed through the engine
@@ -459,20 +514,23 @@ pub(crate) struct OneShot {
     pub result: SatResult,
     pub ground_time: Duration,
     pub decide_time: Duration,
+    pub par: ParMeter,
 }
 
 /// One-shot potential-satisfaction decision: ground, then decide
 /// extendability of `w_D` (progression + phase-2 satisfiability inside
 /// the PTL facade). Used by the extension checker and the trigger
-/// engine; callers fold the timings into their own stats.
+/// engine; callers fold the timings (and the parallel meter) into
+/// their own stats.
 pub(crate) fn check_once(
     history: &History,
     phi: &Formula,
     opts: &CheckOptions,
-) -> Result<OneShot, CheckOnceError> {
+) -> Result<OneShot, Error> {
     let t0 = Timer::start();
     let mut ground_time = Duration::ZERO;
-    let mut grounding = ground(history, phi, opts.mode)?;
+    let mut par = ParMeter::new();
+    let mut grounding = ground_metered(history, phi, opts.mode, opts.threads, &mut par)?;
     t0.finish(&mut ground_time);
 
     let t1 = Timer::start();
@@ -487,26 +545,8 @@ pub(crate) fn check_once(
         result,
         ground_time,
         decide_time,
+        par,
     })
-}
-
-/// Error type of [`check_once`] — the union the extension checker and
-/// the trigger engine both map into their own error enums.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum CheckOnceError {
-    Ground(GroundError),
-    Sat(SatError),
-}
-
-impl From<GroundError> for CheckOnceError {
-    fn from(e: GroundError) -> Self {
-        CheckOnceError::Ground(e)
-    }
-}
-impl From<SatError> for CheckOnceError {
-    fn from(e: SatError) -> Self {
-        CheckOnceError::Sat(e)
-    }
 }
 
 #[cfg(test)]
@@ -519,10 +559,7 @@ mod tests {
     }
 
     fn opts(regrounding: Regrounding) -> CheckOptions {
-        CheckOptions {
-            regrounding,
-            ..CheckOptions::default()
-        }
+        CheckOptions::builder().regrounding(regrounding).build()
     }
 
     #[test]
@@ -597,11 +634,10 @@ mod tests {
         let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
         let mut e = Engine::new(
             sc.clone(),
-            CheckOptions {
-                mode: GroundMode::Full,
-                regrounding: Regrounding::Delta,
-                ..CheckOptions::default()
-            },
+            CheckOptions::builder()
+                .mode(GroundMode::Full)
+                .regrounding(Regrounding::Delta)
+                .build(),
         );
         e.add_constraint("once", phi).unwrap();
         e.append(&Transaction::new().insert(sub, vec![1])).unwrap();

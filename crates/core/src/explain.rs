@@ -81,7 +81,7 @@ pub fn explain(history: &History, phi: &Formula, opts: &CheckOptions) -> String 
 
     // The pipeline itself.
     match check_potential_satisfaction(history, phi, opts) {
-        Err(crate::extension::CheckError::Ground(GroundError::NotUniversal(_))) => {
+        Err(crate::error::Error::Ground(GroundError::NotUniversal(_))) => {
             let _ = writeln!(
                 out,
                 "grounding: refused (not a universal sentence) — nothing further to run"

@@ -8,16 +8,24 @@
 //! ultimately-periodic propositional witness is decoded back to database
 //! states (the decoding direction in the proof of Theorem 4.1).
 
-use crate::engine::{check_once, CheckOnceError, Regrounding};
-use crate::ground::{GroundError, GroundMode, GroundStats, Grounding};
+use crate::engine::{check_once, Regrounding};
+use crate::error::Error;
+use crate::ground::{GroundMode, GroundStats, Grounding};
+use crate::par::Threads;
 use std::time::Duration;
 use ticc_fotl::Formula;
-use ticc_ptl::sat::{SatError, SatSolver, SatStats};
+use ticc_ptl::sat::{SatSolver, SatStats};
 use ticc_tdb::{History, State};
 
 /// Options for [`check_potential_satisfaction`] and the
 /// [`Engine`](crate::engine::Engine) layer.
+///
+/// Marked `#[non_exhaustive]`: construct through
+/// [`CheckOptions::default()`] or [`CheckOptions::builder()`] so that
+/// future knobs (like this revision's `threads`) are not breaking
+/// changes.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct CheckOptions {
     /// Grounding construction.
     pub mode: GroundMode,
@@ -26,6 +34,66 @@ pub struct CheckOptions {
     /// Re-grounding policy when the relevant domain grows (engine /
     /// monitor path; one-shot checks always ground from scratch).
     pub regrounding: Regrounding,
+    /// Worker-thread policy for the sharded grounding and the
+    /// per-constraint fan-out (deterministic: results are identical to
+    /// [`Threads::Off`]).
+    pub threads: Threads,
+}
+
+impl CheckOptions {
+    /// A builder starting from the defaults.
+    pub fn builder() -> CheckOptionsBuilder {
+        CheckOptionsBuilder {
+            opts: CheckOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`CheckOptions`] — the supported way to construct
+/// non-default options outside this crate.
+///
+/// ```
+/// use ticc_core::{CheckOptions, GroundMode, Threads};
+/// let opts = CheckOptions::builder()
+///     .mode(GroundMode::Folded)
+///     .threads(Threads::Fixed(4))
+///     .build();
+/// assert_eq!(opts.threads, Threads::Fixed(4));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckOptionsBuilder {
+    opts: CheckOptions,
+}
+
+impl CheckOptionsBuilder {
+    /// Grounding construction.
+    pub fn mode(mut self, mode: GroundMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Phase-2 satisfiability engine.
+    pub fn solver(mut self, solver: SatSolver) -> Self {
+        self.opts.solver = solver;
+        self
+    }
+
+    /// Re-grounding policy when the relevant domain grows.
+    pub fn regrounding(mut self, regrounding: Regrounding) -> Self {
+        self.opts.regrounding = regrounding;
+        self
+    }
+
+    /// Worker-thread policy.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> CheckOptions {
+        self.opts
+    }
 }
 
 /// Per-phase wall-clock timings (the E5 decomposition).
@@ -76,37 +144,9 @@ pub struct CheckOutcome {
     pub grounding: Grounding,
 }
 
-/// Errors from checking.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CheckError {
-    /// Grounding failed (constraint outside the decidable fragment).
-    Ground(GroundError),
-    /// The propositional engines failed.
-    Sat(SatError),
-}
-
-impl std::fmt::Display for CheckError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckError::Ground(e) => write!(f, "grounding: {e}"),
-            CheckError::Sat(e) => write!(f, "satisfiability: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckError {}
-
-impl From<GroundError> for CheckError {
-    fn from(e: GroundError) -> Self {
-        CheckError::Ground(e)
-    }
-}
-
-impl From<SatError> for CheckError {
-    fn from(e: SatError) -> Self {
-        CheckError::Sat(e)
-    }
-}
+/// Former error type of this module.
+#[deprecated(since = "0.2.0", note = "use the unified `ticc_core::Error`")]
+pub type CheckError = Error;
 
 /// Decides whether `history` can be extended to an infinite temporal
 /// database satisfying the universal safety sentence `phi`
@@ -115,11 +155,8 @@ pub fn check_potential_satisfaction(
     history: &History,
     phi: &Formula,
     opts: &CheckOptions,
-) -> Result<CheckOutcome, CheckError> {
-    let shot = check_once(history, phi, opts).map_err(|e| match e {
-        CheckOnceError::Ground(g) => CheckError::Ground(g),
-        CheckOnceError::Sat(s) => CheckError::Sat(s),
-    })?;
+) -> Result<CheckOutcome, Error> {
+    let shot = check_once(history, phi, opts)?;
     let (grounding, result) = (shot.grounding, shot.result);
 
     let witness = result.witness.as_ref().map(|lasso| WitnessExtension {
@@ -228,21 +265,19 @@ mod tests {
             let folded = check_potential_satisfaction(
                 &h,
                 &phi,
-                &CheckOptions {
-                    mode: GroundMode::Folded,
-                    solver: SatSolver::Buchi,
-                    ..CheckOptions::default()
-                },
+                &CheckOptions::builder()
+                    .mode(GroundMode::Folded)
+                    .solver(SatSolver::Buchi)
+                    .build(),
             )
             .unwrap();
             let full = check_potential_satisfaction(
                 &h,
                 &phi,
-                &CheckOptions {
-                    mode: GroundMode::Full,
-                    solver: SatSolver::Buchi,
-                    ..CheckOptions::default()
-                },
+                &CheckOptions::builder()
+                    .mode(GroundMode::Full)
+                    .solver(SatSolver::Buchi)
+                    .build(),
             )
             .unwrap();
             assert_eq!(
@@ -335,11 +370,10 @@ mod tests {
         let exhaustive = check_potential_satisfaction(
             &h,
             &phi,
-            &CheckOptions {
-                mode: crate::ground::GroundMode::Folded,
-                solver: ticc_ptl::sat::SatSolver::BuchiExhaustive,
-                ..CheckOptions::default()
-            },
+            &CheckOptions::builder()
+                .mode(crate::ground::GroundMode::Folded)
+                .solver(ticc_ptl::sat::SatSolver::BuchiExhaustive)
+                .build(),
         )
         .unwrap();
         assert!(exhaustive.stats.sat.states > 0);

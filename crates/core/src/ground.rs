@@ -25,13 +25,14 @@
 //!   for the extension problem (property-tested); `Folded` is the
 //!   production path and ablation E6 measures the gap.
 
+use crate::par::{self, ParMeter, Threads};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use ticc_fotl::classify::{classify, FormulaClass};
 use ticc_fotl::{Atom, Formula, Term};
 use ticc_ptl::arena::{Arena, AtomId, FormulaId};
-use ticc_ptl::interner::AtomInterner;
+use ticc_ptl::interner::{AtomInterner, InternLog};
 use ticc_ptl::trace::PropState;
 use ticc_tdb::{ConstId, History, PredId, Schema, State, Value};
 
@@ -241,11 +242,40 @@ fn collect_values(f: &Formula, out: &mut std::collections::BTreeSet<Value>) {
     }
 }
 
-/// Grounds `(history, phi)` per Theorem 4.1.
+/// Grounds `(history, phi)` per Theorem 4.1, single-threaded.
 pub fn ground(
     history: &History,
     phi: &Formula,
     mode: GroundMode,
+) -> Result<Grounding, GroundError> {
+    ground_with(history, phi, mode, Threads::Off)
+}
+
+/// Grounds `(history, phi)` per Theorem 4.1, sharding the `|M|^k`
+/// instantiation space across worker threads per `threads`.
+///
+/// Deterministic: the instantiation space is partitioned into
+/// canonically ordered chunks, each worker grounds into a private
+/// arena while logging its first-sight letters, and the merge replays
+/// those logs and translates the per-instantiation formulas back *in
+/// chunk order* — so the letter table, the conjunction order, and every
+/// structural statistic are identical to the sequential path (see
+/// DESIGN.md §"Parallel architecture").
+pub fn ground_with(
+    history: &History,
+    phi: &Formula,
+    mode: GroundMode,
+    threads: Threads,
+) -> Result<Grounding, GroundError> {
+    ground_metered(history, phi, mode, threads, &mut ParMeter::new())
+}
+
+pub(crate) fn ground_metered(
+    history: &History,
+    phi: &Formula,
+    mode: GroundMode,
+    threads: Threads,
+    meter: &mut ParMeter,
 ) -> Result<Grounding, GroundError> {
     if let Some(v) = ticc_fotl::subst::free_vars(phi).into_iter().next() {
         return Err(GroundError::OpenFormula(v));
@@ -277,35 +307,57 @@ pub fn ground(
     let msize = m.len();
     let mappings = msize.pow(k as u32).max(1);
 
-    // Ψ_D: conjunction over all mappings f : vars → M.
-    let mut ctx = GroundCtx {
-        mode,
-        schema: &schema,
-        consts: &consts,
-        arena: &mut arena,
-        letters: &mut letters,
-    };
-    let mut psi_d = ctx.arena.tru();
-    let mut idx = vec![0usize; k];
-    loop {
-        let mut map: HashMap<&str, GArg> = HashMap::with_capacity(k);
-        for (v, &i) in external.iter().zip(&idx) {
-            map.insert(v.as_str(), m[i]);
-        }
-        let inst = ctx.ground_matrix(matrix, &map)?;
-        psi_d = ctx.arena.and(psi_d, inst);
-        // Odometer over |M|^k; k == 0 yields exactly one mapping.
-        let mut pos = 0;
-        while pos < k {
-            idx[pos] += 1;
-            if idx[pos] < msize {
+    // Ψ_D: conjunction over all mappings f : vars → M. Sharded when a
+    // worker pool is requested and the space is large enough to feed it
+    // (each worker needs at least two instantiations to be worth a
+    // spawn); `k == 0` has a single mapping, nothing to shard.
+    let workers = threads.worker_count();
+    let mut psi_d;
+    if workers > 1 && k > 0 && mappings >= workers * 2 {
+        psi_d = ground_psi_sharded(
+            mode,
+            &schema,
+            &consts,
+            &m,
+            &external,
+            matrix,
+            mappings,
+            workers,
+            &mut arena,
+            &mut letters,
+            meter,
+        )?;
+    } else {
+        let mut ctx = GroundCtx {
+            mode,
+            schema: &schema,
+            consts: &consts,
+            arena: &mut arena,
+            letters: &mut letters,
+            log: None,
+        };
+        psi_d = ctx.arena.tru();
+        let mut idx = vec![0usize; k];
+        loop {
+            let mut map: HashMap<&str, GArg> = HashMap::with_capacity(k);
+            for (v, &i) in external.iter().zip(&idx) {
+                map.insert(v.as_str(), m[i]);
+            }
+            let inst = ctx.ground_matrix(matrix, &map)?;
+            psi_d = ctx.arena.and(psi_d, inst);
+            // Odometer over |M|^k; k == 0 yields exactly one mapping.
+            let mut pos = 0;
+            while pos < k {
+                idx[pos] += 1;
+                if idx[pos] < msize {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+            if pos == k {
                 break;
             }
-            idx[pos] = 0;
-            pos += 1;
-        }
-        if pos == k {
-            break;
         }
     }
 
@@ -313,6 +365,14 @@ pub fn ground(
     let formula = match mode {
         GroundMode::Folded => psi_d,
         GroundMode::Full => {
+            let mut ctx = GroundCtx {
+                mode,
+                schema: &schema,
+                consts: &consts,
+                arena: &mut arena,
+                letters: &mut letters,
+                log: None,
+            };
             let ax = ctx.axiom_d(&m, &mut axiom_conjuncts);
             let boxed = ctx.arena.always(ax);
             ctx.arena.and(psi_d, boxed)
@@ -358,13 +418,91 @@ pub fn ground(
     })
 }
 
-/// Borrowed working set for formula construction.
+/// Builds `Ψ_D` by sharding the linearised instantiation space
+/// `0..mappings` across scoped worker threads.
+///
+/// Instantiation `n` corresponds to the odometer digits
+/// `idx[i] = (n / |M|^i) mod |M|` (digit 0 fastest), so chunking the
+/// linear index preserves the sequential enumeration order exactly.
+/// Each worker grounds its chunk into a private arena with a private
+/// letter interner, logging first sightings; the merge replays the
+/// logs in chunk order (reproducing the sequential first-sight letter
+/// order) and re-folds each instantiation into the main arena through
+/// [`Arena::translate_from`], conjoining in global mapping order.
+#[allow(clippy::too_many_arguments)]
+fn ground_psi_sharded(
+    mode: GroundMode,
+    schema: &Schema,
+    consts: &[Value],
+    m: &[GArg],
+    external: &[String],
+    matrix: &Formula,
+    mappings: usize,
+    workers: usize,
+    arena: &mut Arena,
+    letters: &mut AtomInterner<LetterKey>,
+    meter: &mut ParMeter,
+) -> Result<FormulaId, GroundError> {
+    struct ChunkOut {
+        arena: Arena,
+        log: InternLog<LetterKey>,
+        insts: Vec<FormulaId>,
+    }
+    let k = external.len();
+    let msize = m.len();
+    let chunks = par::map_chunked(mappings, workers, meter, |_, range| {
+        let mut warena = Arena::new();
+        let mut wletters: AtomInterner<LetterKey> = AtomInterner::new();
+        let mut wlog = InternLog::new();
+        let mut insts = Vec::with_capacity(range.len());
+        {
+            let mut ctx = GroundCtx {
+                mode,
+                schema,
+                consts,
+                arena: &mut warena,
+                letters: &mut wletters,
+                log: Some(&mut wlog),
+            };
+            for n in range {
+                let mut rem = n;
+                let mut map: HashMap<&str, GArg> = HashMap::with_capacity(k);
+                for v in external {
+                    map.insert(v.as_str(), m[rem % msize]);
+                    rem /= msize;
+                }
+                insts.push(ctx.ground_matrix(matrix, &map)?);
+            }
+        }
+        Ok(ChunkOut {
+            arena: warena,
+            log: wlog,
+            insts,
+        })
+    });
+    let mut psi_d = arena.tru();
+    for chunk in chunks {
+        let chunk: ChunkOut = chunk?;
+        let remap = letters.replay(arena, &chunk.log);
+        let mut memo = HashMap::new();
+        for inst in chunk.insts {
+            let f = arena.translate_from(&chunk.arena, inst, &remap, &mut memo);
+            psi_d = arena.and(psi_d, f);
+        }
+    }
+    Ok(psi_d)
+}
+
+/// Borrowed working set for formula construction. When `log` is set
+/// (the sharded path), every first-sight letter interning is recorded
+/// so the worker's vocabulary can be replayed into the main arena.
 struct GroundCtx<'a> {
     mode: GroundMode,
     schema: &'a Schema,
     consts: &'a [Value],
     arena: &'a mut Arena,
     letters: &'a mut AtomInterner<LetterKey>,
+    log: Option<&'a mut InternLog<LetterKey>>,
 }
 
 impl GroundCtx<'_> {
@@ -381,18 +519,25 @@ impl GroundCtx<'_> {
         }
     }
 
+    fn letter(&mut self, key: LetterKey) -> AtomId {
+        let schema = self.schema;
+        match self.log.as_deref_mut() {
+            Some(log) => self
+                .letters
+                .intern_logged(self.arena, log, key, |k| render_letter(k, schema)),
+            None => self
+                .letters
+                .intern(self.arena, key, |k| render_letter(k, schema)),
+        }
+    }
+
     fn eq_letter(&mut self, a: GArg, b: GArg) -> FormulaId {
-        let id = intern_letter(self.arena, self.letters, self.schema, LetterKey::Eq(a, b));
+        let id = self.letter(LetterKey::Eq(a, b));
         self.arena.atom_id(id)
     }
 
     fn pred_letter(&mut self, p: PredId, args: Vec<GArg>) -> FormulaId {
-        let id = intern_letter(
-            self.arena,
-            self.letters,
-            self.schema,
-            LetterKey::Pred(p, args),
-        );
+        let id = self.letter(LetterKey::Pred(p, args));
         self.arena.atom_id(id)
     }
 
@@ -688,6 +833,7 @@ impl Grounding {
             consts: &self.consts,
             arena: &mut self.arena,
             letters: &mut self.letters,
+            log: None,
         };
         let mut psi_new = ctx.arena.tru();
         let mut new_mappings = 0u64;

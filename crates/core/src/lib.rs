@@ -42,18 +42,25 @@
 pub mod counter;
 pub mod diagnostics;
 pub mod engine;
+pub mod error;
 pub mod explain;
 pub mod extension;
 pub mod ground;
 pub mod monitor;
 pub mod obs;
+pub mod par;
 pub mod past;
 pub mod trigger;
 
+pub use diagnostics::earliest_violation;
 pub use engine::{Engine, GroundingContext, Notion, Regrounding};
+pub use error::Error;
 pub use explain::explain;
-pub use extension::{check_potential_satisfaction, CheckOptions, CheckOutcome, CheckStats};
-pub use ground::{ground, GroundError, GroundMode, GroundStats, Grounding, LetterKey};
+pub use extension::{
+    check_potential_satisfaction, CheckOptions, CheckOptionsBuilder, CheckOutcome, CheckStats,
+};
+pub use ground::{ground, ground_with, GroundError, GroundMode, GroundStats, Grounding, LetterKey};
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
 pub use obs::EngineStats;
+pub use par::Threads;
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

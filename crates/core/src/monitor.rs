@@ -1,5 +1,5 @@
 //! Online incremental integrity monitor — a thin facade over the
-//! shared [`Engine`](crate::engine::Engine).
+//! shared [`Engine`].
 //!
 //! The intended deployment of the paper's method: constraints are
 //! registered once, and after every update (transaction) the monitor
@@ -23,7 +23,11 @@ use std::sync::Arc;
 use ticc_fotl::Formula;
 use ticc_tdb::{History, Schema, Transaction};
 
-pub use crate::engine::{ConstraintId, MonitorError, MonitorEvent, Notion, Status};
+use crate::error::Error;
+
+#[allow(deprecated)]
+pub use crate::engine::MonitorError;
+pub use crate::engine::{ConstraintId, MonitorEvent, Notion, Status};
 
 /// Cumulative monitor statistics (the engine's counters folded into
 /// the monitor's historical shape; see [`Monitor::engine_stats`] for
@@ -96,7 +100,7 @@ impl Monitor {
         &mut self,
         name: impl Into<String>,
         phi: Formula,
-    ) -> Result<ConstraintId, MonitorError> {
+    ) -> Result<ConstraintId, Error> {
         self.engine.add_constraint(name, phi)
     }
 
@@ -118,7 +122,7 @@ impl Monitor {
     /// Applies a transaction, producing the next state, and re-checks
     /// every live constraint. Returns the violations that became
     /// unavoidable with this update.
-    pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, MonitorError> {
+    pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, Error> {
         self.engine.append(tx)
     }
 }
@@ -254,7 +258,7 @@ mod tests {
         let phi = parse(&sc, "forall x. G F Sub(x) & (exists y. F Sub(y))").unwrap();
         assert!(matches!(
             m.add_constraint("bad", phi),
-            Err(MonitorError::Ground(_))
+            Err(Error::Ground(_))
         ));
     }
 

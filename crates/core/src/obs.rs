@@ -51,6 +51,16 @@ pub struct EngineStats {
     pub progress_time: Duration,
     /// Wall-clock spent in phase-2 satisfiability.
     pub sat_time: Duration,
+    /// Parallel fan-outs that actually spawned worker threads (sharded
+    /// groundings, concurrent constraint/trigger sweeps).
+    pub par_phases: u64,
+    /// Gauge: the widest worker pool any single fan-out used.
+    pub par_workers: u64,
+    /// Wall-clock spent inside parallel fan-outs.
+    pub par_time: Duration,
+    /// Busy time summed across all workers of all fan-outs. The ratio
+    /// `par busy time / par time` approximates the effective speedup.
+    pub par_busy_time: Duration,
 }
 
 impl EngineStats {
@@ -79,7 +89,56 @@ impl EngineStats {
         s.push_str(&format!("  ground time         {:?}\n", self.ground_time));
         s.push_str(&format!("  progress time       {:?}\n", self.progress_time));
         s.push_str(&format!("  sat time            {:?}", self.sat_time));
+        if self.par_phases > 0 {
+            let speedup = if self.par_time > Duration::ZERO {
+                self.par_busy_time.as_secs_f64() / self.par_time.as_secs_f64()
+            } else {
+                1.0
+            };
+            s.push_str("\nparallel:\n");
+            s.push_str(&format!("  par phases          {}\n", self.par_phases));
+            s.push_str(&format!("  par workers (max)   {}\n", self.par_workers));
+            s.push_str(&format!("  par time            {:?}\n", self.par_time));
+            s.push_str(&format!("  par busy time       {:?}\n", self.par_busy_time));
+            s.push_str(&format!("  effective speedup   {speedup:.2}x"));
+        }
         s
+    }
+
+    /// Adds every counter, gauge, and timer of `other` into `self`
+    /// (`par_workers` is a max-gauge). Used when merging the per-worker
+    /// stats of a parallel constraint sweep back into the engine's
+    /// stats, in chunk order.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.appends += other.appends;
+        self.fast_appends += other.fast_appends;
+        self.grounds += other.grounds;
+        self.regrounds += other.regrounds;
+        self.delta_grounds += other.delta_grounds;
+        self.new_conjuncts += other.new_conjuncts;
+        self.replayed_conjuncts += other.replayed_conjuncts;
+        self.progress_steps += other.progress_steps;
+        self.sat_checks += other.sat_checks;
+        self.sat_cache_hits += other.sat_cache_hits;
+        self.letters += other.letters;
+        self.arena_nodes += other.arena_nodes;
+        self.mappings += other.mappings;
+        self.ground_time += other.ground_time;
+        self.progress_time += other.progress_time;
+        self.sat_time += other.sat_time;
+        self.par_phases += other.par_phases;
+        self.par_workers = self.par_workers.max(other.par_workers);
+        self.par_time += other.par_time;
+        self.par_busy_time += other.par_busy_time;
+    }
+
+    /// Folds the observations of one [`ParMeter`](crate::par::ParMeter)
+    /// into the parallel section of the stats.
+    pub fn absorb_par(&mut self, m: &crate::par::ParMeter) {
+        self.par_phases += m.phases;
+        self.par_workers = self.par_workers.max(m.max_workers);
+        self.par_time += m.wall;
+        self.par_busy_time += m.busy;
     }
 }
 
@@ -130,6 +189,46 @@ mod tests {
             assert!(r.contains(needle), "missing {needle:?} in render");
         }
         assert!(r.contains("  appends             3"));
+    }
+
+    #[test]
+    fn parallel_section_renders_only_when_used() {
+        let s = EngineStats::default();
+        assert!(!s.render().contains("parallel:"));
+        let s = EngineStats {
+            par_phases: 2,
+            par_workers: 4,
+            par_time: Duration::from_millis(10),
+            par_busy_time: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let r = s.render();
+        assert!(r.contains("parallel:"));
+        assert!(r.contains("par workers (max)   4"));
+        assert!(r.contains("effective speedup   3.00x"));
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_worker_gauge() {
+        let mut a = EngineStats {
+            appends: 1,
+            sat_checks: 2,
+            par_workers: 4,
+            ground_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = EngineStats {
+            appends: 2,
+            sat_checks: 3,
+            par_workers: 2,
+            ground_time: Duration::from_millis(7),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.appends, 3);
+        assert_eq!(a.sat_checks, 5);
+        assert_eq!(a.par_workers, 4);
+        assert_eq!(a.ground_time, Duration::from_millis(12));
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Deterministic work sharding over `std::thread::scope`.
+//!
+//! The paper's combined bound (Theorem 4.2) is dominated by work that
+//! is embarrassingly parallel: the `|M|^k` instantiations of the
+//! grounding construction are independent of one another, and so are
+//! the registered constraints of an [`Engine`](crate::Engine). This
+//! module provides the *mechanism* both fan-out points share — a
+//! dependency-free bounded worker pool built on scoped threads (no
+//! external crates; tier-1 stays offline) — together with the policy
+//! knob [`Threads`] and the [`ParMeter`] observability hook.
+//!
+//! Determinism is non-negotiable here: every parallel path in this
+//! crate shards its input into *canonically ordered chunks* and merges
+//! worker results back *in chunk order*, so observable behaviour
+//! (events, statuses, statistics on the grounding structure) is
+//! bit-identical to the sequential path. The helpers in this module
+//! make that easy to get right: [`shard_ranges`] produces the canonical
+//! partition, [`map_chunked`] / [`for_each_chunk_mut`] return results
+//! indexed by chunk.
+
+use std::time::{Duration, Instant};
+
+/// Threading policy for the checking pipeline.
+///
+/// Carried by [`CheckOptions`](crate::CheckOptions); plumbed from the
+/// shell / experiment binaries via `--threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Single-threaded (the default): no worker threads are spawned and
+    /// every code path is the plain sequential one.
+    #[default]
+    Off,
+    /// Use the machine's available parallelism (as reported by
+    /// [`std::thread::available_parallelism`]), capped at 8.
+    Auto,
+    /// Exactly `n` workers. `Fixed(0)` and `Fixed(1)` behave like
+    /// [`Threads::Off`].
+    Fixed(usize),
+}
+
+impl Threads {
+    /// The number of workers this policy resolves to on the current
+    /// machine. `Off` resolves to 1.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Threads::Off => 1,
+            Threads::Auto => std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            Threads::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// Parses the `--threads` argument syntax: `off`, `auto`, or a
+    /// worker count.
+    pub fn parse(s: &str) -> Result<Threads, String> {
+        match s {
+            "off" | "0" | "1" => Ok(Threads::Off),
+            "auto" => Ok(Threads::Auto),
+            n => n
+                .parse::<usize>()
+                .map(Threads::Fixed)
+                .map_err(|_| format!("invalid --threads value '{n}' (want off|auto|<count>)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Threads::Off => write!(out, "off"),
+            Threads::Auto => write!(out, "auto({})", self.worker_count()),
+            Threads::Fixed(n) => write!(out, "{n}"),
+        }
+    }
+}
+
+/// The canonical partition of `0..len` into at most `workers` chunks:
+/// contiguous, in order, sizes differing by at most one (the first
+/// `len % workers` chunks are one longer). Empty ranges are omitted, so
+/// `len < workers` yields `len` singleton chunks.
+pub fn shard_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `f` over the canonical chunks of `0..len` on up to `workers`
+/// scoped threads and returns the per-chunk results *in chunk order*.
+///
+/// `f` receives `(chunk_index, range)`. With `workers <= 1` (or a
+/// single chunk) everything runs on the calling thread — same results,
+/// no spawn. Worker panics propagate to the caller.
+pub fn map_chunked<T, F>(len: usize, workers: usize, meter: &mut ParMeter, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    let ranges = shard_ranges(len, workers);
+    if ranges.len() <= 1 || workers <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    meter.begin(ranges.len());
+    let wall = Instant::now();
+    let f = &f;
+    let results: Vec<(T, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let out = f(i, r);
+                    (out, t.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    meter.end(wall.elapsed(), results.iter().map(|(_, d)| *d).sum());
+    results.into_iter().map(|(t, _)| t).collect()
+}
+
+/// Like [`map_chunked`], but hands each worker a disjoint `&mut` slice
+/// chunk of `items` (split with the canonical partition) and collects
+/// the per-chunk results in chunk order.
+pub fn for_each_chunk_mut<I, T, F>(
+    items: &mut [I],
+    workers: usize,
+    meter: &mut ParMeter,
+    f: F,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, usize, &mut [I]) -> T + Sync,
+{
+    let ranges = shard_ranges(items.len(), workers);
+    if ranges.len() <= 1 || workers <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let start = r.start;
+                f(i, start, &mut items[r])
+            })
+            .collect();
+    }
+    meter.begin(ranges.len());
+    let wall = Instant::now();
+    // Carve `items` into disjoint mutable chunks, in order.
+    let mut chunks: Vec<(usize, usize, &mut [I])> = Vec::with_capacity(ranges.len());
+    let mut rest = items;
+    let mut consumed = 0;
+    for (i, r) in ranges.iter().enumerate() {
+        let (head, tail) = rest.split_at_mut(r.len());
+        chunks.push((i, consumed, head));
+        consumed += r.len();
+        rest = tail;
+    }
+    let f = &f;
+    let results: Vec<(T, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(i, start, chunk)| {
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let out = f(i, start, chunk);
+                    (out, t.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    meter.end(wall.elapsed(), results.iter().map(|(_, d)| *d).sum());
+    results.into_iter().map(|(t, _)| t).collect()
+}
+
+/// Accumulated observability for parallel phases: how many fan-outs
+/// ran, the widest one, wall time inside them, and summed worker busy
+/// time (busy / wall ≈ effective speedup). Absorbed into
+/// [`EngineStats`](crate::EngineStats) by the engine layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParMeter {
+    /// Number of parallel fan-outs that actually spawned threads.
+    pub phases: u64,
+    /// Maximum number of workers used by any single fan-out.
+    pub max_workers: u64,
+    /// Wall-clock time spent inside parallel fan-outs.
+    pub wall: Duration,
+    /// Total busy time summed across all workers of all fan-outs.
+    pub busy: Duration,
+}
+
+impl ParMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, workers: usize) {
+        self.phases += 1;
+        self.max_workers = self.max_workers.max(workers as u64);
+    }
+
+    fn end(&mut self, wall: Duration, busy: Duration) {
+        self.wall += wall;
+        self.busy += busy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_canonically() {
+        assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(4, 4), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(shard_ranges(2, 4), vec![0..1, 1..2]);
+        assert_eq!(shard_ranges(0, 4), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(shard_ranges(5, 1), vec![0..5]);
+        // Exhaustive partition check.
+        for len in 0..40 {
+            for workers in 1..9 {
+                let rs = shard_ranges(len, workers);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                let mut pos = 0;
+                for r in &rs {
+                    assert_eq!(r.start, pos);
+                    assert!(!r.is_empty());
+                    pos = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunked_results_in_chunk_order() {
+        let mut meter = ParMeter::new();
+        let seq = map_chunked(20, 1, &mut meter, |_, r| r.collect::<Vec<_>>());
+        assert_eq!(meter.phases, 0, "no spawn for one worker");
+        let par = map_chunked(20, 4, &mut meter, |_, r| r.collect::<Vec<_>>());
+        assert_eq!(meter.phases, 1);
+        assert_eq!(meter.max_workers, 4);
+        let flat_seq: Vec<usize> = seq.into_iter().flatten().collect();
+        let flat_par: Vec<usize> = par.into_iter().flatten().collect();
+        assert_eq!(flat_seq, flat_par);
+        assert_eq!(flat_par, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_sees_disjoint_slices() {
+        let mut items: Vec<u32> = (0..17).collect();
+        let mut meter = ParMeter::new();
+        let sums = for_each_chunk_mut(&mut items, 4, &mut meter, |i, start, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 100;
+            }
+            (i, start, chunk.len())
+        });
+        assert_eq!(items, (100..117).collect::<Vec<_>>());
+        // Chunk order, with correct global offsets.
+        assert_eq!(sums, vec![(0, 0, 5), (1, 5, 4), (2, 9, 4), (3, 13, 4)]);
+    }
+
+    #[test]
+    fn threads_policy_resolution() {
+        assert_eq!(Threads::Off.worker_count(), 1);
+        assert_eq!(Threads::Fixed(0).worker_count(), 1);
+        assert_eq!(Threads::Fixed(6).worker_count(), 6);
+        assert!(Threads::Auto.worker_count() >= 1);
+        assert_eq!(Threads::parse("off"), Ok(Threads::Off));
+        assert_eq!(Threads::parse("auto"), Ok(Threads::Auto));
+        assert_eq!(Threads::parse("4"), Ok(Threads::Fixed(4)));
+        assert_eq!(Threads::parse("1"), Ok(Threads::Off));
+        assert!(Threads::parse("lots").is_err());
+        assert_eq!(Threads::default(), Threads::Off);
+    }
+}

@@ -22,6 +22,7 @@
 //! `t`. Cross-checked against the reference evaluator
 //! (`ticc_fotl::eval`) in the tests.
 
+use crate::error::Error;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use ticc_fotl::classify::external_prefix;
@@ -35,23 +36,9 @@ enum GElem {
     Fresh(usize),
 }
 
-/// Errors from the history-less monitor.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PastError {
-    /// The constraint is not of the form `∀* □ψ` with `ψ` past and
-    /// quantifier-free.
-    UnsupportedShape(&'static str),
-}
-
-impl std::fmt::Display for PastError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PastError::UnsupportedShape(m) => write!(f, "unsupported constraint shape: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for PastError {}
+/// Former error type of the history-less monitor.
+#[deprecated(since = "0.2.0", note = "use the unified `ticc_core::Error`")]
+pub type PastError = Error;
 
 /// Status of the monitored constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +109,7 @@ impl PastMonitor {
         schema: Arc<Schema>,
         const_values: Vec<Value>,
         phi: &Formula,
-    ) -> Result<Self, PastError> {
+    ) -> Result<Self, Error> {
         assert_eq!(const_values.len(), schema.const_count());
         let (vars, body) = external_prefix(phi);
         let vars: Vec<String> = vars.into_iter().map(str::to_owned).collect();
@@ -133,28 +120,18 @@ impl PastMonitor {
                     Formula::Not(inner) => inner.as_ref().clone(),
                     other => other.clone().not(),
                 },
-                _ => {
-                    return Err(PastError::UnsupportedShape(
-                        "expected □ψ after the ∀ prefix",
-                    ))
-                }
+                _ => return Err(Error::UnsupportedShape("expected □ψ after the ∀ prefix")),
             },
-            _ => {
-                return Err(PastError::UnsupportedShape(
-                    "expected □ψ after the ∀ prefix",
-                ))
-            }
+            _ => return Err(Error::UnsupportedShape("expected □ψ after the ∀ prefix")),
         };
         if !matrix.is_past() {
-            return Err(PastError::UnsupportedShape("matrix must be a past formula"));
+            return Err(Error::UnsupportedShape("matrix must be a past formula"));
         }
         if !matrix.is_quantifier_free() {
-            return Err(PastError::UnsupportedShape(
-                "matrix must be quantifier-free",
-            ));
+            return Err(Error::UnsupportedShape("matrix must be quantifier-free"));
         }
         if matrix.uses_extended_vocabulary() {
-            return Err(PastError::UnsupportedShape(
+            return Err(Error::UnsupportedShape(
                 "extended vocabulary is not supported",
             ));
         }

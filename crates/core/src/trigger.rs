@@ -14,10 +14,12 @@
 //! trigger firing for one would fire for infinitely many, which we treat
 //! as a modelling error rather than a feature).
 
-use crate::engine::{check_once, CheckOnceError};
-use crate::extension::{CheckError, CheckOptions};
+use crate::engine::check_once;
+use crate::error::Error;
+use crate::extension::CheckOptions;
 use crate::ground::GroundError;
 use crate::obs::EngineStats;
+use crate::par::{self, ParMeter, Threads};
 use std::collections::BTreeMap;
 use ticc_fotl::classify::{classify, FormulaClass};
 use ticc_fotl::subst::{free_vars, substitute, Subst};
@@ -69,32 +71,9 @@ pub struct FiredTrigger {
     pub substitution: BTreeMap<String, Value>,
 }
 
-/// Errors from the trigger engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TriggerError {
-    /// The negated, grounded condition falls outside the decidable
-    /// fragment (it must be quantifier-free and future-only).
-    UnsupportedCondition(String),
-    /// Checking failed.
-    Check(CheckError),
-}
-
-impl std::fmt::Display for TriggerError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TriggerError::UnsupportedCondition(m) => write!(f, "unsupported condition: {m}"),
-            TriggerError::Check(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for TriggerError {}
-
-impl From<CheckError> for TriggerError {
-    fn from(e: CheckError) -> Self {
-        TriggerError::Check(e)
-    }
-}
+/// Former error type of the trigger engine.
+#[deprecated(since = "0.2.0", note = "use the unified `ticc_core::Error`")]
+pub type TriggerError = Error;
 
 /// Evaluates triggers against histories by the duality with potential
 /// satisfaction.
@@ -123,14 +102,14 @@ impl TriggerEngine {
     /// Registers a trigger. The condition must be future-only and
     /// quantifier-free, so that `¬Cθ` is a universal sentence checkable
     /// by Theorem 4.2.
-    pub fn add(&mut self, trigger: Trigger) -> Result<usize, TriggerError> {
+    pub fn add(&mut self, trigger: Trigger) -> Result<usize, Error> {
         if !trigger.condition.is_future() {
-            return Err(TriggerError::UnsupportedCondition(
+            return Err(Error::UnsupportedCondition(
                 "condition must use future connectives only".into(),
             ));
         }
         if !trigger.condition.is_quantifier_free() {
-            return Err(TriggerError::UnsupportedCondition(
+            return Err(Error::UnsupportedCondition(
                 "condition must be quantifier-free".into(),
             ));
         }
@@ -139,7 +118,7 @@ impl TriggerEngine {
         match classify(&neg) {
             FormulaClass::Universal { .. } | FormulaClass::Biquantified { .. } => {}
             FormulaClass::NotBiquantified(r) => {
-                return Err(TriggerError::UnsupportedCondition(format!("{r:?}")))
+                return Err(Error::UnsupportedCondition(format!("{r:?}")))
             }
         }
         self.triggers.push(trigger);
@@ -154,9 +133,21 @@ impl TriggerEngine {
     /// Evaluates all triggers at the current instant: for each trigger
     /// and each substitution `θ : free(C) → R_D`, fires iff `¬Cθ` is not
     /// potentially satisfied.
-    pub fn evaluate(&mut self, history: &History) -> Result<Vec<FiredTrigger>, TriggerError> {
+    ///
+    /// With [`Threads`] enabled the (trigger × substitution) jobs fan
+    /// out across a bounded scoped-thread pool; the job list is built
+    /// sequentially first, which fixes the canonical firing order the
+    /// merge preserves, so the fired list is identical to the
+    /// sequential path.
+    pub fn evaluate(&mut self, history: &History) -> Result<Vec<FiredTrigger>, Error> {
         let relevant: Vec<Value> = history.relevant().into_iter().collect();
-        let mut fired = Vec::new();
+        struct Job {
+            trigger: usize,
+            name: String,
+            substitution: BTreeMap<String, Value>,
+            neg: Formula,
+        }
+        let mut jobs: Vec<Job> = Vec::new();
         for (ti, trigger) in self.triggers.iter().enumerate() {
             let vars: Vec<String> = free_vars(&trigger.condition).into_iter().collect();
             for assignment in assignments(&relevant, vars.len()) {
@@ -165,38 +156,78 @@ impl TriggerEngine {
                     .zip(&assignment)
                     .map(|(v, &val)| (v.clone(), Term::Value(val)))
                     .collect();
-                let ground_cond = substitute(&trigger.condition, &theta);
-                let neg = ground_cond.not();
-                let shot = match check_once(history, &neg, &self.opts) {
+                jobs.push(Job {
+                    trigger: ti,
+                    name: trigger.name.clone(),
+                    substitution: vars
+                        .iter()
+                        .cloned()
+                        .zip(assignment.iter().copied())
+                        .collect(),
+                    neg: substitute(&trigger.condition, &theta).not(),
+                });
+            }
+        }
+        // Fan out across jobs when there is more than one; the inner
+        // grounding then runs sequentially (the thread budget is spent
+        // on the job sweep). A single job keeps the caller's threading
+        // so a large grounding can still shard.
+        let workers = if jobs.len() > 1 {
+            self.opts.threads.worker_count()
+        } else {
+            1
+        };
+        let mut opts = self.opts;
+        if workers > 1 {
+            opts.threads = Threads::Off;
+        }
+        let jobs_ref = &jobs;
+        let opts_ref = &opts;
+        let mut meter = ParMeter::new();
+        let chunk_results = par::map_chunked(jobs.len(), workers, &mut meter, |_, range| {
+            let mut stats = EngineStats::default();
+            let mut fired = Vec::new();
+            for job in &jobs_ref[range] {
+                let shot = match check_once(history, &job.neg, opts_ref) {
                     Ok(s) => s,
-                    Err(CheckOnceError::Ground(GroundError::NotUniversal(c))) => {
-                        return Err(TriggerError::UnsupportedCondition(format!("{c:?}")))
+                    Err(Error::Ground(GroundError::NotUniversal(c))) => {
+                        return (stats, Err(Error::UnsupportedCondition(format!("{c:?}"))))
                     }
-                    Err(CheckOnceError::Ground(g)) => {
-                        return Err(TriggerError::Check(CheckError::Ground(g)))
-                    }
-                    Err(CheckOnceError::Sat(s)) => {
-                        return Err(TriggerError::Check(CheckError::Sat(s)))
-                    }
+                    Err(e) => return (stats, Err(e)),
                 };
-                self.stats.grounds += 1;
-                self.stats.sat_checks += 1;
-                self.stats.ground_time += shot.ground_time;
-                self.stats.sat_time += shot.decide_time;
+                stats.grounds += 1;
+                stats.sat_checks += 1;
+                stats.ground_time += shot.ground_time;
+                stats.sat_time += shot.decide_time;
+                stats.absorb_par(&shot.par);
                 if !shot.result.satisfiable {
                     fired.push(FiredTrigger {
-                        trigger: ti,
-                        name: trigger.name.clone(),
-                        substitution: vars
-                            .iter()
-                            .cloned()
-                            .zip(assignment.iter().copied())
-                            .collect(),
+                        trigger: job.trigger,
+                        name: job.name.clone(),
+                        substitution: job.substitution.clone(),
                     });
                 }
             }
+            (stats, Ok(fired))
+        });
+        self.stats.absorb_par(&meter);
+        let mut fired = Vec::new();
+        let mut first_err = None;
+        for (worker_stats, result) in chunk_results {
+            self.stats.absorb(&worker_stats);
+            match result {
+                Ok(mut chunk) => fired.append(&mut chunk),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
-        Ok(fired)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(fired),
+        }
     }
 
     /// Materialises the actions of a set of firings as one transaction

@@ -172,14 +172,10 @@ proptest! {
         let sc = schema();
         let phi = close1(&sc, &m);
         let h = build_history(&sc, &spec);
-        let folded = check_potential_satisfaction(&h, &phi, &CheckOptions {
-            mode: GroundMode::Folded,
-            solver: SatSolver::Buchi,
-        }).unwrap();
-        let full = check_potential_satisfaction(&h, &phi, &CheckOptions {
-            mode: GroundMode::Full,
-            solver: SatSolver::Buchi,
-        }).unwrap();
+        let folded = check_potential_satisfaction(&h, &phi,
+            &CheckOptions::builder().mode(GroundMode::Folded).solver(SatSolver::Buchi).build()).unwrap();
+        let full = check_potential_satisfaction(&h, &phi,
+            &CheckOptions::builder().mode(GroundMode::Full).solver(SatSolver::Buchi).build()).unwrap();
         prop_assert_eq!(folded.potentially_satisfied, full.potentially_satisfied);
     }
 
@@ -192,10 +188,8 @@ proptest! {
         let phi = close1(&sc, &m);
         let h = build_history(&sc, &spec);
         let probe = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
-        let exhaustive = check_potential_satisfaction(&h, &phi, &CheckOptions {
-            mode: GroundMode::Folded,
-            solver: SatSolver::BuchiExhaustive,
-        }).unwrap();
+        let exhaustive = check_potential_satisfaction(&h, &phi,
+            &CheckOptions::builder().mode(GroundMode::Folded).solver(SatSolver::BuchiExhaustive).build()).unwrap();
         prop_assert_eq!(probe.potentially_satisfied, exhaustive.potentially_satisfied);
     }
 

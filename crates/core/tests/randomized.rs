@@ -76,19 +76,13 @@ fn full_and_folded_groundings_agree() {
         let folded = check_potential_satisfaction(
             &h,
             phi,
-            &CheckOptions {
-                mode: GroundMode::Folded,
-                ..CheckOptions::default()
-            },
+            &CheckOptions::builder().mode(GroundMode::Folded).build(),
         )
         .unwrap();
         let full = check_potential_satisfaction(
             &h,
             phi,
-            &CheckOptions {
-                mode: GroundMode::Full,
-                ..CheckOptions::default()
-            },
+            &CheckOptions::builder().mode(GroundMode::Full).build(),
         )
         .unwrap();
         assert_eq!(

@@ -502,6 +502,108 @@ impl Arena {
             .collect()
     }
 
+    /// Rebuilds the DAG rooted at `root` of a *source* arena inside
+    /// this arena, mapping source atom `AtomId(i)` to `atoms[i]` (which
+    /// must already be interned here). Returns the translated root.
+    ///
+    /// The rebuild goes through this arena's folding constructors, so
+    /// the result is in the same canonical form a direct construction
+    /// would produce — translation commutes with construction, which is
+    /// what lets per-worker arenas merge without perturbing `dag_size`
+    /// or `tree_size`. `memo` caches source-id → destination-id across
+    /// calls; reuse it when translating many roots from one source.
+    ///
+    /// Iterative (explicit work stack), so deeply right- or left-leaning
+    /// source formulas cannot overflow the call stack.
+    pub fn translate_from(
+        &mut self,
+        src: &Arena,
+        root: FormulaId,
+        atoms: &[AtomId],
+        memo: &mut HashMap<FormulaId, FormulaId>,
+    ) -> FormulaId {
+        enum Task {
+            Visit(FormulaId),
+            Build(FormulaId),
+        }
+        let mut stack = vec![Task::Visit(root)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Visit(f) => {
+                    if memo.contains_key(&f) {
+                        continue;
+                    }
+                    match src.node(f) {
+                        Node::True => {
+                            let id = self.tru();
+                            memo.insert(f, id);
+                        }
+                        Node::False => {
+                            let id = self.fls();
+                            memo.insert(f, id);
+                        }
+                        Node::Atom(a) => {
+                            let id = self.atom_id(atoms[a.index()]);
+                            memo.insert(f, id);
+                        }
+                        Node::Not(g) | Node::Next(g) | Node::Prev(g) => {
+                            stack.push(Task::Build(f));
+                            stack.push(Task::Visit(g));
+                        }
+                        Node::And(a, b)
+                        | Node::Or(a, b)
+                        | Node::Until(a, b)
+                        | Node::Release(a, b)
+                        | Node::Since(a, b) => {
+                            stack.push(Task::Build(f));
+                            stack.push(Task::Visit(a));
+                            stack.push(Task::Visit(b));
+                        }
+                    }
+                }
+                Task::Build(f) => {
+                    let id = match src.node(f) {
+                        Node::True | Node::False | Node::Atom(_) => unreachable!(),
+                        Node::Not(g) => {
+                            let g = memo[&g];
+                            self.not(g)
+                        }
+                        Node::Next(g) => {
+                            let g = memo[&g];
+                            self.next(g)
+                        }
+                        Node::Prev(g) => {
+                            let g = memo[&g];
+                            self.prev(g)
+                        }
+                        Node::And(a, b) => {
+                            let (a, b) = (memo[&a], memo[&b]);
+                            self.and(a, b)
+                        }
+                        Node::Or(a, b) => {
+                            let (a, b) = (memo[&a], memo[&b]);
+                            self.or(a, b)
+                        }
+                        Node::Until(a, b) => {
+                            let (a, b) = (memo[&a], memo[&b]);
+                            self.until(a, b)
+                        }
+                        Node::Release(a, b) => {
+                            let (a, b) = (memo[&a], memo[&b]);
+                            self.release(a, b)
+                        }
+                        Node::Since(a, b) => {
+                            let (a, b) = (memo[&a], memo[&b]);
+                            self.since(a, b)
+                        }
+                    };
+                    memo.insert(f, id);
+                }
+            }
+        }
+        memo[&root]
+    }
+
     /// Renders a formula using the crate's text syntax (parseable back by
     /// [`crate::parser::parse`]).
     pub fn display(&self, f: FormulaId) -> FormulaDisplay<'_> {
@@ -702,6 +804,96 @@ mod tests {
         assert_eq!(s, "G (p U q)");
         let ev = ar.eventually(p);
         assert_eq!(format!("{}", ar.display(ev)), "F p");
+    }
+}
+
+#[cfg(test)]
+mod translate_tests {
+    use super::*;
+
+    #[test]
+    fn translation_commutes_with_construction() {
+        // Build in a worker arena with its own atom numbering, then
+        // translate into a main arena that interned the same letters in
+        // a different order: the result must equal a direct build.
+        let mut w = Arena::new();
+        let wp = w.atom("p");
+        let wq = w.atom("q");
+        let wu = w.until(wp, wq);
+        let wg = w.always(wu);
+        let wnp = w.not(wp);
+        let wf = w.and(wg, wnp);
+
+        let mut main = Arena::new();
+        let mq = main.intern_atom("q");
+        let mp = main.intern_atom("p");
+        let remap = vec![mp, mq]; // worker AtomId(0)="p" → mp, …
+        let mut memo = HashMap::new();
+        let got = main.translate_from(&w, wf, &remap, &mut memo);
+
+        let direct = {
+            let p = main.atom_id(mp);
+            let q = main.atom_id(mq);
+            let u = main.until(p, q);
+            let g = main.always(u);
+            let np = main.not(p);
+            main.and(g, np)
+        };
+        assert_eq!(got, direct);
+        assert_eq!(main.dag_size(got), w.dag_size(wf));
+        assert_eq!(main.tree_size(got), w.tree_size(wf));
+    }
+
+    #[test]
+    fn translation_refolds_against_destination_state() {
+        // ¬p exists in the destination before p ∧ ¬p arrives from the
+        // worker: complementation folding must still fire.
+        let mut w = Arena::new();
+        let wp = w.atom("p");
+        let wnp = w.not(wp);
+        let wf = w.and(wp, wnp);
+        assert_eq!(w.node(wf), Node::False, "source folds too");
+
+        let mut main = Arena::new();
+        let mp = main.intern_atom("p");
+        let mut memo = HashMap::new();
+        let got = main.translate_from(&w, wf, &[mp], &mut memo);
+        assert_eq!(main.node(got), Node::False);
+    }
+
+    #[test]
+    fn memo_reuse_across_roots() {
+        let mut w = Arena::new();
+        let wp = w.atom("p");
+        let wx = w.next(wp);
+        let wy = w.and(wp, wx);
+
+        let mut main = Arena::new();
+        let mp = main.intern_atom("p");
+        let mut memo = HashMap::new();
+        let a = main.translate_from(&w, wx, &[mp], &mut memo);
+        let before = memo.len();
+        let b = main.translate_from(&w, wy, &[mp], &mut memo);
+        assert!(memo.len() > before);
+        let expect = {
+            let p = main.atom_id(mp);
+            main.and(p, a)
+        };
+        assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow() {
+        let mut w = Arena::new();
+        let mut f = w.atom("p");
+        for _ in 0..200_000 {
+            f = w.next(f);
+        }
+        let mut main = Arena::new();
+        let mp = main.intern_atom("p");
+        let mut memo = HashMap::new();
+        let got = main.translate_from(&w, f, &[mp], &mut memo);
+        assert_eq!(main.dag_size(got), w.dag_size(f));
     }
 }
 

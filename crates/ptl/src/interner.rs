@@ -1,6 +1,6 @@
 //! Structured-key atom interning.
 //!
-//! The [`Arena`](crate::arena::Arena) interns atoms by *name*; every
+//! The [`Arena`] interns atoms by *name*; every
 //! consumer that derives its propositional vocabulary from structured
 //! data (the grounding's `p(a⃗)` and `(a=b)` letters, the tdb state
 //! encoding) used to keep its own ad-hoc `HashMap<(…), AtomId>` next to
@@ -29,6 +29,45 @@ pub struct AtomInterner<K> {
     map: HashMap<K, AtomId>,
 }
 
+/// First-sight record of the keys an [`AtomInterner`] created, in
+/// creation order.
+///
+/// Entry `i` holds the key and rendered name of the atom a *local*
+/// interner assigned `AtomId(i)` (a fresh interner over a fresh arena
+/// hands out dense ids `0, 1, 2, …`). Replaying the log into another
+/// interner/arena pair with [`AtomInterner::replay`] therefore yields a
+/// local-id → merged-id remap table — the mechanism the sharded
+/// grounding path uses to merge per-worker vocabularies while keeping
+/// the merged atom order identical to a sequential run.
+#[derive(Debug, Clone, Default)]
+pub struct InternLog<K> {
+    entries: Vec<(K, String)>,
+}
+
+impl<K> InternLog<K> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of logged first sightings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(key, rendered name)` entries in first-sight order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &str)> {
+        self.entries.iter().map(|(k, n)| (k, n.as_str()))
+    }
+}
+
 impl<K: Eq + Hash + Clone> AtomInterner<K> {
     /// An empty interner.
     pub fn new() -> Self {
@@ -52,6 +91,52 @@ impl<K: Eq + Hash + Clone> AtomInterner<K> {
         let id = arena.intern_atom(&name);
         self.map.insert(key, id);
         id
+    }
+
+    /// Like [`intern`](Self::intern), but records every first sighting
+    /// in `log` so the interning session can later be replayed into a
+    /// different arena with [`replay`](Self::replay).
+    pub fn intern_logged(
+        &mut self,
+        arena: &mut Arena,
+        log: &mut InternLog<K>,
+        key: K,
+        render: impl FnOnce(&K) -> String,
+    ) -> AtomId {
+        if let Some(&id) = self.map.get(&key) {
+            return id;
+        }
+        let name = render(&key);
+        let id = arena.intern_atom(&name);
+        log.entries.push((key.clone(), name));
+        self.map.insert(key, id);
+        id
+    }
+
+    /// Replays a first-sight `log` (from a worker's local interner)
+    /// into this interner/arena, in log order. Keys already present are
+    /// skipped without re-rendering; fresh keys are interned under
+    /// their recorded names. Returns the remap table: entry `i` is the
+    /// id *this* interner holds for the key a local interner assigned
+    /// `AtomId(i)`.
+    ///
+    /// Because a fresh key first seen in log `j` of a chunk-ordered
+    /// sequence of logs is interned here after every key of logs `< j`
+    /// and before later first sightings of log `j`, replaying the
+    /// workers' logs in canonical chunk order reproduces exactly the
+    /// atom order a sequential first-sight pass would have produced.
+    pub fn replay(&mut self, arena: &mut Arena, log: &InternLog<K>) -> Vec<AtomId> {
+        log.entries
+            .iter()
+            .map(|(key, name)| {
+                if let Some(&id) = self.map.get(key) {
+                    return id;
+                }
+                let id = arena.intern_atom(name);
+                self.map.insert(key.clone(), id);
+                id
+            })
+            .collect()
     }
 
     /// The id for `key`, if it has been interned.
@@ -133,6 +218,65 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(keys, vec![0, 1, 2, 3, 4]);
         assert!(!it.is_empty());
+    }
+
+    #[test]
+    fn replayed_logs_reproduce_sequential_first_sight_order() {
+        // Sequential pass over a key stream vs. two workers splitting
+        // the stream: replaying the workers' logs in chunk order must
+        // give the sequential arena's atom table verbatim.
+        let stream: Vec<u32> = vec![3, 1, 3, 2, 2, 5, 1, 4];
+        let (left, right) = stream.split_at(4);
+
+        let mut seq_arena = Arena::new();
+        let mut seq: AtomInterner<u32> = AtomInterner::new();
+        for &k in &stream {
+            seq.intern(&mut seq_arena, k, |k| format!("a{k}"));
+        }
+
+        let mut main_arena = Arena::new();
+        let mut main: AtomInterner<u32> = AtomInterner::new();
+        let mut remaps = Vec::new();
+        for chunk in [left, right] {
+            let mut warena = Arena::new();
+            let mut w: AtomInterner<u32> = AtomInterner::new();
+            let mut log = InternLog::new();
+            for &k in chunk {
+                w.intern_logged(&mut warena, &mut log, k, |k| format!("a{k}"));
+            }
+            // Local ids are dense in first-sight order.
+            for (i, (k, _)) in log.iter().enumerate() {
+                assert_eq!(w.get(k), Some(AtomId(i as u32)));
+            }
+            remaps.push(main.replay(&mut main_arena, &log));
+        }
+
+        assert_eq!(main_arena.atom_count(), seq_arena.atom_count());
+        for i in 0..main_arena.atom_count() {
+            assert_eq!(
+                main_arena.atom_name(AtomId(i as u32)),
+                seq_arena.atom_name(AtomId(i as u32))
+            );
+        }
+        // The remap agrees with the merged interner on every chunk key.
+        for (chunk, remap) in [left, right].iter().zip(&remaps) {
+            for &k in *chunk {
+                let main_id = main.get(&k).unwrap();
+                assert!(remap.contains(&main_id));
+            }
+        }
+    }
+
+    #[test]
+    fn intern_logged_skips_log_on_repeat_sight() {
+        let mut arena = Arena::new();
+        let mut it: AtomInterner<u8> = AtomInterner::new();
+        let mut log = InternLog::new();
+        let a = it.intern_logged(&mut arena, &mut log, 7, |_| "p7".into());
+        let b = it.intern_logged(&mut arena, &mut log, 7, |_| "p7".into());
+        assert_eq!(a, b);
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
     }
 
     #[test]

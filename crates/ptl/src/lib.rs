@@ -48,7 +48,7 @@ pub mod trace;
 
 pub use arena::{Arena, AtomId, FormulaId, Node};
 pub use buchi::{Buchi, BuchiNode};
-pub use interner::AtomInterner;
+pub use interner::{AtomInterner, InternLog};
 pub use lasso::Lasso;
 pub use progression::progress;
 pub use sat::{extends, is_satisfiable, SatResult, SatSolver};

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 use ticc::core::counter::counter_instance;
-use ticc::core::{check_potential_satisfaction, CheckOptions};
+use ticc::prelude::{check_potential_satisfaction, CheckOptions};
 
 fn main() {
     println!("n-bit binary counter, single state D0 (all zeros), k = 0 external vars");

@@ -13,9 +13,7 @@
 //!
 //! Run with: `cargo run --example order_queue`
 
-use ticc::core::diagnostics::earliest_violation;
-use ticc::core::{check_potential_satisfaction, CheckOptions};
-use ticc::fotl::parser::parse;
+use ticc::prelude::{check_potential_satisfaction, earliest_violation, parse, CheckOptions};
 use ticc::tdb::workload::{OrderViolation, OrderWorkload};
 
 const FIFO: &str = "forall x y. G !(x != y & Sub(x) & \

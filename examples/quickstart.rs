@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ticc::core::{CheckOptions, Monitor, Status};
-use ticc::fotl::parser::parse;
-use ticc::tdb::{Schema, Transaction};
+use ticc::prelude::*;
 
 fn main() {
     // Vocabulary: Sub(x) — "order x was submitted at this instant",

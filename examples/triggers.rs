@@ -11,10 +11,8 @@
 //!
 //! Run with: `cargo run --example triggers`
 
-use ticc::core::{Action, CheckOptions, Trigger, TriggerEngine};
-use ticc::fotl::parser::parse;
 use ticc::fotl::Term;
-use ticc::tdb::{History, Schema, State};
+use ticc::prelude::{parse, Action, CheckOptions, History, Schema, State, Trigger, TriggerEngine};
 
 fn main() {
     let schema = Schema::builder()

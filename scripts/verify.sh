@@ -18,4 +18,26 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
+echo "==> shell smoke run (--threads 4)"
+smoke="$(mktemp)"
+cat > "$smoke" <<'EOF'
+schema pred Sub 1
+constraint once: forall x. G (Sub(x) -> X G !Sub(x))
+trigger dup: F (Sub(x) & X F Sub(x))
+insert Sub(1)
+commit
+insert Sub(1)
+commit
+status
+stats
+EOF
+out="$(./target/release/ticc-shell --threads 4 "$smoke")"
+rm -f "$smoke"
+echo "$out" | grep -q "VIOLATION" || { echo "smoke: expected a violation"; exit 1; }
+echo "$out" | grep -q "TRIGGER: 'dup' fires" || { echo "smoke: expected a firing"; exit 1; }
+echo "smoke: OK"
+
 echo "verify: OK"

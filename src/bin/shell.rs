@@ -3,12 +3,32 @@
 //! Reads commands from stdin (or from a script file given as the first
 //! argument) and drives [`ticc::shell::Shell`]. See `help` inside the
 //! shell or the module docs for the command language.
+//!
+//! `--threads off|auto|<n>` selects the worker-pool policy for every
+//! monitor, trigger, and ad-hoc check in the session (default: off).
 
 use std::io::{BufRead, Write};
+use ticc::core::{CheckOptions, Threads};
 
 fn main() {
-    let mut shell = ticc::shell::Shell::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = Threads::Off;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(v) = args.get(i + 1) else {
+            eprintln!("--threads needs a value (off|auto|<count>)");
+            std::process::exit(2);
+        };
+        threads = match Threads::parse(v) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    let opts = CheckOptions::builder().threads(threads).build();
+    let mut shell = ticc::shell::Shell::with_options(opts);
 
     if let Some(path) = args.first() {
         // Script mode: run a file of commands, echoing each.

@@ -14,9 +14,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use ticc::tdb::{Schema, Transaction};
-//! use ticc::fotl::parser::parse;
-//! use ticc::core::{Monitor, CheckOptions, Status};
+//! use ticc::prelude::*;
 //!
 //! // A schema with an event predicate Sub (order submitted).
 //! let schema = Schema::builder().pred("Sub", 1).pred("Fill", 1).build();
@@ -57,3 +55,38 @@ pub use ticc_tm as tm;
 /// Interactive shell engine (drives the whole stack from text commands;
 /// wrapped by the `ticc-shell` binary).
 pub mod shell;
+
+/// The one-import API surface: everything a typical checking session
+/// needs.
+///
+/// ```
+/// use ticc::prelude::*;
+///
+/// let schema = Schema::builder().pred("Sub", 1).build();
+/// let phi = parse(&schema, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+/// let opts = CheckOptions::builder().threads(Threads::Auto).build();
+/// let mut monitor = Monitor::new(schema.clone(), opts);
+/// monitor.add_constraint("once-only", phi).unwrap();
+/// ```
+///
+/// Covers: the online [`Monitor`](ticc_core::Monitor) and the shared
+/// [`Engine`](ticc_core::Engine), the
+/// [`TriggerEngine`](ticc_core::TriggerEngine) duality layer, one-shot
+/// [`check_potential_satisfaction`](ticc_core::check_potential_satisfaction),
+/// the unified [`Error`](ticc_core::Error), the
+/// [`CheckOptions`](ticc_core::CheckOptions) builder with its
+/// [`Threads`](ticc_core::Threads) policy, the database substrate
+/// ([`Schema`](ticc_tdb::Schema), [`State`](ticc_tdb::State),
+/// [`Transaction`](ticc_tdb::Transaction),
+/// [`History`](ticc_tdb::History)), and the constraint
+/// [`parse`](ticc_fotl::parser::parse)r.
+pub mod prelude {
+    pub use ticc_core::{
+        check_potential_satisfaction, earliest_violation, explain, Action, CheckOptions,
+        CheckOptionsBuilder, CheckOutcome, ConstraintId, Engine, Error, GroundMode, Monitor,
+        MonitorEvent, Notion, Regrounding, Status, Threads, Trigger, TriggerEngine,
+    };
+    pub use ticc_fotl::parser::parse;
+    pub use ticc_fotl::Formula;
+    pub use ticc_tdb::{History, Schema, State, Transaction, Value};
+}

@@ -53,6 +53,7 @@ enum Phase {
 /// The shell engine.
 pub struct Shell {
     phase: Phase,
+    opts: CheckOptions,
 }
 
 impl Default for Shell {
@@ -62,13 +63,20 @@ impl Default for Shell {
 }
 
 impl Shell {
-    /// A fresh shell with an empty schema.
+    /// A fresh shell with an empty schema and default options.
     pub fn new() -> Self {
+        Self::with_options(CheckOptions::default())
+    }
+
+    /// A fresh shell using `opts` for every monitor, trigger, and
+    /// ad-hoc check (this is how `ticc-shell --threads N` plugs in).
+    pub fn with_options(opts: CheckOptions) -> Self {
         Self {
             phase: Phase::Defining {
                 preds: Vec::new(),
                 consts: Vec::new(),
             },
+            opts,
         }
     }
 
@@ -122,8 +130,8 @@ impl Shell {
                 history.set_constant(c, *value);
             }
             self.phase = Phase::Running {
-                monitor: Box::new(Monitor::with_history(history, CheckOptions::default())),
-                triggers: Box::new(TriggerEngine::new(CheckOptions::default())),
+                monitor: Box::new(Monitor::with_history(history, self.opts)),
+                triggers: Box::new(TriggerEngine::new(self.opts)),
                 trigger_names: Vec::new(),
                 constraint_ids: Vec::new(),
                 pending: Transaction::new(),
@@ -366,12 +374,13 @@ impl Shell {
     }
 
     fn cmd_check(&mut self, rest: &str) -> Reply {
+        let opts = self.opts;
         let phase = self.ensure_running()?;
         let Phase::Running { monitor, .. } = phase else {
             unreachable!()
         };
         let phi = parse(monitor.history().schema(), rest).map_err(|e| e.to_string())?;
-        let out = check_potential_satisfaction(monitor.history(), &phi, &CheckOptions::default())
+        let out = check_potential_satisfaction(monitor.history(), &phi, &opts)
             .map_err(|e| e.to_string())?;
         Ok(if out.potentially_satisfied {
             "potentially satisfied (an extension exists)".to_owned()
@@ -381,19 +390,17 @@ impl Shell {
     }
 
     fn cmd_explain(&mut self, rest: &str) -> Reply {
+        let opts = self.opts;
         let phase = self.ensure_running()?;
         let Phase::Running { monitor, .. } = phase else {
             unreachable!()
         };
         let phi = parse(monitor.history().schema(), rest).map_err(|e| e.to_string())?;
-        Ok(ticc_core::explain(
-            monitor.history(),
-            &phi,
-            &CheckOptions::default(),
-        ))
+        Ok(ticc_core::explain(monitor.history(), &phi, &opts))
     }
 
     fn cmd_witness(&mut self, rest: &str) -> Reply {
+        let opts = self.opts;
         let phase = self.ensure_running()?;
         let Phase::Running {
             monitor,
@@ -407,7 +414,7 @@ impl Shell {
         let Some((_, _, phi)) = constraint_ids.iter().find(|(n, _, _)| n == name) else {
             return Err(format!("no constraint named '{name}'"));
         };
-        let out = check_potential_satisfaction(monitor.history(), phi, &CheckOptions::default())
+        let out = check_potential_satisfaction(monitor.history(), phi, &opts)
             .map_err(|e| e.to_string())?;
         let Some(w) = out.witness else {
             return Ok(format!(
@@ -620,6 +627,31 @@ mod tests {
         assert!(r.contains("trigger engine:"), "{r}");
         // The colon-prefixed spelling works too.
         assert!(sh.exec(":stats").unwrap().contains("appends"));
+    }
+
+    #[test]
+    fn threaded_session_matches_sequential() {
+        let opts = ticc_core::CheckOptions::builder()
+            .threads(ticc_core::Threads::Fixed(4))
+            .build();
+        let script = [
+            "schema pred Sub 1",
+            "constraint once: forall x. G (Sub(x) -> X G !Sub(x))",
+            "constraint cap: G !Sub(9)",
+            "trigger dup: F (Sub(x) & X F Sub(x))",
+            "insert Sub(1)",
+            "commit",
+            "delete Sub(1)",
+            "commit",
+            "insert Sub(1)",
+            "commit",
+            "status",
+        ];
+        let mut seq = Shell::new();
+        let mut par = Shell::with_options(opts);
+        for line in script {
+            assert_eq!(seq.exec(line), par.exec(line), "diverged at '{line}'");
+        }
     }
 
     #[test]

@@ -25,10 +25,7 @@ fn schema() -> Arc<Schema> {
 }
 
 fn opts(regrounding: Regrounding) -> CheckOptions {
-    CheckOptions {
-        regrounding,
-        ..CheckOptions::default()
-    }
+    CheckOptions::builder().regrounding(regrounding).build()
 }
 
 /// One randomized streaming session: elements arrive staggered (each

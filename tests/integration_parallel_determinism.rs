@@ -1,0 +1,250 @@
+//! Parallel determinism — `Threads::Off` vs `Threads::Fixed(4)` must be
+//! observationally *identical*, not merely equivalent.
+//!
+//! The parallel layer shards work at two points: grounding partitions
+//! the `|M|^k` instantiation space into per-worker chunks whose local
+//! arenas are merged in canonical chunk order, and `Engine::append`
+//! fans the registered constraints out across a bounded scoped-thread
+//! pool, merging events in `ConstraintId` order. Both merges are
+//! designed so interning, formula structure, statuses, and event
+//! streams come out bit-identical to the sequential path. This suite
+//! sweeps randomized staggered sessions (fresh elements arriving
+//! mid-stream, deletions, re-submissions) over ≥100 seeds and asserts
+//! exactly that, including the instantiation-level [`GroundStats`] and
+//! the earliest-violation instants, plus the trigger engine's fired
+//! lists under the same two policies.
+
+use std::sync::Arc;
+use ticc::core::{
+    earliest_violation, Action, CheckOptions, ConstraintId, Engine, Threads, Trigger, TriggerEngine,
+};
+use ticc::fotl::parser::parse;
+use ticc::tdb::rng::Rng;
+use ticc::tdb::{History, Schema, Transaction, Value};
+
+/// k = 1: the paper's once-only constraint.
+const ONCE_ONLY: &str = "forall x. G (Sub(x) -> X G !Sub(x))";
+/// k = 2: once-only per pair, so the instantiation space is `|M|^2`
+/// and the sharded grounding path engages as soon as `|R_D| ≥ 1`.
+const PAIR_ONCE: &str = "forall x y. G (Rep(x, y) -> X G !Rep(x, y))";
+/// k = 0: never violated here (elements stay far below 999), which
+/// keeps at least two constraints live so appends keep fanning out.
+const CAP: &str = "G !Sub(999)";
+
+fn schema() -> Arc<Schema> {
+    Schema::builder().pred("Sub", 1).pred("Rep", 2).build()
+}
+
+fn opts(threads: Threads) -> CheckOptions {
+    CheckOptions::builder().threads(threads).build()
+}
+
+/// Random staggered workload: fresh elements arrive mid-stream,
+/// present facts may be deleted, old elements may be re-submitted.
+/// Both engines always see the identical transaction.
+struct Driver {
+    seen: Vec<Value>,
+    sub_present: Vec<Value>,
+    rep_present: Vec<(Value, Value)>,
+    next_fresh: Value,
+    max_elements: usize,
+}
+
+impl Driver {
+    fn new(max_elements: usize) -> Self {
+        Driver {
+            seen: Vec::new(),
+            sub_present: Vec::new(),
+            rep_present: Vec::new(),
+            next_fresh: 10,
+            max_elements,
+        }
+    }
+
+    fn pick(&mut self, rng: &mut Rng) -> Value {
+        if self.seen.is_empty() || (self.seen.len() < self.max_elements && rng.gen_bool(0.4)) {
+            let v = self.next_fresh;
+            self.next_fresh += 1;
+            self.seen.push(v);
+            v
+        } else {
+            self.seen[rng.gen_range_usize(0..self.seen.len())]
+        }
+    }
+
+    fn step(&mut self, sc: &Schema, rng: &mut Rng) -> Transaction {
+        let sub = sc.pred("Sub").unwrap();
+        let rep = sc.pred("Rep").unwrap();
+        let mut tx = Transaction::new();
+        self.sub_present.retain(|&v| {
+            if rng.gen_bool(0.4) {
+                tx = std::mem::take(&mut tx).delete(sub, vec![v]);
+                false
+            } else {
+                true
+            }
+        });
+        self.rep_present.retain(|&(a, b)| {
+            if rng.gen_bool(0.4) {
+                tx = std::mem::take(&mut tx).delete(rep, vec![a, b]);
+                false
+            } else {
+                true
+            }
+        });
+        for _ in 0..rng.gen_range_usize(0..3) {
+            let v = self.pick(rng);
+            tx = std::mem::take(&mut tx).insert(sub, vec![v]);
+            if !self.sub_present.contains(&v) {
+                self.sub_present.push(v);
+            }
+        }
+        for _ in 0..rng.gen_range_usize(0..2) {
+            let a = self.pick(rng);
+            let b = self.pick(rng);
+            tx = std::mem::take(&mut tx).insert(rep, vec![a, b]);
+            if !self.rep_present.contains(&(a, b)) {
+                self.rep_present.push((a, b));
+            }
+        }
+        tx
+    }
+}
+
+#[test]
+fn off_and_fixed4_agree_on_randomized_sessions() {
+    let sc = schema();
+    let mut fanned_out = 0usize;
+    let mut sharded = 0usize;
+    let mut violating_runs = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = Rng::seed_from_u64(0x9a41 ^ seed);
+        let phis = [
+            parse(&sc, ONCE_ONLY).unwrap(),
+            parse(&sc, PAIR_ONCE).unwrap(),
+            parse(&sc, CAP).unwrap(),
+        ];
+        let mut off = Engine::new(sc.clone(), opts(Threads::Off));
+        let mut par = Engine::new(sc.clone(), opts(Threads::Fixed(4)));
+        let mut ids: Vec<ConstraintId> = Vec::new();
+        for (i, phi) in phis.iter().enumerate() {
+            let a = off.add_constraint(format!("c{i}"), phi.clone()).unwrap();
+            let b = par.add_constraint(format!("c{i}"), phi.clone()).unwrap();
+            assert_eq!(a, b, "constraint ids must assign identically");
+            ids.push(a);
+        }
+
+        let mut drv = Driver::new(8);
+        let mut events = 0usize;
+        for _ in 0..rng.gen_range_usize(4..9) {
+            let tx = drv.step(&sc, &mut rng);
+            let ev_off = off.append(&tx).unwrap();
+            let ev_par = par.append(&tx).unwrap();
+            assert_eq!(ev_off, ev_par, "seed {seed}: event streams diverge");
+            events += ev_off.len();
+            for id in &ids {
+                assert_eq!(
+                    off.status(*id),
+                    par.status(*id),
+                    "seed {seed}: status diverges"
+                );
+            }
+        }
+        if events > 0 {
+            violating_runs += 1;
+        }
+
+        // The groundings themselves must be bit-identical: same |M|,
+        // same instantiation counts, same letter and node totals —
+        // chunk-ordered intern replay reproduces the sequential arena.
+        for id in &ids {
+            assert_eq!(
+                off.context(*id).grounding().stats,
+                par.context(*id).grounding().stats,
+                "seed {seed}: GroundStats diverge for {id:?}"
+            );
+        }
+
+        // Every semantic counter agrees; only the par_* gauges differ.
+        let so = off.stats();
+        let sp = par.stats();
+        assert_eq!(so.appends, sp.appends, "seed {seed}");
+        assert_eq!(so.grounds, sp.grounds, "seed {seed}");
+        assert_eq!(so.regrounds, sp.regrounds, "seed {seed}");
+        assert_eq!(so.delta_grounds, sp.delta_grounds, "seed {seed}");
+        assert_eq!(so.fast_appends, sp.fast_appends, "seed {seed}");
+        assert_eq!(so.sat_checks, sp.sat_checks, "seed {seed}");
+        assert_eq!(so.par_phases, 0, "seed {seed}: Off must never fan out");
+
+        // Earliest-violation instants agree under both policies.
+        for phi in &phis {
+            let a = earliest_violation(off.history(), phi, &opts(Threads::Off)).unwrap();
+            let b = earliest_violation(par.history(), phi, &opts(Threads::Fixed(4))).unwrap();
+            assert_eq!(a, b, "seed {seed}: earliest violation diverges");
+        }
+
+        if sp.par_phases > 0 {
+            fanned_out += 1;
+        }
+        if sp.par_workers >= 2 {
+            sharded += 1;
+        }
+    }
+    // The sweep must actually exercise the parallel machinery and
+    // produce real violations, or the equalities above are vacuous.
+    assert!(fanned_out >= 100, "only {fanned_out}/120 runs fanned out");
+    assert!(
+        sharded >= 100,
+        "only {sharded}/120 runs used multiple workers"
+    );
+    assert!(
+        violating_runs >= 20,
+        "only {violating_runs}/120 runs violate"
+    );
+}
+
+#[test]
+fn trigger_engine_agrees_off_vs_fixed4() {
+    let sc = schema();
+    for seed in 0..25u64 {
+        let mut rng = Rng::seed_from_u64(0x7219 ^ seed);
+        let mut off = TriggerEngine::new(opts(Threads::Off));
+        let mut par = TriggerEngine::new(opts(Threads::Fixed(4)));
+        for (i, cond) in ["F (Sub(x) & X F Sub(x))", "F Rep(x, y)"]
+            .iter()
+            .enumerate()
+        {
+            let c = parse(&sc, cond).unwrap();
+            off.add(Trigger {
+                name: format!("t{i}"),
+                condition: c.clone(),
+                action: Action::Log,
+            })
+            .unwrap();
+            par.add(Trigger {
+                name: format!("t{i}"),
+                condition: c,
+                action: Action::Log,
+            })
+            .unwrap();
+        }
+
+        let mut h = History::new(sc.clone());
+        let mut drv = Driver::new(5);
+        let mut fired_total = 0usize;
+        for _ in 0..4 {
+            let tx = drv.step(&sc, &mut rng);
+            h.apply(&tx).unwrap();
+            let f_off = off.evaluate(&h).unwrap();
+            let f_par = par.evaluate(&h).unwrap();
+            assert_eq!(f_off, f_par, "seed {seed}: fired lists diverge");
+            fired_total += f_off.len();
+        }
+        let _ = fired_total;
+
+        let so = off.stats();
+        let sp = par.stats();
+        assert_eq!(so.grounds, sp.grounds, "seed {seed}");
+        assert_eq!(so.sat_checks, sp.sat_checks, "seed {seed}");
+    }
+}
