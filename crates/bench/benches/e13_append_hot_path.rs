@@ -1,0 +1,67 @@
+//! E13: the append hot path — steady-state appends cost `O(|Δtx|)`
+//! plus (usually) one transition-cache lookup.
+//!
+//! A FIFO-clean churn over a fixed 6-element domain keeps the relevant
+//! domain stable after the first lap, so every append takes the fast
+//! path; the sweep ablates the two hot-path layers independently
+//! (incremental letter patching vs full re-encode, transition cache on
+//! vs off) and reports steady-state appends/second for each.
+
+use ticc_bench::table::Table;
+use ticc_bench::{fifo, order_schema, steady_churn_tx};
+use ticc_core::{CheckOptions, Encoding, Monitor};
+
+fn main() {
+    let sc = order_schema();
+    let domain = 6usize;
+    let warmup = 2 * domain;
+
+    let mut table = Table::new(
+        "E13 — append hot path (steady churn, |R_D| = 6, FIFO + cap)",
+        "steady-state appends: O(|Δtx|) patch + one transition lookup",
+        &["config", "t", "appends/s", "trans hits", "speedup"],
+    );
+    for total in [512usize, 2048] {
+        let run = |encoding: Encoding, cache: bool| -> (f64, u64) {
+            let opts = CheckOptions::builder()
+                .encoding(encoding)
+                .transition_cache(cache)
+                .build();
+            let mut m = Monitor::new(sc.clone(), opts);
+            m.add_constraint("fifo", fifo(&sc)).unwrap();
+            let cap = ticc_fotl::parser::parse(&sc, "G !Sub(999)").unwrap();
+            m.add_constraint("cap", cap).unwrap();
+            for i in 0..warmup {
+                assert!(m
+                    .append(&steady_churn_tx(&sc, domain, i))
+                    .unwrap()
+                    .is_empty());
+            }
+            let t0 = std::time::Instant::now();
+            for i in warmup..total {
+                assert!(m
+                    .append(&steady_churn_tx(&sc, domain, i))
+                    .unwrap()
+                    .is_empty());
+            }
+            let rate = (total - warmup) as f64 / t0.elapsed().as_secs_f64();
+            (rate, m.engine_stats().cache.transition_hits)
+        };
+        let (base, _) = run(Encoding::Rebuild, false);
+        for (label, encoding, cache) in [
+            ("rebuild / no cache", Encoding::Rebuild, false),
+            ("incremental / no cache", Encoding::Incremental, false),
+            ("incremental + cache", Encoding::Incremental, true),
+        ] {
+            let (rate, hits) = run(encoding, cache);
+            table.row([
+                label.to_owned(),
+                total.to_string(),
+                format!("{rate:.0}"),
+                hits.to_string(),
+                format!("{:.2}x", rate / base),
+            ]);
+        }
+    }
+    table.print();
+}

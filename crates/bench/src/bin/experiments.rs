@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E10) from `DESIGN.md` §6.
+//! Regenerates every experiment table (E1–E13) from `DESIGN.md` §6.
 //!
 //! The paper (Chomicki & Niwiński, PODS 1993) is a theory paper with no
 //! empirical tables; each experiment here validates one of its stated
@@ -6,26 +6,55 @@
 //! measured. Run with:
 //!
 //! ```text
-//! cargo run --release -p ticc-bench --bin experiments -- [--threads off|auto|N] [e1 e2 …]
+//! cargo run --release -p ticc-bench --bin experiments -- \
+//!     [--threads off|auto|N] [--json <path>] [--smoke] [e1 e2 …]
 //! ```
+//!
+//! `--json <path>` writes the machine-readable headline numbers (E13
+//! per-config appends/sec plus the E1/E7 headlines) to `<path>`; the
+//! format is documented in `EXPERIMENTS.md`. `--smoke` shrinks E13 to
+//! a quick single-lap run (used by `scripts/verify.sh --release`).
 
 use std::time::Duration;
 use ticc_bench::table::{fmt_duration, Table};
 use ticc_bench::*;
 use ticc_core::counter::counter_instance;
-use ticc_core::{check_potential_satisfaction, CheckOptions, GroundMode, Monitor, Threads};
+use ticc_core::{
+    check_potential_satisfaction, CheckOptions, Encoding, EngineStats, GroundMode, Monitor, Threads,
+};
 use ticc_ptl::arena::Arena;
 use ticc_ptl::sat::{is_satisfiable_with, SatSolver};
 use ticc_tdb::workload::OrderWorkload;
 use ticc_tdb::Transaction;
 
+/// Machine-readable headline numbers, written by `--json`.
+#[derive(Default)]
+struct Headlines {
+    /// E1: (history length, ns per state) at the largest size.
+    e1: Option<(usize, f64)>,
+    /// E7: (instants, appends per second) at the largest size.
+    e7: Option<(usize, f64)>,
+    /// E13: the full per-config sweep.
+    e13: Option<E13Result>,
+}
+
 fn main() {
     let threads = ticc_bench::threads_arg();
     let mut args: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut smoke = false;
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
         if a == "--threads" {
             raw.next(); // value consumed by threads_arg
+            continue;
+        }
+        if a == "--json" {
+            json_path = Some(raw.next().expect("--json needs a path"));
+            continue;
+        }
+        if a == "--smoke" {
+            smoke = true;
             continue;
         }
         args.push(a.to_lowercase());
@@ -34,8 +63,9 @@ fn main() {
 
     println!("ticc experiment harness — Chomicki & Niwiński (PODS 1993)");
     println!("threads = {threads}");
+    let mut headlines = Headlines::default();
     if want("e1") {
-        e1_history_length();
+        headlines.e1 = Some(e1_history_length());
     }
     if want("e2") {
         e2_relevant_elements(threads);
@@ -53,7 +83,7 @@ fn main() {
         e6_grounding_ablation();
     }
     if want("e7") {
-        e7_trigger_throughput(threads);
+        headlines.e7 = Some(e7_trigger_throughput(threads));
     }
     if want("e8") {
         e8_tableau_vs_gpvw();
@@ -67,11 +97,18 @@ fn main() {
     if want("e11") {
         e11_notion_latency();
     }
+    if want("e13") {
+        headlines.e13 = Some(e13_append_hot_path(smoke));
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &headlines);
+        println!("\nwrote {path}");
+    }
 }
 
 /// E1: checking time is linear in history length `t` (Lemma 4.2 phase 1,
 /// first addend of Theorem 4.2's bound) once `R_D` is fixed.
-fn e1_history_length() {
+fn e1_history_length() -> (usize, f64) {
     let sc = order_schema();
     let phi = fifo(&sc);
     let mut t = Table::new(
@@ -79,6 +116,7 @@ fn e1_history_length() {
         "Theorem 4.2 first addend: O(t · |phi_D|) — time/state flattens",
         &["t", "sat?", "time", "time/state"],
     );
+    let mut headline = (0usize, 0.0f64);
     for states in [16usize, 64, 256, 1024, 4096] {
         let h = cyclic_order_history(&sc, states);
         let mut out = None;
@@ -92,8 +130,10 @@ fn e1_history_length() {
             fmt_duration(d),
             fmt_duration(d / states as u32),
         ]);
+        headline = (states, d.as_secs_f64() * 1e9 / states as f64);
     }
     t.print();
+    headline
 }
 
 /// E2: `|R_D|` drives the cost. (a) the grounding alone is polynomial of
@@ -363,7 +403,7 @@ fn e6_grounding_ablation() {
 
 /// E7: end-to-end monitor + trigger throughput on the paper's
 /// customer-order workload.
-fn e7_trigger_throughput(threads: Threads) {
+fn e7_trigger_throughput(threads: Threads) -> (usize, f64) {
     let sc = order_schema();
     let mut t = Table::new(
         "E7: online monitor throughput (order workload, once-only + FIFO)",
@@ -380,6 +420,7 @@ fn e7_trigger_throughput(threads: Threads) {
             "appends/s",
         ],
     );
+    let mut headline = (0usize, 0.0f64);
     for instants in [8usize, 16, 32] {
         let w = OrderWorkload {
             instants,
@@ -430,8 +471,10 @@ fn e7_trigger_throughput(threads: Threads) {
             fmt_duration(dp),
             format!("{rate:.0}"),
         ]);
+        headline = (instants, rate);
     }
     t.print();
+    headline
 }
 
 /// E8: ablation — classic closure-subset tableau vs on-the-fly GPVW.
@@ -603,6 +646,169 @@ fn e11_notion_latency() {
         ]);
     }
     t.print();
+}
+
+/// One measured configuration of the E13 sweep.
+struct E13Config {
+    label: &'static str,
+    encoding: Encoding,
+    cache: bool,
+    appends_per_sec: f64,
+    stats: EngineStats,
+}
+
+/// The E13 sweep result (also the `--json` payload).
+struct E13Result {
+    domain: usize,
+    history: usize,
+    measured: usize,
+    configs: Vec<E13Config>,
+    /// Hot configuration vs the rebuild-everything ablation.
+    speedup: f64,
+}
+
+/// E13: the append hot path — steady-state appends cost `O(|Δtx|)`
+/// plus (usually) one transition-cache lookup. Ablates the two layers
+/// independently: incremental letter patching vs full re-encode, and
+/// transition cache on vs off.
+fn e13_append_hot_path(smoke: bool) -> E13Result {
+    use ticc_fotl::parser::parse;
+    let sc = order_schema();
+    let domain = 6usize;
+    let total = if smoke { 240 } else { 4096 };
+    let warmup = 2 * domain; // one full lap: the domain is stable after it
+    let mut t = Table::new(
+        format!("E13: append hot path (steady churn, |R_D| = {domain}, FIFO + cap, t = {total})"),
+        "steady-state appends cost O(|Δtx|) + one hash lookup: \
+         incremental patching skips the re-encode, the transition \
+         cache skips progression and phase 2",
+        &[
+            "config",
+            "appends/s",
+            "trans hits",
+            "trans misses",
+            "patched atoms",
+            "speedup",
+        ],
+    );
+    let run = |encoding: Encoding, cache: bool| -> (f64, EngineStats) {
+        let opts = CheckOptions::builder()
+            .encoding(encoding)
+            .transition_cache(cache)
+            .build();
+        let mut m = Monitor::new(sc.clone(), opts);
+        m.add_constraint("fifo", fifo(&sc)).unwrap();
+        m.add_constraint("cap", parse(&sc, "G !Sub(999)").unwrap())
+            .unwrap();
+        for i in 0..warmup {
+            assert!(m
+                .append(&steady_churn_tx(&sc, domain, i))
+                .unwrap()
+                .is_empty());
+        }
+        let t0 = std::time::Instant::now();
+        for i in warmup..total {
+            assert!(m
+                .append(&steady_churn_tx(&sc, domain, i))
+                .unwrap()
+                .is_empty());
+        }
+        let elapsed = t0.elapsed();
+        (
+            (total - warmup) as f64 / elapsed.as_secs_f64(),
+            m.engine_stats(),
+        )
+    };
+    let spec: [(&'static str, Encoding, bool); 4] = [
+        ("rebuild / no cache", Encoding::Rebuild, false),
+        ("incremental / no cache", Encoding::Incremental, false),
+        ("rebuild / cache", Encoding::Rebuild, true),
+        ("incremental + cache", Encoding::Incremental, true),
+    ];
+    let mut configs = Vec::new();
+    for (label, encoding, cache) in spec {
+        let (rate, stats) = run(encoding, cache);
+        configs.push(E13Config {
+            label,
+            encoding,
+            cache,
+            appends_per_sec: rate,
+            stats,
+        });
+    }
+    let baseline = configs[0].appends_per_sec;
+    for c in &configs {
+        t.row([
+            c.label.to_owned(),
+            format!("{:.0}", c.appends_per_sec),
+            c.stats.cache.transition_hits.to_string(),
+            c.stats.cache.transition_misses.to_string(),
+            c.stats.encode_patched_atoms.to_string(),
+            format!("{:.2}x", c.appends_per_sec / baseline),
+        ]);
+    }
+    t.print();
+    let speedup = configs[3].appends_per_sec / baseline;
+    E13Result {
+        domain,
+        history: total,
+        measured: total - warmup,
+        configs,
+        speedup,
+    }
+}
+
+/// Hand-rolled JSON emitter for the `--json` payload (no external
+/// dependencies — tier-1 stays offline). Format documented in
+/// `EXPERIMENTS.md` under E13.
+fn write_json(path: &str, h: &Headlines) {
+    let mut s = String::from("{\n  \"schema\": \"ticc-bench-append-hot-path-v1\",\n");
+    if let Some(e13) = &h.e13 {
+        s.push_str("  \"e13\": {\n");
+        s.push_str(&format!("    \"domain\": {},\n", e13.domain));
+        s.push_str(&format!("    \"history\": {},\n", e13.history));
+        s.push_str(&format!("    \"measured_appends\": {},\n", e13.measured));
+        s.push_str("    \"configs\": [\n");
+        for (i, c) in e13.configs.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"encoding\": \"{}\", \"transition_cache\": {}, \
+                 \"appends_per_sec\": {:.1}, \"transition_hits\": {}, \
+                 \"transition_misses\": {}, \"encode_patched_atoms\": {}}}{}\n",
+                match c.encoding {
+                    Encoding::Rebuild => "rebuild",
+                    Encoding::Incremental => "incremental",
+                },
+                c.cache,
+                c.appends_per_sec,
+                c.stats.cache.transition_hits,
+                c.stats.cache.transition_misses,
+                c.stats.encode_patched_atoms,
+                if i + 1 < e13.configs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!(
+            "    \"speedup_hot_vs_rebuild\": {:.2}\n  }},\n",
+            e13.speedup
+        ));
+    }
+    if let Some((t, ns)) = h.e1 {
+        s.push_str(&format!(
+            "  \"e1\": {{\"history_len\": {t}, \"ns_per_state\": {ns:.1}}},\n"
+        ));
+    }
+    if let Some((instants, rate)) = h.e7 {
+        s.push_str(&format!(
+            "  \"e7\": {{\"instants\": {instants}, \"appends_per_sec\": {rate:.1}}},\n"
+        ));
+    }
+    // Trailing "threads" field doubles as the terminator so every
+    // section above can unconditionally end with a comma.
+    s.push_str(&format!(
+        "  \"threads\": \"{}\"\n}}\n",
+        ticc_bench::threads_arg()
+    ));
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }
 
 /// E10: the binary-counter family — a single state forces `2^n`

@@ -75,6 +75,28 @@ pub fn unsubmitted_history(schema: &Arc<Schema>, m: usize) -> History {
     h
 }
 
+/// The E13 steady-state append workload: a FIFO-clean churn over a
+/// fixed domain of `d` orders. Step `i` yields the transaction moving
+/// the single-fact state forward — `Sub(v)`/`Fill(v)` alternating with
+/// `v` cycling through `0..d`, the previous fact deleted. The relevant
+/// domain stabilises after the first lap (period `2d`), after which
+/// every transaction is one delete plus one insert: the steady state
+/// the append hot path is built for.
+pub fn steady_churn_tx(schema: &Schema, d: usize, i: usize) -> ticc_tdb::Transaction {
+    let fact = |j: usize| {
+        let v = ((j / 2) % d) as Value;
+        let name = if j.is_multiple_of(2) { "Sub" } else { "Fill" };
+        (schema.pred(name).unwrap(), v)
+    };
+    let mut tx = ticc_tdb::Transaction::new();
+    if i > 0 {
+        let (p, v) = fact(i - 1);
+        tx = tx.delete(p, vec![v]);
+    }
+    let (p, v) = fact(i);
+    tx.insert(p, vec![v])
+}
+
 /// The `⋀_{i<n} □◇p_i` family: a classic exponential-automaton family
 /// for the `2^O(|ψ|)` bound (E3) and the tableau-vs-GPVW ablation (E8).
 pub fn gf_family(arena: &mut Arena, n: usize) -> FormulaId {
@@ -149,6 +171,22 @@ mod tests {
         let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
         assert!(out.potentially_satisfied);
         assert_eq!(out.stats.ground.m_size, 5); // 4 relevant + z1
+    }
+
+    #[test]
+    fn steady_churn_is_fifo_clean_with_stable_domain() {
+        let sc = order_schema();
+        let phi = fifo(&sc);
+        let mut h = History::new(sc.clone());
+        let d = 4usize;
+        for i in 0..4 * d {
+            h.apply(&steady_churn_tx(&sc, d, i)).unwrap();
+        }
+        // Exactly one fact per state; the domain stops growing after
+        // the first lap.
+        assert_eq!(h.relevant().len(), d);
+        let out = check_potential_satisfaction(&h, &phi, &CheckOptions::default()).unwrap();
+        assert!(out.potentially_satisfied);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! (the E6 ablation).
 
 use crate::error::Error;
-use crate::extension::CheckOptions;
+use crate::extension::{CheckOptions, Encoding};
 use crate::ground::{ground_metered, GroundMode, Grounding};
 use crate::obs::{EngineStats, Timer};
 use crate::par::{self, ParMeter, Threads};
@@ -37,11 +37,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 use ticc_fotl::Formula;
-use ticc_ptl::arena::FormulaId;
+use ticc_ptl::arena::{AtomId, FormulaId};
 use ticc_ptl::progression::{progress, progress_trace};
 use ticc_ptl::sat::{extends_with, is_satisfiable_with, SatError, SatResult};
 use ticc_ptl::simplify::simplify;
-use ticc_tdb::{History, Schema, State, Transaction, Value};
+use ticc_ptl::trace::PropState;
+use ticc_tdb::rng::splitmix64;
+use ticc_tdb::{History, Schema, State, Transaction};
 
 /// Handle to a registered constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,15 +117,62 @@ pub struct MonitorEvent {
 #[deprecated(since = "0.2.0", note = "use the unified `ticc_core::Error`")]
 pub type MonitorError = Error;
 
+/// Size bound of the per-context transition cache. Reaching it drops
+/// the whole table (epoch eviction) — deterministic regardless of hash
+/// iteration order, which a pick-a-victim policy would not be.
+const TRANSITION_CACHE_CAP: usize = 1 << 16;
+
+/// Size bound of the per-context satisfiability memo (same epoch
+/// eviction policy).
+const SAT_CACHE_CAP: usize = 1 << 16;
+
+/// A memoised edge of the lazily materialised safety automaton: where
+/// progression takes the residue under one letter, and (once phase 2
+/// has run) whether that successor is satisfiable.
+#[derive(Clone, Copy)]
+struct Transition {
+    next: FormulaId,
+    /// `None` until a [`Notion::Potential`] decision backfills it (the
+    /// bad-prefix notion never runs phase 2).
+    verdict: Option<bool>,
+}
+
+/// Fingerprint of `w` restricted to `support`, folding the true atoms
+/// (in id order) through the repo's splitmix64 mixer. Progression of a
+/// residue only reads the letters in its support, so this fingerprint
+/// keys the transition cache; a 64-bit collision — astronomically
+/// unlikely, and cross-checked by the 120-seed equivalence suite — is
+/// the standard fingerprinting trade-off (cf. Zobrist hashing).
+fn support_fingerprint(w: &PropState, support: &[AtomId]) -> u64 {
+    let mut h = 0xa076_1d64_78bd_642f_u64;
+    for &a in support {
+        if w.get(a) {
+            let mut s = h ^ u64::from(a.0);
+            h = splitmix64(&mut s);
+        }
+    }
+    h
+}
+
 /// A grounding plus the derived per-constraint runtime state: the
-/// progressed residue and the satisfiability memo. The engine keeps
+/// progressed residue, the satisfiability memo, and the transition
+/// cache of the lazily materialised safety automaton. The engine keeps
 /// one per registered constraint; the grounding's stored trace is kept
 /// in sync on every append so delta re-grounding can replay new
 /// conjunct blocks through it.
+///
+/// Both memo tables are bounded (`TRANSITION_CACHE_CAP`,
+/// `SAT_CACHE_CAP`) with evictions counted in
+/// [`CacheStats`](crate::obs::CacheStats). Entries never go stale:
+/// progression is a pure function of the residue's DAG (immutable once
+/// hash-consed) and the support-restricted letter values, and a delta
+/// re-ground changes the residue *id*, so old keys simply stop being
+/// queried.
 pub struct GroundingContext {
     g: Grounding,
     residue: FormulaId,
     sat_cache: HashMap<FormulaId, bool>,
+    transition_cache: HashMap<(FormulaId, u64), Transition>,
 }
 
 impl GroundingContext {
@@ -154,6 +203,7 @@ impl GroundingContext {
             g,
             residue,
             sat_cache: HashMap::new(),
+            transition_cache: HashMap::new(),
         })
     }
 
@@ -168,13 +218,73 @@ impl GroundingContext {
     }
 
     /// Fast path: the state mentions no element outside `M`. Encodes
-    /// it, progresses the residue one step, and appends the encoded
-    /// state to the stored trace. Returns `false` (doing nothing) if a
-    /// new relevant element blocks the fast path.
-    fn fast_append(&mut self, state: &State, stats: &mut EngineStats) -> Result<bool, Error> {
-        let Some(w) = self.g.state_to_prop(state) else {
-            return Ok(false);
+    /// the next propositional state — patched in place from the
+    /// previous trace state in `O(|Δtx|)` under
+    /// [`Encoding::Incremental`], else via a full re-encode — then
+    /// advances the residue one letter, consulting the transition
+    /// cache first. On a cache hit both progression and (when the
+    /// memoised verdict is present) the phase-2 satisfiability test
+    /// are skipped: a steady-state append is the encoding patch plus
+    /// one hash lookup. Returns `Ok(None)` (doing nothing) if a new
+    /// relevant element blocks the fast path.
+    fn fast_append(
+        &mut self,
+        tx: &Transaction,
+        state: &State,
+        opts: &CheckOptions,
+        notion: Notion,
+        history_len: usize,
+        stats: &mut EngineStats,
+    ) -> Result<Option<Status>, Error> {
+        let w = if opts.encoding == Encoding::Incremental && self.g.mode() == GroundMode::Folded {
+            match self.g.patch_state(tx) {
+                Some((w, patched)) => {
+                    stats.encode_patched_atoms += patched;
+                    w
+                }
+                None => return Ok(None),
+            }
+        } else {
+            match self.g.state_to_prop(state) {
+                Some(w) => w,
+                None => return Ok(None),
+            }
         };
+        let mut miss_key = None;
+        if opts.transition_cache {
+            let support = self.g.arena.atoms_of_cached(self.residue);
+            let key = (self.residue, support_fingerprint(&w, &support));
+            if let Some(&hit) = self.transition_cache.get(&key) {
+                stats.cache.transition_hits += 1;
+                self.residue = hit.next;
+                self.g.trace.push(w);
+                if notion == Notion::BadPrefix {
+                    let fls = self.g.arena.fls();
+                    return Ok(Some(if self.residue == fls {
+                        Status::Violated { at: history_len }
+                    } else {
+                        Status::Satisfied
+                    }));
+                }
+                if let Some(sat) = hit.verdict {
+                    return Ok(Some(if sat {
+                        Status::Satisfied
+                    } else {
+                        Status::Violated { at: history_len }
+                    }));
+                }
+                // The edge was recorded under the bad-prefix notion;
+                // run phase 2 now and backfill the verdict.
+                let status = self.decide(notion, opts, history_len, stats)?;
+                let sat = matches!(status, Status::Satisfied);
+                if let Some(entry) = self.transition_cache.get_mut(&key) {
+                    entry.verdict = Some(sat);
+                }
+                return Ok(Some(status));
+            }
+            stats.cache.transition_misses += 1;
+            miss_key = Some(key);
+        }
         let t = Timer::start();
         let progressed = progress(&mut self.g.arena, self.residue, &w)
             .map_err(|_| Error::Sat(SatError::Past))?;
@@ -184,28 +294,58 @@ impl GroundingContext {
         self.g.trace.push(w);
         t.finish(&mut stats.progress_time);
         stats.progress_steps += 1;
-        Ok(true)
+        let status = self.decide(notion, opts, history_len, stats)?;
+        if let Some(key) = miss_key {
+            if self.transition_cache.len() >= TRANSITION_CACHE_CAP {
+                stats.cache.transition_evictions += self.transition_cache.len() as u64;
+                self.transition_cache.clear();
+            }
+            let verdict = match notion {
+                Notion::Potential => Some(matches!(status, Status::Satisfied)),
+                Notion::BadPrefix => None,
+            };
+            self.transition_cache.insert(
+                key,
+                Transition {
+                    next: self.residue,
+                    verdict,
+                },
+            );
+        }
+        Ok(Some(status))
     }
 
     /// Delta path: ground only the instantiations mentioning the new
     /// elements, replay that block through the stored trace (plus the
     /// new state), progress the memoised residue one step, and conjoin.
-    fn delta_append(&mut self, state: &State, stats: &mut EngineStats) -> Result<(), Error> {
+    fn delta_append(
+        &mut self,
+        tx: &Transaction,
+        state: &State,
+        opts: &CheckOptions,
+        stats: &mut EngineStats,
+    ) -> Result<(), Error> {
         let t = Timer::start();
-        let known = self.g.known_values();
-        let delta: Vec<Value> = state
-            .active_domain()
-            .iter()
-            .copied()
-            .filter(|v| !known.contains(v))
-            .collect();
+        let delta = self.g.tx_delta(tx);
         let dg = self.g.ground_delta(&delta)?;
         t.finish(&mut stats.ground_time);
         stats.delta_grounds += 1;
         stats.new_conjuncts += dg.new_mappings;
 
         let t = Timer::start();
-        let w = self.g.encode_state(state);
+        let w = if opts.encoding == Encoding::Incremental {
+            // ground_delta has just extended the known set, so every
+            // element the transaction mentions now has letters to
+            // patch against.
+            let (w, patched) = self
+                .g
+                .patch_state(tx)
+                .expect("delta re-ground covers every element the transaction mentions");
+            stats.encode_patched_atoms += patched;
+            w
+        } else {
+            self.g.encode_state(state)
+        };
         self.g.trace.push(w.clone());
         // Old trace states need no re-encoding: letters mentioning a
         // delta element are false there, which PropState's default
@@ -241,13 +381,17 @@ impl GroundingContext {
             });
         }
         let sat = if let Some(&cached) = self.sat_cache.get(&self.residue) {
-            stats.sat_cache_hits += 1;
+            stats.cache.sat_hits += 1;
             cached
         } else {
             stats.sat_checks += 1;
             let t = Timer::start();
             let r = is_satisfiable_with(&mut self.g.arena, self.residue, opts.solver)?;
             t.finish(&mut stats.sat_time);
+            if self.sat_cache.len() >= SAT_CACHE_CAP {
+                stats.cache.sat_evictions += self.sat_cache.len() as u64;
+                self.sat_cache.clear();
+            }
             self.sat_cache.insert(self.residue, r.satisfiable);
             r.satisfiable
         };
@@ -324,11 +468,13 @@ impl Engine {
         s.letters = 0;
         s.arena_nodes = 0;
         s.mappings = 0;
+        s.cache.letter_index_len = 0;
         for e in &self.entries {
             let g = e.ctx.grounding();
             s.letters += g.letter_count() as u64;
             s.arena_nodes += g.arena.dag_len() as u64;
             s.mappings += g.stats.mappings as u64;
+            s.cache.letter_index_len += g.letter_index_len() as u64;
         }
         s
     }
@@ -383,16 +529,23 @@ impl Engine {
     /// loop and the parallel constraint sweep share one body.
     fn step_entry(
         history: &History,
+        tx: &Transaction,
         entry: &mut Entry,
         opts: &CheckOptions,
         notion: Notion,
         stats: &mut EngineStats,
     ) -> Result<Status, Error> {
         let state = history.state(history.len() - 1);
-        if entry.ctx.fast_append(state, stats)? {
+        if let Some(status) =
+            entry
+                .ctx
+                .fast_append(tx, state, opts, notion, history.len(), stats)?
+        {
             stats.fast_appends += 1;
-        } else if opts.regrounding == Regrounding::Delta && opts.mode == GroundMode::Folded {
-            entry.ctx.delta_append(state, stats)?;
+            return Ok(status);
+        }
+        if opts.regrounding == Regrounding::Delta && opts.mode == GroundMode::Folded {
+            entry.ctx.delta_append(tx, state, opts, stats)?;
         } else {
             // Full rebuild over the enlarged history.
             stats.regrounds += 1;
@@ -422,7 +575,7 @@ impl Engine {
             .count();
         let workers = self.opts.threads.worker_count();
         if live > 1 && workers > 1 {
-            return self.append_parallel(workers);
+            return self.append_parallel(tx, workers);
         }
         let mut events = Vec::new();
         for i in 0..self.entries.len() {
@@ -431,6 +584,7 @@ impl Engine {
             }
             let status = Self::step_entry(
                 &self.history,
+                tx,
                 &mut self.entries[i],
                 &self.opts,
                 self.notion,
@@ -453,7 +607,11 @@ impl Engine {
     /// worker with grounding forced sequential (the fan-out budget is
     /// spent here), and merges outcomes, stats, and the first error in
     /// chunk order.
-    fn append_parallel(&mut self, workers: usize) -> Result<Vec<MonitorEvent>, Error> {
+    fn append_parallel(
+        &mut self,
+        tx: &Transaction,
+        workers: usize,
+    ) -> Result<Vec<MonitorEvent>, Error> {
         let mut inner = self.opts;
         inner.threads = Threads::Off;
         let history = &self.history;
@@ -467,7 +625,7 @@ impl Engine {
                     if matches!(entry.status, Status::Violated { .. }) {
                         continue; // safety: violations are permanent
                     }
-                    match Self::step_entry(history, entry, &inner, notion, &mut stats) {
+                    match Self::step_entry(history, tx, entry, &inner, notion, &mut stats) {
                         Ok(status) => outcomes.push((start + off, status)),
                         Err(e) => return (stats, Err(e)),
                     }
@@ -644,6 +802,92 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.delta_grounds, 0, "full construction cannot delta-ground");
         assert_eq!(s.regrounds, 1);
+    }
+
+    #[test]
+    fn transition_cache_hits_on_cyclic_appends() {
+        // A stable two-element domain churned cyclically: after the
+        // first lap every (residue, letter) pair recurs, so steady
+        // state is all transition hits with no progression and no
+        // phase-2 work.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let fill = sc.pred("Fill").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> Fill(x))").unwrap();
+        let mut e = Engine::new(sc.clone(), CheckOptions::default());
+        e.add_constraint("covered", phi).unwrap();
+        e.append(
+            &Transaction::new()
+                .insert(sub, vec![1])
+                .insert(fill, vec![1]),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            e.append(
+                &Transaction::new()
+                    .delete(sub, vec![1])
+                    .delete(fill, vec![1]),
+            )
+            .unwrap();
+            e.append(
+                &Transaction::new()
+                    .insert(sub, vec![1])
+                    .insert(fill, vec![1]),
+            )
+            .unwrap();
+        }
+        let s = e.stats();
+        assert!(s.cache.transition_hits >= 4, "{s:?}");
+        assert!(s.cache.transition_misses >= 1, "{s:?}");
+        assert!(s.encode_patched_atoms > 0, "incremental encoding ran");
+        assert!(s.cache.letter_index_len > 0);
+        assert_eq!(s.cache.transition_evictions, 0);
+        // Hits skip progression entirely.
+        assert!(s.progress_steps < s.appends + 1, "{s:?}");
+    }
+
+    #[test]
+    fn hot_path_matches_rebuild_encoding() {
+        // The same workload — including a mid-stream new element and a
+        // final violation — through the hot configuration and through
+        // the ablation (full re-encode, no transition cache) must
+        // produce identical events and statuses.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut hot = Engine::new(sc.clone(), CheckOptions::default());
+        let mut cold = Engine::new(
+            sc.clone(),
+            CheckOptions::builder()
+                .encoding(Encoding::Rebuild)
+                .transition_cache(false)
+                .build(),
+        );
+        let h_id = hot.add_constraint("once", phi.clone()).unwrap();
+        let c_id = cold.add_constraint("once", phi).unwrap();
+        let txs = [
+            Transaction::new().insert(sub, vec![1]),
+            Transaction::new().delete(sub, vec![1]),
+            Transaction::new(),
+            Transaction::new().insert(sub, vec![2]), // new element: delta path
+            Transaction::new().delete(sub, vec![2]),
+            Transaction::new().insert(sub, vec![1]), // re-submission: violation
+        ];
+        for (i, tx) in txs.iter().enumerate() {
+            let he = hot.append(tx).unwrap();
+            let ce = cold.append(tx).unwrap();
+            assert_eq!(he, ce, "append {i}");
+            assert_eq!(hot.status(h_id), cold.status(c_id), "append {i}");
+        }
+        assert!(matches!(hot.status(h_id), Status::Violated { .. }));
+        let hs = hot.stats();
+        let cs = cold.stats();
+        assert!(hs.encode_patched_atoms > 0);
+        assert_eq!(cs.encode_patched_atoms, 0);
+        assert_eq!(cs.cache.transition_hits + cs.cache.transition_misses, 0);
+        // Identical groundings either way.
+        assert_eq!(hs.letters, cs.letters);
+        assert_eq!(hs.mappings, cs.mappings);
     }
 
     #[test]

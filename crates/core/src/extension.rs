@@ -17,14 +17,31 @@ use ticc_fotl::Formula;
 use ticc_ptl::sat::{SatSolver, SatStats};
 use ticc_tdb::{History, State};
 
+/// How the engine derives the propositional valuation of an appended
+/// state on the fast path (the E13 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// Re-derive the full valuation over `L_D` by walking every tuple
+    /// of the state (the paper-shaped construction; the rebuild
+    /// baseline of experiment E13).
+    Rebuild,
+    /// Patch the previous valuation in place from the transaction's
+    /// inserts and deletes — `O(|Δtx|)` letter flips through the
+    /// grounding's letter index. Bit-identical to [`Encoding::Rebuild`]
+    /// (property-tested); folded groundings only — [`GroundMode::Full`]
+    /// always rebuilds.
+    #[default]
+    Incremental,
+}
+
 /// Options for [`check_potential_satisfaction`] and the
 /// [`Engine`](crate::engine::Engine) layer.
 ///
 /// Marked `#[non_exhaustive]`: construct through
 /// [`CheckOptions::default()`] or [`CheckOptions::builder()`] so that
-/// future knobs (like this revision's `threads`) are not breaking
-/// changes.
-#[derive(Debug, Clone, Copy, Default)]
+/// future knobs (like this revision's `encoding` and
+/// `transition_cache`) are not breaking changes.
+#[derive(Debug, Clone, Copy)]
 #[non_exhaustive]
 pub struct CheckOptions {
     /// Grounding construction.
@@ -38,6 +55,26 @@ pub struct CheckOptions {
     /// per-constraint fan-out (deterministic: results are identical to
     /// [`Threads::Off`]).
     pub threads: Threads,
+    /// Fast-path state encoding (incremental patching vs full rebuild).
+    pub encoding: Encoding,
+    /// Whether to memoise `(residue, letter) → (next residue, verdict)`
+    /// transitions of the lazily materialised safety automaton. A hit
+    /// skips progression and phase-2 satisfiability. On by default;
+    /// deterministic either way (the E13 ablation toggles it off).
+    pub transition_cache: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            mode: GroundMode::default(),
+            solver: SatSolver::default(),
+            regrounding: Regrounding::default(),
+            threads: Threads::default(),
+            encoding: Encoding::default(),
+            transition_cache: true,
+        }
+    }
 }
 
 impl CheckOptions {
@@ -87,6 +124,18 @@ impl CheckOptionsBuilder {
     /// Worker-thread policy.
     pub fn threads(mut self, threads: Threads) -> Self {
         self.opts.threads = threads;
+        self
+    }
+
+    /// Fast-path state encoding.
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.opts.encoding = encoding;
+        self
+    }
+
+    /// Enables or disables the safety-automaton transition cache.
+    pub fn transition_cache(mut self, on: bool) -> Self {
+        self.opts.transition_cache = on;
         self
     }
 

@@ -26,7 +26,7 @@
 //!   production path and ablation E6 measures the gap.
 
 use crate::par::{self, ParMeter, Threads};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use ticc_fotl::classify::{classify, FormulaClass};
@@ -34,7 +34,7 @@ use ticc_fotl::{Atom, Formula, Term};
 use ticc_ptl::arena::{Arena, AtomId, FormulaId};
 use ticc_ptl::interner::{AtomInterner, InternLog};
 use ticc_ptl::trace::PropState;
-use ticc_tdb::{ConstId, History, PredId, Schema, State, Value};
+use ticc_tdb::{ConstId, History, PredId, Schema, State, Transaction, Update, Value};
 
 /// Which construction to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,6 +146,56 @@ pub struct Grounding {
     /// incrementally when `R_D` grows (see [`Grounding::ground_delta`]).
     external: Vec<String>,
     matrix: Formula,
+    /// The concrete values of `M` as a persistent set, extended by
+    /// [`Grounding::ground_delta`] — the known-universe membership test
+    /// without rebuilding a `BTreeSet` per append.
+    known: BTreeSet<Value>,
+    /// Inverted letter index `(PredId, ground tuple) → AtomId`, built
+    /// once at grounding time and extended lazily (a miss falls back to
+    /// the structured-key interner and memoises the result). Keyed by
+    /// concrete tuples so the per-append hot path looks letters up with
+    /// a borrowed `&[Value]` — zero allocation on a hit.
+    letter_index: HashMap<PredId, HashMap<Vec<Value>, AtomId>>,
+}
+
+/// Builds the inverted letter index from the interner's current
+/// contents: every `p(v⃗)` letter whose arguments are all concrete
+/// values (the only letters folded state encoding ever sets).
+fn build_letter_index(
+    letters: &AtomInterner<LetterKey>,
+) -> HashMap<PredId, HashMap<Vec<Value>, AtomId>> {
+    let mut index: HashMap<PredId, HashMap<Vec<Value>, AtomId>> = HashMap::new();
+    for (key, atom) in letters.iter() {
+        let LetterKey::Pred(p, args) = key else {
+            continue;
+        };
+        let vals: Option<Vec<Value>> = args
+            .iter()
+            .map(|&a| match a {
+                GArg::Rel(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        if let Some(tuple) = vals {
+            index.entry(*p).or_default().insert(tuple, atom);
+        }
+    }
+    index
+}
+
+/// The net effect of a transaction per touched tuple (last update
+/// wins, matching [`Transaction::apply_to`]), in sorted `(pred, tuple)`
+/// order — so fresh letters interned while patching appear in the same
+/// order a full re-encode of the state would intern them.
+fn tx_net(tx: &Transaction) -> BTreeMap<(PredId, &[Value]), bool> {
+    let mut net = BTreeMap::new();
+    for u in tx.updates() {
+        match u {
+            Update::Insert(p, t) => net.insert((*p, t.as_slice()), true),
+            Update::Delete(p, t) => net.insert((*p, t.as_slice()), false),
+        };
+    }
+    net
 }
 
 fn garg_value(a: GArg, consts: &[Value]) -> Option<Value> {
@@ -403,6 +453,14 @@ pub(crate) fn ground_metered(
         formula_tree_size: arena.tree_size(formula),
         formula_dag_size: arena.dag_size(formula),
     };
+    let known: BTreeSet<Value> = m
+        .iter()
+        .filter_map(|&a| match a {
+            GArg::Rel(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let letter_index = build_letter_index(&letters);
     Ok(Grounding {
         arena,
         formula,
@@ -415,6 +473,8 @@ pub(crate) fn ground_metered(
         letters,
         external,
         matrix: matrix.clone(),
+        known,
+        letter_index,
     })
 }
 
@@ -773,21 +833,115 @@ impl Grounding {
     /// Returns `None` if the state mentions an element outside `M`'s
     /// relevant part — the caller must re-ground.
     pub fn state_to_prop(&mut self, state: &State) -> Option<PropState> {
-        if !state.active_domain().is_subset(&self.known_values()) {
-            return None;
+        for p in self.schema.preds() {
+            for tuple in state.relation(p).iter() {
+                if tuple.iter().any(|v| !self.known.contains(v)) {
+                    return None;
+                }
+            }
         }
         Some(self.encode_state(state))
     }
 
     /// The concrete values in `M` (the grounding's known universe).
-    pub fn known_values(&self) -> std::collections::BTreeSet<Value> {
-        self.m
-            .iter()
-            .filter_map(|&a| match a {
-                GArg::Rel(v) => Some(v),
-                _ => None,
-            })
-            .collect()
+    /// Maintained persistently: built at grounding time, extended by
+    /// `Grounding::ground_delta`.
+    pub fn known_values(&self) -> &BTreeSet<Value> {
+        &self.known
+    }
+
+    /// The new relevant elements a transaction introduces: values of
+    /// net-inserted tuples outside the known universe, sorted. Empty
+    /// exactly when the fast path applies. `O(|Δtx| log |Δtx|)`.
+    pub(crate) fn tx_delta(&self, tx: &Transaction) -> Vec<Value> {
+        let mut delta = BTreeSet::new();
+        for ((_, tuple), present) in tx_net(tx) {
+            if present {
+                for v in tuple {
+                    if !self.known.contains(v) {
+                        delta.insert(*v);
+                    }
+                }
+            }
+        }
+        delta.into_iter().collect()
+    }
+
+    /// The letter for a ground fact `p(v⃗)`, through the inverted
+    /// index; interns (and indexes) the letter on first sight.
+    fn state_letter(&mut self, p: PredId, tuple: &[Value]) -> AtomId {
+        if let Some(&a) = self.letter_index.get(&p).and_then(|m| m.get(tuple)) {
+            return a;
+        }
+        let args: Vec<GArg> = tuple.iter().map(|&v| GArg::Rel(v)).collect();
+        let a = intern_letter(
+            &mut self.arena,
+            &mut self.letters,
+            &self.schema,
+            LetterKey::Pred(p, args),
+        );
+        self.letter_index
+            .entry(p)
+            .or_default()
+            .insert(tuple.to_vec(), a);
+        a
+    }
+
+    /// Read-only letter lookup for a ground fact; memoises an index
+    /// entry when the letter exists but was interned by another path
+    /// (delta re-grounding, a full encode).
+    fn lookup_state_letter(&mut self, p: PredId, tuple: &[Value]) -> Option<AtomId> {
+        if let Some(&a) = self.letter_index.get(&p).and_then(|m| m.get(tuple)) {
+            return Some(a);
+        }
+        let args: Vec<GArg> = tuple.iter().map(|&v| GArg::Rel(v)).collect();
+        let a = self.letters.get(&LetterKey::Pred(p, args))?;
+        self.letter_index
+            .entry(p)
+            .or_default()
+            .insert(tuple.to_vec(), a);
+        Some(a)
+    }
+
+    /// Incremental fast-path encoding: derives the valuation of the
+    /// state produced by `tx` by patching the valuation of the previous
+    /// state (the stored trace's last entry) in place — `O(|Δtx|)`
+    /// letter flips through the inverted index, instead of walking the
+    /// whole state. Bit-identical to [`Grounding::state_to_prop`] on
+    /// the same state, including the order fresh letters are interned
+    /// (the net updates are patched in sorted `(pred, tuple)` order).
+    ///
+    /// Returns `None` when a net-inserted tuple mentions an element
+    /// outside the known universe (the caller must re-ground), `Some`
+    /// with the new valuation and the number of letters patched
+    /// otherwise. Folded groundings only.
+    pub(crate) fn patch_state(&mut self, tx: &Transaction) -> Option<(PropState, u64)> {
+        debug_assert_eq!(self.mode, GroundMode::Folded);
+        let net = tx_net(tx);
+        for ((_, tuple), present) in &net {
+            if *present && tuple.iter().any(|v| !self.known.contains(v)) {
+                return None;
+            }
+        }
+        let mut w = self.trace.last().cloned().unwrap_or_default();
+        let mut patched = 0u64;
+        for ((p, tuple), present) in net {
+            if present {
+                let a = self.state_letter(p, tuple);
+                w.set(a, true);
+                patched += 1;
+            } else if let Some(a) = self.lookup_state_letter(p, tuple) {
+                w.set(a, false);
+                patched += 1;
+            }
+        }
+        Some((w, patched))
+    }
+
+    /// Number of `(pred, tuple) → letter` entries in the inverted
+    /// index (the `letter index` gauge of the `:stats` cache section).
+    pub fn letter_index_len(&self) -> usize {
+        self.letter_index.values().map(|m| m.len()).sum()
     }
 
     /// Encodes a state over `M` without the known-universe check (the
@@ -824,6 +978,7 @@ impl Grounding {
         );
         let old_len = self.m.len();
         self.m.extend(delta.iter().map(|&v| GArg::Rel(v)));
+        self.known.extend(delta.iter().copied());
         let msize = self.m.len();
         let k = self.external.len();
 
@@ -1103,6 +1258,57 @@ mod tests {
         let decoded = g.prop_to_state(&g.trace[0]);
         assert_eq!(&decoded, h.state(0));
         let _ = sc;
+    }
+
+    #[test]
+    fn patch_state_matches_full_encode() {
+        let h = history(&[&[1, 2]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut patched = ground(&h, &phi, GroundMode::Folded).unwrap();
+        let mut rebuilt = ground(&h, &phi, GroundMode::Folded).unwrap();
+        let sub = sc.pred("Sub").unwrap();
+        let fill = sc.pred("Fill").unwrap();
+        // Mixed churn over known elements, including an insert-then-
+        // delete of a never-seen tuple (nets to absent: no letter may
+        // be interned for it, matching what a full re-encode does).
+        let tx = Transaction::new()
+            .delete(sub, vec![1])
+            .insert(fill, vec![2])
+            .insert(fill, vec![1])
+            .delete(fill, vec![1]);
+        let mut state = h.state(0).clone();
+        tx.apply_to(&mut state).unwrap();
+        let (w_patch, flips) = patched.patch_state(&tx).unwrap();
+        let w_full = rebuilt.state_to_prop(&state).unwrap();
+        assert_eq!(w_patch, w_full);
+        assert_eq!(flips, 2, "Sub(1) cleared, Fill(2) set; Fill(1) netted out");
+        assert_eq!(
+            patched.letter_count(),
+            rebuilt.letter_count(),
+            "fresh letters must be interned identically by both paths"
+        );
+        assert!(patched.letter_index_len() > 0);
+    }
+
+    #[test]
+    fn patch_state_blocks_on_new_elements_like_rebuild() {
+        let h = history(&[&[1]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut g = ground(&h, &phi, GroundMode::Folded).unwrap();
+        let sub = sc.pred("Sub").unwrap();
+        let tx_new = Transaction::new().insert(sub, vec![99]);
+        assert!(g.patch_state(&tx_new).is_none(), "99 is outside M");
+        assert_eq!(g.tx_delta(&tx_new), vec![99]);
+        // Deleting an unknown tuple (or insert-then-delete of one) does
+        // not grow the domain: still on the fast path.
+        let tx_churn = Transaction::new()
+            .delete(sub, vec![99])
+            .insert(sub, vec![77])
+            .delete(sub, vec![77]);
+        assert!(g.patch_state(&tx_churn).is_some());
+        assert!(g.tx_delta(&tx_churn).is_empty());
     }
 
     #[test]

@@ -58,9 +58,10 @@ pub use error::Error;
 pub use explain::explain;
 pub use extension::{
     check_potential_satisfaction, CheckOptions, CheckOptionsBuilder, CheckOutcome, CheckStats,
+    Encoding,
 };
 pub use ground::{ground, ground_with, GroundError, GroundMode, GroundStats, Grounding, LetterKey};
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
-pub use obs::EngineStats;
+pub use obs::{CacheStats, EngineStats};
 pub use par::Threads;
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

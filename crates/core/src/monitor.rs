@@ -85,7 +85,7 @@ impl Monitor {
             fast_appends: s.fast_appends as usize,
             regrounds: (s.regrounds + s.delta_grounds) as usize,
             sat_checks: s.sat_checks as usize,
-            sat_cache_hits: s.sat_cache_hits as usize,
+            sat_cache_hits: s.cache.sat_hits as usize,
         }
     }
 

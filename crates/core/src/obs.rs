@@ -9,6 +9,53 @@
 
 use std::time::{Duration, Instant};
 
+/// Counters for the engine's bounded memo layers — the residue
+/// satisfiability memo and the safety-automaton transition cache — plus
+/// the letter-index gauge. One sub-struct so the monitor facade, the
+/// shell's `:stats` view, and the bench columns all read cache activity
+/// from a single source of truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Satisfiability answers served from the per-residue memo.
+    pub sat_hits: u64,
+    /// Entries dropped from the satisfiability memo at its size bound.
+    pub sat_evictions: u64,
+    /// Appends served entirely from the transition cache: progression
+    /// *and* phase-2 satisfiability skipped.
+    pub transition_hits: u64,
+    /// Fast-path appends that had to run progression (the transition
+    /// was then recorded).
+    pub transition_misses: u64,
+    /// Entries dropped from the transition cache at its size bound.
+    pub transition_evictions: u64,
+    /// Gauge: `(PredId, tuple) → AtomId` letter-index entries across
+    /// live groundings.
+    pub letter_index_len: u64,
+}
+
+impl CacheStats {
+    /// Whether any cache activity has been observed (gates the
+    /// `cache:` section of [`EngineStats::render`]).
+    pub fn any(&self) -> bool {
+        self.sat_hits
+            + self.sat_evictions
+            + self.transition_hits
+            + self.transition_misses
+            + self.transition_evictions
+            + self.letter_index_len
+            > 0
+    }
+
+    fn absorb(&mut self, other: &CacheStats) {
+        self.sat_hits += other.sat_hits;
+        self.sat_evictions += other.sat_evictions;
+        self.transition_hits += other.transition_hits;
+        self.transition_misses += other.transition_misses;
+        self.transition_evictions += other.transition_evictions;
+        self.letter_index_len += other.letter_index_len;
+    }
+}
+
 /// A machine-readable snapshot of the engine's counters, timers, and
 /// size gauges. Counters are monotonic over the engine's lifetime;
 /// gauges reflect the moment the snapshot was taken.
@@ -35,10 +82,15 @@ pub struct EngineStats {
     pub replayed_conjuncts: u64,
     /// Single-state progression steps.
     pub progress_steps: u64,
+    /// Letters patched in place by the incremental encoding (tuples
+    /// inserted/deleted by transactions on the fast path) — the
+    /// `O(|Δtx|)` work a full re-encode of the state would hide.
+    pub encode_patched_atoms: u64,
     /// Phase-2 satisfiability runs.
     pub sat_checks: u64,
-    /// Satisfiability answers served from the residue cache.
-    pub sat_cache_hits: u64,
+    /// Cache-layer counters (satisfiability memo, transition cache,
+    /// letter index).
+    pub cache: CacheStats,
     /// Gauge: interned propositional letters across live groundings.
     pub letters: u64,
     /// Gauge: formula-arena DAG nodes across live groundings.
@@ -79,8 +131,11 @@ impl EngineStats {
             self.replayed_conjuncts
         ));
         s.push_str(&format!("  progress steps      {}\n", self.progress_steps));
+        s.push_str(&format!(
+            "  patched atoms       {}\n",
+            self.encode_patched_atoms
+        ));
         s.push_str(&format!("  sat checks          {}\n", self.sat_checks));
-        s.push_str(&format!("  sat cache hits      {}\n", self.sat_cache_hits));
         s.push_str("engine gauges:\n");
         s.push_str(&format!("  letters             {}\n", self.letters));
         s.push_str(&format!("  arena nodes         {}\n", self.arena_nodes));
@@ -89,6 +144,19 @@ impl EngineStats {
         s.push_str(&format!("  ground time         {:?}\n", self.ground_time));
         s.push_str(&format!("  progress time       {:?}\n", self.progress_time));
         s.push_str(&format!("  sat time            {:?}", self.sat_time));
+        if self.cache.any() {
+            let c = &self.cache;
+            s.push_str("\ncache:\n");
+            s.push_str(&format!("  sat memo hits       {}\n", c.sat_hits));
+            s.push_str(&format!("  sat memo evictions  {}\n", c.sat_evictions));
+            s.push_str(&format!("  transition hits     {}\n", c.transition_hits));
+            s.push_str(&format!("  transition misses   {}\n", c.transition_misses));
+            s.push_str(&format!(
+                "  transition evicted  {}\n",
+                c.transition_evictions
+            ));
+            s.push_str(&format!("  letter index        {}", c.letter_index_len));
+        }
         if self.par_phases > 0 {
             let speedup = if self.par_time > Duration::ZERO {
                 self.par_busy_time.as_secs_f64() / self.par_time.as_secs_f64()
@@ -118,8 +186,9 @@ impl EngineStats {
         self.new_conjuncts += other.new_conjuncts;
         self.replayed_conjuncts += other.replayed_conjuncts;
         self.progress_steps += other.progress_steps;
+        self.encode_patched_atoms += other.encode_patched_atoms;
         self.sat_checks += other.sat_checks;
-        self.sat_cache_hits += other.sat_cache_hits;
+        self.cache.absorb(&other.cache);
         self.letters += other.letters;
         self.arena_nodes += other.arena_nodes;
         self.mappings += other.mappings;
@@ -183,12 +252,32 @@ mod tests {
             "appends",
             "delta regrounds",
             "replayed conjuncts",
-            "sat cache hits",
+            "patched atoms",
             "ground time",
         ] {
             assert!(r.contains(needle), "missing {needle:?} in render");
         }
         assert!(r.contains("  appends             3"));
+    }
+
+    #[test]
+    fn cache_section_renders_only_when_used() {
+        let s = EngineStats::default();
+        assert!(!s.render().contains("cache:"));
+        let s = EngineStats {
+            cache: CacheStats {
+                sat_hits: 2,
+                transition_hits: 7,
+                transition_misses: 3,
+                letter_index_len: 11,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = s.render();
+        assert!(r.contains("cache:"));
+        assert!(r.contains("transition hits     7"));
+        assert!(r.contains("letter index        11"));
     }
 
     #[test]
@@ -215,6 +304,10 @@ mod tests {
             sat_checks: 2,
             par_workers: 4,
             ground_time: Duration::from_millis(5),
+            cache: CacheStats {
+                transition_hits: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let b = EngineStats {
@@ -222,6 +315,11 @@ mod tests {
             sat_checks: 3,
             par_workers: 2,
             ground_time: Duration::from_millis(7),
+            cache: CacheStats {
+                transition_hits: 4,
+                sat_hits: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         a.absorb(&b);
@@ -229,6 +327,8 @@ mod tests {
         assert_eq!(a.sat_checks, 5);
         assert_eq!(a.par_workers, 4);
         assert_eq!(a.ground_time, Duration::from_millis(12));
+        assert_eq!(a.cache.transition_hits, 5);
+        assert_eq!(a.cache.sat_hits, 2);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! make that easy to get right: [`shard_ranges`] produces the canonical
 //! partition, [`map_chunked`] / [`for_each_chunk_mut`] return results
 //! indexed by chunk.
+//!
+//! The append hot path's memo tables (the transition cache and the
+//! satisfiability memo) need no special handling here: both live
+//! inside the per-constraint `GroundingContext`, and the constraint
+//! sweep hands each context to exactly one worker. Every context
+//! therefore sees the same sequence of lookups and insertions it would
+//! see sequentially — cache hit/miss counters (absorbed in chunk
+//! order) are deterministic and thread-count-independent.
 
 use std::time::{Duration, Instant};
 

@@ -15,6 +15,11 @@ use std::collections::HashMap;
 ///
 /// Letters not explicitly set are false, matching the paper's convention
 /// that predicates over irrelevant elements are false.
+///
+/// The representation is canonical — trailing all-zero words are
+/// trimmed on clear — so two states are `==` (and hash alike) exactly
+/// when they assign the same truth values, regardless of whether they
+/// were built fresh or patched in place from a wider predecessor.
 #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
 pub struct PropState {
     bits: Vec<u64>,
@@ -48,6 +53,9 @@ impl PropState {
             self.bits[w] |= 1 << b;
         } else {
             self.bits[w] &= !(1 << b);
+            while self.bits.last() == Some(&0) {
+                self.bits.pop();
+            }
         }
     }
 
@@ -186,6 +194,25 @@ mod tests {
         assert!(!s.get(AtomId(3)));
         let trues: Vec<_> = s.true_atoms().collect();
         assert_eq!(trues, vec![AtomId(100)]);
+    }
+
+    #[test]
+    fn clearing_canonicalises_representation() {
+        // A state patched down from a wider predecessor must compare
+        // equal to one built fresh — the monitor's incremental encoding
+        // relies on this.
+        let mut wide = PropState::new();
+        wide.set(AtomId(2), true);
+        wide.set(AtomId(200), true);
+        wide.set(AtomId(200), false);
+        let mut fresh = PropState::new();
+        fresh.set(AtomId(2), true);
+        assert_eq!(wide, fresh);
+        let empty = PropState::new();
+        let mut cleared = PropState::new();
+        cleared.set(AtomId(500), true);
+        cleared.set(AtomId(500), false);
+        assert_eq!(cleared, empty);
     }
 
     #[test]

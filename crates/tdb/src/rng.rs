@@ -10,7 +10,11 @@
 //! `gen_range`, `gen_bool`), so call sites read the same.
 
 /// The splitmix64 step: advances `state` and returns the next output.
-fn splitmix64(state: &mut u64) -> u64 {
+///
+/// Public because it doubles as the repo's canonical cheap mixer: the
+/// engine's transition cache fingerprints support-restricted
+/// propositional states by folding atom ids through this function.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Full local verification gate, offline-safe (no registry access needed):
 #   fmt check -> clippy (warnings are errors) -> release build -> tests.
-# Run from anywhere inside the repo.
+# Run from anywhere inside the repo. Pass --release to additionally run
+# the E13 append-hot-path smoke row (builds the bench crate in release).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,9 +36,28 @@ status
 stats
 EOF
 out="$(./target/release/ticc-shell --threads 4 "$smoke")"
-rm -f "$smoke"
 echo "$out" | grep -q "VIOLATION" || { echo "smoke: expected a violation"; exit 1; }
 echo "$out" | grep -q "TRIGGER: 'dup' fires" || { echo "smoke: expected a firing"; exit 1; }
 echo "smoke: OK"
+
+echo "==> hot-path ablation smoke (default vs --no-transition-cache)"
+# The transition cache is a pure performance knob: the same session
+# must reply identically with it disabled. Compare everything except
+# the stats report (cache counters legitimately differ there).
+ablate="$(mktemp)"
+grep -v '^stats$' "$smoke" > "$ablate"
+hot="$(./target/release/ticc-shell "$ablate")"
+cold="$(./target/release/ticc-shell --no-transition-cache "$ablate")"
+rm -f "$smoke" "$ablate"
+if [ "$hot" != "$cold" ]; then
+    echo "ablation smoke: output diverges with --no-transition-cache"
+    exit 1
+fi
+echo "ablation smoke: OK"
+
+if [ "${1:-}" = "--release" ]; then
+    echo "==> E13 append-hot-path smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 --smoke
+fi
 
 echo "verify: OK"

@@ -6,6 +6,10 @@
 //!
 //! `--threads off|auto|<n>` selects the worker-pool policy for every
 //! monitor, trigger, and ad-hoc check in the session (default: off).
+//!
+//! `--no-transition-cache` disables the safety-automaton transition
+//! cache on the append hot path (the ablation knob; results are
+//! identical either way, only the per-append cost changes).
 
 use std::io::{BufRead, Write};
 use ticc::core::{CheckOptions, Threads};
@@ -27,7 +31,15 @@ fn main() {
         };
         args.drain(i..=i + 1);
     }
-    let opts = CheckOptions::builder().threads(threads).build();
+    let mut transition_cache = true;
+    if let Some(i) = args.iter().position(|a| a == "--no-transition-cache") {
+        transition_cache = false;
+        args.remove(i);
+    }
+    let opts = CheckOptions::builder()
+        .threads(threads)
+        .transition_cache(transition_cache)
+        .build();
     let mut shell = ticc::shell::Shell::with_options(opts);
 
     if let Some(path) = args.first() {

@@ -83,8 +83,8 @@ pub mod shell;
 pub mod prelude {
     pub use ticc_core::{
         check_potential_satisfaction, earliest_violation, explain, Action, CheckOptions,
-        CheckOptionsBuilder, CheckOutcome, ConstraintId, Engine, Error, GroundMode, Monitor,
-        MonitorEvent, Notion, Regrounding, Status, Threads, Trigger, TriggerEngine,
+        CheckOptionsBuilder, CheckOutcome, ConstraintId, Encoding, Engine, Error, GroundMode,
+        Monitor, MonitorEvent, Notion, Regrounding, Status, Threads, Trigger, TriggerEngine,
     };
     pub use ticc_fotl::parser::parse;
     pub use ticc_fotl::Formula;

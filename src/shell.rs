@@ -655,6 +655,36 @@ mod tests {
     }
 
     #[test]
+    fn uncached_session_matches_default() {
+        // The transition cache is a pure performance knob: a session
+        // run with it disabled (ticc-shell --no-transition-cache)
+        // replies identically, line for line.
+        let opts = ticc_core::CheckOptions::builder()
+            .transition_cache(false)
+            .encoding(ticc_core::Encoding::Rebuild)
+            .build();
+        let script = [
+            "schema pred Sub 1",
+            "constraint once: forall x. G (Sub(x) -> X G !Sub(x))",
+            "constraint cap: G !Sub(9)",
+            "trigger dup: F (Sub(x) & X F Sub(x))",
+            "insert Sub(1)",
+            "commit",
+            "delete Sub(1)",
+            "commit",
+            "commit",
+            "insert Sub(1)",
+            "commit",
+            "status",
+        ];
+        let mut hot = Shell::new();
+        let mut cold = Shell::with_options(opts);
+        for line in script {
+            assert_eq!(hot.exec(line), cold.exec(line), "diverged at '{line}'");
+        }
+    }
+
+    #[test]
     fn history_lists_states() {
         let mut sh = Shell::new();
         run(
