@@ -1,0 +1,76 @@
+//! E14: restart cost — recovering a monitoring session from an engine
+//! snapshot vs replaying every transaction through the checker.
+//!
+//! A checkpoint captures the Theorem 4.1 monitor state (current
+//! database + bounded per-constraint residues), so restore is
+//! `O(|snapshot|)` regardless of how long the session ran; a cold
+//! replay pays the per-append checking cost `t` times over. The sweep
+//! grows `t` and reports both recovery paths.
+
+use ticc_bench::table::{fmt_duration, Table};
+use ticc_bench::{order_schema, steady_churn_tx, FIFO};
+use ticc_core::{CheckOptions, Engine};
+use ticc_fotl::parser::parse;
+
+const CONSTRAINTS: [(&str, &str); 4] = [
+    ("fifo", FIFO),
+    ("cap-sub", "G !Sub(999)"),
+    ("cap-fill", "G !Fill(999)"),
+    ("excl", "forall x. G !(Sub(x) & Fill(x))"),
+];
+
+fn main() {
+    let sc = order_schema();
+    let domain = 6usize;
+    let opts = CheckOptions::default();
+
+    let mut table = Table::new(
+        "E14 — restart cost (steady churn, |R_D| = 6, FIFO + 3 invariants)",
+        "snapshot restore is O(|snapshot|); cold replay re-pays t appends",
+        &["t", "restore", "replay", "snapshot bytes", "speedup"],
+    );
+    for total in [512usize, 2048, 4096] {
+        let path =
+            std::env::temp_dir().join(format!("ticc-bench-e14-{total}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (mut engine, _) = Engine::open(&path, sc.clone(), opts).unwrap();
+        for (name, src) in CONSTRAINTS {
+            engine
+                .add_constraint(name, parse(&sc, src).unwrap())
+                .unwrap();
+        }
+        let mut txs = Vec::with_capacity(total);
+        for i in 0..total {
+            let tx = steady_churn_tx(&sc, domain, i);
+            assert!(engine.append(&tx).unwrap().is_empty());
+            txs.push(tx);
+        }
+        engine.compact(&[]).unwrap();
+        let snapshot_bytes = engine.store_stats().unwrap().last_snapshot_bytes;
+        drop(engine);
+
+        let restore = ticc_bench::time_best_of(3, || {
+            let (e, report) = Engine::open(&path, sc.clone(), opts).unwrap();
+            assert!(report.had_snapshot && report.replayed_txs == 0);
+            assert_eq!(e.history().len(), total);
+        });
+        let replay = ticc_bench::time_best_of(1, || {
+            let mut e = Engine::new(sc.clone(), opts);
+            for (name, src) in CONSTRAINTS {
+                e.add_constraint(name, parse(&sc, src).unwrap()).unwrap();
+            }
+            for tx in &txs {
+                e.append(tx).unwrap();
+            }
+        });
+        table.row([
+            total.to_string(),
+            fmt_duration(restore),
+            fmt_duration(replay),
+            snapshot_bytes.to_string(),
+            format!("{:.1}x", replay.as_secs_f64() / restore.as_secs_f64()),
+        ]);
+        let _ = std::fs::remove_file(&path);
+    }
+    table.print();
+}

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E13) from `DESIGN.md` §6.
+//! Regenerates every experiment table (E1–E14) from `DESIGN.md` §6.
 //!
 //! The paper (Chomicki & Niwiński, PODS 1993) is a theory paper with no
 //! empirical tables; each experiment here validates one of its stated
@@ -36,6 +36,8 @@ struct Headlines {
     e7: Option<(usize, f64)>,
     /// E13: the full per-config sweep.
     e13: Option<E13Result>,
+    /// E14: restart cost, snapshot restore vs cold replay.
+    e14: Option<E14Result>,
 }
 
 fn main() {
@@ -64,6 +66,12 @@ fn main() {
     println!("ticc experiment harness — Chomicki & Niwiński (PODS 1993)");
     println!("threads = {threads}");
     let mut headlines = Headlines::default();
+    // E14 runs first on purpose: its microsecond-scale restore timing
+    // is allocation-bound, and the long sweeps (E1, E13) fragment the
+    // allocator enough to skew it by ~30% when they run earlier.
+    if want("e14") {
+        headlines.e14 = Some(e14_restart(smoke));
+    }
     if want("e1") {
         headlines.e1 = Some(e1_history_length());
     }
@@ -758,6 +766,109 @@ fn e13_append_hot_path(smoke: bool) -> E13Result {
     }
 }
 
+/// The E14 result (also the `--json` payload).
+struct E14Result {
+    history: usize,
+    snapshot_bytes: u64,
+    restore: Duration,
+    replay: Duration,
+    speedup: f64,
+}
+
+/// E14: restart cost — recovering a long monitoring session from an
+/// engine snapshot vs replaying every transaction through the checker.
+///
+/// Theorem 4.1's history-less checking is what makes the snapshot
+/// small: the monitor state is the current database plus bounded
+/// per-constraint residues, so restoring is `O(|snapshot|)` while a
+/// cold replay pays the full per-append checking cost `t` times over.
+fn e14_restart(smoke: bool) -> E14Result {
+    use ticc_fotl::parser::parse;
+    let sc = order_schema();
+    let domain = 6usize;
+    let total = if smoke { 240 } else { 4096 };
+    let path = std::env::temp_dir().join(format!("ticc-e14-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // A representative session: the FIFO constraint plus three cheap
+    // invariants, all satisfied by the churn. Replay re-pays the
+    // per-append checking cost of every constraint; restore decodes
+    // the snapshot once.
+    let constraints: [(&str, &str); 4] = [
+        ("fifo", ticc_bench::FIFO),
+        ("cap-sub", "G !Sub(999)"),
+        ("cap-fill", "G !Fill(999)"),
+        ("excl", "forall x. G !(Sub(x) & Fill(x))"),
+    ];
+    // Default options (WAL on); compact at the end so recovery reads a
+    // log holding exactly one snapshot frame.
+    let opts = CheckOptions::default();
+    let (mut engine, _) = ticc_core::Engine::open(&path, sc.clone(), opts).unwrap();
+    for (name, src) in constraints {
+        engine
+            .add_constraint(name, parse(&sc, src).unwrap())
+            .unwrap();
+    }
+    let mut txs = Vec::with_capacity(total);
+    for i in 0..total {
+        let tx = steady_churn_tx(&sc, domain, i);
+        assert!(engine.append(&tx).unwrap().is_empty());
+        txs.push(tx);
+    }
+    engine.compact(&[]).unwrap();
+    let snapshot_bytes = engine.store_stats().unwrap().last_snapshot_bytes;
+    let ids: Vec<_> = engine.constraints().collect();
+    let statuses: Vec<_> = ids.iter().map(|&id| engine.status(id)).collect();
+    drop(engine);
+
+    let restore = ticc_bench::time_best_of(7, || {
+        let (e, report) = ticc_core::Engine::open(&path, sc.clone(), opts).unwrap();
+        assert!(report.had_snapshot);
+        assert_eq!(report.replayed_txs, 0);
+        assert_eq!(e.history().len(), total);
+    });
+    let replay = ticc_bench::time_best_of(if smoke { 3 } else { 2 }, || {
+        let mut e = ticc_core::Engine::new(sc.clone(), opts);
+        for (name, src) in constraints {
+            e.add_constraint(name, parse(&sc, src).unwrap()).unwrap();
+        }
+        for tx in &txs {
+            e.append(tx).unwrap();
+        }
+        for (id, expected) in ids.iter().zip(&statuses) {
+            assert_eq!(e.status(*id), *expected, "replay diverged");
+        }
+    });
+    let speedup = replay.as_secs_f64() / restore.as_secs_f64();
+
+    let mut t = Table::new(
+        format!(
+            "E14: restart cost (steady churn, |R_D| = {domain}, FIFO + 3 invariants, t = {total})"
+        ),
+        "Theorem 4.1 residues make the snapshot state-bounded: \
+         restore is O(|snapshot|), replay pays t appends again",
+        &["recovery path", "time", "states/s", "speedup"],
+    );
+    for (label, d) in [("snapshot restore", restore), ("cold replay", replay)] {
+        t.row([
+            label.to_owned(),
+            fmt_duration(d),
+            format!("{:.0}", total as f64 / d.as_secs_f64()),
+            format!("{:.2}x", replay.as_secs_f64() / d.as_secs_f64()),
+        ]);
+    }
+    t.print();
+    println!("  snapshot size: {snapshot_bytes} bytes");
+    let _ = std::fs::remove_file(&path);
+    E14Result {
+        history: total,
+        snapshot_bytes,
+        restore,
+        replay,
+        speedup,
+    }
+}
+
 /// Hand-rolled JSON emitter for the `--json` payload (no external
 /// dependencies — tier-1 stays offline). Format documented in
 /// `EXPERIMENTS.md` under E13.
@@ -800,6 +911,18 @@ fn write_json(path: &str, h: &Headlines) {
     if let Some((instants, rate)) = h.e7 {
         s.push_str(&format!(
             "  \"e7\": {{\"instants\": {instants}, \"appends_per_sec\": {rate:.1}}},\n"
+        ));
+    }
+    if let Some(e14) = &h.e14 {
+        s.push_str(&format!(
+            "  \"e14\": {{\"history\": {}, \"snapshot_bytes\": {}, \
+             \"restore_ms\": {:.3}, \"replay_ms\": {:.3}, \
+             \"speedup_restore_vs_replay\": {:.2}}},\n",
+            e14.history,
+            e14.snapshot_bytes,
+            e14.restore.as_secs_f64() * 1e3,
+            e14.replay.as_secs_f64() * 1e3,
+            e14.speedup
         ));
     }
     // Trailing "threads" field doubles as the terminator so every

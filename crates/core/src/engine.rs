@@ -29,11 +29,12 @@
 //! (the E6 ablation).
 
 use crate::error::Error;
-use crate::extension::{CheckOptions, Encoding};
+use crate::extension::{CheckOptions, Durability, Encoding};
 use crate::ground::{ground_metered, GroundMode, Grounding};
 use crate::obs::{EngineStats, Timer};
 use crate::par::{self, ParMeter, Threads};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 use ticc_fotl::Formula;
@@ -42,6 +43,7 @@ use ticc_ptl::progression::{progress, progress_trace};
 use ticc_ptl::sat::{extends_with, is_satisfiable_with, SatError, SatResult};
 use ticc_ptl::simplify::simplify;
 use ticc_ptl::trace::PropState;
+use ticc_store::{Store, StoreStats};
 use ticc_tdb::rng::splitmix64;
 use ticc_tdb::{History, Schema, State, Transaction};
 
@@ -205,6 +207,20 @@ impl GroundingContext {
             sat_cache: HashMap::new(),
             transition_cache: HashMap::new(),
         })
+    }
+
+    /// Reassembles a context from a restored grounding and residue —
+    /// the decode half of a durable snapshot. The memo tables start
+    /// empty: they are pure caches (progression is a function of the
+    /// immutable DAG), so the restored engine recomputes transitions it
+    /// had memoised, reaching identical residues and verdicts.
+    pub(crate) fn from_parts(g: Grounding, residue: FormulaId) -> Self {
+        Self {
+            g,
+            residue,
+            sat_cache: HashMap::new(),
+            transition_cache: HashMap::new(),
+        }
     }
 
     /// The underlying grounding.
@@ -403,11 +419,11 @@ impl GroundingContext {
     }
 }
 
-struct Entry {
-    name: String,
-    phi: Formula,
-    status: Status,
-    ctx: GroundingContext,
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) phi: Formula,
+    pub(crate) status: Status,
+    pub(crate) ctx: GroundingContext,
 }
 
 /// The shared incremental engine: owns the history, the per-constraint
@@ -416,10 +432,11 @@ struct Entry {
 /// trigger engine and the extension checker use its one-shot path.
 pub struct Engine {
     history: History,
-    entries: Vec<Entry>,
+    pub(crate) entries: Vec<Entry>,
     opts: CheckOptions,
     notion: Notion,
-    stats: EngineStats,
+    pub(crate) stats: EngineStats,
+    store: Option<Store>,
 }
 
 impl Engine {
@@ -436,6 +453,7 @@ impl Engine {
             opts,
             notion: Notion::default(),
             stats: EngineStats::default(),
+            store: None,
         }
     }
 
@@ -465,6 +483,7 @@ impl Engine {
     /// grounding contexts.
     pub fn stats(&self) -> EngineStats {
         let mut s = self.stats;
+        s.store = self.store.as_ref().map(Store::stats).unwrap_or_default();
         s.letters = 0;
         s.arena_nodes = 0;
         s.mappings = 0;
@@ -517,6 +536,12 @@ impl Engine {
         &self.entries[id.0].name
     }
 
+    /// The registered formula of a constraint (as given to
+    /// [`Engine::add_constraint`], before grounding).
+    pub fn formula(&self, id: ConstraintId) -> &Formula {
+        &self.entries[id.0].phi
+    }
+
     /// Ids of all registered constraints.
     pub fn constraints(&self) -> impl Iterator<Item = ConstraintId> {
         (0..self.entries.len()).map(ConstraintId)
@@ -566,7 +591,28 @@ impl Engine {
     /// [`ConstraintId`] order — observable behaviour is identical to
     /// the sequential path.
     pub fn append(&mut self, tx: &Transaction) -> Result<Vec<MonitorEvent>, Error> {
+        self.append_inner(tx, true)
+    }
+
+    /// [`Engine::append`] with WAL logging controllable: recovery
+    /// replays the suffix through this with `log = false` (the
+    /// transactions are already in the log).
+    ///
+    /// Apply-then-log: `History::apply` validates the transaction
+    /// (arity, predicate range), so nothing unreplayable ever reaches
+    /// the WAL; if this returns `Ok` under
+    /// [`Durability::WalFsync`] the transaction is on disk.
+    fn append_inner(&mut self, tx: &Transaction, log: bool) -> Result<Vec<MonitorEvent>, Error> {
         self.history.apply(tx)?;
+        if log {
+            if let Some(store) = self.store.as_mut() {
+                match self.opts.durability {
+                    Durability::Off => {}
+                    Durability::Wal => store.append_tx(tx, false)?,
+                    Durability::WalFsync => store.append_tx(tx, true)?,
+                }
+            }
+        }
         self.stats.appends += 1;
         let live = self
             .entries
@@ -662,6 +708,119 @@ impl Engine {
             None => Ok(events),
         }
     }
+
+    // ----- durability (the `ticc-store` bridge) -----
+
+    /// Attaches an open store: subsequent appends are logged according
+    /// to [`Durability`], and [`Engine::checkpoint`] /
+    /// [`Engine::compact`] write snapshots to it.
+    pub fn attach_store(&mut self, store: Store) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Counters of the attached store, if any.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(Store::stats)
+    }
+
+    /// Serialises the complete engine state (plus an opaque application
+    /// blob) into a snapshot payload — see [`crate::snapshot`].
+    pub fn snapshot_bytes(&self, app: &[u8]) -> Vec<u8> {
+        crate::snapshot::snapshot_engine(self, app)
+    }
+
+    /// Rebuilds an engine from [`Engine::snapshot_bytes`] output.
+    /// Returns the engine (no store attached) and the application
+    /// blob. `opts` are the caller's: run options are a property of
+    /// the process, not of the persisted state.
+    pub fn restore_bytes(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u8>), Error> {
+        crate::snapshot::restore_engine(bytes, opts)
+    }
+
+    /// Writes a snapshot frame (always fsynced) to the attached store.
+    /// Errors if no store is attached.
+    pub fn checkpoint(&mut self, app: &[u8]) -> Result<(), Error> {
+        let payload = self.snapshot_bytes(app);
+        match self.store.as_mut() {
+            Some(s) => Ok(s.append_snapshot(&payload)?),
+            None => Err(Error::Store("no store attached".into())),
+        }
+    }
+
+    /// Rewrites the attached store as header + one fresh snapshot
+    /// frame, dropping the replayed log prefix (atomic rename). Errors
+    /// if no store is attached.
+    pub fn compact(&mut self, app: &[u8]) -> Result<(), Error> {
+        let payload = self.snapshot_bytes(app);
+        match self.store.as_mut() {
+            Some(s) => Ok(s.compact(&payload)?),
+            None => Err(Error::Store("no store attached".into())),
+        }
+    }
+
+    /// Opens (or creates) a durable store at `path` and builds the
+    /// engine it describes: the newest intact snapshot is restored and
+    /// the logged transaction suffix replayed through the incremental
+    /// append path — `O(|snapshot| + |suffix|)`, never `O(t)` once a
+    /// checkpoint exists. A torn or corrupt tail has already been
+    /// truncated away by the store's recovery scan.
+    ///
+    /// `schema` is used only when the store holds no snapshot yet (a
+    /// fresh or snapshot-less log): constraints and schema become
+    /// durable with the first [`Engine::checkpoint`]. With no snapshot
+    /// the suffix is replayed into the history before any constraints
+    /// exist, so callers re-register constraints afterwards.
+    pub fn open(
+        path: impl AsRef<Path>,
+        schema: Arc<Schema>,
+        opts: CheckOptions,
+    ) -> Result<(Engine, OpenReport), Error> {
+        let (store, recovered) = Store::open_or_create(path)?;
+        let (mut engine, app, had_snapshot) = match recovered.snapshot {
+            Some(bytes) => {
+                let (engine, app) = Engine::restore_bytes(&bytes, opts)?;
+                (engine, app, true)
+            }
+            None => (Engine::new(schema, opts), Vec::new(), false),
+        };
+        let replay_schema = engine.history.schema().clone();
+        let mut replayed_txs = 0u64;
+        for payload in &recovered.suffix {
+            let tx = ticc_store::codec::tx_from_bytes(payload, &replay_schema)?;
+            engine.append_inner(&tx, false)?;
+            replayed_txs += 1;
+        }
+        engine.store = Some(store);
+        Ok((
+            engine,
+            OpenReport {
+                had_snapshot,
+                replayed_txs,
+                truncated_bytes: recovered.truncated_bytes,
+                app,
+            },
+        ))
+    }
+}
+
+/// What [`Engine::open`] found in the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Whether an intact snapshot was restored (otherwise the engine
+    /// started from the caller's schema).
+    pub had_snapshot: bool,
+    /// Logged transactions replayed after the snapshot.
+    pub replayed_txs: u64,
+    /// Bytes of torn/corrupt tail the recovery scan discarded.
+    pub truncated_bytes: u64,
+    /// The application blob of the restored snapshot (empty without
+    /// one).
+    pub app: Vec<u8>,
 }
 
 /// The result of a one-shot extension check routed through the engine

@@ -36,6 +36,12 @@ pub enum Error {
     /// A past-fragment formula falls outside the shape the dedicated
     /// past monitor supports.
     UnsupportedShape(&'static str),
+    /// The durability layer failed: WAL I/O, a corrupt frame, or an
+    /// undecodable snapshot. Carries the rendered message only —
+    /// `ticc_store::StoreError` wraps `std::io::Error`, which is
+    /// neither `Clone` nor `PartialEq`, so it cannot live in this enum
+    /// directly.
+    Store(String),
 }
 
 impl std::fmt::Display for Error {
@@ -46,6 +52,7 @@ impl std::fmt::Display for Error {
             Error::Tdb(e) => write!(f, "database: {e}"),
             Error::UnsupportedCondition(m) => write!(f, "unsupported condition: {m}"),
             Error::UnsupportedShape(m) => write!(f, "unsupported formula shape: {m}"),
+            Error::Store(m) => write!(f, "store: {m}"),
         }
     }
 }
@@ -56,7 +63,7 @@ impl std::error::Error for Error {
             Error::Ground(e) => Some(e),
             Error::Sat(e) => Some(e),
             Error::Tdb(e) => Some(e),
-            Error::UnsupportedCondition(_) | Error::UnsupportedShape(_) => None,
+            Error::UnsupportedCondition(_) | Error::UnsupportedShape(_) | Error::Store(_) => None,
         }
     }
 }
@@ -76,6 +83,12 @@ impl From<SatError> for Error {
 impl From<TdbError> for Error {
     fn from(e: TdbError) -> Self {
         Error::Tdb(e)
+    }
+}
+
+impl From<ticc_store::StoreError> for Error {
+    fn from(e: ticc_store::StoreError) -> Self {
+        Error::Store(e.to_string())
     }
 }
 

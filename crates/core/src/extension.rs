@@ -34,6 +34,28 @@ pub enum Encoding {
     Incremental,
 }
 
+/// How eagerly the engine hardens appended transactions when a durable
+/// store is attached (no store attached ⇒ no logging regardless).
+///
+/// Theorem 4.1 makes durability cheap: the monitor's whole state is the
+/// current database plus bounded per-constraint residues, so a snapshot
+/// is `O(|snapshot|)` to write and restore, and the WAL only has to
+/// carry the transactions since the last snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No write-ahead logging even with a store attached (snapshots via
+    /// explicit checkpoints still work).
+    Off,
+    /// Log every transaction to the WAL before returning, letting the
+    /// OS schedule the flush. A crash can lose the tail the kernel had
+    /// not written; recovery truncates to the last intact frame.
+    #[default]
+    Wal,
+    /// Log and `fsync` every transaction. Nothing acknowledged is ever
+    /// lost, at one device flush per append.
+    WalFsync,
+}
+
 /// Options for [`check_potential_satisfaction`] and the
 /// [`Engine`](crate::engine::Engine) layer.
 ///
@@ -62,6 +84,8 @@ pub struct CheckOptions {
     /// skips progression and phase-2 satisfiability. On by default;
     /// deterministic either way (the E13 ablation toggles it off).
     pub transition_cache: bool,
+    /// WAL write policy when a durable store is attached to the engine.
+    pub durability: Durability,
 }
 
 impl Default for CheckOptions {
@@ -73,6 +97,7 @@ impl Default for CheckOptions {
             threads: Threads::default(),
             encoding: Encoding::default(),
             transition_cache: true,
+            durability: Durability::default(),
         }
     }
 }
@@ -136,6 +161,12 @@ impl CheckOptionsBuilder {
     /// Enables or disables the safety-automaton transition cache.
     pub fn transition_cache(mut self, on: bool) -> Self {
         self.opts.transition_cache = on;
+        self
+    }
+
+    /// WAL write policy when a durable store is attached.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.opts.durability = durability;
         self
     }
 

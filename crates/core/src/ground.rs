@@ -1089,6 +1089,114 @@ impl Grounding {
         }
         s
     }
+
+    /// Dumps everything a durable snapshot needs to rebuild this
+    /// grounding bit-identically (see [`Grounding::restore`]).
+    pub(crate) fn dump(&self) -> GroundingDump {
+        let mut letters: Vec<(LetterKey, AtomId)> =
+            self.letters.iter().map(|(k, a)| (k.clone(), a)).collect();
+        letters.sort_by_key(|&(_, a)| a);
+        GroundingDump {
+            mode: self.mode,
+            consts: self.consts.clone(),
+            letters,
+            external: self.external.clone(),
+            matrix: self.matrix.clone(),
+            known: self.known.iter().copied().collect(),
+            arena_nodes: self.arena.nodes().to_vec(),
+            atom_names: self.arena.atom_names_in_order().to_vec(),
+            formula: self.formula,
+            trace: self.trace.clone(),
+            m: self.m.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a grounding from a [`Grounding::dump`]. The arena is
+    /// rehydrated raw (no re-folding — ids stay bit-identical), the
+    /// letter table re-attached, and the inverted letter index derived
+    /// from it; every id in the dump is validated against the tables
+    /// it references, so corrupt snapshot bytes surface as an error.
+    pub(crate) fn restore(schema: Arc<Schema>, d: GroundingDump) -> Result<Grounding, String> {
+        let arena = Arena::rehydrate(d.arena_nodes, d.atom_names).map_err(str::to_owned)?;
+        let atom_count = arena.atom_count();
+        let node_count = arena.dag_len();
+        if d.formula.index() >= node_count {
+            return Err("snapshot formula id out of range".to_owned());
+        }
+        for (key, a) in &d.letters {
+            if a.index() >= atom_count {
+                return Err("snapshot letter id out of range".to_owned());
+            }
+            let check_garg = |g: &GArg| match g {
+                GArg::Const(c) if c.index() >= d.consts.len() => {
+                    Err("snapshot letter constant out of range".to_owned())
+                }
+                _ => Ok(()),
+            };
+            match key {
+                LetterKey::Pred(p, args) => {
+                    if p.index() >= schema.pred_count() || args.len() != schema.arity(*p) {
+                        return Err("snapshot letter predicate/arity mismatch".to_owned());
+                    }
+                    args.iter().try_for_each(check_garg)?;
+                }
+                LetterKey::Eq(a, b) => {
+                    check_garg(a)?;
+                    check_garg(b)?;
+                }
+            }
+        }
+        for w in &d.trace {
+            // Bitset states are canonical (no trailing zero words), so
+            // the highest set bit lives in the last word.
+            let max_bit = w
+                .words()
+                .last()
+                .map(|&word| (w.words().len() - 1) * 64 + (63 - word.leading_zeros() as usize));
+            if max_bit.is_some_and(|b| b >= atom_count) {
+                return Err("snapshot trace atom out of range".to_owned());
+            }
+        }
+        let letters = AtomInterner::from_pairs(d.letters).map_err(str::to_owned)?;
+        let letter_index = build_letter_index(&letters);
+        Ok(Grounding {
+            arena,
+            formula: d.formula,
+            trace: d.trace,
+            m: d.m,
+            stats: d.stats,
+            mode: d.mode,
+            schema,
+            consts: d.consts,
+            letters,
+            external: d.external,
+            matrix: d.matrix,
+            known: d.known.into_iter().collect(),
+            letter_index,
+        })
+    }
+}
+
+/// Owned snapshot of a [`Grounding`]'s complete internal state — what
+/// the durability layer serialises per constraint. Produced by
+/// [`Grounding::dump`], consumed by [`Grounding::restore`].
+pub(crate) struct GroundingDump {
+    pub mode: GroundMode,
+    pub consts: Vec<Value>,
+    /// `(key, id)` pairs in id order.
+    pub letters: Vec<(LetterKey, AtomId)>,
+    pub external: Vec<String>,
+    pub matrix: Formula,
+    /// The known-value universe, sorted.
+    pub known: Vec<Value>,
+    pub arena_nodes: Vec<ticc_ptl::arena::Node>,
+    pub atom_names: Vec<String>,
+    pub formula: FormulaId,
+    /// The propositional trace, one bitset state per instant.
+    pub trace: Vec<PropState>,
+    pub m: Vec<GArg>,
+    pub stats: GroundStats,
 }
 
 #[cfg(test)]

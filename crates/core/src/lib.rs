@@ -50,18 +50,20 @@ pub mod monitor;
 pub mod obs;
 pub mod par;
 pub mod past;
+pub mod snapshot;
 pub mod trigger;
 
 pub use diagnostics::earliest_violation;
-pub use engine::{Engine, GroundingContext, Notion, Regrounding};
+pub use engine::{Engine, GroundingContext, Notion, OpenReport, Regrounding};
 pub use error::Error;
 pub use explain::explain;
 pub use extension::{
     check_potential_satisfaction, CheckOptions, CheckOptionsBuilder, CheckOutcome, CheckStats,
-    Encoding,
+    Durability, Encoding,
 };
 pub use ground::{ground, ground_with, GroundError, GroundMode, GroundStats, Grounding, LetterKey};
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
 pub use obs::{CacheStats, EngineStats};
 pub use par::Threads;
+pub use ticc_store::{Store, StoreError, StoreStats};
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

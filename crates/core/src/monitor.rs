@@ -66,6 +66,23 @@ impl Monitor {
         }
     }
 
+    /// A monitor over an existing engine — e.g. one restored from a
+    /// durable snapshot by [`Engine::open`].
+    pub fn from_engine(engine: Engine) -> Self {
+        Self { engine }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (checkpointing,
+    /// compaction, store attachment).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Selects the violation notion (see [`Notion`]). Applies to
     /// constraints registered and updates applied afterwards.
     pub fn with_notion(mut self, notion: Notion) -> Self {

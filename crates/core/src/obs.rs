@@ -8,6 +8,7 @@
 //! dependencies — plain `u64` counters and [`std::time`] durations.
 
 use std::time::{Duration, Instant};
+use ticc_store::StoreStats;
 
 /// Counters for the engine's bounded memo layers — the residue
 /// satisfiability memo and the safety-automaton transition cache — plus
@@ -91,6 +92,10 @@ pub struct EngineStats {
     /// Cache-layer counters (satisfiability memo, transition cache,
     /// letter index).
     pub cache: CacheStats,
+    /// Durability-layer counters, mirrored from the attached
+    /// [`ticc_store::Store`] when the snapshot is taken (all zero when
+    /// the engine runs without a store).
+    pub store: StoreStats,
     /// Gauge: interned propositional letters across live groundings.
     pub letters: u64,
     /// Gauge: formula-arena DAG nodes across live groundings.
@@ -156,6 +161,20 @@ impl EngineStats {
                 c.transition_evictions
             ));
             s.push_str(&format!("  letter index        {}", c.letter_index_len));
+        }
+        if self.store.any() {
+            let st = &self.store;
+            s.push_str("\nstore:\n");
+            s.push_str(&format!("  tx frames           {}\n", st.tx_frames));
+            s.push_str(&format!("  snapshot frames     {}\n", st.snapshot_frames));
+            s.push_str(&format!("  bytes written       {}\n", st.bytes_written));
+            s.push_str(&format!("  fsyncs              {}\n", st.fsyncs));
+            s.push_str(&format!(
+                "  last snapshot bytes {}\n",
+                st.last_snapshot_bytes
+            ));
+            s.push_str(&format!("  recovered txs       {}\n", st.recovered_txs));
+            s.push_str(&format!("  truncated bytes     {}", st.truncated_bytes));
         }
         if self.par_phases > 0 {
             let speedup = if self.par_time > Duration::ZERO {

@@ -1,0 +1,723 @@
+//! Engine snapshot codec — the serialisation half of the durability
+//! layer.
+//!
+//! Theorem 4.1 is what makes an engine snapshot *small*: the monitor
+//! never needs the history to keep checking, only the current database
+//! and, per constraint, the grounding vocabulary plus the progressed
+//! residue. A snapshot therefore serialises the schema, the constant
+//! interpretation, the database states, and for every registered
+//! constraint a grounding dump (arena nodes, letter table, trace,
+//! known-value universe) together with the residue id — everything a
+//! restore needs to be *bit-identical* to the engine that wrote it:
+//! same atom ids, same formula ids, same residues, so the restored
+//! engine and a never-crashed twin progress in lockstep.
+//!
+//! The byte format reuses the `ticc-store` primitives: canonical LEB128
+//! varints ([`Enc`]/[`Dec`]) and the shared schema/formula/transaction
+//! codec. Every id decoded from the payload is validated against the
+//! table it references, so corrupt snapshot bytes surface as
+//! [`Error::Store`] instead of a panic or an out-of-bounds index.
+
+use crate::engine::{Engine, Entry, GroundingContext, Notion, Status};
+use crate::error::Error;
+use crate::extension::CheckOptions;
+use crate::ground::{GArg, GroundMode, GroundStats, Grounding, GroundingDump, LetterKey};
+use crate::obs::{CacheStats, EngineStats};
+use std::time::Duration;
+use ticc_ptl::arena::{AtomId, FormulaId, Node};
+use ticc_ptl::trace::PropState;
+use ticc_store::codec::{formula_decode, formula_encode, schema_decode, schema_encode};
+use ticc_store::{Dec, Enc, StoreError};
+use ticc_tdb::{ConstId, History, PredId, State};
+
+/// Version of the snapshot payload layout. Bump on any change to the
+/// byte format; [`restore_engine`] rejects other versions.
+pub const SNAP_VERSION: u32 = 1;
+
+fn corrupt(msg: &str) -> Error {
+    Error::Store(format!("snapshot: {msg}"))
+}
+
+/// Serialises the complete engine state plus an opaque application
+/// blob (the shell stores its trigger definitions there). The result
+/// is what [`Engine::checkpoint`] writes as a snapshot frame.
+pub fn snapshot_engine(engine: &Engine, app: &[u8]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(SNAP_VERSION);
+    let history = engine.history();
+    let schema = history.schema();
+    schema_encode(&mut e, schema);
+    for c in schema.consts() {
+        e.u64(history.const_value(c));
+    }
+    e.u8(match engine.notion() {
+        Notion::Potential => 0,
+        Notion::BadPrefix => 1,
+    });
+    // Distinct-state table + per-instant indices: long histories repeat
+    // states heavily (churn workloads cycle through a handful of
+    // databases), so both the wire size and the decode cost of the
+    // history section scale with the number of *distinct* states.
+    let mut distinct: Vec<&State> = Vec::new();
+    let mut index_of: std::collections::HashMap<Vec<u8>, usize> = std::collections::HashMap::new();
+    let mut indices: Vec<usize> = Vec::with_capacity(history.len());
+    for state in history.states() {
+        let mut se = Enc::new();
+        state_encode(&mut se, schema, state);
+        let idx = *index_of.entry(se.into_bytes()).or_insert_with(|| {
+            distinct.push(state);
+            distinct.len() - 1
+        });
+        indices.push(idx);
+    }
+    e.usize(distinct.len());
+    for state in distinct {
+        state_encode(&mut e, schema, state);
+    }
+    e.usize(indices.len());
+    for idx in indices {
+        e.usize(idx);
+    }
+    stats_encode(&mut e, &engine.stats);
+    e.usize(engine.entries.len());
+    for entry in &engine.entries {
+        e.str(&entry.name);
+        formula_encode(&mut e, &entry.phi);
+        match entry.status {
+            Status::Satisfied => e.u8(0),
+            Status::Violated { at } => {
+                e.u8(1);
+                e.usize(at);
+            }
+        }
+        e.u32(entry.ctx.residue().0);
+        dump_encode(&mut e, &entry.ctx.grounding().dump());
+    }
+    e.bytes(app);
+    e.into_bytes()
+}
+
+/// Rebuilds an engine from a snapshot payload. Returns the engine
+/// (without a store attached — the caller attaches one) and the
+/// application blob the snapshot carried. `opts` are the caller's: run
+/// options (threads, caches, durability) are a property of the process,
+/// not of the persisted state.
+pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u8>), Error> {
+    let mut d = Dec::new(bytes);
+    let version = d.u32()?;
+    if version != SNAP_VERSION {
+        return Err(corrupt(&format!(
+            "unsupported snapshot version {version} (expected {SNAP_VERSION})"
+        )));
+    }
+    let schema = schema_decode(&mut d)?;
+    let mut history = History::new(schema.clone());
+    for c in schema.consts() {
+        let v = d.u64()?;
+        history.set_constant(c, v);
+    }
+    let notion = match d.u8()? {
+        0 => Notion::Potential,
+        1 => Notion::BadPrefix,
+        n => return Err(corrupt(&format!("unknown notion tag {n}"))),
+    };
+    let n_distinct = d.usize()?;
+    let mut distinct: Vec<State> = Vec::with_capacity(n_distinct.min(65536));
+    for _ in 0..n_distinct {
+        let mut s = State::empty(schema.clone());
+        for p in schema.preds() {
+            let n = d.usize()?;
+            let arity = schema.arity(p);
+            for _ in 0..n {
+                let mut tuple = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    tuple.push(d.u64()?);
+                }
+                s.insert(p, tuple)
+                    .map_err(|e| corrupt(&format!("state tuple rejected: {e}")))?;
+            }
+        }
+        distinct.push(s);
+    }
+    let states = d.usize()?;
+    for _ in 0..states {
+        let idx = d.usize()?;
+        let s = distinct
+            .get(idx)
+            .ok_or_else(|| corrupt("state index out of range"))?;
+        history.push_state(s.clone());
+    }
+    let stats = stats_decode(&mut d)?;
+    let n_entries = d.usize()?;
+    let mut entries = Vec::new();
+    for _ in 0..n_entries {
+        let name = d.str()?.to_owned();
+        let phi = formula_decode(&mut d, &schema)?;
+        let status = match d.u8()? {
+            0 => Status::Satisfied,
+            1 => Status::Violated { at: d.usize()? },
+            n => return Err(corrupt(&format!("unknown status tag {n}"))),
+        };
+        let residue = FormulaId(d.u32()?);
+        let dump = dump_decode(&mut d, &schema)?;
+        let g = Grounding::restore(schema.clone(), dump)
+            .map_err(|m| corrupt(&format!("grounding: {m}")))?;
+        if residue.index() >= g.arena.dag_len() {
+            return Err(corrupt("residue id out of range"));
+        }
+        entries.push(Entry {
+            name,
+            phi,
+            status,
+            ctx: GroundingContext::from_parts(g, residue),
+        });
+    }
+    let app = d.bytes()?.to_vec();
+    d.finish()?;
+    let mut engine = Engine::with_history(history, opts);
+    engine.set_notion(notion);
+    engine.entries = entries;
+    engine.stats = stats;
+    Ok((engine, app))
+}
+
+fn state_encode(e: &mut Enc, schema: &ticc_tdb::Schema, state: &State) {
+    for p in schema.preds() {
+        let rel = state.relation(p);
+        e.usize(rel.len());
+        for tuple in rel.iter() {
+            for &v in tuple {
+                e.u64(v);
+            }
+        }
+    }
+}
+
+fn duration_encode(e: &mut Enc, d: Duration) {
+    e.u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+}
+
+fn duration_decode(d: &mut Dec<'_>) -> Result<Duration, StoreError> {
+    Ok(Duration::from_nanos(d.u64()?))
+}
+
+fn stats_encode(e: &mut Enc, s: &EngineStats) {
+    for v in [
+        s.appends,
+        s.fast_appends,
+        s.grounds,
+        s.regrounds,
+        s.delta_grounds,
+        s.new_conjuncts,
+        s.replayed_conjuncts,
+        s.progress_steps,
+        s.encode_patched_atoms,
+        s.sat_checks,
+        s.cache.sat_hits,
+        s.cache.sat_evictions,
+        s.cache.transition_hits,
+        s.cache.transition_misses,
+        s.cache.transition_evictions,
+        s.par_phases,
+        s.par_workers,
+    ] {
+        e.u64(v);
+    }
+    duration_encode(e, s.ground_time);
+    duration_encode(e, s.progress_time);
+    duration_encode(e, s.sat_time);
+    duration_encode(e, s.par_time);
+    duration_encode(e, s.par_busy_time);
+}
+
+fn stats_decode(d: &mut Dec<'_>) -> Result<EngineStats, StoreError> {
+    // Gauges (letters, arena nodes, mappings, letter index) and the
+    // store mirror are refreshed by `Engine::stats`, so only the
+    // lifetime counters and timers persist. Struct-literal fields
+    // evaluate in source order, which matches the encode order.
+    Ok(EngineStats {
+        appends: d.u64()?,
+        fast_appends: d.u64()?,
+        grounds: d.u64()?,
+        regrounds: d.u64()?,
+        delta_grounds: d.u64()?,
+        new_conjuncts: d.u64()?,
+        replayed_conjuncts: d.u64()?,
+        progress_steps: d.u64()?,
+        encode_patched_atoms: d.u64()?,
+        sat_checks: d.u64()?,
+        cache: CacheStats {
+            sat_hits: d.u64()?,
+            sat_evictions: d.u64()?,
+            transition_hits: d.u64()?,
+            transition_misses: d.u64()?,
+            transition_evictions: d.u64()?,
+            letter_index_len: 0,
+        },
+        par_phases: d.u64()?,
+        par_workers: d.u64()?,
+        ground_time: duration_decode(d)?,
+        progress_time: duration_decode(d)?,
+        sat_time: duration_decode(d)?,
+        par_time: duration_decode(d)?,
+        par_busy_time: duration_decode(d)?,
+        ..EngineStats::default()
+    })
+}
+
+fn garg_encode(e: &mut Enc, g: GArg) {
+    match g {
+        GArg::Rel(v) => {
+            e.u8(0);
+            e.u64(v);
+        }
+        GArg::Fresh(i) => {
+            e.u8(1);
+            e.usize(i);
+        }
+        GArg::Const(c) => {
+            e.u8(2);
+            e.u32(c.0);
+        }
+    }
+}
+
+fn garg_decode(d: &mut Dec<'_>) -> Result<GArg, Error> {
+    Ok(match d.u8()? {
+        0 => GArg::Rel(d.u64()?),
+        1 => GArg::Fresh(d.usize()?),
+        2 => GArg::Const(ConstId(d.u32()?)),
+        n => return Err(corrupt(&format!("unknown ground-argument tag {n}"))),
+    })
+}
+
+fn letter_key_encode(e: &mut Enc, k: &LetterKey) {
+    match k {
+        LetterKey::Pred(p, args) => {
+            e.u8(0);
+            e.u32(p.0);
+            e.usize(args.len());
+            for &a in args {
+                garg_encode(e, a);
+            }
+        }
+        LetterKey::Eq(a, b) => {
+            e.u8(1);
+            garg_encode(e, *a);
+            garg_encode(e, *b);
+        }
+    }
+}
+
+fn letter_key_decode(d: &mut Dec<'_>) -> Result<LetterKey, Error> {
+    Ok(match d.u8()? {
+        0 => {
+            let p = PredId(d.u32()?);
+            let n = d.usize()?;
+            let mut args = Vec::new();
+            for _ in 0..n {
+                args.push(garg_decode(d)?);
+            }
+            LetterKey::Pred(p, args)
+        }
+        1 => LetterKey::Eq(garg_decode(d)?, garg_decode(d)?),
+        n => return Err(corrupt(&format!("unknown letter-key tag {n}"))),
+    })
+}
+
+fn node_encode(e: &mut Enc, n: Node) {
+    let (tag, a, b) = match n {
+        Node::True => (0u8, 0, 0),
+        Node::False => (1, 0, 0),
+        Node::Atom(a) => (2, a.0, 0),
+        Node::Not(a) => (3, a.0, 0),
+        Node::And(a, b) => (4, a.0, b.0),
+        Node::Or(a, b) => (5, a.0, b.0),
+        Node::Next(a) => (6, a.0, 0),
+        Node::Until(a, b) => (7, a.0, b.0),
+        Node::Release(a, b) => (8, a.0, b.0),
+        Node::Prev(a) => (9, a.0, 0),
+        Node::Since(a, b) => (10, a.0, b.0),
+    };
+    e.u8(tag);
+    match tag {
+        0 | 1 => {}
+        2 | 3 | 6 | 9 => e.u32(a),
+        _ => {
+            e.u32(a);
+            e.u32(b);
+        }
+    }
+}
+
+fn node_decode(d: &mut Dec<'_>) -> Result<Node, Error> {
+    let tag = d.u8()?;
+    let unary = |d: &mut Dec<'_>| -> Result<FormulaId, StoreError> { Ok(FormulaId(d.u32()?)) };
+    Ok(match tag {
+        0 => Node::True,
+        1 => Node::False,
+        2 => Node::Atom(AtomId(d.u32()?)),
+        3 => Node::Not(unary(d)?),
+        4 => Node::And(unary(d)?, unary(d)?),
+        5 => Node::Or(unary(d)?, unary(d)?),
+        6 => Node::Next(unary(d)?),
+        7 => Node::Until(unary(d)?, unary(d)?),
+        8 => Node::Release(unary(d)?, unary(d)?),
+        9 => Node::Prev(unary(d)?),
+        10 => Node::Since(unary(d)?, unary(d)?),
+        n => return Err(corrupt(&format!("unknown arena-node tag {n}"))),
+    })
+}
+
+fn dump_encode(e: &mut Enc, d: &GroundingDump) {
+    e.u8(match d.mode {
+        GroundMode::Folded => 0,
+        GroundMode::Full => 1,
+    });
+    e.usize(d.consts.len());
+    for &v in &d.consts {
+        e.u64(v);
+    }
+    e.usize(d.letters.len());
+    for (key, atom) in &d.letters {
+        letter_key_encode(e, key);
+        e.u32(atom.0);
+    }
+    e.usize(d.external.len());
+    for name in &d.external {
+        e.str(name);
+    }
+    formula_encode(e, &d.matrix);
+    e.usize(d.known.len());
+    for &v in &d.known {
+        e.u64(v);
+    }
+    e.usize(d.arena_nodes.len());
+    for &n in &d.arena_nodes {
+        node_encode(e, n);
+    }
+    e.usize(d.atom_names.len());
+    for name in &d.atom_names {
+        e.str(name);
+    }
+    e.u32(d.formula.0);
+    // Like the history section: a distinct-state table plus per-instant
+    // indices, because the propositional trace of a cyclic workload
+    // revisits the same states over and over.
+    let mut distinct: Vec<&PropState> = Vec::new();
+    let mut index_of: std::collections::HashMap<&[u64], usize> = std::collections::HashMap::new();
+    let mut indices: Vec<usize> = Vec::with_capacity(d.trace.len());
+    for w in &d.trace {
+        let idx = *index_of.entry(w.words()).or_insert_with(|| {
+            distinct.push(w);
+            distinct.len() - 1
+        });
+        indices.push(idx);
+    }
+    e.usize(distinct.len());
+    for w in distinct {
+        // Per-state hybrid: a sparse true-atom list when few letters
+        // hold (typical small-residue states), raw bitset words when
+        // dense — whichever is smaller on the wire.
+        let n_true = w.count_true();
+        if n_true * 2 <= w.words().len() * 8 {
+            e.u8(0);
+            e.usize(n_true);
+            for a in w.true_atoms() {
+                e.u32(a.0);
+            }
+        } else {
+            e.u8(1);
+            e.usize(w.words().len());
+            for &word in w.words() {
+                e.u64_fixed(word);
+            }
+        }
+    }
+    e.usize(indices.len());
+    for idx in indices {
+        e.usize(idx);
+    }
+    e.usize(d.m.len());
+    for &g in &d.m {
+        garg_encode(e, g);
+    }
+    for v in [
+        d.stats.m_size,
+        d.stats.external_vars,
+        d.stats.mappings,
+        d.stats.letters,
+        d.stats.axiom_conjuncts,
+        d.stats.formula_tree_size,
+        d.stats.formula_dag_size,
+    ] {
+        e.usize(v);
+    }
+}
+
+fn dump_decode(d: &mut Dec<'_>, schema: &ticc_tdb::Schema) -> Result<GroundingDump, Error> {
+    let mode = match d.u8()? {
+        0 => GroundMode::Folded,
+        1 => GroundMode::Full,
+        n => return Err(corrupt(&format!("unknown ground-mode tag {n}"))),
+    };
+    let n = d.usize()?;
+    let mut consts = Vec::new();
+    for _ in 0..n {
+        consts.push(d.u64()?);
+    }
+    let n = d.usize()?;
+    let mut letters = Vec::new();
+    for _ in 0..n {
+        let key = letter_key_decode(d)?;
+        letters.push((key, AtomId(d.u32()?)));
+    }
+    let n = d.usize()?;
+    let mut external = Vec::new();
+    for _ in 0..n {
+        external.push(d.str()?.to_owned());
+    }
+    let matrix = formula_decode(d, schema)?;
+    let n = d.usize()?;
+    let mut known = Vec::new();
+    for _ in 0..n {
+        known.push(d.u64()?);
+    }
+    let n = d.usize()?;
+    let mut arena_nodes = Vec::new();
+    for _ in 0..n {
+        arena_nodes.push(node_decode(d)?);
+    }
+    let n = d.usize()?;
+    let mut atom_names = Vec::new();
+    for _ in 0..n {
+        atom_names.push(d.str()?.to_owned());
+    }
+    let formula = FormulaId(d.u32()?);
+    // 2^20 letters per trace state is far beyond any real grounding;
+    // the caps keep a corrupt length from pre-allocating gigabytes.
+    const MAX_TRACE_ATOMS: usize = 1 << 20;
+    const MAX_TRACE_WORDS: usize = MAX_TRACE_ATOMS / 64;
+    let n_distinct = d.usize()?;
+    let mut distinct = Vec::with_capacity(n_distinct.min(65536));
+    for _ in 0..n_distinct {
+        match d.u8()? {
+            0 => {
+                let k = d.usize()?;
+                if k > MAX_TRACE_ATOMS {
+                    return Err(corrupt(&format!("trace state with {k} true atoms")));
+                }
+                let mut s = PropState::new();
+                for _ in 0..k {
+                    s.set(AtomId(d.u32()?), true);
+                }
+                distinct.push(s);
+            }
+            1 => {
+                let k = d.usize()?;
+                if k > MAX_TRACE_WORDS {
+                    return Err(corrupt(&format!("trace state of {k} words")));
+                }
+                let mut words = Vec::with_capacity(k);
+                for _ in 0..k {
+                    words.push(d.u64_fixed()?);
+                }
+                distinct.push(PropState::from_words(words));
+            }
+            t => return Err(corrupt(&format!("unknown trace state tag {t}"))),
+        }
+    }
+    let n = d.usize()?;
+    let mut trace = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let idx = d.usize()?;
+        let s = distinct
+            .get(idx)
+            .ok_or_else(|| corrupt("trace state index out of range"))?;
+        trace.push(s.clone());
+    }
+    let n = d.usize()?;
+    let mut m = Vec::new();
+    for _ in 0..n {
+        m.push(garg_decode(d)?);
+    }
+    let stats = GroundStats {
+        m_size: d.usize()?,
+        external_vars: d.usize()?,
+        mappings: d.usize()?,
+        letters: d.usize()?,
+        axiom_conjuncts: d.usize()?,
+        formula_tree_size: d.usize()?,
+        formula_dag_size: d.usize()?,
+    };
+    Ok(GroundingDump {
+        mode,
+        consts,
+        letters,
+        external,
+        matrix,
+        known,
+        arena_nodes,
+        atom_names,
+        formula,
+        trace,
+        m,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Regrounding;
+    use std::sync::Arc;
+    use ticc_fotl::parser::parse;
+    use ticc_tdb::{Schema, Transaction};
+
+    fn order_schema() -> Arc<ticc_tdb::Schema> {
+        Schema::builder().pred("Sub", 1).pred("Fill", 1).build()
+    }
+
+    fn engine_with_appends() -> Engine {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let fill = sc.pred("Fill").unwrap();
+        let mut e = Engine::new(sc, CheckOptions::default());
+        let phi = parse(e.history().schema(), "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        e.add_constraint("once", phi).unwrap();
+        e.append(
+            &Transaction::new()
+                .insert(sub, vec![1])
+                .insert(fill, vec![1]),
+        )
+        .unwrap();
+        e.append(&Transaction::new().delete(sub, vec![1]).insert(sub, vec![2]))
+            .unwrap();
+        e
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let engine = engine_with_appends();
+        let bytes = snapshot_engine(&engine, b"app-blob");
+        let (back, app) = restore_engine(&bytes, CheckOptions::default()).unwrap();
+        assert_eq!(app, b"app-blob");
+        assert_eq!(back.history().len(), engine.history().len());
+        assert_eq!(back.history().states(), engine.history().states());
+        for id in engine.constraints() {
+            assert_eq!(back.status(id), engine.status(id));
+            assert_eq!(back.name(id), engine.name(id));
+            let (g0, g1) = (engine.context(id).grounding(), back.context(id).grounding());
+            assert_eq!(engine.context(id).residue(), back.context(id).residue());
+            assert_eq!(g0.formula, g1.formula);
+            assert_eq!(g0.arena.dag_len(), g1.arena.dag_len());
+            assert_eq!(g0.trace.len(), g1.trace.len());
+            assert_eq!(g0.stats, g1.stats);
+        }
+        let s0 = engine.stats();
+        let s1 = back.stats();
+        assert_eq!(s0.appends, s1.appends);
+        assert_eq!(s0.grounds, s1.grounds);
+        assert_eq!(s0.letters, s1.letters);
+    }
+
+    #[test]
+    fn restored_engine_continues_in_lockstep() {
+        let engine = engine_with_appends();
+        let bytes = snapshot_engine(&engine, &[]);
+        let (mut back, _) = restore_engine(&bytes, CheckOptions::default()).unwrap();
+        let mut fwd = engine_with_appends();
+        let sc = fwd.history().schema().clone();
+        let sub = sc.pred("Sub").unwrap();
+        // Continue both: re-submit 1 → violation, same events both sides.
+        let txs = [
+            Transaction::new().delete(sub, vec![2]),
+            Transaction::new().insert(sub, vec![1]),
+        ];
+        for tx in &txs {
+            let a = fwd.append(tx).unwrap();
+            let b = back.append(tx).unwrap();
+            assert_eq!(a, b);
+        }
+        for id in fwd.constraints() {
+            assert_eq!(fwd.status(id), back.status(id));
+            assert!(matches!(fwd.status(id), Status::Violated { .. }));
+        }
+    }
+
+    #[test]
+    fn restore_respects_caller_options() {
+        let engine = engine_with_appends();
+        let bytes = snapshot_engine(&engine, &[]);
+        let opts = CheckOptions::builder()
+            .regrounding(Regrounding::Full)
+            .build();
+        let (back, _) = restore_engine(&bytes, opts).unwrap();
+        assert_eq!(back.opts().regrounding, Regrounding::Full);
+    }
+
+    #[test]
+    fn corrupt_snapshots_error_instead_of_panicking() {
+        let engine = engine_with_appends();
+        let bytes = snapshot_engine(&engine, b"x");
+        // Wrong version.
+        let mut v = bytes.clone();
+        v[0] ^= 0x7f;
+        assert!(matches!(
+            restore_engine(&v, CheckOptions::default()),
+            Err(Error::Store(_))
+        ));
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                restore_engine(&bytes[..cut], CheckOptions::default()).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+        // Single-byte corruption must never panic (it may decode to an
+        // equivalent payload when it hits the app blob, but id and
+        // arity validation catches structural damage).
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x55;
+            let _ = restore_engine(&b, CheckOptions::default());
+        }
+    }
+
+    #[test]
+    fn repeated_states_are_stored_once() {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let flip = Transaction::new().insert(sub, vec![1]);
+        let flop = Transaction::new().delete(sub, vec![1]);
+        let run = |instants: usize| {
+            let mut e = Engine::new(sc.clone(), CheckOptions::default());
+            for i in 0..instants {
+                e.append(if i % 2 == 0 { &flip } else { &flop }).unwrap();
+            }
+            snapshot_engine(&e, &[])
+        };
+        let short = run(20);
+        let long = run(200);
+        // The extra 180 instants repeat the same two states, so they
+        // only cost one table index each on the wire.
+        assert!(
+            long.len() < short.len() + 2 * 180,
+            "{} bytes for t=200 vs {} for t=20",
+            long.len(),
+            short.len()
+        );
+        let (back, _) = restore_engine(&long, CheckOptions::default()).unwrap();
+        assert_eq!(back.history().len(), 200);
+        assert!(back.history().state(198).holds(sub, &[1]));
+        assert!(!back.history().state(199).holds(sub, &[1]));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let engine = engine_with_appends();
+        let mut bytes = snapshot_engine(&engine, &[]);
+        bytes.push(0);
+        assert!(restore_engine(&bytes, CheckOptions::default()).is_err());
+    }
+}

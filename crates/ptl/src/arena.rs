@@ -138,6 +138,74 @@ impl Arena {
         id
     }
 
+    /// The dense node table, in interning order. Together with
+    /// [`Arena::atom_names_in_order`] this is a complete, canonical
+    /// dump of the arena: rebuilding via [`Arena::rehydrate`] yields
+    /// an arena in which every existing [`FormulaId`]/[`AtomId`] is
+    /// bit-identical. (Durable snapshots rely on this to restore
+    /// constraint residues without re-running the grounding pipeline.)
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The atom name table, in id order (dense).
+    pub fn atom_names_in_order(&self) -> &[String] {
+        &self.atom_names
+    }
+
+    /// Rebuilds an arena from a dump taken with [`Arena::nodes`] and
+    /// [`Arena::atom_names_in_order`].
+    ///
+    /// Nodes are inserted *raw*, without re-running the folding
+    /// constructors — the dump already reflects whatever folding
+    /// produced it, and re-folding would renumber ids. The input is
+    /// validated instead of trusted: children must reference earlier
+    /// nodes, atom ids must be in range, and both tables must be
+    /// duplicate-free (they are, in any genuine dump, because interning
+    /// is what built them).
+    pub fn rehydrate(nodes: Vec<Node>, atom_names: Vec<String>) -> Result<Arena, &'static str> {
+        let mut arena = Arena::new();
+        for (i, name) in atom_names.iter().enumerate() {
+            let a = AtomId(u32::try_from(i).map_err(|_| "too many atoms")?);
+            if arena.atom_ids.insert(name.clone(), a).is_some() {
+                return Err("duplicate atom name in dump");
+            }
+            arena.atom_names.push(name.clone());
+        }
+        for (i, &node) in nodes.iter().enumerate() {
+            let id = FormulaId(u32::try_from(i).map_err(|_| "too many formulas")?);
+            let check_child = |c: FormulaId| {
+                if c.index() < i {
+                    Ok(())
+                } else {
+                    Err("node references a child at or after itself")
+                }
+            };
+            match node {
+                Node::True | Node::False => {}
+                Node::Atom(a) => {
+                    if a.index() >= arena.atom_names.len() {
+                        return Err("atom id out of range");
+                    }
+                }
+                Node::Not(x) | Node::Next(x) | Node::Prev(x) => check_child(x)?,
+                Node::And(x, y)
+                | Node::Or(x, y)
+                | Node::Until(x, y)
+                | Node::Release(x, y)
+                | Node::Since(x, y) => {
+                    check_child(x)?;
+                    check_child(y)?;
+                }
+            }
+            if arena.node_ids.insert(node, id).is_some() {
+                return Err("duplicate node in dump");
+            }
+            arena.nodes.push(node);
+        }
+        Ok(arena)
+    }
+
     /// The constant `true`.
     pub fn tru(&mut self) -> FormulaId {
         self.intern(Node::True)
@@ -971,5 +1039,52 @@ mod bounded_ops_tests {
         assert!(crate::safety::is_syntactically_safe(&mut ar, nnf).unwrap());
         let r = crate::sat::is_satisfiable(&mut ar, g).unwrap();
         assert!(r.satisfiable);
+    }
+
+    #[test]
+    fn rehydrate_is_bit_identical() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let q = ar.atom("q(7)");
+        let u = ar.until(p, q);
+        let g = ar.always(u);
+        let y = ar.since(q, g);
+        let dump_nodes = ar.nodes().to_vec();
+        let dump_atoms = ar.atom_names_in_order().to_vec();
+
+        let mut back = Arena::rehydrate(dump_nodes, dump_atoms).unwrap();
+        assert_eq!(back.dag_len(), ar.dag_len());
+        assert_eq!(back.atom_count(), ar.atom_count());
+        for i in 0..ar.dag_len() {
+            let id = FormulaId(i as u32);
+            assert_eq!(back.node(id), ar.node(id), "node {i}");
+        }
+        // Interning the same structures lands on the same ids —
+        // hash-consing picks up exactly where the original left off.
+        let p2 = back.atom("p");
+        let q2 = back.atom("q(7)");
+        assert_eq!(p2, p);
+        let u2 = back.until(p2, q2);
+        assert_eq!(u2, u);
+        let y2 = {
+            let g2 = back.always(u2);
+            back.since(q2, g2)
+        };
+        assert_eq!(y2, y);
+        // And fresh letters allocate past the dump, not inside it.
+        let fresh = back.intern_atom("r");
+        assert_eq!(fresh.index(), ar.atom_count());
+    }
+
+    #[test]
+    fn rehydrate_rejects_malformed_dumps() {
+        // Child after itself.
+        assert!(Arena::rehydrate(vec![Node::Not(FormulaId(0))], vec![]).is_err());
+        // Atom id out of range.
+        assert!(Arena::rehydrate(vec![Node::Atom(AtomId(0))], vec![]).is_err());
+        // Duplicate node.
+        assert!(Arena::rehydrate(vec![Node::True, Node::True], vec![]).is_err());
+        // Duplicate atom name.
+        assert!(Arena::rehydrate(vec![], vec!["p".into(), "p".into()]).is_err());
     }
 }

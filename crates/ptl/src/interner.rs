@@ -139,6 +139,22 @@ impl<K: Eq + Hash + Clone> AtomInterner<K> {
             .collect()
     }
 
+    /// Rebuilds an interner from explicit `(key, id)` pairs — the
+    /// restore half of a durable snapshot, where the pairs come from
+    /// [`iter`](Self::iter) (serialised in id order) and the ids
+    /// reference an arena rebuilt with `Arena::rehydrate`. Duplicate
+    /// keys are rejected; id validity is the caller's contract with
+    /// the arena dump.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (K, AtomId)>) -> Result<Self, &'static str> {
+        let mut map = HashMap::new();
+        for (key, id) in pairs {
+            if map.insert(key, id).is_some() {
+                return Err("duplicate key in interner dump");
+            }
+        }
+        Ok(Self { map })
+    }
+
     /// The id for `key`, if it has been interned.
     pub fn get(&self, key: &K) -> Option<AtomId> {
         self.map.get(key).copied()

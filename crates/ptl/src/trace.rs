@@ -66,6 +66,22 @@ impl PropState {
         self.bits.get(w).is_some_and(|&x| x >> b & 1 == 1)
     }
 
+    /// The raw bitset words, 64 letters per word, lowest ids first.
+    /// Canonical: never ends in an all-zero word.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a state from raw bitset words (the [`Self::words`]
+    /// layout). Trailing all-zero words are trimmed so the result is
+    /// canonical regardless of the input.
+    pub fn from_words(mut bits: Vec<u64>) -> Self {
+        while bits.last() == Some(&0) {
+            bits.pop();
+        }
+        Self { bits }
+    }
+
     /// Iterates over the letters that are true, in increasing id order.
     pub fn true_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &word)| {

@@ -1,0 +1,601 @@
+//! Canonical codecs for the database vocabulary: schemas,
+//! transactions (binary *and* the shell's fact text syntax), and
+//! first-order temporal formulas.
+//!
+//! These are the shared serialisation points for the whole stack. The
+//! WAL frames transactions with [`tx_encode`]/[`tx_decode`]; the shell
+//! stages updates through [`parse_fact`]/[`render_fact`] (the same
+//! grammar `insert Pred(v, …)` scripts use); snapshots embed schemas
+//! and constraint formulas through the remaining pairs. Each decoder
+//! validates against the schema it is given — predicate ids in range,
+//! tuple arities exact — so corrupt or mismatched bytes surface as
+//! [`StoreError::Corrupt`], never as a panic deeper in the stack.
+
+use crate::encode::{Dec, Enc, StoreError};
+use ticc_fotl::term::{Atom, Term};
+use ticc_fotl::Formula;
+use ticc_tdb::{PredId, Schema, Transaction, Update, Value};
+
+fn corrupt(what: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(what.into())
+}
+
+// ---------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------
+
+/// Encodes a schema as `(name, arity)*` then `const-name*`.
+pub fn schema_encode(e: &mut Enc, sc: &Schema) {
+    e.usize(sc.pred_count());
+    for p in sc.preds() {
+        e.str(sc.pred_name(p));
+        e.usize(sc.arity(p));
+    }
+    e.usize(sc.const_count());
+    for c in sc.consts() {
+        e.str(sc.const_name(c));
+    }
+}
+
+/// Decodes a schema; rebuilds it through [`Schema::builder`] after
+/// validating what the builder would otherwise panic on.
+pub fn schema_decode(d: &mut Dec<'_>) -> Result<std::sync::Arc<Schema>, StoreError> {
+    let np = d.usize()?;
+    let mut decls: Vec<(String, usize)> = Vec::with_capacity(np.min(1024));
+    for _ in 0..np {
+        let name = d.str()?.to_owned();
+        let arity = d.usize()?;
+        if arity == 0 {
+            return Err(corrupt(format!("predicate '{name}' with arity 0")));
+        }
+        if decls.iter().any(|(n, _)| *n == name) {
+            return Err(corrupt(format!("duplicate predicate '{name}'")));
+        }
+        decls.push((name, arity));
+    }
+    let nc = d.usize()?;
+    let mut consts: Vec<String> = Vec::with_capacity(nc.min(1024));
+    for _ in 0..nc {
+        let name = d.str()?.to_owned();
+        if consts.contains(&name) || decls.iter().any(|(n, _)| *n == name) {
+            return Err(corrupt(format!("duplicate symbol '{name}'")));
+        }
+        consts.push(name);
+    }
+    let mut b = Schema::builder();
+    for (name, arity) in &decls {
+        b = b.pred(name, *arity);
+    }
+    for name in &consts {
+        b = b.constant(name);
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------
+// Transactions (binary)
+// ---------------------------------------------------------------------
+
+const UPD_INSERT: u8 = 0;
+const UPD_DELETE: u8 = 1;
+
+/// Encodes a transaction as `count ++ (tag, pred, tuple)*`.
+pub fn tx_encode(e: &mut Enc, tx: &Transaction) {
+    e.usize(tx.updates().len());
+    for u in tx.updates() {
+        let (tag, p, tuple) = match u {
+            Update::Insert(p, t) => (UPD_INSERT, p, t),
+            Update::Delete(p, t) => (UPD_DELETE, p, t),
+        };
+        e.u8(tag);
+        e.u32(p.0);
+        for &v in tuple {
+            e.u64(v);
+        }
+    }
+}
+
+/// Decodes a transaction, validating predicate ids and arities
+/// against `schema` (tuple lengths are implied by the schema, so the
+/// wire format never has to trust a length field for them).
+pub fn tx_decode(d: &mut Dec<'_>, schema: &Schema) -> Result<Transaction, StoreError> {
+    let n = d.usize()?;
+    let mut updates = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let tag = d.u8()?;
+        let pid = d.u32()?;
+        if pid as usize >= schema.pred_count() {
+            return Err(corrupt(format!("predicate id {pid} out of range")));
+        }
+        let p = PredId(pid);
+        let arity = schema.arity(p);
+        let mut tuple = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            tuple.push(d.u64()?);
+        }
+        updates.push(match tag {
+            UPD_INSERT => Update::Insert(p, tuple),
+            UPD_DELETE => Update::Delete(p, tuple),
+            other => return Err(corrupt(format!("unknown update tag {other}"))),
+        });
+    }
+    Ok(updates.into_iter().collect())
+}
+
+/// Convenience: a transaction as a standalone byte string.
+pub fn tx_to_bytes(tx: &Transaction) -> Vec<u8> {
+    let mut e = Enc::new();
+    tx_encode(&mut e, tx);
+    e.into_bytes()
+}
+
+/// Convenience: decodes a standalone transaction byte string exactly.
+pub fn tx_from_bytes(bytes: &[u8], schema: &Schema) -> Result<Transaction, StoreError> {
+    let mut d = Dec::new(bytes);
+    let tx = tx_decode(&mut d, schema)?;
+    d.finish()?;
+    Ok(tx)
+}
+
+// ---------------------------------------------------------------------
+// Transactions (text — the shell's fact grammar)
+// ---------------------------------------------------------------------
+
+/// Parses the shell's fact syntax `Pred(v1, v2, …)` against a schema.
+///
+/// This is the *canonical* text codec: the interactive shell, script
+/// files, and [`render_fact`] all share it, so a fact rendered from a
+/// WAL transaction parses back to the identical `(PredId, tuple)`.
+pub fn parse_fact(schema: &Schema, src: &str) -> Result<(PredId, Vec<Value>), String> {
+    let src = src.trim();
+    let Some(open) = src.find('(') else {
+        return Err("usage: <Pred>(<v1>, <v2>, …)".to_owned());
+    };
+    if !src.ends_with(')') {
+        return Err("missing ')'".to_owned());
+    }
+    let name = src[..open].trim();
+    let pred = schema
+        .pred(name)
+        .ok_or_else(|| format!("unknown predicate '{name}'"))?;
+    let args: Result<Vec<Value>, String> = src[open + 1..src.len() - 1]
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse::<Value>()
+                .map_err(|_| format!("bad value '{}' (facts take numeric elements)", a.trim()))
+        })
+        .collect();
+    let args = args?;
+    if args.len() != schema.arity(pred) {
+        return Err(format!(
+            "{name} expects {} argument(s), got {}",
+            schema.arity(pred),
+            args.len()
+        ));
+    }
+    Ok((pred, args))
+}
+
+/// Renders a fact in the canonical text syntax [`parse_fact`] reads.
+pub fn render_fact(schema: &Schema, pred: PredId, tuple: &[Value]) -> String {
+    let args: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+    format!("{}({})", schema.pred_name(pred), args.join(", "))
+}
+
+// ---------------------------------------------------------------------
+// Formulas
+// ---------------------------------------------------------------------
+
+const TERM_VAR: u8 = 0;
+const TERM_CONST: u8 = 1;
+const TERM_VALUE: u8 = 2;
+
+fn term_encode(e: &mut Enc, t: &Term) {
+    match t {
+        Term::Var(name) => {
+            e.u8(TERM_VAR);
+            e.str(name);
+        }
+        Term::Const(c) => {
+            e.u8(TERM_CONST);
+            e.u32(c.0);
+        }
+        Term::Value(v) => {
+            e.u8(TERM_VALUE);
+            e.u64(*v);
+        }
+    }
+}
+
+fn term_decode(d: &mut Dec<'_>, schema: &Schema) -> Result<Term, StoreError> {
+    Ok(match d.u8()? {
+        TERM_VAR => Term::Var(d.str()?.to_owned()),
+        TERM_CONST => {
+            let c = d.u32()?;
+            if c as usize >= schema.const_count() {
+                return Err(corrupt(format!("constant id {c} out of range")));
+            }
+            Term::Const(ticc_tdb::ConstId(c))
+        }
+        TERM_VALUE => Term::Value(d.u64()?),
+        other => return Err(corrupt(format!("unknown term tag {other}"))),
+    })
+}
+
+const ATOM_EQ: u8 = 0;
+const ATOM_PRED: u8 = 1;
+const ATOM_LEQ: u8 = 2;
+const ATOM_SUCC: u8 = 3;
+const ATOM_ZERO: u8 = 4;
+
+fn atom_encode(e: &mut Enc, a: &Atom) {
+    match a {
+        Atom::Eq(x, y) => {
+            e.u8(ATOM_EQ);
+            term_encode(e, x);
+            term_encode(e, y);
+        }
+        Atom::Pred(p, terms) => {
+            e.u8(ATOM_PRED);
+            e.u32(p.0);
+            e.usize(terms.len());
+            for t in terms {
+                term_encode(e, t);
+            }
+        }
+        Atom::Leq(x, y) => {
+            e.u8(ATOM_LEQ);
+            term_encode(e, x);
+            term_encode(e, y);
+        }
+        Atom::Succ(x, y) => {
+            e.u8(ATOM_SUCC);
+            term_encode(e, x);
+            term_encode(e, y);
+        }
+        Atom::Zero(x) => {
+            e.u8(ATOM_ZERO);
+            term_encode(e, x);
+        }
+    }
+}
+
+fn atom_decode(d: &mut Dec<'_>, schema: &Schema) -> Result<Atom, StoreError> {
+    Ok(match d.u8()? {
+        ATOM_EQ => Atom::Eq(term_decode(d, schema)?, term_decode(d, schema)?),
+        ATOM_PRED => {
+            let pid = d.u32()?;
+            if pid as usize >= schema.pred_count() {
+                return Err(corrupt(format!("predicate id {pid} out of range")));
+            }
+            let n = d.usize()?;
+            let mut terms = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                terms.push(term_decode(d, schema)?);
+            }
+            Atom::Pred(PredId(pid), terms)
+        }
+        ATOM_LEQ => Atom::Leq(term_decode(d, schema)?, term_decode(d, schema)?),
+        ATOM_SUCC => Atom::Succ(term_decode(d, schema)?, term_decode(d, schema)?),
+        ATOM_ZERO => Atom::Zero(term_decode(d, schema)?),
+        other => return Err(corrupt(format!("unknown atom tag {other}"))),
+    })
+}
+
+const F_TRUE: u8 = 0;
+const F_FALSE: u8 = 1;
+const F_ATOM: u8 = 2;
+const F_NOT: u8 = 3;
+const F_AND: u8 = 4;
+const F_OR: u8 = 5;
+const F_IMPLIES: u8 = 6;
+const F_FORALL: u8 = 7;
+const F_EXISTS: u8 = 8;
+const F_NEXT: u8 = 9;
+const F_UNTIL: u8 = 10;
+const F_PREV: u8 = 11;
+const F_SINCE: u8 = 12;
+
+/// Depth limit for formula decoding: deeper nesting than this is
+/// treated as corruption. The decoder is iterative, so the limit
+/// bounds heap growth on garbage input rather than guarding the call
+/// stack; real constraints nest a few dozen levels at most.
+const MAX_FORMULA_DEPTH: usize = 4096;
+
+/// Encodes a formula as a pre-order tagged tree.
+pub fn formula_encode(e: &mut Enc, phi: &Formula) {
+    match phi {
+        Formula::True => e.u8(F_TRUE),
+        Formula::False => e.u8(F_FALSE),
+        Formula::Atom(a) => {
+            e.u8(F_ATOM);
+            atom_encode(e, a);
+        }
+        Formula::Not(p) => {
+            e.u8(F_NOT);
+            formula_encode(e, p);
+        }
+        Formula::And(p, q) => {
+            e.u8(F_AND);
+            formula_encode(e, p);
+            formula_encode(e, q);
+        }
+        Formula::Or(p, q) => {
+            e.u8(F_OR);
+            formula_encode(e, p);
+            formula_encode(e, q);
+        }
+        Formula::Implies(p, q) => {
+            e.u8(F_IMPLIES);
+            formula_encode(e, p);
+            formula_encode(e, q);
+        }
+        Formula::Forall(x, p) => {
+            e.u8(F_FORALL);
+            e.str(x);
+            formula_encode(e, p);
+        }
+        Formula::Exists(x, p) => {
+            e.u8(F_EXISTS);
+            e.str(x);
+            formula_encode(e, p);
+        }
+        Formula::Next(p) => {
+            e.u8(F_NEXT);
+            formula_encode(e, p);
+        }
+        Formula::Until(p, q) => {
+            e.u8(F_UNTIL);
+            formula_encode(e, p);
+            formula_encode(e, q);
+        }
+        Formula::Prev(p) => {
+            e.u8(F_PREV);
+            formula_encode(e, p);
+        }
+        Formula::Since(p, q) => {
+            e.u8(F_SINCE);
+            formula_encode(e, p);
+            formula_encode(e, q);
+        }
+    }
+}
+
+/// A connective awaiting its children during iterative decoding.
+enum Pending {
+    Not,
+    And,
+    Or,
+    Implies,
+    Forall(String),
+    Exists(String),
+    Next,
+    Until,
+    Prev,
+    Since,
+}
+
+impl Pending {
+    fn need(&self) -> usize {
+        match self {
+            Pending::Not
+            | Pending::Forall(_)
+            | Pending::Exists(_)
+            | Pending::Next
+            | Pending::Prev => 1,
+            _ => 2,
+        }
+    }
+
+    fn complete(self, mut kids: Vec<Formula>) -> Formula {
+        let b = kids.pop().expect("arity checked");
+        match self {
+            Pending::Not => Formula::Not(Box::new(b)),
+            Pending::Forall(x) => Formula::Forall(x, Box::new(b)),
+            Pending::Exists(x) => Formula::Exists(x, Box::new(b)),
+            Pending::Next => Formula::Next(Box::new(b)),
+            Pending::Prev => Formula::Prev(Box::new(b)),
+            binary => {
+                let a = kids.pop().expect("arity checked");
+                match binary {
+                    Pending::And => Formula::And(Box::new(a), Box::new(b)),
+                    Pending::Or => Formula::Or(Box::new(a), Box::new(b)),
+                    Pending::Implies => Formula::Implies(Box::new(a), Box::new(b)),
+                    Pending::Until => Formula::Until(Box::new(a), Box::new(b)),
+                    Pending::Since => Formula::Since(Box::new(a), Box::new(b)),
+                    _ => unreachable!("unary handled above"),
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a formula, validating ids against `schema`.
+///
+/// The encoding is pre-order, so decoding runs a work stack instead
+/// of the call stack: leaves complete immediately, internal nodes
+/// wait on the stack until their children are built. Deeply nested
+/// garbage is rejected at `MAX_FORMULA_DEPTH` instead of exhausting
+/// memory.
+pub fn formula_decode(d: &mut Dec<'_>, schema: &Schema) -> Result<Formula, StoreError> {
+    let mut stack: Vec<(Pending, Vec<Formula>)> = Vec::new();
+    loop {
+        if stack.len() > MAX_FORMULA_DEPTH {
+            return Err(corrupt("formula nesting exceeds depth limit"));
+        }
+        let leaf: Option<Formula> = match d.u8()? {
+            F_TRUE => Some(Formula::True),
+            F_FALSE => Some(Formula::False),
+            F_ATOM => Some(Formula::Atom(atom_decode(d, schema)?)),
+            F_NOT => {
+                stack.push((Pending::Not, Vec::new()));
+                None
+            }
+            F_AND => {
+                stack.push((Pending::And, Vec::new()));
+                None
+            }
+            F_OR => {
+                stack.push((Pending::Or, Vec::new()));
+                None
+            }
+            F_IMPLIES => {
+                stack.push((Pending::Implies, Vec::new()));
+                None
+            }
+            F_FORALL => {
+                stack.push((Pending::Forall(d.str()?.to_owned()), Vec::new()));
+                None
+            }
+            F_EXISTS => {
+                stack.push((Pending::Exists(d.str()?.to_owned()), Vec::new()));
+                None
+            }
+            F_NEXT => {
+                stack.push((Pending::Next, Vec::new()));
+                None
+            }
+            F_UNTIL => {
+                stack.push((Pending::Until, Vec::new()));
+                None
+            }
+            F_PREV => {
+                stack.push((Pending::Prev, Vec::new()));
+                None
+            }
+            F_SINCE => {
+                stack.push((Pending::Since, Vec::new()));
+                None
+            }
+            other => return Err(corrupt(format!("unknown formula tag {other}"))),
+        };
+        let Some(mut phi) = leaf else { continue };
+        // Feed the completed subformula upward, closing every parent
+        // that just received its last child.
+        loop {
+            match stack.last_mut() {
+                None => return Ok(phi),
+                Some((pending, kids)) => {
+                    kids.push(phi);
+                    if kids.len() < pending.need() {
+                        break;
+                    }
+                    let (pending, kids) = stack.pop().expect("non-empty");
+                    phi = pending.complete(kids);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .pred("Sub", 1)
+            .pred("Rep", 2)
+            .constant("vip")
+            .build()
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let sc = schema();
+        let mut e = Enc::new();
+        schema_encode(&mut e, &sc);
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        let back = schema_decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.pred_count(), sc.pred_count());
+        assert_eq!(back.const_count(), sc.const_count());
+        for p in sc.preds() {
+            assert_eq!(back.pred_name(p), sc.pred_name(p));
+            assert_eq!(back.arity(p), sc.arity(p));
+        }
+    }
+
+    #[test]
+    fn schema_decode_rejects_duplicates_without_panicking() {
+        let mut e = Enc::new();
+        e.usize(2);
+        e.str("P");
+        e.usize(1);
+        e.str("P");
+        e.usize(2);
+        e.usize(0);
+        let b = e.into_bytes();
+        assert!(schema_decode(&mut Dec::new(&b)).is_err());
+    }
+
+    #[test]
+    fn tx_round_trip() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let rep = sc.pred("Rep").unwrap();
+        let tx = Transaction::new()
+            .insert(sub, vec![7])
+            .delete(rep, vec![1, 2])
+            .insert(rep, vec![u64::MAX, 0]);
+        let bytes = tx_to_bytes(&tx);
+        assert_eq!(tx_from_bytes(&bytes, &sc).unwrap(), tx);
+    }
+
+    #[test]
+    fn tx_decode_rejects_bad_pred_id() {
+        let sc = schema();
+        let mut e = Enc::new();
+        e.usize(1);
+        e.u8(UPD_INSERT);
+        e.u32(99);
+        e.u64(1);
+        let b = e.into_bytes();
+        assert!(tx_from_bytes(&b, &sc).is_err());
+    }
+
+    #[test]
+    fn fact_text_round_trip() {
+        let sc = schema();
+        let rep = sc.pred("Rep").unwrap();
+        let text = render_fact(&sc, rep, &[3, 9]);
+        assert_eq!(text, "Rep(3, 9)");
+        assert_eq!(parse_fact(&sc, &text).unwrap(), (rep, vec![3, 9]));
+        assert!(parse_fact(&sc, "Rep(1)").is_err(), "arity checked");
+        assert!(parse_fact(&sc, "Nope(1)").is_err(), "unknown predicate");
+        assert!(parse_fact(&sc, "Rep(1, x)").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn formula_round_trip() {
+        let sc = schema();
+        let srcs = [
+            "forall x. G (Sub(x) -> X G !Sub(x))",
+            "forall x y. G (Rep(x, y) -> X G !Rep(x, y))",
+            "G !Sub(999)",
+            "F (Sub(x) & X F Sub(x))",
+            "G !Sub(vip)",
+        ];
+        for src in srcs {
+            let phi = ticc_fotl::parser::parse(&sc, src).unwrap();
+            let mut e = Enc::new();
+            formula_encode(&mut e, &phi);
+            let b = e.into_bytes();
+            let mut d = Dec::new(&b);
+            let back = formula_decode(&mut d, &sc).unwrap();
+            d.finish().unwrap();
+            assert_eq!(back, phi, "{src}");
+        }
+    }
+
+    #[test]
+    fn formula_decode_depth_limited() {
+        // A run of Not tags with no leaf: must fail cleanly, not
+        // overflow the stack.
+        let bytes = vec![F_NOT; 100_000];
+        assert!(formula_decode(&mut Dec::new(&bytes), &schema()).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Primitive binary encoding: LEB128 varints, length-prefixed byte
+//! strings, and a bounds-checked decoder.
+//!
+//! Every multi-byte structure in the store — transactions, schemas,
+//! formulas, snapshots — bottoms out in these three shapes:
+//!
+//! - `u64` as an unsigned LEB128 varint (≤ 10 bytes, canonical:
+//!   decoding rejects over-long encodings so every value has exactly
+//!   one byte representation — a prerequisite for checksum stability),
+//! - byte strings as `varint length ++ bytes`,
+//! - UTF-8 strings as byte strings validated on decode.
+//!
+//! The decoder never panics on malformed input: every read is
+//! bounds-checked and returns [`StoreError::Corrupt`] on failure, which
+//! is what lets the recovery scanner treat arbitrary garbage bytes as
+//! "torn tail" rather than a crash.
+
+use std::fmt;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The bytes do not decode as the structure they claim to be.
+    Corrupt(String),
+    /// The file exists but is not a ticc store (bad magic/version).
+    NotAStore(String),
+    /// A snapshot was written by an incompatible codec version.
+    Version { found: u32, expected: u32 },
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Corrupt(what) => write!(f, "corrupt store data: {what}"),
+            StoreError::NotAStore(what) => write!(f, "not a ticc store: {what}"),
+            StoreError::Version { found, expected } => {
+                write!(
+                    f,
+                    "snapshot codec version {found} (this build reads {expected})"
+                )
+            }
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// An append-only byte sink with varint primitives.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, yielding the bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Unsigned LEB128.
+    pub fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// `usize` via [`Enc::u64`].
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// `u32` via [`Enc::u64`].
+    pub fn u32(&mut self, v: u32) {
+        self.u64(u64::from(v));
+    }
+
+    /// A `u64` as 8 little-endian bytes — for dense bit patterns
+    /// (bitset words, checksums) where LEB128 would inflate the size.
+    pub fn u64_fixed(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw bytes with a varint length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// A UTF-8 string as a length-prefixed byte string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// A bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+}
+
+/// A bounds-checked cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless the input was consumed exactly.
+    pub fn finish(&self) -> Result<(), StoreError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt(format!(
+                "{} trailing byte(s) after a complete structure",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn corrupt(what: &str) -> StoreError {
+        StoreError::Corrupt(what.to_owned())
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Self::corrupt("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Unsigned LEB128; rejects over-long and overflowing encodings.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(Self::corrupt("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                if byte == 0 && shift > 0 {
+                    return Err(Self::corrupt("non-canonical varint"));
+                }
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(Self::corrupt("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// A `u64` stored as 8 little-endian bytes (see [`Enc::u64_fixed`]).
+    pub fn u64_fixed(&mut self) -> Result<u64, StoreError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Self::corrupt("unexpected end of input"))?;
+        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// `usize` via [`Dec::u64`], rejecting values beyond the platform.
+    pub fn usize(&mut self) -> Result<usize, StoreError> {
+        usize::try_from(self.u64()?).map_err(|_| Self::corrupt("length exceeds usize"))
+    }
+
+    /// `u32` via [`Dec::u64`], range-checked.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        u32::try_from(self.u64()?).map_err(|_| Self::corrupt("value exceeds u32"))
+    }
+
+    /// A length-prefixed byte string, borrowed from the input.
+    pub fn bytes(&mut self) -> Result<&'a [u8], StoreError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(Self::corrupt("byte string length exceeds input"));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, StoreError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| Self::corrupt("invalid UTF-8"))
+    }
+
+    /// A one-byte bool; rejects values other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, StoreError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Self::corrupt("bool byte not 0/1")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_edges() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut e = Enc::new();
+            e.u64(v);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            assert_eq!(d.u64().unwrap(), v);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_rejects_non_canonical() {
+        // 0x80 0x00 is "0" with a redundant continuation byte.
+        let mut d = Dec::new(&[0x80, 0x00]);
+        assert!(d.u64().is_err());
+        // Eleven continuation bytes can never terminate within u64.
+        let mut d = Dec::new(&[0xff; 11]);
+        assert!(d.u64().is_err());
+        // 2^64 overflows.
+        let mut d = Dec::new(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02]);
+        assert!(d.u64().is_err());
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        let mut e = Enc::new();
+        e.str("héllo");
+        e.bytes(&[1, 2, 3]);
+        e.bool(true);
+        e.bool(false);
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut e = Enc::new();
+        e.str("abcdef");
+        let b = e.into_bytes();
+        for cut in 0..b.len() {
+            let mut d = Dec::new(&b[..cut]);
+            assert!(d.str().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn length_larger_than_input_is_corrupt() {
+        let mut e = Enc::new();
+        e.usize(1_000_000);
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        assert!(d.bytes().is_err());
+    }
+}

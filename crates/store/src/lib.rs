@@ -1,0 +1,178 @@
+//! `ticc-store` — durability for the temporal integrity checker.
+//!
+//! The paper's Theorem 4.1 makes checking *history-less*: after each
+//! transaction the monitor needs only the current state plus bounded
+//! auxiliary information (per-constraint residues over the relevant
+//! domain `R_D`). This crate turns that bound into an operational
+//! restart-cost guarantee. A store file is an append-only write-ahead
+//! log of transactions interleaved with periodic **engine snapshots**
+//! of exactly that auxiliary state; reopening after a crash costs
+//! `O(|snapshot| + |suffix|)` — decode the newest snapshot, replay
+//! only the transactions logged after it — instead of re-checking all
+//! `t` states from scratch.
+//!
+//! The crate is deliberately low in the dependency stack (tdb + the
+//! logics, no engine): it defines the *file format* and the
+//! vocabulary codecs, while `ticc-core` owns what goes inside a
+//! snapshot. Layers:
+//!
+//! - [`encode`] — LEB128 varints, length-prefixed strings, and a
+//!   bounds-checked decoder ([`Enc`]/[`Dec`]); every decode failure is
+//!   a [`StoreError::Corrupt`], never a panic.
+//! - [`codec`] — canonical codecs for [`Schema`](ticc_tdb::Schema),
+//!   [`Transaction`](ticc_tdb::Transaction) (binary and the shell's
+//!   `Pred(v, …)` text grammar), and FOTL formulas.
+//! - [`wal`] — the framed log file ([`Store`]): 9-byte `TICCSTOR1`
+//!   header, then `[len][tag][payload][splitmix64 checksum]` frames,
+//!   with per-append fsync policy and atomic [`Store::compact`].
+//! - [`recovery`] — the scanner ([`Recovered`]): walks frames,
+//!   truncates torn/corrupt tails to the last intact frame, surfaces
+//!   the newest snapshot and the transaction suffix to replay.
+
+pub mod codec;
+pub mod encode;
+pub mod recovery;
+pub mod wal;
+
+pub use encode::{Dec, Enc, StoreError};
+pub use recovery::Recovered;
+pub use wal::{frame_checksum, Store, StoreStats, MAGIC, TAG_SNAPSHOT, TAG_TX};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ticc_tdb::{Schema, Transaction};
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder().pred("P", 1).build()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ticc-store-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn create_append_reopen_round_trip() {
+        let sc = schema();
+        let p = sc.pred("P").unwrap();
+        let path = tmp("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = Store::create(&path).unwrap();
+        store.append_snapshot(b"snap-0").unwrap();
+        let tx1 = Transaction::new().insert(p, vec![1]);
+        let tx2 = Transaction::new().delete(p, vec![1]).insert(p, vec![2]);
+        store.append_tx(&tx1, false).unwrap();
+        store.append_tx(&tx2, true).unwrap();
+        assert_eq!(store.stats().tx_frames, 2);
+        assert_eq!(store.stats().snapshot_frames, 1);
+        assert!(store.stats().fsyncs >= 2, "snapshot + fsynced tx");
+        drop(store);
+
+        let (store, rec) = Store::open(&path).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"snap-0"[..]));
+        assert_eq!(rec.suffix.len(), 2);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(codec::tx_from_bytes(&rec.suffix[0], &sc).unwrap(), tx1);
+        assert_eq!(codec::tx_from_bytes(&rec.suffix[1], &sc).unwrap(), tx2);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let sc = schema();
+        let p = sc.pred("P").unwrap();
+        let path = tmp("torn.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = Store::create(&path).unwrap();
+        store.append_snapshot(b"snap").unwrap();
+        store
+            .append_tx(&Transaction::new().insert(p, vec![1]), true)
+            .unwrap();
+        drop(store);
+
+        // Simulate a crash mid-append: half a frame of garbage.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0x55; 7]).unwrap();
+        }
+
+        let (mut store, rec) = Store::open(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, 7);
+        assert_eq!(rec.suffix.len(), 1);
+        // The log is writable again and the new frame is intact.
+        store
+            .append_tx(&Transaction::new().insert(p, vec![2]), true)
+            .unwrap();
+        drop(store);
+        let (_, rec2) = Store::open(&path).unwrap();
+        assert_eq!(rec2.suffix.len(), 2);
+        assert_eq!(rec2.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_leaves_single_snapshot() {
+        let sc = schema();
+        let p = sc.pred("P").unwrap();
+        let path = tmp("compact.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = Store::create(&path).unwrap();
+        store.append_snapshot(b"old").unwrap();
+        for i in 0..10 {
+            store
+                .append_tx(&Transaction::new().insert(p, vec![i]), false)
+                .unwrap();
+        }
+        store.compact(b"fresh-snapshot").unwrap();
+        // Appends after compaction land after the new snapshot.
+        store
+            .append_tx(&Transaction::new().insert(p, vec![99]), true)
+            .unwrap();
+        drop(store);
+
+        let (_, rec) = Store::open(&path).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"fresh-snapshot"[..]));
+        assert_eq!(rec.suffix.len(), 1);
+        assert_eq!(rec.frames, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let path = tmp("never-created.wal");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(Store::open(&path), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn open_non_store_file_is_friendly() {
+        let path = tmp("not-a-store.wal");
+        std::fs::write(&path, b"hello world, definitely not a WAL").unwrap();
+        match Store::open(&path) {
+            Err(StoreError::NotAStore(msg)) => assert!(msg.contains("TICCSTOR1")),
+            other => panic!("expected NotAStore, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_length_file_is_a_fresh_store() {
+        let path = tmp("empty.wal");
+        std::fs::write(&path, b"").unwrap();
+        let (_, rec) = Store::open(&path).unwrap();
+        assert_eq!(rec.frames, 0);
+        assert!(rec.snapshot.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

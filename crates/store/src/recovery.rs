@@ -1,0 +1,225 @@
+//! Crash recovery: the frame scanner.
+//!
+//! `scan` walks the byte image of a store file frame by frame,
+//! verifying each checksum, and stops at the first frame that does not
+//! check out — a torn tail from a crash mid-write, flipped bits, or a
+//! length field pointing past the end of the file all look the same
+//! from here. Everything before that point is the *valid prefix*; the
+//! store truncates the file back to it, so the log's invariant
+//! ("every byte on disk is part of an intact frame") is restored
+//! before any new append.
+//!
+//! The scanner also folds the recovery semantics the engine needs: the
+//! payload of the **newest intact snapshot** frame, and the raw
+//! transaction payloads that follow it (the *suffix* the engine
+//! replays through its append hot path). Transactions before the last
+//! snapshot are already covered by it and are skipped.
+
+use crate::encode::StoreError;
+use crate::wal::{frame_checksum, MAGIC, MAX_PAYLOAD, TAG_SNAPSHOT, TAG_TX};
+
+/// What recovery found in the valid prefix of a store file.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The newest intact snapshot payload, if any frame held one.
+    pub snapshot: Option<Vec<u8>>,
+    /// Raw transaction payloads after that snapshot (oldest first);
+    /// decode with [`crate::codec::tx_from_bytes`] once the schema is
+    /// known (it lives inside the snapshot).
+    pub suffix: Vec<Vec<u8>>,
+    /// Intact frames in the valid prefix.
+    pub frames: u64,
+    /// Bytes of torn/corrupt tail the open discarded.
+    pub truncated_bytes: u64,
+}
+
+/// A scan outcome: the recovered contents plus where the valid prefix
+/// ends (a byte offset the store truncates the file to).
+#[derive(Debug)]
+pub(crate) struct ScanOutcome {
+    pub recovered: Recovered,
+    pub valid_end: usize,
+}
+
+/// Scans a full store image. Fails only when the file is not a store
+/// at all (missing/short/incorrect magic); frame-level damage is
+/// handled by stopping early.
+pub(crate) fn scan(bytes: &[u8]) -> Result<ScanOutcome, StoreError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::NotAStore(
+            "missing TICCSTOR1 header (is this a ticc store file?)".to_owned(),
+        ));
+    }
+    let mut recovered = Recovered::default();
+    let mut pos = MAGIC.len();
+    loop {
+        let frame_start = pos;
+        // Header: 4-byte length + 1-byte tag.
+        if bytes.len() - pos < 5 {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let len = len as usize;
+        let tag = bytes[pos + 4];
+        pos += 5;
+        // Payload + 8-byte checksum must fit.
+        if bytes.len() - pos < len + 8 {
+            pos = frame_start;
+            break;
+        }
+        let payload = &bytes[pos..pos + len];
+        pos += len;
+        let stored = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        if stored != frame_checksum(tag, payload) {
+            pos = frame_start;
+            break;
+        }
+        match tag {
+            TAG_TX => recovered.suffix.push(payload.to_vec()),
+            TAG_SNAPSHOT => {
+                recovered.snapshot = Some(payload.to_vec());
+                recovered.suffix.clear();
+            }
+            _ => {
+                // Unknown tag: either a future format or garbage that
+                // happened to checksum — stop here either way.
+                pos = frame_start;
+                break;
+            }
+        }
+        recovered.frames += 1;
+    }
+    Ok(ScanOutcome {
+        recovered,
+        valid_end: pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Enc;
+
+    fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        f.push(tag);
+        f.extend_from_slice(payload);
+        f.extend_from_slice(&frame_checksum(tag, payload).to_le_bytes());
+        f
+    }
+
+    fn image(frames: &[(u8, Vec<u8>)]) -> Vec<u8> {
+        let mut img = MAGIC.to_vec();
+        for (tag, p) in frames {
+            img.extend_from_slice(&frame(*tag, p));
+        }
+        img
+    }
+
+    #[test]
+    fn empty_store_scans_clean() {
+        let out = scan(MAGIC).unwrap();
+        assert_eq!(out.valid_end, MAGIC.len());
+        assert_eq!(out.recovered.frames, 0);
+        assert!(out.recovered.snapshot.is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_not_a_store() {
+        assert!(scan(b"GARBAGE??").is_err());
+        assert!(scan(b"TICC").is_err());
+        assert!(scan(&[]).is_err());
+    }
+
+    #[test]
+    fn newest_snapshot_wins_and_suffix_follows_it() {
+        let img = image(&[
+            (TAG_TX, vec![1]),
+            (TAG_SNAPSHOT, vec![10]),
+            (TAG_TX, vec![2]),
+            (TAG_SNAPSHOT, vec![20]),
+            (TAG_TX, vec![3]),
+            (TAG_TX, vec![4]),
+        ]);
+        let out = scan(&img).unwrap();
+        assert_eq!(out.valid_end, img.len());
+        assert_eq!(out.recovered.frames, 6);
+        assert_eq!(out.recovered.snapshot.as_deref(), Some(&[20u8][..]));
+        assert_eq!(out.recovered.suffix, vec![vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_frame_boundary() {
+        let full = image(&[(TAG_SNAPSHOT, vec![7; 30]), (TAG_TX, vec![1, 2, 3])]);
+        let boundary = MAGIC.len() + 4 + 1 + 30 + 8;
+        // Every truncation point inside the second frame recovers
+        // exactly the first.
+        for cut in boundary..full.len() {
+            let out = scan(&full[..cut]).unwrap();
+            assert_eq!(out.valid_end, boundary, "cut at {cut}");
+            assert_eq!(out.recovered.frames, 1);
+            assert!(out.recovered.suffix.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_stops_the_scan_there() {
+        let img = image(&[(TAG_TX, vec![1]), (TAG_TX, vec![2]), (TAG_TX, vec![3])]);
+        let frame_len = 4 + 1 + 1 + 8;
+        // Flip one byte in the middle frame: only the first survives,
+        // regardless of which byte is hit.
+        for offset in 0..frame_len {
+            let mut broken = img.clone();
+            broken[MAGIC.len() + frame_len + offset] ^= 0xff;
+            let out = scan(&broken).unwrap();
+            assert!(
+                out.recovered.frames <= 1,
+                "byte {offset}: corrupt frame accepted"
+            );
+            assert_eq!(out.valid_end, MAGIC.len() + frame_len, "byte {offset}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_field_is_a_stop_not_an_allocation() {
+        let mut img = MAGIC.to_vec();
+        img.extend_from_slice(&u32::MAX.to_le_bytes());
+        img.push(TAG_TX);
+        img.extend_from_slice(&[0; 64]);
+        let out = scan(&img).unwrap();
+        assert_eq!(out.valid_end, MAGIC.len());
+        assert_eq!(out.recovered.frames, 0);
+    }
+
+    #[test]
+    fn corrupt_latest_snapshot_falls_back_to_the_previous_one() {
+        let mut img = image(&[
+            (TAG_SNAPSHOT, vec![10; 16]),
+            (TAG_TX, vec![2]),
+            (TAG_SNAPSHOT, vec![20; 16]),
+        ]);
+        // Corrupt the last frame (the newest snapshot).
+        let last = img.len() - 1;
+        img[last] ^= 0xff;
+        let out = scan(&img).unwrap();
+        assert_eq!(out.recovered.snapshot.as_deref(), Some(&[10u8; 16][..]));
+        assert_eq!(out.recovered.suffix, vec![vec![2]]);
+    }
+
+    #[test]
+    fn encoded_garbage_after_valid_prefix_is_ignored() {
+        let mut img = image(&[(TAG_SNAPSHOT, vec![1, 2, 3])]);
+        let valid = img.len();
+        let mut e = Enc::new();
+        e.str("not a frame");
+        img.extend_from_slice(&e.into_bytes());
+        let out = scan(&img).unwrap();
+        assert_eq!(out.valid_end, valid);
+        assert_eq!(out.recovered.frames, 1);
+    }
+}

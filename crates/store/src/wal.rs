@@ -1,0 +1,274 @@
+//! The write-ahead log file: header, checksummed frames, fsync
+//! policy, and compaction.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! TICCSTOR1                                  9-byte magic + format version
+//! [u32 LE payload_len][u8 tag][payload][u64 LE checksum]   frame 0
+//! [u32 LE payload_len][u8 tag][payload][u64 LE checksum]   frame 1
+//! …
+//! ```
+//!
+//! Two frame tags exist: [`TAG_TX`] (one encoded [`Transaction`]) and
+//! [`TAG_SNAPSHOT`] (an opaque engine snapshot payload — the store
+//! never interprets it). The checksum folds the length, tag, and
+//! payload through splitmix64 ([`frame_checksum`]), so a torn write —
+//! a crash mid-`write(2)` — or flipped bits anywhere in a frame are
+//! detected on the next open, and recovery truncates the file back to
+//! the longest prefix of intact frames. Appends go through a single
+//! `write_all` per frame, which keeps the only possible failure mode
+//! "tail garbage", exactly what the scanner handles.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::encode::StoreError;
+use crate::recovery::{scan, Recovered};
+use ticc_tdb::rng::splitmix64;
+use ticc_tdb::Transaction;
+
+/// Magic + format version: the first 9 bytes of every store file.
+pub const MAGIC: &[u8; 9] = b"TICCSTOR1";
+
+/// Frame tag: payload is one binary-encoded [`Transaction`].
+pub const TAG_TX: u8 = 1;
+/// Frame tag: payload is an opaque engine snapshot.
+pub const TAG_SNAPSHOT: u8 = 2;
+
+/// Upper bound on a single frame payload (64 MiB). A length field
+/// beyond this is treated as corruption by the scanner — it bounds
+/// allocation on garbage input.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Folds a frame's length, tag, and payload through splitmix64.
+pub fn frame_checksum(tag: u8, payload: &[u8]) -> u64 {
+    let mut acc: u64 = 0x5449_4343_5354_4f52; // "TICCSTOR"
+    let mut mix = |word: u64| {
+        acc ^= word;
+        acc = splitmix64(&mut acc);
+    };
+    mix(payload.len() as u64);
+    mix(u64::from(tag));
+    let mut chunks = payload.chunks_exact(8);
+    for c in &mut chunks {
+        mix(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rest.len()].copy_from_slice(rest);
+        mix(u64::from_le_bytes(last));
+    }
+    acc
+}
+
+/// Counters for the durability layer, embedded in `EngineStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Transaction frames appended this process.
+    pub tx_frames: u64,
+    /// Snapshot frames appended this process (compaction included).
+    pub snapshot_frames: u64,
+    /// Frame bytes written this process (header excluded).
+    pub bytes_written: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Size of the most recent snapshot payload, in bytes.
+    pub last_snapshot_bytes: u64,
+    /// Transactions replayed from the log by the last recovery.
+    pub recovered_txs: u64,
+    /// Bytes of torn/corrupt tail discarded by the last recovery.
+    pub truncated_bytes: u64,
+}
+
+impl StoreStats {
+    /// Whether any durability activity has been observed (gates the
+    /// `store:` section of the engine's stats rendering).
+    pub fn any(&self) -> bool {
+        self.tx_frames
+            + self.snapshot_frames
+            + self.bytes_written
+            + self.fsyncs
+            + self.last_snapshot_bytes
+            + self.recovered_txs
+            + self.truncated_bytes
+            > 0
+    }
+}
+
+/// An open write-ahead log, positioned for appending.
+#[derive(Debug)]
+pub struct Store {
+    file: File,
+    path: PathBuf,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Creates a fresh store at `path` (truncating any existing file)
+    /// and writes the header.
+    pub fn create(path: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(MAGIC)?;
+        file.sync_data()?;
+        Ok(Store {
+            file,
+            path,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Opens an existing store: scans every frame, truncates any
+    /// torn/corrupt tail, and returns the store (positioned at the end
+    /// of the valid prefix) plus what recovery found.
+    ///
+    /// A zero-length file is treated as a fresh store (a crash can
+    /// land between `create(2)` and the header write); any other file
+    /// that does not start with [`MAGIC`] is [`StoreError::NotAStore`].
+    pub fn open(path: impl AsRef<Path>) -> Result<(Store, Recovered), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+            let store = Store {
+                file,
+                path,
+                stats: StoreStats::default(),
+            };
+            return Ok((store, Recovered::default()));
+        }
+        let outcome = scan(&bytes)?;
+        let truncated = (bytes.len() - outcome.valid_end) as u64;
+        if truncated > 0 {
+            file.set_len(outcome.valid_end as u64)?;
+            file.sync_data()?;
+        }
+        let stats = StoreStats {
+            truncated_bytes: truncated,
+            recovered_txs: outcome.recovered.suffix.len() as u64,
+            ..StoreStats::default()
+        };
+        let mut recovered = outcome.recovered;
+        recovered.truncated_bytes = truncated;
+        // Position at the end of the valid prefix for appending.
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(outcome.valid_end as u64))?;
+        Ok((Store { file, path, stats }, recovered))
+    }
+
+    /// Opens `path` if it exists, creates it otherwise.
+    pub fn open_or_create(path: impl AsRef<Path>) -> Result<(Store, Recovered), StoreError> {
+        if path.as_ref().exists() {
+            Store::open(path)
+        } else {
+            Ok((Store::create(path)?, Recovered::default()))
+        }
+    }
+
+    /// The file this store appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durability counters since this store was opened.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn append_frame(&mut self, tag: u8, payload: &[u8], fsync: bool) -> Result<(), StoreError> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_PAYLOAD)
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "frame payload of {} bytes too large",
+                    payload.len()
+                ))
+            })?;
+        let mut frame = Vec::with_capacity(4 + 1 + payload.len() + 8);
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.push(tag);
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&frame_checksum(tag, payload).to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.stats.bytes_written += frame.len() as u64;
+        if fsync {
+            self.file.sync_data()?;
+            self.stats.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Appends one transaction frame. With `fsync`, the frame is
+    /// durable before this returns.
+    pub fn append_tx(&mut self, tx: &Transaction, fsync: bool) -> Result<(), StoreError> {
+        let payload = crate::codec::tx_to_bytes(tx);
+        self.append_frame(TAG_TX, &payload, fsync)?;
+        self.stats.tx_frames += 1;
+        Ok(())
+    }
+
+    /// Appends one snapshot frame (always fsynced: a snapshot exists
+    /// to be found after a crash).
+    pub fn append_snapshot(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        self.append_frame(TAG_SNAPSHOT, payload, true)?;
+        self.stats.snapshot_frames += 1;
+        self.stats.last_snapshot_bytes = payload.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the store as header + one snapshot frame, atomically
+    /// (temp file + rename), dropping all earlier frames. The caller
+    /// supplies a snapshot that covers everything logged so far.
+    pub fn compact(&mut self, snapshot_payload: &[u8]) -> Result<(), StoreError> {
+        let tmp_path = self.path.with_extension("compact.tmp");
+        {
+            let mut tmp = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            tmp.write_all(MAGIC)?;
+            let len = u32::try_from(snapshot_payload.len())
+                .ok()
+                .filter(|&l| l <= MAX_PAYLOAD)
+                .ok_or_else(|| StoreError::Corrupt("snapshot too large to frame".to_owned()))?;
+            let mut frame = Vec::with_capacity(4 + 1 + snapshot_payload.len() + 8);
+            frame.extend_from_slice(&len.to_le_bytes());
+            frame.push(TAG_SNAPSHOT);
+            frame.extend_from_slice(snapshot_payload);
+            frame.extend_from_slice(&frame_checksum(TAG_SNAPSHOT, snapshot_payload).to_le_bytes());
+            tmp.write_all(&frame)?;
+            tmp.sync_data()?;
+            self.stats.bytes_written += frame.len() as u64;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        self.stats.snapshot_frames += 1;
+        self.stats.fsyncs += 1;
+        self.stats.last_snapshot_bytes = snapshot_payload.len() as u64;
+        Ok(())
+    }
+
+    /// Forces everything written so far to disk.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+}

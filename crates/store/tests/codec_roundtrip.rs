@@ -1,0 +1,123 @@
+//! Property tests for the shared transaction codec: 120 random
+//! schema/transaction pairs per property, each round-tripped through
+//! both the WAL's binary form (`tx_to_bytes`/`tx_from_bytes`) and the
+//! shell's fact text syntax (`render_fact`/`parse_fact`).
+
+use ticc_store::codec::{
+    parse_fact, render_fact, schema_decode, schema_encode, tx_from_bytes, tx_to_bytes,
+};
+use ticc_store::{Dec, Enc};
+use ticc_tdb::rng::Rng;
+use ticc_tdb::{Schema, Transaction, Update};
+
+const SEEDS: u64 = 120;
+
+/// A random schema: 1–4 predicates of arity 1–3, 0–2 constants.
+fn random_schema(rng: &mut Rng) -> std::sync::Arc<Schema> {
+    let np = rng.gen_range_usize(1..5);
+    let mut b = Schema::builder();
+    for i in 0..np {
+        b = b.pred(&format!("P{i}"), rng.gen_range_usize(1..4));
+    }
+    for i in 0..rng.gen_range_usize(0..3) {
+        b = b.constant(&format!("k{i}"));
+    }
+    b.build()
+}
+
+/// A random transaction over `sc`: 0–8 inserts/deletes with values
+/// spanning small ints and the u64 extremes.
+fn random_tx(rng: &mut Rng, sc: &Schema) -> Transaction {
+    let mut tx = Transaction::new();
+    for _ in 0..rng.gen_range_usize(0..9) {
+        let p = ticc_tdb::PredId(rng.gen_range(0..sc.pred_count() as u64) as u32);
+        let tuple: Vec<u64> = (0..sc.arity(p))
+            .map(|_| match rng.gen_range(0..4) {
+                0 => rng.gen_range(0..10),
+                1 => rng.gen_range(0..1_000_000),
+                2 => u64::MAX - rng.gen_range(0..3),
+                _ => rng.next_u64(),
+            })
+            .collect();
+        if rng.gen_bool(0.5) {
+            tx = tx.insert(p, tuple);
+        } else {
+            tx = tx.delete(p, tuple);
+        }
+    }
+    tx
+}
+
+#[test]
+fn binary_round_trip_is_identity_over_120_seeds() {
+    for seed in 0..SEEDS {
+        let mut rng = Rng::seed_from_u64(0xc0dec ^ seed);
+        let sc = random_schema(&mut rng);
+        for case in 0..8 {
+            let tx = random_tx(&mut rng, &sc);
+            let bytes = tx_to_bytes(&tx);
+            let back = tx_from_bytes(&bytes, &sc)
+                .unwrap_or_else(|e| panic!("seed {seed} case {case}: {e}"));
+            assert_eq!(back.updates(), tx.updates(), "seed {seed} case {case}");
+            // Canonical form: re-encoding the decoded value is stable.
+            assert_eq!(tx_to_bytes(&back), bytes, "seed {seed} case {case}");
+        }
+    }
+}
+
+#[test]
+fn schema_round_trip_preserves_vocabulary_over_120_seeds() {
+    for seed in 0..SEEDS {
+        let mut rng = Rng::seed_from_u64(0x5c4e3a ^ seed);
+        let sc = random_schema(&mut rng);
+        let mut e = Enc::new();
+        schema_encode(&mut e, &sc);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = schema_decode(&mut d).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back.pred_count(), sc.pred_count(), "seed {seed}");
+        assert_eq!(back.const_count(), sc.const_count(), "seed {seed}");
+        for p in sc.preds() {
+            assert_eq!(back.pred_name(p), sc.pred_name(p), "seed {seed}");
+            assert_eq!(back.arity(p), sc.arity(p), "seed {seed}");
+        }
+        for c in sc.consts() {
+            assert_eq!(back.const_name(c), sc.const_name(c), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn fact_text_round_trip_is_identity_over_120_seeds() {
+    for seed in 0..SEEDS {
+        let mut rng = Rng::seed_from_u64(0xfac7 ^ seed);
+        let sc = random_schema(&mut rng);
+        for case in 0..8 {
+            let tx = random_tx(&mut rng, &sc);
+            for u in tx.updates() {
+                let (p, tuple) = match u {
+                    Update::Insert(p, t) | Update::Delete(p, t) => (*p, t),
+                };
+                let text = render_fact(&sc, p, tuple);
+                let (bp, bt) = parse_fact(&sc, &text)
+                    .unwrap_or_else(|e| panic!("seed {seed} case {case} '{text}': {e}"));
+                assert_eq!(bp, p, "seed {seed} case {case} '{text}'");
+                assert_eq!(&bt, tuple, "seed {seed} case {case} '{text}'");
+            }
+        }
+    }
+}
+
+#[test]
+fn decoding_under_the_wrong_schema_fails_cleanly() {
+    let big = Schema::builder().pred("P", 1).pred("Q", 3).build();
+    let small = Schema::builder().pred("P", 1).build();
+    let q = big.pred("Q").unwrap();
+    let tx = Transaction::new().insert(q, vec![1, 2, 3]);
+    let bytes = tx_to_bytes(&tx);
+    // Out-of-range predicate id under the smaller schema: clean error.
+    assert!(tx_from_bytes(&bytes, &small).is_err());
+    // Arity mismatch: Q's tuple read with arity 1 leaves trailing bytes.
+    let skew = Schema::builder().pred("P", 1).pred("Q", 1).build();
+    assert!(tx_from_bytes(&bytes, &skew).is_err());
+}

@@ -55,9 +55,50 @@ if [ "$hot" != "$cold" ]; then
 fi
 echo "ablation smoke: OK"
 
+echo "==> durability smoke (crash-reopen via --store)"
+# Session 1: build a session against a store, checkpoint, exit. The
+# process ending right after the last append doubles as the "crash":
+# nothing below depends on a clean shutdown hook.
+wal="$(mktemp -u)"
+sess1="$(mktemp)"
+cat > "$sess1" <<'EOF'
+schema pred Sub 1
+constraint once: forall x. G (Sub(x) -> X G !Sub(x))
+insert Sub(1)
+commit
+checkpoint
+delete Sub(1)
+commit
+EOF
+./target/release/ticc-shell --store "$wal" "$sess1" > /dev/null
+# Session 2: reopen the store — must resume (1 snapshot + 1 logged
+# transaction after it) and still detect the re-submission.
+sess2="$(mktemp)"
+cat > "$sess2" <<'EOF'
+insert Sub(1)
+commit
+status
+EOF
+out="$(./target/release/ticc-shell --store "$wal" "$sess2")"
+echo "$out" | grep -q "restored from" || { echo "durability smoke: expected a restore summary"; exit 1; }
+echo "$out" | grep -q "replayed 1 logged transaction" || { echo "durability smoke: expected a 1-tx replay"; exit 1; }
+echo "$out" | grep -q "VIOLATION" || { echo "durability smoke: expected the re-submission violation"; exit 1; }
+# Fault injection: clobber the header magic — the shell must refuse
+# with a friendly error and exit code 3, not panic.
+printf 'XXXX' | dd of="$wal" bs=1 seek=0 conv=notrunc 2> /dev/null
+rc=0
+./target/release/ticc-shell --store "$wal" "$sess2" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "durability smoke: corrupt store should exit 3 (got $rc)"; exit 1; }
+# A missing script file is exit code 1.
+rc=0
+./target/release/ticc-shell /no/such/script.ticc > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "durability smoke: missing script should exit 1 (got $rc)"; exit 1; }
+rm -f "$wal" "$sess1" "$sess2"
+echo "durability smoke: OK"
+
 if [ "${1:-}" = "--release" ]; then
-    echo "==> E13 append-hot-path smoke (release)"
-    cargo run --release --offline -p ticc-bench --bin experiments -- e13 --smoke
+    echo "==> E13/E14 bench smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 --smoke
 fi
 
 echo "verify: OK"

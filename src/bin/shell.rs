@@ -10,6 +10,13 @@
 //! `--no-transition-cache` disables the safety-automaton transition
 //! cache on the append hot path (the ablation knob; results are
 //! identical either way, only the per-append cost changes).
+//!
+//! `--store <path>` backs the session with a durable write-ahead log:
+//! committed states are logged, `checkpoint`/`compact` snapshot the
+//! whole session, and reopening the same path resumes it.
+//!
+//! Exit codes: 0 success, 1 unreadable script file, 2 bad command-line
+//! flags, 3 store cannot be opened or recovered.
 
 use std::io::{BufRead, Write};
 use ticc::core::{CheckOptions, Threads};
@@ -36,11 +43,32 @@ fn main() {
         transition_cache = false;
         args.remove(i);
     }
+    let mut store_path: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--store") {
+        let Some(v) = args.get(i + 1) else {
+            eprintln!("--store needs a path");
+            std::process::exit(2);
+        };
+        store_path = Some(v.clone());
+        args.drain(i..=i + 1);
+    }
     let opts = CheckOptions::builder()
         .threads(threads)
         .transition_cache(transition_cache)
         .build();
-    let mut shell = ticc::shell::Shell::with_options(opts);
+    let mut shell = match &store_path {
+        Some(path) => match ticc::shell::Shell::with_store(opts, std::path::Path::new(path)) {
+            Ok((shell, summary)) => {
+                println!("{summary}");
+                shell
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(3);
+            }
+        },
+        None => ticc::shell::Shell::with_options(opts),
+    };
 
     if let Some(path) = args.first() {
         // Script mode: run a file of commands, echoing each.

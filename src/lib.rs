@@ -41,6 +41,8 @@
 //! * [`fotl`] — first-order temporal logic: syntax, the paper's formula
 //!   classification, parser, finite-history evaluation;
 //! * [`tdb`] — the temporal database substrate;
+//! * [`store`] — the durability layer: checksummed write-ahead log,
+//!   engine snapshots, crash recovery;
 //! * [`core`] — grounding (Theorem 4.1), the extension checker
 //!   (Theorem 4.2), the incremental monitor, triggers, diagnostics;
 //! * [`tm`] — the Section 3 Turing-machine encodings (`φ`, `φ̃`) and the
@@ -49,6 +51,7 @@
 pub use ticc_core as core;
 pub use ticc_fotl as fotl;
 pub use ticc_ptl as ptl;
+pub use ticc_store as store;
 pub use ticc_tdb as tdb;
 pub use ticc_tm as tm;
 
@@ -83,8 +86,9 @@ pub mod shell;
 pub mod prelude {
     pub use ticc_core::{
         check_potential_satisfaction, earliest_violation, explain, Action, CheckOptions,
-        CheckOptionsBuilder, CheckOutcome, ConstraintId, Encoding, Engine, Error, GroundMode,
-        Monitor, MonitorEvent, Notion, Regrounding, Status, Threads, Trigger, TriggerEngine,
+        CheckOptionsBuilder, CheckOutcome, ConstraintId, Durability, Encoding, Engine, Error,
+        GroundMode, Monitor, MonitorEvent, Notion, OpenReport, Regrounding, Status, Store,
+        StoreStats, Threads, Trigger, TriggerEngine,
     };
     pub use ticc_fotl::parser::parse;
     pub use ticc_fotl::Formula;

@@ -15,7 +15,9 @@
 //! insert Sub(1)                  # stage updates
 //! commit                         # apply as the next state, check everything
 //! status                         # constraint statuses
-//! stats                          # engine counters, gauges, and timers
+//! stats [--json]                 # engine counters, gauges, and timers
+//! checkpoint                     # snapshot the session to the store
+//! compact                        # checkpoint + rewrite the log to just it
 //! check G !Sub(9)                # ad-hoc potential-satisfaction query
 //! witness once                   # a concrete extension satisfying it
 //! history                        # the states so far
@@ -23,11 +25,15 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::path::Path;
 use ticc_core::{
-    check_potential_satisfaction, CheckOptions, ConstraintId, Monitor, Status, Trigger,
-    TriggerEngine,
+    check_potential_satisfaction, CheckOptions, ConstraintId, Engine, EngineStats, Monitor, Status,
+    Trigger, TriggerEngine,
 };
 use ticc_fotl::parser::parse;
+use ticc_fotl::Formula;
+use ticc_store::codec::{formula_decode, formula_encode, parse_fact, tx_from_bytes};
+use ticc_store::{Dec, Enc, Store};
 use ticc_tdb::{Schema, Transaction, Value};
 
 /// Shell outcome for one command.
@@ -43,17 +49,26 @@ enum Phase {
     Running {
         monitor: Box<Monitor>,
         triggers: Box<TriggerEngine>,
-        trigger_names: Vec<String>,
-        constraint_ids: Vec<(String, ConstraintId, ticc_fotl::Formula)>,
+        trigger_defs: Vec<(String, Formula)>,
+        constraint_ids: Vec<(String, ConstraintId, Formula)>,
         pending: Transaction,
         pending_desc: Vec<String>,
     },
+}
+
+/// A store opened before the schema exists: held until the schema
+/// freezes, then its logged transactions replay and it attaches to the
+/// engine (see [`Shell::with_store`]).
+struct DeferredStore {
+    store: Store,
+    suffix: Vec<Vec<u8>>,
 }
 
 /// The shell engine.
 pub struct Shell {
     phase: Phase,
     opts: CheckOptions,
+    deferred: Option<DeferredStore>,
 }
 
 impl Default for Shell {
@@ -77,7 +92,98 @@ impl Shell {
                 consts: Vec::new(),
             },
             opts,
+            deferred: None,
         }
+    }
+
+    /// A shell backed by a durable store at `path` (this is how
+    /// `ticc-shell --store <path>` plugs in). Returns the shell and a
+    /// human-readable summary of what recovery found.
+    ///
+    /// If the store holds a checkpoint, the whole session resumes from
+    /// it: schema, constants, history, constraints, statuses, and the
+    /// triggers saved in the shell's application blob, plus any
+    /// transactions logged after the checkpoint. Without a checkpoint
+    /// the shell starts in the schema-definition phase and any logged
+    /// transactions replay once the schema is redeclared.
+    pub fn with_store(opts: CheckOptions, path: &Path) -> Result<(Self, String), String> {
+        let (store, recovered) = Store::open_or_create(path)
+            .map_err(|e| format!("cannot open store {}: {e}", path.display()))?;
+        let dropped = if recovered.truncated_bytes > 0 {
+            format!(
+                "; dropped {} corrupt trailing byte(s)",
+                recovered.truncated_bytes
+            )
+        } else {
+            String::new()
+        };
+        let Some(snap) = &recovered.snapshot else {
+            let pending = recovered.suffix.len();
+            let summary = if pending > 0 {
+                format!(
+                    "opened store {} (no checkpoint): {pending} logged transaction(s) will \
+                     replay once the schema is redeclared{dropped}",
+                    path.display()
+                )
+            } else {
+                format!("opened store {}{dropped}", path.display())
+            };
+            let mut shell = Self::with_options(opts);
+            shell.deferred = Some(DeferredStore {
+                store,
+                suffix: recovered.suffix,
+            });
+            return Ok((shell, summary));
+        };
+        let (mut engine, app) = Engine::restore_bytes(snap, opts)
+            .map_err(|e| format!("cannot restore checkpoint from {}: {e}", path.display()))?;
+        let schema = engine.history().schema().clone();
+        for payload in &recovered.suffix {
+            // The store is not attached yet, so replay is not re-logged.
+            let tx = tx_from_bytes(payload, &schema)
+                .map_err(|e| format!("corrupt logged transaction in {}: {e}", path.display()))?;
+            engine
+                .append(&tx)
+                .map_err(|e| format!("cannot replay logged transaction: {e}"))?;
+        }
+        engine.attach_store(store);
+        let constraint_ids: Vec<(String, ConstraintId, Formula)> = engine
+            .constraints()
+            .map(|id| (engine.name(id).to_owned(), id, engine.formula(id).clone()))
+            .collect();
+        let trigger_defs = decode_app(&app, &schema)?;
+        let mut triggers = TriggerEngine::new(opts);
+        for (name, phi) in &trigger_defs {
+            triggers
+                .add(Trigger {
+                    name: name.clone(),
+                    condition: phi.clone(),
+                    action: ticc_core::Action::Log,
+                })
+                .map_err(|e| format!("cannot restore trigger '{name}': {e}"))?;
+        }
+        let summary = format!(
+            "restored from {}: {} state(s), {} constraint(s), {} trigger(s), replayed {} \
+             logged transaction(s){dropped}",
+            path.display(),
+            engine.history().len(),
+            constraint_ids.len(),
+            trigger_defs.len(),
+            recovered.suffix.len(),
+        );
+        let shell = Self {
+            phase: Phase::Running {
+                monitor: Box::new(Monitor::from_engine(engine)),
+                triggers: Box::new(triggers),
+                trigger_defs,
+                constraint_ids,
+                pending: Transaction::new(),
+                pending_desc: Vec::new(),
+            },
+            opts,
+            deferred: None,
+        };
+        Ok((shell, summary))
     }
 
     /// Executes one command line; returns the report to show the user.
@@ -99,7 +205,9 @@ impl Shell {
             "delete" => self.cmd_update(rest, false),
             "commit" => self.cmd_commit(),
             "status" => self.cmd_status(),
-            "stats" | ":stats" => self.cmd_stats(),
+            "stats" | ":stats" => self.cmd_stats(rest),
+            "checkpoint" | ":checkpoint" => self.cmd_checkpoint(false),
+            "compact" | ":compact" => self.cmd_checkpoint(true),
             "history" => self.cmd_history(),
             "check" => self.cmd_check(rest),
             "explain" => self.cmd_explain(rest),
@@ -129,10 +237,25 @@ impl Shell {
                 let c = schema.constant(name).expect("just declared");
                 history.set_constant(c, *value);
             }
+            let mut monitor = Monitor::with_history(history, self.opts);
+            if let Some(deferred) = self.deferred.take() {
+                // A store opened before the schema existed: replay its
+                // logged transactions (not re-logged — the store is not
+                // attached yet), then attach it for the session.
+                for payload in &deferred.suffix {
+                    let tx = tx_from_bytes(payload, &schema).map_err(|e| {
+                        format!("logged transaction does not match the declared schema: {e}")
+                    })?;
+                    monitor
+                        .append(&tx)
+                        .map_err(|e| format!("cannot replay logged transaction: {e}"))?;
+                }
+                monitor.engine_mut().attach_store(deferred.store);
+            }
             self.phase = Phase::Running {
-                monitor: Box::new(Monitor::with_history(history, self.opts)),
+                monitor: Box::new(monitor),
                 triggers: Box::new(TriggerEngine::new(self.opts)),
-                trigger_names: Vec::new(),
+                trigger_defs: Vec::new(),
                 constraint_ids: Vec::new(),
                 pending: Transaction::new(),
                 pending_desc: Vec::new(),
@@ -215,7 +338,7 @@ impl Shell {
         let Phase::Running {
             monitor,
             triggers,
-            trigger_names,
+            trigger_defs,
             ..
         } = phase
         else {
@@ -225,11 +348,11 @@ impl Shell {
         triggers
             .add(Trigger {
                 name: name.clone(),
-                condition,
+                condition: condition.clone(),
                 action: ticc_core::Action::Log,
             })
             .map_err(|e| e.to_string())?;
-        trigger_names.push(name.clone());
+        trigger_defs.push((name.clone(), condition));
         Ok(format!("trigger '{name}' registered"))
     }
 
@@ -333,7 +456,12 @@ impl Shell {
         Ok(out)
     }
 
-    fn cmd_stats(&mut self) -> Reply {
+    fn cmd_stats(&mut self, rest: &str) -> Reply {
+        let json = match rest {
+            "" => false,
+            "--json" => true,
+            other => return Err(format!("usage: stats [--json] (got '{other}')")),
+        };
         let phase = self.ensure_running()?;
         let Phase::Running {
             monitor, triggers, ..
@@ -341,6 +469,9 @@ impl Shell {
         else {
             unreachable!()
         };
+        if json {
+            return Ok(stats_json(&monitor.engine_stats()));
+        }
         let mut out = monitor.engine_stats().render();
         let ts = triggers.stats();
         if ts.grounds > 0 {
@@ -352,6 +483,44 @@ impl Shell {
             );
         }
         Ok(out)
+    }
+
+    /// `checkpoint` writes a snapshot of the whole session (schema,
+    /// history, constraints, residues, triggers) to the attached store;
+    /// `compact` additionally rewrites the log so it holds nothing but
+    /// that snapshot.
+    fn cmd_checkpoint(&mut self, compact: bool) -> Reply {
+        let phase = self.ensure_running()?;
+        let Phase::Running {
+            monitor,
+            trigger_defs,
+            ..
+        } = phase
+        else {
+            unreachable!()
+        };
+        let app = encode_app(trigger_defs);
+        let engine = monitor.engine_mut();
+        if engine.store().is_none() {
+            return Err("no store attached (run the shell with --store <path>)".to_owned());
+        }
+        if compact {
+            engine.compact(&app).map_err(|e| e.to_string())?;
+        } else {
+            engine.checkpoint(&app).map_err(|e| e.to_string())?;
+        }
+        let stats = engine.store_stats().unwrap_or_default();
+        Ok(if compact {
+            format!(
+                "log compacted to a single {} byte checkpoint",
+                stats.last_snapshot_bytes
+            )
+        } else {
+            format!(
+                "checkpoint written ({} byte snapshot)",
+                stats.last_snapshot_bytes
+            )
+        })
     }
 
     fn cmd_history(&mut self) -> Reply {
@@ -438,35 +607,101 @@ impl Shell {
     }
 }
 
-fn parse_fact(schema: &Schema, src: &str) -> Result<(ticc_tdb::PredId, Vec<Value>), String> {
-    let src = src.trim();
-    let Some(open) = src.find('(') else {
-        return Err("usage: insert <Pred>(<v1>, <v2>, …)".to_owned());
-    };
-    if !src.ends_with(')') {
-        return Err("missing ')'".to_owned());
+/// Version tag of the shell's application blob inside checkpoints
+/// (currently: the registered triggers).
+const APP_VERSION: u32 = 1;
+
+/// Encodes the shell's trigger definitions into the checkpoint's
+/// application blob.
+fn encode_app(trigger_defs: &[(String, Formula)]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(APP_VERSION);
+    e.usize(trigger_defs.len());
+    for (name, phi) in trigger_defs {
+        e.str(name);
+        formula_encode(&mut e, phi);
     }
-    let name = src[..open].trim();
-    let pred = schema
-        .pred(name)
-        .ok_or_else(|| format!("unknown predicate '{name}'"))?;
-    let args: Result<Vec<Value>, String> = src[open + 1..src.len() - 1]
-        .split(',')
-        .map(|a| {
-            a.trim()
-                .parse::<Value>()
-                .map_err(|_| format!("bad value '{}' (facts take numeric elements)", a.trim()))
-        })
-        .collect();
-    let args = args?;
-    if args.len() != schema.arity(pred) {
+    e.into_bytes()
+}
+
+/// Decodes the application blob back into trigger definitions. An
+/// empty blob (a checkpoint written by a non-shell embedder) simply
+/// restores no triggers.
+fn decode_app(bytes: &[u8], schema: &Schema) -> Result<Vec<(String, Formula)>, String> {
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let fail = |e: ticc_store::StoreError| format!("corrupt shell state in checkpoint: {e}");
+    let mut d = Dec::new(bytes);
+    let version = d.u32().map_err(fail)?;
+    if version != APP_VERSION {
         return Err(format!(
-            "{name} expects {} argument(s), got {}",
-            schema.arity(pred),
-            args.len()
+            "checkpoint written by a newer shell (app blob version {version}, \
+             this shell speaks {APP_VERSION})"
         ));
     }
-    Ok((pred, args))
+    let n = d.usize().map_err(fail)?;
+    let mut defs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = d.str().map_err(fail)?.to_owned();
+        let phi = formula_decode(&mut d, schema).map_err(fail)?;
+        defs.push((name, phi));
+    }
+    d.finish().map_err(fail)?;
+    Ok(defs)
+}
+
+/// Renders the engine statistics as a single JSON object. The format
+/// is versioned through the `"schema"` field so scripts can detect
+/// incompatible changes; durations are nanoseconds.
+fn stats_json(s: &EngineStats) -> String {
+    let mut o = String::from("{");
+    let _ = write!(o, "\"schema\":\"ticc-engine-stats-v1\"");
+    let _ = write!(o, ",\"appends\":{}", s.appends);
+    let _ = write!(o, ",\"fast_appends\":{}", s.fast_appends);
+    let _ = write!(o, ",\"grounds\":{}", s.grounds);
+    let _ = write!(o, ",\"regrounds\":{}", s.regrounds);
+    let _ = write!(o, ",\"delta_grounds\":{}", s.delta_grounds);
+    let _ = write!(o, ",\"new_conjuncts\":{}", s.new_conjuncts);
+    let _ = write!(o, ",\"replayed_conjuncts\":{}", s.replayed_conjuncts);
+    let _ = write!(o, ",\"progress_steps\":{}", s.progress_steps);
+    let _ = write!(o, ",\"encode_patched_atoms\":{}", s.encode_patched_atoms);
+    let _ = write!(o, ",\"sat_checks\":{}", s.sat_checks);
+    let _ = write!(
+        o,
+        ",\"cache\":{{\"sat_hits\":{},\"sat_evictions\":{},\"transition_hits\":{},\
+         \"transition_misses\":{},\"transition_evictions\":{},\"letter_index_len\":{}}}",
+        s.cache.sat_hits,
+        s.cache.sat_evictions,
+        s.cache.transition_hits,
+        s.cache.transition_misses,
+        s.cache.transition_evictions,
+        s.cache.letter_index_len
+    );
+    let _ = write!(
+        o,
+        ",\"store\":{{\"tx_frames\":{},\"snapshot_frames\":{},\"bytes_written\":{},\
+         \"fsyncs\":{},\"last_snapshot_bytes\":{},\"recovered_txs\":{},\"truncated_bytes\":{}}}",
+        s.store.tx_frames,
+        s.store.snapshot_frames,
+        s.store.bytes_written,
+        s.store.fsyncs,
+        s.store.last_snapshot_bytes,
+        s.store.recovered_txs,
+        s.store.truncated_bytes
+    );
+    let _ = write!(o, ",\"letters\":{}", s.letters);
+    let _ = write!(o, ",\"arena_nodes\":{}", s.arena_nodes);
+    let _ = write!(o, ",\"mappings\":{}", s.mappings);
+    let _ = write!(o, ",\"ground_time_ns\":{}", s.ground_time.as_nanos());
+    let _ = write!(o, ",\"progress_time_ns\":{}", s.progress_time.as_nanos());
+    let _ = write!(o, ",\"sat_time_ns\":{}", s.sat_time.as_nanos());
+    let _ = write!(o, ",\"par_phases\":{}", s.par_phases);
+    let _ = write!(o, ",\"par_workers\":{}", s.par_workers);
+    let _ = write!(o, ",\"par_time_ns\":{}", s.par_time.as_nanos());
+    let _ = write!(o, ",\"par_busy_time_ns\":{}", s.par_busy_time.as_nanos());
+    o.push('}');
+    o
 }
 
 const HELP: &str = "commands:
@@ -478,7 +713,9 @@ const HELP: &str = "commands:
   delete <Pred>(<v>, …)           stage a tuple deletion
   commit                          apply staged updates as the next state
   status                          constraint statuses
-  stats                           engine counters, gauges, and timers
+  stats [--json]                  engine counters, gauges, and timers
+  checkpoint                      snapshot the session to the attached store
+  compact                         checkpoint, then rewrite the log to just it
   history                         print all states
   check <formula>                 ad-hoc potential-satisfaction query
   explain <formula>               narrate the whole pipeline for a formula
@@ -682,6 +919,113 @@ mod tests {
         for line in script {
             assert_eq!(hot.exec(line), cold.exec(line), "diverged at '{line}'");
         }
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ticc-shell-{tag}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn store_session_survives_restart() {
+        let path = temp_store("restart");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut sh, summary) = Shell::with_store(CheckOptions::default(), &path).unwrap();
+            assert!(summary.contains("opened store"), "{summary}");
+            run(
+                &mut sh,
+                &[
+                    "schema pred Sub 1",
+                    "constraint once: forall x. G (Sub(x) -> X G !Sub(x))",
+                    "trigger dup: F (Sub(x) & X F Sub(x))",
+                    "insert Sub(1)",
+                    "commit",
+                ],
+            );
+            let r = sh.exec("checkpoint").unwrap();
+            assert!(r.contains("checkpoint written"), "{r}");
+            // Logged after the checkpoint: must replay on reopen.
+            sh.exec("delete Sub(1)").unwrap();
+            sh.exec("commit").unwrap();
+        }
+        let (mut sh, summary) = Shell::with_store(CheckOptions::default(), &path).unwrap();
+        assert!(
+            summary.contains("restored from") && summary.contains("replayed 1"),
+            "{summary}"
+        );
+        let h = sh.exec("history").unwrap();
+        assert!(h.contains("t=0: {Sub(1)}") && h.contains("t=1: {}"), "{h}");
+        // The restored constraint and trigger behave as if the session
+        // never stopped: resubmitting Sub(1) violates and fires.
+        sh.exec("insert Sub(1)").unwrap();
+        let r = sh.exec("commit").unwrap();
+        assert!(r.contains("VIOLATION: 'once'"), "{r}");
+        assert!(r.contains("TRIGGER: 'dup' fires [x=1]"), "{r}");
+        // Compact, reopen once more: still intact.
+        sh.exec("compact").unwrap();
+        drop(sh);
+        let (mut sh, summary) = Shell::with_store(CheckOptions::default(), &path).unwrap();
+        assert!(summary.contains("replayed 0"), "{summary}");
+        assert!(sh.exec("status").unwrap().contains("VIOLATED"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_without_checkpoint_replays_after_schema_redeclared() {
+        let path = temp_store("nockpt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut sh, _) = Shell::with_store(CheckOptions::default(), &path).unwrap();
+            run(&mut sh, &["schema pred P 1", "insert P(7)", "commit"]);
+        }
+        let (mut sh, summary) = Shell::with_store(CheckOptions::default(), &path).unwrap();
+        assert!(
+            summary.contains("1 logged transaction(s) will replay"),
+            "{summary}"
+        );
+        sh.exec("schema pred P 1").unwrap();
+        let h = sh.exec("history").unwrap();
+        assert!(h.contains("t=0: {P(7)}"), "{h}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_store_reports_friendly_error() {
+        let path = temp_store("corrupt");
+        std::fs::write(&path, b"definitely not a ticc store").unwrap();
+        let err = match Shell::with_store(CheckOptions::default(), &path) {
+            Ok(_) => panic!("a corrupt file must not open as a store"),
+            Err(e) => e,
+        };
+        assert!(err.contains("cannot open store"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_needs_a_store() {
+        let mut sh = Shell::new();
+        sh.exec("schema pred P 1").unwrap();
+        let err = sh.exec("checkpoint").unwrap_err();
+        assert!(err.contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn stats_json_is_versioned_and_machine_readable() {
+        let path = temp_store("json");
+        let _ = std::fs::remove_file(&path);
+        let (mut sh, _) = Shell::with_store(CheckOptions::default(), &path).unwrap();
+        run(
+            &mut sh,
+            &["schema pred P 1", "insert P(1)", "commit", "checkpoint"],
+        );
+        let j = sh.exec("stats --json").unwrap();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"schema\":\"ticc-engine-stats-v1\""), "{j}");
+        assert!(j.contains("\"appends\":1"), "{j}");
+        assert!(j.contains("\"store\":{\"tx_frames\":1"), "{j}");
+        assert!(j.contains("\"snapshot_frames\":1"), "{j}");
+        assert!(sh.exec("stats bogus").is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
