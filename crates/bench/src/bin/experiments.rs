@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E14) from `DESIGN.md` §6.
+//! Regenerates every experiment table (E1–E15) from `DESIGN.md` §6.
 //!
 //! The paper (Chomicki & Niwiński, PODS 1993) is a theory paper with no
 //! empirical tables; each experiment here validates one of its stated
@@ -11,9 +11,12 @@
 //! ```
 //!
 //! `--json <path>` writes the machine-readable headline numbers (E13
-//! per-config appends/sec plus the E1/E7 headlines) to `<path>`; the
-//! format is documented in `EXPERIMENTS.md`. `--smoke` shrinks E13 to
-//! a quick single-lap run (used by `scripts/verify.sh --release`).
+//! per-config appends/sec plus the E1/E7 headlines) to `<path>`, and —
+//! when E15 ran — its indexed-vs-odometer sweep to
+//! `BENCH_grounding_index.json`; all payloads share the
+//! [`ticc_bench::json`] envelope and schema version, documented in
+//! `EXPERIMENTS.md`. `--smoke` shrinks E13/E14/E15 to quick runs (used
+//! by `scripts/verify.sh --release` and CI).
 
 use std::time::Duration;
 use ticc_bench::table::{fmt_duration, Table};
@@ -38,9 +41,25 @@ struct Headlines {
     e13: Option<E13Result>,
     /// E14: restart cost, snapshot restore vs cold replay.
     e14: Option<E14Result>,
+    /// E15: indexed vs odometer grounding on the sparse workload.
+    e15: Option<E15Result>,
 }
 
 fn main() {
+    // The E15 odometer ablation folds |M|^k ≈ 3·10^5 instantiations
+    // into one nested conjunction; the recursive fold and progression
+    // walk it per node, which overruns the default 8 MiB main stack.
+    // Run the harness on a thread with room to spare (reserved, not
+    // committed).
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(run)
+        .expect("spawn harness thread")
+        .join()
+        .expect("harness thread panicked");
+}
+
+fn run() {
     let threads = ticc_bench::threads_arg();
     let mut args: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
@@ -108,9 +127,19 @@ fn main() {
     if want("e13") {
         headlines.e13 = Some(e13_append_hot_path(smoke));
     }
+    if want("e15") {
+        headlines.e15 = Some(e15_grounding_index(smoke));
+    }
     if let Some(path) = json_path {
-        write_json(&path, &headlines);
+        write_json(&path, &headlines, threads);
         println!("\nwrote {path}");
+        if let Some(e15) = &headlines.e15 {
+            let mut doc = ticc_bench::json::JsonDoc::new();
+            doc.section("e15", e15_json(e15));
+            doc.section("threads", ticc_bench::json::string(&threads.to_string()));
+            doc.write("BENCH_grounding_index.json");
+            println!("wrote BENCH_grounding_index.json");
+        }
     }
 }
 
@@ -869,69 +898,244 @@ fn e14_restart(smoke: bool) -> E14Result {
     }
 }
 
-/// Hand-rolled JSON emitter for the `--json` payload (no external
-/// dependencies — tier-1 stays offline). Format documented in
-/// `EXPERIMENTS.md` under E13.
-fn write_json(path: &str, h: &Headlines) {
-    let mut s = String::from("{\n  \"schema\": \"ticc-bench-append-hot-path-v1\",\n");
-    if let Some(e13) = &h.e13 {
-        s.push_str("  \"e13\": {\n");
-        s.push_str(&format!("    \"domain\": {},\n", e13.domain));
-        s.push_str(&format!("    \"history\": {},\n", e13.history));
-        s.push_str(&format!("    \"measured_appends\": {},\n", e13.measured));
-        s.push_str("    \"configs\": [\n");
-        for (i, c) in e13.configs.iter().enumerate() {
-            s.push_str(&format!(
-                "      {{\"encoding\": \"{}\", \"transition_cache\": {}, \
-                 \"appends_per_sec\": {:.1}, \"transition_hits\": {}, \
-                 \"transition_misses\": {}, \"encode_patched_atoms\": {}}}{}\n",
-                match c.encoding {
-                    Encoding::Rebuild => "rebuild",
-                    Encoding::Incremental => "incremental",
-                },
-                c.cache,
-                c.appends_per_sec,
-                c.stats.cache.transition_hits,
-                c.stats.cache.transition_misses,
-                c.stats.encode_patched_atoms,
-                if i + 1 < e13.configs.len() { "," } else { "" },
-            ));
+/// The E15 result (also the `--json` payload, and the standalone
+/// `BENCH_grounding_index.json`).
+struct E15Result {
+    domain: u64,
+    k: usize,
+    states: usize,
+    per_state: usize,
+    mappings: usize,
+    inst_enumerated: usize,
+    inst_pruned: usize,
+    inst_shared: usize,
+    ground_odometer: Duration,
+    ground_indexed: Duration,
+    speedup: f64,
+    events_identical: bool,
+}
+
+/// E15: indexed grounding vs the `|M|^k` odometer on the sparse
+/// workload (large active domain, few tuples per relation per state) —
+/// the shape Theorem 4.1's `R_D` refinement targets. The occurrence-
+/// index join enumerates only instantiations with a supported atom;
+/// the skipped remainder folds to one canonical rigid-false residue.
+/// Also re-runs the whole workload through the online monitor under
+/// Indexed, Odometer, and Indexed∥4 and asserts the check events are
+/// identical.
+fn e15_grounding_index(smoke: bool) -> E15Result {
+    use ticc_core::{ground_opts, GroundStrategy};
+    let esc = edge_schema();
+    let k = 3usize;
+    let phi = chain_constraint(&esc, k);
+    let (domain, states): (u64, usize) = if smoke { (16, 8) } else { (64, 24) };
+    let headline_per = 4usize;
+    let seed = 0xE15;
+    let mut t = Table::new(
+        format!(
+            "E15: indexed grounding vs odometer (chain k = {k}, domain {domain}, t = {states})"
+        ),
+        "Theorem 4.1 is stated over R_D: the occurrence-index join \
+         enumerates supported instantiations only; the skipped \
+         remainder of |M|^k folds to one rigid-false residue",
+        &[
+            "tuples/state",
+            "|M|^k",
+            "enumerated",
+            "pruned",
+            "odometer",
+            "indexed",
+            "speedup",
+        ],
+    );
+    let sweep: &[usize] = if smoke { &[2, 4] } else { &[1, 2, 4, 8, 16] };
+    let mut headline = None;
+    for &per in sweep {
+        let h = sparse_edge_history(&esc, domain, per, states, seed);
+        let d_odo = ticc_bench::time_best_of(if smoke { 1 } else { 2 }, || {
+            ticc_core::ground_with(&h, &phi, GroundMode::Folded, Threads::Off).unwrap();
+        });
+        let mut g = None;
+        let d_idx = ticc_bench::time_best_of(if smoke { 1 } else { 3 }, || {
+            g = Some(
+                ground_opts(
+                    &h,
+                    &phi,
+                    GroundMode::Folded,
+                    GroundStrategy::Indexed,
+                    Threads::Off,
+                )
+                .unwrap(),
+            );
+        });
+        let g = g.unwrap();
+        assert_eq!(g.strategy(), GroundStrategy::Indexed, "gate must engage");
+        let speedup = d_odo.as_secs_f64() / d_idx.as_secs_f64();
+        t.row([
+            per.to_string(),
+            g.stats.mappings.to_string(),
+            g.stats.inst_enumerated.to_string(),
+            g.stats.inst_pruned.to_string(),
+            fmt_duration(d_odo),
+            fmt_duration(d_idx),
+            format!("{speedup:.2}x"),
+        ]);
+        if per == headline_per {
+            headline = Some((g.stats, d_odo, d_idx, speedup));
         }
-        s.push_str("    ],\n");
+    }
+    t.print();
+    let (stats, ground_odometer, ground_indexed, speedup) =
+        headline.expect("sweep includes the headline sparsity");
+
+    // Equivalence: the full workload through the online monitor —
+    // growing relevant domain (delta re-grounds), occurrence
+    // activations, and the parallel shard merge — must produce
+    // bit-identical check events under all three configurations.
+    let txs = sparse_edge_txs(&esc, domain, headline_per, states, seed);
+    let run = |strategy: GroundStrategy, thr: Threads| {
+        let opts = CheckOptions::builder()
+            .grounding(strategy)
+            .threads(thr)
+            .build();
+        let mut m = Monitor::new(esc.clone(), opts);
+        m.add_constraint("chain", phi.clone()).unwrap();
+        let mut events = Vec::new();
+        for tx in &txs {
+            events.extend(m.append(tx).unwrap());
+        }
+        (events, m.engine_stats())
+    };
+    let (ev_idx, s_idx) = run(GroundStrategy::Indexed, Threads::Off);
+    let (ev_odo, _) = run(GroundStrategy::Odometer, Threads::Off);
+    let (ev_par, _) = run(GroundStrategy::Indexed, Threads::Fixed(4));
+    let events_identical = ev_idx == ev_odo && ev_idx == ev_par;
+    assert!(
+        events_identical,
+        "indexed / odometer / indexed∥4 check events diverged"
+    );
+    assert!(
+        s_idx.inst_pruned > 0,
+        "the sparse workload must actually prune"
+    );
+    println!(
+        "  monitor equivalence: {} events identical under Indexed, \
+         Odometer, Indexed∥4; online inst_pruned = {}",
+        ev_idx.len(),
+        s_idx.inst_pruned
+    );
+    E15Result {
+        domain,
+        k,
+        states,
+        per_state: headline_per,
+        mappings: stats.mappings,
+        inst_enumerated: stats.inst_enumerated,
+        inst_pruned: stats.inst_pruned,
+        inst_shared: stats.inst_shared,
+        ground_odometer,
+        ground_indexed,
+        speedup,
+        events_identical,
+    }
+}
+
+/// Renders the E13 sweep as a JSON object.
+fn e13_json(e13: &E13Result) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("    \"domain\": {},\n", e13.domain));
+    s.push_str(&format!("    \"history\": {},\n", e13.history));
+    s.push_str(&format!("    \"measured_appends\": {},\n", e13.measured));
+    s.push_str("    \"configs\": [\n");
+    for (i, c) in e13.configs.iter().enumerate() {
         s.push_str(&format!(
-            "    \"speedup_hot_vs_rebuild\": {:.2}\n  }},\n",
-            e13.speedup
+            "      {{\"encoding\": \"{}\", \"transition_cache\": {}, \
+             \"appends_per_sec\": {:.1}, \"transition_hits\": {}, \
+             \"transition_misses\": {}, \"encode_patched_atoms\": {}}}{}\n",
+            match c.encoding {
+                Encoding::Rebuild => "rebuild",
+                Encoding::Incremental => "incremental",
+            },
+            c.cache,
+            c.appends_per_sec,
+            c.stats.cache.transition_hits,
+            c.stats.cache.transition_misses,
+            c.stats.encode_patched_atoms,
+            if i + 1 < e13.configs.len() { "," } else { "" },
         ));
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"speedup_hot_vs_rebuild\": {:.2}\n  }}",
+        e13.speedup
+    ));
+    s
+}
+
+/// Renders the E15 sweep headline as a JSON object.
+fn e15_json(e15: &E15Result) -> String {
+    format!(
+        "{{\"domain\": {}, \"k\": {}, \"states\": {}, \
+         \"tuples_per_state\": {}, \"mappings\": {}, \
+         \"inst_enumerated\": {}, \"inst_pruned\": {}, \
+         \"inst_shared\": {}, \"ground_odometer_ms\": {:.3}, \
+         \"ground_indexed_ms\": {:.3}, \"speedup_indexed_vs_odometer\": {:.2}, \
+         \"events_identical\": {}}}",
+        e15.domain,
+        e15.k,
+        e15.states,
+        e15.per_state,
+        e15.mappings,
+        e15.inst_enumerated,
+        e15.inst_pruned,
+        e15.inst_shared,
+        e15.ground_odometer.as_secs_f64() * 1e3,
+        e15.ground_indexed.as_secs_f64() * 1e3,
+        e15.speedup,
+        e15.events_identical
+    )
+}
+
+/// The `--json` payload: every experiment section that ran, through the
+/// shared [`ticc_bench::json`] envelope (one schema version across all
+/// `BENCH_*.json` files). Format documented in `EXPERIMENTS.md`.
+fn write_json(path: &str, h: &Headlines, threads: Threads) {
+    let mut doc = ticc_bench::json::JsonDoc::new();
+    if let Some(e13) = &h.e13 {
+        doc.section("e13", e13_json(e13));
     }
     if let Some((t, ns)) = h.e1 {
-        s.push_str(&format!(
-            "  \"e1\": {{\"history_len\": {t}, \"ns_per_state\": {ns:.1}}},\n"
-        ));
+        doc.section(
+            "e1",
+            format!("{{\"history_len\": {t}, \"ns_per_state\": {ns:.1}}}"),
+        );
     }
     if let Some((instants, rate)) = h.e7 {
-        s.push_str(&format!(
-            "  \"e7\": {{\"instants\": {instants}, \"appends_per_sec\": {rate:.1}}},\n"
-        ));
+        doc.section(
+            "e7",
+            format!("{{\"instants\": {instants}, \"appends_per_sec\": {rate:.1}}}"),
+        );
     }
     if let Some(e14) = &h.e14 {
-        s.push_str(&format!(
-            "  \"e14\": {{\"history\": {}, \"snapshot_bytes\": {}, \
-             \"restore_ms\": {:.3}, \"replay_ms\": {:.3}, \
-             \"speedup_restore_vs_replay\": {:.2}}},\n",
-            e14.history,
-            e14.snapshot_bytes,
-            e14.restore.as_secs_f64() * 1e3,
-            e14.replay.as_secs_f64() * 1e3,
-            e14.speedup
-        ));
+        doc.section(
+            "e14",
+            format!(
+                "{{\"history\": {}, \"snapshot_bytes\": {}, \
+                 \"restore_ms\": {:.3}, \"replay_ms\": {:.3}, \
+                 \"speedup_restore_vs_replay\": {:.2}}}",
+                e14.history,
+                e14.snapshot_bytes,
+                e14.restore.as_secs_f64() * 1e3,
+                e14.replay.as_secs_f64() * 1e3,
+                e14.speedup
+            ),
+        );
     }
-    // Trailing "threads" field doubles as the terminator so every
-    // section above can unconditionally end with a comma.
-    s.push_str(&format!(
-        "  \"threads\": \"{}\"\n}}\n",
-        ticc_bench::threads_arg()
-    ));
-    std::fs::write(path, s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    if let Some(e15) = &h.e15 {
+        doc.section("e15", e15_json(e15));
+    }
+    doc.section("threads", ticc_bench::json::string(&threads.to_string()));
+    doc.write(path);
 }
 
 /// E10: the binary-counter family — a single state forces `2^n`

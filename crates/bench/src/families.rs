@@ -130,6 +130,55 @@ pub fn chain_constraint(schema: &Schema, k: usize) -> Formula {
     Formula::forall_many((1..=k).map(|i| format!("x{i}")), matrix)
 }
 
+/// The E15 sparse-workload transactions: `states` steps over a domain
+/// of `domain` values, each step net-inserting `per_state` random edges
+/// (and deleting the previous step's), so every state holds at most
+/// `per_state` tuples while the relevant domain grows toward `domain`.
+/// Deterministic in `seed`. The common sparse shape Theorem 4.1's
+/// `R_D` refinement targets: `|M|^k` is huge, the occurrence index
+/// tiny.
+pub fn sparse_edge_txs(
+    schema: &Schema,
+    domain: u64,
+    per_state: usize,
+    states: usize,
+    seed: u64,
+) -> Vec<ticc_tdb::Transaction> {
+    let e = schema.pred("E").unwrap();
+    let mut rng = ticc_tdb::rng::Rng::seed_from_u64(seed);
+    let mut txs = Vec::with_capacity(states);
+    let mut prev: Vec<Vec<Value>> = Vec::new();
+    for _ in 0..states {
+        let mut tx = ticc_tdb::Transaction::new();
+        for t in prev.drain(..) {
+            tx = tx.delete(e, t);
+        }
+        for _ in 0..per_state {
+            let a = rng.gen_range(0..domain);
+            let b = rng.gen_range(0..domain);
+            tx = tx.insert(e, vec![a, b]);
+            prev.push(vec![a, b]);
+        }
+        txs.push(tx);
+    }
+    txs
+}
+
+/// The [`sparse_edge_txs`] workload applied into a [`History`].
+pub fn sparse_edge_history(
+    schema: &Arc<Schema>,
+    domain: u64,
+    per_state: usize,
+    states: usize,
+    seed: u64,
+) -> History {
+    let mut h = History::new(schema.clone());
+    for tx in sparse_edge_txs(schema, domain, per_state, states, seed) {
+        h.apply(&tx).expect("generated tuples respect the schema");
+    }
+    h
+}
+
 /// A single-state history with a path `E(0,1), E(1,2), …` over `m`
 /// elements.
 pub fn path_history(schema: &Arc<Schema>, m: usize) -> History {

@@ -7,6 +7,7 @@
 //! generator for the table-printing `experiments` binary.
 
 pub mod families;
+pub mod json;
 pub mod table;
 
 pub use families::*;

@@ -30,7 +30,7 @@
 
 use crate::error::Error;
 use crate::extension::{CheckOptions, Durability, Encoding};
-use crate::ground::{ground_metered, GroundMode, Grounding};
+use crate::ground::{ground_metered, GroundMode, GroundStrategy, Grounding};
 use crate::obs::{EngineStats, Timer};
 use crate::par::{self, ParMeter, Threads};
 use std::collections::HashMap;
@@ -190,7 +190,14 @@ impl GroundingContext {
     ) -> Result<Self, Error> {
         let t = Timer::start();
         let mut meter = ParMeter::new();
-        let mut g = ground_metered(history, phi, opts.mode, opts.threads, &mut meter)?;
+        let mut g = ground_metered(
+            history,
+            phi,
+            opts.mode,
+            opts.grounding,
+            opts.threads,
+            &mut meter,
+        )?;
         stats.absorb_par(&meter);
         t.finish(&mut stats.ground_time);
         let t = Timer::start();
@@ -252,6 +259,33 @@ impl GroundingContext {
         history_len: usize,
         stats: &mut EngineStats,
     ) -> Result<Option<Status>, Error> {
+        if self.g.strategy() == GroundStrategy::Indexed {
+            if !self.g.tx_delta(tx).is_empty() {
+                // New relevant elements force the slow path; the delta
+                // re-ground below handles occurrence activation too.
+                return Ok(None);
+            }
+            let inserts = self.g.newly_occurring(tx);
+            if !inserts.is_empty() {
+                // A previously-pruned instantiation just became
+                // relevant: its flexible letters were false in every
+                // past state (the tuples never occurred), so grounding
+                // it now and replaying through the stored trace yields
+                // exactly the residue it would have had all along.
+                let t = Timer::start();
+                let dg = self.g.ground_new_active(&[], &inserts)?;
+                t.finish(&mut stats.ground_time);
+                stats.new_conjuncts += dg.new_mappings;
+                let t = Timer::start();
+                let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
+                    .map_err(|_| Error::Sat(SatError::Past))?;
+                let combined = self.g.arena.and(self.residue, replayed);
+                self.residue = simplify(&mut self.g.arena, combined);
+                t.finish(&mut stats.progress_time);
+                stats.progress_steps += self.g.trace.len() as u64;
+                stats.replayed_conjuncts += dg.new_mappings;
+            }
+        }
         let w = if opts.encoding == Encoding::Incremental && self.g.mode() == GroundMode::Folded {
             match self.g.patch_state(tx) {
                 Some((w, patched)) => {
@@ -343,7 +377,15 @@ impl GroundingContext {
     ) -> Result<(), Error> {
         let t = Timer::start();
         let delta = self.g.tx_delta(tx);
-        let dg = self.g.ground_delta(&delta)?;
+        let dg = if self.g.strategy() == GroundStrategy::Indexed {
+            // Index-driven delta: extend M with the new elements, then
+            // ground only the instantiations the enlarged occurrence
+            // index activates (instead of every map touching `delta`).
+            let inserts = self.g.newly_occurring(tx);
+            self.g.ground_new_active(&delta, &inserts)?
+        } else {
+            self.g.ground_delta(&delta)?
+        };
         t.finish(&mut stats.ground_time);
         stats.delta_grounds += 1;
         stats.new_conjuncts += dg.new_mappings;
@@ -487,12 +529,20 @@ impl Engine {
         s.letters = 0;
         s.arena_nodes = 0;
         s.mappings = 0;
+        s.inst_enumerated = 0;
+        s.inst_pruned = 0;
+        s.inst_shared = 0;
+        s.index_build_time = Duration::ZERO;
         s.cache.letter_index_len = 0;
         for e in &self.entries {
             let g = e.ctx.grounding();
             s.letters += g.letter_count() as u64;
             s.arena_nodes += g.arena.dag_len() as u64;
             s.mappings += g.stats.mappings as u64;
+            s.inst_enumerated += g.stats.inst_enumerated as u64;
+            s.inst_pruned += g.stats.inst_pruned as u64;
+            s.inst_shared += g.stats.inst_shared as u64;
+            s.index_build_time += g.index_build;
             s.cache.letter_index_len += g.letter_index_len() as u64;
         }
         s
@@ -847,7 +897,14 @@ pub(crate) fn check_once(
     let t0 = Timer::start();
     let mut ground_time = Duration::ZERO;
     let mut par = ParMeter::new();
-    let mut grounding = ground_metered(history, phi, opts.mode, opts.threads, &mut par)?;
+    let mut grounding = ground_metered(
+        history,
+        phi,
+        opts.mode,
+        opts.grounding,
+        opts.threads,
+        &mut par,
+    )?;
     t0.finish(&mut ground_time);
 
     let t1 = Timer::start();

@@ -10,7 +10,7 @@
 
 use crate::engine::{check_once, Regrounding};
 use crate::error::Error;
-use crate::ground::{GroundMode, GroundStats, Grounding};
+use crate::ground::{GroundMode, GroundStats, GroundStrategy, Grounding};
 use crate::par::Threads;
 use std::time::Duration;
 use ticc_fotl::Formula;
@@ -86,6 +86,15 @@ pub struct CheckOptions {
     pub transition_cache: bool,
     /// WAL write policy when a durable store is attached to the engine.
     pub durability: Durability,
+    /// Instantiation enumeration — the Grounding knob. The default
+    /// [`GroundStrategy::Indexed`] walks the join of per-atom candidate
+    /// sets derived from the history's occurrence index and skips
+    /// instantiations whose flexible atoms never occur;
+    /// [`GroundStrategy::Odometer`] sweeps all `|M|^k` maps (kept for
+    /// the E15 ablation). Check results are identical either way on
+    /// the indexed class; outside it the engine falls back to the
+    /// odometer transparently.
+    pub grounding: GroundStrategy,
 }
 
 impl Default for CheckOptions {
@@ -98,6 +107,7 @@ impl Default for CheckOptions {
             encoding: Encoding::default(),
             transition_cache: true,
             durability: Durability::default(),
+            grounding: GroundStrategy::default(),
         }
     }
 }
@@ -167,6 +177,12 @@ impl CheckOptionsBuilder {
     /// WAL write policy when a durable store is attached.
     pub fn durability(mut self, durability: Durability) -> Self {
         self.opts.durability = durability;
+        self
+    }
+
+    /// Instantiation enumeration strategy (the Grounding knob).
+    pub fn grounding(mut self, grounding: GroundStrategy) -> Self {
+        self.opts.grounding = grounding;
         self
     }
 

@@ -26,7 +26,7 @@
 //!   production path and ablation E6 measures the gap.
 
 use crate::par::{self, ParMeter, Threads};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use ticc_fotl::classify::{classify, FormulaClass};
@@ -44,6 +44,28 @@ pub enum GroundMode {
     Folded,
     /// The literal paper construction with `□Axiom_D`.
     Full,
+}
+
+/// Which enumeration strategy builds `Ψ_D` — the `Grounding` knob of
+/// [`CheckOptions`](crate::extension::CheckOptions).
+///
+/// [`GroundStrategy::Indexed`] walks the instantiations *the data
+/// supports* instead of the full `|M|^k` cross product: an
+/// atom-occurrence index maps each flexible atom pattern of the matrix
+/// to the ground tuples actually appearing in the history, and only
+/// instantiations with at least one such supported atom are grounded.
+/// The skipped remainder is summarised by the canonical
+/// all-atoms-rigid-false residue, which the strategy requires to fold
+/// to `⊤` (see DESIGN.md §"Indexed grounding"); matrices outside that
+/// class fall back to the odometer transparently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroundStrategy {
+    /// Blind odometer sweep over all `|M|^k` instantiations (the
+    /// paper's construction verbatim; kept for the E15 ablation).
+    Odometer,
+    /// Relevance-pruned, index-driven enumeration (production).
+    #[default]
+    Indexed,
 }
 
 /// A ground argument: a relevant element, a symbolic fresh element
@@ -107,6 +129,18 @@ pub struct GroundStats {
     pub formula_tree_size: usize,
     /// DAG size of `φ_D`.
     pub formula_dag_size: usize,
+    /// Instantiations actually grounded. Equals `mappings` under the
+    /// odometer; under the indexed strategy it counts the data-supported
+    /// instantiations (initial build plus later activations).
+    pub inst_enumerated: usize,
+    /// Instantiations summarised by the canonical rigid-false residue
+    /// instead of being grounded (`mappings − inst_enumerated` under the
+    /// indexed strategy, 0 under the odometer).
+    pub inst_pruned: usize,
+    /// Enumerated instantiations whose ground formula hash-consed to a
+    /// conjunct already emitted by an earlier instantiation (structure
+    /// sharing across the `Ψ_D` DAG). Indexed strategy only.
+    pub inst_shared: usize,
 }
 
 /// The structured key of a propositional letter in `L_D`: a ground
@@ -156,6 +190,251 @@ pub struct Grounding {
     /// concrete tuples so the per-append hot path looks letters up with
     /// a borrowed `&[Value]` — zero allocation on a hit.
     letter_index: HashMap<PredId, HashMap<Vec<Value>, AtomId>>,
+    /// The flexible-atom patterns the indexed enumerator joins against
+    /// the occurrence index. `Some` exactly when the indexed strategy
+    /// is in effect for this grounding (the matrix passed the
+    /// rigid-false-fold gate and the initial join actually pruned).
+    plan: Option<IndexPlan>,
+    /// Atom-occurrence index: every ground tuple that has appeared in
+    /// some state of the history, per predicate. Monotone (deletes do
+    /// not retract an occurrence). Maintained only under the indexed
+    /// strategy; `BTree` containers so enumeration order is canonical.
+    occ: BTreeMap<PredId, BTreeSet<Vec<Value>>>,
+    /// The instantiations grounded so far, as digit vectors over `m`
+    /// (indexed strategy only). Invariant: equals the join of `plan`
+    /// against `occ` over the current `m` — which is how a restored
+    /// engine rebuilds it from the persisted occurrence index.
+    active: HashSet<Vec<u32>>,
+    /// Wall time spent building and joining the occurrence index,
+    /// surfaced as the `index build` engine timer.
+    pub(crate) index_build: std::time::Duration,
+}
+
+/// One predicate-atom pattern of the matrix, with variables resolved
+/// to external digit positions and constants to their rigid values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AtomPattern {
+    pred: PredId,
+    terms: Vec<PatTerm>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatTerm {
+    /// The external variable occupying this digit position.
+    Digit(usize),
+    /// A concrete value (explicit, or a constant folded at plan time).
+    Val(Value),
+}
+
+/// The per-constraint index plan driving relevance-pruned enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexPlan {
+    patterns: Vec<AtomPattern>,
+}
+
+/// Collects the matrix's predicate-atom patterns with every variable
+/// resolved to its external digit. Returns `None` (odometer fallback)
+/// when the matrix contains an equality atom: equalities fold
+/// differently per instantiation, so the pruned remainder would not
+/// collapse to a single canonical residue.
+fn index_patterns(
+    matrix: &Formula,
+    external: &[String],
+    consts: &[Value],
+) -> Option<Vec<AtomPattern>> {
+    let digit: HashMap<&str, usize> = external
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+    let mut out: Vec<AtomPattern> = Vec::new();
+    let mut stack = vec![matrix];
+    while let Some(f) = stack.pop() {
+        if let Formula::Atom(a) = f {
+            match a {
+                Atom::Eq(_, _) => return None,
+                Atom::Pred(p, ts) => {
+                    let terms: Option<Vec<PatTerm>> = ts
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => digit.get(v.as_str()).map(|&d| PatTerm::Digit(d)),
+                            Term::Value(v) => Some(PatTerm::Val(*v)),
+                            Term::Const(c) => Some(PatTerm::Val(consts[c.index()])),
+                        })
+                        .collect();
+                    let pat = AtomPattern {
+                        pred: *p,
+                        terms: terms?,
+                    };
+                    if !out.contains(&pat) {
+                        out.push(pat);
+                    }
+                }
+                Atom::Leq(_, _) | Atom::Succ(_, _) | Atom::Zero(_) => return None,
+            }
+        }
+        stack.extend(f.children());
+    }
+    Some(out)
+}
+
+/// The canonical all-atoms-rigid-false residue: the matrix with every
+/// predicate atom folded to `⊥`. `Axiom_D` fixes `p(…z…)` letters false
+/// for all time, and a pruned instantiation's remaining letters are
+/// false throughout `w_D` by construction, so every pruned
+/// instantiation progresses exactly like this fold. The indexed
+/// strategy requires the fold to be `⊤`, making the entire pruned
+/// remainder of `|M|^k` contribute nothing to `Ψ_D`. Must only be
+/// called on matrices accepted by [`index_patterns`] (no equalities).
+fn fold_rigid_false(arena: &mut Arena, matrix: &Formula) -> FormulaId {
+    match matrix {
+        Formula::True => arena.tru(),
+        Formula::False | Formula::Atom(_) => arena.fls(),
+        Formula::Not(g) => {
+            let x = fold_rigid_false(arena, g);
+            arena.not(x)
+        }
+        Formula::And(a, b) => {
+            let x = fold_rigid_false(arena, a);
+            let y = fold_rigid_false(arena, b);
+            arena.and(x, y)
+        }
+        Formula::Or(a, b) => {
+            let x = fold_rigid_false(arena, a);
+            let y = fold_rigid_false(arena, b);
+            arena.or(x, y)
+        }
+        Formula::Implies(a, b) => {
+            let x = fold_rigid_false(arena, a);
+            let y = fold_rigid_false(arena, b);
+            arena.implies(x, y)
+        }
+        Formula::Next(g) => {
+            let x = fold_rigid_false(arena, g);
+            arena.next(x)
+        }
+        Formula::Until(a, b) => {
+            let x = fold_rigid_false(arena, a);
+            let y = fold_rigid_false(arena, b);
+            arena.until(x, y)
+        }
+        Formula::Forall(_, _) | Formula::Exists(_, _) | Formula::Prev(_) | Formula::Since(_, _) => {
+            unreachable!("universal future matrix (checked by classify)")
+        }
+    }
+}
+
+/// Builds the occurrence index from the history: every tuple present in
+/// any state, per predicate.
+fn build_occ(history: &History) -> BTreeMap<PredId, BTreeSet<Vec<Value>>> {
+    let mut occ: BTreeMap<PredId, BTreeSet<Vec<Value>>> = BTreeMap::new();
+    for t in 0..history.len() {
+        let state = history.state(t);
+        for p in history.schema().preds() {
+            for tuple in state.relation(p).iter() {
+                occ.entry(p).or_default().insert(tuple.to_vec());
+            }
+        }
+    }
+    occ
+}
+
+/// Sentinel digit for "not yet bound by unification".
+const UNBOUND: u32 = u32::MAX;
+
+/// Index-driven enumeration: every instantiation (digit vector over
+/// `m`) with at least one flexible atom matching an occurring tuple,
+/// deduplicated and sorted in canonical odometer-linear order (digit 0
+/// fastest). For each pattern and each occurring tuple of its
+/// predicate, the tuple is unified against the pattern, binding the
+/// pattern's digits; the remaining digits range over all of `M`.
+///
+/// With `cap = Some(n)` the enumeration aborts with `None` as soon as
+/// the candidate list reaches `n` — the join is not pruning, so the
+/// caller keeps the odometer.
+fn enumerate_active(
+    patterns: &[AtomPattern],
+    occ: &BTreeMap<PredId, BTreeSet<Vec<Value>>>,
+    m: &[GArg],
+    k: usize,
+    cap: Option<usize>,
+) -> Option<Vec<Vec<u32>>> {
+    let msize = m.len();
+    let m_pos: HashMap<Value, u32> = m
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &a)| match a {
+            GArg::Rel(v) => Some((v, i as u32)),
+            _ => None,
+        })
+        .collect();
+    let mut cands: Vec<Vec<u32>> = Vec::new();
+    for pat in patterns {
+        let Some(tuples) = occ.get(&pat.pred) else {
+            continue;
+        };
+        'tuples: for tuple in tuples {
+            debug_assert_eq!(tuple.len(), pat.terms.len());
+            let mut partial = vec![UNBOUND; k];
+            for (term, &val) in pat.terms.iter().zip(tuple) {
+                match *term {
+                    PatTerm::Val(v) => {
+                        if v != val {
+                            continue 'tuples;
+                        }
+                    }
+                    PatTerm::Digit(d) => {
+                        let Some(&pos) = m_pos.get(&val) else {
+                            continue 'tuples;
+                        };
+                        if partial[d] != UNBOUND && partial[d] != pos {
+                            continue 'tuples;
+                        }
+                        partial[d] = pos;
+                    }
+                }
+            }
+            let unbound: Vec<usize> = (0..k).filter(|&d| partial[d] == UNBOUND).collect();
+            let total = msize
+                .checked_pow(unbound.len() as u32)
+                .unwrap_or(usize::MAX);
+            if let Some(c) = cap {
+                if cands.len().saturating_add(total) >= c {
+                    return None;
+                }
+            }
+            let mut idx = vec![0usize; unbound.len()];
+            loop {
+                let mut full = partial.clone();
+                for (j, &d) in unbound.iter().enumerate() {
+                    full[d] = idx[j] as u32;
+                }
+                cands.push(full);
+                let mut pos = 0;
+                while pos < unbound.len() {
+                    idx[pos] += 1;
+                    if idx[pos] < msize {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    pos += 1;
+                }
+                if pos == unbound.len() {
+                    break;
+                }
+            }
+        }
+    }
+    // Canonical order: the linear odometer order (digit 0 fastest, so
+    // the most significant digit is the last).
+    cands.sort_unstable_by(|a, b| a.iter().rev().cmp(b.iter().rev()));
+    cands.dedup();
+    if let Some(c) = cap {
+        if cands.len() >= c {
+            return None;
+        }
+    }
+    Some(cands)
 }
 
 /// Builds the inverted letter index from the interner's current
@@ -292,13 +571,26 @@ fn collect_values(f: &Formula, out: &mut std::collections::BTreeSet<Value>) {
     }
 }
 
-/// Grounds `(history, phi)` per Theorem 4.1, single-threaded.
+/// Grounds `(history, phi)` per Theorem 4.1, single-threaded, with the
+/// odometer enumeration (the construction verbatim).
 pub fn ground(
     history: &History,
     phi: &Formula,
     mode: GroundMode,
 ) -> Result<Grounding, GroundError> {
     ground_with(history, phi, mode, Threads::Off)
+}
+
+/// Grounds `(history, phi)` with an explicit enumeration strategy —
+/// the entry point behind the `Grounding` knob of `CheckOptions`.
+pub fn ground_opts(
+    history: &History,
+    phi: &Formula,
+    mode: GroundMode,
+    strategy: GroundStrategy,
+    threads: Threads,
+) -> Result<Grounding, GroundError> {
+    ground_metered(history, phi, mode, strategy, threads, &mut ParMeter::new())
 }
 
 /// Grounds `(history, phi)` per Theorem 4.1, sharding the `|M|^k`
@@ -317,13 +609,21 @@ pub fn ground_with(
     mode: GroundMode,
     threads: Threads,
 ) -> Result<Grounding, GroundError> {
-    ground_metered(history, phi, mode, threads, &mut ParMeter::new())
+    ground_metered(
+        history,
+        phi,
+        mode,
+        GroundStrategy::Odometer,
+        threads,
+        &mut ParMeter::new(),
+    )
 }
 
 pub(crate) fn ground_metered(
     history: &History,
     phi: &Formula,
     mode: GroundMode,
+    strategy: GroundStrategy,
     threads: Threads,
     meter: &mut ParMeter,
 ) -> Result<Grounding, GroundError> {
@@ -357,13 +657,56 @@ pub(crate) fn ground_metered(
     let msize = m.len();
     let mappings = msize.pow(k as u32).max(1);
 
-    // Ψ_D: conjunction over all mappings f : vars → M. Sharded when a
-    // worker pool is requested and the space is large enough to feed it
-    // (each worker needs at least two instantiations to be worth a
-    // spawn); `k == 0` has a single mapping, nothing to shard.
-    let workers = threads.worker_count();
+    // Indexed strategy gate: folded construction, at least one external
+    // variable, an equality-free matrix whose all-atoms-rigid-false
+    // fold is ⊤, and a join that actually prunes (strictly fewer
+    // candidates than |M|^k). Anything else keeps the odometer.
+    let mut index_build = std::time::Duration::ZERO;
+    let mut occ = BTreeMap::new();
+    let mut plan: Option<IndexPlan> = None;
+    let mut cands: Option<Vec<Vec<u32>>> = None;
+    if strategy == GroundStrategy::Indexed && mode == GroundMode::Folded && k > 0 {
+        let t0 = std::time::Instant::now();
+        if let Some(patterns) = index_patterns(matrix, &external, &consts) {
+            let folded = fold_rigid_false(&mut arena, matrix);
+            if folded == arena.tru() {
+                let o = build_occ(history);
+                if let Some(list) = enumerate_active(&patterns, &o, &m, k, Some(mappings)) {
+                    occ = o;
+                    plan = Some(IndexPlan { patterns });
+                    cands = Some(list);
+                }
+            }
+        }
+        index_build += t0.elapsed();
+    }
+
+    // Ψ_D: conjunction over the supported instantiations (indexed) or
+    // all |M|^k mappings (odometer). Sharded when a worker pool is
+    // requested and the instantiation list is large enough to feed it —
+    // the pool is sized from the *pruned* count, so sparse histories do
+    // not spin up idle workers; `k == 0` has a single mapping, nothing
+    // to shard.
+    let items = cands.as_ref().map_or(mappings, Vec::len);
+    let workers = threads.workers_for(items);
+    let mut inst_shared = 0usize;
     let mut psi_d;
-    if workers > 1 && k > 0 && mappings >= workers * 2 {
+    if let Some(list) = &cands {
+        psi_d = ground_cands(
+            mode,
+            &schema,
+            &consts,
+            &m,
+            &external,
+            matrix,
+            list,
+            workers,
+            &mut arena,
+            &mut letters,
+            &mut inst_shared,
+            meter,
+        )?;
+    } else if workers > 1 && k > 0 {
         psi_d = ground_psi_sharded(
             mode,
             &schema,
@@ -444,6 +787,7 @@ pub(crate) fn ground_metered(
         trace.push(w);
     }
 
+    let inst_enumerated = cands.as_ref().map_or(mappings, Vec::len);
     let stats = GroundStats {
         m_size: msize,
         external_vars: k,
@@ -452,6 +796,9 @@ pub(crate) fn ground_metered(
         axiom_conjuncts,
         formula_tree_size: arena.tree_size(formula),
         formula_dag_size: arena.dag_size(formula),
+        inst_enumerated,
+        inst_pruned: mappings - inst_enumerated,
+        inst_shared,
     };
     let known: BTreeSet<Value> = m
         .iter()
@@ -461,6 +808,7 @@ pub(crate) fn ground_metered(
         })
         .collect();
     let letter_index = build_letter_index(&letters);
+    let active: HashSet<Vec<u32>> = cands.into_iter().flatten().collect();
     Ok(Grounding {
         arena,
         formula,
@@ -475,7 +823,113 @@ pub(crate) fn ground_metered(
         matrix: matrix.clone(),
         known,
         letter_index,
+        plan,
+        occ,
+        active,
+        index_build,
     })
+}
+
+/// Builds `Ψ_D` over an explicit candidate list (the indexed path),
+/// sequentially or sharded over `workers` chunks of the list with the
+/// same `InternLog` replay discipline as the odometer shards — the
+/// letter table, conjunction order, and `inst_shared` count are
+/// bit-identical to the sequential walk.
+#[allow(clippy::too_many_arguments)]
+fn ground_cands(
+    mode: GroundMode,
+    schema: &Schema,
+    consts: &[Value],
+    m: &[GArg],
+    external: &[String],
+    matrix: &Formula,
+    cands: &[Vec<u32>],
+    workers: usize,
+    arena: &mut Arena,
+    letters: &mut AtomInterner<LetterKey>,
+    inst_shared: &mut usize,
+    meter: &mut ParMeter,
+) -> Result<FormulaId, GroundError> {
+    let digit: HashMap<&str, usize> = external
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+    let mut seen: HashSet<FormulaId> = HashSet::new();
+    if workers <= 1 {
+        let mut ctx = GroundCtx {
+            mode,
+            schema,
+            consts,
+            arena,
+            letters,
+            log: None,
+        };
+        let share = SharePlan::build(matrix, &digit, m.len());
+        let mut memo = ShareMemo::new();
+        let mut psi_d = ctx.arena.tru();
+        for cand in cands {
+            let inst =
+                ctx.ground_matrix_digits(matrix, &digit, m, cand, share.as_ref(), &mut memo)?;
+            if !seen.insert(inst) {
+                *inst_shared += 1;
+            }
+            psi_d = ctx.arena.and(psi_d, inst);
+        }
+        return Ok(psi_d);
+    }
+    struct ChunkOut {
+        arena: Arena,
+        log: InternLog<LetterKey>,
+        insts: Vec<FormulaId>,
+    }
+    let chunks = par::map_chunked(cands.len(), workers, meter, |_, range| {
+        let mut warena = Arena::new();
+        let mut wletters: AtomInterner<LetterKey> = AtomInterner::new();
+        let mut wlog = InternLog::new();
+        let mut insts = Vec::with_capacity(range.len());
+        {
+            let mut ctx = GroundCtx {
+                mode,
+                schema,
+                consts,
+                arena: &mut warena,
+                letters: &mut wletters,
+                log: Some(&mut wlog),
+            };
+            let share = SharePlan::build(matrix, &digit, m.len());
+            let mut memo = ShareMemo::new();
+            for cand in &cands[range] {
+                insts.push(ctx.ground_matrix_digits(
+                    matrix,
+                    &digit,
+                    m,
+                    cand,
+                    share.as_ref(),
+                    &mut memo,
+                )?);
+            }
+        }
+        Ok(ChunkOut {
+            arena: warena,
+            log: wlog,
+            insts,
+        })
+    });
+    let mut psi_d = arena.tru();
+    for chunk in chunks {
+        let chunk: ChunkOut = chunk?;
+        let remap = letters.replay(arena, &chunk.log);
+        let mut memo = HashMap::new();
+        for inst in chunk.insts {
+            let f = arena.translate_from(&chunk.arena, inst, &remap, &mut memo);
+            if !seen.insert(f) {
+                *inst_shared += 1;
+            }
+            psi_d = arena.and(psi_d, f);
+        }
+    }
+    Ok(psi_d)
 }
 
 /// Builds `Ψ_D` by sharding the linearised instantiation space
@@ -552,6 +1006,79 @@ fn ground_psi_sharded(
     }
     Ok(psi_d)
 }
+
+/// Cross-instantiation structure-sharing plan: each AST node of the
+/// matrix gets a dense id plus the bitmask of external digits free in
+/// it, so ground subformulas can be memoised per `(subformula,
+/// partial-assignment signature)`. Two instantiations that agree on
+/// the digits a subformula actually mentions share its ground sub-DAG
+/// without re-walking it. Built only when every signature packs into a
+/// `u128` (`k · ⌈log2 |M|⌉ ≤ 120`, which is always the case in
+/// practice); otherwise the enumerator grounds unmemoised — the arena
+/// still hash-conses node-by-node.
+struct SharePlan {
+    /// AST node address → (dense id, free-digit mask).
+    nodes: HashMap<usize, (u32, u64)>,
+    msize: u128,
+}
+
+impl SharePlan {
+    fn build(matrix: &Formula, digit: &HashMap<&str, usize>, msize: usize) -> Option<SharePlan> {
+        let k = digit.len();
+        if k > 64 {
+            return None;
+        }
+        let bits = usize::BITS - msize.next_power_of_two().leading_zeros();
+        if k as u32 * bits > 120 {
+            return None;
+        }
+        let mut nodes = HashMap::new();
+        fn walk(
+            f: &Formula,
+            digit: &HashMap<&str, usize>,
+            nodes: &mut HashMap<usize, (u32, u64)>,
+        ) -> u64 {
+            let mut mask = 0u64;
+            if let Formula::Atom(a) = f {
+                for t in a.terms() {
+                    if let Term::Var(v) = t {
+                        if let Some(&d) = digit.get(v.as_str()) {
+                            mask |= 1 << d;
+                        }
+                    }
+                }
+            }
+            for c in f.children() {
+                mask |= walk(c, digit, nodes);
+            }
+            let id = nodes.len() as u32;
+            nodes.insert(f as *const Formula as usize, (id, mask));
+            mask
+        }
+        walk(matrix, digit, &mut nodes);
+        Some(SharePlan {
+            nodes,
+            msize: msize as u128,
+        })
+    }
+
+    /// The memo key for grounding `f` under `digits`, or `None` if `f`
+    /// is not a planned node (the plan was built for another formula).
+    fn key(&self, f: &Formula, digits: &[u32]) -> Option<(u32, u128)> {
+        let &(id, mask) = self.nodes.get(&(f as *const Formula as usize))?;
+        let mut sig: u128 = 0;
+        let mut bits = mask;
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            sig = sig * self.msize + digits[d] as u128;
+        }
+        Some((id, sig))
+    }
+}
+
+/// Memo table for [`GroundCtx::ground_matrix_digits`].
+type ShareMemo = HashMap<(u32, u128), FormulaId>;
 
 /// Borrowed working set for formula construction. When `log` is set
 /// (the sharded path), every first-sight letter interning is recorded
@@ -672,6 +1199,117 @@ impl GroundCtx<'_> {
                     && args.iter().any(|a| matches!(a, GArg::Fresh(_)))
                 {
                     // Axiom_D forces p(…z…) false for all time; fold it.
+                    return Ok(self.arena.fls());
+                }
+                Ok(self.pred_letter(*p, args))
+            }
+            Atom::Leq(_, _) | Atom::Succ(_, _) | Atom::Zero(_) => {
+                Err(GroundError::ExtendedVocabulary)
+            }
+        }
+    }
+
+    /// [`GroundCtx::ground_matrix`] for the indexed enumerator: the
+    /// assignment is a digit vector over `m` instead of a name map, and
+    /// ground subformulas are memoised per `(subformula,
+    /// partial-assignment signature)` through the share plan.
+    #[allow(clippy::too_many_arguments)]
+    fn ground_matrix_digits(
+        &mut self,
+        f: &Formula,
+        digit: &HashMap<&str, usize>,
+        m: &[GArg],
+        digits: &[u32],
+        share: Option<&SharePlan>,
+        memo: &mut ShareMemo,
+    ) -> Result<FormulaId, GroundError> {
+        let key = share.and_then(|s| s.key(f, digits));
+        if let Some(k) = key {
+            if let Some(&g) = memo.get(&k) {
+                return Ok(g);
+            }
+        }
+        let out = match f {
+            Formula::True => self.arena.tru(),
+            Formula::False => self.arena.fls(),
+            Formula::Atom(a) => self.ground_atom_digits(a, digit, m, digits)?,
+            Formula::Not(g) => {
+                let x = self.ground_matrix_digits(g, digit, m, digits, share, memo)?;
+                self.arena.not(x)
+            }
+            Formula::And(a, b) => {
+                let x = self.ground_matrix_digits(a, digit, m, digits, share, memo)?;
+                let y = self.ground_matrix_digits(b, digit, m, digits, share, memo)?;
+                self.arena.and(x, y)
+            }
+            Formula::Or(a, b) => {
+                let x = self.ground_matrix_digits(a, digit, m, digits, share, memo)?;
+                let y = self.ground_matrix_digits(b, digit, m, digits, share, memo)?;
+                self.arena.or(x, y)
+            }
+            Formula::Implies(a, b) => {
+                let x = self.ground_matrix_digits(a, digit, m, digits, share, memo)?;
+                let y = self.ground_matrix_digits(b, digit, m, digits, share, memo)?;
+                self.arena.implies(x, y)
+            }
+            Formula::Next(g) => {
+                let x = self.ground_matrix_digits(g, digit, m, digits, share, memo)?;
+                self.arena.next(x)
+            }
+            Formula::Until(a, b) => {
+                let x = self.ground_matrix_digits(a, digit, m, digits, share, memo)?;
+                let y = self.ground_matrix_digits(b, digit, m, digits, share, memo)?;
+                self.arena.until(x, y)
+            }
+            Formula::Forall(_, _) | Formula::Exists(_, _) => {
+                unreachable!("universal matrix is quantifier-free (checked by classify)")
+            }
+            Formula::Prev(_) | Formula::Since(_, _) => {
+                unreachable!("universal sentences are future-only (checked by classify)")
+            }
+        };
+        if let Some(k) = key {
+            memo.insert(k, out);
+        }
+        Ok(out)
+    }
+
+    fn ground_atom_digits(
+        &mut self,
+        a: &Atom,
+        digit: &HashMap<&str, usize>,
+        m: &[GArg],
+        digits: &[u32],
+    ) -> Result<FormulaId, GroundError> {
+        let resolve = |t: &Term| -> GArg {
+            match t {
+                Term::Var(v) => m[digits[digit[v.as_str()]] as usize],
+                Term::Value(v) => GArg::Rel(*v),
+                Term::Const(c) => match self.mode {
+                    GroundMode::Folded => GArg::Rel(self.consts[c.index()]),
+                    GroundMode::Full => GArg::Const(*c),
+                },
+            }
+        };
+        match a {
+            Atom::Eq(t1, t2) => {
+                let (x, y) = (resolve(t1), resolve(t2));
+                match self.mode {
+                    GroundMode::Folded => {
+                        if gargs_equal(x, y, self.consts) {
+                            Ok(self.arena.tru())
+                        } else {
+                            Ok(self.arena.fls())
+                        }
+                    }
+                    GroundMode::Full => Ok(self.eq_letter(x, y)),
+                }
+            }
+            Atom::Pred(p, ts) => {
+                let args: Vec<GArg> = ts.iter().map(resolve).collect();
+                if self.mode == GroundMode::Folded
+                    && args.iter().any(|a| matches!(a, GArg::Fresh(_)))
+                {
                     return Ok(self.arena.fls());
                 }
                 Ok(self.pred_letter(*p, args))
@@ -1036,10 +1674,120 @@ impl Grounding {
         self.stats.letters = self.arena.atom_count();
         self.stats.formula_tree_size = self.arena.tree_size(self.formula);
         self.stats.formula_dag_size = self.arena.dag_size(self.formula);
+        self.stats.inst_enumerated = self.stats.mappings;
         Ok(DeltaGround {
             psi_new,
             new_mappings,
         })
+    }
+
+    /// Net-inserted tuples of `tx` that have never occurred in any
+    /// state — the occurrence-index delta of this append. Empty under
+    /// the odometer strategy (no index is maintained). Sorted in
+    /// `(pred, tuple)` order.
+    pub(crate) fn newly_occurring(&self, tx: &Transaction) -> Vec<(PredId, Vec<Value>)> {
+        if self.plan.is_none() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ((p, tuple), present) in tx_net(tx) {
+            if present && !self.occ.get(&p).is_some_and(|s| s.contains(tuple)) {
+                out.push((p, tuple.to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Indexed re-grounding and activation: extends `M` by `delta`
+    /// (possibly empty) and the occurrence index by `inserts`, then
+    /// grounds exactly the instantiations that just became data-
+    /// supported — either because they mention a new element or because
+    /// a flexible atom of theirs matches a first-time tuple. The new
+    /// block is conjoined into the formula and returned for trace
+    /// replay (its letters are false in every earlier state, so the
+    /// replay reconstructs precisely the progression the instantiation
+    /// would have had if it had been enumerated from the start).
+    ///
+    /// Indexed strategy only (`self.plan` must be `Some`).
+    pub(crate) fn ground_new_active(
+        &mut self,
+        delta: &[Value],
+        inserts: &[(PredId, Vec<Value>)],
+    ) -> Result<DeltaGround, GroundError> {
+        assert!(
+            self.plan.is_some(),
+            "ground_new_active requires the indexed strategy"
+        );
+        self.m.extend(delta.iter().map(|&v| GArg::Rel(v)));
+        self.known.extend(delta.iter().copied());
+        for (p, tuple) in inserts {
+            self.occ.entry(*p).or_default().insert(tuple.clone());
+        }
+        let k = self.external.len();
+        let msize = self.m.len();
+        let t0 = std::time::Instant::now();
+        let plan = self.plan.as_ref().expect("checked above");
+        let all = enumerate_active(&plan.patterns, &self.occ, &self.m, k, None)
+            .expect("uncapped enumeration always succeeds");
+        let fresh: Vec<Vec<u32>> = all
+            .into_iter()
+            .filter(|c| !self.active.contains(c))
+            .collect();
+        self.index_build += t0.elapsed();
+        let digit: HashMap<&str, usize> = self
+            .external
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+        let share = SharePlan::build(&self.matrix, &digit, msize);
+        let mut memo = ShareMemo::new();
+        let mut ctx = GroundCtx {
+            mode: self.mode,
+            schema: &self.schema,
+            consts: &self.consts,
+            arena: &mut self.arena,
+            letters: &mut self.letters,
+            log: None,
+        };
+        let mut psi_new = ctx.arena.tru();
+        for cand in &fresh {
+            let inst = ctx.ground_matrix_digits(
+                &self.matrix,
+                &digit,
+                &self.m,
+                cand,
+                share.as_ref(),
+                &mut memo,
+            )?;
+            psi_new = ctx.arena.and(psi_new, inst);
+        }
+        let new_mappings = fresh.len() as u64;
+        self.active.extend(fresh);
+        self.formula = self.arena.and(self.formula, psi_new);
+        self.stats.m_size = msize;
+        self.stats.mappings = msize.pow(k as u32).max(1);
+        self.stats.letters = self.arena.atom_count();
+        self.stats.formula_tree_size = self.arena.tree_size(self.formula);
+        self.stats.formula_dag_size = self.arena.dag_size(self.formula);
+        self.stats.inst_enumerated += new_mappings as usize;
+        self.stats.inst_pruned = self.stats.mappings - self.stats.inst_enumerated;
+        Ok(DeltaGround {
+            psi_new,
+            new_mappings,
+        })
+    }
+
+    /// The effective enumeration strategy: [`GroundStrategy::Indexed`]
+    /// exactly when the matrix passed the rigid-false-fold gate and the
+    /// initial join pruned; otherwise the grounding behaves as (and
+    /// reports) [`GroundStrategy::Odometer`].
+    pub fn strategy(&self) -> GroundStrategy {
+        if self.plan.is_some() {
+            GroundStrategy::Indexed
+        } else {
+            GroundStrategy::Odometer
+        }
     }
 
     /// The grounding mode used.
@@ -1109,6 +1857,12 @@ impl Grounding {
             trace: self.trace.clone(),
             m: self.m.clone(),
             stats: self.stats,
+            indexed: self.plan.is_some(),
+            occ: self
+                .occ
+                .iter()
+                .map(|(&p, tuples)| (p, tuples.iter().cloned().collect()))
+                .collect(),
         }
     }
 
@@ -1160,6 +1914,36 @@ impl Grounding {
         }
         let letters = AtomInterner::from_pairs(d.letters).map_err(str::to_owned)?;
         let letter_index = build_letter_index(&letters);
+        let mut occ: BTreeMap<PredId, BTreeSet<Vec<Value>>> = BTreeMap::new();
+        for (p, tuples) in d.occ {
+            if p.index() >= schema.pred_count() {
+                return Err("snapshot occurrence predicate out of range".to_owned());
+            }
+            let set = occ.entry(p).or_default();
+            for t in tuples {
+                if t.len() != schema.arity(p) {
+                    return Err("snapshot occurrence tuple arity mismatch".to_owned());
+                }
+                set.insert(t);
+            }
+        }
+        // The plan is a pure function of the persisted matrix, and the
+        // active set is the join of the plan against the persisted
+        // occurrence index — both are re-derived rather than re-earned:
+        // no re-grounding, no walk over the trace.
+        let (plan, active) = if d.indexed {
+            let patterns = index_patterns(&d.matrix, &d.external, &d.consts)
+                .ok_or("snapshot marked indexed but the matrix is outside the indexed class")?;
+            let k = d.external.len();
+            let cands = enumerate_active(&patterns, &occ, &d.m, k, None)
+                .expect("uncapped enumeration always succeeds");
+            (
+                Some(IndexPlan { patterns }),
+                cands.into_iter().collect::<HashSet<Vec<u32>>>(),
+            )
+        } else {
+            (None, HashSet::new())
+        };
         Ok(Grounding {
             arena,
             formula: d.formula,
@@ -1174,6 +1958,10 @@ impl Grounding {
             matrix: d.matrix,
             known: d.known.into_iter().collect(),
             letter_index,
+            plan,
+            occ,
+            active,
+            index_build: std::time::Duration::ZERO,
         })
     }
 }
@@ -1197,6 +1985,12 @@ pub(crate) struct GroundingDump {
     pub trace: Vec<PropState>,
     pub m: Vec<GArg>,
     pub stats: GroundStats,
+    /// Whether the indexed strategy is in effect (the plan and active
+    /// set are re-derived from the matrix and `occ` on restore).
+    pub indexed: bool,
+    /// The occurrence index: per predicate, the tuples that have
+    /// appeared in some state, sorted. Empty under the odometer.
+    pub occ: Vec<(PredId, Vec<Vec<Value>>)>,
 }
 
 #[cfg(test)]
@@ -1427,5 +2221,85 @@ mod tests {
         let g = ground(&h, &phi, GroundMode::Folded).unwrap();
         assert_eq!(g.stats.external_vars, 0);
         assert_eq!(g.stats.mappings, 1);
+    }
+
+    fn ground_indexed(h: &History, phi: &Formula, threads: Threads) -> Grounding {
+        ground_opts(h, phi, GroundMode::Folded, GroundStrategy::Indexed, threads).unwrap()
+    }
+
+    #[test]
+    fn indexed_prunes_sparse_join() {
+        // M = {1, 3, z1, z2}: 16 mappings. Sub occurs on {1, 3} (the
+        // x-candidates), Fill never occurs, so only the 2·4 maps with a
+        // satisfiable Sub(x) survive; the other 8 fold to the canonical
+        // rigid-false residue and are counted, not enumerated.
+        let h = history(&[&[1, 3]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x y. G (Sub(x) -> !Fill(y))").unwrap();
+        let g = ground_indexed(&h, &phi, Threads::Off);
+        assert_eq!(g.strategy(), GroundStrategy::Indexed);
+        assert_eq!(g.stats.mappings, 16);
+        assert_eq!(g.stats.inst_enumerated, 8);
+        assert_eq!(g.stats.inst_pruned, 8);
+    }
+
+    #[test]
+    fn indexed_sharded_is_bit_identical_to_sequential() {
+        let h = history(&[&[1, 2], &[3]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x y. G (Sub(x) -> !Fill(y))").unwrap();
+        let g1 = ground_indexed(&h, &phi, Threads::Off);
+        let g4 = ground_indexed(&h, &phi, Threads::Fixed(4));
+        assert_eq!(g1.strategy(), GroundStrategy::Indexed);
+        assert!(g1.stats.inst_pruned > 0);
+        assert_eq!(g1.formula, g4.formula);
+        assert_eq!(g1.stats, g4.stats);
+        assert_eq!(g1.arena.dag_len(), g4.arena.dag_len());
+        assert_eq!(g1.letter_index_len(), g4.letter_index_len());
+    }
+
+    #[test]
+    fn indexed_gate_falls_back_outside_class() {
+        let h = history(&[&[1, 3]]);
+        let sc = h.schema().clone();
+        // Equality atoms have no occurrence index: odometer.
+        let eq = parse(&sc, "forall x y. G (x = y | (Sub(x) -> !Sub(y)))").unwrap();
+        let g = ground_indexed(&h, &eq, Threads::Off);
+        assert_eq!(g.strategy(), GroundStrategy::Odometer);
+        assert_eq!(g.stats.inst_pruned, 0);
+        assert_eq!(g.stats.inst_enumerated, g.stats.mappings);
+        // Unguarded matrix: with every atom rigidly false, F Sub(x)
+        // folds to ⊥ (not ⊤), so pruning would change the verdict.
+        let unguarded = parse(&sc, "forall x. F Sub(x)").unwrap();
+        let g = ground_indexed(&h, &unguarded, Threads::Off);
+        assert_eq!(g.strategy(), GroundStrategy::Odometer);
+        // The fallback is transparent: same Ψ_D as an explicit odometer
+        // grounding, letter for letter.
+        let odo = ground(&h, &unguarded, GroundMode::Folded).unwrap();
+        assert_eq!(g.stats, odo.stats);
+        assert_eq!(g.letter_index_len(), odo.letter_index_len());
+    }
+
+    #[test]
+    fn newly_occurring_tuples_activate_pruned_instantiations() {
+        let h = history(&[&[1, 3]]);
+        let sc = h.schema().clone();
+        let phi = parse(&sc, "forall x y. G (Sub(x) -> !Fill(y))").unwrap();
+        let mut g = ground_indexed(&h, &phi, Threads::Off);
+        assert_eq!(g.stats.inst_enumerated, 8);
+        let fill = sc.pred("Fill").unwrap();
+        // Fill(3) over the known universe: no new relevant element, but
+        // the tuple never occurred, so the 4 maps with y ↦ 3 become
+        // supported — 2 of them were already active through Sub(x).
+        let tx = Transaction::new().insert(fill, vec![3]);
+        assert!(g.tx_delta(&tx).is_empty());
+        let inserts = g.newly_occurring(&tx);
+        assert_eq!(inserts, vec![(fill, vec![3])]);
+        let dg = g.ground_new_active(&[], &inserts).unwrap();
+        assert_eq!(dg.new_mappings, 2);
+        assert_eq!(g.stats.inst_enumerated, 10);
+        assert_eq!(g.stats.inst_pruned, 6);
+        // Same transaction again: the tuple is indexed now.
+        assert!(g.newly_occurring(&tx).is_empty());
     }
 }

@@ -61,7 +61,10 @@ pub use extension::{
     check_potential_satisfaction, CheckOptions, CheckOptionsBuilder, CheckOutcome, CheckStats,
     Durability, Encoding,
 };
-pub use ground::{ground, ground_with, GroundError, GroundMode, GroundStats, Grounding, LetterKey};
+pub use ground::{
+    ground, ground_opts, ground_with, GroundError, GroundMode, GroundStats, GroundStrategy,
+    Grounding, LetterKey,
+};
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
 pub use obs::{CacheStats, EngineStats};
 pub use par::Threads;

@@ -102,8 +102,23 @@ pub struct EngineStats {
     pub arena_nodes: u64,
     /// Gauge: ground instantiations (`|M|^k`) across live groundings.
     pub mappings: u64,
+    /// Gauge: instantiations actually enumerated and ground across live
+    /// groundings — equals `mappings` under the odometer, the pruned
+    /// count under the indexed strategy.
+    pub inst_enumerated: u64,
+    /// Gauge: instantiations the indexed strategy skipped because none
+    /// of their flexible atoms ever occur in the history (each is
+    /// subsumed by the canonical rigid-false residue).
+    pub inst_pruned: u64,
+    /// Gauge: enumerated instantiations whose entire ground conjunct
+    /// hash-consed to a formula already produced by an earlier
+    /// instantiation (cross-instantiation structure sharing).
+    pub inst_shared: u64,
     /// Wall-clock spent grounding (initial, full, and delta).
     pub ground_time: Duration,
+    /// Wall-clock spent building and joining the atom-occurrence index
+    /// (subset of `ground_time`'s phase; zero under the odometer).
+    pub index_build_time: Duration,
     /// Wall-clock spent in progression (trace replay and per-append).
     pub progress_time: Duration,
     /// Wall-clock spent in phase-2 satisfiability.
@@ -145,8 +160,15 @@ impl EngineStats {
         s.push_str(&format!("  letters             {}\n", self.letters));
         s.push_str(&format!("  arena nodes         {}\n", self.arena_nodes));
         s.push_str(&format!("  mappings            {}\n", self.mappings));
+        s.push_str(&format!("  inst enumerated     {}\n", self.inst_enumerated));
+        s.push_str(&format!("  inst pruned         {}\n", self.inst_pruned));
+        s.push_str(&format!("  inst shared         {}\n", self.inst_shared));
         s.push_str("engine timers:\n");
         s.push_str(&format!("  ground time         {:?}\n", self.ground_time));
+        s.push_str(&format!(
+            "  index build time    {:?}\n",
+            self.index_build_time
+        ));
         s.push_str(&format!("  progress time       {:?}\n", self.progress_time));
         s.push_str(&format!("  sat time            {:?}", self.sat_time));
         if self.cache.any() {
@@ -211,7 +233,11 @@ impl EngineStats {
         self.letters += other.letters;
         self.arena_nodes += other.arena_nodes;
         self.mappings += other.mappings;
+        self.inst_enumerated += other.inst_enumerated;
+        self.inst_pruned += other.inst_pruned;
+        self.inst_shared += other.inst_shared;
         self.ground_time += other.ground_time;
+        self.index_build_time += other.index_build_time;
         self.progress_time += other.progress_time;
         self.sat_time += other.sat_time;
         self.par_phases += other.par_phases;
@@ -273,6 +299,10 @@ mod tests {
             "replayed conjuncts",
             "patched atoms",
             "ground time",
+            "inst enumerated",
+            "inst pruned",
+            "inst shared",
+            "index build time",
         ] {
             assert!(r.contains(needle), "missing {needle:?} in render");
         }

@@ -59,6 +59,17 @@ impl Threads {
         }
     }
 
+    /// The number of workers worth spawning for `items` independent
+    /// work units: each worker needs at least two units to amortise a
+    /// spawn, so the pool never exceeds `items / 2` (and never drops
+    /// below one). The grounding layer sizes its shards with the
+    /// *pruned* instantiation count, so `Threads::Auto` no longer spins
+    /// up idle workers when index-driven enumeration leaves only a
+    /// handful of instantiations to ground.
+    pub fn workers_for(self, items: usize) -> usize {
+        self.worker_count().min(items / 2).max(1)
+    }
+
     /// Parses the `--threads` argument syntax: `off`, `auto`, or a
     /// worker count.
     pub fn parse(s: &str) -> Result<Threads, String> {
@@ -306,5 +317,15 @@ mod tests {
         assert_eq!(Threads::parse("1"), Ok(Threads::Off));
         assert!(Threads::parse("lots").is_err());
         assert_eq!(Threads::default(), Threads::Off);
+    }
+
+    #[test]
+    fn workers_for_scales_with_the_item_count() {
+        assert_eq!(Threads::Fixed(4).workers_for(0), 1);
+        assert_eq!(Threads::Fixed(4).workers_for(1), 1);
+        assert_eq!(Threads::Fixed(4).workers_for(3), 1);
+        assert_eq!(Threads::Fixed(4).workers_for(6), 3);
+        assert_eq!(Threads::Fixed(4).workers_for(1000), 4);
+        assert_eq!(Threads::Off.workers_for(1000), 1);
     }
 }

@@ -32,7 +32,7 @@ use ticc_tdb::{ConstId, History, PredId, State};
 
 /// Version of the snapshot payload layout. Bump on any change to the
 /// byte format; [`restore_engine`] rejects other versions.
-pub const SNAP_VERSION: u32 = 1;
+pub const SNAP_VERSION: u32 = 2;
 
 fn corrupt(msg: &str) -> Error {
     Error::Store(format!("snapshot: {msg}"))
@@ -178,6 +178,15 @@ pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u
     engine.set_notion(notion);
     engine.entries = entries;
     engine.stats = stats;
+    // Wall-clock timers measure this process, not the one that wrote
+    // the snapshot: a resumed engine reports the time it spent itself,
+    // so `stats --json` after a restore starts the clocks at zero.
+    engine.stats.ground_time = Duration::ZERO;
+    engine.stats.progress_time = Duration::ZERO;
+    engine.stats.sat_time = Duration::ZERO;
+    engine.stats.par_time = Duration::ZERO;
+    engine.stats.par_busy_time = Duration::ZERO;
+    engine.stats.index_build_time = Duration::ZERO;
     Ok((engine, app))
 }
 
@@ -450,8 +459,22 @@ fn dump_encode(e: &mut Enc, d: &GroundingDump) {
         d.stats.axiom_conjuncts,
         d.stats.formula_tree_size,
         d.stats.formula_dag_size,
+        d.stats.inst_enumerated,
+        d.stats.inst_pruned,
+        d.stats.inst_shared,
     ] {
         e.usize(v);
+    }
+    e.u8(u8::from(d.indexed));
+    e.usize(d.occ.len());
+    for (p, tuples) in &d.occ {
+        e.u32(p.0);
+        e.usize(tuples.len());
+        for tuple in tuples {
+            for &v in tuple {
+                e.u64(v);
+            }
+        }
     }
 }
 
@@ -549,7 +572,34 @@ fn dump_decode(d: &mut Dec<'_>, schema: &ticc_tdb::Schema) -> Result<GroundingDu
         axiom_conjuncts: d.usize()?,
         formula_tree_size: d.usize()?,
         formula_dag_size: d.usize()?,
+        inst_enumerated: d.usize()?,
+        inst_pruned: d.usize()?,
+        inst_shared: d.usize()?,
     };
+    let indexed = match d.u8()? {
+        0 => false,
+        1 => true,
+        n => return Err(corrupt(&format!("unknown indexed tag {n}"))),
+    };
+    let n = d.usize()?;
+    let mut occ = Vec::new();
+    for _ in 0..n {
+        let p = PredId(d.u32()?);
+        if p.index() >= schema.pred_count() {
+            return Err(corrupt("occurrence-index predicate out of range"));
+        }
+        let arity = schema.arity(p);
+        let k = d.usize()?;
+        let mut tuples = Vec::new();
+        for _ in 0..k {
+            let mut tuple = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                tuple.push(d.u64()?);
+            }
+            tuples.push(tuple);
+        }
+        occ.push((p, tuples));
+    }
     Ok(GroundingDump {
         mode,
         consts,
@@ -563,6 +613,8 @@ fn dump_decode(d: &mut Dec<'_>, schema: &ticc_tdb::Schema) -> Result<GroundingDu
         trace,
         m,
         stats,
+        indexed,
+        occ,
     })
 }
 

@@ -83,6 +83,11 @@ pub struct Arena {
     /// grows with the number of *distinct* roots queried, which the
     /// arena already stores as nodes.
     support_memo: HashMap<FormulaId, std::sync::Arc<[AtomId]>>,
+    /// How many [`Arena::intern`] calls returned an already-interned
+    /// node instead of allocating — the hash-consing hit counter the
+    /// grounding layer reads to quantify cross-instantiation structure
+    /// sharing in `Ψ_D`.
+    dedup_hits: u64,
 }
 
 impl Arena {
@@ -100,6 +105,14 @@ impl Arena {
     /// Number of distinct (hash-consed) formula nodes allocated.
     pub fn dag_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of constructor calls answered from the hash-cons table
+    /// (an already-interned node was returned instead of allocating).
+    /// A coarse gauge of structure sharing across formulas built in
+    /// this arena; monotone, never reset.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
     }
 
     /// Number of registered propositional letters.
@@ -130,6 +143,7 @@ impl Arena {
 
     fn intern(&mut self, node: Node) -> FormulaId {
         if let Some(&id) = self.node_ids.get(&node) {
+            self.dedup_hits += 1;
             return id;
         }
         let id = FormulaId(u32::try_from(self.nodes.len()).expect("too many formulas"));

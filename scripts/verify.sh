@@ -55,6 +55,34 @@ if [ "$hot" != "$cold" ]; then
 fi
 echo "ablation smoke: OK"
 
+echo "==> grounding ablation smoke (indexed vs --grounding odometer)"
+# The indexed grounding is likewise a pure performance strategy: the
+# same session must reply byte-identically under the blind |M|^k
+# odometer. Use a k = 2 constraint so the instantiation space is real.
+gablate="$(mktemp)"
+cat > "$gablate" <<'EOF'
+schema pred Sub 1
+schema pred Rep 2
+constraint pair: forall x y. G (Rep(x, y) -> X G !Rep(x, y))
+insert Sub(1)
+insert Rep(1, 2)
+commit
+insert Rep(3, 4)
+commit
+insert Rep(1, 2)
+commit
+status
+EOF
+idx="$(./target/release/ticc-shell "$gablate")"
+odo="$(./target/release/ticc-shell --grounding odometer "$gablate")"
+rm -f "$gablate"
+if [ "$idx" != "$odo" ]; then
+    echo "grounding smoke: output diverges with --grounding odometer"
+    exit 1
+fi
+echo "$idx" | grep -q "VIOLATION" || { echo "grounding smoke: expected the re-insertion violation"; exit 1; }
+echo "grounding smoke: OK"
+
 echo "==> durability smoke (crash-reopen via --store)"
 # Session 1: build a session against a store, checkpoint, exit. The
 # process ending right after the last append doubles as the "crash":
@@ -97,8 +125,8 @@ rm -f "$wal" "$sess1" "$sess2"
 echo "durability smoke: OK"
 
 if [ "${1:-}" = "--release" ]; then
-    echo "==> E13/E14 bench smoke (release)"
-    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 --smoke
+    echo "==> E13/E14/E15 bench smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 --smoke
 fi
 
 echo "verify: OK"

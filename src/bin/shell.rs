@@ -11,6 +11,11 @@
 //! cache on the append hot path (the ablation knob; results are
 //! identical either way, only the per-append cost changes).
 //!
+//! `--grounding indexed|odometer` selects the instantiation
+//! enumeration strategy (default: indexed — the relevance-pruned join;
+//! odometer is the blind `|M|^k` sweep kept for the E15 ablation).
+//! Check events are identical under both.
+//!
 //! `--store <path>` backs the session with a durable write-ahead log:
 //! committed states are logged, `checkpoint`/`compact` snapshot the
 //! whole session, and reopening the same path resumes it.
@@ -19,7 +24,7 @@
 //! flags, 3 store cannot be opened or recovered.
 
 use std::io::{BufRead, Write};
-use ticc::core::{CheckOptions, Threads};
+use ticc::core::{CheckOptions, GroundStrategy, Threads};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +48,22 @@ fn main() {
         transition_cache = false;
         args.remove(i);
     }
+    let mut grounding = GroundStrategy::default();
+    if let Some(i) = args.iter().position(|a| a == "--grounding") {
+        let Some(v) = args.get(i + 1) else {
+            eprintln!("--grounding needs a value (indexed|odometer)");
+            std::process::exit(2);
+        };
+        grounding = match v.as_str() {
+            "indexed" => GroundStrategy::Indexed,
+            "odometer" => GroundStrategy::Odometer,
+            other => {
+                eprintln!("unknown grounding strategy {other:?} (indexed|odometer)");
+                std::process::exit(2);
+            }
+        };
+        args.drain(i..=i + 1);
+    }
     let mut store_path: Option<String> = None;
     if let Some(i) = args.iter().position(|a| a == "--store") {
         let Some(v) = args.get(i + 1) else {
@@ -55,6 +76,7 @@ fn main() {
     let opts = CheckOptions::builder()
         .threads(threads)
         .transition_cache(transition_cache)
+        .grounding(grounding)
         .build();
     let mut shell = match &store_path {
         Some(path) => match ticc::shell::Shell::with_store(opts, std::path::Path::new(path)) {

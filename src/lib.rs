@@ -87,8 +87,8 @@ pub mod prelude {
     pub use ticc_core::{
         check_potential_satisfaction, earliest_violation, explain, Action, CheckOptions,
         CheckOptionsBuilder, CheckOutcome, ConstraintId, Durability, Encoding, Engine, Error,
-        GroundMode, Monitor, MonitorEvent, Notion, OpenReport, Regrounding, Status, Store,
-        StoreStats, Threads, Trigger, TriggerEngine,
+        GroundMode, GroundStrategy, Monitor, MonitorEvent, Notion, OpenReport, Regrounding, Status,
+        Store, StoreStats, Threads, Trigger, TriggerEngine,
     };
     pub use ticc_fotl::parser::parse;
     pub use ticc_fotl::Formula;

@@ -693,7 +693,15 @@ fn stats_json(s: &EngineStats) -> String {
     let _ = write!(o, ",\"letters\":{}", s.letters);
     let _ = write!(o, ",\"arena_nodes\":{}", s.arena_nodes);
     let _ = write!(o, ",\"mappings\":{}", s.mappings);
+    let _ = write!(o, ",\"inst_enumerated\":{}", s.inst_enumerated);
+    let _ = write!(o, ",\"inst_pruned\":{}", s.inst_pruned);
+    let _ = write!(o, ",\"inst_shared\":{}", s.inst_shared);
     let _ = write!(o, ",\"ground_time_ns\":{}", s.ground_time.as_nanos());
+    let _ = write!(
+        o,
+        ",\"index_build_time_ns\":{}",
+        s.index_build_time.as_nanos()
+    );
     let _ = write!(o, ",\"progress_time_ns\":{}", s.progress_time.as_nanos());
     let _ = write!(o, ",\"sat_time_ns\":{}", s.sat_time.as_nanos());
     let _ = write!(o, ",\"par_phases\":{}", s.par_phases);
