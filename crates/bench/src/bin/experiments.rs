@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E15) from `DESIGN.md` §6.
+//! Regenerates every experiment table (E1–E16) from `DESIGN.md` §6.
 //!
 //! The paper (Chomicki & Niwiński, PODS 1993) is a theory paper with no
 //! empirical tables; each experiment here validates one of its stated
@@ -12,10 +12,10 @@
 //!
 //! `--json <path>` writes the machine-readable headline numbers (E13
 //! per-config appends/sec plus the E1/E7 headlines) to `<path>`, and —
-//! when E15 ran — its indexed-vs-odometer sweep to
-//! `BENCH_grounding_index.json`; all payloads share the
+//! when E15 / E16 ran — their sweeps to `BENCH_grounding_index.json`
+//! and `BENCH_template_automata.json`; all payloads share the
 //! [`ticc_bench::json`] envelope and schema version, documented in
-//! `EXPERIMENTS.md`. `--smoke` shrinks E13/E14/E15 to quick runs (used
+//! `EXPERIMENTS.md`. `--smoke` shrinks E13–E16 to quick runs (used
 //! by `scripts/verify.sh --release` and CI).
 
 use std::time::Duration;
@@ -43,6 +43,8 @@ struct Headlines {
     e14: Option<E14Result>,
     /// E15: indexed vs odometer grounding on the sparse workload.
     e15: Option<E15Result>,
+    /// E16: compiled template automata vs symbolic progression.
+    e16: Option<E16Result>,
 }
 
 fn main() {
@@ -130,6 +132,9 @@ fn run() {
     if want("e15") {
         headlines.e15 = Some(e15_grounding_index(smoke));
     }
+    if want("e16") {
+        headlines.e16 = Some(e16_template_automata(smoke));
+    }
     if let Some(path) = json_path {
         write_json(&path, &headlines, threads);
         println!("\nwrote {path}");
@@ -139,6 +144,13 @@ fn run() {
             doc.section("threads", ticc_bench::json::string(&threads.to_string()));
             doc.write("BENCH_grounding_index.json");
             println!("wrote BENCH_grounding_index.json");
+        }
+        if let Some(e16) = &headlines.e16 {
+            let mut doc = ticc_bench::json::JsonDoc::new();
+            doc.section("e16", e16_json(e16));
+            doc.section("threads", ticc_bench::json::string(&threads.to_string()));
+            doc.write("BENCH_template_automata.json");
+            println!("wrote BENCH_template_automata.json");
         }
     }
 }
@@ -1040,6 +1052,188 @@ fn e15_grounding_index(smoke: bool) -> E15Result {
     }
 }
 
+/// One configuration's measurement inside an [`E16Row`].
+struct E16Config {
+    /// Steady-state append latency.
+    ns_per_append: f64,
+    /// Modelled retained bytes after the run (see `e16_retained_bytes`).
+    retained_bytes: u64,
+    /// Engine counters after the run.
+    stats: EngineStats,
+}
+
+/// One sweep point of the E16 instantiation-count sweep.
+struct E16Row {
+    /// Live instantiations (relevant-domain size).
+    insts: usize,
+    /// Steady appends measured per configuration.
+    measured: usize,
+    compiled: E16Config,
+    symbolic: E16Config,
+    /// Symbolic ns/append over compiled ns/append (higher = compiled wins).
+    throughput_ratio: f64,
+    /// Symbolic retained bytes over compiled retained bytes.
+    memory_ratio: f64,
+}
+
+/// The E16 result (also the `--json` payload, and the standalone
+/// `BENCH_template_automata.json`).
+struct E16Result {
+    rows: Vec<E16Row>,
+    /// Index into `rows` of the headline (largest) instantiation count.
+    headline: usize,
+    events_identical: bool,
+}
+
+/// Modelled retained bytes for one finished run, from the engine
+/// gauges. The constants are the measured-on-x86-64 sizes of the
+/// dominant structures (struct + owned payload + hash-map slot
+/// overhead, rounded to the allocator bucket):
+///
+/// * 48 B per interned arena node (tag + operands + hash-cons slot);
+/// * 48 B per retained transition-cache entry (16 B key + residue id +
+///   robin-hood slot);
+/// * 24 B per retained phase-2 sat-cache entry (key + verdict + slot);
+/// * 64 B per bound automaton instantiation (`Unit`: template id,
+///   `u32` state, column, support vector + atom-index entries);
+/// * 16 B per compiled automaton state row (arity-2 template: four
+///   `u32` successors).
+///
+/// The model is applied symmetrically — each run is charged for
+/// whatever it actually retained — so the ratio compares the symbolic
+/// path's formula/cache footprint against the compiled path's
+/// per-instantiation `u32` state.
+fn e16_retained_bytes(s: &EngineStats) -> u64 {
+    const NODE_BYTES: u64 = 48;
+    const TRANS_ENTRY_BYTES: u64 = 48;
+    const SAT_ENTRY_BYTES: u64 = 24;
+    const UNIT_BYTES: u64 = 64;
+    const STATE_ROW_BYTES: u64 = 16;
+    s.arena_nodes * NODE_BYTES
+        + (s.cache.transition_misses - s.cache.transition_evictions) * TRANS_ENTRY_BYTES
+        + (s.sat_checks - s.cache.sat_evictions) * SAT_ENTRY_BYTES
+        + s.automaton_insts * UNIT_BYTES
+        + s.automaton_states * STATE_ROW_BYTES
+}
+
+/// E16: compiled template automata vs symbolic progression on the
+/// response workload (`forall x. G (Sub(x) -> X Fill(x))`). Every
+/// element of `0..n` is taken through one submit → fill cycle so `n`
+/// isomorphic instantiations stay live, then the steady state walks
+/// the obligation across them (`|Δtx| ≤ 4` per append). The compiled
+/// path binds all `n` instantiations to ONE hash-consed template and
+/// steps dormant-free `u32` state; the symbolic path re-progresses the
+/// conjunction residue, whose period-`n` cycle defeats both the
+/// transition cache and the phase-2 sat cache. Check events are
+/// asserted identical at every sweep point.
+fn e16_template_automata(smoke: bool) -> E16Result {
+    let sc = order_schema();
+    let phi = response(&sc);
+    let sweep: &[usize] = if smoke { &[200] } else { &[1000, 4000, 12000] };
+    let measured = if smoke { 20 } else { 60 };
+    let mut t = Table::new(
+        "E16: template automata vs symbolic progression (response constraint)",
+        "one shared template, u32 state per instantiation; symbolic \
+         residues cycle with period n and miss both caches",
+        &[
+            "insts",
+            "templates",
+            "states",
+            "symbolic/app",
+            "compiled/app",
+            "speedup",
+            "sym B/inst",
+            "cmp B/inst",
+            "mem ratio",
+        ],
+    );
+    let mut rows = Vec::new();
+    let mut events_identical = true;
+    for &n in sweep {
+        let run = |template_automata: bool| {
+            let opts = CheckOptions::builder()
+                .template_automata(template_automata)
+                .build();
+            let mut m = Monitor::new(sc.clone(), opts);
+            m.add_constraint("response", phi.clone()).unwrap();
+            let mut events = Vec::new();
+            for tx in response_setup_txs(&sc, n) {
+                events.extend(m.append(&tx).unwrap());
+            }
+            let start = std::time::Instant::now();
+            for i in 0..measured {
+                events.extend(m.append(&response_steady_tx(&sc, n, i)).unwrap());
+            }
+            let steady = start.elapsed();
+            let stats = m.engine_stats();
+            let ns = steady.as_secs_f64() * 1e9 / measured as f64;
+            (
+                E16Config {
+                    ns_per_append: ns,
+                    retained_bytes: e16_retained_bytes(&stats),
+                    stats,
+                },
+                events,
+            )
+        };
+        let (compiled, ev_cmp) = run(true);
+        let (symbolic, ev_sym) = run(false);
+        events_identical &= ev_cmp == ev_sym;
+        assert_eq!(ev_cmp, ev_sym, "compiled / symbolic check events diverged");
+        assert!(
+            compiled.stats.templates_compiled >= 1,
+            "the response workload must compile"
+        );
+        assert!(
+            compiled.stats.automaton_insts as usize >= n,
+            "every instantiation must bind to a template"
+        );
+        assert_eq!(
+            symbolic.stats.templates_compiled, 0,
+            "the ablation must stay symbolic"
+        );
+        let throughput_ratio = symbolic.ns_per_append / compiled.ns_per_append;
+        let memory_ratio = symbolic.retained_bytes as f64 / compiled.retained_bytes as f64;
+        t.row([
+            n.to_string(),
+            compiled.stats.templates_compiled.to_string(),
+            compiled.stats.automaton_states.to_string(),
+            fmt_duration(Duration::from_nanos(symbolic.ns_per_append as u64)),
+            fmt_duration(Duration::from_nanos(compiled.ns_per_append as u64)),
+            format!("{throughput_ratio:.1}x"),
+            format!("{:.0}", symbolic.retained_bytes as f64 / n as f64),
+            format!("{:.0}", compiled.retained_bytes as f64 / n as f64),
+            format!("{memory_ratio:.1}x"),
+        ]);
+        rows.push(E16Row {
+            insts: n,
+            measured,
+            compiled,
+            symbolic,
+            throughput_ratio,
+            memory_ratio,
+        });
+    }
+    t.print();
+    let headline = rows.len() - 1;
+    let h = &rows[headline];
+    println!(
+        "  headline ({} insts): {:.1}x append throughput, {:.1}x retained \
+         memory, {} template(s) / {} state(s), compile time {}",
+        h.insts,
+        h.throughput_ratio,
+        h.memory_ratio,
+        h.compiled.stats.templates_compiled,
+        h.compiled.stats.automaton_states,
+        fmt_duration(h.compiled.stats.automaton_compile_time),
+    );
+    E16Result {
+        rows,
+        headline,
+        events_identical,
+    }
+}
+
 /// Renders the E13 sweep as a JSON object.
 fn e13_json(e13: &E13Result) -> String {
     let mut s = String::from("{\n");
@@ -1096,6 +1290,49 @@ fn e15_json(e15: &E15Result) -> String {
     )
 }
 
+/// Renders the E16 sweep as a JSON object.
+fn e16_json(e16: &E16Result) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("    \"rows\": [\n");
+    for (i, r) in e16.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"insts\": {}, \"measured_appends\": {}, \
+             \"compiled_ns_per_append\": {:.1}, \
+             \"symbolic_ns_per_append\": {:.1}, \
+             \"compiled_retained_bytes\": {}, \
+             \"symbolic_retained_bytes\": {}, \
+             \"templates_compiled\": {}, \"automaton_states\": {}, \
+             \"automaton_insts\": {}, \"automaton_steps\": {}, \
+             \"compile_time_ns\": {}, \"throughput_ratio\": {:.2}, \
+             \"memory_ratio\": {:.2}}}{}\n",
+            r.insts,
+            r.measured,
+            r.compiled.ns_per_append,
+            r.symbolic.ns_per_append,
+            r.compiled.retained_bytes,
+            r.symbolic.retained_bytes,
+            r.compiled.stats.templates_compiled,
+            r.compiled.stats.automaton_states,
+            r.compiled.stats.automaton_insts,
+            r.compiled.stats.automaton_steps,
+            r.compiled.stats.automaton_compile_time.as_nanos(),
+            r.throughput_ratio,
+            r.memory_ratio,
+            if i + 1 < e16.rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    ],\n");
+    let h = &e16.rows[e16.headline];
+    s.push_str(&format!(
+        "    \"headline_insts\": {},\n    \
+         \"headline_throughput_ratio\": {:.2},\n    \
+         \"headline_memory_ratio\": {:.2},\n    \
+         \"events_identical\": {}\n  }}",
+        h.insts, h.throughput_ratio, h.memory_ratio, e16.events_identical
+    ));
+    s
+}
+
 /// The `--json` payload: every experiment section that ran, through the
 /// shared [`ticc_bench::json`] envelope (one schema version across all
 /// `BENCH_*.json` files). Format documented in `EXPERIMENTS.md`.
@@ -1133,6 +1370,9 @@ fn write_json(path: &str, h: &Headlines, threads: Threads) {
     }
     if let Some(e15) = &h.e15 {
         doc.section("e15", e15_json(e15));
+    }
+    if let Some(e16) = &h.e16 {
+        doc.section("e16", e16_json(e16));
     }
     doc.section("threads", ticc_bench::json::string(&threads.to_string()));
     doc.write(path);

@@ -97,6 +97,53 @@ pub fn steady_churn_tx(schema: &Schema, d: usize, i: usize) -> ticc_tdb::Transac
     tx.insert(p, vec![v])
 }
 
+/// The E16 response constraint: every submission is filled at the next
+/// instant. Each instantiation's residue has a two-letter support
+/// (`Sub(v)`, `Fill(v)`), and all instantiations are isomorphic modulo
+/// letter renaming — the template-sharing shape.
+pub const RESPONSE: &str = "forall x. G (Sub(x) -> X Fill(x))";
+
+/// Parses the response constraint against the order schema.
+pub fn response(schema: &Schema) -> Formula {
+    parse(schema, RESPONSE).expect("constant source")
+}
+
+/// E16 setup: three transactions that take every element of `0..n`
+/// through one clean submit → fill → retract cycle, so the relevant
+/// domain reaches size `n` (one bound automaton instantiation per
+/// element) before the steady state begins.
+pub fn response_setup_txs(schema: &Schema, n: usize) -> Vec<ticc_tdb::Transaction> {
+    let sub = schema.pred("Sub").unwrap();
+    let fill = schema.pred("Fill").unwrap();
+    let mut submit = ticc_tdb::Transaction::new();
+    let mut fulfil = ticc_tdb::Transaction::new();
+    let mut clear = ticc_tdb::Transaction::new();
+    for v in 0..n as Value {
+        submit = submit.insert(sub, vec![v]);
+        fulfil = fulfil.delete(sub, vec![v]).insert(fill, vec![v]);
+        clear = clear.delete(fill, vec![v]);
+    }
+    vec![submit, fulfil, clear]
+}
+
+/// E16 steady state, step `i`: submit element `v_i = i mod n`, fill the
+/// previous submission, retract the pair that is two steps old —
+/// `|Δtx| ≤ 4` while the obligation walks across all `n`
+/// instantiations. Constraint-clean under [`RESPONSE`].
+pub fn response_steady_tx(schema: &Schema, n: usize, i: usize) -> ticc_tdb::Transaction {
+    let sub = schema.pred("Sub").unwrap();
+    let fill = schema.pred("Fill").unwrap();
+    let v = |j: usize| (j % n) as Value;
+    let mut tx = ticc_tdb::Transaction::new().insert(sub, vec![v(i)]);
+    if i > 0 {
+        tx = tx.delete(sub, vec![v(i - 1)]).insert(fill, vec![v(i - 1)]);
+    }
+    if i > 1 {
+        tx = tx.delete(fill, vec![v(i - 2)]);
+    }
+    tx
+}
+
 /// The `⋀_{i<n} □◇p_i` family: a classic exponential-automaton family
 /// for the `2^O(|ψ|)` bound (E3) and the tableau-vs-GPVW ablation (E8).
 pub fn gf_family(arena: &mut Arena, n: usize) -> FormulaId {

@@ -33,12 +33,13 @@ use crate::extension::{CheckOptions, Durability, Encoding};
 use crate::ground::{ground_metered, GroundMode, GroundStrategy, Grounding};
 use crate::obs::{EngineStats, Timer};
 use crate::par::{self, ParMeter, Threads};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 use ticc_fotl::Formula;
 use ticc_ptl::arena::{AtomId, FormulaId};
+use ticc_ptl::automaton::{self, CompileLimits, SafetyAutomaton, TemplateKey};
 use ticc_ptl::progression::{progress, progress_trace};
 use ticc_ptl::sat::{extends_with, is_satisfiable_with, SatError, SatResult};
 use ticc_ptl::simplify::simplify;
@@ -156,6 +157,185 @@ fn support_fingerprint(w: &PropState, support: &[AtomId]) -> u64 {
     h
 }
 
+/// One instantiation bound to a compiled template automaton: which
+/// template, the current `u32` state, the cached column (the valuation
+/// of the unit's support letters in the latest trace state), and the
+/// concrete support letters themselves — `support[i]` instantiates the
+/// template's canonical atom `i`.
+pub(crate) struct Unit {
+    pub(crate) tmpl: u32,
+    pub(crate) state: u32,
+    pub(crate) col: u32,
+    pub(crate) support: Vec<AtomId>,
+}
+
+/// The compiled-automaton runtime of one grounding context: the
+/// residue, split into support-disjoint units, each stepping through a
+/// shared explicit [`SafetyAutomaton`]. Replaces the symbolic residue
+/// entirely while bound (the context's `residue` is held at `⊤`);
+/// [`GroundingContext::decompile`] reconstructs the exact symbolic
+/// residue at any time, so the engine can fall back transparently.
+///
+/// The units partition the support letters (pairwise disjoint by
+/// construction, invariant under progression since supports only ever
+/// shrink), so the residue is satisfiable iff `n_unsat == 0` — the
+/// phase-2 verdict is a counter read, precomputed per state at compile
+/// time.
+pub(crate) struct CompiledSet {
+    pub(crate) templates: Vec<Arc<SafetyAutomaton>>,
+    /// Canonical key → index into `templates` (the hash-consing that
+    /// makes isomorphic instantiations share one machine).
+    pub(crate) keys: HashMap<TemplateKey, u32>,
+    pub(crate) units: Vec<Unit>,
+    /// Letter → (unit, bit position in its column). Total: each letter
+    /// belongs to at most one unit.
+    pub(crate) atom_index: HashMap<AtomId, (u32, u8)>,
+    /// Units whose transition under their current column is *not* a
+    /// self-loop. Everything else is dormant: stepping it is the
+    /// identity, so the append loop touches only this set — `O(|Δtx|)`
+    /// in steady state.
+    pub(crate) active: BTreeSet<u32>,
+    /// Units whose current state is unsatisfiable.
+    pub(crate) n_unsat: usize,
+}
+
+impl CompiledSet {
+    /// The column of `w` restricted to `support` (bit `i` = letter
+    /// `support[i]`).
+    fn col_of(w: Option<&PropState>, support: &[AtomId]) -> u32 {
+        let Some(w) = w else { return 0 };
+        let mut col = 0u32;
+        for (i, &a) in support.iter().enumerate() {
+            if w.get(a) {
+                col |= 1 << i;
+            }
+        }
+        col
+    }
+
+    /// Refreshes one unit's membership in the active set after its
+    /// column (or state) changed.
+    fn refresh_active(&mut self, u: u32) {
+        let unit = &self.units[u as usize];
+        if self.templates[unit.tmpl as usize].step(unit.state, unit.col) != unit.state {
+            self.active.insert(u);
+        } else {
+            self.active.remove(&u);
+        }
+    }
+
+    /// Updates the columns of the units owning any of `patched` from
+    /// the new valuation `w` (letters outside every unit — e.g. fresh
+    /// letters of a just-delta-ground block — are ignored).
+    fn patch_cols(&mut self, patched: &[AtomId], w: &PropState) {
+        for &a in patched {
+            let Some(&(u, bit)) = self.atom_index.get(&a) else {
+                continue;
+            };
+            let unit = &mut self.units[u as usize];
+            if w.get(a) {
+                unit.col |= 1 << bit;
+            } else {
+                unit.col &= !(1 << bit);
+            }
+            self.refresh_active(u);
+        }
+    }
+
+    /// Recomputes every unit's column from scratch (the
+    /// [`Encoding::Rebuild`] ablation — the compiled analogue of a full
+    /// state re-encode).
+    fn recompute_cols(&mut self, w: &PropState) {
+        for u in 0..self.units.len() as u32 {
+            let unit = &mut self.units[u as usize];
+            unit.col = Self::col_of(Some(w), &unit.support);
+            self.refresh_active(u);
+        }
+    }
+
+    /// Advances every active unit one letter: a dense table lookup per
+    /// unit, no progression, no phase 2. Units whose new state
+    /// self-loops under the (already updated) column go dormant.
+    fn step_active(&mut self, stats: &mut EngineStats) {
+        let active: Vec<u32> = self.active.iter().copied().collect();
+        for u in active {
+            let unit = &mut self.units[u as usize];
+            let auto = &self.templates[unit.tmpl as usize];
+            let next = auto.step(unit.state, unit.col);
+            if next != unit.state {
+                stats.automaton_steps += 1;
+                match (auto.sat(unit.state), auto.sat(next)) {
+                    (true, false) => self.n_unsat += 1,
+                    (false, true) => self.n_unsat -= 1,
+                    _ => {}
+                }
+                unit.state = next;
+            }
+            self.refresh_active(u);
+        }
+    }
+
+    /// Sum of explicit states over all templates (the
+    /// `automaton_states` gauge).
+    pub(crate) fn state_total(&self) -> u64 {
+        self.templates.iter().map(|t| t.state_count() as u64).sum()
+    }
+
+    /// Reassembles a compiled set from persisted parts — the decode
+    /// half of a v3 snapshot. Validates every id against the table it
+    /// references (states, template indices, support arities, letter
+    /// disjointness) and rebuilds all derived state: the key map, the
+    /// atom index, the unsat counter, and per-unit columns/activity
+    /// from the last trace state.
+    pub(crate) fn from_restored(
+        templates: Vec<Arc<SafetyAutomaton>>,
+        units: Vec<Unit>,
+        last: Option<&PropState>,
+    ) -> Result<Self, String> {
+        let mut keys = HashMap::new();
+        for (i, t) in templates.iter().enumerate() {
+            if keys.insert(t.key().clone(), i as u32).is_some() {
+                return Err("duplicate template key".into());
+            }
+        }
+        let mut atom_index = HashMap::new();
+        let mut n_unsat = 0usize;
+        for (u, unit) in units.iter().enumerate() {
+            let auto = templates
+                .get(unit.tmpl as usize)
+                .ok_or("unit template out of range")?;
+            if unit.state as usize >= auto.state_count() {
+                return Err("unit state out of range".into());
+            }
+            if unit.support.len() != auto.support_len() {
+                return Err("unit support does not match template arity".into());
+            }
+            for (bit, &a) in unit.support.iter().enumerate() {
+                if atom_index.insert(a, (u as u32, bit as u8)).is_some() {
+                    return Err("unit supports overlap".into());
+                }
+            }
+            if !auto.sat(unit.state) {
+                n_unsat += 1;
+            }
+        }
+        let mut set = Self {
+            templates,
+            keys,
+            units,
+            atom_index,
+            active: BTreeSet::new(),
+            n_unsat,
+        };
+        for u in 0..set.units.len() as u32 {
+            let unit = &mut set.units[u as usize];
+            unit.col = Self::col_of(last, &unit.support);
+            set.refresh_active(u);
+        }
+        Ok(set)
+    }
+}
+
 /// A grounding plus the derived per-constraint runtime state: the
 /// progressed residue, the satisfiability memo, and the transition
 /// cache of the lazily materialised safety automaton. The engine keeps
@@ -175,6 +355,13 @@ pub struct GroundingContext {
     residue: FormulaId,
     sat_cache: HashMap<FormulaId, bool>,
     transition_cache: HashMap<(FormulaId, u64), Transition>,
+    /// When present, the residue lives here as compiled-automaton
+    /// state and `residue` is held at `⊤` (see [`CompiledSet`]).
+    pub(crate) compiled: Option<CompiledSet>,
+    /// Build-phase wall-clock spent compiling template automata for
+    /// this context (a gauge, like the grounding's `index_build`;
+    /// zeroed on snapshot restore).
+    pub(crate) compile_time: Duration,
 }
 
 impl GroundingContext {
@@ -213,6 +400,8 @@ impl GroundingContext {
             residue,
             sat_cache: HashMap::new(),
             transition_cache: HashMap::new(),
+            compiled: None,
+            compile_time: Duration::ZERO,
         })
     }
 
@@ -227,6 +416,8 @@ impl GroundingContext {
             residue,
             sat_cache: HashMap::new(),
             transition_cache: HashMap::new(),
+            compiled: None,
+            compile_time: Duration::ZERO,
         }
     }
 
@@ -235,9 +426,165 @@ impl GroundingContext {
         &self.g
     }
 
-    /// The current progressed residue.
+    /// The current progressed residue (`⊤` while the context is
+    /// compiled — the live residue then lives in the compiled set as
+    /// per-unit automaton states, and decompiling reconstructs it).
     pub fn residue(&self) -> FormulaId {
         self.residue
+    }
+
+    /// Attempts to compile the current symbolic residue into per-unit
+    /// template automata. Applicable only with the knob on, under
+    /// [`Notion::Potential`] (the bad-prefix notion's `⊥`-check is
+    /// syntax-dependent), and for folded groundings. On any obstacle —
+    /// past connectives, support too wide, state budget exceeded — the
+    /// context simply stays symbolic. The wall-clock spent (including
+    /// failed attempts) accrues to the build-phase `compile_time`
+    /// gauge, never to append latency.
+    pub(crate) fn try_compile(&mut self, notion: Notion, opts: &CheckOptions) {
+        if !opts.template_automata
+            || notion != Notion::Potential
+            || self.g.mode() != GroundMode::Folded
+        {
+            return;
+        }
+        let t = Timer::start();
+        let units = automaton::split_units(&mut self.g.arena, self.residue);
+        let mut set = CompiledSet {
+            templates: Vec::new(),
+            keys: HashMap::new(),
+            units: Vec::new(),
+            atom_index: HashMap::new(),
+            active: BTreeSet::new(),
+            n_unsat: 0,
+        };
+        if Self::bind_units(&mut set, &self.g.arena, self.g.trace.last(), &units, opts) {
+            self.residue = self.g.arena.tru();
+            self.compiled = Some(set);
+        }
+        t.finish(&mut self.compile_time);
+    }
+
+    /// Binds `units` (support-disjoint conjuncts over the grounding's
+    /// arena) into `set`, compiling new templates as needed and reusing
+    /// compiled ones via the canonical key. Transactional: on any
+    /// failure — past connectives, a support overlapping an existing
+    /// unit's (disjointness would break, making per-unit verdicts
+    /// unsound), or a compile bailing at its budget — `set` is left
+    /// exactly as it was and `false` is returned.
+    fn bind_units(
+        set: &mut CompiledSet,
+        arena: &ticc_ptl::Arena,
+        last: Option<&PropState>,
+        units: &[FormulaId],
+        opts: &CheckOptions,
+    ) -> bool {
+        let limits = CompileLimits {
+            max_support: CompileLimits::default().max_support,
+            max_states: opts.automaton_state_budget,
+        };
+        enum Tmpl {
+            Existing(u32),
+            New(usize),
+        }
+        let mut new_templates: Vec<Arc<SafetyAutomaton>> = Vec::new();
+        let mut new_keys: HashMap<TemplateKey, usize> = HashMap::new();
+        let mut staged: Vec<(Tmpl, Vec<AtomId>)> = Vec::new();
+        let mut staged_atoms: std::collections::HashSet<AtomId> = std::collections::HashSet::new();
+        for &u in units {
+            let Some((key, support)) = automaton::canonicalize(arena, u) else {
+                return false;
+            };
+            for &a in &support {
+                if set.atom_index.contains_key(&a) || !staged_atoms.insert(a) {
+                    return false;
+                }
+            }
+            let tmpl = if let Some(&i) = set.keys.get(&key) {
+                Tmpl::Existing(i)
+            } else if let Some(&i) = new_keys.get(&key) {
+                Tmpl::New(i)
+            } else {
+                match automaton::compile(&key, opts.solver, limits) {
+                    Ok(Some(auto)) => {
+                        new_templates.push(Arc::new(auto));
+                        new_keys.insert(key, new_templates.len() - 1);
+                        Tmpl::New(new_templates.len() - 1)
+                    }
+                    _ => return false,
+                }
+            };
+            staged.push((tmpl, support));
+        }
+        // Commit.
+        let base = set.templates.len() as u32;
+        for auto in new_templates {
+            set.keys
+                .insert(auto.key().clone(), set.templates.len() as u32);
+            set.templates.push(auto);
+        }
+        for (tmpl, support) in staged {
+            let tmpl = match tmpl {
+                Tmpl::Existing(i) => i,
+                Tmpl::New(i) => base + i as u32,
+            };
+            let u = set.units.len() as u32;
+            let col = CompiledSet::col_of(last, &support);
+            for (bit, &a) in support.iter().enumerate() {
+                set.atom_index.insert(a, (u, bit as u8));
+            }
+            if !set.templates[tmpl as usize].sat(0) {
+                set.n_unsat += 1;
+            }
+            set.units.push(Unit {
+                tmpl,
+                state: 0,
+                col,
+                support,
+            });
+            set.refresh_active(u);
+        }
+        true
+    }
+
+    /// Splits an already-simplified replayed conjunct block (a delta
+    /// re-ground or an occurrence activation) into units and binds them
+    /// into the live compiled set. When the block cannot be bound the
+    /// whole context decompiles and the block is conjoined symbolically
+    /// — the two routes are semantically identical.
+    fn bind_block_or_decompile(&mut self, block: FormulaId, opts: &CheckOptions) {
+        let t = Timer::start();
+        let units = automaton::split_units(&mut self.g.arena, block);
+        let set = self
+            .compiled
+            .as_mut()
+            .expect("caller checked the context is compiled");
+        let bound = Self::bind_units(set, &self.g.arena, self.g.trace.last(), &units, opts);
+        t.finish(&mut self.compile_time);
+        if !bound {
+            self.decompile();
+            let combined = self.g.arena.and(self.residue, block);
+            self.residue = simplify(&mut self.g.arena, combined);
+        }
+    }
+
+    /// Reconstructs the exact symbolic residue from the compiled state
+    /// and drops the compiled set — the transparent fallback. A no-op
+    /// on symbolic contexts.
+    pub(crate) fn decompile(&mut self) {
+        let Some(set) = self.compiled.take() else {
+            return;
+        };
+        let mut parts = Vec::with_capacity(set.units.len());
+        for unit in &set.units {
+            // Fresh memo per unit: the template arena is shared, but
+            // each unit maps its canonical atoms to different letters.
+            let mut memo = HashMap::new();
+            let auto = &set.templates[unit.tmpl as usize];
+            parts.push(auto.reconstruct(&mut self.g.arena, unit.state, &unit.support, &mut memo));
+        }
+        let combined = self.g.arena.and_all(parts);
+        self.residue = simplify(&mut self.g.arena, combined);
     }
 
     /// Fast path: the state mentions no element outside `M`. Encodes
@@ -259,6 +606,12 @@ impl GroundingContext {
         history_len: usize,
         stats: &mut EngineStats,
     ) -> Result<Option<Status>, Error> {
+        if self.compiled.is_some() && notion == Notion::BadPrefix {
+            // Compiled state decides potential satisfaction; the
+            // bad-prefix notion's `⊥`-check is syntax-dependent, so a
+            // mid-run notion flip falls back to the symbolic residue.
+            self.decompile();
+        }
         if self.g.strategy() == GroundStrategy::Indexed {
             if !self.g.tx_delta(tx).is_empty() {
                 // New relevant elements force the slow path; the delta
@@ -279,17 +632,28 @@ impl GroundingContext {
                 let t = Timer::start();
                 let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
                     .map_err(|_| Error::Sat(SatError::Past))?;
-                let combined = self.g.arena.and(self.residue, replayed);
-                self.residue = simplify(&mut self.g.arena, combined);
-                t.finish(&mut stats.progress_time);
+                if self.compiled.is_some() {
+                    // Bind the replayed block as fresh units (their
+                    // next step, under `w` below, happens with
+                    // everyone else's).
+                    let block = simplify(&mut self.g.arena, replayed);
+                    t.finish(&mut stats.progress_time);
+                    self.bind_block_or_decompile(block, opts);
+                } else {
+                    let combined = self.g.arena.and(self.residue, replayed);
+                    self.residue = simplify(&mut self.g.arena, combined);
+                    t.finish(&mut stats.progress_time);
+                }
                 stats.progress_steps += self.g.trace.len() as u64;
                 stats.replayed_conjuncts += dg.new_mappings;
             }
         }
+        let mut patched_atoms: Option<Vec<AtomId>> = None;
         let w = if opts.encoding == Encoding::Incremental && self.g.mode() == GroundMode::Folded {
             match self.g.patch_state(tx) {
                 Some((w, patched)) => {
-                    stats.encode_patched_atoms += patched;
+                    stats.encode_patched_atoms += patched.len() as u64;
+                    patched_atoms = Some(patched);
                     w
                 }
                 None => return Ok(None),
@@ -300,6 +664,27 @@ impl GroundingContext {
                 None => return Ok(None),
             }
         };
+        if let Some(set) = self.compiled.as_mut() {
+            // Compiled append: update the touched units' columns (all
+            // columns under the rebuild-encoding ablation), advance the
+            // active units by table lookup, read the verdict off the
+            // unsat counter. No progression, no phase 2.
+            let t = Timer::start();
+            match &patched_atoms {
+                Some(atoms) => set.patch_cols(atoms, &w),
+                None => set.recompute_cols(&w),
+            }
+            set.step_active(stats);
+            stats.automaton_appends += 1;
+            let status = if set.n_unsat > 0 {
+                Status::Violated { at: history_len }
+            } else {
+                Status::Satisfied
+            };
+            self.g.trace.push(w);
+            t.finish(&mut stats.progress_time);
+            return Ok(Some(status));
+        }
         let mut miss_key = None;
         if opts.transition_cache {
             let support = self.g.arena.atoms_of_cached(self.residue);
@@ -391,6 +776,7 @@ impl GroundingContext {
         stats.new_conjuncts += dg.new_mappings;
 
         let t = Timer::start();
+        let mut patched_atoms: Option<Vec<AtomId>> = None;
         let w = if opts.encoding == Encoding::Incremental {
             // ground_delta has just extended the known set, so every
             // element the transaction mentions now has letters to
@@ -399,7 +785,8 @@ impl GroundingContext {
                 .g
                 .patch_state(tx)
                 .expect("delta re-ground covers every element the transaction mentions");
-            stats.encode_patched_atoms += patched;
+            stats.encode_patched_atoms += patched.len() as u64;
+            patched_atoms = Some(patched);
             w
         } else {
             self.g.encode_state(state)
@@ -410,11 +797,35 @@ impl GroundingContext {
         // already yields.
         let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
             .map_err(|_| Error::Sat(SatError::Past))?;
-        let old = progress(&mut self.g.arena, self.residue, &w)
-            .map_err(|_| Error::Sat(SatError::Past))?;
-        let combined = self.g.arena.and(old, replayed);
-        self.residue = simplify(&mut self.g.arena, combined);
-        t.finish(&mut stats.progress_time);
+        if self.compiled.is_some() {
+            // Existing units advance one letter by table lookup; the
+            // replayed block — already progressed through the trace
+            // including `w` — binds as fresh units at their current
+            // column.
+            {
+                let set = self.compiled.as_mut().expect("checked above");
+                match &patched_atoms {
+                    Some(atoms) => set.patch_cols(atoms, &w),
+                    None => set.recompute_cols(&w),
+                }
+                set.step_active(stats);
+            }
+            let block = simplify(&mut self.g.arena, replayed);
+            t.finish(&mut stats.progress_time);
+            self.bind_block_or_decompile(block, opts);
+            // Count the append as automaton-driven only if the bind
+            // kept the context compiled; a failed bind decompiles and
+            // the append is accounted to the symbolic path.
+            if self.compiled.is_some() {
+                stats.automaton_appends += 1;
+            }
+        } else {
+            let old = progress(&mut self.g.arena, self.residue, &w)
+                .map_err(|_| Error::Sat(SatError::Past))?;
+            let combined = self.g.arena.and(old, replayed);
+            self.residue = simplify(&mut self.g.arena, combined);
+            t.finish(&mut stats.progress_time);
+        }
         stats.progress_steps += 1 + self.g.trace.len() as u64;
         stats.replayed_conjuncts += dg.new_mappings;
         Ok(())
@@ -430,6 +841,22 @@ impl GroundingContext {
         history_len: usize,
         stats: &mut EngineStats,
     ) -> Result<Status, Error> {
+        if self.compiled.is_some() {
+            if notion == Notion::Potential {
+                // Per-state verdicts were precomputed at compile time;
+                // the residue (a conjunction of support-disjoint
+                // units) is satisfiable iff every unit is.
+                let n_unsat = self.compiled.as_ref().expect("checked").n_unsat;
+                return Ok(if n_unsat > 0 {
+                    Status::Violated { at: history_len }
+                } else {
+                    Status::Satisfied
+                });
+            }
+            // Notion flipped mid-run: the `⊥`-check below needs the
+            // symbolic residue.
+            self.decompile();
+        }
         if notion == Notion::BadPrefix {
             let fls = self.g.arena.fls();
             return Ok(if self.residue == fls {
@@ -532,7 +959,11 @@ impl Engine {
         s.inst_enumerated = 0;
         s.inst_pruned = 0;
         s.inst_shared = 0;
+        s.templates_compiled = 0;
+        s.automaton_states = 0;
+        s.automaton_insts = 0;
         s.index_build_time = Duration::ZERO;
+        s.automaton_compile_time = Duration::ZERO;
         s.cache.letter_index_len = 0;
         for e in &self.entries {
             let g = e.ctx.grounding();
@@ -543,7 +974,13 @@ impl Engine {
             s.inst_pruned += g.stats.inst_pruned as u64;
             s.inst_shared += g.stats.inst_shared as u64;
             s.index_build_time += g.index_build;
+            s.automaton_compile_time += e.ctx.compile_time;
             s.cache.letter_index_len += g.letter_index_len() as u64;
+            if let Some(set) = &e.ctx.compiled {
+                s.templates_compiled += set.templates.len() as u64;
+                s.automaton_states += set.state_total();
+                s.automaton_insts += set.units.len() as u64;
+            }
         }
         s
     }
@@ -559,6 +996,7 @@ impl Engine {
         let id = ConstraintId(self.entries.len());
         self.stats.grounds += 1;
         let mut ctx = GroundingContext::build(&self.history, &phi, &self.opts, &mut self.stats)?;
+        ctx.try_compile(self.notion, &self.opts);
         let len = self.history.len();
         let status = ctx.decide(self.notion, &self.opts, len, &mut self.stats)?;
         self.entries.push(Entry {
@@ -625,6 +1063,7 @@ impl Engine {
             // Full rebuild over the enlarged history.
             stats.regrounds += 1;
             entry.ctx = GroundingContext::build(history, &entry.phi, opts, stats)?;
+            entry.ctx.try_compile(notion, opts);
         }
         entry.ctx.decide(notion, opts, history.len(), stats)
     }
@@ -1030,7 +1469,12 @@ mod tests {
         let sub = sc.pred("Sub").unwrap();
         let fill = sc.pred("Fill").unwrap();
         let phi = parse(&sc, "forall x. G (Sub(x) -> Fill(x))").unwrap();
-        let mut e = Engine::new(sc.clone(), CheckOptions::default());
+        // Template automata off: this test exercises the transition
+        // cache specifically (the compiled path bypasses it).
+        let mut e = Engine::new(
+            sc.clone(),
+            CheckOptions::builder().template_automata(false).build(),
+        );
         e.add_constraint("covered", phi).unwrap();
         e.append(
             &Transaction::new()
@@ -1121,8 +1565,97 @@ mod tests {
         assert!(s.letters > 0);
         assert!(s.arena_nodes > 0);
         assert!(s.mappings > 0);
-        assert!(s.progress_steps > 0);
+        // Under the default options both appends run compiled: table
+        // lookups instead of symbolic progression steps.
+        assert_eq!(s.automaton_appends, 2);
+        assert!(s.templates_compiled >= 1);
+        assert!(s.automaton_states > 0);
+        assert!(s.automaton_insts >= 1);
         assert!(s.ground_time > Duration::ZERO);
         assert!(s.render().contains("delta regrounds"));
+        assert!(s.render().contains("templates compiled"));
+    }
+
+    #[test]
+    fn compiled_and_symbolic_paths_agree_end_to_end() {
+        // The compiled path must be observationally identical to the
+        // symbolic ablation on a workload that exercises violation,
+        // delta re-grounding, and the steady state — and must actually
+        // share templates across instantiations.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut auto = Engine::new(sc.clone(), CheckOptions::default());
+        let mut sym = Engine::new(
+            sc.clone(),
+            CheckOptions::builder().template_automata(false).build(),
+        );
+        let a_id = auto.add_constraint("once", phi.clone()).unwrap();
+        let s_id = sym.add_constraint("once", phi).unwrap();
+        let txs = [
+            Transaction::new().insert(sub, vec![1]),
+            Transaction::new().insert(sub, vec![2]).delete(sub, vec![1]),
+            Transaction::new().delete(sub, vec![2]),
+            Transaction::new(),
+            Transaction::new().insert(sub, vec![1]), // re-submission
+        ];
+        for (i, tx) in txs.iter().enumerate() {
+            let ea = auto.append(tx).unwrap();
+            let es = sym.append(tx).unwrap();
+            assert_eq!(ea, es, "append {i}");
+            assert_eq!(auto.status(a_id), sym.status(s_id), "append {i}");
+        }
+        assert!(matches!(auto.status(a_id), Status::Violated { .. }));
+        let sa = auto.stats();
+        let ss = sym.stats();
+        assert!(sa.automaton_appends > 0, "{sa:?}");
+        assert!(sa.automaton_steps > 0, "{sa:?}");
+        assert_eq!(ss.automaton_appends, 0);
+        // Sharing: both elements instantiate the same once-only
+        // template shape.
+        assert!(sa.templates_compiled < sa.automaton_insts, "{sa:?}");
+        // Compiled appends never run per-append phase 2.
+        assert!(sa.sat_checks <= ss.sat_checks, "{sa:?} vs {ss:?}");
+        assert!(sa.automaton_compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn state_budget_exhaustion_falls_back_to_symbolic() {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(
+            sc.clone(),
+            CheckOptions::builder().automaton_state_budget(1).build(),
+        );
+        let id = e.add_constraint("once", phi).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        assert!(matches!(e.status(id), Status::Violated { .. }));
+        let s = e.stats();
+        assert_eq!(s.templates_compiled, 0, "budget 1 cannot hold any run");
+        assert_eq!(s.automaton_appends, 0);
+        // The attempt itself is still accounted as build-phase time.
+        assert!(s.automaton_compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn notion_flip_decompiles_transparently() {
+        // A context compiled under Potential must fall back to the
+        // symbolic residue when the notion flips to BadPrefix, and
+        // still detect the (delayed) violation.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(sc.clone(), CheckOptions::default());
+        let id = e.add_constraint("once", phi).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        assert!(e.stats().templates_compiled >= 1);
+        e.set_notion(Notion::BadPrefix);
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        assert_eq!(e.stats().templates_compiled, 0, "decompiled on flip");
+        // Under bad-prefix the duplicate makes the residue collapse to
+        // ⊥ at this very step (G !Sub(1) progressed under Sub(1)).
+        assert!(matches!(e.status(id), Status::Violated { .. }));
     }
 }

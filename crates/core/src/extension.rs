@@ -84,6 +84,23 @@ pub struct CheckOptions {
     /// skips progression and phase-2 satisfiability. On by default;
     /// deterministic either way (the E13 ablation toggles it off).
     pub transition_cache: bool,
+    /// Whether to compile residues into explicit per-template safety
+    /// automata (the E16 layer): the residue is split into
+    /// support-disjoint units, each unit's progression graph is
+    /// subset-constructed once per *template* (shape modulo letter
+    /// renaming) with per-state sat verdicts precomputed, and every
+    /// instantiation then steps as a dense `u32` table lookup. Falls
+    /// back transparently to the symbolic path (and the transition
+    /// cache) whenever compilation exceeds the state budget, a unit's
+    /// support is too wide, or units stop being disjoint. On by
+    /// default; results are bit-identical either way (the E16 ablation
+    /// toggles it off). [`Notion::Potential`](crate::engine::Notion)
+    /// and folded groundings only.
+    pub template_automata: bool,
+    /// Maximum explicit states per compiled template automaton; a
+    /// template exceeding the budget leaves the whole context on the
+    /// symbolic path.
+    pub automaton_state_budget: usize,
     /// WAL write policy when a durable store is attached to the engine.
     pub durability: Durability,
     /// Instantiation enumeration — the Grounding knob. The default
@@ -106,6 +123,8 @@ impl Default for CheckOptions {
             threads: Threads::default(),
             encoding: Encoding::default(),
             transition_cache: true,
+            template_automata: true,
+            automaton_state_budget: 64,
             durability: Durability::default(),
             grounding: GroundStrategy::default(),
         }
@@ -171,6 +190,19 @@ impl CheckOptionsBuilder {
     /// Enables or disables the safety-automaton transition cache.
     pub fn transition_cache(mut self, on: bool) -> Self {
         self.opts.transition_cache = on;
+        self
+    }
+
+    /// Enables or disables compiled template automata (the E16
+    /// ablation knob).
+    pub fn template_automata(mut self, on: bool) -> Self {
+        self.opts.template_automata = on;
+        self
+    }
+
+    /// Maximum explicit states per compiled template automaton.
+    pub fn automaton_state_budget(mut self, budget: usize) -> Self {
+        self.opts.automaton_state_budget = budget;
         self
     }
 

@@ -1551,9 +1551,11 @@ impl Grounding {
     ///
     /// Returns `None` when a net-inserted tuple mentions an element
     /// outside the known universe (the caller must re-ground), `Some`
-    /// with the new valuation and the number of letters patched
-    /// otherwise. Folded groundings only.
-    pub(crate) fn patch_state(&mut self, tx: &Transaction) -> Option<(PropState, u64)> {
+    /// with the new valuation and the letters patched (in the
+    /// deterministic patch order — the compiled-automaton layer uses
+    /// the list to update only the touched units' columns) otherwise.
+    /// Folded groundings only.
+    pub(crate) fn patch_state(&mut self, tx: &Transaction) -> Option<(PropState, Vec<AtomId>)> {
         debug_assert_eq!(self.mode, GroundMode::Folded);
         let net = tx_net(tx);
         for ((_, tuple), present) in &net {
@@ -1562,15 +1564,15 @@ impl Grounding {
             }
         }
         let mut w = self.trace.last().cloned().unwrap_or_default();
-        let mut patched = 0u64;
+        let mut patched = Vec::new();
         for ((p, tuple), present) in net {
             if present {
                 let a = self.state_letter(p, tuple);
                 w.set(a, true);
-                patched += 1;
+                patched.push(a);
             } else if let Some(a) = self.lookup_state_letter(p, tuple) {
                 w.set(a, false);
-                patched += 1;
+                patched.push(a);
             }
         }
         Some((w, patched))
@@ -2184,7 +2186,11 @@ mod tests {
         let (w_patch, flips) = patched.patch_state(&tx).unwrap();
         let w_full = rebuilt.state_to_prop(&state).unwrap();
         assert_eq!(w_patch, w_full);
-        assert_eq!(flips, 2, "Sub(1) cleared, Fill(2) set; Fill(1) netted out");
+        assert_eq!(
+            flips.len(),
+            2,
+            "Sub(1) cleared, Fill(2) set; Fill(1) netted out"
+        );
         assert_eq!(
             patched.letter_count(),
             rebuilt.letter_count(),

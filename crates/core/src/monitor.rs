@@ -224,7 +224,12 @@ mod tests {
     #[test]
     fn fast_path_used_when_domain_stable() {
         let sc = order_schema();
-        let mut m = Monitor::new(sc.clone(), CheckOptions::default());
+        // Exercises the symbolic sat cache specifically; the compiled
+        // default performs no per-append phase-2 checks at all.
+        let mut m = Monitor::new(
+            sc.clone(),
+            CheckOptions::builder().template_automata(false).build(),
+        );
         let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
         m.add_constraint("once-only", phi).unwrap();
         m.append(&sub_tx(&sc, &[1])).unwrap(); // new element 1 → reground

@@ -89,6 +89,15 @@ pub struct EngineStats {
     pub encode_patched_atoms: u64,
     /// Phase-2 satisfiability runs.
     pub sat_checks: u64,
+    /// Appends served entirely by compiled template automata: every
+    /// unit advanced by dense table lookup — no progression, no
+    /// phase 2.
+    pub automaton_appends: u64,
+    /// Individual unit state transitions taken inside compiled
+    /// template automata (dormant units — self-loops under an
+    /// unchanged column — are skipped, so this stays `O(|Δtx|)` per
+    /// append).
+    pub automaton_steps: u64,
     /// Cache-layer counters (satisfiability memo, transition cache,
     /// letter index).
     pub cache: CacheStats,
@@ -114,11 +123,24 @@ pub struct EngineStats {
     /// hash-consed to a formula already produced by an earlier
     /// instantiation (cross-instantiation structure sharing).
     pub inst_shared: u64,
+    /// Gauge: distinct template automata compiled across live
+    /// contexts — one per residue shape modulo letter renaming, shared
+    /// by every isomorphic instantiation.
+    pub templates_compiled: u64,
+    /// Gauge: explicit automaton states across all compiled templates.
+    pub automaton_states: u64,
+    /// Gauge: instantiation units currently bound to a compiled
+    /// template (each carries only a `u32` state).
+    pub automaton_insts: u64,
     /// Wall-clock spent grounding (initial, full, and delta).
     pub ground_time: Duration,
     /// Wall-clock spent building and joining the atom-occurrence index
     /// (subset of `ground_time`'s phase; zero under the odometer).
     pub index_build_time: Duration,
+    /// Wall-clock spent compiling template automata — a build-phase
+    /// gauge like `index_build_time`, never part of append latency,
+    /// and zeroed on snapshot restore (this process did not pay it).
+    pub automaton_compile_time: Duration,
     /// Wall-clock spent in progression (trace replay and per-append).
     pub progress_time: Duration,
     /// Wall-clock spent in phase-2 satisfiability.
@@ -171,6 +193,27 @@ impl EngineStats {
         ));
         s.push_str(&format!("  progress time       {:?}\n", self.progress_time));
         s.push_str(&format!("  sat time            {:?}", self.sat_time));
+        if self.automata_any() {
+            s.push_str("\nautomata:\n");
+            s.push_str(&format!(
+                "  templates compiled  {}\n",
+                self.templates_compiled
+            ));
+            s.push_str(&format!(
+                "  automaton states    {}\n",
+                self.automaton_states
+            ));
+            s.push_str(&format!("  bound insts         {}\n", self.automaton_insts));
+            s.push_str(&format!(
+                "  automaton appends   {}\n",
+                self.automaton_appends
+            ));
+            s.push_str(&format!("  automaton steps     {}\n", self.automaton_steps));
+            s.push_str(&format!(
+                "  compile time        {:?}",
+                self.automaton_compile_time
+            ));
+        }
         if self.cache.any() {
             let c = &self.cache;
             s.push_str("\ncache:\n");
@@ -214,6 +257,18 @@ impl EngineStats {
         s
     }
 
+    /// Whether any template-automaton activity has been observed (gates
+    /// the `automata:` section of [`EngineStats::render`]).
+    pub fn automata_any(&self) -> bool {
+        self.templates_compiled
+            + self.automaton_states
+            + self.automaton_insts
+            + self.automaton_appends
+            + self.automaton_steps
+            > 0
+            || self.automaton_compile_time > Duration::ZERO
+    }
+
     /// Adds every counter, gauge, and timer of `other` into `self`
     /// (`par_workers` is a max-gauge). Used when merging the per-worker
     /// stats of a parallel constraint sweep back into the engine's
@@ -229,6 +284,8 @@ impl EngineStats {
         self.progress_steps += other.progress_steps;
         self.encode_patched_atoms += other.encode_patched_atoms;
         self.sat_checks += other.sat_checks;
+        self.automaton_appends += other.automaton_appends;
+        self.automaton_steps += other.automaton_steps;
         self.cache.absorb(&other.cache);
         self.letters += other.letters;
         self.arena_nodes += other.arena_nodes;
@@ -236,8 +293,12 @@ impl EngineStats {
         self.inst_enumerated += other.inst_enumerated;
         self.inst_pruned += other.inst_pruned;
         self.inst_shared += other.inst_shared;
+        self.templates_compiled += other.templates_compiled;
+        self.automaton_states += other.automaton_states;
+        self.automaton_insts += other.automaton_insts;
         self.ground_time += other.ground_time;
         self.index_build_time += other.index_build_time;
+        self.automaton_compile_time += other.automaton_compile_time;
         self.progress_time += other.progress_time;
         self.sat_time += other.sat_time;
         self.par_phases += other.par_phases;
@@ -310,6 +371,28 @@ mod tests {
     }
 
     #[test]
+    fn automata_section_renders_only_when_used() {
+        let s = EngineStats::default();
+        assert!(!s.render().contains("automata:"));
+        let s = EngineStats {
+            templates_compiled: 2,
+            automaton_states: 9,
+            automaton_insts: 100,
+            automaton_appends: 40,
+            automaton_steps: 7,
+            ..Default::default()
+        };
+        let r = s.render();
+        assert!(r.contains("automata:"));
+        assert!(r.contains("templates compiled  2"));
+        assert!(r.contains("automaton states    9"));
+        assert!(r.contains("bound insts         100"));
+        assert!(r.contains("automaton appends   40"));
+        assert!(r.contains("automaton steps     7"));
+        assert!(r.contains("compile time"));
+    }
+
+    #[test]
     fn cache_section_renders_only_when_used() {
         let s = EngineStats::default();
         assert!(!s.render().contains("cache:"));
@@ -351,6 +434,7 @@ mod tests {
         let mut a = EngineStats {
             appends: 1,
             sat_checks: 2,
+            automaton_steps: 2,
             par_workers: 4,
             ground_time: Duration::from_millis(5),
             cache: CacheStats {
@@ -362,6 +446,7 @@ mod tests {
         let b = EngineStats {
             appends: 2,
             sat_checks: 3,
+            automaton_steps: 4,
             par_workers: 2,
             ground_time: Duration::from_millis(7),
             cache: CacheStats {
@@ -374,6 +459,7 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.appends, 3);
         assert_eq!(a.sat_checks, 5);
+        assert_eq!(a.automaton_steps, 6);
         assert_eq!(a.par_workers, 4);
         assert_eq!(a.ground_time, Duration::from_millis(12));
         assert_eq!(a.cache.transition_hits, 5);

@@ -18,21 +18,25 @@
 //! table it references, so corrupt snapshot bytes surface as
 //! [`Error::Store`] instead of a panic or an out-of-bounds index.
 
-use crate::engine::{Engine, Entry, GroundingContext, Notion, Status};
+use crate::engine::{CompiledSet, Engine, Entry, GroundingContext, Notion, Status, Unit};
 use crate::error::Error;
 use crate::extension::CheckOptions;
 use crate::ground::{GArg, GroundMode, GroundStats, Grounding, GroundingDump, LetterKey};
 use crate::obs::{CacheStats, EngineStats};
+use std::sync::Arc;
 use std::time::Duration;
 use ticc_ptl::arena::{AtomId, FormulaId, Node};
+use ticc_ptl::automaton::{self, CanonNode, CompileLimits, TemplateKey};
 use ticc_ptl::trace::PropState;
 use ticc_store::codec::{formula_decode, formula_encode, schema_decode, schema_encode};
 use ticc_store::{Dec, Enc, StoreError};
 use ticc_tdb::{ConstId, History, PredId, State};
 
 /// Version of the snapshot payload layout. Bump on any change to the
-/// byte format; [`restore_engine`] rejects other versions.
-pub const SNAP_VERSION: u32 = 2;
+/// byte format. [`restore_engine`] accepts the current version and v2:
+/// a v2 payload has no compiled-automaton section, so a v2 restore
+/// recompiles template automata from the symbolic residue on load.
+pub const SNAP_VERSION: u32 = 3;
 
 fn corrupt(msg: &str) -> Error {
     Error::Store(format!("snapshot: {msg}"))
@@ -42,8 +46,18 @@ fn corrupt(msg: &str) -> Error {
 /// blob (the shell stores its trigger definitions there). The result
 /// is what [`Engine::checkpoint`] writes as a snapshot frame.
 pub fn snapshot_engine(engine: &Engine, app: &[u8]) -> Vec<u8> {
+    snapshot_engine_at(engine, app, SNAP_VERSION)
+}
+
+/// Version-parameterised encoder. Only the current version is written
+/// in production; the v2 layout (no compiled section, no automaton
+/// stats tail) is kept encodable so the restore path's backward
+/// compatibility stays testable against real v2 bytes. A v2 encode of
+/// a compiled context would lose its state (the symbolic residue is
+/// held at `⊤` while compiled), hence the debug assertion.
+fn snapshot_engine_at(engine: &Engine, app: &[u8], version: u32) -> Vec<u8> {
     let mut e = Enc::new();
-    e.u32(SNAP_VERSION);
+    e.u32(version);
     let history = engine.history();
     let schema = history.schema();
     schema_encode(&mut e, schema);
@@ -78,7 +92,7 @@ pub fn snapshot_engine(engine: &Engine, app: &[u8]) -> Vec<u8> {
     for idx in indices {
         e.usize(idx);
     }
-    stats_encode(&mut e, &engine.stats);
+    stats_encode(&mut e, &engine.stats, version);
     e.usize(engine.entries.len());
     for entry in &engine.entries {
         e.str(&entry.name);
@@ -90,7 +104,28 @@ pub fn snapshot_engine(engine: &Engine, app: &[u8]) -> Vec<u8> {
                 e.usize(at);
             }
         }
-        e.u32(entry.ctx.residue().0);
+        // Kind tag: 0 = symbolic residue, 1 = compiled automata. A
+        // compiled context's `residue()` is held at `⊤`; its live
+        // state is the template/unit section, persisted so a restore
+        // resumes u32-state stepping without replaying the prefix.
+        if version >= 3 {
+            match entry.ctx.compiled.as_ref() {
+                None => {
+                    e.u8(0);
+                    e.u32(entry.ctx.residue().0);
+                }
+                Some(set) => {
+                    e.u8(1);
+                    compiled_encode(&mut e, set);
+                }
+            }
+        } else {
+            debug_assert!(
+                entry.ctx.compiled.is_none(),
+                "v2 layout cannot carry compiled-automaton state"
+            );
+            e.u32(entry.ctx.residue().0);
+        }
         dump_encode(&mut e, &entry.ctx.grounding().dump());
     }
     e.bytes(app);
@@ -105,9 +140,9 @@ pub fn snapshot_engine(engine: &Engine, app: &[u8]) -> Vec<u8> {
 pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u8>), Error> {
     let mut d = Dec::new(bytes);
     let version = d.u32()?;
-    if version != SNAP_VERSION {
+    if version != SNAP_VERSION && version != 2 {
         return Err(corrupt(&format!(
-            "unsupported snapshot version {version} (expected {SNAP_VERSION})"
+            "unsupported snapshot version {version} (expected {SNAP_VERSION} or 2)"
         )));
     }
     let schema = schema_decode(&mut d)?;
@@ -147,9 +182,13 @@ pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u
             .ok_or_else(|| corrupt("state index out of range"))?;
         history.push_state(s.clone());
     }
-    let stats = stats_decode(&mut d)?;
+    let stats = stats_decode(&mut d, version)?;
     let n_entries = d.usize()?;
     let mut entries = Vec::new();
+    enum Persisted {
+        Symbolic(FormulaId),
+        Compiled(RawCompiled),
+    }
     for _ in 0..n_entries {
         let name = d.str()?.to_owned();
         let phi = formula_decode(&mut d, &schema)?;
@@ -158,18 +197,57 @@ pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u
             1 => Status::Violated { at: d.usize()? },
             n => return Err(corrupt(&format!("unknown status tag {n}"))),
         };
-        let residue = FormulaId(d.u32()?);
+        let persisted = if version >= 3 {
+            match d.u8()? {
+                0 => Persisted::Symbolic(FormulaId(d.u32()?)),
+                1 => Persisted::Compiled(compiled_decode(&mut d)?),
+                n => return Err(corrupt(&format!("unknown residue kind tag {n}"))),
+            }
+        } else {
+            Persisted::Symbolic(FormulaId(d.u32()?))
+        };
         let dump = dump_decode(&mut d, &schema)?;
-        let g = Grounding::restore(schema.clone(), dump)
+        let mut g = Grounding::restore(schema.clone(), dump)
             .map_err(|m| corrupt(&format!("grounding: {m}")))?;
-        if residue.index() >= g.arena.dag_len() {
-            return Err(corrupt("residue id out of range"));
-        }
+        let mut ctx = match persisted {
+            Persisted::Symbolic(residue) => {
+                if residue.index() >= g.arena.dag_len() {
+                    return Err(corrupt("residue id out of range"));
+                }
+                let mut ctx = GroundingContext::from_parts(g, residue);
+                if version < 3 {
+                    // v2 payloads predate compiled automata: recompile
+                    // on load so old snapshots pick up the strategy.
+                    // A v3 symbolic entry stays symbolic — the writer
+                    // already decided (budget bail, notion, knob).
+                    ctx.try_compile(notion, &opts);
+                }
+                ctx
+            }
+            Persisted::Compiled(raw) => {
+                let set = rebind_compiled(raw, &mut g, &opts)?;
+                let tru = g.arena.tru();
+                let mut ctx = GroundingContext::from_parts(g, tru);
+                ctx.compiled = Some(set);
+                if !opts.template_automata || notion == Notion::BadPrefix {
+                    // Run options are the caller's: with the knob off
+                    // (or under the bad-prefix notion) the restored
+                    // state decompiles to the symbolic residue now.
+                    ctx.decompile();
+                }
+                ctx
+            }
+        };
+        // Compile time is a build-phase gauge of this process, like
+        // the wall-clock timers below: a restored engine restarts it
+        // at zero (recompiles during restore are accounted to the
+        // restore itself, never to the append path).
+        ctx.compile_time = Duration::ZERO;
         entries.push(Entry {
             name,
             phi,
             status,
-            ctx: GroundingContext::from_parts(g, residue),
+            ctx,
         });
     }
     let app = d.bytes()?.to_vec();
@@ -210,7 +288,7 @@ fn duration_decode(d: &mut Dec<'_>) -> Result<Duration, StoreError> {
     Ok(Duration::from_nanos(d.u64()?))
 }
 
-fn stats_encode(e: &mut Enc, s: &EngineStats) {
+fn stats_encode(e: &mut Enc, s: &EngineStats, version: u32) {
     for v in [
         s.appends,
         s.fast_appends,
@@ -237,9 +315,16 @@ fn stats_encode(e: &mut Enc, s: &EngineStats) {
     duration_encode(e, s.sat_time);
     duration_encode(e, s.par_time);
     duration_encode(e, s.par_busy_time);
+    // v3 tail: automaton lifetime counters. The automaton gauges
+    // (templates, states, bound instantiations, compile time) are
+    // recomputed by `Engine::stats` from the restored contexts.
+    if version >= 3 {
+        e.u64(s.automaton_appends);
+        e.u64(s.automaton_steps);
+    }
 }
 
-fn stats_decode(d: &mut Dec<'_>) -> Result<EngineStats, StoreError> {
+fn stats_decode(d: &mut Dec<'_>, version: u32) -> Result<EngineStats, StoreError> {
     // Gauges (letters, arena nodes, mappings, letter index) and the
     // store mirror are refreshed by `Engine::stats`, so only the
     // lifetime counters and timers persist. Struct-literal fields
@@ -270,8 +355,176 @@ fn stats_decode(d: &mut Dec<'_>) -> Result<EngineStats, StoreError> {
         sat_time: duration_decode(d)?,
         par_time: duration_decode(d)?,
         par_busy_time: duration_decode(d)?,
+        // Struct-literal fields evaluate in written order, so these
+        // version-gated reads consume the v3 tail exactly after the
+        // timers (a v2 payload simply has no tail).
+        automaton_appends: if version >= 3 { d.u64()? } else { 0 },
+        automaton_steps: if version >= 3 { d.u64()? } else { 0 },
         ..EngineStats::default()
     })
+}
+
+fn canon_node_encode(e: &mut Enc, n: CanonNode) {
+    let (tag, a, b) = match n {
+        CanonNode::True => (0u8, 0, 0),
+        CanonNode::False => (1, 0, 0),
+        CanonNode::Atom(a) => (2, a, 0),
+        CanonNode::Not(g) => (3, g, 0),
+        CanonNode::And(a, b) => (4, a, b),
+        CanonNode::Or(a, b) => (5, a, b),
+        CanonNode::Next(g) => (6, g, 0),
+        CanonNode::Until(a, b) => (7, a, b),
+        CanonNode::Release(a, b) => (8, a, b),
+    };
+    e.u8(tag);
+    match tag {
+        0 | 1 => {}
+        2 | 3 | 6 => e.u32(a),
+        _ => {
+            e.u32(a);
+            e.u32(b);
+        }
+    }
+}
+
+fn canon_node_decode(d: &mut Dec<'_>) -> Result<CanonNode, Error> {
+    Ok(match d.u8()? {
+        0 => CanonNode::True,
+        1 => CanonNode::False,
+        2 => CanonNode::Atom(d.u32()?),
+        3 => CanonNode::Not(d.u32()?),
+        4 => CanonNode::And(d.u32()?, d.u32()?),
+        5 => CanonNode::Or(d.u32()?, d.u32()?),
+        6 => CanonNode::Next(d.u32()?),
+        7 => CanonNode::Until(d.u32()?, d.u32()?),
+        8 => CanonNode::Release(d.u32()?, d.u32()?),
+        n => return Err(corrupt(&format!("unknown canonical-node tag {n}"))),
+    })
+}
+
+/// The compiled section of one entry: per template the canonical key
+/// plus the state count it compiled to (persisted so a restore can
+/// verify the deterministic recompile reproduced the same machine),
+/// and per unit its template, current state, and support letters.
+/// Columns and the active set are derived from the trace on restore.
+fn compiled_encode(e: &mut Enc, set: &CompiledSet) {
+    e.usize(set.templates.len());
+    for t in &set.templates {
+        let key = t.key();
+        e.u32(key.arity);
+        e.u32(key.root);
+        e.usize(key.nodes.len());
+        for &n in &key.nodes {
+            canon_node_encode(e, n);
+        }
+        e.usize(t.state_count());
+    }
+    e.usize(set.units.len());
+    for u in &set.units {
+        e.u32(u.tmpl);
+        e.u32(u.state);
+        e.usize(u.support.len());
+        for &a in &u.support {
+            e.u32(a.0);
+        }
+    }
+}
+
+/// Decoded-but-unvalidated compiled section; template machines are
+/// recompiled (and cross-checked) only once the grounding is restored.
+struct RawCompiled {
+    templates: Vec<(TemplateKey, usize)>,
+    units: Vec<(u32, u32, Vec<AtomId>)>,
+}
+
+fn compiled_decode(d: &mut Dec<'_>) -> Result<RawCompiled, Error> {
+    // Format bounds, not tunables: supports never exceed the compile
+    // cap the writer ran under, and 2^16 explicit states is far past
+    // any budget worth persisting. They keep corrupt lengths from
+    // pre-allocating gigabytes or recompiling monster machines.
+    const MAX_STATES: usize = 1 << 16;
+    const MAX_KEY_NODES: usize = 1 << 12;
+    let max_support = CompileLimits::default().max_support;
+    let n = d.usize()?;
+    let mut templates = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let arity = d.u32()?;
+        let root = d.u32()?;
+        let k = d.usize()?;
+        if k > MAX_KEY_NODES {
+            return Err(corrupt("template with too many canonical nodes"));
+        }
+        let mut nodes = Vec::with_capacity(k);
+        for _ in 0..k {
+            nodes.push(canon_node_decode(d)?);
+        }
+        let states = d.usize()?;
+        let key = TemplateKey { nodes, root, arity };
+        if !key.validate() || key.arity > max_support {
+            return Err(corrupt("malformed template key"));
+        }
+        if states == 0 || states > MAX_STATES {
+            return Err(corrupt("template state count out of range"));
+        }
+        templates.push((key, states));
+    }
+    let n = d.usize()?;
+    let mut units = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let tmpl = d.u32()?;
+        let state = d.u32()?;
+        let k = d.usize()?;
+        if k > max_support as usize {
+            return Err(corrupt("unit support too wide"));
+        }
+        let mut support = Vec::with_capacity(k);
+        for _ in 0..k {
+            support.push(AtomId(d.u32()?));
+        }
+        units.push((tmpl, state, support));
+    }
+    Ok(RawCompiled { templates, units })
+}
+
+/// Recompiles the persisted templates and reattaches the units to the
+/// restored grounding. Compilation is deterministic (BFS from the
+/// canonical root, columns ascending), so the recompiled machine is
+/// bit-identical to the writer's; a state-count mismatch therefore
+/// means the payload is corrupt, not that the environment differs.
+fn rebind_compiled(
+    raw: RawCompiled,
+    g: &mut Grounding,
+    opts: &CheckOptions,
+) -> Result<CompiledSet, Error> {
+    let mut templates = Vec::with_capacity(raw.templates.len());
+    for (key, states) in raw.templates {
+        let limits = CompileLimits {
+            max_support: CompileLimits::default().max_support,
+            max_states: states,
+        };
+        let auto = automaton::compile(&key, opts.solver, limits)
+            .map_err(|_| corrupt("template recompile failed"))?
+            .ok_or_else(|| corrupt("template exceeds its persisted state count"))?;
+        if auto.state_count() != states {
+            return Err(corrupt("template state count mismatch"));
+        }
+        templates.push(Arc::new(auto));
+    }
+    let n_atoms = g.arena.atom_count();
+    let mut units = Vec::with_capacity(raw.units.len());
+    for (tmpl, state, support) in raw.units {
+        if support.iter().any(|a| a.index() >= n_atoms) {
+            return Err(corrupt("unit support letter out of range"));
+        }
+        units.push(Unit {
+            tmpl,
+            state,
+            col: 0,
+            support,
+        });
+    }
+    CompiledSet::from_restored(templates, units, g.trace.last())
+        .map_err(|m| corrupt(&format!("compiled section: {m}")))
 }
 
 fn garg_encode(e: &mut Enc, g: GArg) {
@@ -763,6 +1016,85 @@ mod tests {
         assert_eq!(back.history().len(), 200);
         assert!(back.history().state(198).holds(sub, &[1]));
         assert!(!back.history().state(199).holds(sub, &[1]));
+    }
+
+    #[test]
+    fn compiled_state_survives_the_round_trip() {
+        let engine = engine_with_appends();
+        let s0 = engine.stats();
+        assert!(
+            s0.templates_compiled >= 1 && s0.automaton_appends >= 1,
+            "precondition: the writer runs compiled under default options: {s0:?}"
+        );
+        let bytes = snapshot_engine(&engine, &[]);
+        let (back, _) = restore_engine(&bytes, CheckOptions::default()).unwrap();
+        let s1 = back.stats();
+        // The restored engine resumes u32-state stepping, not the
+        // symbolic residue: same templates, same bound units, and the
+        // lifetime counters carried over.
+        assert_eq!(s0.templates_compiled, s1.templates_compiled);
+        assert_eq!(s0.automaton_states, s1.automaton_states);
+        assert_eq!(s0.automaton_insts, s1.automaton_insts);
+        assert_eq!(s0.automaton_appends, s1.automaton_appends);
+        assert_eq!(s0.automaton_steps, s1.automaton_steps);
+        // Compile time is a gauge of this process: restored at zero.
+        assert_eq!(s1.automaton_compile_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn v2_restore_recompiles_on_load() {
+        // A v2-layout snapshot (written before template automata
+        // existed) restores symbolically and then picks up the
+        // compiled strategy, exactly like a fresh add_constraint.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let opts = CheckOptions::builder().template_automata(false).build();
+        let mut e = Engine::new(sc.clone(), opts);
+        let phi = parse(e.history().schema(), "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let id = e.add_constraint("once", phi).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        let bytes = snapshot_engine_at(&e, &[], 2);
+        let (mut back, _) = restore_engine(&bytes, CheckOptions::default()).unwrap();
+        assert!(back.stats().templates_compiled >= 1, "{:?}", back.stats());
+        // …and the recompiled state is live: the re-submission still
+        // violates.
+        back.append(&Transaction::new().insert(sub, vec![1]))
+            .unwrap();
+        assert!(matches!(back.status(id), Status::Violated { .. }));
+    }
+
+    #[test]
+    fn v3_symbolic_entries_stay_symbolic() {
+        // The v3 writer recorded a deliberate symbolic strategy (knob
+        // off, budget bail, …); restore must not second-guess it.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let opts = CheckOptions::builder().template_automata(false).build();
+        let mut e = Engine::new(sc.clone(), opts);
+        let phi = parse(e.history().schema(), "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        e.add_constraint("once", phi).unwrap();
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        let bytes = snapshot_engine(&e, &[]);
+        let (back, _) = restore_engine(&bytes, CheckOptions::default()).unwrap();
+        assert_eq!(back.stats().templates_compiled, 0, "{:?}", back.stats());
+    }
+
+    #[test]
+    fn restore_with_knob_off_decompiles_compiled_entries() {
+        let engine = engine_with_appends();
+        assert!(engine.stats().templates_compiled >= 1);
+        let bytes = snapshot_engine(&engine, &[]);
+        let opts = CheckOptions::builder().template_automata(false).build();
+        let (mut back, _) = restore_engine(&bytes, opts).unwrap();
+        assert_eq!(back.stats().templates_compiled, 0, "{:?}", back.stats());
+        // The decompiled residue is the exact symbolic state: the
+        // violation still lands on re-submission.
+        let sc = back.history().schema().clone();
+        let sub = sc.pred("Sub").unwrap();
+        back.append(&Transaction::new().insert(sub, vec![2]))
+            .unwrap();
+        let id = back.constraints().next().unwrap();
+        assert!(matches!(back.status(id), Status::Violated { .. }));
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! Explicit safety automata compiled from progression residues.
+//!
+//! The transition cache in the engine layer materialises the residue's
+//! safety automaton *lazily*, one `(residue, letter)` edge at a time,
+//! and still pays a symbolic progression on every miss. This module
+//! precomputes the whole machine once per *template*: the residue's
+//! progression graph is subset-constructed over all valuations of its
+//! support letters (the only letters progression can read), each state
+//! is labelled with its phase-2 satisfiability verdict up front, and
+//! the result is a dense `u32` transition table — an append becomes one
+//! array lookup, with no formula construction and no satisfiability
+//! run at all.
+//!
+//! Two residues that differ only by a renaming of their support letters
+//! progress in lockstep, so the machine is compiled from a *canonical*
+//! key ([`TemplateKey`]) in which atoms are renumbered by first
+//! occurrence: all isomorphic instantiations of one constraint share a
+//! single compiled automaton, each carrying only a `u32` state.
+//!
+//! Soundness leans on two facts. Determinization commutes with
+//! progression on support-restricted valuations: `progress` only reads
+//! the letters in the residue's support, so quotienting the alphabet to
+//! `2^support` loses nothing ([`compile`] enumerates exactly those
+//! columns). And satisfiability distributes over conjunctions with
+//! pairwise-disjoint supports — models over disjoint alphabets combine
+//! pointwise — which is what lets [`split_units`] decompose a
+//! constraint's residue into independently steppable units and decide
+//! the conjunction as the AND of per-state verdicts.
+
+use crate::arena::{Arena, AtomId, FormulaId, Node};
+use crate::closure::Closure;
+use crate::progression::progress;
+use crate::sat::{is_satisfiable_with, SatError, SatSolver};
+use crate::simplify::simplify;
+use crate::trace::PropState;
+use std::collections::HashMap;
+
+/// A node of a canonical (alpha-renamed) formula template. Child
+/// references are indices into [`TemplateKey::nodes`] (strictly
+/// decreasing, so the list is topologically sorted); atoms are
+/// canonical indices `0..arity` in order of first occurrence. Past
+/// connectives are excluded — progression rejects them anyway.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CanonNode {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// The `i`-th support letter (first-occurrence order).
+    Atom(u32),
+    /// Negation.
+    Not(u32),
+    /// Conjunction.
+    And(u32, u32),
+    /// Disjunction.
+    Or(u32, u32),
+    /// Next time.
+    Next(u32),
+    /// Until.
+    Until(u32, u32),
+    /// Release.
+    Release(u32, u32),
+}
+
+/// The shape of a residue modulo letter renaming: a hash-consed node
+/// list with atoms renumbered by first occurrence in a deterministic
+/// traversal. Two residues are isomorphic (equal up to a support
+/// bijection) iff they canonicalize to the same key, and the bijection
+/// is recovered by pairing their support vectors position-wise.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TemplateKey {
+    /// Canonical nodes, children before parents.
+    pub nodes: Vec<CanonNode>,
+    /// Index of the root node.
+    pub root: u32,
+    /// Number of distinct support letters.
+    pub arity: u32,
+}
+
+impl TemplateKey {
+    /// Structural validity: the root and every child reference stay in
+    /// range, children strictly precede parents (acyclic by
+    /// construction), and atom indices stay below `arity`. Snapshot
+    /// restore runs this before trusting decoded bytes.
+    pub fn validate(&self) -> bool {
+        if self.nodes.is_empty() || self.root as usize >= self.nodes.len() || self.arity > 32 {
+            return false;
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ok = match *n {
+                CanonNode::True | CanonNode::False => true,
+                CanonNode::Atom(a) => a < self.arity,
+                CanonNode::Not(g) | CanonNode::Next(g) => (g as usize) < i,
+                CanonNode::And(a, b)
+                | CanonNode::Or(a, b)
+                | CanonNode::Until(a, b)
+                | CanonNode::Release(a, b) => (a as usize) < i && (b as usize) < i,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Canonicalizes `f`: returns its [`TemplateKey`] plus the concrete
+/// support letters in first-occurrence order (`support[i]` is what
+/// canonical atom `i` stands for). Returns `None` when `f` contains a
+/// past connective.
+pub fn canonicalize(arena: &Arena, f: FormulaId) -> Option<(TemplateKey, Vec<AtomId>)> {
+    enum Task {
+        Visit(FormulaId),
+        Build(FormulaId),
+    }
+    let mut nodes: Vec<CanonNode> = Vec::new();
+    let mut memo: HashMap<FormulaId, u32> = HashMap::new();
+    let mut atom_ix: HashMap<AtomId, u32> = HashMap::new();
+    let mut support: Vec<AtomId> = Vec::new();
+    let push = |nodes: &mut Vec<CanonNode>, n: CanonNode| -> u32 {
+        nodes.push(n);
+        (nodes.len() - 1) as u32
+    };
+    let mut stack = vec![Task::Visit(f)];
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Visit(g) => {
+                if memo.contains_key(&g) {
+                    continue;
+                }
+                match arena.node(g) {
+                    Node::True => {
+                        let i = push(&mut nodes, CanonNode::True);
+                        memo.insert(g, i);
+                    }
+                    Node::False => {
+                        let i = push(&mut nodes, CanonNode::False);
+                        memo.insert(g, i);
+                    }
+                    Node::Atom(a) => {
+                        let ca = *atom_ix.entry(a).or_insert_with(|| {
+                            support.push(a);
+                            (support.len() - 1) as u32
+                        });
+                        let i = push(&mut nodes, CanonNode::Atom(ca));
+                        memo.insert(g, i);
+                    }
+                    Node::Not(h) | Node::Next(h) => {
+                        stack.push(Task::Build(g));
+                        stack.push(Task::Visit(h));
+                    }
+                    Node::And(a, b) | Node::Or(a, b) | Node::Until(a, b) | Node::Release(a, b) => {
+                        stack.push(Task::Build(g));
+                        stack.push(Task::Visit(b));
+                        stack.push(Task::Visit(a));
+                    }
+                    Node::Prev(_) | Node::Since(_, _) => return None,
+                }
+            }
+            Task::Build(g) => {
+                if memo.contains_key(&g) {
+                    // A shared DAG node reached from two parents before
+                    // its first Build ran; the first one won.
+                    continue;
+                }
+                let cn = match arena.node(g) {
+                    Node::Not(h) => CanonNode::Not(memo[&h]),
+                    Node::Next(h) => CanonNode::Next(memo[&h]),
+                    Node::And(a, b) => CanonNode::And(memo[&a], memo[&b]),
+                    Node::Or(a, b) => CanonNode::Or(memo[&a], memo[&b]),
+                    Node::Until(a, b) => CanonNode::Until(memo[&a], memo[&b]),
+                    Node::Release(a, b) => CanonNode::Release(memo[&a], memo[&b]),
+                    _ => unreachable!("leaves are built at visit time"),
+                };
+                let i = push(&mut nodes, cn);
+                memo.insert(g, i);
+            }
+        }
+    }
+    let root = memo[&f];
+    let arity = support.len() as u32;
+    Some((TemplateKey { nodes, root, arity }, support))
+}
+
+/// Budgets for [`compile`]: exceeding either makes compilation bail
+/// (returning `Ok(None)`) so the caller falls back to the symbolic
+/// path.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileLimits {
+    /// Maximum support size — the table has `2^support` columns per
+    /// state, so this is capped hard.
+    pub max_support: u32,
+    /// Maximum number of reachable residue states.
+    pub max_states: usize,
+}
+
+impl Default for CompileLimits {
+    fn default() -> Self {
+        CompileLimits {
+            max_support: 8,
+            max_states: 64,
+        }
+    }
+}
+
+/// A closure-size prior: the progression graph lives inside the
+/// residue's closure-set powerset, and a closure this large never fits
+/// a per-template state budget worth having.
+const MAX_CLOSURE: usize = 64;
+
+struct TState {
+    residue: FormulaId,
+    sat: bool,
+}
+
+/// An explicit safety automaton for one residue template: every
+/// reachable progression state over the support-restricted valuations,
+/// a dense `state × column → state` table, and the phase-2
+/// satisfiability verdict per state. States are numbered in BFS
+/// discovery order (columns ascending), so compilation is a pure
+/// function of the key — recompiling after a snapshot restore yields
+/// bit-identical state numbering.
+pub struct SafetyAutomaton {
+    key: TemplateKey,
+    /// Private arena holding the template's residues; atoms `0..arity`
+    /// are interned first, so canonical atom `i` *is* `AtomId(i)`.
+    arena: Arena,
+    states: Vec<TState>,
+    /// `table[state * 2^arity + column]`, column bit `i` = truth of
+    /// support letter `i`.
+    table: Vec<u32>,
+}
+
+impl SafetyAutomaton {
+    /// The canonical key this machine was compiled from.
+    pub fn key(&self) -> &TemplateKey {
+        &self.key
+    }
+
+    /// Number of support letters.
+    pub fn support_len(&self) -> usize {
+        self.key.arity as usize
+    }
+
+    /// Number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The successor of `state` under valuation `column`.
+    #[inline]
+    pub fn step(&self, state: u32, column: u32) -> u32 {
+        self.table[(state as usize) << self.key.arity | column as usize]
+    }
+
+    /// Whether `state`'s residue is satisfiable (precomputed at
+    /// compile time; monotone — once false it stays false along every
+    /// run, since an unsatisfiable formula progresses to an
+    /// unsatisfiable one).
+    #[inline]
+    pub fn sat(&self, state: u32) -> bool {
+        self.states[state as usize].sat
+    }
+
+    /// Rebuilds the concrete residue of `state` inside `dst`, mapping
+    /// canonical atom `i` to `support[i]`. `memo` must not be shared
+    /// across different supports.
+    pub fn reconstruct(
+        &self,
+        dst: &mut Arena,
+        state: u32,
+        support: &[AtomId],
+        memo: &mut HashMap<FormulaId, FormulaId>,
+    ) -> FormulaId {
+        dst.translate_from(
+            &self.arena,
+            self.states[state as usize].residue,
+            support,
+            memo,
+        )
+    }
+}
+
+/// Compiles a template key into an explicit safety automaton. State 0
+/// is the key's root residue. Returns `Ok(None)` when the key is
+/// malformed or any budget is exceeded; propagates solver errors.
+pub fn compile(
+    key: &TemplateKey,
+    solver: SatSolver,
+    limits: CompileLimits,
+) -> Result<Option<SafetyAutomaton>, SatError> {
+    if !key.validate() || key.arity > limits.max_support.min(20) {
+        return Ok(None);
+    }
+    let mut arena = Arena::new();
+    let atoms: Vec<AtomId> = (0..key.arity)
+        .map(|i| arena.intern_atom(&format!("t{i}")))
+        .collect();
+    // Rebuild the canonical nodes through the folding constructors;
+    // children precede parents, so one left-to-right pass suffices.
+    let mut ids: Vec<FormulaId> = Vec::with_capacity(key.nodes.len());
+    for n in &key.nodes {
+        let id = match *n {
+            CanonNode::True => arena.tru(),
+            CanonNode::False => arena.fls(),
+            CanonNode::Atom(a) => arena.atom_id(atoms[a as usize]),
+            CanonNode::Not(g) => {
+                let g = ids[g as usize];
+                arena.not(g)
+            }
+            CanonNode::Next(g) => {
+                let g = ids[g as usize];
+                arena.next(g)
+            }
+            CanonNode::And(a, b) => {
+                let (a, b) = (ids[a as usize], ids[b as usize]);
+                arena.and(a, b)
+            }
+            CanonNode::Or(a, b) => {
+                let (a, b) = (ids[a as usize], ids[b as usize]);
+                arena.or(a, b)
+            }
+            CanonNode::Until(a, b) => {
+                let (a, b) = (ids[a as usize], ids[b as usize]);
+                arena.until(a, b)
+            }
+            CanonNode::Release(a, b) => {
+                let (a, b) = (ids[a as usize], ids[b as usize]);
+                arena.release(a, b)
+            }
+        };
+        ids.push(id);
+    }
+    let root = ids[key.root as usize];
+    // Engine residues may carry negation over non-atoms (the symbolic
+    // path tolerates them); the closure and the Büchi solver require
+    // NNF, so normalise here. `nnf` is equivalence-preserving, so the
+    // reconstructed residue stays semantically equal to the source.
+    let root = crate::nnf::nnf(&mut arena, root).map_err(|_| SatError::Past)?;
+    if Closure::of(&arena, root).len() > MAX_CLOSURE {
+        return Ok(None);
+    }
+    let n_cols = 1usize << key.arity;
+    let mut state_ix: HashMap<FormulaId, u32> = HashMap::new();
+    let mut states: Vec<TState> = Vec::new();
+    let mut table: Vec<u32> = Vec::new();
+    let root_sat = is_satisfiable_with(&mut arena, root, solver)?.satisfiable;
+    state_ix.insert(root, 0);
+    states.push(TState {
+        residue: root,
+        sat: root_sat,
+    });
+    let mut i = 0usize;
+    while i < states.len() {
+        let residue = states[i].residue;
+        for col in 0..n_cols {
+            let w = PropState::from_true_atoms(
+                atoms
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| col >> bit & 1 == 1)
+                    .map(|(_, &a)| a),
+            );
+            let stepped = progress(&mut arena, residue, &w).map_err(|_| SatError::Past)?;
+            let next = simplify(&mut arena, stepped);
+            let j = match state_ix.get(&next) {
+                Some(&j) => j,
+                None => {
+                    if states.len() >= limits.max_states {
+                        return Ok(None);
+                    }
+                    let sat = is_satisfiable_with(&mut arena, next, solver)?.satisfiable;
+                    let j = states.len() as u32;
+                    state_ix.insert(next, j);
+                    states.push(TState { residue: next, sat });
+                    j
+                }
+            };
+            table.push(j);
+        }
+        i += 1;
+    }
+    Ok(Some(SafetyAutomaton {
+        key: key.clone(),
+        arena,
+        states,
+        table,
+    }))
+}
+
+/// Splits a residue into independently steppable *units*: conjuncts
+/// grouped into connected components of shared support letters, so
+/// distinct units are pairwise atom-disjoint. Progression never grows
+/// a support, so disjointness is invariant along every run, and the
+/// residue is satisfiable iff every unit is.
+///
+/// The split walks the `∧`-spine and additionally distributes `□` and
+/// `○` back over `∧` (`□(x∧y) ≡ □x∧□y`, `○(x∧y) ≡ ○x∧○y`) — undoing
+/// the box aggregation [`simplify`] applies across instantiations —
+/// before merging components. Returns the units in deterministic
+/// first-occurrence order; `⊤` yields no units.
+pub fn split_units(arena: &mut Arena, f: FormulaId) -> Vec<FormulaId> {
+    let mut parts = Vec::new();
+    collect_parts(arena, f, &mut parts);
+    if parts.len() <= 1 {
+        return parts;
+    }
+    // Union-find over parts, merging any two that share a letter.
+    let mut parent: Vec<usize> = (0..parts.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: HashMap<AtomId, usize> = HashMap::new();
+    for (i, &p) in parts.iter().enumerate() {
+        for a in arena.atoms_of(p) {
+            match owner.get(&a) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        // Union toward the earlier part: groups keep
+                        // first-occurrence identity.
+                        parent[ri.max(rj)] = ri.min(rj);
+                    }
+                }
+                None => {
+                    owner.insert(a, i);
+                }
+            }
+        }
+    }
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    let mut groups: Vec<Vec<FormulaId>> = Vec::new();
+    for (i, &p) in parts.iter().enumerate() {
+        let r = find(&mut parent, i);
+        let g = *group_of.entry(r).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(p);
+    }
+    groups
+        .into_iter()
+        .map(|g| if g.len() == 1 { g[0] } else { arena.and_all(g) })
+        .collect()
+}
+
+/// Collects the atomic parts of `f`'s conjunctive spine, distributing
+/// `□`/`○` over inner conjunctions. Iterative over the spine (which
+/// grows with the instantiation count); recursion depth is bounded by
+/// the constraint's modal nesting only.
+fn collect_parts(arena: &mut Arena, f: FormulaId, out: &mut Vec<FormulaId>) {
+    let tru = arena.tru();
+    let fls = arena.fls();
+    let mut stack = vec![f];
+    while let Some(g) = stack.pop() {
+        if g == tru {
+            continue;
+        }
+        match arena.node(g) {
+            Node::And(a, b) => {
+                stack.push(b);
+                stack.push(a);
+            }
+            Node::Release(a, b) if a == fls => {
+                let mut inner = Vec::new();
+                collect_parts(arena, b, &mut inner);
+                if inner.len() > 1 {
+                    for p in inner {
+                        // □□x ≡ □x: don't re-wrap an inner box.
+                        let wrapped = match arena.node(p) {
+                            Node::Release(a2, _) if a2 == fls => p,
+                            _ => arena.always(p),
+                        };
+                        out.push(wrapped);
+                    }
+                } else {
+                    out.push(g);
+                }
+            }
+            Node::Next(b) => {
+                let mut inner = Vec::new();
+                collect_parts(arena, b, &mut inner);
+                if inner.len() > 1 {
+                    for p in inner {
+                        let wrapped = arena.next(p);
+                        out.push(wrapped);
+                    }
+                } else {
+                    out.push(g);
+                }
+            }
+            _ => out.push(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `□(a → ○□¬a)` — the once-only template over one letter.
+    fn once_only(ar: &mut Arena, name: &str) -> FormulaId {
+        let a = ar.atom(name);
+        let na = ar.not(a);
+        let always_na = ar.always(na);
+        let nxt = ar.next(always_na);
+        let imp = ar.implies(a, nxt);
+        ar.always(imp)
+    }
+
+    #[test]
+    fn isomorphic_residues_share_a_key() {
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let g = once_only(&mut ar, "q");
+        let (kf, sf) = canonicalize(&ar, f).unwrap();
+        let (kg, sg) = canonicalize(&ar, g).unwrap();
+        assert_eq!(kf, kg);
+        assert_eq!(kf.arity, 1);
+        assert_ne!(sf, sg, "supports name the distinct concrete letters");
+        assert!(kf.validate());
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_keys() {
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let q = ar.atom("q");
+        let g = ar.always(q);
+        let (kf, _) = canonicalize(&ar, f).unwrap();
+        let (kg, _) = canonicalize(&ar, g).unwrap();
+        assert_ne!(kf, kg);
+    }
+
+    #[test]
+    fn past_operators_are_rejected() {
+        let mut ar = Arena::new();
+        let p = ar.atom("p");
+        let o = ar.once(p);
+        assert!(canonicalize(&ar, o).is_none());
+    }
+
+    #[test]
+    fn compiled_once_only_steps_to_violation() {
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let (key, support) = canonicalize(&ar, f).unwrap();
+        assert_eq!(support.len(), 1);
+        let auto = compile(&key, SatSolver::default(), CompileLimits::default())
+            .unwrap()
+            .expect("once-only compiles within default budgets");
+        assert!(auto.state_count() >= 2 && auto.state_count() <= 8);
+        // Never seen: self-loop under ¬p, satisfiable.
+        assert_eq!(auto.step(0, 0), 0);
+        assert!(auto.sat(0));
+        // Seen once: a new satisfiable state...
+        let seen = auto.step(0, 1);
+        assert_ne!(seen, 0);
+        assert!(auto.sat(seen));
+        // ...that self-loops under ¬p and dies under a re-submission.
+        assert_eq!(auto.step(seen, 0), seen);
+        let dead = auto.step(seen, 1);
+        assert!(!auto.sat(dead));
+        // Dead states are absorbing under every column.
+        assert_eq!(auto.step(dead, 0), dead);
+        assert_eq!(auto.step(dead, 1), dead);
+    }
+
+    #[test]
+    fn compile_mirrors_symbolic_progression() {
+        // Every compiled edge must land on the state whose residue the
+        // symbolic pipeline (progress + simplify) computes.
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let (key, support) = canonicalize(&ar, f).unwrap();
+        let auto = compile(&key, SatSolver::default(), CompileLimits::default())
+            .unwrap()
+            .unwrap();
+        let mut state = 0u32;
+        let mut residue = f;
+        for col in [0u32, 1, 0, 1] {
+            state = auto.step(state, col);
+            let w = if col == 1 {
+                PropState::from_true_atoms([support[0]])
+            } else {
+                PropState::new()
+            };
+            let p = progress(&mut ar, residue, &w).unwrap();
+            residue = simplify(&mut ar, p);
+            let mut memo = HashMap::new();
+            let back = auto.reconstruct(&mut ar, state, &support, &mut memo);
+            assert_eq!(back, residue, "edge under column {col} diverges");
+        }
+    }
+
+    #[test]
+    fn state_budget_bails() {
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let (key, _) = canonicalize(&ar, f).unwrap();
+        let tight = CompileLimits {
+            max_support: 8,
+            max_states: 1,
+        };
+        assert!(compile(&key, SatSolver::default(), tight)
+            .unwrap()
+            .is_none());
+        let narrow = CompileLimits {
+            max_support: 0,
+            max_states: 64,
+        };
+        assert!(compile(&key, SatSolver::default(), narrow)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_keys_are_refused() {
+        let bad = TemplateKey {
+            nodes: vec![CanonNode::Not(0)],
+            root: 0,
+            arity: 0,
+        };
+        assert!(!bad.validate());
+        assert!(
+            compile(&bad, SatSolver::default(), CompileLimits::default())
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn split_undoes_box_aggregation_into_disjoint_units() {
+        // simplify folds □c₁ ∧ □c₂ into □(c₁ ∧ c₂); the split must
+        // recover one unit per letter.
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let g = once_only(&mut ar, "q");
+        let and = ar.and(f, g);
+        let folded = simplify(&mut ar, and);
+        let units = split_units(&mut ar, folded);
+        assert_eq!(units.len(), 2, "{units:?}");
+        let (pa, qa) = (ar.find_atom("p").unwrap(), ar.find_atom("q").unwrap());
+        assert_eq!(ar.atoms_of(units[0]), vec![pa]);
+        assert_eq!(ar.atoms_of(units[1]), vec![qa]);
+    }
+
+    #[test]
+    fn shared_letters_merge_into_one_unit() {
+        // □¬p ∧ □(p → ○□¬p) ∧ □¬q: the p-parts merge, q stays apart.
+        let mut ar = Arena::new();
+        let f = once_only(&mut ar, "p");
+        let p = ar.atom("p");
+        let np = ar.not(p);
+        let bnp = ar.always(np);
+        let q = ar.atom("q");
+        let nq = ar.not(q);
+        let bnq = ar.always(nq);
+        let all = ar.and_all([bnp, f, bnq]);
+        let folded = simplify(&mut ar, all);
+        let units = split_units(&mut ar, folded);
+        assert_eq!(units.len(), 2, "{units:?}");
+        let pa = ar.find_atom("p").unwrap();
+        let qa = ar.find_atom("q").unwrap();
+        let supports: Vec<Vec<AtomId>> = units.iter().map(|&u| ar.atoms_of(u)).collect();
+        assert!(supports.contains(&vec![pa]));
+        assert!(supports.contains(&vec![qa]));
+    }
+
+    #[test]
+    fn split_of_constants_and_single_parts() {
+        let mut ar = Arena::new();
+        let t = ar.tru();
+        assert!(split_units(&mut ar, t).is_empty());
+        let fls = ar.fls();
+        assert_eq!(split_units(&mut ar, fls), vec![fls]);
+        let f = once_only(&mut ar, "p");
+        assert_eq!(split_units(&mut ar, f), vec![f]);
+    }
+
+    #[test]
+    fn next_distributes_over_units() {
+        // ○(a ∧ b) (as simplify aggregates ○a ∧ ○b) splits back apart.
+        let mut ar = Arena::new();
+        let a = ar.atom("a");
+        let b = ar.atom("b");
+        let na = ar.next(a);
+        let nb = ar.next(b);
+        let and = ar.and(na, nb);
+        let folded = simplify(&mut ar, and);
+        let units = split_units(&mut ar, folded);
+        assert_eq!(units.len(), 2, "{units:?}");
+    }
+}

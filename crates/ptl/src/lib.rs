@@ -23,6 +23,10 @@
 //!   oracles and to exhibit witnesses ([`trace`], [`lasso`]),
 //! * the syntactically safe fragment and bad-prefix detection
 //!   ([`safety`]), and rewriting-based simplification ([`simplify`]),
+//! * explicit safety automata compiled once per residue *template*
+//!   (shape modulo letter renaming), with per-state sat verdicts
+//!   precomputed, for dense `u32`-state online stepping
+//!   ([`automaton`]),
 //! * structured-key atom interning shared by the grounding and the
 //!   state encoding ([`interner`]),
 //! * a small text syntax for formulas ([`parser`]).
@@ -32,6 +36,7 @@
 //! paper.
 
 pub mod arena;
+pub mod automaton;
 pub mod buchi;
 pub mod closure;
 pub mod emptiness;
@@ -47,6 +52,7 @@ pub mod tableau;
 pub mod trace;
 
 pub use arena::{Arena, AtomId, FormulaId, Node};
+pub use automaton::{CompileLimits, SafetyAutomaton, TemplateKey};
 pub use buchi::{Buchi, BuchiNode};
 pub use interner::{AtomInterner, InternLog};
 pub use lasso::Lasso;

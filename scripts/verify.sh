@@ -55,6 +55,37 @@ if [ "$hot" != "$cold" ]; then
 fi
 echo "ablation smoke: OK"
 
+echo "==> template-automata ablation smoke (default vs --no-template-automata)"
+# Compiled template automata are likewise a pure performance strategy:
+# the same session must reply byte-identically with every constraint
+# held on the symbolic progression path. The workload walks an
+# obligation across two instantiations, so the compiled default
+# actually binds, steps, and reports the violation from u32 state.
+tablate="$(mktemp)"
+cat > "$tablate" <<'EOF'
+schema pred Sub 1
+schema pred Fill 1
+constraint response: forall x. G (Sub(x) -> X Fill(x))
+insert Sub(1)
+commit
+delete Sub(1)
+insert Fill(1)
+insert Sub(2)
+commit
+delete Fill(1)
+commit
+status
+EOF
+auto="$(./target/release/ticc-shell "$tablate")"
+sym="$(./target/release/ticc-shell --no-template-automata "$tablate")"
+rm -f "$tablate"
+if [ "$auto" != "$sym" ]; then
+    echo "template smoke: output diverges with --no-template-automata"
+    exit 1
+fi
+echo "$auto" | grep -q "VIOLATION" || { echo "template smoke: expected the unfilled-submission violation"; exit 1; }
+echo "template smoke: OK"
+
 echo "==> grounding ablation smoke (indexed vs --grounding odometer)"
 # The indexed grounding is likewise a pure performance strategy: the
 # same session must reply byte-identically under the blind |M|^k
@@ -125,8 +156,8 @@ rm -f "$wal" "$sess1" "$sess2"
 echo "durability smoke: OK"
 
 if [ "${1:-}" = "--release" ]; then
-    echo "==> E13/E14/E15 bench smoke (release)"
-    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 --smoke
+    echo "==> E13/E14/E15/E16 bench smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 --smoke
 fi
 
 echo "verify: OK"

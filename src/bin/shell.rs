@@ -11,6 +11,11 @@
 //! cache on the append hot path (the ablation knob; results are
 //! identical either way, only the per-append cost changes).
 //!
+//! `--no-template-automata` disables compiling residues into shared
+//! explicit template automata, keeping every constraint on the
+//! symbolic progression path (the E16 ablation knob; results are
+//! identical either way, only the per-append cost changes).
+//!
 //! `--grounding indexed|odometer` selects the instantiation
 //! enumeration strategy (default: indexed — the relevance-pruned join;
 //! odometer is the blind `|M|^k` sweep kept for the E15 ablation).
@@ -48,6 +53,11 @@ fn main() {
         transition_cache = false;
         args.remove(i);
     }
+    let mut template_automata = true;
+    if let Some(i) = args.iter().position(|a| a == "--no-template-automata") {
+        template_automata = false;
+        args.remove(i);
+    }
     let mut grounding = GroundStrategy::default();
     if let Some(i) = args.iter().position(|a| a == "--grounding") {
         let Some(v) = args.get(i + 1) else {
@@ -76,6 +86,7 @@ fn main() {
     let opts = CheckOptions::builder()
         .threads(threads)
         .transition_cache(transition_cache)
+        .template_automata(template_automata)
         .grounding(grounding)
         .build();
     let mut shell = match &store_path {

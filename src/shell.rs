@@ -669,6 +669,18 @@ fn stats_json(s: &EngineStats) -> String {
     let _ = write!(o, ",\"sat_checks\":{}", s.sat_checks);
     let _ = write!(
         o,
+        ",\"automata\":{{\"templates_compiled\":{},\"automaton_states\":{},\
+         \"automaton_insts\":{},\"automaton_appends\":{},\"automaton_steps\":{},\
+         \"compile_time_ns\":{}}}",
+        s.templates_compiled,
+        s.automaton_states,
+        s.automaton_insts,
+        s.automaton_appends,
+        s.automaton_steps,
+        s.automaton_compile_time.as_nanos()
+    );
+    let _ = write!(
+        o,
         ",\"cache\":{{\"sat_hits\":{},\"sat_evictions\":{},\"transition_hits\":{},\
          \"transition_misses\":{},\"transition_evictions\":{},\"letter_index_len\":{}}}",
         s.cache.sat_hits,
@@ -1030,6 +1042,7 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         assert!(j.contains("\"schema\":\"ticc-engine-stats-v1\""), "{j}");
         assert!(j.contains("\"appends\":1"), "{j}");
+        assert!(j.contains("\"automata\":{\"templates_compiled\":"), "{j}");
         assert!(j.contains("\"store\":{\"tx_frames\":1"), "{j}");
         assert!(j.contains("\"snapshot_frames\":1"), "{j}");
         assert!(sh.exec("stats bogus").is_err());

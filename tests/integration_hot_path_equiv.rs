@@ -48,14 +48,23 @@ fn schema() -> Arc<Schema> {
     Schema::builder().pred("Sub", 1).pred("Rep", 2).build()
 }
 
+// Template automata are off on both sides: this suite pins down the
+// symbolic hot path (transition cache + incremental encoding), whose
+// non-vacuity assertions — `total_hits > 0` — would be starved by the
+// compiled path. The compiled-vs-symbolic equivalence has its own
+// 120-seed suite in `integration_template_automata.rs`.
 fn hot_opts(threads: Threads) -> CheckOptions {
-    CheckOptions::builder().threads(threads).build()
+    CheckOptions::builder()
+        .threads(threads)
+        .template_automata(false)
+        .build()
 }
 
 fn cold_opts() -> CheckOptions {
     CheckOptions::builder()
         .encoding(Encoding::Rebuild)
         .transition_cache(false)
+        .template_automata(false)
         .build()
 }
 
