@@ -1,0 +1,78 @@
+//! E17: multi-tenant server throughput — group commit vs per-session
+//! fsync.
+//!
+//! 64 concurrent sessions, all at `Durability::WalFsync`, each
+//! appending single-tuple churn transactions. The baseline gives every
+//! session its own store file, so every durable append pays its own
+//! `fdatasync`; the group-commit configuration routes all sessions
+//! into one shared [`GroupWal`], where a leader's single sync
+//! acknowledges every frame queued while the previous sync was in
+//! flight. A third configuration drives the same group WAL through a
+//! real `ticc-server` over loopback TCP, so the wire and dispatch
+//! overhead is measured rather than assumed.
+//!
+//! Honest caveat (the E12 precedent): this container has one CPU and
+//! a ~90µs virtio flush, and ext4's journal already group-commits
+//! concurrent per-file `fdatasync`s (measured ~25k merged syncs/s
+//! across 64 threads vs ~11k serial), so the baseline gets
+//! kernel-level batching for free while the single CPU starves our
+//! commit windows (average batch ~2 frames). The ≥5× aggregate
+//! throughput expected on flush-bound storage cannot materialise
+//! here; what the numbers do show is the structural, device-
+//! independent ratio — group commit acknowledges an append with ~0.5
+//! fsyncs (served: ~0.3, `max_batch` in the dozens) against exactly
+//! 1.0 for the baseline — and a several-fold lower *median* append
+//! latency, because a session waits on one shared in-flight window
+//! instead of contending with 63 other files' journal commits.
+
+use ticc_bench::server_load::{run_group_commit, run_per_session_fsync, run_served};
+use ticc_bench::table::{fmt_duration, Table};
+use ticc_core::{CheckOptions, Durability};
+
+fn main() {
+    let sessions = 64usize;
+    let appends = 32usize;
+    let opts = CheckOptions::builder()
+        .durability(Durability::WalFsync)
+        .build();
+    let dir = std::env::temp_dir().join(format!("ticc-bench-e17-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+
+    let base = run_per_session_fsync(&dir, sessions, appends, opts);
+    let group = run_group_commit(&dir, sessions, appends, opts);
+    let served = run_served(&dir, sessions, appends, opts);
+
+    let mut table = Table::new(
+        format!("E17 — multi-tenant WalFsync appends ({sessions} sessions × {appends})"),
+        "one fsync per commit window acknowledges every queued session \
+         (single-CPU + journal-merged baseline: see the fsync and p50 \
+         columns, not wall-clock — E12-style caveat)",
+        &["config", "appends/s", "p50", "p99", "fsyncs", "speedup"],
+    );
+    for (label, r) in [
+        ("per-session fsync", &base),
+        ("group commit", &group),
+        ("group commit (served)", &served),
+    ] {
+        let fsyncs = match &r.group {
+            Some(g) => g.fsyncs.to_string(),
+            None => (r.sessions * r.appends_per_session).to_string(),
+        };
+        table.row([
+            label.to_owned(),
+            format!("{:.0}", r.appends_per_sec),
+            fmt_duration(r.p50),
+            fmt_duration(r.p99),
+            fsyncs,
+            format!("{:.1}x", r.appends_per_sec / base.appends_per_sec),
+        ]);
+    }
+    table.print();
+    if let Some(g) = &group.group {
+        println!(
+            "group windows: {} (max batch {} frames, {} of {} frames shared a window)",
+            g.windows, g.max_batch, g.batched_frames, g.frames
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,267 @@
+//! Shared load generator for E17: many concurrent `WalFsync` sessions
+//! appending through per-session WAL files, one group-commit WAL, or
+//! the TCP server in front of that WAL.
+//!
+//! Every configuration runs the same workload — `sessions` worker
+//! threads, each owning one session with the cheap invariant
+//! `G !Sub(999)`, each appending `appends` single-tuple transactions
+//! (insert/delete churn on its own value, so no violations fire). The
+//! only variable is who pays the `fsync`:
+//!
+//! * **per-session fsync** — every session has its own store file, so
+//!   every durable append is its own `fdatasync`.
+//! * **group commit** — all sessions share one [`GroupWal`]; while the
+//!   leader's `fdatasync` is in flight the other threads enqueue, and
+//!   the next window commits them all with one sync.
+//! * **served** — same group WAL, but the appends travel as
+//!   `ticc-wire-v1` frames through a real `ticc_server::Server` on a
+//!   loopback socket, so the wire + dispatch overhead is visible.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ticc_core::{CheckOptions, GroupStats, GroupWal, Session};
+use ticc_fotl::parser::parse;
+use ticc_tdb::Transaction;
+
+/// The invariant every load session carries: cheap to check, never
+/// violated by the churn workload (values are session indices).
+pub const LOAD_CONSTRAINT: &str = "G !Sub(999)";
+
+/// One measured configuration.
+pub struct LoadReport {
+    /// Worker sessions appending concurrently.
+    pub sessions: usize,
+    /// Durable appends each session issued.
+    pub appends_per_session: usize,
+    /// Wall-clock for the whole run (post-setup, all sessions).
+    pub elapsed: Duration,
+    /// Aggregate throughput across all sessions.
+    pub appends_per_sec: f64,
+    /// Median single-append latency (ack-inclusive).
+    pub p50: Duration,
+    /// 99th-percentile single-append latency.
+    pub p99: Duration,
+    /// Group-WAL counters, when the configuration used one.
+    pub group: Option<GroupStats>,
+}
+
+fn percentiles(mut lat: Vec<Duration>) -> (Duration, Duration) {
+    lat.sort_unstable();
+    let p = |q: usize| lat[(lat.len() * q / 100).min(lat.len() - 1)];
+    (p(50), p(99))
+}
+
+fn report(
+    sessions: usize,
+    appends: usize,
+    elapsed: Duration,
+    lat: Vec<Duration>,
+    group: Option<GroupStats>,
+) -> LoadReport {
+    let (p50, p99) = percentiles(lat);
+    LoadReport {
+        sessions,
+        appends_per_session: appends,
+        elapsed,
+        appends_per_sec: (sessions * appends) as f64 / elapsed.as_secs_f64(),
+        p50,
+        p99,
+        group,
+    }
+}
+
+/// The per-session churn transaction: insert `Sub(id)` on even steps,
+/// delete it on odd ones.
+fn churn_tx(session: &Session, id: u64, step: usize) -> Transaction {
+    let p = session.schema().expect("frozen").pred("Sub").expect("Sub");
+    if step.is_multiple_of(2) {
+        Transaction::new().insert(p, vec![id])
+    } else {
+        Transaction::new().delete(p, vec![id])
+    }
+}
+
+fn spawn_workers<S>(sessions: usize, appends: usize, setup: S) -> (Duration, Vec<Duration>)
+where
+    S: Fn(usize) -> Session + Send + Sync,
+{
+    // One extra participant: the timer. Workers finish setup, meet at
+    // the barrier, and only the post-barrier append loop is measured.
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(sessions);
+        for id in 0..sessions {
+            let barrier = Arc::clone(&barrier);
+            let setup = &setup;
+            handles.push(scope.spawn(move || {
+                let mut session = setup(id);
+                barrier.wait();
+                let mut lat = Vec::with_capacity(appends);
+                for step in 0..appends {
+                    let tx = churn_tx(&session, id as u64, step);
+                    let t0 = Instant::now();
+                    let out = session.append(&tx).expect("append");
+                    lat.push(t0.elapsed());
+                    assert!(out.events.is_empty(), "churn never violates");
+                }
+                lat
+            }));
+        }
+        barrier.wait();
+        let t0 = Instant::now();
+        let mut lat = Vec::with_capacity(sessions * appends);
+        for h in handles {
+            lat.extend(h.join().expect("worker"));
+        }
+        (t0.elapsed(), lat)
+    })
+}
+
+/// Baseline: every session owns a store file, every append its fsync.
+pub fn run_per_session_fsync(
+    dir: &Path,
+    sessions: usize,
+    appends: usize,
+    opts: CheckOptions,
+) -> LoadReport {
+    let setup = |id: usize| -> Session {
+        let path: PathBuf = dir.join(format!("session-{id}.wal"));
+        let _ = std::fs::remove_file(&path);
+        let (mut s, _) = Session::builder()
+            .name(&format!("s{id}"))
+            .options(opts)
+            .pred("Sub", 1)
+            .store(&path)
+            .open()
+            .expect("open session store");
+        let phi = parse(&s.schema().unwrap(), LOAD_CONSTRAINT).unwrap();
+        s.add_constraint("cap", phi).unwrap();
+        s
+    };
+    let (elapsed, lat) = spawn_workers(sessions, appends, setup);
+    report(sessions, appends, elapsed, lat, None)
+}
+
+/// Group commit: all sessions share one WAL; windows batch the syncs.
+pub fn run_group_commit(
+    dir: &Path,
+    sessions: usize,
+    appends: usize,
+    opts: CheckOptions,
+) -> LoadReport {
+    let path = dir.join("group.gwal");
+    let _ = std::fs::remove_file(&path);
+    let wal = Arc::new(GroupWal::create(&path).expect("create group WAL"));
+    let setup = {
+        let wal = Arc::clone(&wal);
+        move |id: usize| -> Session {
+            let (mut s, _) = Session::builder()
+                .name(&format!("s{id}"))
+                .options(opts)
+                .pred("Sub", 1)
+                .group(Arc::clone(&wal))
+                .open()
+                .expect("open group session");
+            let phi = parse(&s.schema().unwrap(), LOAD_CONSTRAINT).unwrap();
+            s.add_constraint("cap", phi).unwrap();
+            s
+        }
+    };
+    let (elapsed, lat) = spawn_workers(sessions, appends, setup);
+    report(sessions, appends, elapsed, lat, Some(wal.stats()))
+}
+
+/// Served: the same group WAL behind a real `ticc-server` on loopback,
+/// appends as `ticc-wire-v1` frames. Measures the full stack including
+/// dispatch and wire round-trips.
+pub fn run_served(dir: &Path, sessions: usize, appends: usize, opts: CheckOptions) -> LoadReport {
+    use std::io::{BufReader, BufWriter};
+    use std::net::{TcpListener, TcpStream};
+    use ticc_server::{wire, Limits, Server};
+
+    let path = dir.join("served.gwal");
+    let _ = std::fs::remove_file(&path);
+    let limits = Limits {
+        max_sessions: sessions + 8,
+        max_inflight_appends: sessions + 8,
+        workers: sessions.max(1),
+        ..Limits::default()
+    };
+    let server = Server::with_wal(opts, limits, &path).expect("open served WAL");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let running = Server::start(Arc::new(server), listener).expect("start server");
+    let addr = running.addr;
+
+    let ask = |reader: &mut BufReader<TcpStream>,
+               writer: &mut BufWriter<TcpStream>,
+               req: &str|
+     -> String {
+        wire::write_frame(writer, req.as_bytes()).expect("write frame");
+        let bytes = wire::read_frame(reader, wire::MAX_FRAME_BYTES)
+            .expect("read frame")
+            .expect("server response");
+        let resp = String::from_utf8(bytes).expect("utf-8 response");
+        assert!(resp.contains("\"ok\":true"), "request failed: {resp}");
+        resp
+    };
+
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let (elapsed, lat) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(sessions);
+        for id in 0..sessions {
+            let barrier = Arc::clone(&barrier);
+            let ask = &ask;
+            handles.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = BufWriter::new(stream);
+                ask(
+                    &mut reader,
+                    &mut writer,
+                    &format!(r#"{{"op":"hello","schema":"{}"}}"#, wire::WIRE_SCHEMA),
+                );
+                ask(
+                    &mut reader,
+                    &mut writer,
+                    &format!(
+                        r#"{{"op":"open","session":"s{id}","preds":[["Sub",1]],"constraints":[["cap","{LOAD_CONSTRAINT}"]]}}"#
+                    ),
+                );
+                barrier.wait();
+                let mut lat = Vec::with_capacity(appends);
+                for step in 0..appends {
+                    let verb = if step.is_multiple_of(2) { "insert" } else { "delete" };
+                    let req =
+                        format!(r#"{{"op":"append","session":"s{id}","{verb}":["Sub({id})"]}}"#);
+                    let t0 = Instant::now();
+                    ask(&mut reader, &mut writer, &req);
+                    lat.push(t0.elapsed());
+                }
+                lat
+            }));
+        }
+        barrier.wait();
+        let t0 = Instant::now();
+        let mut lat = Vec::with_capacity(sessions * appends);
+        for h in handles {
+            lat.extend(h.join().expect("client"));
+        }
+        (t0.elapsed(), lat)
+    });
+
+    // Pull the group counters off the server before shutting it down.
+    let group = running.server.group_stats();
+    let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+    wire::write_frame(
+        &mut stream,
+        format!(r#"{{"op":"hello","schema":"{}"}}"#, wire::WIRE_SCHEMA).as_bytes(),
+    )
+    .unwrap();
+    let _ = wire::read_frame(&mut BufReader::new(stream.try_clone().unwrap()), 1 << 20);
+    wire::write_frame(&mut stream, br#"{"op":"shutdown","checkpoint":false}"#).unwrap();
+    running.join();
+
+    report(sessions, appends, elapsed, lat, group)
+}

@@ -42,6 +42,10 @@ pub enum Error {
     /// neither `Clone` nor `PartialEq`, so it cannot live in this enum
     /// directly.
     Store(String),
+    /// A session-lifecycle rule was broken: declaring schema symbols
+    /// after the freeze, freezing an empty schema, committing before
+    /// any predicate exists, or restoring a corrupt session blob.
+    Session(String),
 }
 
 impl std::fmt::Display for Error {
@@ -53,6 +57,7 @@ impl std::fmt::Display for Error {
             Error::UnsupportedCondition(m) => write!(f, "unsupported condition: {m}"),
             Error::UnsupportedShape(m) => write!(f, "unsupported formula shape: {m}"),
             Error::Store(m) => write!(f, "store: {m}"),
+            Error::Session(m) => write!(f, "session: {m}"),
         }
     }
 }
@@ -63,7 +68,10 @@ impl std::error::Error for Error {
             Error::Ground(e) => Some(e),
             Error::Sat(e) => Some(e),
             Error::Tdb(e) => Some(e),
-            Error::UnsupportedCondition(_) | Error::UnsupportedShape(_) | Error::Store(_) => None,
+            Error::UnsupportedCondition(_)
+            | Error::UnsupportedShape(_)
+            | Error::Store(_)
+            | Error::Session(_) => None,
         }
     }
 }

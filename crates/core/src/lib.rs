@@ -50,6 +50,7 @@ pub mod monitor;
 pub mod obs;
 pub mod par;
 pub mod past;
+pub mod session;
 pub mod snapshot;
 pub mod trigger;
 
@@ -68,5 +69,9 @@ pub use ground::{
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
 pub use obs::{CacheStats, EngineStats};
 pub use par::Threads;
-pub use ticc_store::{Store, StoreError, StoreStats};
+pub use session::{
+    stats_json_with, Committed, OpenSummary, Session, SessionBuilder, SessionStats, STATS_SCHEMA,
+    STATS_SCHEMA_V1,
+};
+pub use ticc_store::{GroupStats, GroupWal, Store, StoreError, StoreStats};
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

@@ -26,7 +26,33 @@
 //! see sequentially — cache hit/miss counters (absorbed in chunk
 //! order) are deterministic and thread-count-independent.
 
+use std::cell::Cell;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// How many sibling workers share this machine from the current
+    /// thread's point of view. A server worker thread is one of `N`
+    /// peers all potentially running engines at once; [`Threads::Auto`]
+    /// must size its pool from its *share* of the hardware, not the
+    /// whole machine, or `N` workers × `available_parallelism` threads
+    /// oversubscribe every core.
+    static POOL_PEERS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Declares that the current thread is one of `peers` concurrent
+/// workers (e.g. server connection handlers). [`Threads::Auto`] on
+/// this thread then resolves to `available_parallelism / peers`
+/// (floored at 1) instead of the whole machine. Thread-local: set it
+/// at worker startup; `set_pool_peers(1)` restores the default.
+pub fn set_pool_peers(peers: usize) {
+    POOL_PEERS.with(|c| c.set(peers.max(1)));
+}
+
+/// The current thread's declared peer count (1 unless
+/// [`set_pool_peers`] was called).
+pub fn pool_peers() -> usize {
+    POOL_PEERS.with(Cell::get)
+}
 
 /// Threading policy for the checking pipeline.
 ///
@@ -39,7 +65,10 @@ pub enum Threads {
     #[default]
     Off,
     /// Use the machine's available parallelism (as reported by
-    /// [`std::thread::available_parallelism`]), capped at 8.
+    /// [`std::thread::available_parallelism`]), capped at 8. Inside a
+    /// declared worker pool (see [`set_pool_peers`]) this is the
+    /// *pool's share* of the machine, so nested engines never
+    /// oversubscribe cores.
     Auto,
     /// Exactly `n` workers. `Fixed(0)` and `Fixed(1)` behave like
     /// [`Threads::Off`].
@@ -53,7 +82,7 @@ impl Threads {
         match self {
             Threads::Off => 1,
             Threads::Auto => std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
+                .map(|n| (n.get() / pool_peers()).clamp(1, 8))
                 .unwrap_or(1),
             Threads::Fixed(n) => n.max(1),
         }
@@ -317,6 +346,31 @@ mod tests {
         assert_eq!(Threads::parse("1"), Ok(Threads::Off));
         assert!(Threads::parse("lots").is_err());
         assert_eq!(Threads::default(), Threads::Off);
+    }
+
+    #[test]
+    fn auto_clamps_to_the_pool_share() {
+        // With more declared peers than cores, Auto must fall back to
+        // sequential rather than oversubscribe.
+        set_pool_peers(4096);
+        assert_eq!(Threads::Auto.worker_count(), 1);
+        // A 1-peer pool is the default whole-machine behaviour.
+        set_pool_peers(1);
+        let whole = Threads::Auto.worker_count();
+        assert!(whole >= 1);
+        set_pool_peers(2);
+        let half = Threads::Auto.worker_count();
+        assert!(half <= whole && half >= 1);
+        assert_eq!(half, (whole_machine() / 2).clamp(1, 8));
+        set_pool_peers(0); // clamps to 1
+        assert_eq!(pool_peers(), 1);
+        assert_eq!(Threads::Auto.worker_count(), whole);
+
+        fn whole_machine() -> usize {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 
     #[test]

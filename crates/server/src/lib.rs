@@ -1,0 +1,1011 @@
+//! `ticc-server` — a multi-tenant constraint server.
+//!
+//! Hosts many independent [`Session`]s (one temporal database, one
+//! set of constraints and triggers each) in one long-lived process,
+//! spoken to over the [`wire`] protocol (`ticc-wire-v1`: length-
+//! prefixed JSON frames over TCP, thread per connection). Three
+//! properties distinguish it from "a shell per client":
+//!
+//! - **Group-commit durability.** All sessions log into one shared
+//!   [`GroupWal`]; a `Durability::WalFsync` append waits for its
+//!   commit window, not its own fsync, so one disk flush acknowledges
+//!   appends from many sessions at once. The ack contract (an
+//!   acknowledged append survives any crash) is the store layer's,
+//!   proven byte-exhaustively in `ticc-store`.
+//! - **Admission control, not queues.** A configurable ceiling on
+//!   concurrently checking appends and on staged-but-unflushed log
+//!   bytes; past either, the server answers `backpressure` immediately
+//!   instead of buffering unboundedly. Clients retry; memory stays
+//!   bounded.
+//! - **Fair parallelism.** Worker threads register the pool size via
+//!   [`set_pool_peers`], so a session running `Threads::Auto` claims
+//!   its share of `available_parallelism`, not the whole machine
+//!   multiplied by every concurrent connection.
+//!
+//! Stats are the `ticc-engine-stats-v2` schema with the `server`
+//! object filled in; [`upgrade_stats`] adapts v1 documents for readers
+//! that migrated.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use ticc_core::par::set_pool_peers;
+use ticc_core::{
+    stats_json_with, CheckOptions, GroupWal, Session, Status, STATS_SCHEMA, STATS_SCHEMA_V1,
+};
+use ticc_fotl::parser::parse as parse_formula;
+use ticc_store::codec::parse_fact;
+use ticc_tdb::{Transaction, Value};
+
+pub mod json;
+pub mod wire;
+
+use json::Json;
+
+/// Admission-control and resource limits. Zero is honoured literally
+/// (`max_inflight_appends: 0` refuses every append) — useful in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Live sessions the registry will hold.
+    pub max_sessions: usize,
+    /// Appends allowed to be inside the engine+log path at once,
+    /// across all sessions; beyond this the server answers
+    /// `backpressure`.
+    pub max_inflight_appends: usize,
+    /// Staged-but-unflushed group-log bytes beyond which appends get
+    /// `backpressure`.
+    pub max_pending_bytes: usize,
+    /// Largest request frame accepted.
+    pub max_frame_bytes: usize,
+    /// Expected concurrently-working connections; feeds
+    /// [`set_pool_peers`] so `Threads::Auto` engines split the machine
+    /// instead of each assuming all of it.
+    pub workers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_sessions: 4096,
+            max_inflight_appends: 256,
+            max_pending_bytes: 8 << 20,
+            max_frame_bytes: 1 << 20,
+            workers: 8,
+        }
+    }
+}
+
+/// A recovered-but-unopened session: the group log knows its name and
+/// holds its snapshot/suffix, but no client has attached yet.
+struct Parked {
+    snapshot: Option<Vec<u8>>,
+    suffix: Vec<Vec<u8>>,
+}
+
+/// The shared server state behind every connection thread.
+pub struct Server {
+    opts: CheckOptions,
+    limits: Limits,
+    wal: Option<Arc<GroupWal>>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    parked: Mutex<HashMap<String, Parked>>,
+    inflight: AtomicUsize,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    backpressure: AtomicU64,
+    shutdown: AtomicBool,
+    addr: OnceLock<SocketAddr>,
+}
+
+impl Server {
+    /// An ephemeral server: sessions live in memory only.
+    pub fn new(opts: CheckOptions, limits: Limits) -> Self {
+        Self {
+            opts,
+            limits,
+            wal: None,
+            sessions: Mutex::new(HashMap::new()),
+            parked: Mutex::new(HashMap::new()),
+            inflight: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            backpressure: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr: OnceLock::new(),
+        }
+    }
+
+    /// A durable server over a shared group-commit log at `path`.
+    /// Sessions found in the log are parked until a client re-opens
+    /// them by name.
+    pub fn with_wal(
+        opts: CheckOptions,
+        limits: Limits,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, ticc_store::StoreError> {
+        let (wal, recovered) = GroupWal::open_or_create(path)?;
+        let mut server = Self::new(opts, limits);
+        let parked = recovered
+            .sessions
+            .into_iter()
+            .map(|s| {
+                (
+                    s.name,
+                    Parked {
+                        snapshot: s.snapshot,
+                        suffix: s.suffix,
+                    },
+                )
+            })
+            .collect();
+        server.wal = Some(Arc::new(wal));
+        server.parked = Mutex::new(parked);
+        Ok(server)
+    }
+
+    /// Names of sessions recovered from the log and awaiting a client.
+    pub fn parked_sessions(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .parked
+            .lock()
+            .expect("parked lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Whether a `shutdown` op has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The group WAL's counters, when the server has one.
+    pub fn group_stats(&self) -> Option<ticc_store::GroupStats> {
+        self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// The `server` object of the v2 stats schema, as a JSON document.
+    pub fn server_stats_json(&self) -> String {
+        let sessions = self.sessions.lock().expect("sessions lock").len();
+        let parked = self.parked.lock().expect("parked lock").len();
+        let group = match &self.wal {
+            Some(wal) => {
+                let g = wal.stats();
+                format!(
+                    "{{\"frames\":{},\"windows\":{},\"fsyncs\":{},\"batched_frames\":{},\
+                     \"max_batch\":{},\"bytes_written\":{},\"recovered_sessions\":{},\
+                     \"truncated_bytes\":{}}}",
+                    g.frames,
+                    g.windows,
+                    g.fsyncs,
+                    g.batched_frames,
+                    g.max_batch,
+                    g.bytes_written,
+                    g.recovered_sessions,
+                    g.truncated_bytes
+                )
+            }
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"schema\":\"{}\",\"sessions\":{sessions},\"parked\":{parked},\
+             \"connections\":{},\"frames\":{},\"inflight\":{},\"backpressure\":{},\
+             \"workers\":{},\"group\":{group},\
+             \"limits\":{{\"max_sessions\":{},\"max_inflight_appends\":{},\
+             \"max_pending_bytes\":{},\"max_frame_bytes\":{}}}}}",
+            wire::WIRE_SCHEMA,
+            self.connections.load(Ordering::Relaxed),
+            self.frames.load(Ordering::Relaxed),
+            self.inflight.load(Ordering::Relaxed),
+            self.backpressure.load(Ordering::Relaxed),
+            self.limits.workers,
+            self.limits.max_sessions,
+            self.limits.max_inflight_appends,
+            self.limits.max_pending_bytes,
+            self.limits.max_frame_bytes,
+        )
+    }
+
+    fn session(&self, name: &str) -> Option<Arc<Mutex<Session>>> {
+        self.sessions
+            .lock()
+            .expect("sessions lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Dispatches one request; returns the rendered response and
+    /// whether the connection must stop serving (shutdown accepted).
+    pub fn dispatch(&self, req: &Json, hello_done: &mut bool) -> (String, bool) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        let Some(op) = req.get("op").and_then(Json::as_str) else {
+            return (wire::err("bad-frame", "missing \"op\"").render(), false);
+        };
+        if !*hello_done && op != "hello" {
+            return (
+                wire::err(
+                    "bad-frame",
+                    format!(
+                        "handshake required: send {{\"op\":\"hello\",\"schema\":\"{}\"}} first",
+                        wire::WIRE_SCHEMA
+                    ),
+                )
+                .render(),
+                false,
+            );
+        }
+        match op {
+            "hello" => {
+                let schema = req.get("schema").and_then(Json::as_str).unwrap_or("");
+                if schema != wire::WIRE_SCHEMA {
+                    return (
+                        wire::err(
+                            "unsupported-schema",
+                            format!(
+                                "this server speaks {}, client offered '{schema}'",
+                                wire::WIRE_SCHEMA
+                            ),
+                        )
+                        .render(),
+                        false,
+                    );
+                }
+                *hello_done = true;
+                (
+                    wire::ok(vec![
+                        ("schema", json::s(wire::WIRE_SCHEMA)),
+                        (
+                            "server",
+                            json::s(concat!("ticc-server/", env!("CARGO_PKG_VERSION"))),
+                        ),
+                    ])
+                    .render(),
+                    false,
+                )
+            }
+            "open" => (self.op_open(req).render(), false),
+            "append" => (self.op_append(req).render(), false),
+            "status" => (self.op_status(req).render(), false),
+            "stats" => (self.op_stats(req), false),
+            "checkpoint" => (self.op_checkpoint(req).render(), false),
+            "close" => (self.op_close(req).render(), false),
+            "shutdown" => {
+                let checkpoint = req
+                    .get("checkpoint")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true);
+                let resp = self.op_shutdown(checkpoint);
+                (resp.render(), true)
+            }
+            other => (
+                wire::err("bad-frame", format!("unknown op '{other}'")).render(),
+                false,
+            ),
+        }
+    }
+
+    fn op_open(&self, req: &Json) -> Json {
+        let Some(name) = req.get("session").and_then(Json::as_str) else {
+            return wire::err("bad-frame", "open needs a \"session\" name");
+        };
+        let handle = match self.session(name) {
+            Some(h) => h,
+            None => {
+                let mut sessions = self.sessions.lock().expect("sessions lock");
+                // Re-check under the lock (another connection may have
+                // opened it meanwhile).
+                if let Some(h) = sessions.get(name) {
+                    h.clone()
+                } else {
+                    if sessions.len() >= self.limits.max_sessions {
+                        return wire::err(
+                            "session-limit",
+                            format!(
+                                "the server holds its maximum of {} session(s)",
+                                self.limits.max_sessions
+                            ),
+                        );
+                    }
+                    let mut builder = Session::builder().name(name).options(self.opts);
+                    if let Some(wal) = &self.wal {
+                        builder = builder.group(Arc::clone(wal));
+                    }
+                    if let Some(parked) = self.parked.lock().expect("parked lock").remove(name) {
+                        if let Some(snap) = parked.snapshot {
+                            builder = builder.snapshot(snap);
+                        }
+                        builder = builder.replay(parked.suffix);
+                    }
+                    match decl_list(req, "preds") {
+                        Ok(preds) => {
+                            for (pname, arity) in preds {
+                                builder = builder.pred(&pname, arity as usize);
+                            }
+                        }
+                        Err(e) => return wire::err("bad-frame", e),
+                    }
+                    match decl_list(req, "consts") {
+                        Ok(consts) => {
+                            for (cname, value) in consts {
+                                builder = builder.constant(&cname, value);
+                            }
+                        }
+                        Err(e) => return wire::err("bad-frame", e),
+                    }
+                    let (session, _summary) = match builder.open() {
+                        Ok(opened) => opened,
+                        Err(e) => return wire::err("engine", e.to_string()),
+                    };
+                    sessions
+                        .entry(name.to_owned())
+                        .or_insert_with(|| Arc::new(Mutex::new(session)))
+                        .clone()
+                }
+            }
+        };
+        let mut session = handle.lock().expect("session lock");
+        // Constraints and triggers are idempotent by name so a client
+        // can resend its full `open` after a reconnect.
+        if let Err(resp) = register_formulas(&mut session, req) {
+            return resp;
+        }
+        let resumed =
+            session.stats().commits == 0 && session.history().is_some_and(|h| !h.is_empty());
+        wire::ok(vec![
+            ("session", json::s(name)),
+            ("resumed", Json::Bool(resumed)),
+            (
+                "states",
+                Json::U64(session.history().map_or(0, |h| h.len() as u64)),
+            ),
+            (
+                "constraints",
+                Json::U64(session.constraints().count() as u64),
+            ),
+        ])
+    }
+
+    fn op_append(&self, req: &Json) -> Json {
+        let Some(handle) = named_session(self, req) else {
+            return unknown_session(req);
+        };
+        // Admission control — refuse before touching the engine.
+        let inflight = self.inflight.fetch_add(1, Ordering::SeqCst);
+        let guard = InflightGuard(&self.inflight);
+        if inflight >= self.limits.max_inflight_appends {
+            self.backpressure.fetch_add(1, Ordering::Relaxed);
+            return wire::err(
+                "backpressure",
+                format!(
+                    "{} append(s) already in flight (limit {})",
+                    inflight, self.limits.max_inflight_appends
+                ),
+            );
+        }
+        if let Some(wal) = &self.wal {
+            if wal.pending_bytes() > self.limits.max_pending_bytes {
+                self.backpressure.fetch_add(1, Ordering::Relaxed);
+                return wire::err(
+                    "backpressure",
+                    format!(
+                        "{} staged log byte(s) awaiting flush (limit {})",
+                        wal.pending_bytes(),
+                        self.limits.max_pending_bytes
+                    ),
+                );
+            }
+        }
+        let mut session = handle.lock().expect("session lock");
+        let Some(schema) = session.schema() else {
+            return wire::err(
+                "engine",
+                "the session has no schema yet (open it with preds)",
+            );
+        };
+        // Facts use the store codec's text grammar. Two spellings:
+        // unordered `insert`/`delete` arrays (inserts apply first), or
+        // the ordered `ops` array of `[verb, fact]` pairs for
+        // transactions where intra-transaction order matters.
+        let mut ops: Vec<(bool, &str)> = Vec::new();
+        for (field, insert) in [("insert", true), ("delete", false)] {
+            let Some(items) = req.get(field) else {
+                continue;
+            };
+            let Some(items) = items.as_arr() else {
+                return wire::err(
+                    "bad-frame",
+                    format!("\"{field}\" must be an array of facts"),
+                );
+            };
+            for item in items {
+                let Some(fact) = item.as_str() else {
+                    return wire::err(
+                        "bad-frame",
+                        format!("\"{field}\" entries are \"Pred(v,…)\" strings"),
+                    );
+                };
+                ops.push((insert, fact));
+            }
+        }
+        if let Some(items) = req.get("ops") {
+            let Some(items) = items.as_arr() else {
+                return wire::err(
+                    "bad-frame",
+                    "\"ops\" must be an array of [verb, fact] pairs",
+                );
+            };
+            for item in items {
+                let Some([verb, fact]) = item.as_arr() else {
+                    return wire::err("bad-frame", "\"ops\" entries are [verb, fact] pairs");
+                };
+                let (Some(verb), Some(fact)) = (verb.as_str(), fact.as_str()) else {
+                    return wire::err("bad-frame", "\"ops\" entries are [verb, fact] string pairs");
+                };
+                let insert = match verb {
+                    "insert" | "+" => true,
+                    "delete" | "-" => false,
+                    other => {
+                        return wire::err(
+                            "bad-frame",
+                            format!("\"ops\" verb is insert/+/delete/-, got '{other}'"),
+                        )
+                    }
+                };
+                ops.push((insert, fact));
+            }
+        }
+        let mut tx = Transaction::new();
+        for (insert, fact) in ops {
+            let (pred, tuple) = match parse_fact(&schema, fact) {
+                Ok(parsed) => parsed,
+                Err(e) => return wire::err("bad-frame", e),
+            };
+            tx = if insert {
+                tx.insert(pred, tuple)
+            } else {
+                tx.delete(pred, tuple)
+            };
+        }
+        let committed = match session.append(&tx) {
+            Ok(c) => c,
+            Err(e) => return wire::err("engine", e.to_string()),
+        };
+        drop(guard);
+        let events: Vec<Json> = committed
+            .events
+            .iter()
+            .map(|e| {
+                json::obj(vec![
+                    ("constraint", json::s(&e.name)),
+                    ("at", Json::U64(e.at as u64)),
+                ])
+            })
+            .collect();
+        let fired: Vec<Json> = committed
+            .fired
+            .iter()
+            .map(|f| {
+                let subst: Vec<(String, Json)> = f
+                    .substitution
+                    .iter()
+                    .map(|(v, val)| (v.clone(), Json::U64(*val)))
+                    .collect();
+                json::obj(vec![
+                    ("trigger", json::s(&f.name)),
+                    ("subst", Json::Obj(subst)),
+                ])
+            })
+            .collect();
+        wire::ok(vec![
+            ("t", Json::U64(committed.t as u64)),
+            ("events", Json::Arr(events)),
+            ("fired", Json::Arr(fired)),
+        ])
+    }
+
+    fn op_status(&self, req: &Json) -> Json {
+        let Some(handle) = named_session(self, req) else {
+            return unknown_session(req);
+        };
+        let session = handle.lock().expect("session lock");
+        let constraints: Vec<Json> = session
+            .constraints()
+            .map(|(id, name, _)| match session.status(id) {
+                Status::Satisfied => json::obj(vec![
+                    ("name", json::s(name)),
+                    ("status", json::s("potentially-satisfied")),
+                ]),
+                Status::Violated { at } => json::obj(vec![
+                    ("name", json::s(name)),
+                    ("status", json::s("violated")),
+                    ("at", Json::U64(at as u64)),
+                ]),
+            })
+            .collect();
+        wire::ok(vec![("constraints", Json::Arr(constraints))])
+    }
+
+    fn op_stats(&self, req: &Json) -> String {
+        let Some(handle) = named_session(self, req) else {
+            return unknown_session(req).render();
+        };
+        let session = handle.lock().expect("session lock");
+        let stats = stats_json_with(&session.stats(), Some(&self.server_stats_json()));
+        format!("{{\"ok\":true,\"stats\":{stats}}}")
+    }
+
+    fn op_checkpoint(&self, req: &Json) -> Json {
+        let Some(handle) = named_session(self, req) else {
+            return unknown_session(req);
+        };
+        let mut session = handle.lock().expect("session lock");
+        match session.checkpoint() {
+            Ok(bytes) => wire::ok(vec![("bytes", Json::U64(bytes))]),
+            Err(e) => wire::err("engine", e.to_string()),
+        }
+    }
+
+    fn op_close(&self, req: &Json) -> Json {
+        let Some(name) = req.get("session").and_then(Json::as_str) else {
+            return wire::err("bad-frame", "close needs a \"session\" name");
+        };
+        let removed = self.sessions.lock().expect("sessions lock").remove(name);
+        let Some(handle) = removed else {
+            return unknown_session(req);
+        };
+        match Arc::try_unwrap(handle) {
+            Ok(mutex) => {
+                let session = mutex.into_inner().expect("session lock");
+                match session.close() {
+                    Ok(()) => wire::ok(vec![("session", json::s(name))]),
+                    Err(e) => wire::err("engine", e.to_string()),
+                }
+            }
+            Err(handle) => {
+                // Another connection is mid-operation on it: put it
+                // back rather than losing state.
+                self.sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .insert(name.to_owned(), handle);
+                wire::err(
+                    "engine",
+                    format!("session '{name}' is busy on another connection"),
+                )
+            }
+        }
+    }
+
+    fn op_shutdown(&self, checkpoint: bool) -> Json {
+        if checkpoint {
+            let handles: Vec<Arc<Mutex<Session>>> = self
+                .sessions
+                .lock()
+                .expect("sessions lock")
+                .values()
+                .cloned()
+                .collect();
+            for handle in handles {
+                let mut session = handle.lock().expect("session lock");
+                if session.has_store() && session.history().is_some() {
+                    if let Err(e) = session.checkpoint() {
+                        return wire::err("engine", format!("shutdown checkpoint failed: {e}"));
+                    }
+                }
+            }
+        }
+        if let Some(wal) = &self.wal {
+            if let Err(e) = wal.flush() {
+                return wire::err("engine", format!("final flush failed: {e}"));
+            }
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so the process can exit.
+        if let Some(addr) = self.addr.get() {
+            let _ = TcpStream::connect(addr);
+        }
+        wire::ok(vec![("stopping", Json::Bool(true))])
+    }
+
+    /// Serves connections until a `shutdown` op arrives. Returns the
+    /// bound address immediately; join the handle to wait for exit.
+    pub fn start(server: Arc<Server>, listener: TcpListener) -> std::io::Result<Running> {
+        let addr = listener.local_addr()?;
+        let _ = server.addr.set(addr);
+        let accept_server = Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_server.is_shutting_down() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_server = Arc::clone(&accept_server);
+                conns.push(std::thread::spawn(move || conn_server.handle_conn(stream)));
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(Running {
+            addr,
+            server,
+            handle,
+        })
+    }
+
+    fn handle_conn(self: Arc<Self>, stream: TcpStream) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        // This thread is one worker of a pool of `limits.workers`:
+        // clamp Threads::Auto engines to their share of the machine.
+        set_pool_peers(self.limits.workers);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut hello_done = false;
+        loop {
+            let req = match wire::read_json(&mut reader, self.limits.max_frame_bytes) {
+                Ok(Some(Ok(req))) => req,
+                Ok(Some(Err(parse_err))) => {
+                    let resp = wire::err("parse", parse_err);
+                    if wire::write_json(&mut writer, &resp).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Ok(None) | Err(_) => return,
+            };
+            let (resp, stop) = self.dispatch(&req, &mut hello_done);
+            if wire::write_frame(&mut writer, resp.as_bytes()).is_err() {
+                return;
+            }
+            if stop {
+                return;
+            }
+        }
+    }
+}
+
+/// A started server: its bound address plus the accept-loop handle.
+pub struct Running {
+    pub addr: SocketAddr,
+    pub server: Arc<Server>,
+    handle: JoinHandle<()>,
+}
+
+impl Running {
+    /// Blocks until the accept loop exits (a client sent `shutdown`).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn named_session(server: &Server, req: &Json) -> Option<Arc<Mutex<Session>>> {
+    let name = req.get("session").and_then(Json::as_str)?;
+    server.session(name)
+}
+
+fn unknown_session(req: &Json) -> Json {
+    match req.get("session").and_then(Json::as_str) {
+        Some(name) => wire::err("unknown-session", format!("no open session named '{name}'")),
+        None => wire::err("bad-frame", "missing \"session\" name"),
+    }
+}
+
+/// Reads `[["name", n], …]` declaration lists from a request field.
+fn decl_list(req: &Json, field: &str) -> Result<Vec<(String, Value)>, String> {
+    let Some(items) = req.get(field) else {
+        return Ok(Vec::new());
+    };
+    let Some(items) = items.as_arr() else {
+        return Err(format!(
+            "\"{field}\" must be an array of [name, value] pairs"
+        ));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item
+            .as_arr()
+            .ok_or_else(|| format!("\"{field}\" entries are [name, value] pairs"))?;
+        let [name, value] = pair else {
+            return Err(format!("\"{field}\" entries are [name, value] pairs"));
+        };
+        let name = name
+            .as_str()
+            .ok_or_else(|| format!("\"{field}\" names are strings"))?;
+        let value = value
+            .as_u64()
+            .ok_or_else(|| format!("\"{field}\" values are non-negative integers"))?;
+        out.push((name.to_owned(), value));
+    }
+    Ok(out)
+}
+
+/// Registers the request's `constraints`/`triggers` (name + formula
+/// source) on the session, skipping names it already has.
+fn register_formulas(session: &mut Session, req: &Json) -> Result<(), Json> {
+    for (field, is_constraint) in [("constraints", true), ("triggers", false)] {
+        let Some(items) = req.get(field) else {
+            continue;
+        };
+        let Some(items) = items.as_arr() else {
+            return Err(wire::err(
+                "bad-frame",
+                format!("\"{field}\" must be an array of [name, formula] pairs"),
+            ));
+        };
+        for item in items {
+            let Some([name, src]) = item.as_arr() else {
+                return Err(wire::err(
+                    "bad-frame",
+                    format!("\"{field}\" entries are [name, formula] pairs"),
+                ));
+            };
+            let (Some(name), Some(src)) = (name.as_str(), src.as_str()) else {
+                return Err(wire::err(
+                    "bad-frame",
+                    format!("\"{field}\" entries are [name, formula] pairs"),
+                ));
+            };
+            let already = if is_constraint {
+                session.constraints().any(|(_, n, _)| n == name)
+            } else {
+                session.trigger_defs().iter().any(|(n, _)| n == name)
+            };
+            if already {
+                continue;
+            }
+            session
+                .freeze()
+                .map_err(|e| wire::err("engine", e.to_string()))?;
+            let schema = session
+                .schema()
+                .ok_or_else(|| wire::err("engine", "no schema to parse against"))?;
+            let phi =
+                parse_formula(&schema, src).map_err(|e| wire::err("engine", e.to_string()))?;
+            let result = if is_constraint {
+                session.add_constraint(name, phi).map(|_| ())
+            } else {
+                session.add_trigger(name, phi)
+            };
+            result.map_err(|e| wire::err("engine", e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Accept-and-upgrade reader for engine stats documents: v2 passes
+/// through, v1 (`ticc-engine-stats-v1`, which predates the `session`
+/// and `server` objects) is upgraded in place — schema rewritten,
+/// missing objects added as `null`. Anything else is refused.
+pub fn upgrade_stats(doc: &Json) -> Result<Json, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "stats document has no \"schema\" field".to_owned())?;
+    match schema {
+        s if s == STATS_SCHEMA => Ok(doc.clone()),
+        s if s == STATS_SCHEMA_V1 => {
+            let Json::Obj(pairs) = doc else {
+                return Err("stats document is not an object".to_owned());
+            };
+            let mut pairs = pairs.clone();
+            for (k, v) in &mut pairs {
+                if k == "schema" {
+                    *v = json::s(STATS_SCHEMA);
+                }
+            }
+            for key in ["session", "server"] {
+                if doc.get(key).is_none() {
+                    pairs.push((key.to_owned(), Json::Null));
+                }
+            }
+            Ok(Json::Obj(pairs))
+        }
+        other => Err(format!(
+            "unknown stats schema '{other}' (this reader speaks {STATS_SCHEMA} and upgrades {STATS_SCHEMA_V1})"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, BufWriter};
+
+    fn request(server: &Server, hello: &mut bool, src: &str) -> Json {
+        let req = json::parse(src).unwrap();
+        let (resp, _) = server.dispatch(&req, hello);
+        json::parse(&resp).unwrap()
+    }
+
+    fn ok_true(resp: &Json) -> bool {
+        resp.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    #[test]
+    fn handshake_is_mandatory_and_versioned() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = false;
+        let r = request(&server, &mut hello, r#"{"op":"open","session":"a"}"#);
+        assert!(!ok_true(&r));
+        assert_eq!(r.get("code").unwrap().as_str(), Some("bad-frame"));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"hello","schema":"ticc-wire-v99"}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("unsupported-schema"));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"hello","schema":"ticc-wire-v1"}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        assert_eq!(r.get("schema").unwrap().as_str(), Some("ticc-wire-v1"));
+    }
+
+    #[test]
+    fn open_append_violation_status_round_trip() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","forall x. G (Sub(x) -> X G !Sub(x))"]],"triggers":[["dup","F (Sub(x) & X F Sub(x))"]]}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["Sub(1)"]}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        assert_eq!(r.get("t").unwrap().as_u64(), Some(0));
+        assert_eq!(r.get("events").unwrap().as_arr().unwrap().len(), 0);
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","delete":["Sub(1)"]}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["Sub(1)"]}"#,
+        );
+        let events = r.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1, "resubmission violates: {r:?}");
+        assert_eq!(events[0].get("constraint").unwrap().as_str(), Some("once"));
+        let fired = r.get("fired").unwrap().as_arr().unwrap();
+        assert_eq!(fired[0].get("trigger").unwrap().as_str(), Some("dup"));
+        assert_eq!(
+            fired[0].get("subst").unwrap().get("x").unwrap().as_u64(),
+            Some(1)
+        );
+        let r = request(&server, &mut hello, r#"{"op":"status","session":"a"}"#);
+        let cs = r.get("constraints").unwrap().as_arr().unwrap();
+        assert_eq!(cs[0].get("status").unwrap().as_str(), Some("violated"));
+    }
+
+    #[test]
+    fn admission_control_answers_backpressure_and_limits() {
+        let limits = Limits {
+            max_sessions: 1,
+            max_inflight_appends: 0,
+            ..Limits::default()
+        };
+        let server = Server::new(CheckOptions::default(), limits);
+        let mut hello = true;
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["P",1]]}"#
+        )));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"b","preds":[["P",1]]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("session-limit"));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["P(1)"]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("backpressure"));
+        // Rejections must not leak inflight slots.
+        assert_eq!(server.inflight.load(Ordering::SeqCst), 0);
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"ghost","insert":["P(1)"]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("unknown-session"));
+    }
+
+    #[test]
+    fn stats_carry_the_server_object() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["P",1]]}"#,
+        );
+        request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["P(1)"]}"#,
+        );
+        let r = request(&server, &mut hello, r#"{"op":"stats","session":"a"}"#);
+        assert!(ok_true(&r), "{r:?}");
+        let stats = r.get("stats").unwrap();
+        assert_eq!(stats.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
+        assert_eq!(stats.get("appends").unwrap().as_u64(), Some(1));
+        let sv = stats.get("server").unwrap();
+        assert_eq!(sv.get("sessions").unwrap().as_u64(), Some(1));
+        assert_eq!(sv.get("schema").unwrap().as_str(), Some(wire::WIRE_SCHEMA));
+        assert_eq!(sv.get("group"), Some(&Json::Null), "ephemeral server");
+    }
+
+    #[test]
+    fn v1_stats_documents_upgrade() {
+        let v1 =
+            json::parse(r#"{"schema":"ticc-engine-stats-v1","appends":7,"store":{"tx_frames":1}}"#)
+                .unwrap();
+        let up = upgrade_stats(&v1).unwrap();
+        assert_eq!(up.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
+        assert_eq!(up.get("appends").unwrap().as_u64(), Some(7));
+        assert_eq!(up.get("session"), Some(&Json::Null));
+        assert_eq!(up.get("server"), Some(&Json::Null));
+        // v2 passes through untouched; unknown schemas are refused.
+        assert_eq!(upgrade_stats(&up).unwrap(), up);
+        let v9 = json::parse(r#"{"schema":"ticc-engine-stats-v9"}"#).unwrap();
+        assert!(upgrade_stats(&v9).is_err());
+    }
+
+    #[test]
+    fn served_over_tcp_end_to_end() {
+        let server = Arc::new(Server::new(CheckOptions::default(), Limits::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let running = Server::start(Arc::clone(&server), listener).unwrap();
+        let stream = TcpStream::connect(running.addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut ask = |src: &str| -> Json {
+            wire::write_frame(&mut writer, src.as_bytes()).unwrap();
+            let bytes = wire::read_frame(&mut reader, 1 << 20).unwrap().unwrap();
+            json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap()
+        };
+        assert!(ok_true(&ask(r#"{"op":"hello","schema":"ticc-wire-v1"}"#)));
+        assert!(ok_true(&ask(
+            r#"{"op":"open","session":"a","preds":[["P",1]],"constraints":[["cap","G !P(9)"]]}"#
+        )));
+        let r = ask(r#"{"op":"append","session":"a","insert":["P(9)"]}"#);
+        assert_eq!(r.get("events").unwrap().as_arr().unwrap().len(), 1);
+        // A malformed frame gets a parse error, then the connection keeps working.
+        let r = ask("{not json");
+        assert_eq!(r.get("code").unwrap().as_str(), Some("parse"));
+        let r = ask(r#"{"op":"status","session":"a"}"#);
+        assert!(ok_true(&r));
+        assert!(ok_true(&ask(r#"{"op":"shutdown"}"#)));
+        running.join();
+    }
+}

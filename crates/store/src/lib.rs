@@ -28,13 +28,19 @@
 //! - [`recovery`] — the scanner ([`Recovered`]): walks frames,
 //!   truncates torn/corrupt tails to the last intact frame, surfaces
 //!   the newest snapshot and the transaction suffix to replay.
+//! - [`group`] — the multi-session group-commit log ([`GroupWal`]):
+//!   one shared `TICCGRP01` file multiplexing session-tagged frames,
+//!   one fsync per commit window regardless of how many sessions'
+//!   appends it covers.
 
 pub mod codec;
 pub mod encode;
+pub mod group;
 pub mod recovery;
 pub mod wal;
 
 pub use encode::{Dec, Enc, StoreError};
+pub use group::{GroupRecovered, GroupStats, GroupWal, RecoveredSession, GROUP_MAGIC};
 pub use recovery::Recovered;
 pub use wal::{frame_checksum, Store, StoreStats, MAGIC, TAG_SNAPSHOT, TAG_TX};
 

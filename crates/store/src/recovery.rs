@@ -41,6 +41,54 @@ pub(crate) struct ScanOutcome {
     pub valid_end: usize,
 }
 
+/// One intact frame located by [`next_frame`].
+#[derive(Debug)]
+pub(crate) struct RawFrame {
+    /// The frame's tag byte.
+    pub tag: u8,
+    /// Byte range of the payload inside the scanned image.
+    pub payload: std::ops::Range<usize>,
+    /// Offset of the first byte after the frame (payload + checksum).
+    pub end: usize,
+}
+
+/// Decodes the frame starting at `pos`, verifying the length bound and
+/// checksum. `None` means no intact frame starts there — a torn tail,
+/// flipped bits, or end of file all look the same — and scans stop and
+/// truncate to `pos`. Shared by the per-session store scanner below
+/// and the group-commit log scanner in [`crate::group`].
+pub(crate) fn next_frame(bytes: &[u8], pos: usize) -> Option<RawFrame> {
+    // Header: 4-byte length + 1-byte tag.
+    if bytes.len().saturating_sub(pos) < 5 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let len = len as usize;
+    let tag = bytes[pos + 4];
+    let body = pos + 5;
+    // Payload + 8-byte checksum must fit.
+    if bytes.len() - body < len + 8 {
+        return None;
+    }
+    let payload = body..body + len;
+    let stored = u64::from_le_bytes(
+        bytes[payload.end..payload.end + 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if stored != frame_checksum(tag, &bytes[payload.clone()]) {
+        return None;
+    }
+    Some(RawFrame {
+        tag,
+        end: payload.end + 8,
+        payload,
+    })
+}
+
 /// Scans a full store image. Fails only when the file is not a store
 /// at all (missing/short/incorrect magic); frame-level damage is
 /// handled by stopping early.
@@ -52,33 +100,9 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<ScanOutcome, StoreError> {
     }
     let mut recovered = Recovered::default();
     let mut pos = MAGIC.len();
-    loop {
-        let frame_start = pos;
-        // Header: 4-byte length + 1-byte tag.
-        if bytes.len() - pos < 5 {
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD {
-            break;
-        }
-        let len = len as usize;
-        let tag = bytes[pos + 4];
-        pos += 5;
-        // Payload + 8-byte checksum must fit.
-        if bytes.len() - pos < len + 8 {
-            pos = frame_start;
-            break;
-        }
-        let payload = &bytes[pos..pos + len];
-        pos += len;
-        let stored = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
-        pos += 8;
-        if stored != frame_checksum(tag, payload) {
-            pos = frame_start;
-            break;
-        }
-        match tag {
+    while let Some(frame) = next_frame(bytes, pos) {
+        let payload = &bytes[frame.payload.clone()];
+        match frame.tag {
             TAG_TX => recovered.suffix.push(payload.to_vec()),
             TAG_SNAPSHOT => {
                 recovered.snapshot = Some(payload.to_vec());
@@ -87,11 +111,11 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<ScanOutcome, StoreError> {
             _ => {
                 // Unknown tag: either a future format or garbage that
                 // happened to checksum — stop here either way.
-                pos = frame_start;
                 break;
             }
         }
         recovered.frames += 1;
+        pos = frame.end;
     }
     Ok(ScanOutcome {
         recovered,

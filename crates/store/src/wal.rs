@@ -98,6 +98,30 @@ impl StoreStats {
     }
 }
 
+/// Appends one encoded frame (`[len][tag][payload][checksum]`) to
+/// `buf`. Shared by the per-session store and the group-commit log.
+pub(crate) fn encode_frame_into(
+    buf: &mut Vec<u8>,
+    tag: u8,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_PAYLOAD)
+        .ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "frame payload of {} bytes too large",
+                payload.len()
+            ))
+        })?;
+    buf.reserve(4 + 1 + payload.len() + 8);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&frame_checksum(tag, payload).to_le_bytes());
+    Ok(())
+}
+
 /// An open write-ahead log, positioned for appending.
 #[derive(Debug)]
 pub struct Store {
@@ -187,20 +211,8 @@ impl Store {
     }
 
     fn append_frame(&mut self, tag: u8, payload: &[u8], fsync: bool) -> Result<(), StoreError> {
-        let len = u32::try_from(payload.len())
-            .ok()
-            .filter(|&l| l <= MAX_PAYLOAD)
-            .ok_or_else(|| {
-                StoreError::Corrupt(format!(
-                    "frame payload of {} bytes too large",
-                    payload.len()
-                ))
-            })?;
-        let mut frame = Vec::with_capacity(4 + 1 + payload.len() + 8);
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.push(tag);
-        frame.extend_from_slice(payload);
-        frame.extend_from_slice(&frame_checksum(tag, payload).to_le_bytes());
+        let mut frame = Vec::new();
+        encode_frame_into(&mut frame, tag, payload)?;
         self.file.write_all(&frame)?;
         self.stats.bytes_written += frame.len() as u64;
         if fsync {
@@ -241,15 +253,8 @@ impl Store {
                 .truncate(true)
                 .open(&tmp_path)?;
             tmp.write_all(MAGIC)?;
-            let len = u32::try_from(snapshot_payload.len())
-                .ok()
-                .filter(|&l| l <= MAX_PAYLOAD)
-                .ok_or_else(|| StoreError::Corrupt("snapshot too large to frame".to_owned()))?;
-            let mut frame = Vec::with_capacity(4 + 1 + snapshot_payload.len() + 8);
-            frame.extend_from_slice(&len.to_le_bytes());
-            frame.push(TAG_SNAPSHOT);
-            frame.extend_from_slice(snapshot_payload);
-            frame.extend_from_slice(&frame_checksum(TAG_SNAPSHOT, snapshot_payload).to_le_bytes());
+            let mut frame = Vec::new();
+            encode_frame_into(&mut frame, TAG_SNAPSHOT, snapshot_payload)?;
             tmp.write_all(&frame)?;
             tmp.sync_data()?;
             self.stats.bytes_written += frame.len() as u64;

@@ -1,0 +1,200 @@
+//! Group-commit fault injection: crash the shared log at every byte
+//! offset and assert the acknowledgement contract — a synced
+//! (acknowledged) append is never lost, an unacknowledged one may be.
+//!
+//! The protocol argument (see `group.rs` docs): frames hit the file in
+//! sequence order and an ack means some `sync_data` covered the
+//! frame's sequence number and everything before it. So if we record
+//! the file length `L_i` observed right after ack `i`, any crash image
+//! of length ≥ `L_i` must recover every append acked by point `i`.
+//! Truncating the real file at *every* byte position exercises both
+//! sides: prefixes past an ack point keep its appends, prefixes inside
+//! the torn tail lose only unacked ones.
+
+use std::collections::BTreeSet;
+
+use ticc_store::codec::tx_from_bytes;
+use ticc_store::{GroupWal, StoreError};
+use ticc_tdb::{Schema, Transaction, Value};
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::builder().pred("P", 1).build()
+}
+
+fn tx(sc: &Schema, v: Value) -> Transaction {
+    Transaction::new().insert(sc.pred("P").unwrap(), vec![v])
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ticc-group-fault-{tag}-{}.wal", std::process::id()))
+}
+
+/// Recovers the set of `(session name, inserted value)` pairs from a
+/// crash image written at `path`.
+fn recovered_set(path: &std::path::Path, sc: &Schema) -> BTreeSet<(String, Value)> {
+    let (_, rec) = GroupWal::open(path).unwrap();
+    let mut out = BTreeSet::new();
+    for s in &rec.sessions {
+        for raw in &s.suffix {
+            let tx = tx_from_bytes(raw, sc).unwrap();
+            for up in tx.updates() {
+                if let ticc_tdb::Update::Insert(_, tuple) = up {
+                    out.insert((s.name.clone(), tuple[0]));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn no_acked_append_is_lost_at_any_crash_point() {
+    let sc = schema();
+    let path = temp_path("acked");
+    let _ = std::fs::remove_file(&path);
+
+    // Interleave two sessions; sync (= acknowledge) every append and
+    // record the file length at each ack together with everything
+    // acked so far.
+    let mut acked_at: Vec<(u64, BTreeSet<(String, Value)>)> = Vec::new();
+    {
+        let wal = GroupWal::create(&path).unwrap();
+        let a = wal.register("alice").unwrap();
+        let b = wal.register("bob").unwrap();
+        let mut acked = BTreeSet::new();
+        for v in 0..6u64 {
+            let (id, name) = if v % 2 == 0 { (a, "alice") } else { (b, "bob") };
+            wal.append_tx(id, &tx(&sc, v), true).unwrap();
+            acked.insert((name.to_owned(), v));
+            let len = std::fs::metadata(&path).unwrap().len();
+            acked_at.push((len, acked.clone()));
+        }
+        // One final *unacked* append: enqueue without sync, then
+        // flush the bytes but treat them as never acknowledged.
+        wal.append_tx(a, &tx(&sc, 99), false).unwrap();
+        wal.flush().unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let all_acked = &acked_at.last().unwrap().1;
+
+    // Below the 9-byte magic there is no log to speak of: an empty
+    // image reopens fresh, a partial header is rejected outright.
+    std::fs::write(&path, b"").unwrap();
+    assert!(GroupWal::open(&path).is_ok());
+    for cut in 1..9 {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(matches!(
+            GroupWal::open(&path),
+            Err(StoreError::NotAStore(_))
+        ));
+    }
+
+    for cut in 9..=bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let got = recovered_set(&path, &sc);
+        // Ack contract: every append acked while the file was ≤ cut
+        // bytes long must be recovered.
+        for (len, acked) in &acked_at {
+            if *len <= cut as u64 {
+                assert!(
+                    acked.is_subset(&got),
+                    "cut {cut}: acked appends (file len {len}) lost: {:?}",
+                    acked.difference(&got).collect::<Vec<_>>()
+                );
+            }
+        }
+        // And nothing is invented: recovery only ever surfaces appends
+        // we actually made.
+        for (name, v) in &got {
+            assert!(
+                all_acked.contains(&(name.clone(), *v)) || *v == 99,
+                "cut {cut}: recovered unknown append {name}/{v}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corruption_inside_an_unacked_window_never_touches_acked_frames() {
+    let sc = schema();
+    let path = temp_path("corrupt");
+    let _ = std::fs::remove_file(&path);
+
+    let acked_len;
+    {
+        let wal = GroupWal::create(&path).unwrap();
+        let a = wal.register("alice").unwrap();
+        for v in 0..3u64 {
+            wal.append_tx(a, &tx(&sc, v), true).unwrap();
+        }
+        acked_len = std::fs::metadata(&path).unwrap().len() as usize;
+        // An unacked tail window.
+        wal.append_tx(a, &tx(&sc, 50), false).unwrap();
+        wal.append_tx(a, &tx(&sc, 51), false).unwrap();
+        wal.flush().unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let acked: BTreeSet<(String, Value)> = (0..3u64).map(|v| ("alice".to_owned(), v)).collect();
+
+    // Flip every byte of the unacked tail in turn: the acked prefix
+    // must survive every variant.
+    for pos in acked_len..bytes.len() {
+        let mut broken = bytes.clone();
+        broken[pos] ^= 0xff;
+        std::fs::write(&path, &broken).unwrap();
+        let got = recovered_set(&path, &sc);
+        assert!(
+            acked.is_subset(&got),
+            "corrupt byte {pos}: acked appends lost"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reopen_after_crash_appends_cleanly() {
+    let sc = schema();
+    let path = temp_path("reopen");
+    let _ = std::fs::remove_file(&path);
+    {
+        let wal = GroupWal::create(&path).unwrap();
+        let a = wal.register("alice").unwrap();
+        wal.append_tx(a, &tx(&sc, 1), true).unwrap();
+    }
+    // Torn tail: half a frame of garbage, as a crash mid-write leaves.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0x55; 9]).unwrap();
+    }
+    let (wal, rec) = GroupWal::open(&path).unwrap();
+    assert_eq!(rec.truncated_bytes, 9);
+    assert_eq!(rec.sessions.len(), 1);
+    let a = wal.register("alice").unwrap();
+    wal.append_tx(a, &tx(&sc, 2), true).unwrap();
+    drop(wal);
+    let (_, rec2) = GroupWal::open(&path).unwrap();
+    assert_eq!(rec2.truncated_bytes, 0);
+    assert_eq!(rec2.sessions[0].suffix.len(), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn non_group_file_is_rejected_not_truncated() {
+    let path = temp_path("reject");
+    std::fs::write(&path, b"TICCSTOR1 definitely a per-session store").unwrap();
+    match GroupWal::open(&path) {
+        Err(StoreError::NotAStore(msg)) => assert!(msg.contains("TICCGRP01")),
+        other => panic!("expected NotAStore, got {other:?}"),
+    }
+    // The reject must not have modified the file.
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        b"TICCSTOR1 definitely a per-session store"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -155,9 +155,42 @@ rc=0
 rm -f "$wal" "$sess1" "$sess2"
 echo "durability smoke: OK"
 
+echo "==> server smoke (ticc-server over loopback, 2 sessions, group WAL)"
+# Start the server on an OS-assigned port, read the bound address off
+# its stderr, then run a whole scripted session through the bundled
+# client: two tenants, appends from both, a constraint violation
+# arriving as a wire event, and a clean shutdown (exit code 0).
+gwal="$(mktemp -u)"
+slog="$(mktemp)"
+./target/release/ticc-server serve --addr 127.0.0.1:0 --wal "$gwal" 2> "$slog" &
+spid=$!
+addr=""
+tries=0
+while [ $tries -lt 100 ]; do
+    addr="$(sed -n 's/^ticc-server: listening on \([0-9.:]*\) .*/\1/p' "$slog")"
+    [ -n "$addr" ] && break
+    tries=$((tries + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server smoke: server did not start"; cat "$slog"; exit 1; }
+out="$(printf '%s\n' \
+    '{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","forall x. G (Sub(x) -> X G !Sub(x))"]]}' \
+    '{"op":"open","session":"b","preds":[["Sub",1]]}' \
+    '{"op":"append","session":"b","insert":["Sub(7)"]}' \
+    '{"op":"append","session":"a","insert":["Sub(1)"]}' \
+    '{"op":"append","session":"a","insert":["Sub(1)"]}' \
+    '{"op":"stats","session":"a"}' \
+    '{"op":"shutdown"}' \
+    | ./target/release/ticc-server client --addr "$addr")"
+echo "$out" | grep -q '"constraint":"once"' || { echo "server smoke: expected a violation event over the wire"; exit 1; }
+echo "$out" | grep -q '"schema":"ticc-engine-stats-v2"' || { echo "server smoke: expected v2 stats"; exit 1; }
+wait $spid || { echo "server smoke: server did not shut down cleanly"; exit 1; }
+rm -f "$gwal" "$slog"
+echo "server smoke: OK"
+
 if [ "${1:-}" = "--release" ]; then
-    echo "==> E13/E14/E15/E16 bench smoke (release)"
-    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 --smoke
+    echo "==> E13/E14/E15/E16/E17 bench smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 e17 --smoke
 fi
 
 echo "verify: OK"

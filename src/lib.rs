@@ -72,25 +72,46 @@ pub mod shell;
 /// monitor.add_constraint("once-only", phi).unwrap();
 /// ```
 ///
-/// Covers: the online [`Monitor`](ticc_core::Monitor) and the shared
-/// [`Engine`](ticc_core::Engine), the
+/// Covers: the lifecycle-owning [`Session`](ticc_core::Session) (opened
+/// via [`Session::builder()`](ticc_core::Session::builder)), the online
+/// [`Monitor`](ticc_core::Monitor), the
 /// [`TriggerEngine`](ticc_core::TriggerEngine) duality layer, one-shot
 /// [`check_potential_satisfaction`](ticc_core::check_potential_satisfaction),
 /// the unified [`Error`](ticc_core::Error), the
 /// [`CheckOptions`](ticc_core::CheckOptions) builder with its
-/// [`Threads`](ticc_core::Threads) policy, the database substrate
+/// [`Threads`](ticc_core::Threads) policy, the durability backends
+/// ([`Store`](ticc_core::Store) and the group-commit
+/// [`GroupWal`](ticc_core::GroupWal)), the database substrate
 /// ([`Schema`](ticc_tdb::Schema), [`State`](ticc_tdb::State),
 /// [`Transaction`](ticc_tdb::Transaction),
 /// [`History`](ticc_tdb::History)), and the constraint
 /// [`parse`](ticc_fotl::parser::parse)r.
+///
+/// Direct engine construction from the prelude is deprecated:
+/// [`Session::builder()`](ticc_core::Session::builder) owns the
+/// schema/constraint/durability lifecycle that callers previously
+/// re-derived around a raw engine. Embedders that really want the
+/// shared core (custom persistence, no session semantics) should take
+/// it from [`ticc_core::Engine`] explicitly.
 pub mod prelude {
     pub use ticc_core::{
         check_potential_satisfaction, earliest_violation, explain, Action, CheckOptions,
-        CheckOptionsBuilder, CheckOutcome, ConstraintId, Durability, Encoding, Engine, Error,
-        GroundMode, GroundStrategy, Monitor, MonitorEvent, Notion, OpenReport, Regrounding, Status,
-        Store, StoreStats, Threads, Trigger, TriggerEngine,
+        CheckOptionsBuilder, CheckOutcome, Committed, ConstraintId, Durability, Encoding, Error,
+        GroundMode, GroundStrategy, GroupWal, Monitor, MonitorEvent, Notion, OpenReport,
+        OpenSummary, Regrounding, Session, SessionBuilder, SessionStats, Status, Store, StoreStats,
+        Threads, Trigger, TriggerEngine,
     };
     pub use ticc_fotl::parser::parse;
     pub use ticc_fotl::Formula;
     pub use ticc_tdb::{History, Schema, State, Transaction, Value};
+
+    /// Deprecated prelude alias (the PR 2 `MonitorError` pattern): the
+    /// prelude path now steers to [`Session::builder()`]. The type
+    /// itself is unchanged and fully supported at [`ticc_core::Engine`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "open a `Session` via `Session::builder()`; embedders wanting the raw shared \
+                core should import `ticc_core::Engine` directly"
+    )]
+    pub type Engine = ticc_core::Engine;
 }

@@ -7,6 +7,13 @@
 //! stdin REPL; the engine itself is a plain `line in → report out`
 //! state machine, which keeps it fully testable.
 //!
+//! The shell is a thin text veneer over
+//! [`ticc_core::Session`] — the session owns the schema
+//! lifecycle, constraints, triggers, staging, durability, and stats;
+//! the shell owns parsing and report formatting. Anything the shell
+//! can do, an embedder (or the `ticc-server`) can do through the same
+//! [`Session`](ticc_core::Session) API.
+//!
 //! ```text
 //! schema pred Sub 1              # declare predicates (before first commit)
 //! schema const vip = 7           # declare constants with interpretation
@@ -26,54 +33,32 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
-use ticc_core::{
-    check_potential_satisfaction, CheckOptions, ConstraintId, Engine, EngineStats, Monitor, Status,
-    Trigger, TriggerEngine,
-};
+use ticc_core::{check_potential_satisfaction, CheckOptions, Error, Session, Status};
 use ticc_fotl::parser::parse;
-use ticc_fotl::Formula;
-use ticc_store::codec::{formula_decode, formula_encode, parse_fact, tx_from_bytes};
-use ticc_store::{Dec, Enc, Store};
-use ticc_tdb::{Schema, Transaction, Value};
+use ticc_store::codec::parse_fact;
+use ticc_tdb::Value;
 
 /// Shell outcome for one command.
 pub type Reply = Result<String, String>;
 
-enum Phase {
-    /// Collecting schema declarations.
-    Defining {
-        preds: Vec<(String, usize)>,
-        consts: Vec<(String, Value)>,
-    },
-    /// Schema frozen; monitor live.
-    Running {
-        monitor: Box<Monitor>,
-        triggers: Box<TriggerEngine>,
-        trigger_defs: Vec<(String, Formula)>,
-        constraint_ids: Vec<(String, ConstraintId, Formula)>,
-        pending: Transaction,
-        pending_desc: Vec<String>,
-    },
-}
-
-/// A store opened before the schema exists: held until the schema
-/// freezes, then its logged transactions replay and it attaches to the
-/// engine (see [`Shell::with_store`]).
-struct DeferredStore {
-    store: Store,
-    suffix: Vec<Vec<u8>>,
-}
-
-/// The shell engine.
+/// The shell engine: a [`Session`] plus the command grammar.
 pub struct Shell {
-    phase: Phase,
-    opts: CheckOptions,
-    deferred: Option<DeferredStore>,
+    session: Session,
 }
 
 impl Default for Shell {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Renders a core error the way the shell always has: session and
+/// store rules read as plain sentences, pipeline failures keep their
+/// layer prefix (`grounding:`, `satisfiability:`, `database:`).
+fn msg(e: Error) -> String {
+    match e {
+        Error::Session(m) | Error::Store(m) => m,
+        other => other.to_string(),
     }
 }
 
@@ -86,14 +71,11 @@ impl Shell {
     /// A fresh shell using `opts` for every monitor, trigger, and
     /// ad-hoc check (this is how `ticc-shell --threads N` plugs in).
     pub fn with_options(opts: CheckOptions) -> Self {
-        Self {
-            phase: Phase::Defining {
-                preds: Vec::new(),
-                consts: Vec::new(),
-            },
-            opts,
-            deferred: None,
-        }
+        let (session, _) = Session::builder()
+            .options(opts)
+            .open()
+            .expect("an ephemeral session cannot fail to open");
+        Self { session }
     }
 
     /// A shell backed by a durable store at `path` (this is how
@@ -102,88 +84,42 @@ impl Shell {
     ///
     /// If the store holds a checkpoint, the whole session resumes from
     /// it: schema, constants, history, constraints, statuses, and the
-    /// triggers saved in the shell's application blob, plus any
+    /// triggers saved in the session's application blob, plus any
     /// transactions logged after the checkpoint. Without a checkpoint
     /// the shell starts in the schema-definition phase and any logged
     /// transactions replay once the schema is redeclared.
     pub fn with_store(opts: CheckOptions, path: &Path) -> Result<(Self, String), String> {
-        let (store, recovered) = Store::open_or_create(path)
-            .map_err(|e| format!("cannot open store {}: {e}", path.display()))?;
-        let dropped = if recovered.truncated_bytes > 0 {
-            format!(
-                "; dropped {} corrupt trailing byte(s)",
-                recovered.truncated_bytes
-            )
+        let (session, rec) = Session::builder()
+            .options(opts)
+            .store(path)
+            .open()
+            .map_err(msg)?;
+        let dropped = if rec.truncated_bytes > 0 {
+            format!("; dropped {} corrupt trailing byte(s)", rec.truncated_bytes)
         } else {
             String::new()
         };
-        let Some(snap) = &recovered.snapshot else {
-            let pending = recovered.suffix.len();
-            let summary = if pending > 0 {
-                format!(
-                    "opened store {} (no checkpoint): {pending} logged transaction(s) will \
-                     replay once the schema is redeclared{dropped}",
-                    path.display()
-                )
-            } else {
-                format!("opened store {}{dropped}", path.display())
-            };
-            let mut shell = Self::with_options(opts);
-            shell.deferred = Some(DeferredStore {
-                store,
-                suffix: recovered.suffix,
-            });
-            return Ok((shell, summary));
+        let summary = if rec.resumed {
+            format!(
+                "restored from {}: {} state(s), {} constraint(s), {} trigger(s), replayed {} \
+                 logged transaction(s){dropped}",
+                path.display(),
+                rec.states,
+                rec.constraints,
+                rec.triggers,
+                rec.replayed,
+            )
+        } else if rec.pending_replay > 0 {
+            format!(
+                "opened store {} (no checkpoint): {} logged transaction(s) will \
+                 replay once the schema is redeclared{dropped}",
+                path.display(),
+                rec.pending_replay
+            )
+        } else {
+            format!("opened store {}{dropped}", path.display())
         };
-        let (mut engine, app) = Engine::restore_bytes(snap, opts)
-            .map_err(|e| format!("cannot restore checkpoint from {}: {e}", path.display()))?;
-        let schema = engine.history().schema().clone();
-        for payload in &recovered.suffix {
-            // The store is not attached yet, so replay is not re-logged.
-            let tx = tx_from_bytes(payload, &schema)
-                .map_err(|e| format!("corrupt logged transaction in {}: {e}", path.display()))?;
-            engine
-                .append(&tx)
-                .map_err(|e| format!("cannot replay logged transaction: {e}"))?;
-        }
-        engine.attach_store(store);
-        let constraint_ids: Vec<(String, ConstraintId, Formula)> = engine
-            .constraints()
-            .map(|id| (engine.name(id).to_owned(), id, engine.formula(id).clone()))
-            .collect();
-        let trigger_defs = decode_app(&app, &schema)?;
-        let mut triggers = TriggerEngine::new(opts);
-        for (name, phi) in &trigger_defs {
-            triggers
-                .add(Trigger {
-                    name: name.clone(),
-                    condition: phi.clone(),
-                    action: ticc_core::Action::Log,
-                })
-                .map_err(|e| format!("cannot restore trigger '{name}': {e}"))?;
-        }
-        let summary = format!(
-            "restored from {}: {} state(s), {} constraint(s), {} trigger(s), replayed {} \
-             logged transaction(s){dropped}",
-            path.display(),
-            engine.history().len(),
-            constraint_ids.len(),
-            trigger_defs.len(),
-            recovered.suffix.len(),
-        );
-        let shell = Self {
-            phase: Phase::Running {
-                monitor: Box::new(Monitor::from_engine(engine)),
-                triggers: Box::new(triggers),
-                trigger_defs,
-                constraint_ids,
-                pending: Transaction::new(),
-                pending_desc: Vec::new(),
-            },
-            opts,
-            deferred: None,
-        };
-        Ok((shell, summary))
+        Ok((Self { session }, summary))
     }
 
     /// Executes one command line; returns the report to show the user.
@@ -216,77 +152,31 @@ impl Shell {
         }
     }
 
-    /// Freezes the schema and switches to the running phase.
-    fn ensure_running(&mut self) -> Result<&mut Phase, String> {
-        if let Phase::Defining { preds, consts } = &self.phase {
-            if preds.is_empty() {
-                return Err(
-                    "declare at least one predicate first (schema pred <name> <arity>)".to_owned(),
-                );
-            }
-            let mut b = Schema::builder();
-            for (name, arity) in preds {
-                b = b.pred(name, *arity);
-            }
-            for (name, _) in consts {
-                b = b.constant(name);
-            }
-            let schema = b.build();
-            let mut history = ticc_tdb::History::new(schema.clone());
-            for (name, value) in consts {
-                let c = schema.constant(name).expect("just declared");
-                history.set_constant(c, *value);
-            }
-            let mut monitor = Monitor::with_history(history, self.opts);
-            if let Some(deferred) = self.deferred.take() {
-                // A store opened before the schema existed: replay its
-                // logged transactions (not re-logged — the store is not
-                // attached yet), then attach it for the session.
-                for payload in &deferred.suffix {
-                    let tx = tx_from_bytes(payload, &schema).map_err(|e| {
-                        format!("logged transaction does not match the declared schema: {e}")
-                    })?;
-                    monitor
-                        .append(&tx)
-                        .map_err(|e| format!("cannot replay logged transaction: {e}"))?;
-                }
-                monitor.engine_mut().attach_store(deferred.store);
-            }
-            self.phase = Phase::Running {
-                monitor: Box::new(monitor),
-                triggers: Box::new(TriggerEngine::new(self.opts)),
-                trigger_defs: Vec::new(),
-                constraint_ids: Vec::new(),
-                pending: Transaction::new(),
-                pending_desc: Vec::new(),
-            };
+    /// Freezes the schema (bringing the session up) with the shell's
+    /// traditional wording for the empty-schema case.
+    fn ensure_running(&mut self) -> Result<(), String> {
+        if self.session.is_defining() && self.session.declared_preds() == 0 {
+            return Err(
+                "declare at least one predicate first (schema pred <name> <arity>)".to_owned(),
+            );
         }
-        Ok(&mut self.phase)
+        self.session.freeze().map_err(msg)
     }
 
     fn cmd_schema(&mut self, rest: &str) -> Reply {
-        let Phase::Defining { preds, consts } = &mut self.phase else {
+        if !self.session.is_defining() {
             return Err("the schema is frozen once constraints or updates exist".to_owned());
-        };
+        }
         let parts: Vec<&str> = rest.split_whitespace().collect();
         match parts.as_slice() {
             ["pred", name, arity] => {
                 let arity: usize = arity.parse().map_err(|_| format!("bad arity '{arity}'"))?;
-                if arity == 0 {
-                    return Err("arity must be at least 1".to_owned());
-                }
-                if preds.iter().any(|(n, _)| n == name) || consts.iter().any(|(n, _)| n == name) {
-                    return Err(format!("duplicate symbol '{name}'"));
-                }
-                preds.push(((*name).to_owned(), arity));
+                self.session.declare_pred(name, arity).map_err(msg)?;
                 Ok(format!("predicate {name}/{arity}"))
             }
             ["const", name, "=", value] => {
                 let value: Value = value.parse().map_err(|_| format!("bad value '{value}'"))?;
-                if preds.iter().any(|(n, _)| n == name) || consts.iter().any(|(n, _)| n == name) {
-                    return Err(format!("duplicate symbol '{name}'"));
-                }
-                consts.push(((*name).to_owned(), value));
+                self.session.declare_const(name, value).map_err(msg)?;
                 Ok(format!("constant {name} = {value}"))
             }
             _ => {
@@ -300,21 +190,14 @@ impl Shell {
             return Err("usage: constraint <name>: <formula>".to_owned());
         };
         let (name, src) = (name.trim().to_owned(), src.trim().to_owned());
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            constraint_ids,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
-        let phi = parse(monitor.history().schema(), &src).map_err(|e| e.to_string())?;
+        self.ensure_running()?;
+        let schema = self.session.schema().expect("running");
+        let phi = parse(&schema, &src).map_err(|e| e.to_string())?;
         let class = ticc_fotl::classify::classify(&phi);
-        let id = monitor
-            .add_constraint(name.clone(), phi.clone())
-            .map_err(|e| e.to_string())?;
-        constraint_ids.push((name.clone(), id, phi.clone()));
+        let id = self
+            .session
+            .add_constraint(&name, phi.clone())
+            .map_err(msg)?;
         let mut out = format!("constraint '{name}' registered ({class:?})");
         if !ticc_fotl::classify::is_syntactically_safe(&phi) {
             let _ = write!(
@@ -323,7 +206,7 @@ impl Shell {
                  safety sentence"
             );
         }
-        if let Status::Violated { at } = monitor.status(id) {
+        if let Status::Violated { at } = self.session.status(id) {
             let _ = write!(out, "\nalready VIOLATED at history length {at}");
         }
         Ok(out)
@@ -334,84 +217,40 @@ impl Shell {
             return Err("usage: trigger <name>: <condition formula>".to_owned());
         };
         let (name, src) = (name.trim().to_owned(), src.trim().to_owned());
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            triggers,
-            trigger_defs,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
-        let condition = parse(monitor.history().schema(), &src).map_err(|e| e.to_string())?;
-        triggers
-            .add(Trigger {
-                name: name.clone(),
-                condition: condition.clone(),
-                action: ticc_core::Action::Log,
-            })
-            .map_err(|e| e.to_string())?;
-        trigger_defs.push((name.clone(), condition));
+        self.ensure_running()?;
+        let schema = self.session.schema().expect("running");
+        let condition = parse(&schema, &src).map_err(|e| e.to_string())?;
+        self.session.add_trigger(&name, condition).map_err(msg)?;
         Ok(format!("trigger '{name}' registered"))
     }
 
     fn cmd_update(&mut self, rest: &str, insert: bool) -> Reply {
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            pending,
-            pending_desc,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
-        let schema = monitor.history().schema().clone();
+        self.ensure_running()?;
+        let schema = self.session.schema().expect("running");
         let (pred, tuple) = parse_fact(&schema, rest)?;
         let verb = if insert { "insert" } else { "delete" };
-        let staged = std::mem::take(pending);
-        *pending = if insert {
-            staged.insert(pred, tuple.clone())
-        } else {
-            staged.delete(pred, tuple.clone())
-        };
-        pending_desc.push(format!("{verb} {rest}"));
+        self.session.stage(insert, pred, tuple).map_err(msg)?;
         Ok(format!("staged: {verb} {rest}"))
     }
 
     fn cmd_commit(&mut self) -> Reply {
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            triggers,
-            pending,
-            pending_desc,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
-        let tx = std::mem::take(pending);
-        let n_updates = pending_desc.len();
-        pending_desc.clear();
-        let events = monitor.append(&tx).map_err(|e| e.to_string())?;
-        let t = monitor.history().len() - 1;
+        self.ensure_running()?;
+        let committed = self.session.commit().map_err(msg)?;
+        let history = self.session.history().expect("running");
         let mut out = format!(
-            "t={t}: committed {n_updates} update(s); state = {}",
-            monitor.history().state(t).display()
+            "t={}: committed {} update(s); state = {}",
+            committed.t,
+            committed.ops,
+            history.state(committed.t).display()
         );
-        for e in &events {
+        for e in &committed.events {
             let _ = write!(
                 out,
                 "\n  VIOLATION: '{}' — unavoidable after {} state(s)",
                 e.name, e.at
             );
         }
-        let fired = triggers
-            .evaluate(monitor.history())
-            .map_err(|e| e.to_string())?;
-        for f in &fired {
+        for f in &committed.fired {
             let subst: Vec<String> = f
                 .substitution
                 .iter()
@@ -428,21 +267,10 @@ impl Shell {
     }
 
     fn cmd_status(&mut self) -> Reply {
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            constraint_ids,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
-        if constraint_ids.is_empty() {
-            return Ok("no constraints registered".to_owned());
-        }
+        self.ensure_running()?;
         let mut out = String::new();
-        for (name, id, _) in constraint_ids.iter() {
-            let line = match monitor.status(*id) {
+        for (id, name, _) in self.session.constraints() {
+            let line = match self.session.status(id) {
                 Status::Satisfied => format!("{name}: potentially satisfied"),
                 Status::Violated { at } => {
                     format!("{name}: VIOLATED (after {at} state(s))")
@@ -453,6 +281,9 @@ impl Shell {
             }
             out.push_str(&line);
         }
+        if out.is_empty() {
+            return Ok("no constraints registered".to_owned());
+        }
         Ok(out)
     }
 
@@ -462,18 +293,12 @@ impl Shell {
             "--json" => true,
             other => return Err(format!("usage: stats [--json] (got '{other}')")),
         };
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor, triggers, ..
-        } = phase
-        else {
-            unreachable!()
-        };
+        self.ensure_running()?;
         if json {
-            return Ok(stats_json(&monitor.engine_stats()));
+            return Ok(self.session.stats_json());
         }
-        let mut out = monitor.engine_stats().render();
-        let ts = triggers.stats();
+        let mut out = self.session.stats().engine.render();
+        let ts = self.session.trigger_stats();
         if ts.grounds > 0 {
             let _ = write!(
                 out,
@@ -490,45 +315,22 @@ impl Shell {
     /// `compact` additionally rewrites the log so it holds nothing but
     /// that snapshot.
     fn cmd_checkpoint(&mut self, compact: bool) -> Reply {
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            trigger_defs,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
-        let app = encode_app(trigger_defs);
-        let engine = monitor.engine_mut();
-        if engine.store().is_none() {
+        self.ensure_running()?;
+        if !self.session.has_store() {
             return Err("no store attached (run the shell with --store <path>)".to_owned());
         }
-        if compact {
-            engine.compact(&app).map_err(|e| e.to_string())?;
-        } else {
-            engine.checkpoint(&app).map_err(|e| e.to_string())?;
-        }
-        let stats = engine.store_stats().unwrap_or_default();
         Ok(if compact {
-            format!(
-                "log compacted to a single {} byte checkpoint",
-                stats.last_snapshot_bytes
-            )
+            let bytes = self.session.compact().map_err(msg)?;
+            format!("log compacted to a single {bytes} byte checkpoint")
         } else {
-            format!(
-                "checkpoint written ({} byte snapshot)",
-                stats.last_snapshot_bytes
-            )
+            let bytes = self.session.checkpoint().map_err(msg)?;
+            format!("checkpoint written ({bytes} byte snapshot)")
         })
     }
 
     fn cmd_history(&mut self) -> Reply {
-        let phase = self.ensure_running()?;
-        let Phase::Running { monitor, .. } = phase else {
-            unreachable!()
-        };
-        let h = monitor.history();
+        self.ensure_running()?;
+        let h = self.session.history().expect("running");
         if h.is_empty() {
             return Ok("history is empty (use insert/delete + commit)".to_owned());
         }
@@ -543,14 +345,11 @@ impl Shell {
     }
 
     fn cmd_check(&mut self, rest: &str) -> Reply {
-        let opts = self.opts;
-        let phase = self.ensure_running()?;
-        let Phase::Running { monitor, .. } = phase else {
-            unreachable!()
-        };
-        let phi = parse(monitor.history().schema(), rest).map_err(|e| e.to_string())?;
-        let out = check_potential_satisfaction(monitor.history(), &phi, &opts)
-            .map_err(|e| e.to_string())?;
+        self.ensure_running()?;
+        let opts = self.session.options();
+        let h = self.session.history().expect("running");
+        let phi = parse(h.schema(), rest).map_err(|e| e.to_string())?;
+        let out = check_potential_satisfaction(h, &phi, &opts).map_err(|e| e.to_string())?;
         Ok(if out.potentially_satisfied {
             "potentially satisfied (an extension exists)".to_owned()
         } else {
@@ -559,32 +358,27 @@ impl Shell {
     }
 
     fn cmd_explain(&mut self, rest: &str) -> Reply {
-        let opts = self.opts;
-        let phase = self.ensure_running()?;
-        let Phase::Running { monitor, .. } = phase else {
-            unreachable!()
-        };
-        let phi = parse(monitor.history().schema(), rest).map_err(|e| e.to_string())?;
-        Ok(ticc_core::explain(monitor.history(), &phi, &opts))
+        self.ensure_running()?;
+        let opts = self.session.options();
+        let h = self.session.history().expect("running");
+        let phi = parse(h.schema(), rest).map_err(|e| e.to_string())?;
+        Ok(ticc_core::explain(h, &phi, &opts))
     }
 
     fn cmd_witness(&mut self, rest: &str) -> Reply {
-        let opts = self.opts;
-        let phase = self.ensure_running()?;
-        let Phase::Running {
-            monitor,
-            constraint_ids,
-            ..
-        } = phase
-        else {
-            unreachable!()
-        };
+        self.ensure_running()?;
+        let opts = self.session.options();
         let name = rest.trim();
-        let Some((_, _, phi)) = constraint_ids.iter().find(|(n, _, _)| n == name) else {
+        let Some(phi) = self
+            .session
+            .constraints()
+            .find(|(_, n, _)| *n == name)
+            .map(|(_, _, phi)| phi.clone())
+        else {
             return Err(format!("no constraint named '{name}'"));
         };
-        let out = check_potential_satisfaction(monitor.history(), phi, &opts)
-            .map_err(|e| e.to_string())?;
+        let h = self.session.history().expect("running");
+        let out = check_potential_satisfaction(h, &phi, &opts).map_err(|e| e.to_string())?;
         let Some(w) = out.witness else {
             return Ok(format!(
                 "'{name}' is violated: no extension exists, hence no witness"
@@ -605,123 +399,6 @@ impl Shell {
         }
         Ok(text)
     }
-}
-
-/// Version tag of the shell's application blob inside checkpoints
-/// (currently: the registered triggers).
-const APP_VERSION: u32 = 1;
-
-/// Encodes the shell's trigger definitions into the checkpoint's
-/// application blob.
-fn encode_app(trigger_defs: &[(String, Formula)]) -> Vec<u8> {
-    let mut e = Enc::new();
-    e.u32(APP_VERSION);
-    e.usize(trigger_defs.len());
-    for (name, phi) in trigger_defs {
-        e.str(name);
-        formula_encode(&mut e, phi);
-    }
-    e.into_bytes()
-}
-
-/// Decodes the application blob back into trigger definitions. An
-/// empty blob (a checkpoint written by a non-shell embedder) simply
-/// restores no triggers.
-fn decode_app(bytes: &[u8], schema: &Schema) -> Result<Vec<(String, Formula)>, String> {
-    if bytes.is_empty() {
-        return Ok(Vec::new());
-    }
-    let fail = |e: ticc_store::StoreError| format!("corrupt shell state in checkpoint: {e}");
-    let mut d = Dec::new(bytes);
-    let version = d.u32().map_err(fail)?;
-    if version != APP_VERSION {
-        return Err(format!(
-            "checkpoint written by a newer shell (app blob version {version}, \
-             this shell speaks {APP_VERSION})"
-        ));
-    }
-    let n = d.usize().map_err(fail)?;
-    let mut defs = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        let name = d.str().map_err(fail)?.to_owned();
-        let phi = formula_decode(&mut d, schema).map_err(fail)?;
-        defs.push((name, phi));
-    }
-    d.finish().map_err(fail)?;
-    Ok(defs)
-}
-
-/// Renders the engine statistics as a single JSON object. The format
-/// is versioned through the `"schema"` field so scripts can detect
-/// incompatible changes; durations are nanoseconds.
-fn stats_json(s: &EngineStats) -> String {
-    let mut o = String::from("{");
-    let _ = write!(o, "\"schema\":\"ticc-engine-stats-v1\"");
-    let _ = write!(o, ",\"appends\":{}", s.appends);
-    let _ = write!(o, ",\"fast_appends\":{}", s.fast_appends);
-    let _ = write!(o, ",\"grounds\":{}", s.grounds);
-    let _ = write!(o, ",\"regrounds\":{}", s.regrounds);
-    let _ = write!(o, ",\"delta_grounds\":{}", s.delta_grounds);
-    let _ = write!(o, ",\"new_conjuncts\":{}", s.new_conjuncts);
-    let _ = write!(o, ",\"replayed_conjuncts\":{}", s.replayed_conjuncts);
-    let _ = write!(o, ",\"progress_steps\":{}", s.progress_steps);
-    let _ = write!(o, ",\"encode_patched_atoms\":{}", s.encode_patched_atoms);
-    let _ = write!(o, ",\"sat_checks\":{}", s.sat_checks);
-    let _ = write!(
-        o,
-        ",\"automata\":{{\"templates_compiled\":{},\"automaton_states\":{},\
-         \"automaton_insts\":{},\"automaton_appends\":{},\"automaton_steps\":{},\
-         \"compile_time_ns\":{}}}",
-        s.templates_compiled,
-        s.automaton_states,
-        s.automaton_insts,
-        s.automaton_appends,
-        s.automaton_steps,
-        s.automaton_compile_time.as_nanos()
-    );
-    let _ = write!(
-        o,
-        ",\"cache\":{{\"sat_hits\":{},\"sat_evictions\":{},\"transition_hits\":{},\
-         \"transition_misses\":{},\"transition_evictions\":{},\"letter_index_len\":{}}}",
-        s.cache.sat_hits,
-        s.cache.sat_evictions,
-        s.cache.transition_hits,
-        s.cache.transition_misses,
-        s.cache.transition_evictions,
-        s.cache.letter_index_len
-    );
-    let _ = write!(
-        o,
-        ",\"store\":{{\"tx_frames\":{},\"snapshot_frames\":{},\"bytes_written\":{},\
-         \"fsyncs\":{},\"last_snapshot_bytes\":{},\"recovered_txs\":{},\"truncated_bytes\":{}}}",
-        s.store.tx_frames,
-        s.store.snapshot_frames,
-        s.store.bytes_written,
-        s.store.fsyncs,
-        s.store.last_snapshot_bytes,
-        s.store.recovered_txs,
-        s.store.truncated_bytes
-    );
-    let _ = write!(o, ",\"letters\":{}", s.letters);
-    let _ = write!(o, ",\"arena_nodes\":{}", s.arena_nodes);
-    let _ = write!(o, ",\"mappings\":{}", s.mappings);
-    let _ = write!(o, ",\"inst_enumerated\":{}", s.inst_enumerated);
-    let _ = write!(o, ",\"inst_pruned\":{}", s.inst_pruned);
-    let _ = write!(o, ",\"inst_shared\":{}", s.inst_shared);
-    let _ = write!(o, ",\"ground_time_ns\":{}", s.ground_time.as_nanos());
-    let _ = write!(
-        o,
-        ",\"index_build_time_ns\":{}",
-        s.index_build_time.as_nanos()
-    );
-    let _ = write!(o, ",\"progress_time_ns\":{}", s.progress_time.as_nanos());
-    let _ = write!(o, ",\"sat_time_ns\":{}", s.sat_time.as_nanos());
-    let _ = write!(o, ",\"par_phases\":{}", s.par_phases);
-    let _ = write!(o, ",\"par_workers\":{}", s.par_workers);
-    let _ = write!(o, ",\"par_time_ns\":{}", s.par_time.as_nanos());
-    let _ = write!(o, ",\"par_busy_time_ns\":{}", s.par_busy_time.as_nanos());
-    o.push('}');
-    o
 }
 
 const HELP: &str = "commands:
@@ -1040,11 +717,14 @@ mod tests {
         );
         let j = sh.exec("stats --json").unwrap();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
-        assert!(j.contains("\"schema\":\"ticc-engine-stats-v1\""), "{j}");
+        assert!(j.contains("\"schema\":\"ticc-engine-stats-v2\""), "{j}");
         assert!(j.contains("\"appends\":1"), "{j}");
         assert!(j.contains("\"automata\":{\"templates_compiled\":"), "{j}");
         assert!(j.contains("\"store\":{\"tx_frames\":1"), "{j}");
         assert!(j.contains("\"snapshot_frames\":1"), "{j}");
+        // v2 layers the session and server objects over the v1 fields.
+        assert!(j.contains("\"session\":{\"commits\":1"), "{j}");
+        assert!(j.contains("\"server\":null"), "{j}");
         assert!(sh.exec("stats bogus").is_err());
         let _ = std::fs::remove_file(&path);
     }
