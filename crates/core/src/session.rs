@@ -495,6 +495,13 @@ impl Session {
     /// history, constraints, residues, triggers) — to the durable
     /// backend. Returns the snapshot size in bytes.
     pub fn checkpoint(&mut self) -> Result<u64, Error> {
+        self.checkpoint_inner().map(|(bytes, _)| bytes)
+    }
+
+    /// Checkpoint plus, for a group-backed session, the snapshot bytes
+    /// themselves (a shared log cannot be re-scanned per session, so
+    /// the caller keeps them to hand a later reopen).
+    fn checkpoint_inner(&mut self) -> Result<(u64, Option<Vec<u8>>), Error> {
         let group_id = self.group.as_ref().map(|g| g.id);
         let r = self.running_mut()?;
         let app = encode_app(&r.trigger_defs);
@@ -504,16 +511,18 @@ impl Session {
             g.wal
                 .append_snapshot(id, &snap)
                 .map_err(|e| Error::Store(e.to_string()))?;
-            return Ok(snap.len() as u64);
+            return Ok((snap.len() as u64, Some(snap)));
         }
         if r.engine.store().is_none() {
             return Err(Error::Store("no store attached".to_owned()));
         }
         r.engine.checkpoint(&app)?;
-        Ok(r.engine
+        let bytes = r
+            .engine
             .store_stats()
             .unwrap_or_default()
-            .last_snapshot_bytes)
+            .last_snapshot_bytes;
+        Ok((bytes, None))
     }
 
     /// Checkpoints, then rewrites the log to hold nothing but that
@@ -541,13 +550,25 @@ impl Session {
     /// and the schema froze) so a reopen resumes without replay, and
     /// flushes the group log.
     pub fn close(mut self) -> Result<(), Error> {
+        self.close_snapshot().map(|_| ())
+    }
+
+    /// The work of [`Session::close`] — checkpoint (if durable and
+    /// frozen) plus group-log flush — without consuming the handle:
+    /// on error the session stays usable. For a group-backed session
+    /// the checkpoint's snapshot bytes are returned; a server parks
+    /// them so a later open of the same name resumes from exactly the
+    /// state this close made durable (the shared log is never
+    /// re-scanned while the server is live).
+    pub fn close_snapshot(&mut self) -> Result<Option<Vec<u8>>, Error> {
+        let mut snapshot = None;
         if self.has_store() && self.running().is_some() {
-            self.checkpoint()?;
+            snapshot = self.checkpoint_inner()?.1;
         }
         if let Some(g) = &self.group {
             g.wal.flush().map_err(|e| Error::Store(e.to_string()))?;
         }
-        Ok(())
+        Ok(snapshot)
     }
 
     /// Escape hatch: the underlying engine (once running). Prefer the

@@ -80,18 +80,29 @@ impl Default for Limits {
 }
 
 /// A recovered-but-unopened session: the group log knows its name and
-/// holds its snapshot/suffix, but no client has attached yet.
+/// holds its snapshot/suffix, but no client has attached yet. A clean
+/// `close` re-parks its closing checkpoint here, so a later open of
+/// the same name resumes from it — served state and crash-recovered
+/// state stay identical.
 struct Parked {
     snapshot: Option<Vec<u8>>,
     suffix: Vec<Vec<u8>>,
 }
+
+/// One registry entry. The `Option` is the session's liveness: a slot
+/// holding `None` is either still being built by an `open` (which
+/// holds the slot lock throughout) or was emptied by a `close`. Ops
+/// that find `None` answer `unknown-session`; the slot shape lets a
+/// close take the session out without the remove/re-insert window a
+/// plain `HashMap<String, Arc<Mutex<Session>>>` registry had.
+type Slot = Arc<Mutex<Option<Session>>>;
 
 /// The shared server state behind every connection thread.
 pub struct Server {
     opts: CheckOptions,
     limits: Limits,
     wal: Option<Arc<GroupWal>>,
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    sessions: Mutex<HashMap<String, Slot>>,
     parked: Mutex<HashMap<String, Parked>>,
     inflight: AtomicUsize,
     connections: AtomicU64,
@@ -212,7 +223,7 @@ impl Server {
         )
     }
 
-    fn session(&self, name: &str) -> Option<Arc<Mutex<Session>>> {
+    fn session(&self, name: &str) -> Option<Slot> {
         self.sessions
             .lock()
             .expect("sessions lock")
@@ -294,90 +305,134 @@ impl Server {
         let Some(name) = req.get("session").and_then(Json::as_str) else {
             return wire::err("bad-frame", "open needs a \"session\" name");
         };
-        let handle = match self.session(name) {
-            Some(h) => h,
-            None => {
+        // Bounded retry: a concurrent close can empty a slot between
+        // our registry lookup and the slot lock; loop back to find (or
+        // create) its successor. Lock order everywhere: the registry
+        // lock is never held while waiting on a slot lock, so a close
+        // holding its slot while it parks/unregisters cannot deadlock
+        // against us.
+        for _ in 0..8 {
+            let (slot, fresh) = {
                 let mut sessions = self.sessions.lock().expect("sessions lock");
-                // Re-check under the lock (another connection may have
-                // opened it meanwhile).
-                if let Some(h) = sessions.get(name) {
-                    h.clone()
-                } else {
-                    if sessions.len() >= self.limits.max_sessions {
-                        return wire::err(
-                            "session-limit",
-                            format!(
-                                "the server holds its maximum of {} session(s)",
-                                self.limits.max_sessions
-                            ),
-                        );
-                    }
-                    let mut builder = Session::builder().name(name).options(self.opts);
-                    if let Some(wal) = &self.wal {
-                        builder = builder.group(Arc::clone(wal));
-                    }
-                    if let Some(parked) = self.parked.lock().expect("parked lock").remove(name) {
-                        if let Some(snap) = parked.snapshot {
-                            builder = builder.snapshot(snap);
+                match sessions.get(name) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        if sessions.len() >= self.limits.max_sessions {
+                            return wire::err(
+                                "session-limit",
+                                format!(
+                                    "the server holds its maximum of {} session(s)",
+                                    self.limits.max_sessions
+                                ),
+                            );
                         }
-                        builder = builder.replay(parked.suffix);
+                        let slot: Slot = Arc::new(Mutex::new(None));
+                        sessions.insert(name.to_owned(), Arc::clone(&slot));
+                        (slot, true)
                     }
-                    match decl_list(req, "preds") {
-                        Ok(preds) => {
-                            for (pname, arity) in preds {
-                                builder = builder.pred(&pname, arity as usize);
-                            }
+                }
+            };
+            let mut guard = slot.lock().expect("session lock");
+            if guard.is_none() {
+                if !fresh {
+                    // Emptied by a concurrent close (or a concurrent
+                    // open whose build failed): go look again.
+                    drop(guard);
+                    std::thread::yield_now();
+                    continue;
+                }
+                // We created the placeholder: build the session while
+                // holding only the slot lock, so WAL replay and group
+                // registration never stall other sessions' registry
+                // lookups. Concurrent ops on this name block on the
+                // slot until the build lands.
+                match self.build_session(name, req) {
+                    Ok(session) => *guard = Some(session),
+                    Err(resp) => {
+                        drop(guard);
+                        let mut sessions = self.sessions.lock().expect("sessions lock");
+                        if sessions.get(name).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                            sessions.remove(name);
                         }
-                        Err(e) => return wire::err("bad-frame", e),
+                        return resp;
                     }
-                    match decl_list(req, "consts") {
-                        Ok(consts) => {
-                            for (cname, value) in consts {
-                                builder = builder.constant(&cname, value);
-                            }
-                        }
-                        Err(e) => return wire::err("bad-frame", e),
-                    }
-                    let (session, _summary) = match builder.open() {
-                        Ok(opened) => opened,
-                        Err(e) => return wire::err("engine", e.to_string()),
-                    };
-                    sessions
-                        .entry(name.to_owned())
-                        .or_insert_with(|| Arc::new(Mutex::new(session)))
-                        .clone()
                 }
             }
-        };
-        let mut session = handle.lock().expect("session lock");
-        // Constraints and triggers are idempotent by name so a client
-        // can resend its full `open` after a reconnect.
-        if let Err(resp) = register_formulas(&mut session, req) {
-            return resp;
+            let session = guard.as_mut().expect("slot just checked/filled");
+            // Constraints and triggers are idempotent by name so a
+            // client can resend its full `open` after a reconnect.
+            if let Err(resp) = register_formulas(session, req) {
+                return resp;
+            }
+            let resumed =
+                session.stats().commits == 0 && session.history().is_some_and(|h| !h.is_empty());
+            return wire::ok(vec![
+                ("session", json::s(name)),
+                ("resumed", Json::Bool(resumed)),
+                (
+                    "states",
+                    Json::U64(session.history().map_or(0, |h| h.len() as u64)),
+                ),
+                (
+                    "constraints",
+                    Json::U64(session.constraints().count() as u64),
+                ),
+            ]);
         }
-        let resumed =
-            session.stats().commits == 0 && session.history().is_some_and(|h| !h.is_empty());
-        wire::ok(vec![
-            ("session", json::s(name)),
-            ("resumed", Json::Bool(resumed)),
-            (
-                "states",
-                Json::U64(session.history().map_or(0, |h| h.len() as u64)),
-            ),
-            (
-                "constraints",
-                Json::U64(session.constraints().count() as u64),
-            ),
-        ])
+        wire::err(
+            "engine",
+            format!("session '{name}' is churning under concurrent open/close; retry"),
+        )
+    }
+
+    /// Builds a new session from an `open` request: group binding,
+    /// parked recovery state, and up-front declarations. The parked
+    /// entry is only consumed on success — a failed open (bad
+    /// declarations, corrupt replay) leaves the recovered state
+    /// available for the next attempt.
+    fn build_session(&self, name: &str, req: &Json) -> Result<Session, Json> {
+        let mut builder = Session::builder().name(name).options(self.opts);
+        if let Some(wal) = &self.wal {
+            builder = builder.group(Arc::clone(wal));
+        }
+        let had_parked = {
+            let parked = self.parked.lock().expect("parked lock");
+            match parked.get(name) {
+                Some(p) => {
+                    if let Some(snap) = &p.snapshot {
+                        builder = builder.snapshot(snap.clone());
+                    }
+                    builder = builder.replay(p.suffix.clone());
+                    true
+                }
+                None => false,
+            }
+        };
+        let preds = decl_list(req, "preds").map_err(|e| wire::err("bad-frame", e))?;
+        for (pname, arity) in preds {
+            builder = builder.pred(&pname, arity as usize);
+        }
+        let consts = decl_list(req, "consts").map_err(|e| wire::err("bad-frame", e))?;
+        for (cname, value) in consts {
+            builder = builder.constant(&cname, value);
+        }
+        let (session, _summary) = builder
+            .open()
+            .map_err(|e| wire::err("engine", e.to_string()))?;
+        if had_parked {
+            self.parked.lock().expect("parked lock").remove(name);
+        }
+        Ok(session)
     }
 
     fn op_append(&self, req: &Json) -> Json {
-        let Some(handle) = named_session(self, req) else {
+        let Some(slot) = named_session(self, req) else {
             return unknown_session(req);
         };
         // Admission control — refuse before touching the engine.
         let inflight = self.inflight.fetch_add(1, Ordering::SeqCst);
-        let guard = InflightGuard(&self.inflight);
+        // RAII decrement on every exit path, including errors.
+        let _inflight = InflightGuard(&self.inflight);
         if inflight >= self.limits.max_inflight_appends {
             self.backpressure.fetch_add(1, Ordering::Relaxed);
             return wire::err(
@@ -401,7 +456,10 @@ impl Server {
                 );
             }
         }
-        let mut session = handle.lock().expect("session lock");
+        let mut guard = slot.lock().expect("session lock");
+        let Some(session) = guard.as_mut() else {
+            return unknown_session(req);
+        };
         let Some(schema) = session.schema() else {
             return wire::err(
                 "engine",
@@ -510,10 +568,13 @@ impl Server {
     }
 
     fn op_status(&self, req: &Json) -> Json {
-        let Some(handle) = named_session(self, req) else {
+        let Some(slot) = named_session(self, req) else {
             return unknown_session(req);
         };
-        let session = handle.lock().expect("session lock");
+        let guard = slot.lock().expect("session lock");
+        let Some(session) = guard.as_ref() else {
+            return unknown_session(req);
+        };
         let constraints: Vec<Json> = session
             .constraints()
             .map(|(id, name, _)| match session.status(id) {
@@ -532,19 +593,25 @@ impl Server {
     }
 
     fn op_stats(&self, req: &Json) -> String {
-        let Some(handle) = named_session(self, req) else {
+        let Some(slot) = named_session(self, req) else {
             return unknown_session(req).render();
         };
-        let session = handle.lock().expect("session lock");
+        let guard = slot.lock().expect("session lock");
+        let Some(session) = guard.as_ref() else {
+            return unknown_session(req).render();
+        };
         let stats = stats_json_with(&session.stats(), Some(&self.server_stats_json()));
         format!("{{\"ok\":true,\"stats\":{stats}}}")
     }
 
     fn op_checkpoint(&self, req: &Json) -> Json {
-        let Some(handle) = named_session(self, req) else {
+        let Some(slot) = named_session(self, req) else {
             return unknown_session(req);
         };
-        let mut session = handle.lock().expect("session lock");
+        let mut guard = slot.lock().expect("session lock");
+        let Some(session) = guard.as_mut() else {
+            return unknown_session(req);
+        };
         match session.checkpoint() {
             Ok(bytes) => wire::ok(vec![("bytes", Json::U64(bytes))]),
             Err(e) => wire::err("engine", e.to_string()),
@@ -555,44 +622,60 @@ impl Server {
         let Some(name) = req.get("session").and_then(Json::as_str) else {
             return wire::err("bad-frame", "close needs a \"session\" name");
         };
-        let removed = self.sessions.lock().expect("sessions lock").remove(name);
-        let Some(handle) = removed else {
+        let Some(slot) = self.session(name) else {
             return unknown_session(req);
         };
-        match Arc::try_unwrap(handle) {
-            Ok(mutex) => {
-                let session = mutex.into_inner().expect("session lock");
-                match session.close() {
-                    Ok(()) => wire::ok(vec![("session", json::s(name))]),
-                    Err(e) => wire::err("engine", e.to_string()),
-                }
-            }
-            Err(handle) => {
-                // Another connection is mid-operation on it: put it
-                // back rather than losing state.
-                self.sessions
-                    .lock()
-                    .expect("sessions lock")
-                    .insert(name.to_owned(), handle);
-                wire::err(
-                    "engine",
-                    format!("session '{name}' is busy on another connection"),
-                )
+        let mut guard = slot.lock().expect("session lock");
+        let Some(session) = guard.as_mut() else {
+            return unknown_session(req);
+        };
+        // Checkpoint and flush in place: on failure the session stays
+        // open and usable rather than being dropped with its state.
+        let snapshot = match session.close_snapshot() {
+            Ok(snapshot) => snapshot,
+            Err(e) => return wire::err("engine", e.to_string()),
+        };
+        *guard = None;
+        // Park the closing checkpoint before the name leaves the
+        // registry, all under the slot lock: a concurrent open of this
+        // name blocks on the slot until the parked entry exists, so a
+        // reopen resumes from the checkpointed state instead of
+        // binding a fresh empty session to the same group-log id
+        // (which would lose the served state live and splice it with
+        // new transactions on crash recovery).
+        if let Some(snap) = snapshot {
+            self.parked.lock().expect("parked lock").insert(
+                name.to_owned(),
+                Parked {
+                    snapshot: Some(snap),
+                    suffix: Vec::new(),
+                },
+            );
+        }
+        {
+            let mut sessions = self.sessions.lock().expect("sessions lock");
+            if sessions.get(name).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                sessions.remove(name);
             }
         }
+        drop(guard);
+        wire::ok(vec![("session", json::s(name))])
     }
 
     fn op_shutdown(&self, checkpoint: bool) -> Json {
         if checkpoint {
-            let handles: Vec<Arc<Mutex<Session>>> = self
+            let slots: Vec<Slot> = self
                 .sessions
                 .lock()
                 .expect("sessions lock")
                 .values()
                 .cloned()
                 .collect();
-            for handle in handles {
-                let mut session = handle.lock().expect("session lock");
+            for slot in slots {
+                let mut guard = slot.lock().expect("session lock");
+                let Some(session) = guard.as_mut() else {
+                    continue;
+                };
                 if session.has_store() && session.history().is_some() {
                     if let Err(e) = session.checkpoint() {
                         return wire::err("engine", format!("shutdown checkpoint failed: {e}"));
@@ -625,6 +708,10 @@ impl Server {
                 if accept_server.is_shutting_down() {
                     break;
                 }
+                // Reap finished connection threads so a long-lived
+                // server's handle list tracks live connections, not
+                // every connection it ever accepted.
+                conns.retain(|c| !c.is_finished());
                 let Ok(stream) = stream else { continue };
                 let conn_server = Arc::clone(&accept_server);
                 conns.push(std::thread::spawn(move || conn_server.handle_conn(stream)));
@@ -696,7 +783,7 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
-fn named_session(server: &Server, req: &Json) -> Option<Arc<Mutex<Session>>> {
+fn named_session(server: &Server, req: &Json) -> Option<Slot> {
     let name = req.get("session").and_then(Json::as_str)?;
     server.session(name)
 }
@@ -938,6 +1025,106 @@ mod tests {
             r#"{"op":"append","session":"ghost","insert":["P(1)"]}"#,
         );
         assert_eq!(r.get("code").unwrap().as_str(), Some("unknown-session"));
+    }
+
+    #[test]
+    fn close_then_reopen_ephemeral_is_fresh() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["P",1]]}"#
+        )));
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["P(1)"]}"#
+        )));
+        let r = request(&server, &mut hello, r#"{"op":"close","session":"a"}"#);
+        assert!(ok_true(&r), "{r:?}");
+        // Closed means gone: ops answer unknown-session, and a second
+        // close does too.
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["P(1)"]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("unknown-session"));
+        let r = request(&server, &mut hello, r#"{"op":"close","session":"a"}"#);
+        assert_eq!(r.get("code").unwrap().as_str(), Some("unknown-session"));
+        // No durable backend, so the reopen starts fresh.
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["P",1]]}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        assert_eq!(r.get("resumed").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("states").unwrap().as_u64(), Some(0));
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ticc-server-{tag}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn close_parks_wal_backed_session_for_reopen() {
+        use ticc_core::Durability;
+        let path = tmp("close-park");
+        let _ = std::fs::remove_file(&path);
+        let opts = CheckOptions::builder()
+            .durability(Durability::WalFsync)
+            .build();
+        let server = Server::with_wal(opts, Limits::default(), &path).unwrap();
+        let mut hello = true;
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","forall x. G (Sub(x) -> X G !Sub(x))"]]}"#
+        )));
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["Sub(1)"]}"#
+        )));
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"close","session":"a"}"#
+        )));
+        // The closing checkpoint is parked: the live reopen resumes
+        // the durably checkpointed state (schema, history, constraint
+        // residues) instead of binding a fresh empty session to the
+        // same group-log id.
+        assert_eq!(server.parked_sessions(), vec!["a".to_owned()]);
+        let r = request(&server, &mut hello, r#"{"op":"open","session":"a"}"#);
+        assert!(ok_true(&r), "{r:?}");
+        assert_eq!(r.get("resumed").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("states").unwrap().as_u64(), Some(1));
+        assert_eq!(r.get("constraints").unwrap().as_u64(), Some(1));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["Sub(1)"]}"#,
+        );
+        assert_eq!(
+            r.get("events").unwrap().as_arr().unwrap().len(),
+            1,
+            "restored constraint catches the resubmission: {r:?}"
+        );
+        // Crash-recovered state matches the served state: snapshot
+        // plus the reopened session's logged transaction, nothing
+        // merged from a phantom fresh session.
+        drop(server);
+        let server = Server::with_wal(opts, Limits::default(), &path).unwrap();
+        assert_eq!(server.parked_sessions(), vec!["a".to_owned()]);
+        let r = request(&server, &mut hello, r#"{"op":"open","session":"a"}"#);
+        assert!(ok_true(&r), "{r:?}");
+        assert_eq!(r.get("resumed").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("states").unwrap().as_u64(), Some(2));
+        assert_eq!(r.get("constraints").unwrap().as_u64(), Some(1));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

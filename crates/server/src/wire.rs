@@ -17,12 +17,12 @@
 //! | op           | request fields                                        | success fields |
 //! |--------------|-------------------------------------------------------|----------------|
 //! | `hello`      | `schema`                                              | `schema`, `server` |
-//! | `open`       | `session`, opt. `preds` `[[name,arity],…]`, `consts` `[[name,value],…]`, `constraints`/`triggers` `[[name,src],…]` | `session`, `resumed`, `states`, `replayed` |
+//! | `open`       | `session`, opt. `preds` `[[name,arity],…]`, `consts` `[[name,value],…]`, `constraints`/`triggers` `[[name,src],…]` | `session`, `resumed`, `states`, `constraints` |
 //! | `append`     | `session`, opt. `insert`/`delete` (arrays of `"Pred(v,…)"` facts in the store codec's text grammar; inserts apply first) and/or ordered `ops` `[["+"\|"-", fact],…]` | `t`, `events`, `fired` |
 //! | `status`     | `session`                                             | `constraints` array |
 //! | `stats`      | `session`                                             | `stats` (a `ticc-engine-stats-v2` object with the `server` object filled in) |
 //! | `checkpoint` | `session`                                             | `bytes` |
-//! | `close`      | `session`                                             | — (checkpoints and unregisters) |
+//! | `close`      | `session`                                             | `session` (checkpoints, parks the checkpoint for reopen, unregisters) |
 //! | `shutdown`   | opt. `checkpoint` (default `true`)                    | — (server stops accepting, drains, exits) |
 //!
 //! Error codes: `unsupported-schema`, `parse` (unreadable frame),
