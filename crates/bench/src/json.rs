@@ -63,6 +63,18 @@ pub fn string(v: &str) -> String {
     format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
 }
 
+/// Renders the `host` section every emitter stamps into its envelope:
+/// the machine parallelism, the resolved `--threads` setting, and the
+/// append batch size — the scheduling context without which the
+/// headline numbers cannot be compared across runs or machines.
+pub fn host_section(threads: &str, batch_size: usize) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!(
+        "{{\"available_parallelism\": {cores}, \"threads\": {}, \"batch_size\": {batch_size}}}",
+        string(threads)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +101,13 @@ mod tests {
     #[test]
     fn string_escapes_quotes() {
         assert_eq!(string("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn host_section_reports_parallelism_threads_and_batch() {
+        let h = host_section("fixed(4)", 8);
+        assert!(h.starts_with("{\"available_parallelism\": "), "{h}");
+        assert!(h.contains("\"threads\": \"fixed(4)\""), "{h}");
+        assert!(h.ends_with("\"batch_size\": 8}"), "{h}");
     }
 }

@@ -1,0 +1,143 @@
+//! Latency order statistics shared by the throughput emitters.
+//!
+//! E17 (server load) and E18 (worker pool) both measure per-call
+//! latencies across many worker threads; this module is the one
+//! place that turns those samples into percentiles and a histogram,
+//! so every `BENCH_*.json` payload reports them identically.
+
+use std::time::Duration;
+
+/// Order statistics plus a power-of-two histogram over a set of
+/// measured latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarised.
+    pub samples: usize,
+    /// Median.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Largest sample.
+    pub max: Duration,
+    /// `histogram[i]` counts samples in `[2^i, 2^(i+1))` µs; bucket 0
+    /// additionally holds everything below 1 µs. Trailing empty
+    /// buckets are trimmed.
+    pub histogram: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// The summary of an empty sample set: all zeros.
+    pub fn empty() -> Self {
+        Self {
+            samples: 0,
+            p50: Duration::ZERO,
+            p99: Duration::ZERO,
+            p999: Duration::ZERO,
+            max: Duration::ZERO,
+            histogram: Vec::new(),
+        }
+    }
+
+    /// Renders the summary as a JSON object (`*_us` fields carry
+    /// microseconds, matching the other bench payloads).
+    pub fn json(&self) -> String {
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        let buckets: Vec<String> = self.histogram.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"samples\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"p999_us\": {:.1}, \"max_us\": {:.1}, \"histogram_pow2_us\": [{}]}}",
+            self.samples,
+            us(self.p50),
+            us(self.p99),
+            us(self.p999),
+            us(self.max),
+            buckets.join(", ")
+        )
+    }
+}
+
+/// Summarises a sample set (consumed: the samples are sorted in
+/// place). Percentiles use the nearest-rank method on the sorted
+/// samples, so `p50` of one sample is that sample.
+pub fn summarize(mut lat: Vec<Duration>) -> LatencySummary {
+    if lat.is_empty() {
+        return LatencySummary::empty();
+    }
+    lat.sort_unstable();
+    let pct = |per_mille: usize| lat[(lat.len() * per_mille / 1000).min(lat.len() - 1)];
+    let mut histogram = Vec::new();
+    for &d in &lat {
+        let bucket = 64 - (d.as_micros() as u64).leading_zeros() as usize;
+        let bucket = bucket.saturating_sub(1);
+        if histogram.len() <= bucket {
+            histogram.resize(bucket + 1, 0);
+        }
+        histogram[bucket] += 1;
+    }
+    LatencySummary {
+        samples: lat.len(),
+        p50: pct(500),
+        p99: pct(990),
+        p999: pct(999),
+        max: *lat.last().expect("non-empty"),
+        histogram,
+    }
+}
+
+/// The `(p50, p99)` pair — the shape the E17 load reports carry.
+pub fn percentiles(lat: Vec<Duration>) -> (Duration, Duration) {
+    let s = summarize(lat);
+    (s.p50, s.p99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<Duration> = (1..=1000).map(Duration::from_micros).collect();
+        let s = summarize(lat);
+        assert_eq!(s.samples, 1000);
+        assert_eq!(s.p50, Duration::from_micros(501));
+        assert_eq!(s.p99, Duration::from_micros(991));
+        assert_eq!(s.p999, Duration::from_micros(1000));
+        assert_eq!(s.max, Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let lat = vec![
+            Duration::from_nanos(500), // < 1µs → bucket 0
+            Duration::from_micros(1),  // [1, 2) → bucket 0
+            Duration::from_micros(3),  // [2, 4) → bucket 1
+            Duration::from_micros(9),  // [8, 16) → bucket 3
+        ];
+        let s = summarize(lat);
+        assert_eq!(s.histogram, vec![2, 1, 0, 1]);
+        assert_eq!(s.histogram.iter().sum::<u64>(), s.samples as u64);
+    }
+
+    #[test]
+    fn empty_and_singleton_sets_are_well_defined() {
+        assert_eq!(summarize(Vec::new()), LatencySummary::empty());
+        let s = summarize(vec![Duration::from_micros(7)]);
+        assert_eq!(s.p50, Duration::from_micros(7));
+        assert_eq!(s.p999, Duration::from_micros(7));
+        let (p50, p99) = percentiles(vec![Duration::from_micros(7)]);
+        assert_eq!(
+            (p50, p99),
+            (Duration::from_micros(7), Duration::from_micros(7))
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = summarize(vec![Duration::from_micros(2)]).json();
+        assert!(j.starts_with("{\"samples\": 1, \"p50_us\": 2.0"), "{j}");
+        assert!(j.contains("\"p999_us\": 2.0"), "{j}");
+        assert!(j.ends_with("\"histogram_pow2_us\": [0, 1]}"), "{j}");
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod families;
 pub mod json;
+pub mod latency;
 pub mod server_load;
 pub mod table;
 

@@ -25,6 +25,8 @@ use ticc_core::{CheckOptions, GroupStats, GroupWal, Session};
 use ticc_fotl::parser::parse;
 use ticc_tdb::Transaction;
 
+use crate::latency::{self, LatencySummary};
+
 /// The invariant every load session carries: cheap to check, never
 /// violated by the churn workload (values are session indices).
 pub const LOAD_CONSTRAINT: &str = "G !Sub(999)";
@@ -43,14 +45,11 @@ pub struct LoadReport {
     pub p50: Duration,
     /// 99th-percentile single-append latency.
     pub p99: Duration,
+    /// The full latency summary (p999, max, histogram) behind the
+    /// `p50`/`p99` headline fields — see [`crate::latency`].
+    pub latency: LatencySummary,
     /// Group-WAL counters, when the configuration used one.
     pub group: Option<GroupStats>,
-}
-
-fn percentiles(mut lat: Vec<Duration>) -> (Duration, Duration) {
-    lat.sort_unstable();
-    let p = |q: usize| lat[(lat.len() * q / 100).min(lat.len() - 1)];
-    (p(50), p(99))
 }
 
 fn report(
@@ -60,14 +59,15 @@ fn report(
     lat: Vec<Duration>,
     group: Option<GroupStats>,
 ) -> LoadReport {
-    let (p50, p99) = percentiles(lat);
+    let latency = latency::summarize(lat);
     LoadReport {
         sessions,
         appends_per_session: appends,
         elapsed,
         appends_per_sec: (sessions * appends) as f64 / elapsed.as_secs_f64(),
-        p50,
-        p99,
+        p50: latency.p50,
+        p99: latency.p99,
+        latency,
         group,
     }
 }

@@ -32,7 +32,7 @@ use crate::error::Error;
 use crate::extension::{CheckOptions, Durability, Encoding};
 use crate::ground::{ground_metered, GroundMode, GroundStrategy, Grounding};
 use crate::obs::{EngineStats, Timer};
-use crate::par::{self, ParMeter, Threads};
+use crate::par::{ParMeter, Threads, WorkerPool};
 use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::Arc;
@@ -906,6 +906,12 @@ pub struct Engine {
     notion: Notion,
     pub(crate) stats: EngineStats,
     store: Option<Store>,
+    /// The persistent constraint-sweep worker pool, created lazily on
+    /// the first parallel append and kept for the engine's lifetime —
+    /// the hot path never pays a thread spawn. `None` until then (and
+    /// always `None` under `Threads::Off`). Not serialised: a restored
+    /// engine re-creates its pool on first use.
+    pool: Option<WorkerPool>,
 }
 
 impl Engine {
@@ -923,6 +929,7 @@ impl Engine {
             notion: Notion::default(),
             stats: EngineStats::default(),
             store: None,
+            pool: None,
         }
     }
 
@@ -953,6 +960,7 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let mut s = self.stats;
         s.store = self.store.as_ref().map(Store::stats).unwrap_or_default();
+        s.pool_workers = self.pool.as_ref().map_or(0, |p| p.size() as u64);
         s.letters = 0;
         s.arena_nodes = 0;
         s.mappings = 0;
@@ -1037,22 +1045,29 @@ impl Engine {
 
     /// One append step for one constraint: the incremental fast path,
     /// else delta re-grounding (when enabled and applicable), else a
-    /// full rebuild over the enlarged history; then the violation
-    /// decision. Factored out of [`Engine::append`] so the sequential
-    /// loop and the parallel constraint sweep share one body.
+    /// full rebuild; then the violation decision. Factored out of
+    /// [`Engine::append`] so the sequential loop, the pooled constraint
+    /// sweep, and the batched sweep share one body.
+    ///
+    /// `upto` is the history length *after* `tx`: the step reasons over
+    /// the prefix `history[..upto]`. During a batched append the
+    /// history already holds the whole batch, and each constraint is
+    /// stepped through the batch one transaction at a time with
+    /// `upto` advancing — only the (rare) full-rebuild branch needs to
+    /// materialise the prefix.
     fn step_entry(
         history: &History,
         tx: &Transaction,
         entry: &mut Entry,
         opts: &CheckOptions,
         notion: Notion,
+        upto: usize,
         stats: &mut EngineStats,
     ) -> Result<Status, Error> {
-        let state = history.state(history.len() - 1);
-        if let Some(status) =
-            entry
-                .ctx
-                .fast_append(tx, state, opts, notion, history.len(), stats)?
+        let state = history.state(upto - 1);
+        if let Some(status) = entry
+            .ctx
+            .fast_append(tx, state, opts, notion, upto, stats)?
         {
             stats.fast_appends += 1;
             return Ok(status);
@@ -1060,12 +1075,18 @@ impl Engine {
         if opts.regrounding == Regrounding::Delta && opts.mode == GroundMode::Folded {
             entry.ctx.delta_append(tx, state, opts, stats)?;
         } else {
-            // Full rebuild over the enlarged history.
+            // Full rebuild over the enlarged history (prefix view when
+            // stepping mid-batch).
             stats.regrounds += 1;
-            entry.ctx = GroundingContext::build(history, &entry.phi, opts, stats)?;
+            entry.ctx = if upto == history.len() {
+                GroundingContext::build(history, &entry.phi, opts, stats)?
+            } else {
+                let prefix = history.prefix(upto);
+                GroundingContext::build(&prefix, &entry.phi, opts, stats)?
+            };
             entry.ctx.try_compile(notion, opts);
         }
-        entry.ctx.decide(notion, opts, history.len(), stats)
+        entry.ctx.decide(notion, opts, upto, stats)
     }
 
     /// Applies a transaction, producing the next state, and re-checks
@@ -1110,9 +1131,12 @@ impl Engine {
             .count();
         let workers = self.opts.threads.worker_count();
         if live > 1 && workers > 1 {
-            return self.append_parallel(tx, workers);
+            return self.append_parallel(std::slice::from_ref(tx), workers, |mut per_tx| {
+                per_tx.pop().unwrap_or_default()
+            });
         }
         let mut events = Vec::new();
+        let upto = self.history.len();
         for i in 0..self.entries.len() {
             if matches!(self.entries[i].status, Status::Violated { .. }) {
                 continue; // safety: violations are permanent
@@ -1123,6 +1147,7 @@ impl Engine {
                 &mut self.entries[i],
                 &self.opts,
                 self.notion,
+                upto,
                 &mut self.stats,
             )?;
             if let Status::Violated { at } = status {
@@ -1137,47 +1162,148 @@ impl Engine {
         Ok(events)
     }
 
-    /// The parallel constraint sweep behind [`Engine::append`]. Shards
-    /// the entry list canonically, runs [`Engine::step_entry`] per
-    /// worker with grounding forced sequential (the fan-out budget is
-    /// spent here), and merges outcomes, stats, and the first error in
-    /// chunk order.
-    fn append_parallel(
+    /// Appends a batch of transactions in one constraint sweep.
+    ///
+    /// All transactions are applied (and WAL-logged) first; each
+    /// constraint is then stepped through the whole batch by one
+    /// worker with no per-transaction barrier — the constraints are
+    /// independent, so worker `w` can be on transaction 3 while worker
+    /// `w'` is still on transaction 0. Under `Durability::WalFsync`
+    /// the batch group-commits: intermediate transactions are logged
+    /// without syncing and the final one fsyncs, so a crash can only
+    /// lose transactions whose batch was never acknowledged.
+    ///
+    /// Returns one event list per transaction, each in
+    /// [`ConstraintId`] order — exactly what the same transactions
+    /// appended one at a time would produce (a constraint violated at
+    /// transaction `t` is not stepped past `t`, matching the per-append
+    /// skip rule). Statuses, stats, and events are bit-identical to
+    /// the sequential path regardless of [`Threads`].
+    pub fn append_batch(&mut self, txs: &[Transaction]) -> Result<Vec<Vec<MonitorEvent>>, Error> {
+        if txs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if txs.len() == 1 {
+            return Ok(vec![self.append(&txs[0])?]);
+        }
+        for (i, tx) in txs.iter().enumerate() {
+            self.history.apply(tx)?;
+            if let Some(store) = self.store.as_mut() {
+                let last = i + 1 == txs.len();
+                match self.opts.durability {
+                    Durability::Off => {}
+                    Durability::Wal => store.append_tx(tx, false)?,
+                    Durability::WalFsync => store.append_tx(tx, last)?,
+                }
+            }
+            self.stats.appends += 1;
+        }
+        self.stats.batches += 1;
+        self.stats.batched_txs += txs.len() as u64;
+        let live = self
+            .entries
+            .iter()
+            .filter(|e| !matches!(e.status, Status::Violated { .. }))
+            .count();
+        let workers = self.opts.threads.worker_count();
+        if live > 1 && workers > 1 {
+            return self.append_parallel(txs, workers, |per_tx| per_tx);
+        }
+        let base = self.history.len() - txs.len();
+        let mut events: Vec<Vec<MonitorEvent>> = txs.iter().map(|_| Vec::new()).collect();
+        for i in 0..self.entries.len() {
+            if matches!(self.entries[i].status, Status::Violated { .. }) {
+                continue; // safety: violations are permanent
+            }
+            for (t, tx) in txs.iter().enumerate() {
+                let status = Self::step_entry(
+                    &self.history,
+                    tx,
+                    &mut self.entries[i],
+                    &self.opts,
+                    self.notion,
+                    base + t + 1,
+                    &mut self.stats,
+                )?;
+                if let Status::Violated { at } = status {
+                    self.entries[i].status = status;
+                    events[t].push(MonitorEvent {
+                        constraint: ConstraintId(i),
+                        name: self.entries[i].name.clone(),
+                        at,
+                    });
+                    break; // violations are permanent; stop mid-batch
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// The pooled constraint sweep behind [`Engine::append`] and
+    /// [`Engine::append_batch`]. Shards the entry list canonically
+    /// over the persistent [`WorkerPool`] (created on first use, sized
+    /// by the [`Threads`] policy), steps every live constraint through
+    /// the whole transaction batch with grounding forced sequential
+    /// (the fan-out budget is spent here), and merges outcomes, stats,
+    /// and the first error in chunk order. Events come back grouped
+    /// per transaction, in [`ConstraintId`] order within each;
+    /// `finish` shapes that into the caller's return type.
+    fn append_parallel<R>(
         &mut self,
-        tx: &Transaction,
+        txs: &[Transaction],
         workers: usize,
-    ) -> Result<Vec<MonitorEvent>, Error> {
+        finish: impl FnOnce(Vec<Vec<MonitorEvent>>) -> R,
+    ) -> Result<R, Error> {
         let mut inner = self.opts;
         inner.threads = Threads::Off;
         let history = &self.history;
+        let base = history.len() - txs.len();
         let notion = self.notion;
         let mut meter = ParMeter::new();
+        let pool_size = self.opts.threads.worker_count();
+        let pool = self.pool.get_or_insert_with(|| WorkerPool::new(pool_size));
         let chunk_results =
-            par::for_each_chunk_mut(&mut self.entries, workers, &mut meter, |_, start, chunk| {
+            pool.for_each_chunk_mut(&mut self.entries, workers, &mut meter, |_, start, chunk| {
                 let mut stats = EngineStats::default();
-                let mut outcomes: Vec<(usize, Status)> = Vec::new();
+                let mut outcomes: Vec<(usize, usize, Status)> = Vec::new();
                 for (off, entry) in chunk.iter_mut().enumerate() {
                     if matches!(entry.status, Status::Violated { .. }) {
                         continue; // safety: violations are permanent
                     }
-                    match Self::step_entry(history, tx, entry, &inner, notion, &mut stats) {
-                        Ok(status) => outcomes.push((start + off, status)),
-                        Err(e) => return (stats, Err(e)),
+                    for (t, tx) in txs.iter().enumerate() {
+                        match Self::step_entry(
+                            history,
+                            tx,
+                            entry,
+                            &inner,
+                            notion,
+                            base + t + 1,
+                            &mut stats,
+                        ) {
+                            Ok(status) => {
+                                let violated = matches!(status, Status::Violated { .. });
+                                outcomes.push((start + off, t, status));
+                                if violated {
+                                    break; // stop stepping mid-batch
+                                }
+                            }
+                            Err(e) => return (stats, Err(e)),
+                        }
                     }
                 }
                 (stats, Ok(outcomes))
             });
         self.stats.absorb_par(&meter);
-        let mut events = Vec::new();
+        let mut events: Vec<Vec<MonitorEvent>> = txs.iter().map(|_| Vec::new()).collect();
         let mut first_err = None;
         for (worker_stats, result) in chunk_results {
             self.stats.absorb(&worker_stats);
             match result {
                 Ok(outcomes) => {
-                    for (i, status) in outcomes {
+                    for (i, t, status) in outcomes {
                         if let Status::Violated { at } = status {
                             self.entries[i].status = status;
-                            events.push(MonitorEvent {
+                            events[t].push(MonitorEvent {
                                 constraint: ConstraintId(i),
                                 name: self.entries[i].name.clone(),
                                 at,
@@ -1194,7 +1320,7 @@ impl Engine {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(events),
+            None => Ok(finish(events)),
         }
     }
 
@@ -1637,6 +1763,118 @@ mod tests {
         assert_eq!(s.automaton_appends, 0);
         // The attempt itself is still accounted as build-phase time.
         assert!(s.automaton_compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn append_batch_matches_per_tx_appends() {
+        // One batched sweep must be observationally identical to the
+        // same transactions appended one at a time — per-transaction
+        // events, final statuses, and the semantic counters — on both
+        // the sequential path and the pooled path.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let fill = sc.pred("Fill").unwrap();
+        let txs = [
+            Transaction::new()
+                .insert(sub, vec![1])
+                .insert(fill, vec![1]),
+            Transaction::new()
+                .insert(sub, vec![2])
+                .insert(fill, vec![2]),
+            Transaction::new().delete(fill, vec![2]), // violates "covered"
+            Transaction::new().insert(sub, vec![1]),  // violates "once"
+            Transaction::new().delete(sub, vec![2]),
+        ];
+        for threads in [Threads::Off, Threads::Fixed(4)] {
+            let build = || {
+                let mut e =
+                    Engine::new(sc.clone(), CheckOptions::builder().threads(threads).build());
+                let once = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+                let cov = parse(&sc, "forall x. G (Sub(x) -> Fill(x))").unwrap();
+                let cap = parse(&sc, "G !Sub(999)").unwrap();
+                let ids = vec![
+                    e.add_constraint("once", once).unwrap(),
+                    e.add_constraint("covered", cov).unwrap(),
+                    e.add_constraint("cap", cap).unwrap(),
+                ];
+                (e, ids)
+            };
+            let (mut batched, b_ids) = build();
+            let (mut serial, s_ids) = build();
+            let be = batched.append_batch(&txs).unwrap();
+            let se: Vec<_> = txs.iter().map(|tx| serial.append(tx).unwrap()).collect();
+            assert_eq!(be, se, "{threads:?}");
+            for (b, s) in b_ids.iter().zip(&s_ids) {
+                assert_eq!(batched.status(*b), serial.status(*s), "{threads:?}");
+            }
+            let bs = batched.stats();
+            let ss = serial.stats();
+            assert_eq!(bs.appends, ss.appends, "{threads:?}");
+            assert_eq!(bs.grounds, ss.grounds, "{threads:?}");
+            assert_eq!(bs.delta_grounds, ss.delta_grounds, "{threads:?}");
+            assert_eq!(bs.fast_appends, ss.fast_appends, "{threads:?}");
+            assert_eq!(bs.sat_checks, ss.sat_checks, "{threads:?}");
+            assert_eq!(bs.batches, 1, "{threads:?}");
+            assert_eq!(bs.batched_txs, txs.len() as u64, "{threads:?}");
+            assert_eq!(ss.batches, 0);
+        }
+    }
+
+    #[test]
+    fn append_batch_rejects_invalid_mid_batch_tx() {
+        // `History::apply` validates before anything is swept; a bad
+        // arity mid-batch errors out without stepping constraints.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut e = Engine::new(sc.clone(), CheckOptions::default());
+        e.add_constraint("once", parse(&sc, "G !Sub(999)").unwrap())
+            .unwrap();
+        let txs = [
+            Transaction::new().insert(sub, vec![1]),
+            Transaction::new().insert(sub, vec![1, 2]), // wrong arity
+        ];
+        assert!(e.append_batch(&txs).is_err());
+    }
+
+    #[test]
+    fn pooled_sweep_counts_one_phase_per_dispatch() {
+        // Satellite audit: the pooled constraint sweep forces inner
+        // grounding to `Threads::Off`, so the parallel meter must see
+        // exactly one phase per pool dispatch — re-grounding inside a
+        // worker contributes busy time to that worker's slot, never a
+        // nested phase or a double-counted fan-out.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(
+            sc.clone(),
+            CheckOptions::builder()
+                .threads(Threads::Fixed(4))
+                .regrounding(Regrounding::Full)
+                .build(),
+        );
+        for name in ["a", "b", "c"] {
+            e.add_constraint(name, phi.clone()).unwrap();
+        }
+        let n = 4u64;
+        for i in 0..n {
+            // A fresh element every append (the previous one cleared so
+            // nothing violates): each pooled sweep re-grounds all three
+            // constraints inside the workers.
+            let mut tx = Transaction::new().insert(sub, vec![100 + i]);
+            if i > 0 {
+                tx = tx.delete(sub, vec![100 + i - 1]);
+            }
+            e.append(&tx).unwrap();
+        }
+        let s = e.stats();
+        assert_eq!(s.par_phases, n, "one dispatch per append, no nesting");
+        assert!(s.par_workers >= 2, "{s:?}");
+        assert_eq!(s.pool_workers, 4, "{s:?}");
+        assert!(
+            s.regrounds >= 3 * (n - 1),
+            "workers really re-ground: {s:?}"
+        );
     }
 
     #[test]

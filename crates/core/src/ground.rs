@@ -32,7 +32,7 @@ use std::sync::Arc;
 use ticc_fotl::classify::{classify, FormulaClass};
 use ticc_fotl::{Atom, Formula, Term};
 use ticc_ptl::arena::{Arena, AtomId, FormulaId};
-use ticc_ptl::interner::{AtomInterner, InternLog};
+use ticc_ptl::interner::{AtomInterner, ShardedInterner};
 use ticc_ptl::trace::PropState;
 use ticc_tdb::{ConstId, History, PredId, Schema, State, Transaction, Update, Value};
 
@@ -148,7 +148,7 @@ pub struct GroundStats {
 /// ad-hoc string/`Vec` key pairs — one [`AtomInterner`] over these keys
 /// is the single letter table shared by formula construction and state
 /// encoding.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LetterKey {
     /// `p(a1, …, a_ar(p))`.
     Pred(PredId, Vec<GArg>),
@@ -276,6 +276,56 @@ fn index_patterns(
         stack.extend(f.children());
     }
     Some(out)
+}
+
+/// Collects the distinct predicate-atom patterns of the matrix for the
+/// letter-discovery phase. Unlike [`index_patterns`] this tolerates
+/// equality atoms (in folded mode they constant-fold and intern
+/// nothing) and keeps the terms unresolved — resolution happens per
+/// instantiation in [`note_letters_digits`].
+fn letter_patterns(matrix: &Formula) -> Vec<(PredId, &[Term])> {
+    let mut out: Vec<(PredId, &[Term])> = Vec::new();
+    let mut stack = vec![matrix];
+    while let Some(f) = stack.pop() {
+        if let Formula::Atom(Atom::Pred(p, ts)) = f {
+            if !out.iter().any(|&(q, qs)| q == *p && qs == ts.as_slice()) {
+                out.push((*p, ts));
+            }
+        }
+        stack.extend(f.children());
+    }
+    out
+}
+
+/// Phase L of the folded grounding pipeline: notes into `sink` every
+/// letter that grounding the matrix under the digit assignment `digits`
+/// would intern — each predicate pattern with its terms resolved over
+/// `m`, skipping patterns that touch a fresh element (those fold to `⊥`
+/// and intern nothing). Callable concurrently from sharded workers.
+fn note_letters_digits(
+    sink: &ShardedInterner<LetterKey>,
+    schema: &Schema,
+    consts: &[Value],
+    patterns: &[(PredId, &[Term])],
+    m: &[GArg],
+    digit: &HashMap<&str, usize>,
+    digits: &[u32],
+) {
+    'patterns: for &(p, terms) in patterns {
+        let mut args = Vec::with_capacity(terms.len());
+        for t in terms {
+            let a = match t {
+                Term::Var(v) => m[digits[digit[v.as_str()]] as usize],
+                Term::Value(v) => GArg::Rel(*v),
+                Term::Const(c) => GArg::Rel(consts[c.index()]),
+            };
+            if matches!(a, GArg::Fresh(_)) {
+                continue 'patterns;
+            }
+            args.push(a);
+        }
+        sink.note(LetterKey::Pred(p, args), |k| render_letter(k, schema));
+    }
 }
 
 /// The canonical all-atoms-rigid-false residue: the matrix with every
@@ -596,13 +646,16 @@ pub fn ground_opts(
 /// Grounds `(history, phi)` per Theorem 4.1, sharding the `|M|^k`
 /// instantiation space across worker threads per `threads`.
 ///
-/// Deterministic: the instantiation space is partitioned into
-/// canonically ordered chunks, each worker grounds into a private
-/// arena while logging its first-sight letters, and the merge replays
-/// those logs and translates the per-instantiation formulas back *in
-/// chunk order* — so the letter table, the conjunction order, and every
-/// structural statistic are identical to the sequential path (see
-/// DESIGN.md §"Parallel architecture").
+/// Deterministic by construction: folded grounding runs a two-phase
+/// pipeline. Phase L discovers the letter vocabulary concurrently
+/// through a [`ShardedInterner`] and seals it into the arena in
+/// canonical sorted-key order — the atom table is a pure function of
+/// the instantiation set, independent of thread count. Phase F then
+/// builds `Ψ_D` against that fixed vocabulary, either directly
+/// (sequential) or in per-worker arenas pre-seeded with the sealed
+/// atom table and merged in chunk order — so the letter table, the
+/// conjunction order, and every structural statistic are identical to
+/// the sequential path (see DESIGN.md §"Parallel architecture").
 pub fn ground_with(
     history: &History,
     phi: &Formula,
@@ -686,9 +739,51 @@ pub(crate) fn ground_metered(
     // requested and the instantiation list is large enough to feed it —
     // the pool is sized from the *pruned* count, so sparse histories do
     // not spin up idle workers; `k == 0` has a single mapping, nothing
-    // to shard.
+    // to shard. Full mode keeps the interleaved first-sight letter
+    // order its axiom block depends on, so it always runs sequentially.
     let items = cands.as_ref().map_or(mappings, Vec::len);
-    let workers = threads.workers_for(items);
+    let workers = if mode == GroundMode::Full {
+        1
+    } else {
+        threads.workers_for(items)
+    };
+
+    // Phase L (folded mode): discover the letter vocabulary through the
+    // sharded interner and seal it in canonical sorted-key order. Both
+    // the sequential and the sharded Phase F then build against the
+    // same fixed atom table, which is what makes the sharded path
+    // bit-identical to `Threads::Off` without any replay or re-merge.
+    if mode == GroundMode::Folded {
+        let patterns = letter_patterns(matrix);
+        let digit: HashMap<&str, usize> = external
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+        let sink: ShardedInterner<LetterKey> = ShardedInterner::new();
+        if let Some(list) = &cands {
+            par::map_chunked(list.len(), workers, meter, |_, range| {
+                for cand in &list[range] {
+                    note_letters_digits(&sink, &schema, &consts, &patterns, &m, &digit, cand);
+                }
+            });
+        } else {
+            par::map_chunked(mappings, workers, meter, |_, range| {
+                let mut digits = vec![0u32; k];
+                for n in range {
+                    let mut rem = n;
+                    for d in digits.iter_mut() {
+                        *d = (rem % msize) as u32;
+                        rem /= msize;
+                    }
+                    note_letters_digits(&sink, &schema, &consts, &patterns, &m, &digit, &digits);
+                }
+            });
+        }
+        sink.seal(&mut arena, &mut letters);
+    }
+
+    // Phase F: build Ψ_D against the sealed vocabulary.
     let mut inst_shared = 0usize;
     let mut psi_d;
     if let Some(list) = &cands {
@@ -727,7 +822,6 @@ pub(crate) fn ground_metered(
             consts: &consts,
             arena: &mut arena,
             letters: &mut letters,
-            log: None,
         };
         psi_d = ctx.arena.tru();
         let mut idx = vec![0usize; k];
@@ -764,7 +858,6 @@ pub(crate) fn ground_metered(
                 consts: &consts,
                 arena: &mut arena,
                 letters: &mut letters,
-                log: None,
             };
             let ax = ctx.axiom_d(&m, &mut axiom_conjuncts);
             let boxed = ctx.arena.always(ax);
@@ -831,10 +924,13 @@ pub(crate) fn ground_metered(
 }
 
 /// Builds `Ψ_D` over an explicit candidate list (the indexed path),
-/// sequentially or sharded over `workers` chunks of the list with the
-/// same `InternLog` replay discipline as the odometer shards — the
-/// letter table, conjunction order, and `inst_shared` count are
-/// bit-identical to the sequential walk.
+/// sequentially or sharded over `workers` chunks of the list. Both
+/// walks run against the vocabulary Phase L sealed: the sharded
+/// workers ground into private arenas pre-seeded with the sealed atom
+/// table (identical dense ids, so the atom remap is the identity) and
+/// the merge re-folds each instantiation in chunk order — the letter
+/// table, conjunction order, and `inst_shared` count are bit-identical
+/// to the sequential walk.
 #[allow(clippy::too_many_arguments)]
 fn ground_cands(
     mode: GroundMode,
@@ -863,7 +959,6 @@ fn ground_cands(
             consts,
             arena,
             letters,
-            log: None,
         };
         let share = SharePlan::build(matrix, &digit, m.len());
         let mut memo = ShareMemo::new();
@@ -880,13 +975,17 @@ fn ground_cands(
     }
     struct ChunkOut {
         arena: Arena,
-        log: InternLog<LetterKey>,
         insts: Vec<FormulaId>,
     }
+    let base_atoms = arena.atom_count();
+    let names: &[String] = arena.atom_names_in_order();
+    let shared_letters: &AtomInterner<LetterKey> = letters;
     let chunks = par::map_chunked(cands.len(), workers, meter, |_, range| {
         let mut warena = Arena::new();
-        let mut wletters: AtomInterner<LetterKey> = AtomInterner::new();
-        let mut wlog = InternLog::new();
+        for name in names {
+            warena.intern_atom(name);
+        }
+        let mut wletters = shared_letters.clone();
         let mut insts = Vec::with_capacity(range.len());
         {
             let mut ctx = GroundCtx {
@@ -895,7 +994,6 @@ fn ground_cands(
                 consts,
                 arena: &mut warena,
                 letters: &mut wletters,
-                log: Some(&mut wlog),
             };
             let share = SharePlan::build(matrix, &digit, m.len());
             let mut memo = ShareMemo::new();
@@ -910,16 +1008,20 @@ fn ground_cands(
                 )?);
             }
         }
+        debug_assert_eq!(
+            warena.atom_count(),
+            base_atoms,
+            "phase L covered the full letter vocabulary"
+        );
         Ok(ChunkOut {
             arena: warena,
-            log: wlog,
             insts,
         })
     });
+    let remap: Vec<AtomId> = (0..base_atoms as u32).map(AtomId).collect();
     let mut psi_d = arena.tru();
     for chunk in chunks {
         let chunk: ChunkOut = chunk?;
-        let remap = letters.replay(arena, &chunk.log);
         let mut memo = HashMap::new();
         for inst in chunk.insts {
             let f = arena.translate_from(&chunk.arena, inst, &remap, &mut memo);
@@ -933,16 +1035,16 @@ fn ground_cands(
 }
 
 /// Builds `Ψ_D` by sharding the linearised instantiation space
-/// `0..mappings` across scoped worker threads.
+/// `0..mappings` across worker threads.
 ///
 /// Instantiation `n` corresponds to the odometer digits
 /// `idx[i] = (n / |M|^i) mod |M|` (digit 0 fastest), so chunking the
 /// linear index preserves the sequential enumeration order exactly.
-/// Each worker grounds its chunk into a private arena with a private
-/// letter interner, logging first sightings; the merge replays the
-/// logs in chunk order (reproducing the sequential first-sight letter
-/// order) and re-folds each instantiation into the main arena through
-/// [`Arena::translate_from`], conjoining in global mapping order.
+/// Each worker grounds its chunk into a private arena pre-seeded with
+/// the atom table Phase L sealed (identical dense ids — the remap into
+/// the main arena is the identity) and the merge re-folds each
+/// instantiation into the main arena through [`Arena::translate_from`],
+/// conjoining in global mapping order.
 #[allow(clippy::too_many_arguments)]
 fn ground_psi_sharded(
     mode: GroundMode,
@@ -959,15 +1061,19 @@ fn ground_psi_sharded(
 ) -> Result<FormulaId, GroundError> {
     struct ChunkOut {
         arena: Arena,
-        log: InternLog<LetterKey>,
         insts: Vec<FormulaId>,
     }
     let k = external.len();
     let msize = m.len();
+    let base_atoms = arena.atom_count();
+    let names: &[String] = arena.atom_names_in_order();
+    let shared_letters: &AtomInterner<LetterKey> = letters;
     let chunks = par::map_chunked(mappings, workers, meter, |_, range| {
         let mut warena = Arena::new();
-        let mut wletters: AtomInterner<LetterKey> = AtomInterner::new();
-        let mut wlog = InternLog::new();
+        for name in names {
+            warena.intern_atom(name);
+        }
+        let mut wletters = shared_letters.clone();
         let mut insts = Vec::with_capacity(range.len());
         {
             let mut ctx = GroundCtx {
@@ -976,7 +1082,6 @@ fn ground_psi_sharded(
                 consts,
                 arena: &mut warena,
                 letters: &mut wletters,
-                log: Some(&mut wlog),
             };
             for n in range {
                 let mut rem = n;
@@ -988,16 +1093,20 @@ fn ground_psi_sharded(
                 insts.push(ctx.ground_matrix(matrix, &map)?);
             }
         }
+        debug_assert_eq!(
+            warena.atom_count(),
+            base_atoms,
+            "phase L covered the full letter vocabulary"
+        );
         Ok(ChunkOut {
             arena: warena,
-            log: wlog,
             insts,
         })
     });
+    let remap: Vec<AtomId> = (0..base_atoms as u32).map(AtomId).collect();
     let mut psi_d = arena.tru();
     for chunk in chunks {
         let chunk: ChunkOut = chunk?;
-        let remap = letters.replay(arena, &chunk.log);
         let mut memo = HashMap::new();
         for inst in chunk.insts {
             let f = arena.translate_from(&chunk.arena, inst, &remap, &mut memo);
@@ -1080,16 +1189,16 @@ impl SharePlan {
 /// Memo table for [`GroundCtx::ground_matrix_digits`].
 type ShareMemo = HashMap<(u32, u128), FormulaId>;
 
-/// Borrowed working set for formula construction. When `log` is set
-/// (the sharded path), every first-sight letter interning is recorded
-/// so the worker's vocabulary can be replayed into the main arena.
+/// Borrowed working set for formula construction. On the sharded
+/// Phase F path the arena/letters pair is a per-worker copy pre-seeded
+/// with the sealed vocabulary, so `letter` is a guaranteed hit and the
+/// worker never perturbs the shared atom table.
 struct GroundCtx<'a> {
     mode: GroundMode,
     schema: &'a Schema,
     consts: &'a [Value],
     arena: &'a mut Arena,
     letters: &'a mut AtomInterner<LetterKey>,
-    log: Option<&'a mut InternLog<LetterKey>>,
 }
 
 impl GroundCtx<'_> {
@@ -1108,14 +1217,8 @@ impl GroundCtx<'_> {
 
     fn letter(&mut self, key: LetterKey) -> AtomId {
         let schema = self.schema;
-        match self.log.as_deref_mut() {
-            Some(log) => self
-                .letters
-                .intern_logged(self.arena, log, key, |k| render_letter(k, schema)),
-            None => self
-                .letters
-                .intern(self.arena, key, |k| render_letter(k, schema)),
-        }
+        self.letters
+            .intern(self.arena, key, |k| render_letter(k, schema))
     }
 
     fn eq_letter(&mut self, a: GArg, b: GArg) -> FormulaId {
@@ -1628,7 +1731,6 @@ impl Grounding {
             consts: &self.consts,
             arena: &mut self.arena,
             letters: &mut self.letters,
-            log: None,
         };
         let mut psi_new = ctx.arena.tru();
         let mut new_mappings = 0u64;
@@ -1750,7 +1852,6 @@ impl Grounding {
             consts: &self.consts,
             arena: &mut self.arena,
             letters: &mut self.letters,
-            log: None,
         };
         let mut psi_new = ctx.arena.tru();
         for cand in &fresh {

@@ -68,7 +68,7 @@ pub use ground::{
 };
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
 pub use obs::{CacheStats, EngineStats};
-pub use par::Threads;
+pub use par::{Threads, WorkerPool};
 pub use session::{
     stats_json_with, Committed, OpenSummary, Session, SessionBuilder, SessionStats, STATS_SCHEMA,
     STATS_SCHEMA_V1,

@@ -145,8 +145,18 @@ pub struct EngineStats {
     pub progress_time: Duration,
     /// Wall-clock spent in phase-2 satisfiability.
     pub sat_time: Duration,
-    /// Parallel fan-outs that actually spawned worker threads (sharded
-    /// groundings, concurrent constraint/trigger sweeps).
+    /// Batched appends committed through `Engine::append_batch` (each
+    /// drains the whole batch in one pooled constraint sweep).
+    pub batches: u64,
+    /// Transactions that went through batched appends;
+    /// `batched_txs / batches` is the mean drained batch size.
+    pub batched_txs: u64,
+    /// Gauge: threads of the engine's persistent worker pool (0 until
+    /// the first parallel append creates it, and always 0 under
+    /// `Threads::Off`).
+    pub pool_workers: u64,
+    /// Parallel fan-outs that actually dispatched to worker threads
+    /// (sharded groundings, pooled constraint/trigger sweeps).
     pub par_phases: u64,
     /// Gauge: the widest worker pool any single fan-out used.
     pub par_workers: u64,
@@ -241,7 +251,7 @@ impl EngineStats {
             s.push_str(&format!("  recovered txs       {}\n", st.recovered_txs));
             s.push_str(&format!("  truncated bytes     {}", st.truncated_bytes));
         }
-        if self.par_phases > 0 {
+        if self.par_phases > 0 || self.pool_workers > 0 || self.batches > 0 {
             let speedup = if self.par_time > Duration::ZERO {
                 self.par_busy_time.as_secs_f64() / self.par_time.as_secs_f64()
             } else {
@@ -250,6 +260,9 @@ impl EngineStats {
             s.push_str("\nparallel:\n");
             s.push_str(&format!("  par phases          {}\n", self.par_phases));
             s.push_str(&format!("  par workers (max)   {}\n", self.par_workers));
+            s.push_str(&format!("  pool workers        {}\n", self.pool_workers));
+            s.push_str(&format!("  batches             {}\n", self.batches));
+            s.push_str(&format!("  batched txs         {}\n", self.batched_txs));
             s.push_str(&format!("  par time            {:?}\n", self.par_time));
             s.push_str(&format!("  par busy time       {:?}\n", self.par_busy_time));
             s.push_str(&format!("  effective speedup   {speedup:.2}x"));
@@ -301,6 +314,9 @@ impl EngineStats {
         self.automaton_compile_time += other.automaton_compile_time;
         self.progress_time += other.progress_time;
         self.sat_time += other.sat_time;
+        self.batches += other.batches;
+        self.batched_txs += other.batched_txs;
+        self.pool_workers = self.pool_workers.max(other.pool_workers);
         self.par_phases += other.par_phases;
         self.par_workers = self.par_workers.max(other.par_workers);
         self.par_time += other.par_time;

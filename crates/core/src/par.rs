@@ -1,13 +1,28 @@
-//! Deterministic work sharding over `std::thread::scope`.
+//! Deterministic work sharding: a persistent worker pool for the
+//! append hot path, scoped threads for one-shot build phases.
 //!
 //! The paper's combined bound (Theorem 4.2) is dominated by work that
 //! is embarrassingly parallel: the `|M|^k` instantiations of the
 //! grounding construction are independent of one another, and so are
 //! the registered constraints of an [`Engine`](crate::Engine). This
-//! module provides the *mechanism* both fan-out points share — a
-//! dependency-free bounded worker pool built on scoped threads (no
-//! external crates; tier-1 stays offline) — together with the policy
-//! knob [`Threads`] and the [`ParMeter`] observability hook.
+//! module provides the *mechanism* both fan-out points share —
+//! dependency-free, built on `std` only (tier-1 stays offline) —
+//! together with the policy knob [`Threads`] and the [`ParMeter`]
+//! observability hook.
+//!
+//! Two fan-out primitives coexist, matched to how often they run:
+//!
+//! * [`WorkerPool`] — long-lived threads created once per engine,
+//!   sleeping on a condvar between dispatches. The per-append
+//!   constraint sweep runs here: an append must not pay a
+//!   `thread::spawn` (≈ tens of µs) per transaction, and a pool
+//!   wake-up is a notify + one mutex hop. The pool hands each worker a
+//!   disjoint chunk of the constraint partition and can drain a whole
+//!   *batch* of queued transactions per wake-up
+//!   (see `Engine::append_batch`).
+//! * [`map_chunked`] / [`for_each_chunk_mut`] — `std::thread::scope`
+//!   fan-outs for one-shot build phases (grounding a new constraint),
+//!   where spawn cost is noise next to the work.
 //!
 //! Determinism is non-negotiable here: every parallel path in this
 //! crate shards its input into *canonically ordered chunks* and merges
@@ -15,7 +30,7 @@
 //! (events, statuses, statistics on the grounding structure) is
 //! bit-identical to the sequential path. The helpers in this module
 //! make that easy to get right: [`shard_ranges`] produces the canonical
-//! partition, [`map_chunked`] / [`for_each_chunk_mut`] return results
+//! partition, and both the pool and the scoped helpers return results
 //! indexed by chunk.
 //!
 //! The append hot path's memo tables (the transition cache and the
@@ -27,6 +42,8 @@
 //! order) are deterministic and thread-count-independent.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 thread_local! {
@@ -278,6 +295,259 @@ impl ParMeter {
     }
 }
 
+/// The dispatched job: a borrowed `Fn(worker_index)` closure with its
+/// lifetime erased. Sound because [`WorkerPool::run`] blocks until
+/// every worker has finished the dispatch (and cleared the slot)
+/// before returning, so no worker ever dereferences the reference
+/// after the borrow it was transmuted from ends.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct PoolState {
+    /// The current dispatch, present only between `run`'s publish and
+    /// its completion wait.
+    job: Option<Job>,
+    /// Dispatch generation; bumped per `run` so a worker never runs
+    /// the same job twice.
+    epoch: u64,
+    /// Workers that have not yet finished the current dispatch.
+    pending: usize,
+    /// Per-worker busy time of the current dispatch.
+    busy: Vec<Duration>,
+    /// Whether any worker panicked during the current dispatch.
+    panicked: bool,
+    /// Set by `Drop`; workers exit their loop.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers sleep here between dispatches.
+    work_cv: Condvar,
+    /// The leader sleeps here until `pending` drains to zero.
+    done_cv: Condvar,
+}
+
+/// A persistent worker pool: `size` threads created once, sleeping on
+/// a condvar between dispatches, woken together to run one borrowed
+/// closure each (`f(worker_index)`).
+///
+/// This is the append hot path's fan-out. Unlike the scoped helpers,
+/// a dispatch costs a condvar broadcast and two mutex hops instead of
+/// `size` thread spawns — the difference between an append that can
+/// keep up with a transaction stream and one dominated by spawn
+/// latency.
+///
+/// Workers inherit the creating thread's [`pool_peers`] declaration,
+/// so `Threads::Auto` resolution inside worker-run code (e.g. a nested
+/// grounding) sees the same machine share the owning engine does.
+///
+/// Worker panics are caught, the dispatch completes on the surviving
+/// workers, and `run` re-raises as `panic!("parallel worker
+/// panicked")` — the same contract as the scoped helpers.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `size.max(1)` sleeping workers. The workers
+    /// inherit the current thread's [`pool_peers`] declaration.
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let peers = pool_peers();
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                pending: 0,
+                busy: vec![Duration::ZERO; size],
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..size)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ticc-pool-{w}"))
+                    .spawn(move || {
+                        set_pool_peers(peers);
+                        Self::worker_loop(&shared, w);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn worker_loop(shared: &PoolShared, w: usize) {
+        let mut last_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().expect("pool mutex poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != last_epoch {
+                        if let Some(job) = st.job {
+                            last_epoch = st.epoch;
+                            break job;
+                        }
+                    }
+                    st = shared.work_cv.wait(st).expect("pool mutex poisoned");
+                }
+            };
+            let t = Instant::now();
+            let ok = catch_unwind(AssertUnwindSafe(|| job(w))).is_ok();
+            let busy = t.elapsed();
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            st.busy[w] = busy;
+            if !ok {
+                st.panicked = true;
+            }
+            st.pending -= 1;
+            if st.pending == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Wakes every worker to run `f(worker_index)` once, blocks until
+    /// all have finished, and records the dispatch on `meter` as a
+    /// phase of `fanout` workers (the number of non-trivial chunks the
+    /// caller actually sharded into — pool threads beyond it return
+    /// immediately and contribute ~zero busy time).
+    ///
+    /// `&mut self` makes overlapping dispatches unrepresentable.
+    fn run(&mut self, fanout: usize, meter: &mut ParMeter, f: &(dyn Fn(usize) + Sync)) {
+        meter.begin(fanout);
+        let wall = Instant::now();
+        // Erase the borrow's lifetime; see the `Job` safety comment.
+        let job: Job = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), Job>(f) };
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.pending = self.size;
+            st.panicked = false;
+            st.busy.iter_mut().for_each(|b| *b = Duration::ZERO);
+        }
+        self.shared.work_cv.notify_all();
+        let (busy, panicked) = {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            while st.pending > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+            }
+            st.job = None;
+            (st.busy.iter().sum(), st.panicked)
+        };
+        meter.end(wall.elapsed(), busy);
+        if panicked {
+            panic!("parallel worker panicked");
+        }
+    }
+
+    /// [`for_each_chunk_mut`] on the pool: hands each worker a disjoint
+    /// `&mut` chunk of `items` (canonical partition over at most
+    /// `workers.min(self.size())` chunks) and collects the per-chunk
+    /// results in chunk order. With one chunk (or `workers <= 1`)
+    /// everything runs on the calling thread — same results, no
+    /// wake-up, no meter tick.
+    pub fn for_each_chunk_mut<I, T, F>(
+        &mut self,
+        items: &mut [I],
+        workers: usize,
+        meter: &mut ParMeter,
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, usize, &mut [I]) -> T + Sync,
+    {
+        let ranges = shard_ranges(items.len(), workers.min(self.size));
+        if ranges.len() <= 1 || workers <= 1 {
+            return ranges
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let start = r.start;
+                    f(i, start, &mut items[r])
+                })
+                .collect();
+        }
+        let nchunks = ranges.len();
+        // Carve `items` into disjoint mutable chunks, parked in
+        // per-chunk slots each worker takes exactly once: the slot
+        // holds (chunk index, global start offset, the chunk).
+        type ChunkSlot<'a, I> = Mutex<Option<(usize, usize, &'a mut [I])>>;
+        let mut slots: Vec<ChunkSlot<'_, I>> = Vec::with_capacity(nchunks);
+        let mut rest = items;
+        let mut consumed = 0;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            slots.push(Mutex::new(Some((slots.len(), consumed, head))));
+            consumed += r.len();
+            rest = tail;
+        }
+        let results: Vec<Mutex<Option<T>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+        self.run(nchunks, meter, &|w| {
+            if w >= nchunks {
+                return;
+            }
+            let (i, start, chunk) = slots[w]
+                .lock()
+                .expect("pool slot poisoned")
+                .take()
+                .expect("chunk slot taken once");
+            let out = f(i, start, chunk);
+            *results[i].lock().expect("pool slot poisoned") = Some(out);
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("pool slot poisoned")
+                    .expect("every chunk ran")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +641,84 @@ mod tests {
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+
+    #[test]
+    fn pool_chunks_match_the_scoped_helper() {
+        let mut pool = WorkerPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let mut items: Vec<u32> = (0..17).collect();
+        let mut meter = ParMeter::new();
+        let sums = pool.for_each_chunk_mut(&mut items, 4, &mut meter, |i, start, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 100;
+            }
+            (i, start, chunk.len())
+        });
+        assert_eq!(items, (100..117).collect::<Vec<_>>());
+        // Same canonical partition and chunk-order results as the
+        // scoped for_each_chunk_mut.
+        assert_eq!(sums, vec![(0, 0, 5), (1, 5, 4), (2, 9, 4), (3, 13, 4)]);
+        assert_eq!(meter.phases, 1);
+        assert_eq!(meter.max_workers, 4);
+    }
+
+    #[test]
+    fn pool_survives_many_dispatches() {
+        let mut pool = WorkerPool::new(3);
+        let mut meter = ParMeter::new();
+        for round in 0..50u32 {
+            let mut items: Vec<u32> = (0..12).collect();
+            let outs = pool.for_each_chunk_mut(&mut items, 3, &mut meter, |_, _, chunk| {
+                chunk.iter().map(|&x| x + round).sum::<u32>()
+            });
+            let total: u32 = outs.iter().sum();
+            assert_eq!(total, (0..12).sum::<u32>() + 12 * round);
+        }
+        assert_eq!(meter.phases, 50, "one metered phase per dispatch");
+    }
+
+    #[test]
+    fn pool_runs_inline_below_two_chunks() {
+        let mut pool = WorkerPool::new(4);
+        let mut meter = ParMeter::new();
+        let mut items = vec![1u32];
+        let outs = pool.for_each_chunk_mut(&mut items, 4, &mut meter, |i, start, chunk| {
+            (i, start, chunk.len())
+        });
+        assert_eq!(outs, vec![(0, 0, 1)]);
+        assert_eq!(meter.phases, 0, "single chunk never wakes the pool");
+        let outs = pool.for_each_chunk_mut(&mut items, 1, &mut meter, |i, _, _| i);
+        assert_eq!(outs, vec![0]);
+        assert_eq!(meter.phases, 0, "workers <= 1 never wakes the pool");
+    }
+
+    #[test]
+    fn pool_workers_inherit_the_peer_declaration() {
+        set_pool_peers(3);
+        let mut pool = WorkerPool::new(2);
+        set_pool_peers(1);
+        let mut meter = ParMeter::new();
+        let mut items: Vec<u32> = (0..8).collect();
+        let peers = pool.for_each_chunk_mut(&mut items, 2, &mut meter, |_, _, _| pool_peers());
+        assert_eq!(peers, vec![3, 3], "workers carry the creator's share");
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut pool = WorkerPool::new(2);
+            let mut meter = ParMeter::new();
+            let mut items: Vec<u32> = (0..8).collect();
+            pool.for_each_chunk_mut(&mut items, 2, &mut meter, |i, _, _| {
+                if i == 1 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<&str>().expect("str payload");
+        assert_eq!(msg, "parallel worker panicked");
     }
 
     #[test]

@@ -405,6 +405,62 @@ impl Session {
         })
     }
 
+    /// Appends a batch of transactions as consecutive states in one
+    /// constraint sweep — [`Engine::append_batch`], so statuses,
+    /// events, and stats are bit-identical to appending them one at a
+    /// time. A group-backed session logs every transaction and lets
+    /// the final one carry the fsync request: one commit window
+    /// covers the whole batch. Triggers are evaluated at every new
+    /// state (over the history prefix for intermediate ones), so the
+    /// returned [`Committed`] values match a per-transaction
+    /// [`Session::append`] loop. The staged buffer is untouched.
+    pub fn append_batch(&mut self, txs: &[Transaction]) -> Result<Vec<Committed>, Error> {
+        self.freeze()?;
+        let durability = self.opts.durability;
+        let group = &self.group;
+        let Phase::Running(r) = &mut self.phase else {
+            unreachable!("freeze() leaves the session running")
+        };
+        let base = r.engine.history().len();
+        let per_tx_events = r.engine.append_batch(txs)?;
+        if let Some(g) = group {
+            let sync = match durability {
+                Durability::Off => None,
+                Durability::Wal => Some(false),
+                Durability::WalFsync => Some(true),
+            };
+            if let Some(sync) = sync {
+                for (i, tx) in txs.iter().enumerate() {
+                    let last = i + 1 == txs.len();
+                    g.wal
+                        .append_tx(g.id, tx, sync && last)
+                        .map_err(|e| Error::Store(e.to_string()))?;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(per_tx_events.len());
+        for (t, events) in per_tx_events.into_iter().enumerate() {
+            let fired = if r.trigger_defs.is_empty() {
+                Vec::new()
+            } else if base + t + 1 == r.engine.history().len() {
+                r.triggers.evaluate(r.engine.history())?
+            } else {
+                let prefix = r.engine.history().prefix(base + t + 1);
+                r.triggers.evaluate(&prefix)?
+            };
+            self.counters.commits += 1;
+            self.counters.violations += events.len() as u64;
+            self.counters.trigger_firings += fired.len() as u64;
+            out.push(Committed {
+                t: base + t,
+                events,
+                fired,
+                ops: 0,
+            });
+        }
+        Ok(out)
+    }
+
     /// The history, once the schema is frozen.
     pub fn history(&self) -> Option<&History> {
         self.running().map(|r| r.engine.history())
@@ -892,6 +948,9 @@ pub fn stats_json_with(stats: &SessionStats, server: Option<&str>) -> String {
     let _ = write!(o, ",\"par_workers\":{}", s.par_workers);
     let _ = write!(o, ",\"par_time_ns\":{}", s.par_time.as_nanos());
     let _ = write!(o, ",\"par_busy_time_ns\":{}", s.par_busy_time.as_nanos());
+    let _ = write!(o, ",\"pool_workers\":{}", s.pool_workers);
+    let _ = write!(o, ",\"batches\":{}", s.batches);
+    let _ = write!(o, ",\"batched_txs\":{}", s.batched_txs);
     let _ = write!(
         o,
         ",\"session\":{{\"commits\":{},\"violations\":{},\"trigger_firings\":{},\
@@ -1005,6 +1064,40 @@ mod tests {
     }
 
     #[test]
+    fn append_batch_commits_each_state() {
+        // A batch must hand back one Committed per transaction —
+        // events, trigger firings, and counters exactly as a
+        // per-transaction append loop would produce them.
+        let (mut s, _) = Session::builder().pred("Sub", 1).open().unwrap();
+        let phi = formula(&s, "forall x. G (Sub(x) -> X G !Sub(x))");
+        let id = s.add_constraint("once", phi).unwrap();
+        let cond = formula(&s, "F (Sub(x) & X F Sub(x))");
+        s.add_trigger("dup", cond).unwrap();
+        let p = s.schema().unwrap().pred("Sub").unwrap();
+        let txs = [
+            Transaction::new().insert(p, vec![1]),
+            Transaction::new().delete(p, vec![1]).insert(p, vec![2]),
+            Transaction::new().delete(p, vec![2]).insert(p, vec![1]), // re-submission
+        ];
+        let out = s.append_batch(&txs).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].t, 0);
+        assert!(out[0].events.is_empty());
+        assert!(out[0].fired.is_empty(), "no duplicate yet at state 0");
+        assert_eq!(out[2].t, 2);
+        assert_eq!(out[2].events.len(), 1, "re-submission violates");
+        assert_eq!(out[2].fired.len(), 1, "dup fires at the violating state");
+        assert!(matches!(s.status(id), Status::Violated { .. }));
+        let st = s.stats();
+        assert_eq!(st.commits, 3);
+        assert_eq!(st.violations, 1);
+        assert_eq!(st.trigger_firings, 1);
+        assert_eq!(st.engine.batches, 1);
+        assert_eq!(st.engine.batched_txs, 3);
+        assert_eq!(st.history_len, 3);
+    }
+
+    #[test]
     fn own_store_round_trip_via_builder() {
         let path = tmp("own-store");
         let _ = std::fs::remove_file(&path);
@@ -1086,6 +1179,8 @@ mod tests {
         assert!(j.contains("\"schema\":\"ticc-engine-stats-v2\""), "{j}");
         assert!(j.contains("\"appends\":1"), "{j}");
         assert!(j.contains("\"automata\":{\"templates_compiled\":"), "{j}");
+        assert!(j.contains("\"pool_workers\":0"), "{j}");
+        assert!(j.contains("\"batches\":0"), "{j}");
         assert!(j.contains("\"session\":{\"commits\":1"), "{j}");
         assert!(j.contains("\"server\":null"), "{j}");
         let spliced = stats_json_with(&s.stats(), Some("{\"sessions\":3}"));

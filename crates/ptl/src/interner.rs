@@ -12,10 +12,22 @@
 //! The interner does not own an arena — it is a key index *over* one —
 //! so several interners with different key types can share a single
 //! arena, and the arena remains the sole authority on ids.
+//!
+//! For concurrent vocabulary discovery there is the
+//! [`ShardedInterner`]: worker threads `note` keys into hash-selected
+//! shards (one mutex per shard, a fixed power-of-two shard count), and
+//! a single-threaded [`seal`](ShardedInterner::seal) then assigns ids
+//! in canonical *sorted-key* order. The assigned ids are a pure
+//! function of the collected key **set** — independent of thread
+//! count, interleaving, and shard assignment — which is what lets the
+//! parallel grounding pipeline intern letters concurrently and still
+//! produce an arena bit-identical to a sequential run.
 
 use crate::arena::{Arena, AtomId};
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// A typed key → [`AtomId`] index over an [`Arena`].
 ///
@@ -27,45 +39,6 @@ use std::hash::Hash;
 #[derive(Debug, Clone, Default)]
 pub struct AtomInterner<K> {
     map: HashMap<K, AtomId>,
-}
-
-/// First-sight record of the keys an [`AtomInterner`] created, in
-/// creation order.
-///
-/// Entry `i` holds the key and rendered name of the atom a *local*
-/// interner assigned `AtomId(i)` (a fresh interner over a fresh arena
-/// hands out dense ids `0, 1, 2, …`). Replaying the log into another
-/// interner/arena pair with [`AtomInterner::replay`] therefore yields a
-/// local-id → merged-id remap table — the mechanism the sharded
-/// grounding path uses to merge per-worker vocabularies while keeping
-/// the merged atom order identical to a sequential run.
-#[derive(Debug, Clone, Default)]
-pub struct InternLog<K> {
-    entries: Vec<(K, String)>,
-}
-
-impl<K> InternLog<K> {
-    /// An empty log.
-    pub fn new() -> Self {
-        Self {
-            entries: Vec::new(),
-        }
-    }
-
-    /// Number of logged first sightings.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether nothing has been logged.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// The `(key, rendered name)` entries in first-sight order.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &str)> {
-        self.entries.iter().map(|(k, n)| (k, n.as_str()))
-    }
 }
 
 impl<K: Eq + Hash + Clone> AtomInterner<K> {
@@ -91,52 +64,6 @@ impl<K: Eq + Hash + Clone> AtomInterner<K> {
         let id = arena.intern_atom(&name);
         self.map.insert(key, id);
         id
-    }
-
-    /// Like [`intern`](Self::intern), but records every first sighting
-    /// in `log` so the interning session can later be replayed into a
-    /// different arena with [`replay`](Self::replay).
-    pub fn intern_logged(
-        &mut self,
-        arena: &mut Arena,
-        log: &mut InternLog<K>,
-        key: K,
-        render: impl FnOnce(&K) -> String,
-    ) -> AtomId {
-        if let Some(&id) = self.map.get(&key) {
-            return id;
-        }
-        let name = render(&key);
-        let id = arena.intern_atom(&name);
-        log.entries.push((key.clone(), name));
-        self.map.insert(key, id);
-        id
-    }
-
-    /// Replays a first-sight `log` (from a worker's local interner)
-    /// into this interner/arena, in log order. Keys already present are
-    /// skipped without re-rendering; fresh keys are interned under
-    /// their recorded names. Returns the remap table: entry `i` is the
-    /// id *this* interner holds for the key a local interner assigned
-    /// `AtomId(i)`.
-    ///
-    /// Because a fresh key first seen in log `j` of a chunk-ordered
-    /// sequence of logs is interned here after every key of logs `< j`
-    /// and before later first sightings of log `j`, replaying the
-    /// workers' logs in canonical chunk order reproduces exactly the
-    /// atom order a sequential first-sight pass would have produced.
-    pub fn replay(&mut self, arena: &mut Arena, log: &InternLog<K>) -> Vec<AtomId> {
-        log.entries
-            .iter()
-            .map(|(key, name)| {
-                if let Some(&id) = self.map.get(key) {
-                    return id;
-                }
-                let id = arena.intern_atom(name);
-                self.map.insert(key.clone(), id);
-                id
-            })
-            .collect()
     }
 
     /// Rebuilds an interner from explicit `(key, id)` pairs — the
@@ -173,6 +100,106 @@ impl<K: Eq + Hash + Clone> AtomInterner<K> {
     /// All `(key, id)` pairs, in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, AtomId)> {
         self.map.iter().map(|(k, &v)| (k, v))
+    }
+}
+
+/// Number of shards of a [`ShardedInterner`]. Fixed and a power of two
+/// so shard selection is a mask of the key hash; 64 keeps per-shard
+/// contention negligible for the worker counts the engine ever runs
+/// (≤ 8) while staying cheap to drain at seal time.
+const SHARD_COUNT: usize = 64;
+
+/// A concurrent two-phase key collector feeding an [`AtomInterner`].
+///
+/// **Phase 1 (concurrent):** any number of threads call
+/// [`note`](Self::note) through a shared reference. The key lands in
+/// the shard its hash selects (per-shard [`Mutex`]); the display name
+/// is rendered once, on the shard-local first sight. No ids are
+/// assigned yet.
+///
+/// **Phase 2 (exclusive):** [`seal`](Self::seal) drains every shard,
+/// sorts the collected keys by their `Ord`, and interns them in sorted
+/// order into the target arena/interner. Ids are therefore a pure
+/// function of the key *set*: however many threads noted keys, in
+/// whatever order, the sealed vocabulary is bit-identical.
+///
+/// This replaces the former `InternLog` replay: workers no longer keep
+/// private first-sight logs that the merge replays in chunk order —
+/// they intern (note) directly into shared state, and determinism
+/// comes from the canonical sort instead of from replay ordering.
+#[derive(Debug)]
+pub struct ShardedInterner<K> {
+    shards: Vec<Mutex<HashMap<K, String>>>,
+}
+
+impl<K: Eq + Hash + Ord> ShardedInterner<K> {
+    /// An empty collector with the fixed power-of-two shard count.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Records `key` as part of the vocabulary, rendering its display
+    /// name on the shard-local first sight. Callable from many threads
+    /// at once; only the owning shard is locked.
+    pub fn note(&self, key: K, render: impl FnOnce(&K) -> String) {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let shard = (h.finish() as usize) & (SHARD_COUNT - 1);
+        let mut map = self.shards[shard]
+            .lock()
+            .expect("interner shard poisoned by a panicking worker");
+        if let Entry::Vacant(e) = map.entry(key) {
+            let name = render(e.key());
+            e.insert(name);
+        }
+    }
+
+    /// Number of distinct keys noted so far (locks every shard; meant
+    /// for tests and post-phase accounting, not hot paths).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("interner shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing has been noted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the shards and interns every collected key into
+    /// `arena`/`interner` in canonical sorted-key order, skipping keys
+    /// the interner already holds. Returns how many fresh atoms were
+    /// interned. After `seal`, looking any noted key up through the
+    /// interner is a guaranteed hit.
+    pub fn seal(self, arena: &mut Arena, interner: &mut AtomInterner<K>) -> usize {
+        let mut all: Vec<(K, String)> = self
+            .shards
+            .into_iter()
+            .flat_map(|s| s.into_inner().expect("interner shard poisoned"))
+            .collect();
+        all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut fresh = 0;
+        for (key, name) in all {
+            if interner.map.contains_key(&key) {
+                continue;
+            }
+            let id = arena.intern_atom(&name);
+            interner.map.insert(key, id);
+            fresh += 1;
+        }
+        fresh
+    }
+}
+
+impl<K: Eq + Hash + Ord> Default for ShardedInterner<K> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -237,62 +264,97 @@ mod tests {
     }
 
     #[test]
-    fn replayed_logs_reproduce_sequential_first_sight_order() {
-        // Sequential pass over a key stream vs. two workers splitting
-        // the stream: replaying the workers' logs in chunk order must
-        // give the sequential arena's atom table verbatim.
-        let stream: Vec<u32> = vec![3, 1, 3, 2, 2, 5, 1, 4];
-        let (left, right) = stream.split_at(4);
-
-        let mut seq_arena = Arena::new();
-        let mut seq: AtomInterner<u32> = AtomInterner::new();
-        for &k in &stream {
-            seq.intern(&mut seq_arena, k, |k| format!("a{k}"));
+    fn sealed_ids_are_sorted_key_order() {
+        let mut arena = Arena::new();
+        let mut it: AtomInterner<u32> = AtomInterner::new();
+        let sink: ShardedInterner<u32> = ShardedInterner::new();
+        for k in [9u32, 3, 7, 3, 1, 9] {
+            sink.note(k, |k| format!("a{k}"));
         }
-
-        let mut main_arena = Arena::new();
-        let mut main: AtomInterner<u32> = AtomInterner::new();
-        let mut remaps = Vec::new();
-        for chunk in [left, right] {
-            let mut warena = Arena::new();
-            let mut w: AtomInterner<u32> = AtomInterner::new();
-            let mut log = InternLog::new();
-            for &k in chunk {
-                w.intern_logged(&mut warena, &mut log, k, |k| format!("a{k}"));
-            }
-            // Local ids are dense in first-sight order.
-            for (i, (k, _)) in log.iter().enumerate() {
-                assert_eq!(w.get(k), Some(AtomId(i as u32)));
-            }
-            remaps.push(main.replay(&mut main_arena, &log));
-        }
-
-        assert_eq!(main_arena.atom_count(), seq_arena.atom_count());
-        for i in 0..main_arena.atom_count() {
-            assert_eq!(
-                main_arena.atom_name(AtomId(i as u32)),
-                seq_arena.atom_name(AtomId(i as u32))
-            );
-        }
-        // The remap agrees with the merged interner on every chunk key.
-        for (chunk, remap) in [left, right].iter().zip(&remaps) {
-            for &k in *chunk {
-                let main_id = main.get(&k).unwrap();
-                assert!(remap.contains(&main_id));
-            }
-        }
+        assert_eq!(sink.len(), 4);
+        let fresh = sink.seal(&mut arena, &mut it);
+        assert_eq!(fresh, 4);
+        // Ids follow the sorted key order, not the note order.
+        assert_eq!(it.get(&1), Some(AtomId(0)));
+        assert_eq!(it.get(&3), Some(AtomId(1)));
+        assert_eq!(it.get(&7), Some(AtomId(2)));
+        assert_eq!(it.get(&9), Some(AtomId(3)));
+        assert_eq!(arena.atom_name(AtomId(0)), "a1");
+        assert_eq!(arena.atom_name(AtomId(3)), "a9");
     }
 
     #[test]
-    fn intern_logged_skips_log_on_repeat_sight() {
+    fn seal_skips_keys_already_interned() {
         let mut arena = Arena::new();
-        let mut it: AtomInterner<u8> = AtomInterner::new();
-        let mut log = InternLog::new();
-        let a = it.intern_logged(&mut arena, &mut log, 7, |_| "p7".into());
-        let b = it.intern_logged(&mut arena, &mut log, 7, |_| "p7".into());
-        assert_eq!(a, b);
-        assert_eq!(log.len(), 1);
-        assert!(!log.is_empty());
+        let mut it: AtomInterner<u32> = AtomInterner::new();
+        let pre = it.intern(&mut arena, 5, |_| "a5".into());
+        let sink: ShardedInterner<u32> = ShardedInterner::new();
+        sink.note(5, |k| format!("a{k}"));
+        sink.note(2, |k| format!("a{k}"));
+        let fresh = sink.seal(&mut arena, &mut it);
+        assert_eq!(fresh, 1);
+        assert_eq!(it.get(&5), Some(pre), "pre-existing id is kept");
+        assert_eq!(arena.atom_count(), 2);
+    }
+
+    /// The determinism contract of the tentpole: N threads noting
+    /// overlapping key sets in racing order must seal to the identical
+    /// canonical arena a sequential pass produces.
+    #[test]
+    fn concurrent_notes_seal_identically_to_sequential() {
+        // Overlapping per-thread key streams (every thread shares the
+        // 0..32 block, plus a private tail).
+        let streams: Vec<Vec<u32>> = (0..4u32)
+            .map(|t| {
+                let mut s: Vec<u32> = (0..32).collect();
+                s.extend((0..16).map(|i| 100 + t * 16 + i));
+                // Per-thread order differs: rotate by the thread index.
+                s.rotate_left(5 * t as usize + 1);
+                s
+            })
+            .collect();
+
+        let mut seq_arena = Arena::new();
+        let mut seq: AtomInterner<u32> = AtomInterner::new();
+        {
+            let sink: ShardedInterner<u32> = ShardedInterner::new();
+            for s in &streams {
+                for &k in s {
+                    sink.note(k, |k| format!("a{k}"));
+                }
+            }
+            sink.seal(&mut seq_arena, &mut seq);
+        }
+
+        let mut par_arena = Arena::new();
+        let mut par: AtomInterner<u32> = AtomInterner::new();
+        {
+            let sink: ShardedInterner<u32> = ShardedInterner::new();
+            std::thread::scope(|scope| {
+                for s in &streams {
+                    let sink = &sink;
+                    scope.spawn(move || {
+                        for &k in s {
+                            sink.note(k, |k| format!("a{k}"));
+                        }
+                    });
+                }
+            });
+            sink.seal(&mut par_arena, &mut par);
+        }
+
+        assert_eq!(par_arena.atom_count(), seq_arena.atom_count());
+        for i in 0..par_arena.atom_count() {
+            assert_eq!(
+                par_arena.atom_name(AtomId(i as u32)),
+                seq_arena.atom_name(AtomId(i as u32))
+            );
+        }
+        for s in &streams {
+            for &k in s {
+                assert_eq!(par.get(&k), seq.get(&k), "key {k}");
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,8 @@ use std::thread::JoinHandle;
 
 use ticc_core::par::set_pool_peers;
 use ticc_core::{
-    stats_json_with, CheckOptions, GroupWal, Session, Status, STATS_SCHEMA, STATS_SCHEMA_V1,
+    stats_json_with, CheckOptions, Committed, GroupWal, Session, Status, STATS_SCHEMA,
+    STATS_SCHEMA_V1,
 };
 use ticc_fotl::parser::parse as parse_formula;
 use ticc_store::codec::parse_fact;
@@ -282,6 +283,7 @@ impl Server {
             }
             "open" => (self.op_open(req).render(), false),
             "append" => (self.op_append(req).render(), false),
+            "append_batch" => (self.op_append_batch(req).render(), false),
             "status" => (self.op_status(req).render(), false),
             "stats" => (self.op_stats(req), false),
             "checkpoint" => (self.op_checkpoint(req).render(), false),
@@ -466,105 +468,88 @@ impl Server {
                 "the session has no schema yet (open it with preds)",
             );
         };
-        // Facts use the store codec's text grammar. Two spellings:
-        // unordered `insert`/`delete` arrays (inserts apply first), or
-        // the ordered `ops` array of `[verb, fact]` pairs for
-        // transactions where intra-transaction order matters.
-        let mut ops: Vec<(bool, &str)> = Vec::new();
-        for (field, insert) in [("insert", true), ("delete", false)] {
-            let Some(items) = req.get(field) else {
-                continue;
-            };
-            let Some(items) = items.as_arr() else {
-                return wire::err(
-                    "bad-frame",
-                    format!("\"{field}\" must be an array of facts"),
-                );
-            };
-            for item in items {
-                let Some(fact) = item.as_str() else {
-                    return wire::err(
-                        "bad-frame",
-                        format!("\"{field}\" entries are \"Pred(v,…)\" strings"),
-                    );
-                };
-                ops.push((insert, fact));
-            }
-        }
-        if let Some(items) = req.get("ops") {
-            let Some(items) = items.as_arr() else {
-                return wire::err(
-                    "bad-frame",
-                    "\"ops\" must be an array of [verb, fact] pairs",
-                );
-            };
-            for item in items {
-                let Some([verb, fact]) = item.as_arr() else {
-                    return wire::err("bad-frame", "\"ops\" entries are [verb, fact] pairs");
-                };
-                let (Some(verb), Some(fact)) = (verb.as_str(), fact.as_str()) else {
-                    return wire::err("bad-frame", "\"ops\" entries are [verb, fact] string pairs");
-                };
-                let insert = match verb {
-                    "insert" | "+" => true,
-                    "delete" | "-" => false,
-                    other => {
-                        return wire::err(
-                            "bad-frame",
-                            format!("\"ops\" verb is insert/+/delete/-, got '{other}'"),
-                        )
-                    }
-                };
-                ops.push((insert, fact));
-            }
-        }
-        let mut tx = Transaction::new();
-        for (insert, fact) in ops {
-            let (pred, tuple) = match parse_fact(&schema, fact) {
-                Ok(parsed) => parsed,
-                Err(e) => return wire::err("bad-frame", e),
-            };
-            tx = if insert {
-                tx.insert(pred, tuple)
-            } else {
-                tx.delete(pred, tuple)
-            };
-        }
+        let tx = match parse_tx(&schema, req) {
+            Ok(tx) => tx,
+            Err(resp) => return resp,
+        };
         let committed = match session.append(&tx) {
             Ok(c) => c,
             Err(e) => return wire::err("engine", e.to_string()),
         };
         drop(guard);
-        let events: Vec<Json> = committed
-            .events
+        wire::ok(committed_fields(&committed))
+    }
+
+    /// `append_batch`: the `txs` array of transaction objects (each
+    /// the same `insert`/`delete`/`ops` shape as `append`) committed
+    /// as consecutive states in one constraint sweep —
+    /// [`Session::append_batch`], so a group-backed server pays one
+    /// commit window for the whole batch and the pooled engine steps
+    /// each constraint through all of them without per-transaction
+    /// barriers. Admission control counts the batch as one in-flight
+    /// append.
+    fn op_append_batch(&self, req: &Json) -> Json {
+        let Some(slot) = named_session(self, req) else {
+            return unknown_session(req);
+        };
+        let inflight = self.inflight.fetch_add(1, Ordering::SeqCst);
+        let _inflight = InflightGuard(&self.inflight);
+        if inflight >= self.limits.max_inflight_appends {
+            self.backpressure.fetch_add(1, Ordering::Relaxed);
+            return wire::err(
+                "backpressure",
+                format!(
+                    "{} append(s) already in flight (limit {})",
+                    inflight, self.limits.max_inflight_appends
+                ),
+            );
+        }
+        if let Some(wal) = &self.wal {
+            if wal.pending_bytes() > self.limits.max_pending_bytes {
+                self.backpressure.fetch_add(1, Ordering::Relaxed);
+                return wire::err(
+                    "backpressure",
+                    format!(
+                        "{} staged log byte(s) awaiting flush (limit {})",
+                        wal.pending_bytes(),
+                        self.limits.max_pending_bytes
+                    ),
+                );
+            }
+        }
+        let mut guard = slot.lock().expect("session lock");
+        let Some(session) = guard.as_mut() else {
+            return unknown_session(req);
+        };
+        let Some(schema) = session.schema() else {
+            return wire::err(
+                "engine",
+                "the session has no schema yet (open it with preds)",
+            );
+        };
+        let Some(items) = req.get("txs").and_then(Json::as_arr) else {
+            return wire::err(
+                "bad-frame",
+                "append_batch needs a \"txs\" array of transaction objects",
+            );
+        };
+        let mut txs = Vec::with_capacity(items.len());
+        for item in items {
+            match parse_tx(&schema, item) {
+                Ok(tx) => txs.push(tx),
+                Err(resp) => return resp,
+            }
+        }
+        let committed = match session.append_batch(&txs) {
+            Ok(c) => c,
+            Err(e) => return wire::err("engine", e.to_string()),
+        };
+        drop(guard);
+        let results: Vec<Json> = committed
             .iter()
-            .map(|e| {
-                json::obj(vec![
-                    ("constraint", json::s(&e.name)),
-                    ("at", Json::U64(e.at as u64)),
-                ])
-            })
+            .map(|c| json::obj(committed_fields(c)))
             .collect();
-        let fired: Vec<Json> = committed
-            .fired
-            .iter()
-            .map(|f| {
-                let subst: Vec<(String, Json)> = f
-                    .substitution
-                    .iter()
-                    .map(|(v, val)| (v.clone(), Json::U64(*val)))
-                    .collect();
-                json::obj(vec![
-                    ("trigger", json::s(&f.name)),
-                    ("subst", Json::Obj(subst)),
-                ])
-            })
-            .collect();
-        wire::ok(vec![
-            ("t", Json::U64(committed.t as u64)),
-            ("events", Json::Arr(events)),
-            ("fired", Json::Arr(fired)),
-        ])
+        wire::ok(vec![("results", Json::Arr(results))])
     }
 
     fn op_status(&self, req: &Json) -> Json {
@@ -795,6 +780,119 @@ fn unknown_session(req: &Json) -> Json {
     }
 }
 
+/// Parses one transaction description against the schema. Facts use
+/// the store codec's text grammar. Two spellings: unordered
+/// `insert`/`delete` arrays (inserts apply first), or the ordered
+/// `ops` array of `[verb, fact]` pairs for transactions where
+/// intra-transaction order matters. The same shape serves the
+/// top-level `append` request and each entry of `append_batch`'s
+/// `txs` array.
+fn parse_tx(schema: &ticc_tdb::Schema, src: &Json) -> Result<Transaction, Json> {
+    let mut ops: Vec<(bool, &str)> = Vec::new();
+    for (field, insert) in [("insert", true), ("delete", false)] {
+        let Some(items) = src.get(field) else {
+            continue;
+        };
+        let Some(items) = items.as_arr() else {
+            return Err(wire::err(
+                "bad-frame",
+                format!("\"{field}\" must be an array of facts"),
+            ));
+        };
+        for item in items {
+            let Some(fact) = item.as_str() else {
+                return Err(wire::err(
+                    "bad-frame",
+                    format!("\"{field}\" entries are \"Pred(v,…)\" strings"),
+                ));
+            };
+            ops.push((insert, fact));
+        }
+    }
+    if let Some(items) = src.get("ops") {
+        let Some(items) = items.as_arr() else {
+            return Err(wire::err(
+                "bad-frame",
+                "\"ops\" must be an array of [verb, fact] pairs",
+            ));
+        };
+        for item in items {
+            let Some([verb, fact]) = item.as_arr() else {
+                return Err(wire::err(
+                    "bad-frame",
+                    "\"ops\" entries are [verb, fact] pairs",
+                ));
+            };
+            let (Some(verb), Some(fact)) = (verb.as_str(), fact.as_str()) else {
+                return Err(wire::err(
+                    "bad-frame",
+                    "\"ops\" entries are [verb, fact] string pairs",
+                ));
+            };
+            let insert = match verb {
+                "insert" | "+" => true,
+                "delete" | "-" => false,
+                other => {
+                    return Err(wire::err(
+                        "bad-frame",
+                        format!("\"ops\" verb is insert/+/delete/-, got '{other}'"),
+                    ))
+                }
+            };
+            ops.push((insert, fact));
+        }
+    }
+    let mut tx = Transaction::new();
+    for (insert, fact) in ops {
+        let (pred, tuple) = match parse_fact(schema, fact) {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(wire::err("bad-frame", e)),
+        };
+        tx = if insert {
+            tx.insert(pred, tuple)
+        } else {
+            tx.delete(pred, tuple)
+        };
+    }
+    Ok(tx)
+}
+
+/// Renders one committed state as the wire's `t`/`events`/`fired`
+/// fields (the `append` response body; one `results` entry for
+/// `append_batch`).
+fn committed_fields(committed: &Committed) -> Vec<(&'static str, Json)> {
+    let events: Vec<Json> = committed
+        .events
+        .iter()
+        .map(|e| {
+            json::obj(vec![
+                ("constraint", json::s(&e.name)),
+                ("at", Json::U64(e.at as u64)),
+            ])
+        })
+        .collect();
+    let fired: Vec<Json> = committed
+        .fired
+        .iter()
+        .map(|f| {
+            let subst: Vec<(String, Json)> = f
+                .substitution
+                .iter()
+                .map(|(v, val)| (v.clone(), Json::U64(*val)))
+                .collect();
+            json::obj(vec![
+                ("trigger", json::s(&f.name)),
+                ("subst", Json::Obj(subst)),
+            ])
+        })
+        .collect();
+    vec![
+        ("t", Json::U64(committed.t as u64)),
+        ("events", Json::Arr(events)),
+        ("fired", Json::Arr(fired)),
+    ]
+}
+
 /// Reads `[["name", n], …]` declaration lists from a request field.
 fn decl_list(req: &Json, field: &str) -> Result<Vec<(String, Value)>, String> {
     let Some(items) = req.get(field) else {
@@ -989,6 +1087,47 @@ mod tests {
         let r = request(&server, &mut hello, r#"{"op":"status","session":"a"}"#);
         let cs = r.get("constraints").unwrap().as_arr().unwrap();
         assert_eq!(cs[0].get("status").unwrap().as_str(), Some("violated"));
+    }
+
+    #[test]
+    fn append_batch_commits_consecutive_states() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","forall x. G (Sub(x) -> X G !Sub(x))"]]}"#
+        )));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append_batch","session":"a","txs":[
+                {"insert":["Sub(1)"]},
+                {"delete":["Sub(1)"],"insert":["Sub(2)"]},
+                {"delete":["Sub(2)"],"insert":["Sub(1)"]}]}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        let results = r.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("t").unwrap().as_u64(), Some(0));
+        assert_eq!(results[0].get("events").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(results[2].get("t").unwrap().as_u64(), Some(2));
+        let events = results[2].get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1, "re-submission violates: {r:?}");
+        assert_eq!(events[0].get("constraint").unwrap().as_str(), Some("once"));
+        // Malformed entries refuse the whole batch before any commit.
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append_batch","session":"a","txs":[{"insert":[7]}]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("bad-frame"));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append_batch","session":"a"}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("bad-frame"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `hello`      | `schema`                                              | `schema`, `server` |
 //! | `open`       | `session`, opt. `preds` `[[name,arity],…]`, `consts` `[[name,value],…]`, `constraints`/`triggers` `[[name,src],…]` | `session`, `resumed`, `states`, `constraints` |
 //! | `append`     | `session`, opt. `insert`/`delete` (arrays of `"Pred(v,…)"` facts in the store codec's text grammar; inserts apply first) and/or ordered `ops` `[["+"\|"-", fact],…]` | `t`, `events`, `fired` |
+//! | `append_batch` | `session`, `txs` (array of transaction objects, each the `append` shape) — commits consecutive states in one constraint sweep and one group-commit window | `results` (array of `{t, events, fired}`) |
 //! | `status`     | `session`                                             | `constraints` array |
 //! | `stats`      | `session`                                             | `stats` (a `ticc-engine-stats-v2` object with the `server` object filled in) |
 //! | `checkpoint` | `session`                                             | `bytes` |

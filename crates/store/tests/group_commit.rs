@@ -184,6 +184,87 @@ fn reopen_after_crash_appends_cleanly() {
 }
 
 #[test]
+fn leader_follower_stress_preserves_per_session_order() {
+    // The leader/follower contract under real contention: whoever wins
+    // the io lock writes *everyone's* pending frames, and followers
+    // return without touching the file. Twelve writers (well past the
+    // window size a single leader drains in one go) hammer the log
+    // with a mix of synced and unsynced appends; afterwards the file
+    // must hold every session's appends in that session's issue order
+    // — batches are strict prefix-extensions in sequence order, so a
+    // session's frames can never be reordered by losing the leader
+    // election.
+    const WRITERS: usize = 12;
+    const EACH: u64 = 50;
+    let sc = schema();
+    let path = temp_path("stress");
+    let _ = std::fs::remove_file(&path);
+
+    let wal = std::sync::Arc::new(GroupWal::create(&path).unwrap());
+    let ids: Vec<u32> = (0..WRITERS)
+        .map(|i| wal.register(&format!("w{i}")).unwrap())
+        .collect();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(WRITERS));
+    std::thread::scope(|scope| {
+        for (i, &id) in ids.iter().enumerate() {
+            let wal = std::sync::Arc::clone(&wal);
+            let sc = std::sync::Arc::clone(&sc);
+            let barrier = std::sync::Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for v in 0..EACH {
+                    // Writer + step packed into the value, so recovery
+                    // can replay each session's order from one file.
+                    let value = (i as u64) * 1000 + v;
+                    // Every 5th append is unsynced: it must still ride
+                    // a later window and land in order.
+                    let sync = v % 5 != 4;
+                    wal.append_tx(id, &tx(&sc, value), sync).unwrap();
+                }
+            });
+        }
+    });
+    wal.flush().unwrap();
+    assert_eq!(wal.pending_bytes(), 0, "flush drains the queue");
+
+    let stats = wal.stats();
+    let synced = WRITERS as u64 * EACH * 4 / 5;
+    assert_eq!(stats.frames, WRITERS as u64 * (EACH + 1));
+    assert_eq!(stats.windows, stats.fsyncs);
+    // Group commit must have amortized: with 12 writers contending,
+    // followers pile onto the leader's window, so the fsync count
+    // stays below one-per-synced-append.
+    assert!(
+        stats.fsyncs < synced,
+        "no batching: {} fsyncs for {synced} synced appends",
+        stats.fsyncs
+    );
+    assert!(stats.max_batch >= 2);
+    assert!(stats.batched_frames >= 2);
+
+    drop(wal);
+    let (_, rec) = GroupWal::open(&path).unwrap();
+    assert_eq!(rec.sessions.len(), WRITERS);
+    for s in &rec.sessions {
+        let i: u64 = s.name.strip_prefix('w').unwrap().parse().unwrap();
+        let values: Vec<Value> = s
+            .suffix
+            .iter()
+            .map(|raw| {
+                let tx = tx_from_bytes(raw, &sc).unwrap();
+                match tx.updates().first().unwrap() {
+                    ticc_tdb::Update::Insert(_, tuple) => tuple[0],
+                    other => panic!("unexpected update {other:?}"),
+                }
+            })
+            .collect();
+        let expect: Vec<Value> = (0..EACH).map(|v| (i * 1000 + v) as Value).collect();
+        assert_eq!(values, expect, "session {} out of order or lossy", s.name);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn non_group_file_is_rejected_not_truncated() {
     let path = temp_path("reject");
     std::fs::write(&path, b"TICCSTOR1 definitely a per-session store").unwrap();

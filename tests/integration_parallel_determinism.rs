@@ -2,12 +2,13 @@
 //! observationally *identical*, not merely equivalent.
 //!
 //! The parallel layer shards work at two points: grounding partitions
-//! the `|M|^k` instantiation space into per-worker chunks whose local
-//! arenas are merged in canonical chunk order, and `Engine::append`
-//! fans the registered constraints out across a bounded scoped-thread
-//! pool, merging events in `ConstraintId` order. Both merges are
-//! designed so interning, formula structure, statuses, and event
-//! streams come out bit-identical to the sequential path. This suite
+//! the `|M|^k` instantiation space into per-worker chunks whose
+//! letter keys are sealed into the arena in sorted order, and
+//! `Engine::append`/`append_batch` dispatch the registered
+//! constraints to a persistent worker pool, merging events in
+//! `ConstraintId` order. Both merges are designed so interning,
+//! formula structure, statuses, and event streams come out
+//! bit-identical to the sequential path. This suite
 //! sweeps randomized staggered sessions (fresh elements arriving
 //! mid-stream, deletions, re-submissions) over ≥100 seeds and asserts
 //! exactly that, including the instantiation-level [`GroundStats`] and
@@ -196,6 +197,114 @@ fn off_and_fixed4_agree_on_randomized_sessions() {
     assert!(
         sharded >= 100,
         "only {sharded}/120 runs used multiple workers"
+    );
+    assert!(
+        violating_runs >= 20,
+        "only {violating_runs}/120 runs violate"
+    );
+}
+
+#[test]
+fn append_batch_agrees_with_serial_appends_off_vs_fixed4() {
+    // The batched path must be a pure refactoring of the per-tx path:
+    // chopping one transaction stream into arbitrary batches — swept
+    // sequentially or by the persistent worker pool — yields the same
+    // per-tx event streams, statuses, groundings, and semantic
+    // counters as appending one at a time with `Threads::Off`.
+    let sc = schema();
+    let mut pooled = 0usize;
+    let mut multi_tx_batches = 0usize;
+    let mut violating_runs = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = Rng::seed_from_u64(0x51c7 ^ seed);
+        let phis = [
+            parse(&sc, ONCE_ONLY).unwrap(),
+            parse(&sc, PAIR_ONCE).unwrap(),
+            parse(&sc, CAP).unwrap(),
+        ];
+        let mut serial = Engine::new(sc.clone(), opts(Threads::Off));
+        let mut batch_off = Engine::new(sc.clone(), opts(Threads::Off));
+        let mut batch_par = Engine::new(sc.clone(), opts(Threads::Fixed(4)));
+        let mut ids: Vec<ConstraintId> = Vec::new();
+        for (i, phi) in phis.iter().enumerate() {
+            let a = serial.add_constraint(format!("c{i}"), phi.clone()).unwrap();
+            let b = batch_off
+                .add_constraint(format!("c{i}"), phi.clone())
+                .unwrap();
+            let c = batch_par
+                .add_constraint(format!("c{i}"), phi.clone())
+                .unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            ids.push(a);
+        }
+
+        // One transaction stream, three consumers.
+        let mut drv = Driver::new(8);
+        let total = rng.gen_range_usize(5..12);
+        let txs: Vec<Transaction> = (0..total).map(|_| drv.step(&sc, &mut rng)).collect();
+
+        let mut serial_events = Vec::with_capacity(total);
+        for tx in &txs {
+            serial_events.push(serial.append(tx).unwrap());
+        }
+        if serial_events.iter().any(|ev| !ev.is_empty()) {
+            violating_runs += 1;
+        }
+
+        // Chop the same stream into random batches (sizes 1–3).
+        let mut i = 0;
+        while i < txs.len() {
+            let n = rng.gen_range_usize(1..4).min(txs.len() - i);
+            if n > 1 {
+                multi_tx_batches += 1;
+            }
+            let chunk = &txs[i..i + n];
+            let ev_off = batch_off.append_batch(chunk).unwrap();
+            let ev_par = batch_par.append_batch(chunk).unwrap();
+            assert_eq!(ev_off, ev_par, "seed {seed}: batched Off vs Fixed(4)");
+            assert_eq!(
+                &serial_events[i..i + n],
+                ev_off.as_slice(),
+                "seed {seed}: batch at {i} diverges from serial appends"
+            );
+            i += n;
+        }
+
+        for id in &ids {
+            assert_eq!(serial.status(*id), batch_off.status(*id), "seed {seed}");
+            assert_eq!(serial.status(*id), batch_par.status(*id), "seed {seed}");
+            assert_eq!(
+                serial.context(*id).grounding().stats,
+                batch_par.context(*id).grounding().stats,
+                "seed {seed}: GroundStats diverge for {id:?}"
+            );
+        }
+
+        let ss = serial.stats();
+        let so = batch_off.stats();
+        let sp = batch_par.stats();
+        for (label, s) in [("batched Off", &so), ("batched Fixed(4)", &sp)] {
+            assert_eq!(ss.appends, s.appends, "seed {seed}: {label}");
+            assert_eq!(ss.grounds, s.grounds, "seed {seed}: {label}");
+            assert_eq!(ss.regrounds, s.regrounds, "seed {seed}: {label}");
+            assert_eq!(ss.delta_grounds, s.delta_grounds, "seed {seed}: {label}");
+            assert_eq!(ss.fast_appends, s.fast_appends, "seed {seed}: {label}");
+            assert_eq!(ss.sat_checks, s.sat_checks, "seed {seed}: {label}");
+        }
+        assert_eq!(ss.batches, 0, "seed {seed}: serial path never batches");
+        assert_eq!(so.batches, sp.batches, "seed {seed}");
+        assert_eq!(so.batched_txs, sp.batched_txs, "seed {seed}");
+        if sp.pool_workers >= 2 {
+            pooled += 1;
+        }
+    }
+    // The sweep must actually exercise the pool and multi-tx batches,
+    // or the equalities above are vacuous.
+    assert!(pooled >= 100, "only {pooled}/120 runs created the pool");
+    assert!(
+        multi_tx_batches >= 100,
+        "only {multi_tx_batches} multi-tx batches across the sweep"
     );
     assert!(
         violating_runs >= 20,
