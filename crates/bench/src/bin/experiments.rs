@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E18) from `DESIGN.md` §6.
+//! Regenerates every experiment table (E1–E19) from `DESIGN.md` §6.
 //!
 //! The paper (Chomicki & Niwiński, PODS 1993) is a theory paper with no
 //! empirical tables; each experiment here validates one of its stated
@@ -12,13 +12,14 @@
 //!
 //! `--json <path>` writes the machine-readable headline numbers (E13
 //! per-config appends/sec plus the E1/E7 headlines) to `<path>`, and —
-//! when E15 / E16 / E17 / E18 ran — their sweeps to
+//! when E15 / E16 / E17 / E18 / E19 ran — their sweeps to
 //! `BENCH_grounding_index.json`, `BENCH_template_automata.json`,
-//! `BENCH_server.json`, and `BENCH_worker_pool.json`; all payloads
-//! share the [`ticc_bench::json`] envelope and schema version
-//! (including the `host` context section), documented in
-//! `EXPERIMENTS.md`. `--smoke` shrinks E13–E18 to quick runs (used by
-//! `scripts/verify.sh --release` and CI).
+//! `BENCH_server.json`, `BENCH_worker_pool.json`, and
+//! `BENCH_history_window.json`; all payloads share the
+//! [`ticc_bench::json`] envelope and schema version (including the
+//! `host` context section), documented in `EXPERIMENTS.md`. `--smoke`
+//! shrinks E13–E19 to quick runs (used by `scripts/verify.sh
+//! --release` and CI).
 
 use std::time::Duration;
 use ticc_bench::table::{fmt_duration, Table};
@@ -51,6 +52,9 @@ struct Headlines {
     e17: Option<E17Result>,
     /// E18: persistent worker pool + batched appends vs sequential.
     e18: Option<E18Result>,
+    /// E19: bounded-memory histories — resident footprint, throughput,
+    /// and recovery under `HistoryBudget` vs unbounded.
+    e19: Option<E19Result>,
 }
 
 fn main() {
@@ -147,6 +151,9 @@ fn run() {
     if want("e18") {
         headlines.e18 = Some(e18_worker_pool(smoke, threads));
     }
+    if want("e19") {
+        headlines.e19 = Some(e19_bounded_history(smoke));
+    }
     if let Some(path) = json_path {
         write_json(&path, &headlines, threads);
         println!("\nwrote {path}");
@@ -194,6 +201,17 @@ fn run() {
             );
             doc.write("BENCH_worker_pool.json");
             println!("wrote BENCH_worker_pool.json");
+        }
+        if let Some(e19) = &headlines.e19 {
+            let mut doc = ticc_bench::json::JsonDoc::new();
+            doc.section("e19", e19_json(e19));
+            doc.section("threads", ticc_bench::json::string(&threads.to_string()));
+            doc.section(
+                "host",
+                ticc_bench::json::host_section(&threads.to_string(), 1),
+            );
+            doc.write("BENCH_history_window.json");
+            println!("wrote BENCH_history_window.json");
         }
     }
 }
@@ -1594,6 +1612,243 @@ fn e18_json(e18: &E18Result) -> String {
     s
 }
 
+/// One E19 budget configuration.
+struct E19Config {
+    label: &'static str,
+    appends_per_sec: f64,
+    stats: EngineStats,
+}
+
+/// The E19 result (also the `BENCH_history_window.json` payload).
+struct E19Result {
+    domain: usize,
+    history: usize,
+    configs: Vec<E19Config>,
+    /// Unbounded resident footprint / tightest-window resident
+    /// footprint (the approx-bytes gauge) at t.
+    memory_ratio: f64,
+    /// Tightest-window append rate / unbounded append rate.
+    throughput_ratio: f64,
+    /// Recovery from the (truncated) checkpoint vs cold replay.
+    restore: Duration,
+    replay: Duration,
+    recovery_speedup: f64,
+    snapshot_bytes: u64,
+}
+
+/// E19: bounded-memory histories. The engine's results never depend on
+/// the [`HistoryBudget`] (the residues are state-bounded — the same
+/// Theorem 4.1 property E14 banks on), so a `Window(n)` run must hold
+/// its resident footprint at O(n) while the unbounded twin's grows
+/// O(t), at (near-)identical append throughput; and recovering from a
+/// checkpoint that covers the truncated prefix must beat replaying the
+/// whole history by orders of magnitude.
+fn e19_bounded_history(smoke: bool) -> E19Result {
+    use ticc_core::HistoryBudget;
+    use ticc_fotl::parser::parse;
+    let sc = order_schema();
+    let domain = 6usize;
+    let total = if smoke { 20_000 } else { 1_000_000 };
+    let constraints: [(&str, &str); 3] = [
+        ("cap-sub", "G !Sub(999)"),
+        ("cap-fill", "G !Fill(999)"),
+        ("excl", "forall x. G !(Sub(x) & Fill(x))"),
+    ];
+
+    // Throughput + footprint: in-memory engines (no WAL in the loop),
+    // one per budget, over the same steady churn.
+    let run = |budget: HistoryBudget| -> E19Config {
+        let opts = CheckOptions::builder().history_budget(budget).build();
+        let mut e = ticc_core::Engine::new(sc.clone(), opts);
+        for (name, src) in constraints {
+            e.add_constraint(name, parse(&sc, src).unwrap()).unwrap();
+        }
+        let t0 = std::time::Instant::now();
+        for i in 0..total {
+            let events = e.append(&steady_churn_tx(&sc, domain, i)).unwrap();
+            debug_assert!(events.is_empty(), "steady churn never violates");
+        }
+        let elapsed = t0.elapsed();
+        let label = match budget {
+            HistoryBudget::Unbounded => "unbounded",
+            HistoryBudget::Window(64) => "window(64)",
+            HistoryBudget::Window(_) => "window(n)",
+            HistoryBudget::Bytes(_) => "bytes(64KiB)",
+        };
+        E19Config {
+            label,
+            appends_per_sec: total as f64 / elapsed.as_secs_f64(),
+            stats: e.stats(),
+        }
+    };
+    let configs = vec![
+        run(HistoryBudget::Unbounded),
+        run(HistoryBudget::Window(64)),
+        run(HistoryBudget::Bytes(64 << 10)),
+    ];
+    let memory_ratio = configs[0].stats.history.resident_bytes as f64
+        / (configs[1].stats.history.resident_bytes as f64).max(1.0);
+    let throughput_ratio = configs[1].appends_per_sec / configs[0].appends_per_sec;
+
+    // Recovery: a store-backed Window(64) session that checkpoints 8
+    // times (each checkpoint advances the horizon and unlocks the next
+    // truncation), then reopens from the newest snapshot — against a
+    // cold replay of all t transactions through a fresh checker.
+    let path = std::env::temp_dir().join(format!("ticc-e19-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let opts = CheckOptions::builder()
+        .history_budget(HistoryBudget::Window(64))
+        .build();
+    let (mut engine, _) = ticc_core::Engine::open(&path, sc.clone(), opts).unwrap();
+    for (name, src) in constraints {
+        engine
+            .add_constraint(name, parse(&sc, src).unwrap())
+            .unwrap();
+    }
+    let every = total / 8;
+    for i in 0..total {
+        engine.append(&steady_churn_tx(&sc, domain, i)).unwrap();
+        if (i + 1) % every == 0 {
+            engine.compact(&[]).unwrap();
+        }
+    }
+    assert!(
+        engine.history().base() > 0,
+        "the store-backed run must actually truncate"
+    );
+    let snapshot_bytes = engine.store_stats().unwrap().last_snapshot_bytes;
+    let ids: Vec<_> = engine.constraints().collect();
+    let statuses: Vec<_> = ids.iter().map(|&id| engine.status(id)).collect();
+    drop(engine);
+
+    let restore = ticc_bench::time_best_of(if smoke { 5 } else { 3 }, || {
+        let (e, report) = ticc_core::Engine::open(&path, sc.clone(), opts).unwrap();
+        assert!(report.had_snapshot);
+        assert_eq!(report.replayed_txs, 0);
+        assert_eq!(e.history().len(), total);
+        assert!(e.history().base() > 0, "restore rebuilds the tiered shape");
+    });
+    let replay = ticc_bench::time_best_of(1, || {
+        let mut e = ticc_core::Engine::new(sc.clone(), CheckOptions::default());
+        for (name, src) in constraints {
+            e.add_constraint(name, parse(&sc, src).unwrap()).unwrap();
+        }
+        for i in 0..total {
+            e.append(&steady_churn_tx(&sc, domain, i)).unwrap();
+        }
+        for (id, expected) in ids.iter().zip(&statuses) {
+            assert_eq!(e.status(*id), *expected, "replay diverged");
+        }
+    });
+    let recovery_speedup = replay.as_secs_f64() / restore.as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+
+    let mut t = Table::new(
+        format!("E19: bounded-memory histories (steady churn, |R_D| = {domain}, t = {total})"),
+        "HistoryBudget changes where states live, never what the engine \
+         says: O(window) resident footprint at unbounded-equivalent \
+         throughput, recovery from the truncated checkpoint in \
+         O(|snapshot|)",
+        &[
+            "budget",
+            "appends/s",
+            "resident states",
+            "resident bytes",
+            "spilled (distinct)",
+            "truncations",
+            "vs unbounded",
+        ],
+    );
+    let baseline = configs[0].appends_per_sec;
+    for c in &configs {
+        let h = &c.stats.history;
+        t.row([
+            c.label.to_owned(),
+            format!("{:.0}", c.appends_per_sec),
+            h.resident_states.to_string(),
+            h.resident_bytes.to_string(),
+            format!("{} ({})", h.spilled_instants, h.spilled_distinct),
+            h.truncations.to_string(),
+            format!("{:.2}x", c.appends_per_sec / baseline),
+        ]);
+    }
+    t.print();
+    println!(
+        "  resident footprint ratio (unbounded/window): {memory_ratio:.0}x; \
+         recovery: restore {} vs cold replay {} ({recovery_speedup:.0}x); \
+         snapshot {snapshot_bytes} bytes",
+        fmt_duration(restore),
+        fmt_duration(replay),
+    );
+    E19Result {
+        domain,
+        history: total,
+        configs,
+        memory_ratio,
+        throughput_ratio,
+        restore,
+        replay,
+        recovery_speedup,
+        snapshot_bytes,
+    }
+}
+
+/// Renders the E19 sweep as a JSON object (also the
+/// `BENCH_history_window.json` payload).
+fn e19_json(e19: &E19Result) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("    \"domain\": {},\n", e19.domain));
+    s.push_str(&format!("    \"history\": {},\n", e19.history));
+    s.push_str("    \"configs\": [\n");
+    for (i, c) in e19.configs.iter().enumerate() {
+        let h = &c.stats.history;
+        s.push_str(&format!(
+            "      {{\"label\": \"{}\", \"appends_per_sec\": {:.1}, \
+             \"resident_states\": {}, \"resident_bytes\": {}, \
+             \"spilled_instants\": {}, \"spilled_distinct\": {}, \
+             \"spilled_bytes\": {}, \"truncations\": {}, \
+             \"page_loads\": {}}}",
+            c.label,
+            c.appends_per_sec,
+            h.resident_states,
+            h.resident_bytes,
+            h.spilled_instants,
+            h.spilled_distinct,
+            h.spilled_bytes,
+            h.truncations,
+            h.page_loads,
+        ));
+        s.push_str(if i + 1 < e19.configs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"memory_ratio_unbounded_vs_window\": {:.1},\n",
+        e19.memory_ratio
+    ));
+    s.push_str(&format!(
+        "    \"throughput_ratio_window_vs_unbounded\": {:.3},\n",
+        e19.throughput_ratio
+    ));
+    s.push_str(&format!(
+        "    \"restore_ns\": {},\n",
+        e19.restore.as_nanos()
+    ));
+    s.push_str(&format!("    \"replay_ns\": {},\n", e19.replay.as_nanos()));
+    s.push_str(&format!(
+        "    \"recovery_speedup\": {:.1},\n",
+        e19.recovery_speedup
+    ));
+    s.push_str(&format!(
+        "    \"snapshot_bytes\": {}\n  }}",
+        e19.snapshot_bytes
+    ));
+    s
+}
+
 /// Renders the E13 sweep as a JSON object.
 fn e13_json(e13: &E13Result) -> String {
     let mut s = String::from("{\n");
@@ -1733,6 +1988,9 @@ fn write_json(path: &str, h: &Headlines, threads: Threads) {
     }
     if let Some(e16) = &h.e16 {
         doc.section("e16", e16_json(e16));
+    }
+    if let Some(e19) = &h.e19 {
+        doc.section("e19", e19_json(e19));
     }
     doc.section("threads", ticc_bench::json::string(&threads.to_string()));
     doc.section(

@@ -29,13 +29,15 @@
 //! (the E6 ablation).
 
 use crate::error::Error;
-use crate::extension::{CheckOptions, Durability, Encoding};
+use crate::extension::{CheckOptions, Durability, Encoding, HistoryBudget};
 use crate::ground::{ground_metered, GroundMode, GroundStrategy, Grounding};
 use crate::obs::{EngineStats, Timer};
 use crate::par::{ParMeter, Threads, WorkerPool};
+use crate::spill::HistoryPager;
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use ticc_fotl::Formula;
 use ticc_ptl::arena::{AtomId, FormulaId};
@@ -587,6 +589,40 @@ impl GroundingContext {
         self.residue = simplify(&mut self.g.arena, combined);
     }
 
+    /// Progresses a fresh conjunct block through the full stored
+    /// prefix: first the cold (truncated and spilled) instants
+    /// `[0, base)`, each faulted in from the pager and re-encoded via
+    /// frozen letter lookup, then the resident trace. Chaining
+    /// single-step progression into the trace fold is exactly
+    /// [`progress_trace`] over the untruncated trace — both fold left
+    /// with early exit at `⊤`/`⊥`, and the frozen re-encode reproduces
+    /// each cold valuation bit-identically — so every budget yields
+    /// the same residue.
+    fn replay_through(
+        &mut self,
+        psi: FormulaId,
+        cold: Option<(&HistoryPager, usize)>,
+        stats: &mut EngineStats,
+    ) -> Result<FormulaId, Error> {
+        let mut f = psi;
+        if let Some((pager, base)) = cold {
+            let tru = self.g.arena.tru();
+            let fls = self.g.arena.fls();
+            for t in 0..base {
+                if f == tru || f == fls {
+                    break;
+                }
+                let s = pager.load(t)?;
+                let w = self.g.encode_state_frozen(&s);
+                f = progress(&mut self.g.arena, f, &w).map_err(|_| Error::Sat(SatError::Past))?;
+            }
+            // Counter parity with the untruncated path, which charges
+            // the whole trace length regardless of early exit.
+            stats.progress_steps += base as u64;
+        }
+        progress_trace(&mut self.g.arena, f, &self.g.trace).map_err(|_| Error::Sat(SatError::Past))
+    }
+
     /// Fast path: the state mentions no element outside `M`. Encodes
     /// the next propositional state — patched in place from the
     /// previous trace state in `O(|Δtx|)` under
@@ -597,6 +633,7 @@ impl GroundingContext {
     /// are skipped: a steady-state append is the encoding patch plus
     /// one hash lookup. Returns `Ok(None)` (doing nothing) if a new
     /// relevant element blocks the fast path.
+    #[allow(clippy::too_many_arguments)]
     fn fast_append(
         &mut self,
         tx: &Transaction,
@@ -604,6 +641,7 @@ impl GroundingContext {
         opts: &CheckOptions,
         notion: Notion,
         history_len: usize,
+        cold: Option<(&HistoryPager, usize)>,
         stats: &mut EngineStats,
     ) -> Result<Option<Status>, Error> {
         if self.compiled.is_some() && notion == Notion::BadPrefix {
@@ -630,8 +668,7 @@ impl GroundingContext {
                 t.finish(&mut stats.ground_time);
                 stats.new_conjuncts += dg.new_mappings;
                 let t = Timer::start();
-                let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
-                    .map_err(|_| Error::Sat(SatError::Past))?;
+                let replayed = self.replay_through(dg.psi_new, cold, stats)?;
                 if self.compiled.is_some() {
                     // Bind the replayed block as fresh units (their
                     // next step, under `w` below, happens with
@@ -758,6 +795,7 @@ impl GroundingContext {
         tx: &Transaction,
         state: &State,
         opts: &CheckOptions,
+        cold: Option<(&HistoryPager, usize)>,
         stats: &mut EngineStats,
     ) -> Result<(), Error> {
         let t = Timer::start();
@@ -794,9 +832,11 @@ impl GroundingContext {
         self.g.trace.push(w.clone());
         // Old trace states need no re-encoding: letters mentioning a
         // delta element are false there, which PropState's default
-        // already yields.
-        let replayed = progress_trace(&mut self.g.arena, dg.psi_new, &self.g.trace)
-            .map_err(|_| Error::Sat(SatError::Past))?;
+        // already yields. Spilled instants behind the retention
+        // horizon are faulted back in and re-encoded inside
+        // `replay_through` — new letters over old elements can be true
+        // there, so the cold prefix genuinely has to be read.
+        let replayed = self.replay_through(dg.psi_new, cold, stats)?;
         if self.compiled.is_some() {
             // Existing units advance one letter by table lookup; the
             // replayed block — already progressed through the trace
@@ -912,6 +952,54 @@ pub struct Engine {
     /// always `None` under `Threads::Off`). Not serialised: a restored
     /// engine re-creates its pool on first use.
     pool: Option<WorkerPool>,
+    /// The cold-state spill tier, present once the engine has
+    /// truncated its history under a bounded [`HistoryBudget`]:
+    /// instants `[0, history.base())` live here as deduped pages and
+    /// are faulted back in only on the rare slow paths (delta replay,
+    /// full materialisation).
+    pub(crate) pager: Option<HistoryPager>,
+    /// History length covered by the newest snapshot written to (or
+    /// restored from) the attached store. With a store attached the
+    /// engine only truncates instants a checkpoint already covers, so
+    /// a crash between a truncation and the next checkpoint recovers
+    /// from a snapshot that still holds the full pre-truncate horizon.
+    pub(crate) checkpointed_len: usize,
+    /// Per-chunk outcome buffers of the pooled constraint sweep,
+    /// recycled across dispatches so a steady-state parallel append
+    /// allocates nothing (`pool_buf_allocs` counts creations).
+    outcome_bufs: Vec<Mutex<Vec<(usize, usize, Status)>>>,
+}
+
+/// Rough heap footprint of one database state: per-tuple values plus
+/// container overhead. Only used for the `Bytes` budget conversion and
+/// the `resident`/`reclaimed` byte gauges — relative accuracy across
+/// states of one workload is what matters, not absolute bytes.
+fn approx_state_bytes(schema: &Schema, state: &State) -> usize {
+    let mut bytes = 64usize;
+    for p in schema.preds() {
+        let rel = state.relation(p);
+        bytes += rel.len() * (8 * schema.arity(p).max(1) + 16);
+    }
+    bytes
+}
+
+/// Materialises the full untruncated history of a truncated engine:
+/// the cold prefix faulted in from the pager followed by the resident
+/// suffix, rebased to `base == 0`.
+fn materialize_full(history: &History, pager: Option<&HistoryPager>) -> Result<History, Error> {
+    let pager = pager.expect("truncated history has a pager");
+    let mut states = Vec::with_capacity(history.len());
+    for t in 0..history.base() {
+        states.push((*pager.load(t)?).clone());
+    }
+    states.extend(history.states().iter().cloned());
+    Ok(History::from_parts(
+        history.schema().clone(),
+        history.constants().to_vec(),
+        0,
+        BTreeSet::new(),
+        states,
+    ))
 }
 
 impl Engine {
@@ -930,6 +1018,9 @@ impl Engine {
             stats: EngineStats::default(),
             store: None,
             pool: None,
+            pager: None,
+            checkpointed_len: 0,
+            outcome_bufs: Vec::new(),
         }
     }
 
@@ -949,9 +1040,154 @@ impl Engine {
         self.opts
     }
 
-    /// The current history.
+    /// The current history. Under a bounded [`HistoryBudget`] this may
+    /// be truncated: instants before [`History::base`] live in the
+    /// spill tier and direct `state` access to them panics — callers
+    /// that need the whole timeline use [`Engine::full_history`].
     pub fn history(&self) -> &History {
         &self.history
+    }
+
+    /// The full untruncated history: borrowed when nothing has been
+    /// truncated (the common case, and always under
+    /// [`HistoryBudget::Unbounded`]), otherwise materialised from the
+    /// spill tier plus the resident suffix. Output over this history —
+    /// explain traces, trigger evaluation, `:history` listings — is
+    /// identical under every budget.
+    pub fn full_history(&self) -> Result<Cow<'_, History>, Error> {
+        if self.history.base() == 0 {
+            Ok(Cow::Borrowed(&self.history))
+        } else {
+            Ok(Cow::Owned(materialize_full(
+                &self.history,
+                self.pager.as_ref(),
+            )?))
+        }
+    }
+
+    /// The first `upto` instants as an untruncated history (prefix
+    /// analogue of [`Engine::full_history`], used for prefix-scoped
+    /// trigger evaluation mid-batch).
+    pub fn history_prefix(&self, upto: usize) -> Result<History, Error> {
+        assert!(upto <= self.history.len(), "prefix beyond history");
+        let base = self.history.base();
+        if base == 0 {
+            return Ok(self.history.prefix(upto));
+        }
+        let pager = self.pager.as_ref().expect("truncated history has a pager");
+        let mut states = Vec::with_capacity(upto);
+        for t in 0..upto.min(base) {
+            states.push((*pager.load(t)?).clone());
+        }
+        if upto > base {
+            states.extend(self.history.states()[..upto - base].iter().cloned());
+        }
+        Ok(History::from_parts(
+            self.history.schema().clone(),
+            self.history.constants().to_vec(),
+            0,
+            BTreeSet::new(),
+            states,
+        ))
+    }
+
+    /// The engine-wide retention floor over the live residues (see
+    /// [`crate::window::retention_floor`]): the minimum number of
+    /// resident instants any budget is clamped to, or `None` when some
+    /// residue has unbounded past-depth and truncation is off limits.
+    pub fn retention_floor(&self) -> Option<usize> {
+        crate::window::retention_floor(self.entries.iter().map(|e| (&e.ctx.g.arena, e.ctx.residue)))
+    }
+
+    /// The budget expressed as a window of instants: `Window(n)` is
+    /// itself, `Bytes(b)` divides by the mean resident state
+    /// footprint, `Unbounded` is `None`.
+    fn budget_window(&self) -> Option<usize> {
+        match self.opts.history_budget {
+            HistoryBudget::Unbounded => None,
+            HistoryBudget::Window(n) => Some(n.max(1)),
+            HistoryBudget::Bytes(b) => {
+                let states = self.history.states();
+                if states.is_empty() {
+                    return None;
+                }
+                // Mean footprint sampled over the newest states only:
+                // this runs on every append, and O(resident) sums would
+                // tax exactly the configurations the budget exists for.
+                let schema = self.history.schema();
+                let sample = &states[states.len().saturating_sub(64)..];
+                let total: usize = sample.iter().map(|s| approx_state_bytes(schema, s)).sum();
+                let per = (total / sample.len()).max(1);
+                Some((b / per).max(1))
+            }
+        }
+    }
+
+    /// Enforces the [`HistoryBudget`]: when the resident window has
+    /// grown past twice the target (hysteresis — truncation runs in
+    /// batches, not per append), spills the prefix behind the
+    /// retention horizon to the pager and drops it from the in-memory
+    /// history and every context's trace in lockstep.
+    ///
+    /// Truncation is gated on the configurations whose slow paths can
+    /// rebase onto (pager, suffix) offsets — folded grounding with
+    /// delta re-grounding, the defaults — and, with a store attached,
+    /// on the newest checkpoint already covering the dropped instants,
+    /// so crash recovery always finds a snapshot holding the full
+    /// horizon it needs. A residue with unbounded past-depth (the
+    /// `□past` side of the paper's §3 separation) blocks truncation
+    /// entirely.
+    fn enforce_budget(&mut self) -> Result<(), Error> {
+        if self.opts.history_budget == HistoryBudget::Unbounded {
+            return Ok(());
+        }
+        if self.opts.mode != GroundMode::Folded || self.opts.regrounding != Regrounding::Delta {
+            return Ok(());
+        }
+        let Some(window) = self.budget_window() else {
+            return Ok(());
+        };
+        let Some(floor) = self.retention_floor() else {
+            return Ok(());
+        };
+        let target = window.max(floor);
+        let len = self.history.len();
+        let resident = len - self.history.base();
+        if resident <= target.saturating_mul(2) {
+            return Ok(());
+        }
+        let mut new_base = len - target;
+        if self.store.is_some() {
+            new_base = new_base.min(self.checkpointed_len);
+        }
+        let k = new_base.saturating_sub(self.history.base());
+        if k == 0 {
+            return Ok(());
+        }
+        if self.pager.is_none() {
+            self.pager = Some(HistoryPager::new(self.history.schema().clone())?);
+        }
+        let pager = self.pager.as_mut().expect("just ensured");
+        let spilled_before = pager.spilled_instants();
+        let mut reclaimed = 0u64;
+        let schema = self.history.schema();
+        for s in &self.history.states()[..k] {
+            reclaimed += approx_state_bytes(schema, s) as u64;
+            if let Err(e) = pager.spill(s) {
+                // Keep the pager's instant index aligned with the
+                // (untruncated) base; the pages already appended stay
+                // in the dedup table and cost nothing.
+                pager.rollback_to(spilled_before);
+                return Err(e);
+            }
+        }
+        self.history.truncate_prefix(k);
+        for e in &mut self.entries {
+            e.ctx.g.truncate_trace(k);
+        }
+        self.stats.history.truncations += 1;
+        self.stats.history.reclaimed_bytes += reclaimed;
+        Ok(())
     }
 
     /// A snapshot of the observability spine, with the size gauges
@@ -961,6 +1197,21 @@ impl Engine {
         let mut s = self.stats;
         s.store = self.store.as_ref().map(Store::stats).unwrap_or_default();
         s.pool_workers = self.pool.as_ref().map_or(0, |p| p.size() as u64);
+        s.history.resident_states = self.history.states().len() as u64;
+        s.history.resident_bytes = {
+            let schema = self.history.schema();
+            self.history
+                .states()
+                .iter()
+                .map(|st| approx_state_bytes(schema, st) as u64)
+                .sum()
+        };
+        if let Some(p) = &self.pager {
+            s.history.spilled_instants = p.spilled_instants() as u64;
+            s.history.spilled_distinct = p.distinct() as u64;
+            s.history.spilled_bytes = p.bytes();
+            s.history.page_loads += p.loads();
+        }
         s.letters = 0;
         s.arena_nodes = 0;
         s.mappings = 0;
@@ -1003,7 +1254,21 @@ impl Engine {
         let name = name.into();
         let id = ConstraintId(self.entries.len());
         self.stats.grounds += 1;
-        let mut ctx = GroundingContext::build(&self.history, &phi, &self.opts, &mut self.stats)?;
+        // A constraint registered after a truncation grounds over the
+        // materialised full history, then drops the cold prefix of its
+        // fresh trace so the per-entry invariant
+        // `trace.len() == history.len() - base` holds for it too.
+        let base = self.history.base();
+        let owned = if base > 0 {
+            Some(materialize_full(&self.history, self.pager.as_ref())?)
+        } else {
+            None
+        };
+        let hist = owned.as_ref().unwrap_or(&self.history);
+        let mut ctx = GroundingContext::build(hist, &phi, &self.opts, &mut self.stats)?;
+        if base > 0 {
+            ctx.g.truncate_trace(base);
+        }
         ctx.try_compile(self.notion, &self.opts);
         let len = self.history.len();
         let status = ctx.decide(self.notion, &self.opts, len, &mut self.stats)?;
@@ -1055,6 +1320,7 @@ impl Engine {
     /// stepped through the batch one transaction at a time with
     /// `upto` advancing — only the (rare) full-rebuild branch needs to
     /// materialise the prefix.
+    #[allow(clippy::too_many_arguments)]
     fn step_entry(
         history: &History,
         tx: &Transaction,
@@ -1062,18 +1328,19 @@ impl Engine {
         opts: &CheckOptions,
         notion: Notion,
         upto: usize,
+        cold: Option<(&HistoryPager, usize)>,
         stats: &mut EngineStats,
     ) -> Result<Status, Error> {
         let state = history.state(upto - 1);
         if let Some(status) = entry
             .ctx
-            .fast_append(tx, state, opts, notion, upto, stats)?
+            .fast_append(tx, state, opts, notion, upto, cold, stats)?
         {
             stats.fast_appends += 1;
             return Ok(status);
         }
         if opts.regrounding == Regrounding::Delta && opts.mode == GroundMode::Folded {
-            entry.ctx.delta_append(tx, state, opts, stats)?;
+            entry.ctx.delta_append(tx, state, opts, cold, stats)?;
         } else {
             // Full rebuild over the enlarged history (prefix view when
             // stepping mid-batch).
@@ -1131,12 +1398,24 @@ impl Engine {
             .count();
         let workers = self.opts.threads.worker_count();
         if live > 1 && workers > 1 {
-            return self.append_parallel(std::slice::from_ref(tx), workers, |mut per_tx| {
-                per_tx.pop().unwrap_or_default()
-            });
+            let events =
+                self.append_parallel(std::slice::from_ref(tx), workers, |mut per_tx| {
+                    per_tx.pop().unwrap_or_default()
+                })?;
+            self.enforce_budget()?;
+            return Ok(events);
         }
         let mut events = Vec::new();
         let upto = self.history.len();
+        let base = self.history.base();
+        let cold = if base > 0 {
+            Some((
+                self.pager.as_ref().expect("truncated history has a pager"),
+                base,
+            ))
+        } else {
+            None
+        };
         for i in 0..self.entries.len() {
             if matches!(self.entries[i].status, Status::Violated { .. }) {
                 continue; // safety: violations are permanent
@@ -1148,6 +1427,7 @@ impl Engine {
                 &self.opts,
                 self.notion,
                 upto,
+                cold,
                 &mut self.stats,
             )?;
             if let Status::Violated { at } = status {
@@ -1159,6 +1439,7 @@ impl Engine {
                 });
             }
         }
+        self.enforce_budget()?;
         Ok(events)
     }
 
@@ -1207,9 +1488,20 @@ impl Engine {
             .count();
         let workers = self.opts.threads.worker_count();
         if live > 1 && workers > 1 {
-            return self.append_parallel(txs, workers, |per_tx| per_tx);
+            let events = self.append_parallel(txs, workers, |per_tx| per_tx)?;
+            self.enforce_budget()?;
+            return Ok(events);
         }
         let base = self.history.len() - txs.len();
+        let trunc_base = self.history.base();
+        let cold = if trunc_base > 0 {
+            Some((
+                self.pager.as_ref().expect("truncated history has a pager"),
+                trunc_base,
+            ))
+        } else {
+            None
+        };
         let mut events: Vec<Vec<MonitorEvent>> = txs.iter().map(|_| Vec::new()).collect();
         for i in 0..self.entries.len() {
             if matches!(self.entries[i].status, Status::Violated { .. }) {
@@ -1223,6 +1515,7 @@ impl Engine {
                     &self.opts,
                     self.notion,
                     base + t + 1,
+                    cold,
                     &mut self.stats,
                 )?;
                 if let Status::Violated { at } = status {
@@ -1236,6 +1529,7 @@ impl Engine {
                 }
             }
         }
+        self.enforce_budget()?;
         Ok(events)
     }
 
@@ -1256,16 +1550,39 @@ impl Engine {
     ) -> Result<R, Error> {
         let mut inner = self.opts;
         inner.threads = Threads::Off;
+        // Per-chunk outcome buffers are engine-owned and recycled
+        // across dispatches: after warm-up a steady-state parallel
+        // append performs no per-dispatch allocation for them (the
+        // `pool_buf_allocs` counter stays flat).
+        if self.outcome_bufs.len() < workers {
+            self.stats.pool_buf_allocs += (workers - self.outcome_bufs.len()) as u64;
+            self.outcome_bufs
+                .resize_with(workers, || Mutex::new(Vec::new()));
+        }
         let history = &self.history;
         let base = history.len() - txs.len();
+        let trunc_base = history.base();
+        let cold: Option<(&HistoryPager, usize)> = if trunc_base > 0 {
+            Some((
+                self.pager.as_ref().expect("truncated history has a pager"),
+                trunc_base,
+            ))
+        } else {
+            None
+        };
         let notion = self.notion;
+        let bufs = &self.outcome_bufs;
         let mut meter = ParMeter::new();
         let pool_size = self.opts.threads.worker_count();
         let pool = self.pool.get_or_insert_with(|| WorkerPool::new(pool_size));
-        let chunk_results =
-            pool.for_each_chunk_mut(&mut self.entries, workers, &mut meter, |_, start, chunk| {
+        let chunk_results = pool.for_each_chunk_mut(
+            &mut self.entries,
+            workers,
+            &mut meter,
+            |ci, start, chunk| {
                 let mut stats = EngineStats::default();
-                let mut outcomes: Vec<(usize, usize, Status)> = Vec::new();
+                let mut outcomes = bufs[ci].lock().expect("outcome buffer poisoned");
+                outcomes.clear();
                 for (off, entry) in chunk.iter_mut().enumerate() {
                     if matches!(entry.status, Status::Violated { .. }) {
                         continue; // safety: violations are permanent
@@ -1278,6 +1595,7 @@ impl Engine {
                             &inner,
                             notion,
                             base + t + 1,
+                            cold,
                             &mut stats,
                         ) {
                             Ok(status) => {
@@ -1291,16 +1609,20 @@ impl Engine {
                         }
                     }
                 }
-                (stats, Ok(outcomes))
-            });
+                (stats, Ok(()))
+            },
+        );
         self.stats.absorb_par(&meter);
         let mut events: Vec<Vec<MonitorEvent>> = txs.iter().map(|_| Vec::new()).collect();
         let mut first_err = None;
-        for (worker_stats, result) in chunk_results {
+        for (ci, (worker_stats, result)) in chunk_results.into_iter().enumerate() {
             self.stats.absorb(&worker_stats);
             match result {
-                Ok(outcomes) => {
-                    for (i, t, status) in outcomes {
+                Ok(()) => {
+                    let mut buf = self.outcome_bufs[ci]
+                        .lock()
+                        .expect("outcome buffer poisoned");
+                    for (i, t, status) in buf.drain(..) {
                         if let Status::Violated { at } = status {
                             self.entries[i].status = status;
                             events[t].push(MonitorEvent {
@@ -1358,13 +1680,17 @@ impl Engine {
     }
 
     /// Writes a snapshot frame (always fsynced) to the attached store.
-    /// Errors if no store is attached.
+    /// Errors if no store is attached. The freshly covered prefix
+    /// advances the retention horizon, so under a bounded budget a
+    /// checkpoint is also when deferred truncation catches up.
     pub fn checkpoint(&mut self, app: &[u8]) -> Result<(), Error> {
         let payload = self.snapshot_bytes(app);
         match self.store.as_mut() {
-            Some(s) => Ok(s.append_snapshot(&payload)?),
-            None => Err(Error::Store("no store attached".into())),
+            Some(s) => s.append_snapshot(&payload)?,
+            None => return Err(Error::Store("no store attached".into())),
         }
+        self.checkpointed_len = self.history.len();
+        self.enforce_budget()
     }
 
     /// Rewrites the attached store as header + one fresh snapshot
@@ -1373,9 +1699,11 @@ impl Engine {
     pub fn compact(&mut self, app: &[u8]) -> Result<(), Error> {
         let payload = self.snapshot_bytes(app);
         match self.store.as_mut() {
-            Some(s) => Ok(s.compact(&payload)?),
-            None => Err(Error::Store("no store attached".into())),
+            Some(s) => s.compact(&payload)?,
+            None => return Err(Error::Store("no store attached".into())),
         }
+        self.checkpointed_len = self.history.len();
+        self.enforce_budget()
     }
 
     /// Opens (or creates) a durable store at `path` and builds the
@@ -1404,13 +1732,16 @@ impl Engine {
             None => (Engine::new(schema, opts), Vec::new(), false),
         };
         let replay_schema = engine.history.schema().clone();
+        // Attach the store before replaying so budget enforcement
+        // during replay observes the checkpoint coverage (set by the
+        // snapshot restore) and never truncates past it.
+        engine.store = Some(store);
         let mut replayed_txs = 0u64;
         for payload in &recovered.suffix {
             let tx = ticc_store::codec::tx_from_bytes(payload, &replay_schema)?;
             engine.append_inner(&tx, false)?;
             replayed_txs += 1;
         }
-        engine.store = Some(store);
         Ok((
             engine,
             OpenReport {
@@ -1875,6 +2206,233 @@ mod tests {
             s.regrounds >= 3 * (n - 1),
             "workers really re-ground: {s:?}"
         );
+    }
+
+    #[test]
+    fn pooled_outcome_buffers_are_reused_across_dispatches() {
+        // Satellite audit: the per-worker outcome buffers are allocated
+        // once (on the first pooled dispatch) and reused thereafter —
+        // `pool_buf_allocs` must not grow with the number of appends.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(
+            sc.clone(),
+            CheckOptions::builder().threads(Threads::Fixed(3)).build(),
+        );
+        for name in ["a", "b", "c", "d"] {
+            e.add_constraint(name, phi.clone()).unwrap();
+        }
+        let mut tx = Transaction::new().insert(sub, vec![100]);
+        e.append(&tx).unwrap();
+        let after_first = e.stats().pool_buf_allocs;
+        assert!(after_first > 0 && after_first <= 3, "{after_first}");
+        for i in 1..40u64 {
+            tx = Transaction::new()
+                .delete(sub, vec![100 + i - 1])
+                .insert(sub, vec![100 + i]);
+            e.append(&tx).unwrap();
+        }
+        let s = e.stats();
+        assert_eq!(
+            s.pool_buf_allocs, after_first,
+            "steady-state dispatches must not allocate outcome buffers"
+        );
+        assert!(s.par_phases >= 40, "the pooled path actually ran: {s:?}");
+    }
+
+    /// Churn workload for the budget tests: cycles `Sub` values so
+    /// spilled states dedup, with a fresh element every 5th step so
+    /// delta re-grounds replay through the cold tier.
+    fn churn_tx(i: u64) -> Transaction {
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut tx = Transaction::new();
+        if i > 0 {
+            tx = tx.delete(sub, vec![i - 1]);
+        }
+        tx.insert(sub, vec![i])
+    }
+
+    #[test]
+    fn truncation_defers_to_checkpoint_and_recovery_restores_horizon() {
+        // With a store attached, truncation may never pass the newest
+        // checkpoint — and a crash *between* a truncation and the next
+        // checkpoint must recover: the snapshot covers every truncated
+        // instant, the WAL holds the rest.
+        let sc = order_schema();
+        let path =
+            std::env::temp_dir().join(format!("ticc-budget-crash-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = CheckOptions::builder()
+            .history_budget(HistoryBudget::Window(2))
+            .durability(Durability::Wal)
+            .build();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let (mut e, report) = Engine::open(&path, sc.clone(), opts).unwrap();
+        assert!(!report.had_snapshot);
+        e.add_constraint("once", phi.clone()).unwrap();
+        for i in 0..8u64 {
+            e.append(&churn_tx(i)).unwrap();
+        }
+        // No checkpoint yet → nothing may be truncated, however far
+        // past the window the history has grown.
+        assert_eq!(
+            e.history().base(),
+            0,
+            "truncation must wait for a checkpoint"
+        );
+        e.checkpoint(&[]).unwrap();
+        assert!(
+            e.history().base() > 0,
+            "checkpoint unlocks deferred truncation"
+        );
+        // Grow past the window again; the clamp holds truncation at
+        // the checkpointed length while the WAL suffix accumulates.
+        for i in 8..16u64 {
+            e.append(&churn_tx(i)).unwrap();
+        }
+        assert!(
+            e.history().base() <= 8,
+            "never truncate past the checkpoint"
+        );
+        assert_eq!(e.history().len(), 16);
+        drop(e); // crash: the truncated suffix exists only in the WAL
+
+        let (e2, report) = Engine::open(&path, sc.clone(), opts).unwrap();
+        assert!(report.had_snapshot);
+        assert_eq!(report.replayed_txs, 8);
+        assert_eq!(e2.history().len(), 16, "full horizon restored");
+        // Oracle: a never-crashed unbounded twin over the same stream.
+        let mut twin = Engine::new(sc.clone(), CheckOptions::default());
+        let t_id = twin.add_constraint("once", phi).unwrap();
+        for i in 0..16u64 {
+            twin.append(&churn_tx(i)).unwrap();
+        }
+        let ids: Vec<_> = e2.constraints().collect();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(e2.status(ids[0]), twin.status(t_id));
+        let full = e2.full_history().unwrap();
+        for t in 0..16 {
+            assert_eq!(full.state(t), twin.history().state(t), "instant {t}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn add_constraint_after_truncation_sees_the_full_history() {
+        // A constraint registered after instants were spilled grounds
+        // over the materialised full history — its violation instant
+        // must match a twin that never truncated.
+        let sc = order_schema();
+        let opts = CheckOptions::builder()
+            .history_budget(HistoryBudget::Window(2))
+            .build();
+        let mut e = Engine::new(sc.clone(), opts);
+        let mut twin = Engine::new(sc.clone(), CheckOptions::default());
+        // `Sub(3)` occurs at t=3 and is gone by t=4; by t=12 that
+        // instant is far behind the retention horizon.
+        for i in 0..12u64 {
+            e.append(&churn_tx(i)).unwrap();
+            twin.append(&churn_tx(i)).unwrap();
+        }
+        assert!(e.history().base() > 3, "t=3 must be spilled for this test");
+        let phi = parse(&sc, "G !Sub(3)").unwrap();
+        let id = e.add_constraint("no3", phi.clone()).unwrap();
+        let t_id = twin.add_constraint("no3", phi).unwrap();
+        assert!(matches!(e.status(id), Status::Violated { .. }));
+        assert_eq!(e.status(id), twin.status(t_id));
+        // And the late constraint keeps monitoring correctly.
+        for i in 12..15u64 {
+            let ev = e.append(&churn_tx(i)).unwrap();
+            let tv = twin.append(&churn_tx(i)).unwrap();
+            assert_eq!(
+                ev.iter().map(|v| (&v.name, v.at)).collect::<Vec<_>>(),
+                tv.iter().map(|v| (&v.name, v.at)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_round_trip_preserves_tier_shape() {
+        // Snapshot v4 is fully self-contained: restoring a truncated
+        // engine rebuilds the same (spilled, resident) split — the
+        // restored process's footprint matches the writer's, and the
+        // full history still materialises bit-identically.
+        let sc = order_schema();
+        let opts = CheckOptions::builder()
+            .history_budget(HistoryBudget::Window(2))
+            .build();
+        let mut e = Engine::new(sc.clone(), opts);
+        e.add_constraint(
+            "once",
+            parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap(),
+        )
+        .unwrap();
+        for i in 0..10u64 {
+            e.append(&churn_tx(i)).unwrap();
+        }
+        let base = e.history().base();
+        assert!(base > 0);
+        let snap = e.snapshot_bytes(b"app");
+        let (mut r, app) = Engine::restore_bytes(&snap, opts).unwrap();
+        assert_eq!(app, b"app");
+        assert_eq!(r.history().len(), e.history().len());
+        assert_eq!(
+            r.history().base(),
+            base,
+            "tier shape survives the round trip"
+        );
+        let es = e.stats().history;
+        let rs = r.stats().history;
+        assert_eq!(rs.resident_states, es.resident_states);
+        assert_eq!(rs.spilled_instants, es.spilled_instants);
+        assert_eq!(rs.spilled_distinct, es.spilled_distinct);
+        let e_full = e.full_history().unwrap();
+        let r_full = r.full_history().unwrap();
+        for t in 0..e.history().len() {
+            assert_eq!(e_full.state(t), r_full.state(t), "instant {t}");
+        }
+        // Both continue in lockstep past the restore.
+        for i in 10..14u64 {
+            assert_eq!(
+                e.append(&churn_tx(i)).unwrap(),
+                r.append(&churn_tx(i)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn retention_floor_is_finite_for_pure_future_residues() {
+        // Monitorable residues are pure-future (`progress` rejects past
+        // operators), so the syntactic past-depth pass always finds a
+        // finite floor and the budget can act. (`Since` would report
+        // `PastDepth::Unbounded` and pin the history — covered by the
+        // `window` unit tests.)
+        let sc = order_schema();
+        let opts = CheckOptions::builder()
+            .history_budget(HistoryBudget::Window(2))
+            .build();
+        let mut e = Engine::new(sc.clone(), opts);
+        let floor_before = e.retention_floor();
+        assert_eq!(
+            floor_before,
+            Some(1),
+            "no constraints → floor is the live state"
+        );
+        e.add_constraint(
+            "once",
+            parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap(),
+        )
+        .unwrap();
+        assert!(
+            e.retention_floor().is_some(),
+            "pure-future residues are bounded"
+        );
+        for i in 0..10u64 {
+            e.append(&churn_tx(i)).unwrap();
+        }
+        assert!(e.history().base() > 0);
     }
 
     #[test]

@@ -56,6 +56,65 @@ pub enum Durability {
     WalFsync,
 }
 
+/// Memory budget for the history and the per-constraint traces — the
+/// bounded-memory knob the paper's §3 feasibility separation makes
+/// sound: a progressed safety residue's dependence on the past is
+/// syntactically bounded (see `core::window`), so instants behind the
+/// retention horizon can be dropped from memory once a checkpoint
+/// covers them, with cold states paged to a checksummed spill segment
+/// for the rare replay that still needs them.
+///
+/// Every setting is **bit-identical** on events and statuses to
+/// [`HistoryBudget::Unbounded`] (property-tested across 120 seeds):
+/// the budget changes *where* states live, never what the monitor
+/// answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistoryBudget {
+    /// Keep every instant in memory (today's behaviour).
+    #[default]
+    Unbounded,
+    /// Keep roughly `n` resident instants (never fewer than the
+    /// engine's retention floor; truncation is hysteretic, so up to
+    /// `2n` may be resident between truncations).
+    Window(usize),
+    /// Keep roughly `b` bytes of resident history, converted to a
+    /// window via a per-instant size estimate.
+    Bytes(usize),
+}
+
+impl HistoryBudget {
+    /// Parses the shell / server syntax: `unbounded`, a window count
+    /// `n`, or a byte budget like `64mb` / `512kb`.
+    pub fn parse(s: &str) -> Result<HistoryBudget, String> {
+        let s = s.trim().to_ascii_lowercase();
+        if s == "unbounded" {
+            return Ok(HistoryBudget::Unbounded);
+        }
+        let (digits, unit) = s.split_at(s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len()));
+        let n: usize = digits.parse().map_err(|_| {
+            format!("invalid history budget '{s}' (want unbounded|<n>|<n>kb|<n>mb)")
+        })?;
+        match unit {
+            "" => Ok(HistoryBudget::Window(n)),
+            "kb" => Ok(HistoryBudget::Bytes(n << 10)),
+            "mb" => Ok(HistoryBudget::Bytes(n << 20)),
+            other => Err(format!(
+                "invalid history budget unit '{other}' (want kb|mb)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for HistoryBudget {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryBudget::Unbounded => write!(out, "unbounded"),
+            HistoryBudget::Window(n) => write!(out, "window({n})"),
+            HistoryBudget::Bytes(b) => write!(out, "bytes({b})"),
+        }
+    }
+}
+
 /// Options for [`check_potential_satisfaction`] and the
 /// [`Engine`](crate::engine::Engine) layer.
 ///
@@ -112,6 +171,12 @@ pub struct CheckOptions {
     /// the indexed class; outside it the engine falls back to the
     /// odometer transparently.
     pub grounding: GroundStrategy,
+    /// Memory budget for the history and per-constraint traces.
+    /// Bounded budgets truncate the in-memory prefix behind a
+    /// checkpoint-covered horizon and page cold states to a spill
+    /// segment; results are bit-identical to
+    /// [`HistoryBudget::Unbounded`].
+    pub history_budget: HistoryBudget,
 }
 
 impl Default for CheckOptions {
@@ -127,6 +192,7 @@ impl Default for CheckOptions {
             automaton_state_budget: 64,
             durability: Durability::default(),
             grounding: GroundStrategy::default(),
+            history_budget: HistoryBudget::default(),
         }
     }
 }
@@ -215,6 +281,12 @@ impl CheckOptionsBuilder {
     /// Instantiation enumeration strategy (the Grounding knob).
     pub fn grounding(mut self, grounding: GroundStrategy) -> Self {
         self.opts.grounding = grounding;
+        self
+    }
+
+    /// Memory budget for the history and per-constraint traces.
+    pub fn history_budget(mut self, budget: HistoryBudget) -> Self {
+        self.opts.history_budget = budget;
         self
     }
 

@@ -1701,6 +1701,45 @@ impl Grounding {
         )
     }
 
+    /// Re-encodes a state that was already encoded into the stored
+    /// trace at some earlier instant, via read-only letter lookup —
+    /// bit-identical to the valuation the original encode produced.
+    /// The engine uses this to replay delta conjunct blocks through
+    /// history instants it has truncated and spilled: every tuple of
+    /// such a state had its letter interned when the instant was first
+    /// encoded (folded mode interns a letter per occurring tuple), so
+    /// the lookup never misses, and letters interned later default to
+    /// `false` in both the original and the re-encoded valuation.
+    /// Folded groundings only.
+    pub(crate) fn encode_state_frozen(&mut self, state: &State) -> PropState {
+        debug_assert_eq!(self.mode, GroundMode::Folded);
+        let schema = self.schema.clone();
+        let mut w = PropState::new();
+        for p in schema.preds() {
+            for tuple in state.relation(p).iter() {
+                match self.lookup_state_letter(p, tuple) {
+                    Some(a) => w.set(a, true),
+                    None => debug_assert!(
+                        false,
+                        "spilled state mentions a tuple that was never encoded"
+                    ),
+                }
+            }
+        }
+        w
+    }
+
+    /// Drops the first `k` stored trace states — the grounding-side
+    /// half of a history truncation. The engine truncates every
+    /// context's trace in lockstep with the history, keeping the
+    /// invariant `trace.len() == history.len() - history.base()` for
+    /// *live* constraints. A violated constraint's trace froze at its
+    /// violation instant (the engine never steps it again), so the
+    /// drain clamps: its leftover prefix is dead data either way.
+    pub(crate) fn truncate_trace(&mut self, k: usize) {
+        self.trace.drain(..k.min(self.trace.len()));
+    }
+
     /// Incremental re-grounding: `R_D` grew by `delta`. Appends the new
     /// elements to `M` and grounds **only** the instantiations that
     /// mention at least one of them — `|M'|^k − |M|^k` new conjuncts

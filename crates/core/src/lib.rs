@@ -52,7 +52,9 @@ pub mod par;
 pub mod past;
 pub mod session;
 pub mod snapshot;
+pub mod spill;
 pub mod trigger;
+pub mod window;
 
 pub use diagnostics::earliest_violation;
 pub use engine::{Engine, GroundingContext, Notion, OpenReport, Regrounding};
@@ -60,14 +62,14 @@ pub use error::Error;
 pub use explain::explain;
 pub use extension::{
     check_potential_satisfaction, CheckOptions, CheckOptionsBuilder, CheckOutcome, CheckStats,
-    Durability, Encoding,
+    Durability, Encoding, HistoryBudget,
 };
 pub use ground::{
     ground, ground_opts, ground_with, GroundError, GroundMode, GroundStats, GroundStrategy,
     Grounding, LetterKey,
 };
 pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
-pub use obs::{CacheStats, EngineStats};
+pub use obs::{CacheStats, EngineStats, HistoryStats};
 pub use par::{Threads, WorkerPool};
 pub use session::{
     stats_json_with, Committed, OpenSummary, Session, SessionBuilder, SessionStats, STATS_SCHEMA,
@@ -75,3 +77,4 @@ pub use session::{
 };
 pub use ticc_store::{GroupStats, GroupWal, Store, StoreError, StoreStats};
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};
+pub use window::{past_depth, retention_floor, PastDepth};

@@ -57,6 +57,63 @@ impl CacheStats {
     }
 }
 
+/// Counters and gauges for the tiered history store — truncation
+/// behind the retention horizon and the cold-state spill segment.
+/// Gauges describe the current tiering; counters are monotonic over
+/// the engine's lifetime. All zero while the history budget is
+/// `Unbounded` (the default), which gates the `history:` section of
+/// [`EngineStats::render`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Gauge: states resident in memory (the retained suffix).
+    pub resident_states: u64,
+    /// Gauge: estimated bytes held by resident states and
+    /// per-constraint traces.
+    pub resident_bytes: u64,
+    /// Gauge: instants truncated behind the retention horizon (the
+    /// history's `base`; also the first spilled-to-disk instant
+    /// count).
+    pub spilled_instants: u64,
+    /// Gauge: distinct states in the spill segment (instants dedup to
+    /// pages, so this is ≤ `spilled_instants`).
+    pub spilled_distinct: u64,
+    /// Gauge: bytes of the spill segment file.
+    pub spilled_bytes: u64,
+    /// Truncations performed (each drops a prefix of resident states).
+    pub truncations: u64,
+    /// Cold states paged back in from the spill segment (delta
+    /// re-ground replays reaching behind the horizon).
+    pub page_loads: u64,
+    /// Estimated heap bytes reclaimed by truncations (states plus
+    /// trace words dropped).
+    pub reclaimed_bytes: u64,
+}
+
+impl HistoryStats {
+    /// Whether the tiered history store has done anything (gates the
+    /// `history:` section of [`EngineStats::render`]).
+    pub fn any(&self) -> bool {
+        self.spilled_instants
+            + self.spilled_distinct
+            + self.spilled_bytes
+            + self.truncations
+            + self.page_loads
+            + self.reclaimed_bytes
+            > 0
+    }
+
+    fn absorb(&mut self, other: &HistoryStats) {
+        self.resident_states += other.resident_states;
+        self.resident_bytes += other.resident_bytes;
+        self.spilled_instants += other.spilled_instants;
+        self.spilled_distinct += other.spilled_distinct;
+        self.spilled_bytes += other.spilled_bytes;
+        self.truncations += other.truncations;
+        self.page_loads += other.page_loads;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+    }
+}
+
 /// A machine-readable snapshot of the engine's counters, timers, and
 /// size gauges. Counters are monotonic over the engine's lifetime;
 /// gauges reflect the moment the snapshot was taken.
@@ -105,6 +162,9 @@ pub struct EngineStats {
     /// [`ticc_store::Store`] when the snapshot is taken (all zero when
     /// the engine runs without a store).
     pub store: StoreStats,
+    /// Tiered-history counters and gauges (truncation + spill); all
+    /// zero under the default `HistoryBudget::Unbounded`.
+    pub history: HistoryStats,
     /// Gauge: interned propositional letters across live groundings.
     pub letters: u64,
     /// Gauge: formula-arena DAG nodes across live groundings.
@@ -155,6 +215,12 @@ pub struct EngineStats {
     /// the first parallel append creates it, and always 0 under
     /// `Threads::Off`).
     pub pool_workers: u64,
+    /// Outcome buffers allocated for pooled constraint sweeps. The
+    /// engine recycles one buffer per pool chunk across dispatches,
+    /// so after warm-up this stays flat no matter how many appends
+    /// run (asserted by test) — part of the no-alloc hot-path
+    /// discipline.
+    pub pool_buf_allocs: u64,
     /// Parallel fan-outs that actually dispatched to worker threads
     /// (sharded groundings, pooled constraint/trigger sweeps).
     pub par_phases: u64,
@@ -249,7 +315,20 @@ impl EngineStats {
                 st.last_snapshot_bytes
             ));
             s.push_str(&format!("  recovered txs       {}\n", st.recovered_txs));
-            s.push_str(&format!("  truncated bytes     {}", st.truncated_bytes));
+            s.push_str(&format!("  truncated bytes     {}\n", st.truncated_bytes));
+            s.push_str(&format!("  reclaimed bytes     {}", st.reclaimed_bytes));
+        }
+        if self.history.any() {
+            let h = &self.history;
+            s.push_str("\nhistory:\n");
+            s.push_str(&format!("  resident states     {}\n", h.resident_states));
+            s.push_str(&format!("  resident bytes      {}\n", h.resident_bytes));
+            s.push_str(&format!("  spilled instants    {}\n", h.spilled_instants));
+            s.push_str(&format!("  spilled distinct    {}\n", h.spilled_distinct));
+            s.push_str(&format!("  spilled bytes       {}\n", h.spilled_bytes));
+            s.push_str(&format!("  truncations         {}\n", h.truncations));
+            s.push_str(&format!("  page loads          {}\n", h.page_loads));
+            s.push_str(&format!("  reclaimed bytes     {}", h.reclaimed_bytes));
         }
         if self.par_phases > 0 || self.pool_workers > 0 || self.batches > 0 {
             let speedup = if self.par_time > Duration::ZERO {
@@ -261,6 +340,7 @@ impl EngineStats {
             s.push_str(&format!("  par phases          {}\n", self.par_phases));
             s.push_str(&format!("  par workers (max)   {}\n", self.par_workers));
             s.push_str(&format!("  pool workers        {}\n", self.pool_workers));
+            s.push_str(&format!("  pool buf allocs     {}\n", self.pool_buf_allocs));
             s.push_str(&format!("  batches             {}\n", self.batches));
             s.push_str(&format!("  batched txs         {}\n", self.batched_txs));
             s.push_str(&format!("  par time            {:?}\n", self.par_time));
@@ -300,6 +380,7 @@ impl EngineStats {
         self.automaton_appends += other.automaton_appends;
         self.automaton_steps += other.automaton_steps;
         self.cache.absorb(&other.cache);
+        self.history.absorb(&other.history);
         self.letters += other.letters;
         self.arena_nodes += other.arena_nodes;
         self.mappings += other.mappings;
@@ -316,6 +397,7 @@ impl EngineStats {
         self.sat_time += other.sat_time;
         self.batches += other.batches;
         self.batched_txs += other.batched_txs;
+        self.pool_buf_allocs += other.pool_buf_allocs;
         self.pool_workers = self.pool_workers.max(other.pool_workers);
         self.par_phases += other.par_phases;
         self.par_workers = self.par_workers.max(other.par_workers);
@@ -426,6 +508,30 @@ mod tests {
         assert!(r.contains("cache:"));
         assert!(r.contains("transition hits     7"));
         assert!(r.contains("letter index        11"));
+    }
+
+    #[test]
+    fn history_section_renders_only_when_used() {
+        let s = EngineStats::default();
+        assert!(!s.render().contains("history:"));
+        let s = EngineStats {
+            history: HistoryStats {
+                resident_states: 64,
+                spilled_instants: 936,
+                spilled_distinct: 12,
+                truncations: 3,
+                page_loads: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = s.render();
+        assert!(r.contains("history:"));
+        assert!(r.contains("resident states     64"));
+        assert!(r.contains("spilled instants    936"));
+        assert!(r.contains("spilled distinct    12"));
+        assert!(r.contains("truncations         3"));
+        assert!(r.contains("page loads          5"));
     }
 
     #[test]

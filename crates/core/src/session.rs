@@ -393,7 +393,15 @@ impl Session {
                     .map_err(|e| Error::Store(e.to_string()))?;
             }
         }
-        let fired = r.triggers.evaluate(r.engine.history())?;
+        // Triggers ground the history from instant 0, so a budgeted
+        // engine hands them a materialised view (borrowed when nothing
+        // was truncated) — firings are budget-invariant.
+        let fired = if r.trigger_defs.is_empty() {
+            Vec::new()
+        } else {
+            let hist = r.engine.full_history()?;
+            r.triggers.evaluate(hist.as_ref())?
+        };
         self.counters.commits += 1;
         self.counters.violations += events.len() as u64;
         self.counters.trigger_firings += fired.len() as u64;
@@ -443,9 +451,13 @@ impl Session {
             let fired = if r.trigger_defs.is_empty() {
                 Vec::new()
             } else if base + t + 1 == r.engine.history().len() {
-                r.triggers.evaluate(r.engine.history())?
+                let hist = r.engine.full_history()?;
+                r.triggers.evaluate(hist.as_ref())?
             } else {
-                let prefix = r.engine.history().prefix(base + t + 1);
+                // `history_prefix` materialises through the spill tier,
+                // so mid-batch trigger sweeps see the same prefix a
+                // per-transaction append loop would have.
+                let prefix = r.engine.history_prefix(base + t + 1)?;
                 r.triggers.evaluate(&prefix)?
             };
             self.counters.commits += 1;
@@ -461,9 +473,23 @@ impl Session {
         Ok(out)
     }
 
-    /// The history, once the schema is frozen.
+    /// The history, once the schema is frozen. Under a bounded
+    /// [`HistoryBudget`](crate::HistoryBudget) this is the *resident*
+    /// view (`base() > 0` once truncation has run); callers that need
+    /// instants behind the horizon should use
+    /// [`Session::full_history`].
     pub fn history(&self) -> Option<&History> {
         self.running().map(|r| r.engine.history())
+    }
+
+    /// The full history, rehydrating any truncated prefix from the
+    /// spill tier — borrowed (free) when nothing was truncated. `None`
+    /// before the schema freezes.
+    pub fn full_history(&self) -> Result<Option<std::borrow::Cow<'_, History>>, Error> {
+        match self.running() {
+            Some(r) => r.engine.full_history().map(Some),
+            None => Ok(None),
+        }
     }
 
     /// The frozen schema.
@@ -921,14 +947,30 @@ pub fn stats_json_with(stats: &SessionStats, server: Option<&str>) -> String {
     let _ = write!(
         o,
         ",\"store\":{{\"tx_frames\":{},\"snapshot_frames\":{},\"bytes_written\":{},\
-         \"fsyncs\":{},\"last_snapshot_bytes\":{},\"recovered_txs\":{},\"truncated_bytes\":{}}}",
+         \"fsyncs\":{},\"last_snapshot_bytes\":{},\"recovered_txs\":{},\"truncated_bytes\":{},\
+         \"reclaimed_bytes\":{}}}",
         s.store.tx_frames,
         s.store.snapshot_frames,
         s.store.bytes_written,
         s.store.fsyncs,
         s.store.last_snapshot_bytes,
         s.store.recovered_txs,
-        s.store.truncated_bytes
+        s.store.truncated_bytes,
+        s.store.reclaimed_bytes
+    );
+    let _ = write!(
+        o,
+        ",\"history\":{{\"resident_states\":{},\"resident_bytes\":{},\"spilled_instants\":{},\
+         \"spilled_distinct\":{},\"spilled_bytes\":{},\"truncations\":{},\"page_loads\":{},\
+         \"reclaimed_bytes\":{}}}",
+        s.history.resident_states,
+        s.history.resident_bytes,
+        s.history.spilled_instants,
+        s.history.spilled_distinct,
+        s.history.spilled_bytes,
+        s.history.truncations,
+        s.history.page_loads,
+        s.history.reclaimed_bytes
     );
     let _ = write!(o, ",\"letters\":{}", s.letters);
     let _ = write!(o, ",\"arena_nodes\":{}", s.arena_nodes);
@@ -949,6 +991,7 @@ pub fn stats_json_with(stats: &SessionStats, server: Option<&str>) -> String {
     let _ = write!(o, ",\"par_time_ns\":{}", s.par_time.as_nanos());
     let _ = write!(o, ",\"par_busy_time_ns\":{}", s.par_busy_time.as_nanos());
     let _ = write!(o, ",\"pool_workers\":{}", s.pool_workers);
+    let _ = write!(o, ",\"pool_buf_allocs\":{}", s.pool_buf_allocs);
     let _ = write!(o, ",\"batches\":{}", s.batches);
     let _ = write!(o, ",\"batched_txs\":{}", s.batched_txs);
     let _ = write!(

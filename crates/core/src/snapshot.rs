@@ -22,7 +22,9 @@ use crate::engine::{CompiledSet, Engine, Entry, GroundingContext, Notion, Status
 use crate::error::Error;
 use crate::extension::CheckOptions;
 use crate::ground::{GArg, GroundMode, GroundStats, Grounding, GroundingDump, LetterKey};
-use crate::obs::{CacheStats, EngineStats};
+use crate::obs::{CacheStats, EngineStats, HistoryStats};
+use crate::spill::HistoryPager;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 use ticc_ptl::arena::{AtomId, FormulaId, Node};
@@ -33,10 +35,19 @@ use ticc_store::{Dec, Enc, StoreError};
 use ticc_tdb::{ConstId, History, PredId, State};
 
 /// Version of the snapshot payload layout. Bump on any change to the
-/// byte format. [`restore_engine`] accepts the current version and v2:
-/// a v2 payload has no compiled-automaton section, so a v2 restore
-/// recompiles template automata from the symbolic residue on load.
-pub const SNAP_VERSION: u32 = 3;
+/// byte format. [`restore_engine`] accepts the current version, v3,
+/// and v2: a v2 payload has no compiled-automaton section, so a v2
+/// restore recompiles template automata from the symbolic residue on
+/// load; v3 predates bounded-memory histories, so it decodes with a
+/// zero truncation base. A v4 payload stays fully self-contained under
+/// truncation — the distinct-state table leads with the spill tier's
+/// pages (in page-id order, so cold per-instant indices are page ids)
+/// followed by resident states deduped against them, and the history
+/// section carries the truncation base plus the frozen active-domain
+/// set. Restore rebuilds the same tiered shape it wrote: cold instants
+/// are re-spilled to a fresh pager instead of being materialised, so a
+/// restart's resident footprint matches the writer's.
+pub const SNAP_VERSION: u32 = 4;
 
 fn corrupt(msg: &str) -> Error {
     Error::Store(format!("snapshot: {msg}"))
@@ -72,27 +83,67 @@ fn snapshot_engine_at(engine: &Engine, app: &[u8], version: u32) -> Vec<u8> {
     // states heavily (churn workloads cycle through a handful of
     // databases), so both the wire size and the decode cost of the
     // history section scale with the number of *distinct* states.
-    let mut distinct: Vec<&State> = Vec::new();
+    //
+    // A truncated history contributes its spill pages first, in
+    // page-id order (so a cold instant's table index is its page id),
+    // then the resident states deduped against them — the snapshot is
+    // fully self-contained regardless of budget, and the spill segment
+    // itself never needs to survive a crash.
+    debug_assert!(
+        version >= 4 || history.base() == 0,
+        "pre-v4 layouts cannot carry a truncated history"
+    );
+    let mut distinct: Vec<State> = Vec::new();
     let mut index_of: std::collections::HashMap<Vec<u8>, usize> = std::collections::HashMap::new();
     let mut indices: Vec<usize> = Vec::with_capacity(history.len());
+    if version >= 4 && history.base() > 0 {
+        let pager = engine
+            .pager
+            .as_ref()
+            .expect("truncated history has a pager");
+        for id in 0..pager.distinct() as u32 {
+            let bytes = pager
+                .page_bytes(id)
+                .expect("spill segment unreadable during snapshot");
+            let state =
+                state_decode(&mut Dec::new(&bytes), schema).expect("spill page fails to decode");
+            index_of.insert(bytes, id as usize);
+            distinct.push(state);
+        }
+        for t in 0..history.base() {
+            indices.push(pager.page_of(t).expect("spilled instant missing") as usize);
+        }
+    }
     for state in history.states() {
         let mut se = Enc::new();
         state_encode(&mut se, schema, state);
         let idx = *index_of.entry(se.into_bytes()).or_insert_with(|| {
-            distinct.push(state);
+            distinct.push(state.clone());
             distinct.len() - 1
         });
         indices.push(idx);
     }
     e.usize(distinct.len());
-    for state in distinct {
+    for state in &distinct {
         state_encode(&mut e, schema, state);
     }
     e.usize(indices.len());
     for idx in indices {
         e.usize(idx);
     }
-    stats_encode(&mut e, &engine.stats, version);
+    if version >= 4 {
+        e.usize(history.base());
+        let frozen = history.frozen();
+        e.usize(frozen.len());
+        for &v in frozen {
+            e.u64(v);
+        }
+    }
+    let mut stats = engine.stats;
+    if let Some(p) = engine.pager.as_ref() {
+        stats.history.page_loads += p.loads();
+    }
+    stats_encode(&mut e, &stats, version);
     e.usize(engine.entries.len());
     for entry in &engine.entries {
         e.str(&entry.name);
@@ -140,16 +191,15 @@ fn snapshot_engine_at(engine: &Engine, app: &[u8], version: u32) -> Vec<u8> {
 pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u8>), Error> {
     let mut d = Dec::new(bytes);
     let version = d.u32()?;
-    if version != SNAP_VERSION && version != 2 {
+    if version != SNAP_VERSION && version != 3 && version != 2 {
         return Err(corrupt(&format!(
-            "unsupported snapshot version {version} (expected {SNAP_VERSION} or 2)"
+            "unsupported snapshot version {version} (expected {SNAP_VERSION}, 3, or 2)"
         )));
     }
     let schema = schema_decode(&mut d)?;
-    let mut history = History::new(schema.clone());
-    for c in schema.consts() {
-        let v = d.u64()?;
-        history.set_constant(c, v);
+    let mut consts = Vec::with_capacity(schema.const_count());
+    for _ in schema.consts() {
+        consts.push(d.u64()?);
     }
     let notion = match d.u8()? {
         0 => Notion::Potential,
@@ -159,29 +209,51 @@ pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u
     let n_distinct = d.usize()?;
     let mut distinct: Vec<State> = Vec::with_capacity(n_distinct.min(65536));
     for _ in 0..n_distinct {
-        let mut s = State::empty(schema.clone());
-        for p in schema.preds() {
-            let n = d.usize()?;
-            let arity = schema.arity(p);
-            for _ in 0..n {
-                let mut tuple = Vec::with_capacity(arity);
-                for _ in 0..arity {
-                    tuple.push(d.u64()?);
-                }
-                s.insert(p, tuple)
-                    .map_err(|e| corrupt(&format!("state tuple rejected: {e}")))?;
-            }
-        }
-        distinct.push(s);
+        distinct.push(state_decode(&mut d, &schema)?);
     }
-    let states = d.usize()?;
-    for _ in 0..states {
+    let n_states = d.usize()?;
+    let mut state_idxs: Vec<usize> = Vec::with_capacity(n_states.min(65536));
+    for _ in 0..n_states {
         let idx = d.usize()?;
-        let s = distinct
-            .get(idx)
-            .ok_or_else(|| corrupt("state index out of range"))?;
-        history.push_state(s.clone());
+        if idx >= distinct.len() {
+            return Err(corrupt("state index out of range"));
+        }
+        state_idxs.push(idx);
     }
+    let (base, frozen) = if version >= 4 {
+        let base = d.usize()?;
+        if base > state_idxs.len() {
+            return Err(corrupt("truncation base out of range"));
+        }
+        let n = d.usize()?;
+        let mut frozen = BTreeSet::new();
+        for _ in 0..n {
+            frozen.insert(d.u64()?);
+        }
+        (base, frozen)
+    } else {
+        (0, BTreeSet::new())
+    };
+    // Rebuild the writer's tiered shape: cold instants are re-spilled
+    // to a fresh pager (deduped pages, not materialised states), the
+    // resident suffix becomes the in-memory history. A restart's
+    // resident footprint therefore matches the writer's — this is
+    // what makes recovery from a truncated checkpoint cheap.
+    let mut pager = None;
+    if base > 0 {
+        let mut p = HistoryPager::new(schema.clone())?;
+        for &idx in &state_idxs[..base] {
+            let mut se = Enc::new();
+            state_encode(&mut se, &schema, &distinct[idx]);
+            p.spill_encoded(&se.into_bytes())?;
+        }
+        pager = Some(p);
+    }
+    let resident: Vec<State> = state_idxs[base..]
+        .iter()
+        .map(|&idx| distinct[idx].clone())
+        .collect();
+    let history = History::from_parts(schema.clone(), consts, base, frozen, resident);
     let stats = stats_decode(&mut d, version)?;
     let n_entries = d.usize()?;
     let mut entries = Vec::new();
@@ -256,6 +328,10 @@ pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u
     engine.set_notion(notion);
     engine.entries = entries;
     engine.stats = stats;
+    engine.pager = pager;
+    // The snapshot covers everything it restored: budget enforcement
+    // may truncate up to here before the next checkpoint is written.
+    engine.checkpointed_len = engine.history().len();
     // Wall-clock timers measure this process, not the one that wrote
     // the snapshot: a resumed engine reports the time it spent itself,
     // so `stats --json` after a restore starts the clocks at zero.
@@ -268,7 +344,12 @@ pub fn restore_engine(bytes: &[u8], opts: CheckOptions) -> Result<(Engine, Vec<u
     Ok((engine, app))
 }
 
-fn state_encode(e: &mut Enc, schema: &ticc_tdb::Schema, state: &State) {
+/// Canonical state codec, shared with the spill tier
+/// ([`crate::spill::HistoryPager`]): per predicate in schema order, a
+/// tuple count then the raw tuple values. Identical bytes ⟺ identical
+/// states, which is what both the snapshot's distinct-state dedup and
+/// the pager's page dedup rely on.
+pub(crate) fn state_encode(e: &mut Enc, schema: &ticc_tdb::Schema, state: &State) {
     for p in schema.preds() {
         let rel = state.relation(p);
         e.usize(rel.len());
@@ -278,6 +359,27 @@ fn state_encode(e: &mut Enc, schema: &ticc_tdb::Schema, state: &State) {
             }
         }
     }
+}
+
+/// Decodes one state written by [`state_encode`].
+pub(crate) fn state_decode(
+    d: &mut Dec<'_>,
+    schema: &Arc<ticc_tdb::Schema>,
+) -> Result<State, Error> {
+    let mut s = State::empty(schema.clone());
+    for p in schema.preds() {
+        let n = d.usize()?;
+        let arity = schema.arity(p);
+        for _ in 0..n {
+            let mut tuple = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                tuple.push(d.u64()?);
+            }
+            s.insert(p, tuple)
+                .map_err(|e| corrupt(&format!("state tuple rejected: {e}")))?;
+        }
+    }
+    Ok(s)
 }
 
 fn duration_encode(e: &mut Enc, d: Duration) {
@@ -322,6 +424,14 @@ fn stats_encode(e: &mut Enc, s: &EngineStats, version: u32) {
         e.u64(s.automaton_appends);
         e.u64(s.automaton_steps);
     }
+    // v4 tail: history-tier lifetime counters. The tier gauges
+    // (resident/spilled sizes) are recomputed by `Engine::stats` from
+    // the restored history and pager.
+    if version >= 4 {
+        e.u64(s.history.truncations);
+        e.u64(s.history.page_loads);
+        e.u64(s.history.reclaimed_bytes);
+    }
 }
 
 fn stats_decode(d: &mut Dec<'_>, version: u32) -> Result<EngineStats, StoreError> {
@@ -360,6 +470,16 @@ fn stats_decode(d: &mut Dec<'_>, version: u32) -> Result<EngineStats, StoreError
         // timers (a v2 payload simply has no tail).
         automaton_appends: if version >= 3 { d.u64()? } else { 0 },
         automaton_steps: if version >= 3 { d.u64()? } else { 0 },
+        history: if version >= 4 {
+            HistoryStats {
+                truncations: d.u64()?,
+                page_loads: d.u64()?,
+                reclaimed_bytes: d.u64()?,
+                ..HistoryStats::default()
+            }
+        } else {
+            HistoryStats::default()
+        },
         ..EngineStats::default()
     })
 }

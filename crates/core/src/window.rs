@@ -1,0 +1,151 @@
+//! The retention-horizon pass: syntactic past-depth of progressed
+//! residues.
+//!
+//! The paper's §3 feasibility separation says checking safety-class
+//! constraints is *history-less*: after progression, how far back a
+//! residue can look is bounded by its syntax. This module computes
+//! that bound. The **past-depth** of a PTL formula is
+//!
+//! * `0` for letters, `⊤`/`⊥`, and every future connective
+//!   (`○`, `U`, `R` look forward only) — the depth of a composite
+//!   future/boolean node is the max over its children;
+//! * `1 + depth(A)` for `●A` ("previous time" reaches one instant
+//!   back);
+//! * **unbounded** for `A S B` (`since` can reach arbitrarily far
+//!   back), and contagious: any node with an unbounded child is
+//!   unbounded.
+//!
+//! The engine's residues are pure-future by construction —
+//! [`progress`](ticc_ptl::progression::progress) rejects `●`/`S`
+//! outright — so monitorable entries report depth 0 and the
+//! engine-wide **retention floor** is `1 + max finite depth = 1`: the
+//! fast path still needs `D_{t-1}` (incremental encoding patches the
+//! previous valuation, and a step at instant `u` reads
+//! `history.state(u - 1)`). The pass is still total: if an entry's
+//! residue ever did carry a past operator, [`retention_floor`]
+//! returns `None` and the engine refuses to truncate at all — the
+//! `□past` side of the paper's separation, where bounded memory is
+//! genuinely impossible.
+
+use ticc_ptl::arena::{Arena, FormulaId, Node};
+
+/// Syntactic past-depth of a residue: how many instants behind the
+/// current one its truth value can depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PastDepth {
+    /// Depends on at most this many instants back.
+    Finite(usize),
+    /// `since` (or an unbounded-past shape) — no syntactic bound.
+    Unbounded,
+}
+
+impl PastDepth {
+    fn succ(self) -> PastDepth {
+        match self {
+            PastDepth::Finite(d) => PastDepth::Finite(d + 1),
+            PastDepth::Unbounded => PastDepth::Unbounded,
+        }
+    }
+
+    fn join(self, other: PastDepth) -> PastDepth {
+        match (self, other) {
+            (PastDepth::Finite(a), PastDepth::Finite(b)) => PastDepth::Finite(a.max(b)),
+            _ => PastDepth::Unbounded,
+        }
+    }
+}
+
+/// Computes the past-depth of `f` with one memoised walk over the
+/// arena's DAG (shared subformulas are visited once).
+pub fn past_depth(arena: &Arena, f: FormulaId) -> PastDepth {
+    let mut memo: Vec<Option<PastDepth>> = vec![None; arena.dag_len()];
+    depth_of(arena, f, &mut memo)
+}
+
+fn depth_of(arena: &Arena, f: FormulaId, memo: &mut Vec<Option<PastDepth>>) -> PastDepth {
+    if let Some(d) = memo[f.index()] {
+        return d;
+    }
+    let d = match arena.node(f) {
+        Node::True | Node::False | Node::Atom(_) => PastDepth::Finite(0),
+        Node::Not(a) | Node::Next(a) => depth_of(arena, a, memo),
+        Node::And(a, b) | Node::Or(a, b) | Node::Until(a, b) | Node::Release(a, b) => {
+            depth_of(arena, a, memo).join(depth_of(arena, b, memo))
+        }
+        Node::Prev(a) => depth_of(arena, a, memo).succ(),
+        Node::Since(_, _) => PastDepth::Unbounded,
+    };
+    memo[f.index()] = Some(d);
+    d
+}
+
+/// The engine-wide retention floor: the minimum number of resident
+/// instants every budget is clamped to, `1 + max finite past-depth`
+/// over the given residues (at least 1 — the fast path always needs
+/// the previous state). `None` if any residue's past-depth is
+/// unbounded, in which case the engine must not truncate.
+pub fn retention_floor<'a>(
+    residues: impl IntoIterator<Item = (&'a Arena, FormulaId)>,
+) -> Option<usize> {
+    let mut floor = 1usize;
+    for (arena, f) in residues {
+        match past_depth(arena, f) {
+            PastDepth::Finite(d) => floor = floor.max(1 + d),
+            PastDepth::Unbounded => return None,
+        }
+    }
+    Some(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_connectives_are_depth_zero() {
+        let mut a = Arena::new();
+        let p = a.atom("p");
+        let q = a.atom("q");
+        let f = a.until(p, q);
+        let f = a.next(f);
+        let f = a.or(f, q);
+        assert_eq!(past_depth(&a, f), PastDepth::Finite(0));
+        let t = a.tru();
+        assert_eq!(past_depth(&a, t), PastDepth::Finite(0));
+    }
+
+    #[test]
+    fn prev_nests_additively_and_since_is_unbounded() {
+        let mut a = Arena::new();
+        let p = a.atom("p");
+        let q = a.atom("q");
+        let one = a.prev(p);
+        let two = a.prev(one);
+        assert_eq!(past_depth(&a, two), PastDepth::Finite(2));
+        // Mixed: max over children, +1 per Prev above.
+        let mix = a.and(two, q);
+        let mix = a.prev(mix);
+        assert_eq!(past_depth(&a, mix), PastDepth::Finite(3));
+        let s = a.since(p, q);
+        assert_eq!(past_depth(&a, s), PastDepth::Unbounded);
+        let tainted = a.and(s, p);
+        assert_eq!(past_depth(&a, tainted), PastDepth::Unbounded);
+    }
+
+    #[test]
+    fn retention_floor_tracks_the_deepest_residue() {
+        let mut a = Arena::new();
+        let p = a.atom("p");
+        let q = a.atom("q");
+        let shallow = a.until(p, q);
+        let deep = {
+            let one = a.prev(p);
+            a.prev(one)
+        };
+        assert_eq!(retention_floor([(&a, shallow)]), Some(1));
+        assert_eq!(retention_floor([(&a, shallow), (&a, deep)]), Some(3));
+        let s = a.since(p, q);
+        assert_eq!(retention_floor([(&a, shallow), (&a, s)]), None);
+        assert_eq!(retention_floor(std::iter::empty()), Some(1));
+    }
+}

@@ -35,8 +35,8 @@ use std::thread::JoinHandle;
 
 use ticc_core::par::set_pool_peers;
 use ticc_core::{
-    stats_json_with, CheckOptions, Committed, GroupWal, Session, Status, STATS_SCHEMA,
-    STATS_SCHEMA_V1,
+    stats_json_with, CheckOptions, Committed, GroupWal, HistoryBudget, Session, Status,
+    STATS_SCHEMA, STATS_SCHEMA_V1,
 };
 use ticc_fotl::parser::parse as parse_formula;
 use ticc_store::codec::parse_fact;
@@ -393,7 +393,17 @@ impl Server {
     /// declarations, corrupt replay) leaves the recovered state
     /// available for the next attempt.
     fn build_session(&self, name: &str, req: &Json) -> Result<Session, Json> {
-        let mut builder = Session::builder().name(name).options(self.opts);
+        // Per-tenant memory budget: `"history_window": n` caps the
+        // resident history to the last n instants (0 / absent =
+        // server-wide default, normally unbounded). Budgets change
+        // memory shape only — statuses and events stay bit-identical.
+        let mut opts = self.opts;
+        if let Some(window) = req.get("history_window").and_then(Json::as_u64) {
+            if window > 0 {
+                opts.history_budget = HistoryBudget::Window(window as usize);
+            }
+        }
+        let mut builder = Session::builder().name(name).options(opts);
         if let Some(wal) = &self.wal {
             builder = builder.group(Arc::clone(wal));
         }
@@ -1087,6 +1097,60 @@ mod tests {
         let r = request(&server, &mut hello, r#"{"op":"status","session":"a"}"#);
         let cs = r.get("constraints").unwrap().as_arr().unwrap();
         assert_eq!(cs[0].get("status").unwrap().as_str(), Some("violated"));
+    }
+
+    #[test]
+    fn open_history_window_bounds_the_session() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["cap","G !Sub(999)"]],"history_window":2}"#,
+        );
+        assert!(ok_true(&r), "{r:?}");
+        // Steady churn: enough appends for the window(2) budget to
+        // truncate (hysteresis fires past 2x the target).
+        for i in 0..12u64 {
+            let req = if i == 0 {
+                r#"{"op":"append","session":"a","insert":["Sub(0)"]}"#.to_owned()
+            } else {
+                format!(
+                    r#"{{"op":"append","session":"a","ops":[["-","Sub({})"],["+","Sub({i})"]]}}"#,
+                    i - 1
+                )
+            };
+            let r = request(&server, &mut hello, &req);
+            assert!(ok_true(&r), "{r:?}");
+        }
+        let r = request(&server, &mut hello, r#"{"op":"stats","session":"a"}"#);
+        let hist = r.get("stats").unwrap().get("history").unwrap();
+        let spilled = hist.get("spilled_instants").unwrap().as_u64().unwrap();
+        let resident = hist.get("resident_states").unwrap().as_u64().unwrap();
+        assert!(
+            hist.get("truncations").unwrap().as_u64().unwrap() > 0,
+            "window(2) session should have truncated: {hist:?}"
+        );
+        assert_eq!(spilled + resident, 12, "every instant resident or spilled");
+        // The budget is per-session: a second tenant opened without
+        // the knob stays unbounded.
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"b","preds":[["Sub",1]]}"#
+        )));
+        for _ in 0..12 {
+            let r = request(
+                &server,
+                &mut hello,
+                r#"{"op":"append","session":"b","ops":[["+","Sub(1)"],["-","Sub(1)"]]}"#,
+            );
+            assert!(ok_true(&r), "{r:?}");
+        }
+        let r = request(&server, &mut hello, r#"{"op":"stats","session":"b"}"#);
+        let hist = r.get("stats").unwrap().get("history").unwrap();
+        assert_eq!(hist.get("truncations").unwrap().as_u64(), Some(0));
+        assert_eq!(hist.get("spilled_instants").unwrap().as_u64(), Some(0));
     }
 
     #[test]

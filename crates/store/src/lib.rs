@@ -32,16 +32,23 @@
 //!   one shared `TICCGRP01` file multiplexing session-tagged frames,
 //!   one fsync per commit window regardless of how many sessions'
 //!   appends it covers.
+//! - [`segment`] — the cold-state spill segment ([`SegmentFile`]):
+//!   an append-only `TICCSEG1` page file the engine evicts cold
+//!   history states into under a bounded `HistoryBudget`. Checksummed
+//!   like the WAL but never fsynced — it is a memory-relief tier, not
+//!   a durability one.
 
 pub mod codec;
 pub mod encode;
 pub mod group;
 pub mod recovery;
+pub mod segment;
 pub mod wal;
 
 pub use encode::{Dec, Enc, StoreError};
 pub use group::{GroupRecovered, GroupStats, GroupWal, RecoveredSession, GROUP_MAGIC};
 pub use recovery::Recovered;
+pub use segment::{page_checksum, SegmentFile, SEG_MAGIC};
 pub use wal::{frame_checksum, Store, StoreStats, MAGIC, TAG_SNAPSHOT, TAG_TX};
 
 #[cfg(test)]

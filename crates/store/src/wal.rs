@@ -81,6 +81,10 @@ pub struct StoreStats {
     pub recovered_txs: u64,
     /// Bytes of torn/corrupt tail discarded by the last recovery.
     pub truncated_bytes: u64,
+    /// Bytes the log shrank by across all compactions (old file size
+    /// minus compacted size, summed). After a history truncation this
+    /// is the disk-side payoff the `compact` verb reports.
+    pub reclaimed_bytes: u64,
 }
 
 impl StoreStats {
@@ -94,6 +98,7 @@ impl StoreStats {
             + self.last_snapshot_bytes
             + self.recovered_txs
             + self.truncated_bytes
+            + self.reclaimed_bytes
             > 0
     }
 }
@@ -244,6 +249,7 @@ impl Store {
     /// (temp file + rename), dropping all earlier frames. The caller
     /// supplies a snapshot that covers everything logged so far.
     pub fn compact(&mut self, snapshot_payload: &[u8]) -> Result<(), StoreError> {
+        let old_size = self.file.metadata().map(|m| m.len()).unwrap_or(0);
         let tmp_path = self.path.with_extension("compact.tmp");
         {
             let mut tmp = OpenOptions::new()
@@ -262,8 +268,9 @@ impl Store {
         std::fs::rename(&tmp_path, &self.path)?;
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0))?;
+        let new_size = file.seek(std::io::SeekFrom::End(0))?;
         self.file = file;
+        self.stats.reclaimed_bytes += old_size.saturating_sub(new_size);
         self.stats.snapshot_frames += 1;
         self.stats.fsyncs += 1;
         self.stats.last_snapshot_bytes = snapshot_payload.len() as u64;

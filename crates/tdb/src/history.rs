@@ -5,6 +5,16 @@
 //! constant symbols. Temporal integrity constraints are imposed on
 //! histories; their semantics quantifies over infinite extensions
 //! (potential satisfaction), which is what `ticc-core` decides.
+//!
+//! A history may be **truncated**: under a bounded memory budget the
+//! engine drops the in-memory prefix `(D0, …, D_{base-1})` once a
+//! checkpoint covers it, keeping only the resident suffix. Instant
+//! indices stay *absolute* — [`History::len`] still counts from the
+//! beginning of time, [`History::state`] still takes an absolute `t`
+//! (and panics for spilled instants, which only the engine's pager
+//! can serve) — so every caller keeps the paper's `(D0, …, Dt)`
+//! arithmetic unchanged. The active domains of dropped states are
+//! folded into a frozen set so `R_D` (Lemma 4.1) stays exact.
 
 use crate::schema::{ConstId, Schema};
 use crate::state::State;
@@ -18,6 +28,12 @@ use std::sync::Arc;
 pub struct History {
     schema: Arc<Schema>,
     consts: Vec<Value>,
+    /// Number of leading instants truncated away (0 = full history).
+    base: usize,
+    /// Active-domain elements of the truncated prefix, kept so
+    /// [`History::relevant`] stays exact after truncation.
+    frozen: BTreeSet<Value>,
+    /// The resident suffix: `states[i]` is instant `base + i`.
     states: Vec<State>,
 }
 
@@ -30,7 +46,35 @@ impl History {
         Self {
             schema,
             consts,
+            base: 0,
+            frozen: BTreeSet::new(),
             states: Vec::new(),
+        }
+    }
+
+    /// Reassembles a (possibly truncated) history from parts — the
+    /// snapshot-restore path. `states[i]` is instant `base + i`;
+    /// `frozen` carries the active domains of the `base` truncated
+    /// instants (ignored when `base == 0`).
+    pub fn from_parts(
+        schema: Arc<Schema>,
+        consts: Vec<Value>,
+        base: usize,
+        frozen: BTreeSet<Value>,
+        states: Vec<State>,
+    ) -> History {
+        assert_eq!(consts.len(), schema.const_count(), "one value per constant");
+        assert!(
+            states.iter().all(|s| Arc::ptr_eq(s.schema(), &schema)),
+            "state schemas must match history schema"
+        );
+        let frozen = if base == 0 { BTreeSet::new() } else { frozen };
+        History {
+            schema,
+            consts,
+            base,
+            frozen,
+            states,
         }
     }
 
@@ -39,24 +83,72 @@ impl History {
         &self.schema
     }
 
-    /// Number of states (the `t+1` of the paper when non-empty).
+    /// Number of states (the `t+1` of the paper when non-empty),
+    /// *including* any truncated prefix.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.base + self.states.len()
     }
 
     /// True if no state has been appended yet.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.len() == 0
     }
 
-    /// The state at instant `t`.
+    /// First resident instant: states `t < base` have been truncated
+    /// behind a checkpoint and live only in the engine's spill tier.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// True if a prefix has been truncated away.
+    pub fn is_truncated(&self) -> bool {
+        self.base > 0
+    }
+
+    /// The rigid constant interpretations, in declaration order.
+    pub fn constants(&self) -> &[Value] {
+        &self.consts
+    }
+
+    /// Active-domain elements of the truncated prefix (empty while
+    /// `base == 0`).
+    pub fn frozen(&self) -> &BTreeSet<Value> {
+        &self.frozen
+    }
+
+    /// The state at (absolute) instant `t`.
+    ///
+    /// # Panics
+    /// Panics if `t < base`: that instant was truncated and only the
+    /// engine's spill tier can serve it.
     pub fn state(&self, t: usize) -> &State {
-        &self.states[t]
+        assert!(
+            t >= self.base,
+            "instant {t} was truncated (history base is {}); \
+             load it through the engine's spill tier",
+            self.base
+        );
+        &self.states[t - self.base]
     }
 
-    /// All states in temporal order.
+    /// The resident states in temporal order: element `i` is instant
+    /// `base + i` (so the full history when `base == 0`).
     pub fn states(&self) -> &[State] {
         &self.states
+    }
+
+    /// Drops the first `k` resident states, folding their active
+    /// domains into the frozen set and advancing `base`. The engine
+    /// only does this once a checkpoint covers the dropped instants.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the resident suffix.
+    pub fn truncate_prefix(&mut self, k: usize) {
+        assert!(k <= self.states.len(), "cannot truncate beyond residency");
+        for s in self.states.drain(..k) {
+            self.frozen.extend(s.active_domain());
+        }
+        self.base += k;
     }
 
     /// The most recent state, if any.
@@ -76,7 +168,7 @@ impl History {
     /// Panics if states already exist.
     pub fn set_constant(&mut self, c: ConstId, v: Value) {
         assert!(
-            self.states.is_empty(),
+            self.is_empty(),
             "constants are rigid: set them before appending states"
         );
         self.consts[c.index()] = v;
@@ -102,7 +194,7 @@ impl History {
 
     /// Appends a state obtained by applying a transaction to the last
     /// state (or to the empty state if the history is empty). Returns
-    /// the index of the new state.
+    /// the (absolute) index of the new state.
     pub fn apply(&mut self, tx: &Transaction) -> Result<usize, TdbError> {
         let mut next = match self.states.last() {
             Some(s) => s.clone(),
@@ -110,14 +202,16 @@ impl History {
         };
         tx.apply_to(&mut next)?;
         self.states.push(next);
-        Ok(self.states.len() - 1)
+        Ok(self.len() - 1)
     }
 
     /// The set `R_D` of relevant elements (Lemma 4.1): interpretations of
     /// constants plus every element in the domain of some relation in
-    /// some state.
+    /// some state — including states folded into the frozen set by
+    /// truncation, so the answer is identical to the untruncated one.
     pub fn relevant(&self) -> BTreeSet<Value> {
         let mut out: BTreeSet<Value> = self.consts.iter().copied().collect();
+        out.extend(self.frozen.iter().copied());
         for s in &self.states {
             out.extend(s.active_domain());
         }
@@ -129,24 +223,35 @@ impl History {
     /// in every state.
     ///
     /// # Panics
-    /// Panics if `A` does not contain every constant's interpretation.
+    /// Panics if `A` does not contain every constant's interpretation,
+    /// or if the history is truncated (materialize it first).
     pub fn restrict(&self, a: &BTreeSet<Value>) -> History {
         assert!(
             self.consts.iter().all(|c| a.contains(c)),
             "restriction set must contain all constants"
         );
+        assert!(!self.is_truncated(), "restrict needs the full history");
         History {
             schema: self.schema.clone(),
             consts: self.consts.clone(),
+            base: 0,
+            frozen: BTreeSet::new(),
             states: self.states.iter().map(|s| s.restrict(a)).collect(),
         }
     }
 
     /// The prefix `(D0, …, Dn)` as a new history (`n + 1` states).
+    ///
+    /// # Panics
+    /// Panics on a truncated history (materialize it first): a prefix
+    /// that starts behind `base` cannot be cut from the suffix.
     pub fn prefix(&self, n_states: usize) -> History {
+        assert!(!self.is_truncated(), "prefix needs the full history");
         History {
             schema: self.schema.clone(),
             consts: self.consts.clone(),
+            base: 0,
+            frozen: BTreeSet::new(),
             states: self.states[..n_states].to_vec(),
         }
     }
@@ -227,6 +332,57 @@ mod tests {
         let p = h.prefix(1);
         assert_eq!(p.len(), 1);
         assert!(p.state(0).holds(sub, &[5]));
+    }
+
+    #[test]
+    fn truncate_keeps_absolute_indices_and_relevance() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut h = History::new(sc.clone());
+        for v in 1..=4 {
+            h.apply(
+                &Transaction::new()
+                    .insert(sub, vec![v])
+                    .delete(sub, vec![v - 1]),
+            )
+            .unwrap();
+        }
+        let full_relevant = h.relevant();
+        assert_eq!(h.len(), 4);
+        h.truncate_prefix(2);
+        assert_eq!(h.base(), 2);
+        assert!(h.is_truncated());
+        assert_eq!(h.len(), 4, "len stays absolute");
+        assert_eq!(h.states().len(), 2, "two resident states");
+        assert!(h.state(2).holds(sub, &[3]), "absolute indexing");
+        assert!(h.last().unwrap().holds(sub, &[4]));
+        assert_eq!(h.relevant(), full_relevant, "frozen set keeps R_D exact");
+        // Appends continue with absolute indices.
+        assert_eq!(
+            h.apply(&Transaction::new().insert(sub, vec![9])).unwrap(),
+            4
+        );
+        assert_eq!(h.len(), 5);
+        let rebuilt = History::from_parts(
+            sc.clone(),
+            h.constants().to_vec(),
+            h.base(),
+            h.frozen().clone(),
+            h.states().to_vec(),
+        );
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "was truncated")]
+    fn truncated_instants_panic_on_direct_access() {
+        let sc = schema();
+        let sub = sc.pred("Sub").unwrap();
+        let mut h = History::new(sc);
+        h.apply(&Transaction::new().insert(sub, vec![1])).unwrap();
+        h.apply(&Transaction::new().insert(sub, vec![2])).unwrap();
+        h.truncate_prefix(1);
+        let _ = h.state(0);
     }
 
     #[test]

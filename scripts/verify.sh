@@ -189,8 +189,8 @@ rm -f "$gwal" "$slog"
 echo "server smoke: OK"
 
 if [ "${1:-}" = "--release" ]; then
-    echo "==> E13/E14/E15/E16/E17/E18 bench smoke (release)"
-    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 e17 e18 --smoke
+    echo "==> E13/E14/E15/E16/E17/E18/E19 bench smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 e17 e18 e19 --smoke
 fi
 
 echo "verify: OK"

@@ -29,7 +29,7 @@
 //! flags, 3 store cannot be opened or recovered.
 
 use std::io::{BufRead, Write};
-use ticc::core::{CheckOptions, GroundStrategy, Threads};
+use ticc::core::{CheckOptions, GroundStrategy, HistoryBudget, Threads};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +74,21 @@ fn main() {
         };
         args.drain(i..=i + 1);
     }
+    let mut history_budget = HistoryBudget::default();
+    if let Some(i) = args.iter().position(|a| a == "--history-window") {
+        let Some(v) = args.get(i + 1) else {
+            eprintln!("--history-window needs a value (unbounded|<n>|<n>kb|<n>mb)");
+            std::process::exit(2);
+        };
+        history_budget = match HistoryBudget::parse(v) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        args.drain(i..=i + 1);
+    }
     let mut store_path: Option<String> = None;
     if let Some(i) = args.iter().position(|a| a == "--store") {
         let Some(v) = args.get(i + 1) else {
@@ -88,6 +103,7 @@ fn main() {
         .transition_cache(transition_cache)
         .template_automata(template_automata)
         .grounding(grounding)
+        .history_budget(history_budget)
         .build();
     let mut shell = match &store_path {
         Some(path) => match ticc::shell::Shell::with_store(opts, std::path::Path::new(path)) {

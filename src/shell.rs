@@ -319,18 +319,35 @@ impl Shell {
         if !self.session.has_store() {
             return Err("no store attached (run the shell with --store <path>)".to_owned());
         }
-        Ok(if compact {
+        let mut out = if compact {
             let bytes = self.session.compact().map_err(msg)?;
             format!("log compacted to a single {bytes} byte checkpoint")
         } else {
             let bytes = self.session.checkpoint().map_err(msg)?;
             format!("checkpoint written ({bytes} byte snapshot)")
-        })
+        };
+        // A bounded budget may have truncated behind the newly covered
+        // horizon: show where the resident window starts now.
+        if let Some(engine) = self.session.engine() {
+            let h = engine.history();
+            if h.is_truncated() {
+                let _ = write!(
+                    out,
+                    "\nretention horizon t={}: {} resident instant(s), {} spilled",
+                    h.base(),
+                    h.states().len(),
+                    h.base()
+                );
+            }
+        }
+        Ok(out)
     }
 
     fn cmd_history(&mut self) -> Reply {
         self.ensure_running()?;
-        let h = self.session.history().expect("running");
+        // Materialise through the spill tier so the listing is the
+        // same under every history budget.
+        let h = self.session.full_history().map_err(msg)?.expect("running");
         if h.is_empty() {
             return Ok("history is empty (use insert/delete + commit)".to_owned());
         }
@@ -347,9 +364,9 @@ impl Shell {
     fn cmd_check(&mut self, rest: &str) -> Reply {
         self.ensure_running()?;
         let opts = self.session.options();
-        let h = self.session.history().expect("running");
+        let h = self.session.full_history().map_err(msg)?.expect("running");
         let phi = parse(h.schema(), rest).map_err(|e| e.to_string())?;
-        let out = check_potential_satisfaction(h, &phi, &opts).map_err(|e| e.to_string())?;
+        let out = check_potential_satisfaction(&h, &phi, &opts).map_err(|e| e.to_string())?;
         Ok(if out.potentially_satisfied {
             "potentially satisfied (an extension exists)".to_owned()
         } else {
@@ -360,9 +377,9 @@ impl Shell {
     fn cmd_explain(&mut self, rest: &str) -> Reply {
         self.ensure_running()?;
         let opts = self.session.options();
-        let h = self.session.history().expect("running");
+        let h = self.session.full_history().map_err(msg)?.expect("running");
         let phi = parse(h.schema(), rest).map_err(|e| e.to_string())?;
-        Ok(ticc_core::explain(h, &phi, &opts))
+        Ok(ticc_core::explain(&h, &phi, &opts))
     }
 
     fn cmd_witness(&mut self, rest: &str) -> Reply {
@@ -377,8 +394,8 @@ impl Shell {
         else {
             return Err(format!("no constraint named '{name}'"));
         };
-        let h = self.session.history().expect("running");
-        let out = check_potential_satisfaction(h, &phi, &opts).map_err(|e| e.to_string())?;
+        let h = self.session.full_history().map_err(msg)?.expect("running");
+        let out = check_potential_satisfaction(&h, &phi, &opts).map_err(|e| e.to_string())?;
         let Some(w) = out.witness else {
             return Ok(format!(
                 "'{name}' is violated: no extension exists, hence no witness"
