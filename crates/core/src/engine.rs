@@ -651,13 +651,13 @@ impl GroundingContext {
             self.decompile();
         }
         if self.g.strategy() == GroundStrategy::Indexed {
-            if !self.g.tx_delta(tx).is_empty() {
+            if self.g.tx_has_delta(tx) {
                 // New relevant elements force the slow path; the delta
                 // re-ground below handles occurrence activation too.
                 return Ok(None);
             }
-            let inserts = self.g.newly_occurring(tx);
-            if !inserts.is_empty() {
+            if self.g.has_newly_occurring(tx) {
+                let inserts = self.g.newly_occurring(tx);
                 // A previously-pruned instantiation just became
                 // relevant: its flexible letters were false in every
                 // past state (the tuples never occurred), so grounding
@@ -685,12 +685,12 @@ impl GroundingContext {
                 stats.replayed_conjuncts += dg.new_mappings;
             }
         }
-        let mut patched_atoms: Option<Vec<AtomId>> = None;
+        let mut used_patch = false;
         let w = if opts.encoding == Encoding::Incremental && self.g.mode() == GroundMode::Folded {
             match self.g.patch_state(tx) {
-                Some((w, patched)) => {
-                    stats.encode_patched_atoms += patched.len() as u64;
-                    patched_atoms = Some(patched);
+                Some(w) => {
+                    stats.encode_patched_atoms += self.g.patched_letters().len() as u64;
+                    used_patch = true;
                     w
                 }
                 None => return Ok(None),
@@ -707,9 +707,10 @@ impl GroundingContext {
             // active units by table lookup, read the verdict off the
             // unsat counter. No progression, no phase 2.
             let t = Timer::start();
-            match &patched_atoms {
-                Some(atoms) => set.patch_cols(atoms, &w),
-                None => set.recompute_cols(&w),
+            if used_patch {
+                set.patch_cols(self.g.patched_letters(), &w);
+            } else {
+                set.recompute_cols(&w);
             }
             set.step_active(stats);
             stats.automaton_appends += 1;
@@ -814,17 +815,17 @@ impl GroundingContext {
         stats.new_conjuncts += dg.new_mappings;
 
         let t = Timer::start();
-        let mut patched_atoms: Option<Vec<AtomId>> = None;
+        let mut used_patch = false;
         let w = if opts.encoding == Encoding::Incremental {
             // ground_delta has just extended the known set, so every
             // element the transaction mentions now has letters to
             // patch against.
-            let (w, patched) = self
+            let w = self
                 .g
                 .patch_state(tx)
                 .expect("delta re-ground covers every element the transaction mentions");
-            stats.encode_patched_atoms += patched.len() as u64;
-            patched_atoms = Some(patched);
+            stats.encode_patched_atoms += self.g.patched_letters().len() as u64;
+            used_patch = true;
             w
         } else {
             self.g.encode_state(state)
@@ -844,9 +845,10 @@ impl GroundingContext {
             // column.
             {
                 let set = self.compiled.as_mut().expect("checked above");
-                match &patched_atoms {
-                    Some(atoms) => set.patch_cols(atoms, &w),
-                    None => set.recompute_cols(&w),
+                if used_patch {
+                    set.patch_cols(self.g.patched_letters(), &w);
+                } else {
+                    set.recompute_cols(&w);
                 }
                 set.step_active(stats);
             }
@@ -1332,10 +1334,15 @@ impl Engine {
         stats: &mut EngineStats,
     ) -> Result<Status, Error> {
         let state = history.state(upto - 1);
-        if let Some(status) = entry
+        // Grounding-scratch capacity growths count against the same
+        // no-alloc budget as the pool's outcome buffers: after warm-up
+        // a steady-state append must leave `pool_buf_allocs` flat.
+        let scratch0 = entry.ctx.g.scratch_allocs();
+        let fast = entry
             .ctx
-            .fast_append(tx, state, opts, notion, upto, cold, stats)?
-        {
+            .fast_append(tx, state, opts, notion, upto, cold, stats);
+        stats.pool_buf_allocs += entry.ctx.g.scratch_allocs() - scratch0;
+        if let Some(status) = fast? {
             stats.fast_appends += 1;
             return Ok(status);
         }
@@ -2225,9 +2232,16 @@ mod tests {
         }
         let mut tx = Transaction::new().insert(sub, vec![100]);
         e.append(&tx).unwrap();
-        let after_first = e.stats().pool_buf_allocs;
-        assert!(after_first > 0 && after_first <= 3, "{after_first}");
-        for i in 1..40u64 {
+        // Second append reaches the workload's full transaction width
+        // (delete + insert), finishing the scratch-buffer warm-up that
+        // `pool_buf_allocs` now also accounts for.
+        tx = Transaction::new()
+            .delete(sub, vec![100])
+            .insert(sub, vec![101]);
+        e.append(&tx).unwrap();
+        let warm = e.stats().pool_buf_allocs;
+        assert!(warm > 0, "{warm}");
+        for i in 2..40u64 {
             tx = Transaction::new()
                 .delete(sub, vec![100 + i - 1])
                 .insert(sub, vec![100 + i]);
@@ -2235,10 +2249,76 @@ mod tests {
         }
         let s = e.stats();
         assert_eq!(
-            s.pool_buf_allocs, after_first,
-            "steady-state dispatches must not allocate outcome buffers"
+            s.pool_buf_allocs, warm,
+            "steady-state dispatches must not allocate outcome or scratch buffers"
         );
         assert!(s.par_phases >= 40, "the pooled path actually ran: {s:?}");
+    }
+
+    #[test]
+    fn pooled_steady_appends_allocate_no_scratch_across_1k() {
+        // ROADMAP item 1 remainder: `pool_buf_allocs` covers the
+        // grounding scratch buffers too. A steady churn (known
+        // elements only, no first-occurrence tuples) through the
+        // pooled dispatch path must leave the counter flat across 1k
+        // appends once the buffers have warmed up.
+        let sc = order_schema();
+        let sub = sc.pred("Sub").unwrap();
+        let fill = sc.pred("Fill").unwrap();
+        let phi = parse(&sc, "forall x. G (Sub(x) -> X G !Sub(x))").unwrap();
+        let mut e = Engine::new(
+            sc.clone(),
+            CheckOptions::builder().threads(Threads::Fixed(2)).build(),
+        );
+        for name in ["a", "b"] {
+            e.add_constraint(name, phi.clone()).unwrap();
+        }
+        // Warm-up: introduce the elements the churn cycles over (delta
+        // re-grounds), retire the Sub tuples (a re-insert would
+        // violate), and run one full churn cycle so every scratch
+        // buffer and letter reaches steady state.
+        e.append(&Transaction::new().insert(sub, vec![1])).unwrap();
+        e.append(&Transaction::new().delete(sub, vec![1]).insert(sub, vec![2]))
+            .unwrap();
+        e.append(
+            &Transaction::new()
+                .delete(sub, vec![2])
+                .insert(fill, vec![1]),
+        )
+        .unwrap();
+        e.append(
+            &Transaction::new()
+                .insert(fill, vec![2])
+                .delete(fill, vec![1]),
+        )
+        .unwrap();
+        e.append(
+            &Transaction::new()
+                .insert(fill, vec![1])
+                .delete(fill, vec![2]),
+        )
+        .unwrap();
+        let warm = e.stats().pool_buf_allocs;
+        for i in 0..1000u64 {
+            let (on, off) = if i % 2 == 0 { (2, 1) } else { (1, 2) };
+            let events = e
+                .append(
+                    &Transaction::new()
+                        .insert(fill, vec![on])
+                        .delete(fill, vec![off]),
+                )
+                .unwrap();
+            assert!(events.is_empty(), "steady churn never violates");
+        }
+        let s = e.stats();
+        assert_eq!(
+            s.pool_buf_allocs, warm,
+            "1k steady appends must not grow pool or grounding-scratch buffers: {s:?}"
+        );
+        assert!(
+            s.fast_appends >= 2000,
+            "churn stays on the fast path for both constraints: {s:?}"
+        );
     }
 
     /// Churn workload for the budget tests: cycles `Sub` values so

@@ -208,6 +208,41 @@ pub struct Grounding {
     /// Wall time spent building and joining the occurrence index,
     /// surfaced as the `index build` engine timer.
     pub(crate) index_build: std::time::Duration,
+    /// Reusable fast-append scratch buffers (net-effect order, patched
+    /// letters) plus the capacity-growth counter the engine folds into
+    /// `EngineStats::pool_buf_allocs` — see [`FastScratch`].
+    scratch: FastScratch,
+}
+
+/// Reusable scratch for the per-append hot path. A steady-state append
+/// (no new relevant elements, no first-occurrence tuples) must not
+/// allocate in the grounding layer: the net effect of the transaction
+/// and the patched-letter list are computed into these recycled
+/// buffers instead of fresh `BTreeMap`/`Vec`s per call. `allocs`
+/// counts capacity growths of either buffer; after warm-up it stays
+/// flat, and the engine folds the per-append delta into
+/// [`EngineStats::pool_buf_allocs`](crate::EngineStats) so the no-alloc
+/// discipline of the pooled dispatch path covers grounding scratch too.
+#[derive(Default)]
+struct FastScratch {
+    /// The transaction's net effect as `(update index, present)` pairs
+    /// in sorted `(pred, tuple)` order with last-update-wins dedup —
+    /// the borrow-free equivalent of the old per-call
+    /// `BTreeMap<(PredId, &[Value]), bool>`.
+    net: Vec<(u32, bool)>,
+    /// The letters patched by the last [`Grounding::patch_state`] call,
+    /// in deterministic patch order.
+    patched: Vec<AtomId>,
+    /// Capacity growths of the two buffers above since the grounding
+    /// was built (or restored).
+    allocs: u64,
+}
+
+/// The `(pred, tuple)` sort key of an update.
+fn update_key(u: &Update) -> (PredId, &[Value]) {
+    match u {
+        Update::Insert(p, t) | Update::Delete(p, t) => (*p, t.as_slice()),
+    }
 }
 
 /// One predicate-atom pattern of the matrix, with variables resolved
@@ -920,6 +955,7 @@ pub(crate) fn ground_metered(
         occ,
         active,
         index_build,
+        scratch: FastScratch::default(),
     })
 }
 
@@ -1591,6 +1627,94 @@ impl Grounding {
         &self.known
     }
 
+    /// Recomputes the net-effect scratch for `tx`: one `(update index,
+    /// present)` pair per *net* touched tuple, sorted by `(pred,
+    /// tuple)` with last-update-wins dedup — the same contents (and
+    /// iteration order) as the old per-call [`tx_net`] map, but into
+    /// the recycled buffer. Allocation-free once the buffer has grown
+    /// to the workload's transaction width.
+    fn fill_net_scratch(&mut self, tx: &Transaction) {
+        let updates = tx.updates();
+        let cap = self.scratch.net.capacity();
+        let net = &mut self.scratch.net;
+        net.clear();
+        net.extend(
+            updates
+                .iter()
+                .enumerate()
+                .map(|(i, u)| (i as u32, matches!(u, Update::Insert(..)))),
+        );
+        // Unstable sort (no temp-buffer allocation) made stable by the
+        // index tie-break, so equal keys keep update order for the
+        // last-wins dedup below.
+        net.sort_unstable_by(|a, b| {
+            update_key(&updates[a.0 as usize])
+                .cmp(&update_key(&updates[b.0 as usize]))
+                .then(a.0.cmp(&b.0))
+        });
+        let mut w = 0usize;
+        for r in 0..net.len() {
+            if w > 0
+                && update_key(&updates[net[w - 1].0 as usize])
+                    == update_key(&updates[net[r].0 as usize])
+            {
+                net[w - 1] = net[r];
+            } else {
+                net[w] = net[r];
+                w += 1;
+            }
+        }
+        net.truncate(w);
+        if self.scratch.net.capacity() > cap {
+            self.scratch.allocs += 1;
+        }
+    }
+
+    /// Whether `tx` introduces a relevant element outside the known
+    /// universe — `!tx_delta(tx).is_empty()` without the allocation.
+    /// `&mut` because it reuses the net-effect scratch buffer.
+    pub(crate) fn tx_has_delta(&mut self, tx: &Transaction) -> bool {
+        self.fill_net_scratch(tx);
+        let updates = tx.updates();
+        self.scratch.net.iter().any(|&(i, present)| {
+            present
+                && update_key(&updates[i as usize])
+                    .1
+                    .iter()
+                    .any(|v| !self.known.contains(v))
+        })
+    }
+
+    /// Whether `tx` net-inserts a tuple that has never occurred in any
+    /// state — `!newly_occurring(tx).is_empty()` without the
+    /// allocation. Always `false` under the odometer strategy.
+    pub(crate) fn has_newly_occurring(&mut self, tx: &Transaction) -> bool {
+        if self.plan.is_none() {
+            return false;
+        }
+        self.fill_net_scratch(tx);
+        let updates = tx.updates();
+        self.scratch.net.iter().any(|&(i, present)| {
+            let (p, tuple) = update_key(&updates[i as usize]);
+            present && !self.occ.get(&p).is_some_and(|s| s.contains(tuple))
+        })
+    }
+
+    /// Capacity growths of the fast-append scratch buffers since the
+    /// grounding was built. The engine differences this around each
+    /// step to extend the `pool_buf_allocs` no-alloc accounting to the
+    /// grounding layer.
+    pub(crate) fn scratch_allocs(&self) -> u64 {
+        self.scratch.allocs
+    }
+
+    /// The letters patched by the last [`Grounding::patch_state`] call,
+    /// in deterministic patch order (valid until the next fast-append
+    /// scratch use).
+    pub(crate) fn patched_letters(&self) -> &[AtomId] {
+        &self.scratch.patched
+    }
+
     /// The new relevant elements a transaction introduces: values of
     /// net-inserted tuples outside the known universe, sorted. Empty
     /// exactly when the fast path applies. `O(|Δtx| log |Δtx|)`.
@@ -1654,31 +1778,42 @@ impl Grounding {
     ///
     /// Returns `None` when a net-inserted tuple mentions an element
     /// outside the known universe (the caller must re-ground), `Some`
-    /// with the new valuation and the letters patched (in the
+    /// with the new valuation otherwise; the letters patched (in the
     /// deterministic patch order — the compiled-automaton layer uses
-    /// the list to update only the touched units' columns) otherwise.
-    /// Folded groundings only.
-    pub(crate) fn patch_state(&mut self, tx: &Transaction) -> Option<(PropState, Vec<AtomId>)> {
+    /// the list to update only the touched units' columns) are left in
+    /// the recycled scratch buffer, readable via
+    /// [`Grounding::patched_letters`] until the next fast-append
+    /// scratch use. Folded groundings only; allocation-free after
+    /// warm-up on the steady-state path (no fresh letters).
+    pub(crate) fn patch_state(&mut self, tx: &Transaction) -> Option<PropState> {
         debug_assert_eq!(self.mode, GroundMode::Folded);
-        let net = tx_net(tx);
-        for ((_, tuple), present) in &net {
-            if *present && tuple.iter().any(|v| !self.known.contains(v)) {
+        self.fill_net_scratch(tx);
+        let updates = tx.updates();
+        for &(i, present) in &self.scratch.net {
+            let (_, tuple) = update_key(&updates[i as usize]);
+            if present && tuple.iter().any(|v| !self.known.contains(v)) {
                 return None;
             }
         }
         let mut w = self.trace.last().cloned().unwrap_or_default();
-        let mut patched = Vec::new();
-        for ((p, tuple), present) in net {
+        let pcap = self.scratch.patched.capacity();
+        self.scratch.patched.clear();
+        for k in 0..self.scratch.net.len() {
+            let (i, present) = self.scratch.net[k];
+            let (p, tuple) = update_key(&updates[i as usize]);
             if present {
                 let a = self.state_letter(p, tuple);
                 w.set(a, true);
-                patched.push(a);
+                self.scratch.patched.push(a);
             } else if let Some(a) = self.lookup_state_letter(p, tuple) {
                 w.set(a, false);
-                patched.push(a);
+                self.scratch.patched.push(a);
             }
         }
-        Some((w, patched))
+        if self.scratch.patched.capacity() > pcap {
+            self.scratch.allocs += 1;
+        }
+        Some(w)
     }
 
     /// Number of `(pred, tuple) → letter` entries in the inverted
@@ -2104,6 +2239,7 @@ impl Grounding {
             occ,
             active,
             index_build: std::time::Duration::ZERO,
+            scratch: FastScratch::default(),
         })
     }
 }
@@ -2323,11 +2459,11 @@ mod tests {
             .delete(fill, vec![1]);
         let mut state = h.state(0).clone();
         tx.apply_to(&mut state).unwrap();
-        let (w_patch, flips) = patched.patch_state(&tx).unwrap();
+        let w_patch = patched.patch_state(&tx).unwrap();
         let w_full = rebuilt.state_to_prop(&state).unwrap();
         assert_eq!(w_patch, w_full);
         assert_eq!(
-            flips.len(),
+            patched.patched_letters().len(),
             2,
             "Sub(1) cleared, Fill(2) set; Fill(1) netted out"
         );

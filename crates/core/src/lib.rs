@@ -72,8 +72,8 @@ pub use monitor::{ConstraintId, Monitor, MonitorEvent, MonitorStats, Status};
 pub use obs::{CacheStats, EngineStats, HistoryStats};
 pub use par::{Threads, WorkerPool};
 pub use session::{
-    stats_json_with, Committed, OpenSummary, Session, SessionBuilder, SessionStats, STATS_SCHEMA,
-    STATS_SCHEMA_V1,
+    stats_json_with, Committed, OpenSummary, ParkedSession, Session, SessionBuilder, SessionStats,
+    STATS_SCHEMA, STATS_SCHEMA_V1,
 };
 pub use ticc_store::{GroupStats, GroupWal, Store, StoreError, StoreStats};
 pub use trigger::{Action, FiredTrigger, Trigger, TriggerEngine};

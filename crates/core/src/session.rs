@@ -658,6 +658,80 @@ impl Session {
     pub fn engine(&self) -> Option<&Engine> {
         self.running().map(|r| &r.engine)
     }
+
+    /// Idle-parking hook: checkpoints the session and returns the
+    /// state a server needs to transparently resume it later via
+    /// [`SessionBuilder::resume`]. Durability is left exactly as a
+    /// [`Session::close`] would leave it — a group-backed session
+    /// appends the checkpoint to the shared log and flushes it, so a
+    /// crash while parked recovers the same state the park captured;
+    /// an ephemeral session parks purely in memory (its snapshot bytes
+    /// live only in the returned [`ParkedSession`]).
+    ///
+    /// Errors while the schema is still defining (no engine to
+    /// checkpoint) or with staged-but-uncommitted operations (parking
+    /// would silently drop them).
+    pub fn park(&mut self) -> Result<ParkedSession, Error> {
+        if self.running().is_none() {
+            return Err(Error::Session(
+                "cannot park a session whose schema never froze".to_owned(),
+            ));
+        }
+        if self.staged_ops() > 0 {
+            return Err(Error::Session(
+                "cannot park with staged uncommitted operations".to_owned(),
+            ));
+        }
+        let snapshot = if self.group.is_some() {
+            self.checkpoint_inner()?
+                .1
+                .expect("group checkpoint returns its snapshot bytes")
+        } else {
+            let r = self.running_mut()?;
+            let app = encode_app(&r.trigger_defs);
+            if r.engine.store().is_some() {
+                // Self-stored: make the park durable in the store too,
+                // then hand back the same bytes for in-memory resume.
+                r.engine.checkpoint(&app)?;
+            }
+            r.engine.snapshot_bytes(&app)
+        };
+        if let Some(g) = &self.group {
+            g.wal.flush().map_err(|e| Error::Store(e.to_string()))?;
+        }
+        Ok(ParkedSession {
+            name: self.name.clone(),
+            snapshot,
+            opts: self.opts,
+            counters: self.counters,
+        })
+    }
+}
+
+/// Everything needed to transparently resume an idle-parked session:
+/// the engine checkpoint plus the session-level state a snapshot alone
+/// does not carry (effective options, commit/violation counters).
+/// Produced by [`Session::park`], consumed by
+/// [`SessionBuilder::resume`].
+#[derive(Clone)]
+pub struct ParkedSession {
+    name: String,
+    snapshot: Vec<u8>,
+    opts: CheckOptions,
+    counters: Counters,
+}
+
+impl ParkedSession {
+    /// The parked session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The checkpoint bytes the parked engine resumes from (for a
+    /// group-backed session, the same bytes the shared log now holds).
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        &self.snapshot
+    }
 }
 
 /// Configures and opens a [`Session`]. See the module docs for the
@@ -671,6 +745,7 @@ pub struct SessionBuilder {
     replay: Vec<Vec<u8>>,
     preds: Vec<(String, usize)>,
     consts: Vec<(String, Value)>,
+    resume_counters: Option<Counters>,
 }
 
 impl Default for SessionBuilder {
@@ -691,6 +766,7 @@ impl SessionBuilder {
             replay: Vec::new(),
             preds: Vec::new(),
             consts: Vec::new(),
+            resume_counters: None,
         }
     }
 
@@ -735,6 +811,21 @@ impl SessionBuilder {
     /// freezes, if there is no snapshot).
     pub fn replay(mut self, payloads: Vec<Vec<u8>>) -> Self {
         self.replay = payloads;
+        self
+    }
+
+    /// Resumes an idle-parked session from [`Session::park`]'s state:
+    /// name, snapshot, options, and session counters, so observable
+    /// behaviour continues exactly where the parked session left off.
+    /// Call before [`SessionBuilder::group`] (the group registration
+    /// uses the builder's name at the time it is called); not for
+    /// self-stored sessions, whose store recovery supplies its own
+    /// snapshot.
+    pub fn resume(mut self, parked: ParkedSession) -> Self {
+        self.name = parked.name;
+        self.opts = parked.opts;
+        self.snapshot = Some(parked.snapshot);
+        self.resume_counters = Some(parked.counters);
         self
     }
 
@@ -833,7 +924,7 @@ impl SessionBuilder {
                 deferred_store: None,
                 pending_replay: Vec::new(),
                 group,
-                counters: Counters::default(),
+                counters: self.resume_counters.unwrap_or_default(),
             };
             return Ok((session, summary));
         }

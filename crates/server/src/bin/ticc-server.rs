@@ -4,8 +4,19 @@
 //! ```text
 //! ticc-server serve --addr 127.0.0.1:7171 [--wal sessions.gwal]
 //!                   [--max-sessions N] [--workers N] [--threads auto|off|N]
+//!                   [--io-threads N] [--threads-per-conn]
+//!                   [--idle-park-ms MS] [--session-inflight N] [--session-bytes N]
 //! ticc-server client --addr 127.0.0.1:7171          # JSON lines on stdin
+//! ticc-server soak --addr 127.0.0.1:7171 --conns N  # hold N idle connections
 //! ```
+//!
+//! Serving defaults to the event-driven core (`--io-threads` poll
+//! loops multiplexing all connections); `--threads-per-conn` selects
+//! the legacy loop for A/B comparison. `--idle-park-ms` checkpoints
+//! sessions idle past the deadline into parked snapshot bytes —
+//! transparently resumed by their next op. `--session-inflight` /
+//! `--session-bytes` set the default per-tenant quotas (wire error
+//! code `quota` past either).
 //!
 //! Exit codes (documented for scripts):
 //!
@@ -35,9 +46,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("soak") => soak(&args[1..]),
         _ => {
             eprintln!("usage: ticc-server serve --addr <ip:port> [--wal <path>] [--max-sessions N] [--workers N] [--threads auto|off|N]");
+            eprintln!("                         [--io-threads N] [--threads-per-conn] [--idle-park-ms MS] [--session-inflight N] [--session-bytes N]");
             eprintln!("       ticc-server client --addr <ip:port>   (JSON requests on stdin, one per line)");
+            eprintln!("       ticc-server soak --addr <ip:port> --conns N   (hold N handshaken idle connections)");
             ExitCode::from(2)
         }
     }
@@ -48,6 +62,8 @@ struct Flags {
     wal: Option<String>,
     limits: Limits,
     threads: Threads,
+    threads_per_conn: bool,
+    conns: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -56,6 +72,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         wal: None,
         limits: Limits::default(),
         threads: Threads::Auto,
+        threads_per_conn: false,
+        conns: 64,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -77,6 +95,32 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--threads" => {
                 flags.threads = Threads::parse(value("--threads")?)?;
+            }
+            "--io-threads" => {
+                flags.limits.io_threads = value("--io-threads")?
+                    .parse()
+                    .map_err(|_| "--io-threads needs an integer".to_owned())?;
+            }
+            "--threads-per-conn" => flags.threads_per_conn = true,
+            "--idle-park-ms" => {
+                flags.limits.idle_park_ms = value("--idle-park-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-park-ms needs an integer".to_owned())?;
+            }
+            "--session-inflight" => {
+                flags.limits.max_session_inflight = value("--session-inflight")?
+                    .parse()
+                    .map_err(|_| "--session-inflight needs an integer".to_owned())?;
+            }
+            "--session-bytes" => {
+                flags.limits.max_session_bytes = value("--session-bytes")?
+                    .parse()
+                    .map_err(|_| "--session-bytes needs an integer".to_owned())?;
+            }
+            "--conns" => {
+                flags.conns = value("--conns")?
+                    .parse()
+                    .map_err(|_| "--conns needs an integer".to_owned())?;
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -118,7 +162,12 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::from(4);
         }
     };
-    let running = match Server::start(Arc::new(server), listener) {
+    let start = if flags.threads_per_conn {
+        Server::start
+    } else {
+        ticc_server::mux::start_mux
+    };
+    let running = match start(Arc::new(server), listener) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ticc-server: cannot start: {e}");
@@ -191,5 +240,68 @@ fn client(args: &[String]) -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Holds `--conns` handshaken idle connections open, then — once all
+/// are up — verifies each still answers a `status`-less round trip
+/// (`hello` is stateless and always legal) and exits. Exercises the
+/// multiplexer's idle-connection economy from scripts: the server-side
+/// cost of this soak is pollfds and buffers, not threads.
+fn soak(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ticc-server: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(addr) = flags.addr else {
+        eprintln!("ticc-server: soak needs --addr <ip:port>");
+        return ExitCode::from(2);
+    };
+    let hello = json::obj(vec![
+        ("op", json::s("hello")),
+        ("schema", json::s(wire::WIRE_SCHEMA)),
+    ])
+    .render();
+    let mut conns = Vec::with_capacity(flags.conns);
+    for i in 0..flags.conns {
+        let mut stream = match TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ticc-server: soak connect {i}/{}: {e}", flags.conns);
+                return ExitCode::from(5);
+            }
+        };
+        // The frame header and payload go out as two small writes;
+        // without this, Nagle holds the second behind a delayed ACK
+        // (~40ms per handshake, ~20s across a 512-connection soak).
+        let _ = stream.set_nodelay(true);
+        if wire::write_frame(&mut stream, hello.as_bytes()).is_err()
+            || !matches!(
+                wire::read_frame(&mut stream, wire::MAX_FRAME_BYTES),
+                Ok(Some(_))
+            )
+        {
+            eprintln!("ticc-server: soak handshake {i}/{} failed", flags.conns);
+            return ExitCode::from(5);
+        }
+        conns.push(stream);
+    }
+    eprintln!(
+        "ticc-server: soak holding {} idle connection(s)",
+        conns.len()
+    );
+    // Every connection proved live while all its siblings idle.
+    for (i, stream) in conns.iter_mut().enumerate() {
+        if wire::write_frame(stream, hello.as_bytes()).is_err()
+            || !matches!(wire::read_frame(stream, wire::MAX_FRAME_BYTES), Ok(Some(_)))
+        {
+            eprintln!("ticc-server: soak conn {i} went dead under load");
+            return ExitCode::from(5);
+        }
+    }
+    println!("soak ok: {} connections served concurrently", conns.len());
     ExitCode::SUCCESS
 }

@@ -3,8 +3,12 @@
 //! Hosts many independent [`Session`]s (one temporal database, one
 //! set of constraints and triggers each) in one long-lived process,
 //! spoken to over the [`wire`] protocol (`ticc-wire-v1`: length-
-//! prefixed JSON frames over TCP, thread per connection). Three
-//! properties distinguish it from "a shell per client":
+//! prefixed JSON frames over TCP). Connections are served by the
+//! event-driven [`mux`] core by default — a fixed pool of I/O threads
+//! multiplexing nonblocking sockets over `poll(2)` — with the legacy
+//! thread-per-connection loop ([`Server::start`]) kept for A/B
+//! benching. Several properties distinguish it from "a shell per
+//! client":
 //!
 //! - **Group-commit durability.** All sessions log into one shared
 //!   [`GroupWal`]; a `Durability::WalFsync` append waits for its
@@ -21,6 +25,14 @@
 //!   [`set_pool_peers`], so a session running `Threads::Auto` claims
 //!   its share of `available_parallelism`, not the whole machine
 //!   multiplied by every concurrent connection.
+//! - **Per-tenant quotas.** Beyond the global ceilings, each session
+//!   carries its own inflight/pending-byte budget; one tenant
+//!   saturating its quota gets `quota` refusals while its neighbours
+//!   keep committing.
+//! - **Idle-session parking.** Sessions idle past a deadline are
+//!   checkpointed to parked snapshot bytes and dropped from memory;
+//!   the next op on the name transparently resumes them, counters and
+//!   all.
 //!
 //! Stats are the `ticc-engine-stats-v2` schema with the `server`
 //! object filled in; [`upgrade_stats`] adapts v1 documents for readers
@@ -32,17 +44,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use ticc_core::par::set_pool_peers;
 use ticc_core::{
-    stats_json_with, CheckOptions, Committed, GroupWal, HistoryBudget, Session, Status,
-    STATS_SCHEMA, STATS_SCHEMA_V1,
+    stats_json_with, CheckOptions, Committed, GroupWal, HistoryBudget, ParkedSession, Session,
+    Status, STATS_SCHEMA, STATS_SCHEMA_V1,
 };
 use ticc_fotl::parser::parse as parse_formula;
 use ticc_store::codec::parse_fact;
 use ticc_tdb::{Transaction, Value};
 
 pub mod json;
+pub mod mux;
 pub mod wire;
 
 use json::Json;
@@ -66,6 +80,20 @@ pub struct Limits {
     /// [`set_pool_peers`] so `Threads::Auto` engines split the machine
     /// instead of each assuming all of it.
     pub workers: usize,
+    /// I/O threads multiplexing connections in the event-driven core
+    /// ([`mux`]). Each owns a shard of connections; clamped to ≥ 1.
+    pub io_threads: usize,
+    /// Idle deadline in milliseconds after which the mux loop parks a
+    /// session (checkpoint to snapshot bytes, drop from memory; the
+    /// next op resumes it transparently). `0` disables the sweep.
+    pub idle_park_ms: u64,
+    /// Default per-session cap on concurrently-inflight appends; an
+    /// `open` may lower (or raise, up to the global ceiling) its own
+    /// with `"max_inflight"`. Past it the tenant gets `quota`.
+    pub max_session_inflight: usize,
+    /// Default per-session cap on request bytes admitted but not yet
+    /// answered; `open`'s `"max_pending_bytes"` overrides per tenant.
+    pub max_session_bytes: usize,
 }
 
 impl Default for Limits {
@@ -76,6 +104,10 @@ impl Default for Limits {
             max_pending_bytes: 8 << 20,
             max_frame_bytes: 1 << 20,
             workers: 8,
+            io_threads: 4,
+            idle_park_ms: 0,
+            max_session_inflight: 64,
+            max_session_bytes: 4 << 20,
         }
     }
 }
@@ -88,6 +120,39 @@ impl Default for Limits {
 struct Parked {
     snapshot: Option<Vec<u8>>,
     suffix: Vec<Vec<u8>>,
+    /// Set when the entry came from the idle sweep rather than the
+    /// group log or a clean close: a full [`ParkedSession`] (snapshot
+    /// + options + counters) that resumes without WAL replay.
+    resume: Option<ParkedSession>,
+}
+
+/// Per-session admission-control state. Lives as long as the tenant
+/// has been seen this process lifetime (parking does not reset it —
+/// quotas and idleness are properties of the tenant, not the resident
+/// session object).
+struct Tenant {
+    inflight: AtomicUsize,
+    pending_bytes: AtomicUsize,
+    max_inflight: AtomicUsize,
+    max_bytes: AtomicUsize,
+    /// Milliseconds since server start at the last op touching this
+    /// tenant; drives the idle-parking sweep.
+    last_op_ms: AtomicU64,
+}
+
+/// RAII release of a tenant's admitted inflight/byte budget.
+struct TenantGuard<'a> {
+    tenant: &'a Tenant,
+    bytes: usize,
+}
+
+impl Drop for TenantGuard<'_> {
+    fn drop(&mut self) {
+        self.tenant.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.tenant
+            .pending_bytes
+            .fetch_sub(self.bytes, Ordering::SeqCst);
+    }
 }
 
 /// One registry entry. The `Option` is the session's liveness: a slot
@@ -105,10 +170,15 @@ pub struct Server {
     wal: Option<Arc<GroupWal>>,
     sessions: Mutex<HashMap<String, Slot>>,
     parked: Mutex<HashMap<String, Parked>>,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    started: Instant,
     inflight: AtomicUsize,
     connections: AtomicU64,
     frames: AtomicU64,
     backpressure: AtomicU64,
+    quota_refusals: AtomicU64,
+    parks: AtomicU64,
+    resumes: AtomicU64,
     shutdown: AtomicBool,
     addr: OnceLock<SocketAddr>,
 }
@@ -122,10 +192,15 @@ impl Server {
             wal: None,
             sessions: Mutex::new(HashMap::new()),
             parked: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            started: Instant::now(),
             inflight: AtomicUsize::new(0),
             connections: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             backpressure: AtomicU64::new(0),
+            quota_refusals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             addr: OnceLock::new(),
         }
@@ -150,6 +225,7 @@ impl Server {
                     Parked {
                         snapshot: s.snapshot,
                         suffix: s.suffix,
+                        resume: None,
                     },
                 )
             })
@@ -208,19 +284,29 @@ impl Server {
         format!(
             "{{\"schema\":\"{}\",\"sessions\":{sessions},\"parked\":{parked},\
              \"connections\":{},\"frames\":{},\"inflight\":{},\"backpressure\":{},\
-             \"workers\":{},\"group\":{group},\
+             \"quota_refusals\":{},\"parks\":{},\"resumes\":{},\
+             \"workers\":{},\"io_threads\":{},\"group\":{group},\
              \"limits\":{{\"max_sessions\":{},\"max_inflight_appends\":{},\
-             \"max_pending_bytes\":{},\"max_frame_bytes\":{}}}}}",
+             \"max_pending_bytes\":{},\"max_frame_bytes\":{},\
+             \"max_session_inflight\":{},\"max_session_bytes\":{},\
+             \"idle_park_ms\":{}}}}}",
             wire::WIRE_SCHEMA,
             self.connections.load(Ordering::Relaxed),
             self.frames.load(Ordering::Relaxed),
             self.inflight.load(Ordering::Relaxed),
             self.backpressure.load(Ordering::Relaxed),
+            self.quota_refusals.load(Ordering::Relaxed),
+            self.parks.load(Ordering::Relaxed),
+            self.resumes.load(Ordering::Relaxed),
             self.limits.workers,
+            self.limits.io_threads,
             self.limits.max_sessions,
             self.limits.max_inflight_appends,
             self.limits.max_pending_bytes,
             self.limits.max_frame_bytes,
+            self.limits.max_session_inflight,
+            self.limits.max_session_bytes,
+            self.limits.idle_park_ms,
         )
     }
 
@@ -232,10 +318,98 @@ impl Server {
             .cloned()
     }
 
+    /// Milliseconds since the server started — the monotonic stamp
+    /// tenants carry in `last_op_ms`.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The tenant record for `name`, created on first sight with the
+    /// server-wide default quotas.
+    fn tenant(&self, name: &str) -> Arc<Tenant> {
+        let mut tenants = self.tenants.lock().expect("tenants lock");
+        let tenant = tenants.entry(name.to_owned()).or_insert_with(|| {
+            Arc::new(Tenant {
+                inflight: AtomicUsize::new(0),
+                pending_bytes: AtomicUsize::new(0),
+                max_inflight: AtomicUsize::new(self.limits.max_session_inflight),
+                max_bytes: AtomicUsize::new(self.limits.max_session_bytes),
+                last_op_ms: AtomicU64::new(self.now_ms()),
+            })
+        });
+        Arc::clone(tenant)
+    }
+
+    /// Stamps tenant liveness — any op naming the session counts as
+    /// activity for the idle-parking sweep.
+    fn touch_tenant(&self, req: &Json) {
+        if let Some(name) = req.get("session").and_then(Json::as_str) {
+            let tenants = self.tenants.lock().expect("tenants lock");
+            if let Some(t) = tenants.get(name) {
+                t.last_op_ms.store(self.now_ms(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Admits `bytes` of request work against the tenant's quota.
+    /// Charges first, then checks: on refusal the guard's drop undoes
+    /// the charge, so a racing admit never double-spends the budget.
+    fn admit_tenant<'a>(&self, tenant: &'a Tenant, bytes: usize) -> Result<TenantGuard<'a>, Json> {
+        let inflight = tenant.inflight.fetch_add(1, Ordering::SeqCst);
+        let pending = tenant.pending_bytes.fetch_add(bytes, Ordering::SeqCst);
+        let guard = TenantGuard { tenant, bytes };
+        let max_inflight = tenant.max_inflight.load(Ordering::Relaxed);
+        if inflight >= max_inflight {
+            self.quota_refusals.fetch_add(1, Ordering::Relaxed);
+            return Err(wire::err(
+                "quota",
+                format!(
+                    "session quota: {inflight} request(s) already in flight (limit {max_inflight})"
+                ),
+            ));
+        }
+        let max_bytes = tenant.max_bytes.load(Ordering::Relaxed);
+        if pending + bytes > max_bytes {
+            self.quota_refusals.fetch_add(1, Ordering::Relaxed);
+            return Err(wire::err(
+                "quota",
+                format!(
+                    "session quota: {} request byte(s) pending would exceed the {max_bytes} byte limit",
+                    pending + bytes
+                ),
+            ));
+        }
+        Ok(guard)
+    }
+
     /// Dispatches one request; returns the rendered response and
     /// whether the connection must stop serving (shutdown accepted).
-    pub fn dispatch(&self, req: &Json, hello_done: &mut bool) -> (String, bool) {
+    /// `frame_bytes` is the size of the request frame on the wire —
+    /// the unit the per-tenant byte quota charges.
+    pub fn dispatch_sized(
+        &self,
+        req: &Json,
+        frame_bytes: usize,
+        hello_done: &mut bool,
+    ) -> (String, bool) {
         self.frames.fetch_add(1, Ordering::Relaxed);
+        self.touch_tenant(req);
+        self.dispatch_inner(req, frame_bytes, hello_done)
+    }
+
+    /// [`Server::dispatch_sized`] with the frame size taken from the
+    /// rendered request — the in-process convenience used by unit tests.
+    pub fn dispatch(&self, req: &Json, hello_done: &mut bool) -> (String, bool) {
+        let bytes = req.render().len();
+        self.dispatch_sized(req, bytes, hello_done)
+    }
+
+    fn dispatch_inner(
+        &self,
+        req: &Json,
+        frame_bytes: usize,
+        hello_done: &mut bool,
+    ) -> (String, bool) {
         let Some(op) = req.get("op").and_then(Json::as_str) else {
             return (wire::err("bad-frame", "missing \"op\"").render(), false);
         };
@@ -282,8 +456,8 @@ impl Server {
                 )
             }
             "open" => (self.op_open(req).render(), false),
-            "append" => (self.op_append(req).render(), false),
-            "append_batch" => (self.op_append_batch(req).render(), false),
+            "append" => (self.op_append(req, frame_bytes).render(), false),
+            "append_batch" => (self.op_append_batch(req, frame_bytes).render(), false),
             "status" => (self.op_status(req).render(), false),
             "stats" => (self.op_stats(req), false),
             "checkpoint" => (self.op_checkpoint(req).render(), false),
@@ -314,6 +488,7 @@ impl Server {
         // holding its slot while it parks/unregisters cannot deadlock
         // against us.
         for _ in 0..8 {
+            let mut built_resumed: Option<bool> = None;
             let (slot, fresh) = {
                 let mut sessions = self.sessions.lock().expect("sessions lock");
                 match sessions.get(name) {
@@ -349,7 +524,10 @@ impl Server {
                 // lookups. Concurrent ops on this name block on the
                 // slot until the build lands.
                 match self.build_session(name, req) {
-                    Ok(session) => *guard = Some(session),
+                    Ok((session, was_resumed)) => {
+                        *guard = Some(session);
+                        built_resumed = Some(was_resumed);
+                    }
                     Err(resp) => {
                         drop(guard);
                         let mut sessions = self.sessions.lock().expect("sessions lock");
@@ -366,8 +544,22 @@ impl Server {
             if let Err(resp) = register_formulas(session, req) {
                 return resp;
             }
-            let resumed =
-                session.stats().commits == 0 && session.history().is_some_and(|h| !h.is_empty());
+            // Tenant quotas: created on first open, re-tunable on any
+            // later one. Values are clamped to the global ceilings —
+            // a tenant cannot grant itself more than the server has.
+            let tenant = self.tenant(name);
+            if let Some(mi) = req.get("max_inflight").and_then(Json::as_u64) {
+                let mi = (mi as usize).min(self.limits.max_inflight_appends);
+                tenant.max_inflight.store(mi, Ordering::Relaxed);
+            }
+            if let Some(mb) = req.get("max_pending_bytes").and_then(Json::as_u64) {
+                let mb = (mb as usize).min(self.limits.max_pending_bytes);
+                tenant.max_bytes.store(mb, Ordering::Relaxed);
+            }
+            tenant.last_op_ms.store(self.now_ms(), Ordering::Relaxed);
+            let resumed = built_resumed.unwrap_or_else(|| {
+                session.stats().commits == 0 && session.history().is_some_and(|h| !h.is_empty())
+            });
             return wire::ok(vec![
                 ("session", json::s(name)),
                 ("resumed", Json::Bool(resumed)),
@@ -392,7 +584,7 @@ impl Server {
     /// entry is only consumed on success — a failed open (bad
     /// declarations, corrupt replay) leaves the recovered state
     /// available for the next attempt.
-    fn build_session(&self, name: &str, req: &Json) -> Result<Session, Json> {
+    fn build_session(&self, name: &str, req: &Json) -> Result<(Session, bool), Json> {
         // Per-tenant memory budget: `"history_window": n` caps the
         // resident history to the last n instants (0 / absent =
         // server-wide default, normally unbounded). Budgets change
@@ -403,23 +595,33 @@ impl Server {
                 opts.history_budget = HistoryBudget::Window(window as usize);
             }
         }
-        let mut builder = Session::builder().name(name).options(opts);
+        // An idle-parked entry carries a full ParkedSession (options
+        // and counters included) and resumes without WAL replay; the
+        // other parked shapes (crash recovery, clean close) rebuild
+        // from snapshot + suffix. Either way the entry is consumed
+        // only on success.
+        let parked_entry = {
+            let parked = self.parked.lock().expect("parked lock");
+            parked
+                .get(name)
+                .map(|p| (p.resume.clone(), p.snapshot.clone(), p.suffix.clone()))
+        };
+        let had_parked = parked_entry.is_some();
+        let mut builder = match &parked_entry {
+            // `.resume` before `.group`: group registration binds the
+            // builder's name at call time.
+            Some((Some(ps), _, _)) => Session::builder().resume(ps.clone()),
+            _ => Session::builder().name(name).options(opts),
+        };
         if let Some(wal) = &self.wal {
             builder = builder.group(Arc::clone(wal));
         }
-        let had_parked = {
-            let parked = self.parked.lock().expect("parked lock");
-            match parked.get(name) {
-                Some(p) => {
-                    if let Some(snap) = &p.snapshot {
-                        builder = builder.snapshot(snap.clone());
-                    }
-                    builder = builder.replay(p.suffix.clone());
-                    true
-                }
-                None => false,
+        if let Some((None, snapshot, suffix)) = parked_entry {
+            if let Some(snap) = snapshot {
+                builder = builder.snapshot(snap);
             }
-        };
+            builder = builder.replay(suffix);
+        }
         let preds = decl_list(req, "preds").map_err(|e| wire::err("bad-frame", e))?;
         for (pname, arity) in preds {
             builder = builder.pred(&pname, arity as usize);
@@ -428,16 +630,16 @@ impl Server {
         for (cname, value) in consts {
             builder = builder.constant(&cname, value);
         }
-        let (session, _summary) = builder
+        let (session, summary) = builder
             .open()
             .map_err(|e| wire::err("engine", e.to_string()))?;
         if had_parked {
             self.parked.lock().expect("parked lock").remove(name);
         }
-        Ok(session)
+        Ok((session, summary.resumed))
     }
 
-    fn op_append(&self, req: &Json) -> Json {
+    fn op_append(&self, req: &Json, frame_bytes: usize) -> Json {
         let Some(slot) = named_session(self, req) else {
             return unknown_session(req);
         };
@@ -468,6 +670,15 @@ impl Server {
                 );
             }
         }
+        // Per-tenant quota, after the global ceilings: one session
+        // saturating its own budget answers `quota` without consuming
+        // global admission capacity for long.
+        let name = req.get("session").and_then(Json::as_str).unwrap_or("");
+        let tenant = self.tenant(name);
+        let _tenant = match self.admit_tenant(&tenant, frame_bytes) {
+            Ok(guard) => guard,
+            Err(resp) => return resp,
+        };
         let mut guard = slot.lock().expect("session lock");
         let Some(session) = guard.as_mut() else {
             return unknown_session(req);
@@ -498,7 +709,7 @@ impl Server {
     /// each constraint through all of them without per-transaction
     /// barriers. Admission control counts the batch as one in-flight
     /// append.
-    fn op_append_batch(&self, req: &Json) -> Json {
+    fn op_append_batch(&self, req: &Json, frame_bytes: usize) -> Json {
         let Some(slot) = named_session(self, req) else {
             return unknown_session(req);
         };
@@ -527,6 +738,12 @@ impl Server {
                 );
             }
         }
+        let name = req.get("session").and_then(Json::as_str).unwrap_or("");
+        let tenant = self.tenant(name);
+        let _tenant = match self.admit_tenant(&tenant, frame_bytes) {
+            Ok(guard) => guard,
+            Err(resp) => return resp,
+        };
         let mut guard = slot.lock().expect("session lock");
         let Some(session) = guard.as_mut() else {
             return unknown_session(req);
@@ -644,6 +861,7 @@ impl Server {
                 Parked {
                     snapshot: Some(snap),
                     suffix: Vec::new(),
+                    resume: None,
                 },
             );
         }
@@ -653,8 +871,179 @@ impl Server {
                 sessions.remove(name);
             }
         }
+        // A closed tenant's quota state goes with it; a later open of
+        // the same name starts from the server defaults.
+        self.tenants.lock().expect("tenants lock").remove(name);
         drop(guard);
         wire::ok(vec![("session", json::s(name))])
+    }
+
+    /// Transparently revives an idle-parked session so the op that
+    /// named it proceeds as if the session had never left memory.
+    /// Only the idle sweep's entries (`resume: Some`) revive this way:
+    /// an explicitly closed or crash-recovered session still requires
+    /// an `open`, exactly as before parking existed. Returns the live
+    /// slot, or `None` when nothing idle-parked holds the name. Uses
+    /// the same placeholder-slot discipline as `op_open`, so racing
+    /// revives and opens serialize on the slot lock, never the
+    /// registry lock.
+    fn revive_parked(&self, name: &str) -> Option<Slot> {
+        {
+            let parked = self.parked.lock().expect("parked lock");
+            match parked.get(name) {
+                Some(p) if p.resume.is_some() => {}
+                _ => return None,
+            }
+        }
+        for _ in 0..8 {
+            let (slot, fresh) = {
+                let mut sessions = self.sessions.lock().expect("sessions lock");
+                match sessions.get(name) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        if sessions.len() >= self.limits.max_sessions {
+                            return None;
+                        }
+                        let slot: Slot = Arc::new(Mutex::new(None));
+                        sessions.insert(name.to_owned(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            let mut guard = slot.lock().expect("session lock");
+            if guard.is_none() {
+                if !fresh {
+                    drop(guard);
+                    std::thread::yield_now();
+                    continue;
+                }
+                // Re-check now that we own the placeholder: a racing
+                // open may have consumed the parked entry while we
+                // were acquiring the slot. Building from nothing here
+                // would conjure a fresh empty session under a name
+                // that had state.
+                let still_parked = self
+                    .parked
+                    .lock()
+                    .expect("parked lock")
+                    .get(name)
+                    .is_some_and(|p| p.resume.is_some());
+                if !still_parked {
+                    drop(guard);
+                    let mut sessions = self.sessions.lock().expect("sessions lock");
+                    if sessions.get(name).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                        sessions.remove(name);
+                    }
+                    return None;
+                }
+                // A bare revive carries no declarations — rebuild from
+                // the parked state alone (an empty request object).
+                let empty = json::obj(vec![]);
+                match self.build_session(name, &empty) {
+                    Ok((session, _)) => {
+                        *guard = Some(session);
+                        self.resumes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        drop(guard);
+                        let mut sessions = self.sessions.lock().expect("sessions lock");
+                        if sessions.get(name).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                            sessions.remove(name);
+                        }
+                        return None;
+                    }
+                }
+            }
+            drop(guard);
+            return Some(slot);
+        }
+        None
+    }
+
+    /// Parks sessions idle for at least `idle_for`: checkpoint to
+    /// snapshot bytes ([`Session::park`]), drop the live session, and
+    /// hold the bytes for transparent resume. Busy sessions (slot
+    /// locked, staged ops, inflight requests) are skipped — the sweep
+    /// never blocks serving. Returns how many sessions were parked.
+    pub fn park_idle_sessions(&self, idle_for: Duration) -> usize {
+        let now = self.now_ms();
+        let idle_ms = idle_for.as_millis() as u64;
+        let candidates: Vec<(String, Slot)> = {
+            let sessions = self.sessions.lock().expect("sessions lock");
+            sessions
+                .iter()
+                .map(|(n, s)| (n.clone(), Arc::clone(s)))
+                .collect()
+        };
+        let mut parked_count = 0;
+        for (name, slot) in candidates {
+            // Idleness is tenant state: any inflight request or a
+            // recent op keeps the session resident.
+            let idle = {
+                let tenants = self.tenants.lock().expect("tenants lock");
+                match tenants.get(&name) {
+                    Some(t) => {
+                        t.inflight.load(Ordering::SeqCst) == 0
+                            && now.saturating_sub(t.last_op_ms.load(Ordering::Relaxed)) >= idle_ms
+                    }
+                    // No tenant record (opened before quotas existed
+                    // in this process — cannot happen — or raced with
+                    // close): leave it alone.
+                    None => false,
+                }
+            };
+            if !idle {
+                continue;
+            }
+            // try_lock: a busy session is by definition not idle.
+            let Ok(mut guard) = slot.try_lock() else {
+                continue;
+            };
+            let Some(session) = guard.as_mut() else {
+                continue;
+            };
+            // Re-check under the slot lock — an op may have landed
+            // between the tenant check and the lock.
+            {
+                let tenants = self.tenants.lock().expect("tenants lock");
+                let still_idle = tenants.get(&name).is_some_and(|t| {
+                    t.inflight.load(Ordering::SeqCst) == 0
+                        && now.saturating_sub(t.last_op_ms.load(Ordering::Relaxed)) >= idle_ms
+                });
+                if !still_idle {
+                    continue;
+                }
+            }
+            let ps = match session.park() {
+                Ok(ps) => ps,
+                // Unparkable (never froze a schema, staged ops):
+                // leave it resident.
+                Err(_) => continue,
+            };
+            *guard = None;
+            // Same ordering as op_close: the parked entry exists
+            // before the name leaves the registry, all under the slot
+            // lock, so a racing op revives from the parked bytes
+            // instead of finding nothing.
+            self.parked.lock().expect("parked lock").insert(
+                name.clone(),
+                Parked {
+                    snapshot: None,
+                    suffix: Vec::new(),
+                    resume: Some(ps),
+                },
+            );
+            {
+                let mut sessions = self.sessions.lock().expect("sessions lock");
+                if sessions.get(&name).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                    sessions.remove(&name);
+                }
+            }
+            drop(guard);
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            parked_count += 1;
+        }
+        parked_count
     }
 
     fn op_shutdown(&self, checkpoint: bool) -> Json {
@@ -780,7 +1169,10 @@ impl Drop for InflightGuard<'_> {
 
 fn named_session(server: &Server, req: &Json) -> Option<Slot> {
     let name = req.get("session").and_then(Json::as_str)?;
-    server.session(name)
+    // Transparent resume: a name that is not live but is parked (idle
+    // sweep, clean close, crash recovery) revives before the op runs —
+    // clients never observe parking.
+    server.session(name).or_else(|| server.revive_parked(name))
 }
 
 fn unknown_session(req: &Json) -> Json {
@@ -1369,6 +1761,148 @@ mod tests {
         assert_eq!(upgrade_stats(&up).unwrap(), up);
         let v9 = json::parse(r#"{"schema":"ticc-engine-stats-v9"}"#).unwrap();
         assert!(upgrade_stats(&v9).is_err());
+    }
+
+    #[test]
+    fn per_tenant_quota_refuses_with_quota_code() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        // A tenant that allows itself zero inflight appends: every
+        // append answers `quota`, its neighbour keeps committing.
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"starved","preds":[["P",1]],"max_inflight":0}"#
+        )));
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"fine","preds":[["P",1]]}"#
+        )));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"starved","insert":["P(1)"]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("quota"), "{r:?}");
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"fine","insert":["P(1)"]}"#,
+        );
+        assert!(ok_true(&r), "neighbour unaffected: {r:?}");
+        // Byte quota: a 1-byte budget refuses any real frame. The
+        // refusal must release its reservation — a later re-open with
+        // a sane budget commits.
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"starved","max_pending_bytes":1,"max_inflight":8}"#
+        )));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"starved","insert":["P(1)"]}"#,
+        );
+        assert_eq!(r.get("code").unwrap().as_str(), Some("quota"), "{r:?}");
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"starved","max_pending_bytes":1000000}"#
+        )));
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"starved","insert":["P(1)"]}"#,
+        );
+        assert!(ok_true(&r), "refusals released their budget: {r:?}");
+        assert!(server.quota_refusals.load(Ordering::Relaxed) >= 2);
+        // Quota values clamp to the global ceilings.
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"greedy","max_inflight":99999999}"#
+        )));
+        let t = server.tenant("greedy");
+        assert_eq!(
+            t.max_inflight.load(Ordering::Relaxed),
+            server.limits.max_inflight_appends
+        );
+    }
+
+    #[test]
+    fn idle_sessions_park_and_resume_transparently() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","forall x. G (Sub(x) -> X G !Sub(x))"]]}"#
+        )));
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["Sub(1)"]}"#
+        )));
+        // Zero idle deadline: everything idle parks right now.
+        assert_eq!(server.park_idle_sessions(Duration::ZERO), 1);
+        assert_eq!(server.parks.load(Ordering::Relaxed), 1);
+        assert_eq!(server.sessions.lock().unwrap().len(), 0, "not resident");
+        assert_eq!(server.parked_sessions(), vec!["a".to_owned()]);
+        // The next op revives it transparently — same history, same
+        // constraint residues, no explicit open.
+        let r = request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["Sub(1)"]}"#,
+        );
+        assert!(ok_true(&r), "transparent resume: {r:?}");
+        assert_eq!(r.get("t").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            r.get("events").unwrap().as_arr().unwrap().len(),
+            1,
+            "resumed constraint catches the resubmission: {r:?}"
+        );
+        assert_eq!(server.resumes.load(Ordering::Relaxed), 1);
+        assert!(server.parked_sessions().is_empty(), "entry consumed");
+        // Counters survive the park/resume cycle (the stats document
+        // reports lifetime commits, not since-resume commits).
+        let r = request(&server, &mut hello, r#"{"op":"stats","session":"a"}"#);
+        let stats = r.get("stats").unwrap();
+        assert_eq!(
+            stats
+                .get("session")
+                .unwrap()
+                .get("commits")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        // A busy (recently touched) session does not park under a
+        // real deadline.
+        assert_eq!(server.park_idle_sessions(Duration::from_secs(3600)), 0);
+        assert_eq!(server.sessions.lock().unwrap().len(), 1, "still resident");
+    }
+
+    #[test]
+    fn explicit_open_also_resumes_an_idle_parked_session() {
+        let server = Server::new(CheckOptions::default(), Limits::default());
+        let mut hello = true;
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"open","session":"a","preds":[["P",1]]}"#
+        )));
+        assert!(ok_true(&request(
+            &server,
+            &mut hello,
+            r#"{"op":"append","session":"a","insert":["P(1)"]}"#
+        )));
+        assert_eq!(server.park_idle_sessions(Duration::ZERO), 1);
+        let r = request(&server, &mut hello, r#"{"op":"open","session":"a"}"#);
+        assert!(ok_true(&r), "{r:?}");
+        assert_eq!(r.get("resumed").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("states").unwrap().as_u64(), Some(1));
     }
 
     #[test]

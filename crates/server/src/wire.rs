@@ -17,7 +17,7 @@
 //! | op           | request fields                                        | success fields |
 //! |--------------|-------------------------------------------------------|----------------|
 //! | `hello`      | `schema`                                              | `schema`, `server` |
-//! | `open`       | `session`, opt. `preds` `[[name,arity],…]`, `consts` `[[name,value],…]`, `constraints`/`triggers` `[[name,src],…]` | `session`, `resumed`, `states`, `constraints` |
+//! | `open`       | `session`, opt. `preds` `[[name,arity],…]`, `consts` `[[name,value],…]`, `constraints`/`triggers` `[[name,src],…]`, per-tenant knobs `history_window`, `max_inflight`, `max_pending_bytes` | `session`, `resumed`, `states`, `constraints` |
 //! | `append`     | `session`, opt. `insert`/`delete` (arrays of `"Pred(v,…)"` facts in the store codec's text grammar; inserts apply first) and/or ordered `ops` `[["+"\|"-", fact],…]` | `t`, `events`, `fired` |
 //! | `append_batch` | `session`, `txs` (array of transaction objects, each the `append` shape) — commits consecutive states in one constraint sweep and one group-commit window | `results` (array of `{t, events, fired}`) |
 //! | `status`     | `session`                                             | `constraints` array |
@@ -28,10 +28,12 @@
 //!
 //! Error codes: `unsupported-schema`, `parse` (unreadable frame),
 //! `bad-frame` (readable JSON, wrong shape), `unknown-session`,
-//! `session-limit`, `backpressure` (admission control refused the
-//! append; retry later), `engine` (the constraint pipeline itself
-//! failed). Backpressure is an explicit, immediate response — the
-//! server never queues unboundedly.
+//! `session-limit`, `backpressure` (global admission control refused
+//! the append; retry later), `quota` (this *session's* per-tenant
+//! inflight/byte quota refused the append; retry later), `engine`
+//! (the constraint pipeline itself failed). Backpressure and quota
+//! are explicit, immediate responses — the server never queues
+//! unboundedly.
 
 use std::io::{self, Read, Write};
 
@@ -90,6 +92,65 @@ pub fn read_json(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Resul
         Err(_) => return Ok(Some(Err("frame is not UTF-8".to_owned()))),
     };
     Ok(Some(json::parse(text)))
+}
+
+/// Incremental frame decoder for the event-driven serving core:
+/// nonblocking reads deliver bytes in arbitrary chunks (a frame can
+/// arrive split across reads, or many frames in one read), so the
+/// decoder accumulates bytes and yields complete frames as they
+/// materialise. The buffer is compacted as frames are consumed;
+/// steady-state decoding reuses its capacity.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder (no buffer allocated until bytes arrive).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds freshly read bytes into the decoder.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed frames at the front of the
+        // buffer are dead weight the next read would otherwise pile
+        // on top of.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete frame's payload, `Ok(None)` if more
+    /// bytes are needed, or an error when the length prefix exceeds
+    /// `max_bytes` (the connection is beyond recovery — framing can no
+    /// longer be trusted).
+    pub fn next_frame(&mut self, max_bytes: usize) -> Result<Option<Vec<u8>>, String> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > max_bytes.min(MAX_FRAME_BYTES) {
+            return Err(format!(
+                "frame of {len} bytes exceeds the {max_bytes} byte limit"
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 /// A success response scaffold: `{"ok":true, …fields}`.

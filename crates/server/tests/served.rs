@@ -143,10 +143,26 @@ fn step_json(t: usize, events: &[(String, usize)], fired: &[(String, Vec<(String
     ])
 }
 
-#[test]
-fn served_sessions_match_in_process_across_120_seeds() {
+/// How the determinism suite serves its connections.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Legacy thread-per-connection loop.
+    Legacy,
+    /// Event-driven `poll(2)` multiplexer.
+    Mux,
+    /// Multiplexer, with every session force-parked mid-stream after
+    /// its second commit — the suite then also proves transparent
+    /// resume preserves the event stream bit for bit.
+    MuxForcedParking,
+}
+
+/// The served-vs-in-process determinism suite: 120 seeded workloads,
+/// each driven over the wire and through an in-process [`Session`],
+/// asserting bit-identical event streams (and, when no forced parking
+/// perturbs engine counters, bit-identical stats documents).
+fn determinism_suite(tag: &str, mode: Mode) {
     let wal_path = std::env::temp_dir().join(format!(
-        "ticc-served-determinism-{}.gwal",
+        "ticc-served-determinism-{tag}-{}.gwal",
         std::process::id()
     ));
     let _ = std::fs::remove_file(&wal_path);
@@ -155,7 +171,12 @@ fn served_sessions_match_in_process_across_120_seeds() {
         .build();
     let server = Arc::new(Server::with_wal(opts, Limits::default(), &wal_path).unwrap());
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let running = Server::start(Arc::clone(&server), listener).unwrap();
+    let running = match mode {
+        Mode::Legacy => Server::start(Arc::clone(&server), listener).unwrap(),
+        Mode::Mux | Mode::MuxForcedParking => {
+            ticc_server::mux::start_mux(Arc::clone(&server), listener).unwrap()
+        }
+    };
     let mut client = Client::connect(running.addr);
 
     for seed in 0..120u64 {
@@ -168,7 +189,15 @@ fn served_sessions_match_in_process_across_120_seeds() {
         );
         client.ok(&open);
         let mut served_steps = Vec::new();
-        for commit in &script {
+        for (i, commit) in script.iter().enumerate() {
+            if mode == Mode::MuxForcedParking && i == 2 {
+                // Force the idle sweep mid-stream: the session leaves
+                // memory as parked snapshot bytes, and the next append
+                // below must revive it with nothing observably
+                // different.
+                let parked = running.server.park_idle_sessions(std::time::Duration::ZERO);
+                assert!(parked >= 1, "seed {seed}: nothing parked mid-stream");
+            }
             // The ordered `ops` spelling: intra-transaction order is
             // part of the workload's semantics.
             let ops: Vec<String> = commit
@@ -192,6 +221,7 @@ fn served_sessions_match_in_process_across_120_seeds() {
                 .get("stats")
                 .unwrap(),
         );
+        let served_status = client.ok(&format!(r#"{{"op":"status","session":"{name}"}}"#));
 
         // In-process run: same workload through the Session API, no
         // wire, no group log.
@@ -236,10 +266,34 @@ fn served_sessions_match_in_process_across_120_seeds() {
             served_steps, local_steps,
             "seed {seed}: served and in-process event streams diverge"
         );
+        // Constraint verdicts must agree mode-independently.
+        let statuses = served_status.get("constraints").unwrap().as_arr().unwrap();
+        let local_violated = session
+            .constraints()
+            .any(|(id, _, _)| matches!(session.status(id), ticc_core::Status::Violated { .. }));
         assert_eq!(
-            served_stats, local_stats,
-            "seed {seed}: served and in-process stats diverge"
+            statuses[0].get("status").unwrap().as_str() == Some("violated"),
+            local_violated,
+            "seed {seed}: served and in-process verdicts diverge"
         );
+        if mode != Mode::MuxForcedParking {
+            // A park/resume cycle legitimately resets *engine*-level
+            // counters (the resumed engine starts from its snapshot),
+            // so the full stats document is only compared when no
+            // forced parking perturbed it. Event streams and verdicts
+            // above are compared in every mode.
+            assert_eq!(
+                served_stats, local_stats,
+                "seed {seed}: served and in-process stats diverge"
+            );
+        } else {
+            // Session-lifetime counters must survive parking even so.
+            assert_eq!(
+                served_stats.get("session"),
+                local_stats.get("session"),
+                "seed {seed}: session counters lost across park/resume"
+            );
+        }
     }
 
     // The whole suite ran through one shared group log: group commit
@@ -261,6 +315,21 @@ fn served_sessions_match_in_process_across_120_seeds() {
 }
 
 #[test]
+fn served_sessions_match_in_process_across_120_seeds() {
+    determinism_suite("legacy", Mode::Legacy);
+}
+
+#[test]
+fn served_sessions_match_in_process_across_120_seeds_mux() {
+    determinism_suite("mux", Mode::Mux);
+}
+
+#[test]
+fn served_sessions_match_in_process_with_parking_forced_mid_stream() {
+    determinism_suite("mux-park", Mode::MuxForcedParking);
+}
+
+#[test]
 fn crash_mid_commit_window_loses_only_unacked_appends() {
     let wal_path =
         std::env::temp_dir().join(format!("ticc-served-crash-{}.gwal", std::process::id()));
@@ -275,7 +344,7 @@ fn crash_mid_commit_window_loses_only_unacked_appends() {
     {
         let server = Arc::new(Server::with_wal(opts, Limits::default(), &wal_path).unwrap());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let running = Server::start(Arc::clone(&server), listener).unwrap();
+        let running = ticc_server::mux::start_mux(Arc::clone(&server), listener).unwrap();
         let mut client = Client::connect(running.addr);
         client.ok(&format!(
             r#"{{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","{CONSTRAINT}"]]}}"#
@@ -315,7 +384,7 @@ fn crash_mid_commit_window_loses_only_unacked_appends() {
     let server = Arc::new(Server::with_wal(opts, Limits::default(), &wal_path).unwrap());
     assert_eq!(server.parked_sessions(), vec!["a".to_owned()]);
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let running = Server::start(Arc::clone(&server), listener).unwrap();
+    let running = ticc_server::mux::start_mux(Arc::clone(&server), listener).unwrap();
     let mut client = Client::connect(running.addr);
     let r = client.ok(&format!(
         r#"{{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","{CONSTRAINT}"]]}}"#
@@ -349,7 +418,7 @@ fn checkpointed_server_restart_resumes_without_redeclaration() {
     {
         let server = Arc::new(Server::with_wal(opts, Limits::default(), &wal_path).unwrap());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let running = Server::start(Arc::clone(&server), listener).unwrap();
+        let running = ticc_server::mux::start_mux(Arc::clone(&server), listener).unwrap();
         let mut client = Client::connect(running.addr);
         client.ok(&format!(
             r#"{{"op":"open","session":"a","preds":[["Sub",1]],"constraints":[["once","{CONSTRAINT}"]],"triggers":[["dup","{TRIGGER}"]]}}"#
@@ -364,7 +433,7 @@ fn checkpointed_server_restart_resumes_without_redeclaration() {
     }
     let server = Arc::new(Server::with_wal(opts, Limits::default(), &wal_path).unwrap());
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let running = Server::start(Arc::clone(&server), listener).unwrap();
+    let running = ticc_server::mux::start_mux(Arc::clone(&server), listener).unwrap();
     let mut client = Client::connect(running.addr);
     // No preds, no constraint sources: the checkpoint carries the whole
     // session, including the trigger definitions in the app blob.

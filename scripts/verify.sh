@@ -188,9 +188,32 @@ wait $spid || { echo "server smoke: server did not shut down cleanly"; exit 1; }
 rm -f "$gwal" "$slog"
 echo "server smoke: OK"
 
+echo "==> mux soak (512 idle connections, event-driven core, 4 io threads)"
+# The default serving core is the poll(2) multiplexer: 512 handshaken
+# connections held idle, each then re-pinged to prove it is served —
+# all on 4 io threads, no per-connection threads.
+slog="$(mktemp)"
+./target/release/ticc-server serve --addr 127.0.0.1:0 --io-threads 4 2> "$slog" &
+spid=$!
+addr=""
+tries=0
+while [ $tries -lt 100 ]; do
+    addr="$(sed -n 's/^ticc-server: listening on \([0-9.:]*\) .*/\1/p' "$slog")"
+    [ -n "$addr" ] && break
+    tries=$((tries + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "mux soak: server did not start"; cat "$slog"; exit 1; }
+out="$(./target/release/ticc-server soak --addr "$addr" --conns 512)"
+echo "$out" | grep -q "soak ok: 512 connections" || { echo "mux soak: expected 512 served connections"; exit 1; }
+printf '{"op":"shutdown"}\n' | ./target/release/ticc-server client --addr "$addr" > /dev/null
+wait $spid || { echo "mux soak: server did not shut down cleanly"; exit 1; }
+rm -f "$slog"
+echo "mux soak: OK"
+
 if [ "${1:-}" = "--release" ]; then
-    echo "==> E13/E14/E15/E16/E17/E18/E19 bench smoke (release)"
-    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 e17 e18 e19 --smoke
+    echo "==> E13/E14/E15/E16/E17/E18/E19/E20 bench smoke (release)"
+    cargo run --release --offline -p ticc-bench --bin experiments -- e13 e14 e15 e16 e17 e18 e19 e20 --smoke
 fi
 
 echo "verify: OK"
